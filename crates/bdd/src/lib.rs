@@ -1,0 +1,18 @@
+//! # arbitrex-bdd
+//!
+//! Reduced ordered binary decision diagrams (ROBDDs) as a *compiled*
+//! representation of model sets.
+//!
+//! The theory-change operators in `arbitrex-core` work over three
+//! interchangeable representations of `Mod(φ)`: explicit enumeration,
+//! lazy SAT-based enumeration, and BDDs. BDDs give canonical forms (so
+//! equivalence checking — postulates (R4)/(A4) — is pointer equality),
+//! exact model counting without enumeration, and polynomial Boolean
+//! combinators. They cross-check the other two backends in the integration
+//! tests and power the model-counting sides of the experiments.
+
+pub mod from_formula;
+pub mod manager;
+
+pub use from_formula::compile;
+pub use manager::{Bdd, BddManager};

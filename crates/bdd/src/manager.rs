@@ -1,0 +1,543 @@
+//! The ROBDD node store and core algorithms.
+
+use std::collections::HashMap;
+
+/// A handle to a BDD node inside a [`BddManager`].
+///
+/// Handles are canonical: two handles from the same manager represent the
+/// same Boolean function iff they are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant-false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant-true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Is this the constant false?
+    pub fn is_false(self) -> bool {
+        self == Bdd::FALSE
+    }
+
+    /// Is this the constant true?
+    pub fn is_true(self) -> bool {
+        self == Bdd::TRUE
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+impl Op {
+    fn apply(self, a: bool, b: bool) -> bool {
+        match self {
+            Op::And => a && b,
+            Op::Or => a || b,
+            Op::Xor => a != b,
+        }
+    }
+
+    /// Short-circuit rules on one terminal operand.
+    fn shortcut(self, term: bool, other: Bdd) -> Option<BddOrNegation> {
+        match (self, term) {
+            (Op::And, true) | (Op::Or, false) | (Op::Xor, false) => {
+                Some(BddOrNegation::Plain(other))
+            }
+            (Op::And, false) => Some(BddOrNegation::Plain(Bdd::FALSE)),
+            (Op::Or, true) => Some(BddOrNegation::Plain(Bdd::TRUE)),
+            (Op::Xor, true) => Some(BddOrNegation::Negated(other)),
+        }
+    }
+}
+
+enum BddOrNegation {
+    Plain(Bdd),
+    Negated(Bdd),
+}
+
+/// A store of ROBDD nodes with hash-consing and operation caches.
+///
+/// Variables are ordered by index: smaller indices closer to the root.
+///
+/// ```
+/// use arbitrex_bdd::BddManager;
+/// let mut m = BddManager::new();
+/// let x = m.var(0);
+/// let y = m.var(1);
+/// let f = m.and(x, y);
+/// let g = m.or(x, y);
+/// assert_eq!(m.count_models(f, 2), 1);
+/// assert_eq!(m.count_models(g, 2), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+}
+
+impl BddManager {
+    /// Create a manager containing only the terminals.
+    pub fn new() -> BddManager {
+        let mut m = BddManager {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+        };
+        // Slots 0 and 1 are the terminals; var = u32::MAX sorts them below
+        // every decision node in the ordering checks.
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: Bdd::TRUE,
+            hi: Bdd::TRUE,
+        });
+        m
+    }
+
+    /// Number of live nodes (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn var_of(&self, b: Bdd) -> u32 {
+        self.nodes[b.0 as usize].var
+    }
+
+    fn lo(&self, b: Bdd) -> Bdd {
+        self.nodes[b.0 as usize].lo
+    }
+
+    fn hi(&self, b: Bdd) -> Bdd {
+        self.nodes[b.0 as usize].hi
+    }
+
+    /// Hash-consed node constructor enforcing the reduction rules.
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi));
+        let node = Node { var, lo, hi };
+        if let Some(&b) = self.unique.get(&node) {
+            return b;
+        }
+        let b = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, b);
+        b
+    }
+
+    /// The function "variable `v`".
+    pub fn var(&mut self, v: u32) -> Bdd {
+        self.mk(v, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The function "¬variable `v`".
+    pub fn nvar(&mut self, v: u32) -> Bdd {
+        self.mk(v, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Negation.
+    pub fn not(&mut self, b: Bdd) -> Bdd {
+        if b.is_false() {
+            return Bdd::TRUE;
+        }
+        if b.is_true() {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&b) {
+            return r;
+        }
+        let (v, lo, hi) = (self.var_of(b), self.lo(b), self.hi(b));
+        let nlo = self.not(lo);
+        let nhi = self.not(hi);
+        let r = self.mk(v, nlo, nhi);
+        self.not_cache.insert(b, r);
+        r
+    }
+
+    fn apply(&mut self, op: Op, a: Bdd, b: Bdd) -> Bdd {
+        // Terminal cases.
+        if a.0 <= 1 && b.0 <= 1 {
+            return if op.apply(a.is_true(), b.is_true()) {
+                Bdd::TRUE
+            } else {
+                Bdd::FALSE
+            };
+        }
+        if a.0 <= 1 {
+            return match op.shortcut(a.is_true(), b) {
+                Some(BddOrNegation::Plain(r)) => r,
+                Some(BddOrNegation::Negated(r)) => self.not(r),
+                None => unreachable!(),
+            };
+        }
+        if b.0 <= 1 {
+            return match op.shortcut(b.is_true(), a) {
+                Some(BddOrNegation::Plain(r)) => r,
+                Some(BddOrNegation::Negated(r)) => self.not(r),
+                None => unreachable!(),
+            };
+        }
+        // Commutative ops: normalize the cache key.
+        let key = if a <= b { (op, a, b) } else { (op, b, a) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let v = va.min(vb);
+        let (alo, ahi) = if va == v {
+            (self.lo(a), self.hi(a))
+        } else {
+            (a, a)
+        };
+        let (blo, bhi) = if vb == v {
+            (self.lo(b), self.hi(b))
+        } else {
+            (b, b)
+        };
+        let lo = self.apply(op, alo, blo);
+        let hi = self.apply(op, ahi, bhi);
+        let r = self.mk(v, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::And, a, b)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::Or, a, b)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        self.apply(Op::Xor, a, b)
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(&mut self, a: Bdd, b: Bdd) -> Bdd {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Restrict variable `v` to `value`.
+    pub fn restrict(&mut self, b: Bdd, v: u32, value: bool) -> Bdd {
+        if b.0 <= 1 {
+            return b;
+        }
+        let bv = self.var_of(b);
+        if bv > v {
+            return b; // v does not occur below here
+        }
+        if bv == v {
+            return if value { self.hi(b) } else { self.lo(b) };
+        }
+        let lo0 = self.lo(b);
+        let hi0 = self.hi(b);
+        let lo = self.restrict(lo0, v, value);
+        let hi = self.restrict(hi0, v, value);
+        self.mk(bv, lo, hi)
+    }
+
+    /// Existential quantification `∃v. b`.
+    pub fn exists(&mut self, b: Bdd, v: u32) -> Bdd {
+        let f0 = self.restrict(b, v, false);
+        let f1 = self.restrict(b, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Universal quantification `∀v. b`.
+    pub fn forall(&mut self, b: Bdd, v: u32) -> Bdd {
+        let f0 = self.restrict(b, v, false);
+        let f1 = self.restrict(b, v, true);
+        self.and(f0, f1)
+    }
+
+    /// Evaluate under an assignment given as a bitmask.
+    pub fn eval(&self, mut b: Bdd, assignment: u64) -> bool {
+        while b.0 > 1 {
+            let v = self.var_of(b);
+            b = if (assignment >> v) & 1 == 1 {
+                self.hi(b)
+            } else {
+                self.lo(b)
+            };
+        }
+        b.is_true()
+    }
+
+    /// Exact model count over a universe of `n_vars` variables.
+    ///
+    /// # Panics
+    /// Panics if the function mentions a variable `≥ n_vars`.
+    pub fn count_models(&self, b: Bdd, n_vars: u32) -> u128 {
+        let mut cache: HashMap<Bdd, u128> = HashMap::new();
+        self.count_rec(b, n_vars, &mut cache) // counts paths weighted by skipped vars below root
+            * (1u128 << self.var_of_or(b, n_vars).min(n_vars))
+    }
+
+    fn var_of_or(&self, b: Bdd, n_vars: u32) -> u32 {
+        if b.0 <= 1 {
+            n_vars
+        } else {
+            self.var_of(b)
+        }
+    }
+
+    /// Count models of the sub-function rooted at `b` over variables
+    /// `var_of(b)..n_vars` (terminals count over an empty remainder).
+    fn count_rec(&self, b: Bdd, n_vars: u32, cache: &mut HashMap<Bdd, u128>) -> u128 {
+        if b.is_false() {
+            return 0;
+        }
+        if b.is_true() {
+            return 1;
+        }
+        if let Some(&c) = cache.get(&b) {
+            return c;
+        }
+        let v = self.var_of(b);
+        assert!(
+            v < n_vars,
+            "BDD mentions variable {v} beyond universe width {n_vars}"
+        );
+        let lo = self.lo(b);
+        let hi = self.hi(b);
+        let lo_gap = self.var_of_or(lo, n_vars) - v - 1;
+        let hi_gap = self.var_of_or(hi, n_vars) - v - 1;
+        let c = self.count_rec(lo, n_vars, cache) * (1u128 << lo_gap)
+            + self.count_rec(hi, n_vars, cache) * (1u128 << hi_gap);
+        cache.insert(b, c);
+        c
+    }
+
+    /// Number of nodes reachable from `b` (the size of the function's
+    /// diagram, ignoring dead intermediates left over from construction).
+    pub fn reachable_count(&self, b: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        while let Some(x) = stack.pop() {
+            if seen.insert(x) && x.0 > 1 {
+                stack.push(self.lo(x));
+                stack.push(self.hi(x));
+            }
+        }
+        seen.len()
+    }
+
+    /// Enumerate all models over `n_vars ≤ 64` variables as bitmasks,
+    /// sorted ascending.
+    pub fn models(&self, b: Bdd, n_vars: u32) -> Vec<u64> {
+        assert!(n_vars <= 64);
+        let mut out = Vec::new();
+        self.models_rec(b, 0, 0, n_vars, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn models_rec(&self, b: Bdd, from_var: u32, partial: u64, n_vars: u32, out: &mut Vec<u64>) {
+        if b.is_false() {
+            return;
+        }
+        let next = self.var_of_or(b, n_vars);
+        debug_assert!(next >= from_var);
+        if b.is_true() {
+            // All remaining variables are free.
+            expand_free(partial, from_var, n_vars, out);
+            return;
+        }
+        // Variables between from_var and next are free: branch over them by
+        // delegating to a helper that enumerates their combinations.
+        let gap = next - from_var;
+        let lo = self.lo(b);
+        let hi = self.hi(b);
+        for combo in 0..(1u64 << gap) {
+            let with_gap = partial | (combo << from_var);
+            self.models_rec(lo, next + 1, with_gap, n_vars, out);
+            self.models_rec(hi, next + 1, with_gap | (1u64 << next), n_vars, out);
+        }
+    }
+}
+
+fn expand_free(partial: u64, from_var: u32, n_vars: u32, out: &mut Vec<u64>) {
+    let free = n_vars - from_var;
+    for combo in 0..(1u64 << free) {
+        out.push(partial | (combo << from_var));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        assert!(!x.is_true() && !x.is_false());
+        assert!(m.eval(x, 0b1));
+        assert!(!m.eval(x, 0b0));
+        let nx = m.nvar(0);
+        let alt = m.not(x);
+        assert_eq!(nx, alt);
+    }
+
+    #[test]
+    fn canonicity_of_equivalent_functions() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        // x ∨ y == ¬(¬x ∧ ¬y)
+        let f = m.or(x, y);
+        let nx = m.not(x);
+        let ny = m.not(y);
+        let g0 = m.and(nx, ny);
+        let g = m.not(g0);
+        assert_eq!(f, g);
+        // x ⊕ y == (x ∨ y) ∧ ¬(x ∧ y)
+        let h0 = m.xor(x, y);
+        let both = m.and(x, y);
+        let nboth = m.not(both);
+        let h1 = m.and(f, nboth);
+        assert_eq!(h0, h1);
+    }
+
+    #[test]
+    fn boolean_ops_match_truth_tables() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let and = m.and(x, y);
+        let or = m.or(x, y);
+        let xor = m.xor(x, y);
+        let imp = m.implies(x, y);
+        let iff = m.iff(x, y);
+        for bits in 0..4u64 {
+            let (a, b) = (bits & 1 == 1, bits & 2 == 2);
+            assert_eq!(m.eval(and, bits), a && b);
+            assert_eq!(m.eval(or, bits), a || b);
+            assert_eq!(m.eval(xor, bits), a != b);
+            assert_eq!(m.eval(imp, bits), !a || b);
+            assert_eq!(m.eval(iff, bits), a == b);
+        }
+    }
+
+    #[test]
+    fn model_counting() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let or = m.or(x, y);
+        assert_eq!(m.count_models(or, 2), 3);
+        assert_eq!(m.count_models(or, 3), 6); // one free var doubles
+        assert_eq!(m.count_models(Bdd::TRUE, 5), 32);
+        assert_eq!(m.count_models(Bdd::FALSE, 5), 0);
+        // Function on a later variable only: v2 over 3 vars has 4 models.
+        let z = m.var(2);
+        assert_eq!(m.count_models(z, 3), 4);
+    }
+
+    #[test]
+    fn model_enumeration_matches_eval() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let xy = m.and(x, y);
+        let f = m.or(xy, z);
+        let models = m.models(f, 3);
+        let expect: Vec<u64> = (0..8).filter(|&b| m.eval(f, b)).collect();
+        assert_eq!(models, expect);
+    }
+
+    #[test]
+    fn enumeration_handles_gaps_and_terminals() {
+        let mut m = BddManager::new();
+        // Function only on v2 over a 4-var universe: gap before and after.
+        let z = m.var(2);
+        let models = m.models(z, 4);
+        assert_eq!(models.len(), 8);
+        for mm in &models {
+            assert!(mm & 0b100 != 0);
+        }
+        assert_eq!(m.models(Bdd::TRUE, 2), vec![0, 1, 2, 3]);
+        assert_eq!(m.models(Bdd::FALSE, 2), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn restrict_and_quantify() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        assert_eq!(m.restrict(f, 0, true), y);
+        assert_eq!(m.restrict(f, 0, false), Bdd::FALSE);
+        assert_eq!(m.exists(f, 0), y);
+        assert_eq!(m.forall(f, 0), Bdd::FALSE);
+        let g = m.or(x, y);
+        assert_eq!(m.forall(g, 0), y);
+        assert_eq!(m.exists(g, 0), Bdd::TRUE);
+    }
+
+    #[test]
+    fn node_sharing_keeps_store_small() {
+        let mut m = BddManager::new();
+        // Build the same function twice; node count must not double.
+        let build = |m: &mut BddManager| {
+            let mut acc = Bdd::TRUE;
+            for v in 0..6 {
+                let x = m.var(v);
+                acc = m.and(acc, x);
+            }
+            acc
+        };
+        let f = build(&mut m);
+        let n1 = m.node_count();
+        let g = build(&mut m);
+        assert_eq!(f, g);
+        assert_eq!(m.node_count(), n1);
+    }
+
+    #[test]
+    fn parity_function_is_linear_sized() {
+        let mut m = BddManager::new();
+        let mut f = Bdd::FALSE;
+        for v in 0..16 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        // Parity over n vars has 2n+2 nodes at most (plus terminals); the
+        // store also holds dead intermediates, so measure reachable size.
+        assert!(m.reachable_count(f) <= 2 * 16 + 2);
+        assert_eq!(m.count_models(f, 16), 1 << 15);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the BDD package against brute-force truth
+//! tables.
+
+use arbitrex_bdd::{compile, Bdd, BddManager};
+use arbitrex_logic::{Formula, Var};
+use proptest::prelude::*;
+
+const N: u32 = 5;
+
+fn formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0..N).prop_map(|v| Formula::Var(Var(v))),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::xor(a, b)),
+        ]
+    })
+}
+
+fn truth_table(mgr: &BddManager, b: Bdd) -> Vec<bool> {
+    (0..1u64 << N).map(|bits| mgr.eval(b, bits)).collect()
+}
+
+proptest! {
+    #[test]
+    fn compile_matches_direct_evaluation(f in formula()) {
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        for bits in 0..(1u64 << N) {
+            prop_assert_eq!(
+                mgr.eval(b, bits),
+                arbitrex_logic::eval(&f, arbitrex_logic::Interp(bits))
+            );
+        }
+    }
+
+    #[test]
+    fn canonicity_semantically_equal_means_identical_handle(f in formula(), g in formula()) {
+        let mut mgr = BddManager::new();
+        let bf = compile(&mut mgr, &f);
+        let bg = compile(&mut mgr, &g);
+        let same_semantics = truth_table(&mgr, bf) == truth_table(&mgr, bg);
+        prop_assert_eq!(bf == bg, same_semantics);
+    }
+
+    #[test]
+    fn boolean_ops_on_bdds_match_truth_tables(f in formula(), g in formula()) {
+        let mut mgr = BddManager::new();
+        let bf = compile(&mut mgr, &f);
+        let bg = compile(&mut mgr, &g);
+        let and = mgr.and(bf, bg);
+        let or = mgr.or(bf, bg);
+        let xor = mgr.xor(bf, bg);
+        let not_f = mgr.not(bf);
+        for bits in 0..(1u64 << N) {
+            let (x, y) = (mgr.eval(bf, bits), mgr.eval(bg, bits));
+            prop_assert_eq!(mgr.eval(and, bits), x && y);
+            prop_assert_eq!(mgr.eval(or, bits), x || y);
+            prop_assert_eq!(mgr.eval(xor, bits), x != y);
+            prop_assert_eq!(mgr.eval(not_f, bits), !x);
+        }
+    }
+
+    #[test]
+    fn counting_and_enumeration_agree(f in formula()) {
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let models = mgr.models(b, N);
+        prop_assert_eq!(mgr.count_models(b, N), models.len() as u128);
+        // Every enumerated model really satisfies; none missed.
+        let expected: Vec<u64> = (0..1u64 << N).filter(|&bits| mgr.eval(b, bits)).collect();
+        prop_assert_eq!(models, expected);
+    }
+
+    #[test]
+    fn shannon_expansion(f in formula(), v in 0..N) {
+        // f == (v ∧ f|v=1) ∨ (¬v ∧ f|v=0)
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let hi = mgr.restrict(b, v, true);
+        let lo = mgr.restrict(b, v, false);
+        let var = mgr.var(v);
+        let nvar = mgr.nvar(v);
+        let left = mgr.and(var, hi);
+        let right = mgr.and(nvar, lo);
+        let rebuilt = mgr.or(left, right);
+        prop_assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    fn quantifier_duality(f in formula(), v in 0..N) {
+        // ∃v.f == ¬∀v.¬f
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let exists = mgr.exists(b, v);
+        let nb = mgr.not(b);
+        let forall_neg = mgr.forall(nb, v);
+        let dual = mgr.not(forall_neg);
+        prop_assert_eq!(exists, dual);
+    }
+}

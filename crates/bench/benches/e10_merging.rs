@@ -1,0 +1,40 @@
+//! E10 — merging-strategy cost: runtime of each N-source merge strategy as
+//! the number of sources grows (heterogeneous-database scenario).
+
+use arbitrex_merge::scenario::heterogeneous_databases;
+use arbitrex_merge::{
+    merge_egalitarian, merge_fold_arbitration, merge_fold_revision, merge_fold_update,
+    merge_majority, merge_weighted_arbitration,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn e10(c: &mut Criterion) {
+    type Strategy = (
+        &'static str,
+        fn(&[arbitrex_merge::Source]) -> arbitrex_merge::MergeOutcome,
+    );
+    let strategies: Vec<Strategy> = vec![
+        ("egalitarian", |s| merge_egalitarian(s, None)),
+        ("majority", |s| merge_majority(s, None)),
+        ("weighted-arbitration", merge_weighted_arbitration),
+        ("fold-arbitration", merge_fold_arbitration),
+        ("fold-revision", merge_fold_revision),
+        ("fold-update", merge_fold_update),
+    ];
+    for (name, f) in strategies {
+        let mut group = c.benchmark_group(format!("e10/{name}"));
+        for n_sources in [2usize, 4, 8, 16] {
+            let sources = heterogeneous_databases(n_sources, 8, 4, 1993);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(n_sources),
+                &sources,
+                |b, sources| b.iter(|| black_box(f(sources))),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, e10);
+criterion_main!(benches);

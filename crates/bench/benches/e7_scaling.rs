@@ -1,0 +1,38 @@
+//! E7 — runtime scaling of the enumeration-backend operators with the
+//! signature width (the Section 5 open problem, measured).
+//!
+//! Series: one Criterion group per operator, one point per `n_vars`.
+
+use arbitrex_bench::random_pairs;
+use arbitrex_core::arbitration::arbitrate;
+use arbitrex_core::{ChangeOperator, DalalRevision, OdistFitting, WinslettUpdate};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_operator<F>(c: &mut Criterion, name: &str, f: F)
+where
+    F: Fn(&arbitrex_logic::ModelSet, &arbitrex_logic::ModelSet) -> arbitrex_logic::ModelSet,
+{
+    let mut group = c.benchmark_group(format!("e7/{name}"));
+    for n in [6u32, 8, 10, 12] {
+        let wl = random_pairs(n, 8, 8, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &wl, |b, wl| {
+            b.iter(|| {
+                for (psi, mu) in &wl.pairs {
+                    black_box(f(psi, mu));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn e7(c: &mut Criterion) {
+    bench_operator(c, "dalal-revision", |a, b| DalalRevision.apply(a, b));
+    bench_operator(c, "winslett-update", |a, b| WinslettUpdate.apply(a, b));
+    bench_operator(c, "odist-fitting", |a, b| OdistFitting.apply(a, b));
+    bench_operator(c, "arbitration", arbitrate);
+}
+
+criterion_group!(benches, e7);
+criterion_main!(benches);

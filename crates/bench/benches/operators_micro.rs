@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the distance aggregators and every theory-change
+//! operator on a fixed mid-size workload — the per-operation cost table
+//! behind E7's series.
+
+use arbitrex_bench::random_pairs;
+use arbitrex_core::distance::{min_dist, odist, sum_dist, wdist};
+use arbitrex_core::fitting::{LexOdistFitting, OdistFitting, SumFitting};
+use arbitrex_core::{
+    BorgidaRevision, ChangeOperator, DalalRevision, DrasticRevision, ForbusUpdate, SatohRevision,
+    WdistFitting, WeberRevision, WeightedChangeOperator, WeightedKb, WinslettUpdate,
+};
+use arbitrex_logic::Interp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn distances(c: &mut Criterion) {
+    let wl = random_pairs(10, 16, 1, 3);
+    let (psi, _) = &wl.pairs[0];
+    let wpsi = WeightedKb::from_model_set(psi);
+    let probe = Interp(0b1010101010);
+    let mut group = c.benchmark_group("micro/distance");
+    group.bench_function("min_dist", |b| b.iter(|| black_box(min_dist(psi, probe))));
+    group.bench_function("odist", |b| b.iter(|| black_box(odist(psi, probe))));
+    group.bench_function("sum_dist", |b| b.iter(|| black_box(sum_dist(psi, probe))));
+    group.bench_function("wdist", |b| b.iter(|| black_box(wdist(&wpsi, probe))));
+    group.finish();
+}
+
+fn operators(c: &mut Criterion) {
+    let wl = random_pairs(10, 12, 4, 5);
+    let ops: Vec<&dyn ChangeOperator> = vec![
+        &DalalRevision,
+        &SatohRevision,
+        &BorgidaRevision,
+        &WeberRevision,
+        &DrasticRevision,
+        &WinslettUpdate,
+        &ForbusUpdate,
+        &OdistFitting,
+        &LexOdistFitting,
+        &SumFitting,
+    ];
+    let mut group = c.benchmark_group("micro/operator");
+    for op in ops {
+        group.bench_function(op.name(), |b| {
+            b.iter(|| {
+                for (psi, mu) in &wl.pairs {
+                    black_box(op.apply(psi, mu));
+                }
+            })
+        });
+    }
+    group.bench_function("wdist-fitting", |b| {
+        let pairs: Vec<(WeightedKb, WeightedKb)> = wl
+            .pairs
+            .iter()
+            .map(|(p, m)| (WeightedKb::from_model_set(p), WeightedKb::from_model_set(m)))
+            .collect();
+        b.iter(|| {
+            for (psi, mu) in &pairs {
+                black_box(WdistFitting.apply(psi, mu));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, distances, operators);
+criterion_main!(benches);

@@ -1,0 +1,449 @@
+//! Command implementations for the `arbitrex` CLI.
+//!
+//! Separated from `main.rs` so every command is unit-testable: each
+//! command takes parsed arguments and returns the text it would print.
+
+use arbitrex_core::arbitration::arbitrate;
+use arbitrex_core::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
+use arbitrex_core::{
+    BorgidaRevision, ChangeOperator, DalalRevision, DrasticRevision, ForbusUpdate, SatohRevision,
+    WeberRevision, WinslettUpdate,
+};
+use arbitrex_logic::{parse, Formula, ModelSet, Sig};
+use arbitrex_merge::{ask, merge_egalitarian, merge_majority, merge_weighted_arbitration, Source};
+
+/// A CLI-level error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Look up a binary change operator by CLI name.
+pub fn operator_by_name(name: &str) -> Option<Box<dyn ChangeOperator>> {
+    Some(match name {
+        "dalal" | "revise" | "revision" => Box::new(DalalRevision),
+        "satoh" => Box::new(SatohRevision),
+        "borgida" => Box::new(BorgidaRevision),
+        "weber" => Box::new(WeberRevision),
+        "drastic" => Box::new(DrasticRevision),
+        "winslett" | "update" => Box::new(WinslettUpdate),
+        "forbus" => Box::new(ForbusUpdate),
+        "odist" | "fit" | "fitting" => Box::new(OdistFitting),
+        "lex-odist" | "lex" => Box::new(LexOdistFitting),
+        "gmax" => Box::new(GMaxFitting),
+        "sum" => Box::new(SumFitting),
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`operator_by_name`], for help output.
+pub const OPERATOR_NAMES: &[&str] = &[
+    "dalal",
+    "satoh",
+    "borgida",
+    "weber",
+    "drastic",
+    "winslett",
+    "forbus",
+    "odist",
+    "lex-odist",
+    "gmax",
+    "sum",
+];
+
+fn parse_both(psi: &str, mu: &str) -> Result<(Sig, Formula, Formula), CliError> {
+    let mut sig = Sig::new();
+    let psi = parse(&mut sig, psi).map_err(|e| CliError(format!("in ψ: {e}")))?;
+    let mu = parse(&mut sig, mu).map_err(|e| CliError(format!("in μ: {e}")))?;
+    if sig.is_empty() {
+        // Constant-only formulas still need one variable to enumerate over.
+        sig.var("p");
+    }
+    Ok((sig, psi, mu))
+}
+
+/// `arbitrex change <operator> "<psi>" "<mu>"` — apply a binary operator
+/// and show the result as models and as a formula.
+pub fn cmd_change(op_name: &str, psi_text: &str, mu_text: &str) -> Result<String, CliError> {
+    let op = operator_by_name(op_name).ok_or_else(|| {
+        CliError(format!(
+            "unknown operator `{op_name}` (expected one of: {})",
+            OPERATOR_NAMES.join(", ")
+        ))
+    })?;
+    let (sig, psi, mu) = parse_both(psi_text, mu_text)?;
+    let n = sig.width();
+    let psi_m = ModelSet::of_formula(&psi, n);
+    let mu_m = ModelSet::of_formula(&mu, n);
+    let result = op.apply(&psi_m, &mu_m);
+    Ok(format!(
+        "operator: {}\nψ models: {}\nμ models: {}\nresult:   {}\nformula:  {}\n",
+        op.name(),
+        psi_m.display(&sig),
+        mu_m.display(&sig),
+        result.display(&sig),
+        arbitrex_logic::minimal_dnf(&result).display(&sig),
+    ))
+}
+
+/// `arbitrex arbitrate "<psi>" "<phi>"` — the symmetric consensus.
+pub fn cmd_arbitrate(psi_text: &str, phi_text: &str) -> Result<String, CliError> {
+    let (sig, psi, phi) = parse_both(psi_text, phi_text)?;
+    let n = sig.width();
+    let psi_m = ModelSet::of_formula(&psi, n);
+    let phi_m = ModelSet::of_formula(&phi, n);
+    let result = arbitrate(&psi_m, &phi_m);
+    Ok(format!(
+        "ψ Δ φ models: {}\nformula:      {}\n",
+        result.display(&sig),
+        arbitrex_logic::minimal_dnf(&result).display(&sig),
+    ))
+}
+
+/// `arbitrex models "<formula>"` — enumerate and count models.
+pub fn cmd_models(text: &str) -> Result<String, CliError> {
+    let mut sig = Sig::new();
+    let f = parse(&mut sig, text).map_err(|e| CliError(e.to_string()))?;
+    if sig.is_empty() {
+        sig.var("p");
+    }
+    let n = sig.width();
+    let models = ModelSet::of_formula(&f, n);
+    Ok(format!(
+        "{} model(s) over {} variable(s): {}\n",
+        models.len(),
+        n,
+        models.display(&sig)
+    ))
+}
+
+/// Parse a `formula[:weight]` voice specification.
+pub fn parse_voice(spec: &str) -> Result<(String, u64), CliError> {
+    match spec.rsplit_once(':') {
+        Some((f, w)) => match w.parse::<u64>() {
+            Ok(weight) if weight >= 1 => Ok((f.to_string(), weight)),
+            _ => err(format!(
+                "invalid weight in voice `{spec}` (need a positive integer)"
+            )),
+        },
+        None => Ok((spec.to_string(), 1)),
+    }
+}
+
+/// `arbitrex merge [--strategy s] [--query q] voice...` where each voice
+/// is `formula[:weight]`.
+pub fn cmd_merge(
+    strategy: &str,
+    query: Option<&str>,
+    voices: &[String],
+) -> Result<String, CliError> {
+    if voices.is_empty() {
+        return err("merge needs at least one voice (`formula[:weight]`)");
+    }
+    let mut sig = Sig::new();
+    let parsed: Vec<(Formula, u64, String)> = voices
+        .iter()
+        .map(|spec| {
+            let (text, weight) = parse_voice(spec)?;
+            let f =
+                parse(&mut sig, &text).map_err(|e| CliError(format!("in voice `{spec}`: {e}")))?;
+            Ok((f, weight, text))
+        })
+        .collect::<Result<_, CliError>>()?;
+    let query_f = query
+        .map(|q| parse(&mut sig, q).map_err(|e| CliError(format!("in query: {e}"))))
+        .transpose()?;
+    if sig.is_empty() {
+        sig.var("p");
+    }
+    let n = sig.width();
+    let sources: Vec<Source> = parsed
+        .iter()
+        .enumerate()
+        .map(|(k, (f, w, text))| {
+            let models = ModelSet::of_formula(f, n);
+            if models.is_empty() {
+                return err(format!("voice `{text}` is unsatisfiable"));
+            }
+            Ok(Source::weighted(format!("voice{k}"), models, *w))
+        })
+        .collect::<Result<_, CliError>>()?;
+    let outcome = match strategy {
+        "egalitarian" | "max" => merge_egalitarian(&sources, None),
+        "majority" | "sum" => merge_majority(&sources, None),
+        "weighted" | "arbitration" => merge_weighted_arbitration(&sources),
+        other => {
+            return err(format!(
+                "unknown strategy `{other}` (expected egalitarian, majority, or weighted)"
+            ))
+        }
+    };
+    let mut out = format!(
+        "strategy: {}\nconsensus: {}\n",
+        outcome.strategy,
+        outcome.consensus.display(&sig)
+    );
+    if let Some(q) = query_f {
+        let answer = ask(&outcome.consensus, &q);
+        out.push_str(&format!("query {}: {:?}\n", q.display(&sig), answer));
+    }
+    Ok(out)
+}
+
+/// `arbitrex audit [operator...]` — the postulate satisfaction matrix,
+/// exhaustive over the 2-variable universe.
+pub fn cmd_audit(names: &[String]) -> Result<String, CliError> {
+    use arbitrex_core::postulates::harness::satisfaction_matrix;
+    use arbitrex_core::postulates::PostulateId;
+    let selected: Vec<Box<dyn ChangeOperator>> = if names.is_empty() {
+        OPERATOR_NAMES
+            .iter()
+            .map(|n| operator_by_name(n).expect("published names resolve"))
+            .collect()
+    } else {
+        names
+            .iter()
+            .map(|n| operator_by_name(n).ok_or_else(|| CliError(format!("unknown operator `{n}`"))))
+            .collect::<Result<_, _>>()?
+    };
+    let refs: Vec<&dyn ChangeOperator> = selected.iter().map(|b| b.as_ref()).collect();
+    let ids = PostulateId::all();
+    let rows = satisfaction_matrix(&refs, &ids);
+    let mut table = arbitrex_merge::Table::new(
+        std::iter::once("operator".to_string()).chain(ids.iter().map(|p| p.name().to_string())),
+    );
+    for row in &rows {
+        table.row(
+            std::iter::once(row.operator.clone())
+                .chain(ids.iter().map(|&id| match row.passed(id) {
+                    Some(true) => "+".to_string(),
+                    _ => "-".to_string(),
+                }))
+                .collect::<Vec<_>>(),
+        );
+    }
+    Ok(table.render())
+}
+
+/// `arbitrex iterate <operator> "<psi>" "<mu>"` — iterate `ψ ← op(ψ, μ)`
+/// and report the trajectory and its period.
+pub fn cmd_iterate(op_name: &str, psi_text: &str, mu_text: &str) -> Result<String, CliError> {
+    use arbitrex_core::iterated::iterate_fixed_input;
+    let op = operator_by_name(op_name)
+        .ok_or_else(|| CliError(format!("unknown operator `{op_name}`")))?;
+    let (sig, psi, mu) = parse_both(psi_text, mu_text)?;
+    let n = sig.width();
+    let psi_m = ModelSet::of_formula(&psi, n);
+    let mu_m = ModelSet::of_formula(&mu, n);
+    let out = iterate_fixed_input(op.as_ref(), &psi_m, &mu_m, 64);
+    let mut text = String::new();
+    for (step, state) in out.trajectory.iter().enumerate() {
+        text.push_str(&format!("step {step}: {}\n", state.display(&sig)));
+    }
+    match out.period() {
+        Some(1) => text.push_str("reached a fixpoint\n"),
+        Some(p) => text.push_str(&format!("entered a cycle of period {p}\n")),
+        None => text.push_str("no cycle within 64 steps (unexpected on a finite universe)\n"),
+    }
+    Ok(text)
+}
+
+/// Top-level help text.
+pub fn help() -> String {
+    format!(
+        "arbitrex — theory change by arbitration (Revesz, PODS 1993)\n\
+         \n\
+         usage:\n\
+         \x20 arbitrex change <operator> \"<psi>\" \"<mu>\"   apply a change operator\n\
+         \x20 arbitrex arbitrate \"<psi>\" \"<phi>\"          symmetric consensus ψ Δ φ\n\
+         \x20 arbitrex models \"<formula>\"                 enumerate models\n\
+         \x20 arbitrex merge [--strategy s] [--query q] <voice>...\n\
+         \x20\x20\x20\x20 merge voices (`formula[:weight]`); strategies: egalitarian,\n\
+         \x20\x20\x20\x20 majority, weighted\n\
+         \x20 arbitrex audit [operator...]                postulate matrix (R/U/A)\n\
+         \x20 arbitrex iterate <operator> \"<psi>\" \"<mu>\"  long-run dynamics\n\
+         \n\
+         operators: {}\n\
+         formulas:  atoms, ! & | ^ -> <->, true/false, parentheses\n",
+        OPERATOR_NAMES.join(", ")
+    )
+}
+
+/// Dispatch a full argument vector (without the program name).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(help()),
+        Some("change") => match args {
+            [_, op, psi, mu] => cmd_change(op, psi, mu),
+            _ => err("usage: arbitrex change <operator> \"<psi>\" \"<mu>\""),
+        },
+        Some("arbitrate") => match args {
+            [_, psi, phi] => cmd_arbitrate(psi, phi),
+            _ => err("usage: arbitrex arbitrate \"<psi>\" \"<phi>\""),
+        },
+        Some("models") => match args {
+            [_, f] => cmd_models(f),
+            _ => err("usage: arbitrex models \"<formula>\""),
+        },
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("iterate") => match args {
+            [_, op, psi, mu] => cmd_iterate(op, psi, mu),
+            _ => err("usage: arbitrex iterate <operator> \"<psi>\" \"<mu>\""),
+        },
+        Some("merge") => {
+            let mut strategy = "weighted".to_string();
+            let mut query: Option<String> = None;
+            let mut voices: Vec<String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--strategy" => {
+                        strategy = it
+                            .next()
+                            .ok_or(CliError("--strategy needs a value".into()))?
+                            .clone()
+                    }
+                    "--query" => {
+                        query = Some(
+                            it.next()
+                                .ok_or(CliError("--query needs a value".into()))?
+                                .clone(),
+                        )
+                    }
+                    other => voices.push(other.to_string()),
+                }
+            }
+            cmd_merge(&strategy, query.as_deref(), &voices)
+        }
+        Some(other) => err(format!("unknown command `{other}` — try `arbitrex help`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn change_command_runs_example_31() {
+        let out = cmd_change(
+            "odist",
+            "(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)",
+            "(!S & D & !Q) | (S & D & !Q)",
+        )
+        .unwrap();
+        assert!(out.contains("{{S, D}}"), "{out}");
+    }
+
+    #[test]
+    fn change_rejects_unknown_operator() {
+        let e = cmd_change("nonsense", "A", "B").unwrap_err();
+        assert!(e.0.contains("unknown operator"));
+    }
+
+    #[test]
+    fn all_published_operator_names_resolve() {
+        for name in OPERATOR_NAMES {
+            assert!(operator_by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn arbitrate_command_is_symmetric() {
+        let a = cmd_arbitrate("A & B", "!A & !B").unwrap();
+        let b = cmd_arbitrate("!A & !B", "A & B").unwrap();
+        // Same consensus line (models are canonical).
+        let line = |s: &str| s.lines().next().unwrap().to_string();
+        assert_eq!(line(&a), line(&b));
+    }
+
+    #[test]
+    fn models_command_counts() {
+        let out = cmd_models("A | B").unwrap();
+        assert!(out.starts_with("3 model(s) over 2 variable(s)"));
+        let out = cmd_models("A & !A").unwrap();
+        assert!(out.starts_with("0 model(s)"));
+    }
+
+    #[test]
+    fn voice_parsing() {
+        assert_eq!(parse_voice("A & B").unwrap(), ("A & B".to_string(), 1));
+        assert_eq!(parse_voice("A:9").unwrap(), ("A".to_string(), 9));
+        assert!(parse_voice("A:0").is_err());
+        assert!(parse_voice("A:x").is_err());
+    }
+
+    #[test]
+    fn merge_command_jury() {
+        let out = cmd_merge("weighted", Some("A & !B"), &sv(&["A & !B:9", "!A & B:2"])).unwrap();
+        assert!(out.contains("consensus: {{A}}"), "{out}");
+        assert!(out.contains("Entailed"), "{out}");
+    }
+
+    #[test]
+    fn merge_rejects_unsatisfiable_voice_and_bad_strategy() {
+        assert!(cmd_merge("weighted", None, &sv(&["A & !A"])).is_err());
+        assert!(cmd_merge("nope", None, &sv(&["A"])).is_err());
+        assert!(cmd_merge("weighted", None, &[]).is_err());
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_usage() {
+        assert!(run(&sv(&["help"])).unwrap().contains("usage"));
+        assert!(run(&[]).unwrap().contains("usage"));
+        assert!(run(&sv(&["change", "dalal"])).is_err());
+        assert!(run(&sv(&["frobnicate"])).is_err());
+        let out = run(&sv(&["change", "dalal", "A & B", "!A | !B"])).unwrap();
+        assert!(out.contains("dalal-revision"));
+    }
+
+    #[test]
+    fn audit_command_renders_matrix() {
+        let out = cmd_audit(&sv(&["dalal", "winslett", "lex-odist"])).unwrap();
+        assert!(out.contains("dalal-revision"));
+        assert!(out.contains("A8"));
+        // lex-odist passes A8; dalal does not.
+        let lex_row = out.lines().find(|l| l.contains("lex-odist")).unwrap();
+        assert!(lex_row.trim_end().ends_with('+'));
+        let dalal_row = out.lines().find(|l| l.contains("dalal")).unwrap();
+        assert!(dalal_row.trim_end().ends_with('-'));
+        assert!(cmd_audit(&sv(&["nope"])).is_err());
+    }
+
+    #[test]
+    fn iterate_command_reports_period() {
+        // The documented oscillation.
+        let out = cmd_iterate("odist", "(A & !B) | (!A & B)", "A | !A").unwrap();
+        assert!(out.contains("period 2"), "{out}");
+        let out = cmd_iterate("dalal", "A & B", "!A").unwrap();
+        assert!(out.contains("fixpoint"), "{out}");
+    }
+
+    #[test]
+    fn run_merge_with_flags() {
+        let out = run(&sv(&[
+            "merge",
+            "--strategy",
+            "majority",
+            "--query",
+            "A",
+            "A:9",
+            "!A:2",
+        ]))
+        .unwrap();
+        assert!(out.contains("strategy: majority"));
+    }
+}

@@ -1,0 +1,14 @@
+//! The `arbitrex` command-line tool. All logic lives in the library
+//! (`arbitrex_cli`) so it can be unit-tested; this binary only handles
+//! process concerns.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match arbitrex_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Arbitration `ψ Δ φ` — the paper's headline operator.
+//!
+//! Arbitration is the special case of model-fitting where the candidate
+//! pool is *unconstrained*: `ψ Δ φ = (ψ ∨ φ) ▷ ⊤`, i.e. fit the best
+//! interpretations of the whole universe `𝓜` to the combined voices of
+//! the old and the new information (Corollary 3.1). Because `∨` is
+//! commutative, arbitration is commutative — the defining symmetry that
+//! revision and update lack.
+
+use crate::fitting::OdistFitting;
+use crate::operator::ChangeOperator;
+use crate::weighted::WeightedKb;
+use crate::wfitting::{WdistFitting, WeightedChangeOperator};
+use arbitrex_logic::ModelSet;
+
+/// Arbitration built from a model-fitting operator:
+/// `ψ Δ φ = (ψ ∨ φ) ▷ 𝓜`.
+///
+/// The default instance uses the paper's [`OdistFitting`].
+///
+/// ```
+/// use arbitrex_core::{Arbitration, ChangeOperator};
+/// use arbitrex_logic::{Interp, ModelSet};
+/// let psi = ModelSet::new(2, [Interp(0b00)]);
+/// let phi = ModelSet::new(2, [Interp(0b11)]);
+/// let both_ways = (
+///     Arbitration::default().apply(&psi, &phi),
+///     Arbitration::default().apply(&phi, &psi),
+/// );
+/// assert_eq!(both_ways.0, both_ways.1); // commutative
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Arbitration<F = OdistFitting> {
+    fitting: F,
+}
+
+impl Default for Arbitration<OdistFitting> {
+    fn default() -> Self {
+        Arbitration {
+            fitting: OdistFitting,
+        }
+    }
+}
+
+impl<F: ChangeOperator> Arbitration<F> {
+    /// Arbitration via the given fitting operator.
+    pub fn new(fitting: F) -> Self {
+        Arbitration { fitting }
+    }
+
+    /// The underlying fitting operator.
+    pub fn fitting(&self) -> &F {
+        &self.fitting
+    }
+}
+
+impl<F: ChangeOperator> ChangeOperator for Arbitration<F> {
+    fn name(&self) -> &'static str {
+        "arbitration"
+    }
+
+    fn apply(&self, psi: &ModelSet, phi: &ModelSet) -> ModelSet {
+        let n = psi.n_vars();
+        self.fitting.apply(&psi.union(phi), &ModelSet::all(n))
+    }
+}
+
+/// Convenience: arbitrate with the paper's odist-based fitting.
+pub fn arbitrate(psi: &ModelSet, phi: &ModelSet) -> ModelSet {
+    Arbitration::default().apply(psi, phi)
+}
+
+/// A folk alternative for comparison: symmetrized revision
+/// `ψ ▽ φ = (ψ ∘ φ) ∨ (φ ∘ ψ)` — "each side concedes to the other, keep
+/// both compromises".
+///
+/// Commutative by construction, so it shares arbitration's headline
+/// symmetry — but it is **not** a model-fitting operator: its results live
+/// inside `Mod(ψ) ∪ Mod(φ)` (each revision satisfies (R1)), so it can
+/// never propose a genuinely new compromise interpretation the way
+/// `Δ` does (e.g. the midpoints between two far-apart camps), and the
+/// postulate harness exhibits (A8)/(A5) failures. Included as a baseline
+/// for the experiments: symmetry alone does not make an arbitration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SymmetricRevision<R = crate::revision::DalalRevision> {
+    revision: R,
+}
+
+impl<R: ChangeOperator> SymmetricRevision<R> {
+    /// Symmetrize the given revision operator.
+    pub fn new(revision: R) -> Self {
+        SymmetricRevision { revision }
+    }
+}
+
+impl<R: ChangeOperator> ChangeOperator for SymmetricRevision<R> {
+    fn name(&self) -> &'static str {
+        "symmetric-revision"
+    }
+
+    fn apply(&self, psi: &ModelSet, phi: &ModelSet) -> ModelSet {
+        self.revision
+            .apply(psi, phi)
+            .union(&self.revision.apply(phi, psi))
+    }
+}
+
+/// Weighted arbitration (Section 4): `ψ̃ Δ φ̃ = (ψ̃ ⊔ φ̃) ▷ 𝓜̃` where `𝓜̃`
+/// has weight 1 everywhere. Weighted disjunction *adds* weights, so
+/// repeated voices genuinely count double — the majority semantics of
+/// Example 4.1.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedArbitration<F = WdistFitting> {
+    fitting: F,
+}
+
+impl Default for WeightedArbitration<WdistFitting> {
+    fn default() -> Self {
+        WeightedArbitration {
+            fitting: WdistFitting,
+        }
+    }
+}
+
+impl<F: WeightedChangeOperator> WeightedArbitration<F> {
+    /// Weighted arbitration via the given weighted fitting operator.
+    pub fn new(fitting: F) -> Self {
+        WeightedArbitration { fitting }
+    }
+}
+
+impl<F: WeightedChangeOperator> WeightedChangeOperator for WeightedArbitration<F> {
+    fn name(&self) -> &'static str {
+        "weighted-arbitration"
+    }
+
+    fn apply(&self, psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
+        let n = psi.n_vars();
+        self.fitting.apply(&psi.join(phi), &WeightedKb::all(n))
+    }
+}
+
+/// Convenience: weighted arbitration with the paper's wdist-based fitting.
+pub fn warbitrate(psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
+    WeightedArbitration::default().apply(psi, phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::Interp;
+
+    fn i(bits: u64) -> Interp {
+        Interp(bits)
+    }
+
+    fn ms(n: u32, bits: &[u64]) -> ModelSet {
+        ModelSet::new(n, bits.iter().map(|&b| Interp(b)))
+    }
+
+    #[test]
+    fn arbitration_is_commutative_exhaustive_n2() {
+        let arb = Arbitration::default();
+        for pmask in 0u32..16 {
+            for qmask in 0u32..16 {
+                let psi = ModelSet::new(2, (0..4u64).filter(|b| pmask >> b & 1 == 1).map(Interp));
+                let phi = ModelSet::new(2, (0..4u64).filter(|b| qmask >> b & 1 == 1).map(Interp));
+                assert_eq!(arb.apply(&psi, &phi), arb.apply(&phi, &psi));
+            }
+        }
+    }
+
+    #[test]
+    fn arbitration_between_opposite_corners_meets_in_the_middle() {
+        // ψ = {∅}, φ = {{a,b}}: the consensus minimizes the max distance,
+        // which the two middle points achieve (max 1 each).
+        let psi = ms(2, &[0b00]);
+        let phi = ms(2, &[0b11]);
+        let got = arbitrate(&psi, &phi);
+        assert_eq!(got, ms(2, &[0b01, 0b10]));
+    }
+
+    #[test]
+    fn arbitration_of_agreeing_theories_is_their_models() {
+        let psi = ms(2, &[0b01]);
+        let got = arbitrate(&psi, &psi);
+        assert_eq!(got, psi);
+    }
+
+    #[test]
+    fn jury_scenario_unweighted_treats_voices_equally() {
+        // Nine witnesses say "A started it" ({A}), two say "B" ({B}).
+        // Unweighted arbitration cannot see the 9-vs-2 majority: the voices
+        // deduplicate to {A} vs {B} and the consensus is symmetric.
+        let nine = ms(2, &[0b01]);
+        let two = ms(2, &[0b10]);
+        let got = arbitrate(&nine, &two);
+        // Candidates: odist over {A},{B}: ∅->1? dist(00,01)=1, dist(00,10)=1
+        // -> max 1; {A}-> max(0,2)=2; {B}->2; {A,B}->max(1,1)=1.
+        assert_eq!(got, ms(2, &[0b00, 0b11]));
+    }
+
+    #[test]
+    fn jury_scenario_weighted_respects_the_majority() {
+        // Same jury with weights 9 and 2: the majority verdict {A} wins.
+        let nine = WeightedKb::from_weights(2, [(i(0b01), 9)]);
+        let two = WeightedKb::from_weights(2, [(i(0b10), 2)]);
+        let got = warbitrate(&nine, &two);
+        // wdist to candidates: {A}: 0*9+2*2=4; {B}: 2*9+0*2=18;
+        // ∅: 9+2=11; {A,B}: 9+2=11.
+        assert_eq!(got.support_size(), 1);
+        assert_eq!(got.weight(i(0b01)), 1);
+    }
+
+    #[test]
+    fn weighted_arbitration_is_commutative() {
+        let a = WeightedKb::from_weights(2, [(i(0b00), 3), (i(0b01), 1)]);
+        let b = WeightedKb::from_weights(2, [(i(0b11), 5)]);
+        assert_eq!(warbitrate(&a, &b), warbitrate(&b, &a));
+    }
+
+    #[test]
+    fn arbitration_with_unsatisfiable_voice() {
+        // ψ ∨ ⊥ = ψ, so arbitrating with ⊥ fits to ψ alone.
+        let psi = ms(2, &[0b01]);
+        let got = arbitrate(&psi, &ModelSet::empty(2));
+        assert_eq!(got, psi);
+        // Both unsatisfiable: (A2) applies — empty result.
+        assert!(arbitrate(&ModelSet::empty(2), &ModelSet::empty(2)).is_empty());
+    }
+
+    #[test]
+    fn symmetric_revision_is_commutative_but_not_fitting() {
+        let sym = SymmetricRevision::<crate::revision::DalalRevision>::default();
+        // Commutative on the whole 2-variable universe.
+        for pmask in 0u32..16 {
+            for qmask in 0u32..16 {
+                let psi = ModelSet::new(2, (0..4u64).filter(|b| pmask >> b & 1 == 1).map(Interp));
+                let phi = ModelSet::new(2, (0..4u64).filter(|b| qmask >> b & 1 == 1).map(Interp));
+                assert_eq!(sym.apply(&psi, &phi), sym.apply(&phi, &psi));
+            }
+        }
+        // But it cannot create compromise interpretations: two far corners
+        // over 4 vars yield only the corners themselves, never midpoints.
+        let psi = ms(4, &[0b0000]);
+        let phi = ms(4, &[0b1111]);
+        let sym_result = sym.apply(&psi, &phi);
+        assert_eq!(sym_result, ms(4, &[0b0000, 0b1111]));
+        let delta = arbitrate(&psi, &phi);
+        assert!(
+            delta.iter().all(|i| i.count_true() == 2),
+            "Δ finds midpoints"
+        );
+        // And the A-axioms reject it.
+        use crate::postulates::harness::check_exhaustive;
+        use crate::postulates::PostulateId;
+        assert!(
+            check_exhaustive(&sym, &[PostulateId::A5], 2).is_err()
+                || check_exhaustive(&sym, &[PostulateId::A8], 2).is_err()
+        );
+    }
+
+    #[test]
+    fn custom_fitting_changes_the_consensus() {
+        use crate::fitting::SumFitting;
+        // Majority 2-vs-1 between ∅-ish voices and a far corner.
+        let psi = ms(4, &[0b0000, 0b1000]);
+        let phi = ms(4, &[0b1111]);
+        let egalitarian = Arbitration::default().apply(&psi, &phi);
+        let majority = Arbitration::new(SumFitting).apply(&psi, &phi);
+        assert_ne!(egalitarian, majority);
+    }
+}

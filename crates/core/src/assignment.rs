@@ -1,0 +1,360 @@
+//! Loyal assignments (Definition preceding Theorem 3.1) and their
+//! mechanical verification.
+//!
+//! A loyal assignment maps each knowledge base `ψ` to a pre-order `≤_ψ`
+//! over interpretations such that:
+//!
+//! 1. equivalent knowledge bases get the same pre-order (syntax
+//!    irrelevance — automatic here, since assignments take [`ModelSet`]s);
+//! 2. `I <_{ψ₁} J` and `I ≤_{ψ₂} J` imply `I <_{ψ₁∨ψ₂} J`;
+//! 3. `I ≤_{ψ₁} J` and `I ≤_{ψ₂} J` imply `I ≤_{ψ₁∨ψ₂} J`.
+//!
+//! Theorem 3.1 says the operators induced by total loyal assignments are
+//! exactly the model-fitting operators. [`check_loyalty`] verifies
+//! conditions (2)–(3) plus totality for a candidate assignment over a small
+//! universe, and is used in tests and experiment E4 to validate both
+//! directions of the theorem.
+
+use crate::preorder::{is_total_preorder, RankOrder};
+use arbitrex_logic::{Interp, ModelSet};
+
+/// An assignment of a closeness pre-order to every knowledge base, in
+/// ranked form: smaller rank = closer to `ψ`.
+pub trait RankedAssignment {
+    /// The rank key type.
+    type Key: Ord;
+
+    /// `rank(ψ, I)`: how far `I` is from the knowledge base `ψ`.
+    ///
+    /// Only called with satisfiable `ψ` (the operators special-case `⊥`
+    /// per axiom (A2)).
+    fn rank(&self, psi: &ModelSet, i: Interp) -> Self::Key;
+}
+
+/// The assignment the paper *claims* is loyal: rank by
+/// [`odist`](crate::distance::odist).
+///
+/// **Reproduction finding**: this assignment is *not* loyal under the
+/// paper's condition (2) as stated. Witness (1 variable): `ψ₁ = {∅}`,
+/// `ψ₂ = {∅, {a}}`, `I = ∅`, `J = {a}` — `I <_{ψ₁} J` (0 < 1) and
+/// `I ≤_{ψ₂} J` (1 ≤ 1), but `ψ₁ ∨ ψ₂ = ψ₂` still ties `I` and `J`, so
+/// `I <_{ψ₁∨ψ₂} J` fails. Consequently the odist operator violates (A8)
+/// (see [`crate::fitting::OdistFitting`]); [`LexOdistAssignment`] is a
+/// repaired, genuinely loyal variant, and the weighted semantics of
+/// Section 4 (where `∨` sums weights instead of set-unioning models)
+/// repairs it without tie-breaking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OdistAssignment;
+
+impl RankedAssignment for OdistAssignment {
+    type Key = u32;
+
+    fn rank(&self, psi: &ModelSet, i: Interp) -> u32 {
+        crate::distance::odist(psi, i).expect("rank is only defined for satisfiable psi")
+    }
+}
+
+/// A repaired loyal assignment: rank lexicographically by
+/// `(odist(ψ, I), I)` with the interpretation's bitmask as a fixed global
+/// tie-break.
+///
+/// Loyalty argument: the tie-break makes every `≤_ψ` a linear order, and
+/// for distinct `I ≠ J` a weak comparison is strict; condition (2) then
+/// reduces to "strict in both ⇒ strict in the union", which max-aggregation
+/// does satisfy (`max` of two pointwise-dominated pairs is dominated).
+/// Verified mechanically by [`check_loyalty`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LexOdistAssignment;
+
+impl RankedAssignment for LexOdistAssignment {
+    type Key = (u32, u64);
+
+    fn rank(&self, psi: &ModelSet, i: Interp) -> (u32, u64) {
+        (
+            crate::distance::odist(psi, i).expect("rank is only defined for satisfiable psi"),
+            i.0,
+        )
+    }
+}
+
+/// Sum-aggregated assignment, which is **not** loyal over set-union
+/// disjunction (see [`crate::fitting::SumFitting`]); included so the
+/// checker has a genuine negative instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumAssignment;
+
+impl RankedAssignment for SumAssignment {
+    type Key = u64;
+
+    fn rank(&self, psi: &ModelSet, i: Interp) -> u64 {
+        crate::distance::sum_dist(psi, i).expect("rank is only defined for satisfiable psi")
+    }
+}
+
+/// A violation of loyalty or totality found by [`check_loyalty`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoyaltyViolation {
+    /// `≤_ψ` is not a total pre-order for this `ψ`.
+    NotTotalPreorder {
+        /// The offending knowledge base.
+        psi: ModelSet,
+    },
+    /// Condition (2) failed: `I <_{ψ₁} J`, `I ≤_{ψ₂} J`, but not
+    /// `I <_{ψ₁∨ψ₂} J`.
+    StrictCondition {
+        /// First knowledge base.
+        psi1: ModelSet,
+        /// Second knowledge base.
+        psi2: ModelSet,
+        /// Witness interpretation `I`.
+        i: Interp,
+        /// Witness interpretation `J`.
+        j: Interp,
+    },
+    /// Condition (3) failed: `I ≤_{ψ₁} J`, `I ≤_{ψ₂} J`, but not
+    /// `I ≤_{ψ₁∨ψ₂} J`.
+    WeakCondition {
+        /// First knowledge base.
+        psi1: ModelSet,
+        /// Second knowledge base.
+        psi2: ModelSet,
+        /// Witness interpretation `I`.
+        i: Interp,
+        /// Witness interpretation `J`.
+        j: Interp,
+    },
+}
+
+/// Exhaustively verify loyalty of a ranked assignment over every pair of
+/// non-empty knowledge bases on an `n_vars`-variable universe.
+///
+/// Exponential in `2^n_vars` — intended for `n_vars ≤ 3` (256 KB pairs at
+/// n=2, 65k at n=3 — both fine) in tests and experiments.
+pub fn check_loyalty<A: RankedAssignment>(
+    assignment: &A,
+    n_vars: u32,
+) -> Result<(), LoyaltyViolation> {
+    let universe = ModelSet::all(n_vars);
+    let n_subsets: u64 = 1 << universe.len();
+    let subset = |mask: u64| -> ModelSet {
+        ModelSet::new(
+            n_vars,
+            universe
+                .iter()
+                .enumerate()
+                .filter_map(|(k, i)| (mask >> k & 1 == 1).then_some(i)),
+        )
+    };
+    // Totality of each pre-order.
+    for mask in 1..n_subsets {
+        let psi = subset(mask);
+        let order = RankOrder::new(|x| assignment.rank(&psi, x));
+        if !is_total_preorder(&universe, &order) {
+            return Err(LoyaltyViolation::NotTotalPreorder { psi });
+        }
+    }
+    // Conditions (2) and (3) over all pairs.
+    for mask1 in 1..n_subsets {
+        let psi1 = subset(mask1);
+        for mask2 in 1..n_subsets {
+            let psi2 = subset(mask2);
+            let both = psi1.union(&psi2);
+            for i in universe.iter() {
+                for j in universe.iter() {
+                    let r1i = assignment.rank(&psi1, i);
+                    let r1j = assignment.rank(&psi1, j);
+                    let r2i = assignment.rank(&psi2, i);
+                    let r2j = assignment.rank(&psi2, j);
+                    let rbi = assignment.rank(&both, i);
+                    let rbj = assignment.rank(&both, j);
+                    if r1i < r1j && r2i <= r2j && (rbi >= rbj) {
+                        return Err(LoyaltyViolation::StrictCondition {
+                            psi1: psi1.clone(),
+                            psi2,
+                            i,
+                            j,
+                        });
+                    }
+                    if r1i <= r1j && r2i <= r2j && (rbi > rbj) {
+                        return Err(LoyaltyViolation::WeakCondition {
+                            psi1: psi1.clone(),
+                            psi2,
+                            i,
+                            j,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A violation found by [`check_faithfulness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaithfulnessViolation {
+    /// Two models of `ψ` compare strictly.
+    ModelsNotTied {
+        /// The knowledge base.
+        psi: ModelSet,
+        /// First model.
+        i: Interp,
+        /// Second model.
+        j: Interp,
+    },
+    /// A model of `ψ` is not strictly below a non-model.
+    ModelNotStrictlyBelow {
+        /// The knowledge base.
+        psi: ModelSet,
+        /// The model of `ψ`.
+        i: Interp,
+        /// The non-model.
+        j: Interp,
+    },
+}
+
+/// Verify the Katsuno–Mendelzon *faithfulness* conditions for a ranked
+/// assignment over every non-empty knowledge base on an `n_vars`-variable
+/// universe: (1) models of `ψ` are mutually tied, and (2) every model of
+/// `ψ` is strictly closer than every non-model. (Condition (3), syntax
+/// irrelevance, holds by construction.)
+///
+/// Faithfulness is the revision counterpart of the paper's loyalty: by
+/// \[KM91\], faithful assignments induce exactly the AGM revision operators
+/// via `Mod(ψ ∘ μ) = Min(Mod(μ), ≤_ψ)`. Dalal's `min_dist` rank is
+/// faithful; the paper's `odist` rank is *not* (models of `ψ` can tie
+/// with non-models) — the same structural reason why revision and
+/// model-fitting are disjoint (Theorem 3.2).
+pub fn check_faithfulness<A: RankedAssignment>(
+    assignment: &A,
+    n_vars: u32,
+) -> Result<(), FaithfulnessViolation> {
+    let universe = ModelSet::all(n_vars);
+    let n_subsets: u64 = 1 << universe.len();
+    for mask in 1..n_subsets {
+        let psi = ModelSet::new(
+            n_vars,
+            universe
+                .iter()
+                .enumerate()
+                .filter_map(|(k, i)| (mask >> k & 1 == 1).then_some(i)),
+        );
+        for i in universe.iter() {
+            for j in universe.iter() {
+                let ri = assignment.rank(&psi, i);
+                let rj = assignment.rank(&psi, j);
+                match (psi.contains(i), psi.contains(j)) {
+                    (true, true) if ri != rj => {
+                        return Err(FaithfulnessViolation::ModelsNotTied { psi, i, j });
+                    }
+                    (true, false) if ri >= rj => {
+                        return Err(FaithfulnessViolation::ModelNotStrictlyBelow { psi, i, j });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odist_assignment_is_not_loyal_the_paper_erratum() {
+        // The "clearly this is a loyal assignment" claim of Section 3 fails
+        // mechanically: condition (2) breaks when Mod(ψ₂) ⊇ Mod(ψ₁).
+        let err = check_loyalty(&OdistAssignment, 1).unwrap_err();
+        assert!(matches!(err, LoyaltyViolation::StrictCondition { .. }));
+    }
+
+    #[test]
+    fn lex_odist_assignment_is_loyal_on_two_vars() {
+        assert_eq!(check_loyalty(&LexOdistAssignment, 2), Ok(()));
+    }
+
+    #[test]
+    fn lex_odist_assignment_is_loyal_on_three_vars() {
+        assert_eq!(check_loyalty(&LexOdistAssignment, 3), Ok(()));
+    }
+
+    #[test]
+    fn sum_assignment_violates_loyalty() {
+        // Overlapping disjuncts dedupe under set union, breaking the sum.
+        let err = check_loyalty(&SumAssignment, 2).unwrap_err();
+        match err {
+            LoyaltyViolation::StrictCondition { .. } | LoyaltyViolation::WeakCondition { .. } => {}
+            other => panic!("expected a condition violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_dist_assignment_is_not_loyal() {
+        // Dalal's *faithful* assignment (used for revision) fails the
+        // loyalty conditions — consistent with Theorem 3.2's disjointness
+        // of revision and model-fitting. Witness at n = 3:
+        // ψ₁ = {100}, ψ₂ = {001}, I = 000, J = 011:
+        // min-dist gives I <_{ψ₁} J (1 < 3) and I ≤_{ψ₂} J (1 ≤ 1), but
+        // over ψ₁ ∨ ψ₂ both I and J sit at distance 1 — condition (2) fails.
+        struct MinAssignment;
+        impl RankedAssignment for MinAssignment {
+            type Key = u32;
+            fn rank(&self, psi: &ModelSet, i: Interp) -> u32 {
+                crate::distance::min_dist(psi, i).unwrap()
+            }
+        }
+        assert!(check_loyalty(&MinAssignment, 3).is_err());
+    }
+
+    /// Dalal's rank, for the faithfulness tests.
+    struct MinAssignment;
+    impl RankedAssignment for MinAssignment {
+        type Key = u32;
+        fn rank(&self, psi: &ModelSet, i: Interp) -> u32 {
+            crate::distance::min_dist(psi, i).unwrap()
+        }
+    }
+
+    #[test]
+    fn dalal_rank_is_faithful() {
+        assert_eq!(check_faithfulness(&MinAssignment, 2), Ok(()));
+        assert_eq!(check_faithfulness(&MinAssignment, 3), Ok(()));
+    }
+
+    #[test]
+    fn odist_rank_is_not_faithful() {
+        // Two models of ψ at different odist from each other break
+        // condition (1): e.g. ψ = {∅, {a,b}} ranks its own models at 2
+        // but the midpoints at 1 — a model is not even minimal.
+        let err = check_faithfulness(&OdistAssignment, 2).unwrap_err();
+        match err {
+            FaithfulnessViolation::ModelsNotTied { .. }
+            | FaithfulnessViolation::ModelNotStrictlyBelow { .. } => {}
+        }
+    }
+
+    #[test]
+    fn sum_rank_is_not_faithful_either() {
+        assert!(check_faithfulness(&SumAssignment, 2).is_err());
+    }
+
+    #[test]
+    fn manufactured_disloyal_assignment_is_caught() {
+        // Rank that ignores ψ entirely except for its size parity —
+        // condition (2) breaks because the union can flip parity.
+        struct Parity;
+        impl RankedAssignment for Parity {
+            type Key = u64;
+            fn rank(&self, psi: &ModelSet, i: Interp) -> u64 {
+                if psi.len().is_multiple_of(2) {
+                    i.0
+                } else {
+                    u64::MAX - i.0
+                }
+            }
+        }
+        assert!(check_loyalty(&Parity, 2).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Distance measures between interpretations and knowledge bases.
+//!
+//! Dalal's distance `dist(I, J)` — the number of propositional terms on
+//! which two interpretations differ — is the common metric underneath every
+//! concrete operator in the paper. What distinguishes the operator families
+//! is how per-model distances are *aggregated* into a distance from a whole
+//! knowledge base:
+//!
+//! * revision aggregates by **min** ([`min_dist`]),
+//! * the paper's model-fitting operator aggregates by **max** ([`odist`]),
+//! * weighted model-fitting aggregates by **weighted sum** ([`wdist`]).
+
+use crate::weighted::WeightedKb;
+use arbitrex_logic::{Interp, ModelSet};
+
+/// Dalal's distance: `|(I \ J) ∪ (J \ I)|`.
+///
+/// Re-exported from the logic kernel's [`Interp::dist`] for discoverability
+/// next to the aggregated variants.
+#[inline]
+pub fn dist(i: Interp, j: Interp) -> u32 {
+    i.dist(j)
+}
+
+/// Dalal's knowledge-base distance: `min_{J ∈ Mod(ψ)} dist(I, J)`.
+///
+/// Returns `None` when `ψ` is unsatisfiable (there is nothing to be close
+/// to). Revision operators put interpretations at smaller `min_dist` first.
+pub fn min_dist(psi: &ModelSet, i: Interp) -> Option<u32> {
+    psi.iter().map(|j| i.dist(j)).min()
+}
+
+/// The paper's *overall distance*: `odist(ψ, I) = max_{J ∈ Mod(ψ)} dist(I, J)`.
+///
+/// Minimizing `odist` yields the egalitarian consensus — the interpretation
+/// whose **worst** disagreement with any model of `ψ` is smallest
+/// (Section 3). Returns `None` when `ψ` is unsatisfiable.
+pub fn odist(psi: &ModelSet, i: Interp) -> Option<u32> {
+    psi.iter().map(|j| i.dist(j)).max()
+}
+
+/// Sum-aggregated distance: `Σ_{J ∈ Mod(ψ)} dist(I, J)`.
+///
+/// The unweighted special case of [`wdist`] (every model weighted 1), the
+/// majority-flavoured aggregation. Returns `None` when `ψ` is
+/// unsatisfiable, for symmetry with the other aggregators.
+pub fn sum_dist(psi: &ModelSet, i: Interp) -> Option<u64> {
+    if psi.is_empty() {
+        return None;
+    }
+    Some(psi.iter().map(|j| i.dist(j) as u64).sum())
+}
+
+/// The weighted distance of Section 4:
+/// `wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)`.
+///
+/// Accumulates in `u128`; with ≤ 64 variables and `u64` weights this cannot
+/// overflow. Returns `None` when `ψ̃` is unsatisfiable.
+pub fn wdist(psi: &WeightedKb, i: Interp) -> Option<u128> {
+    if !psi.is_satisfiable() {
+        return None;
+    }
+    Some(
+        psi.support()
+            .map(|(j, w)| i.dist(j) as u128 * w as u128)
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::Var;
+
+    fn i(bits: u64) -> Interp {
+        Interp(bits)
+    }
+
+    #[test]
+    fn dist_matches_paper_section_2() {
+        // I = {A,B,C}, J = {C,D,E} => 4.
+        let a = Interp::from_vars([Var(0), Var(1), Var(2)]);
+        let b = Interp::from_vars([Var(2), Var(3), Var(4)]);
+        assert_eq!(dist(a, b), 4);
+    }
+
+    #[test]
+    fn aggregators_on_singleton_kb_coincide() {
+        let psi = ModelSet::singleton(3, i(0b101));
+        let x = i(0b011);
+        let d = dist(i(0b101), x) as u64;
+        assert_eq!(min_dist(&psi, x), Some(d as u32));
+        assert_eq!(odist(&psi, x), Some(d as u32));
+        assert_eq!(sum_dist(&psi, x), Some(d));
+    }
+
+    #[test]
+    fn unsatisfiable_kb_has_no_distance() {
+        let empty = ModelSet::empty(3);
+        assert_eq!(min_dist(&empty, i(0)), None);
+        assert_eq!(odist(&empty, i(0)), None);
+        assert_eq!(sum_dist(&empty, i(0)), None);
+        assert_eq!(wdist(&WeightedKb::unsatisfiable(3), i(0)), None);
+    }
+
+    #[test]
+    fn example_31_odist_values() {
+        // Mod(ψ) = {S}, {D}, {S,D,Q} over S,D,Q (bits S=1,D=2,Q=4).
+        let psi = ModelSet::new(3, [i(0b001), i(0b010), i(0b111)]);
+        // odist(ψ, {D}) = 2 and odist(ψ, {S,D}) = 1, per the paper.
+        assert_eq!(odist(&psi, i(0b010)), Some(2));
+        assert_eq!(odist(&psi, i(0b011)), Some(1));
+    }
+
+    #[test]
+    fn min_le_max_le_sum_relationships() {
+        let psi = ModelSet::new(4, [i(0b0001), i(0b0110), i(0b1111)]);
+        for bits in 0..16u64 {
+            let x = i(bits);
+            let mn = min_dist(&psi, x).unwrap();
+            let mx = odist(&psi, x).unwrap();
+            let sm = sum_dist(&psi, x).unwrap();
+            assert!(mn <= mx);
+            assert!(mx as u64 <= sm);
+            assert!(sm <= mx as u64 * psi.len() as u64);
+        }
+    }
+
+    #[test]
+    fn example_41_wdist_values() {
+        // ψ̃({S}) = 10, ψ̃({D}) = 20, ψ̃({S,D,Q}) = 5.
+        let psi = WeightedKb::from_weights(3, [(i(0b001), 10), (i(0b010), 20), (i(0b111), 5)]);
+        // wdist(ψ̃, {D}) = 30 and wdist(ψ̃, {S,D}) = 35, per the paper.
+        assert_eq!(wdist(&psi, i(0b010)), Some(30));
+        assert_eq!(wdist(&psi, i(0b011)), Some(35));
+    }
+
+    #[test]
+    fn wdist_with_unit_weights_equals_sum_dist() {
+        let models = [i(0b01), i(0b10)];
+        let psi = ModelSet::new(2, models);
+        let wpsi = WeightedKb::from_model_set(&psi);
+        for bits in 0..4u64 {
+            assert_eq!(
+                wdist(&wpsi, i(bits)),
+                sum_dist(&psi, i(bits)).map(|s| s as u128)
+            );
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Executable postulates: the R, U, A and F axiom systems as machine
+//! checks, with counterexample extraction.
+//!
+//! Every postulate from the paper's Appendix A (revision R1–R6, update
+//! U1–U8) and Section 3 (model-fitting A1–A8) is a predicate over a
+//! quadruple of theories `(ψ₁, ψ₂, μ, φ)` — each postulate reads the
+//! components it mentions. Because our operators act on model sets, the
+//! syntax-irrelevance postulates (R4/U4/A4) hold by construction and are
+//! modelled as always-true (documented, still listed so the matrices are
+//! complete).
+//!
+//! The [`harness`] submodule provides exhaustive checking over small
+//! universes (complete verification on that universe), randomized fuzzing
+//! for larger ones, operator × postulate satisfaction matrices (experiment
+//! E3), and the three concrete incompatibility constructions from the proof
+//! of Theorem 3.2.
+
+pub mod fitting;
+pub mod harness;
+pub mod revision;
+pub mod update;
+pub mod weighted;
+
+use crate::operator::ChangeOperator;
+use arbitrex_logic::ModelSet;
+use std::fmt;
+
+/// Identifier for a classical (non-weighted) postulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum PostulateId {
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    U1,
+    U2,
+    U3,
+    U4,
+    U5,
+    U6,
+    U7,
+    U8,
+    A1,
+    A2,
+    A3,
+    A4,
+    A5,
+    A6,
+    A7,
+    A8,
+}
+
+impl PostulateId {
+    /// All revision postulates.
+    pub fn revision() -> &'static [PostulateId] {
+        use PostulateId::*;
+        &[R1, R2, R3, R4, R5, R6]
+    }
+
+    /// All update postulates.
+    pub fn update() -> &'static [PostulateId] {
+        use PostulateId::*;
+        &[U1, U2, U3, U4, U5, U6, U7, U8]
+    }
+
+    /// All model-fitting postulates.
+    pub fn fitting() -> &'static [PostulateId] {
+        use PostulateId::*;
+        &[A1, A2, A3, A4, A5, A6, A7, A8]
+    }
+
+    /// Every classical postulate.
+    pub fn all() -> Vec<PostulateId> {
+        let mut v = Vec::new();
+        v.extend_from_slice(Self::revision());
+        v.extend_from_slice(Self::update());
+        v.extend_from_slice(Self::fitting());
+        v
+    }
+
+    /// Short name, e.g. `"A8"`.
+    pub fn name(self) -> &'static str {
+        use PostulateId::*;
+        match self {
+            R1 => "R1",
+            R2 => "R2",
+            R3 => "R3",
+            R4 => "R4",
+            R5 => "R5",
+            R6 => "R6",
+            U1 => "U1",
+            U2 => "U2",
+            U3 => "U3",
+            U4 => "U4",
+            U5 => "U5",
+            U6 => "U6",
+            U7 => "U7",
+            U8 => "U8",
+            A1 => "A1",
+            A2 => "A2",
+            A3 => "A3",
+            A4 => "A4",
+            A5 => "A5",
+            A6 => "A6",
+            A7 => "A7",
+            A8 => "A8",
+        }
+    }
+}
+
+impl fmt::Display for PostulateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The theories a postulate instance is evaluated over. Each postulate
+/// reads the components it mentions:
+///
+/// * `psi1` — the knowledge base `ψ` (or `ψ₁` in A7/A8/U8),
+/// * `psi2` — `ψ₂` where the postulate has one,
+/// * `mu` — the new information `μ` (or `μ₁` in U6/U7),
+/// * `phi` — the conjunct `φ` of R5/R6/A5/A6 (or `μ₂` in U6/U7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ctx {
+    /// The knowledge base `ψ` / `ψ₁`.
+    pub psi1: ModelSet,
+    /// The second knowledge base `ψ₂` (A7/A8/U8).
+    pub psi2: ModelSet,
+    /// The new information `μ` / `μ₁`.
+    pub mu: ModelSet,
+    /// The extra theory `φ` / `μ₂`.
+    pub phi: ModelSet,
+}
+
+impl Ctx {
+    /// Build a context; all components must share a signature width.
+    pub fn new(psi1: ModelSet, psi2: ModelSet, mu: ModelSet, phi: ModelSet) -> Ctx {
+        assert_eq!(psi1.n_vars(), psi2.n_vars());
+        assert_eq!(psi1.n_vars(), mu.n_vars());
+        assert_eq!(psi1.n_vars(), phi.n_vars());
+        Ctx {
+            psi1,
+            psi2,
+            mu,
+            phi,
+        }
+    }
+}
+
+/// A postulate violation: which postulate failed and on which theories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The violated postulate.
+    pub id: PostulateId,
+    /// The witnessing theories.
+    pub ctx: Ctx,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "postulate {} violated at psi1={:?} psi2={:?} mu={:?} phi={:?}",
+            self.id,
+            self.ctx.psi1.as_slice(),
+            self.ctx.psi2.as_slice(),
+            self.ctx.mu.as_slice(),
+            self.ctx.phi.as_slice(),
+        )
+    }
+}
+
+/// Does `op` satisfy postulate `id` on the theories in `ctx`?
+pub fn holds(op: &dyn ChangeOperator, id: PostulateId, ctx: &Ctx) -> bool {
+    use PostulateId::*;
+    match id {
+        R1 => revision::r1(op, ctx),
+        R2 => revision::r2(op, ctx),
+        R3 => revision::r3(op, ctx),
+        R4 => revision::r4(op, ctx),
+        R5 => revision::r5(op, ctx),
+        R6 => revision::r6(op, ctx),
+        U1 => update::u1(op, ctx),
+        U2 => update::u2(op, ctx),
+        U3 => update::u3(op, ctx),
+        U4 => update::u4(op, ctx),
+        U5 => update::u5(op, ctx),
+        U6 => update::u6(op, ctx),
+        U7 => update::u7(op, ctx),
+        U8 => update::u8(op, ctx),
+        A1 => fitting::a1(op, ctx),
+        A2 => fitting::a2(op, ctx),
+        A3 => fitting::a3(op, ctx),
+        A4 => fitting::a4(op, ctx),
+        A5 => fitting::a5(op, ctx),
+        A6 => fitting::a6(op, ctx),
+        A7 => fitting::a7(op, ctx),
+        A8 => fitting::a8(op, ctx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_groups_have_expected_sizes() {
+        assert_eq!(PostulateId::revision().len(), 6);
+        assert_eq!(PostulateId::update().len(), 8);
+        assert_eq!(PostulateId::fitting().len(), 8);
+        assert_eq!(PostulateId::all().len(), 22);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = PostulateId::all().iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 22);
+    }
+
+    #[test]
+    fn counterexample_display_mentions_postulate() {
+        let ms = ModelSet::empty(2);
+        let ce = Counterexample {
+            id: PostulateId::A8,
+            ctx: Ctx::new(ms.clone(), ms.clone(), ms.clone(), ms),
+        };
+        assert!(ce.to_string().contains("A8"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ctx_rejects_mixed_widths() {
+        Ctx::new(
+            ModelSet::empty(2),
+            ModelSet::empty(3),
+            ModelSet::empty(2),
+            ModelSet::empty(2),
+        );
+    }
+}

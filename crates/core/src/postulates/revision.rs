@@ -1,0 +1,122 @@
+//! The AGM revision postulates (R1)–(R6), in the Katsuno–Mendelzon
+//! propositional formulation of the paper's Appendix A, stated over model
+//! sets (so `implies` is `⊆`, `∧` is `∩`, satisfiable is non-empty).
+
+use super::Ctx;
+use crate::operator::ChangeOperator;
+
+/// (R1) `ψ ∘ μ` implies `μ`.
+pub fn r1(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    op.apply(&c.psi1, &c.mu).implies(&c.mu)
+}
+
+/// (R2) If `ψ ∧ μ` is satisfiable then `ψ ∘ μ ↔ ψ ∧ μ`.
+pub fn r2(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    let both = c.psi1.intersect(&c.mu);
+    both.is_empty() || op.apply(&c.psi1, &c.mu) == both
+}
+
+/// (R3) If `μ` is satisfiable then `ψ ∘ μ` is satisfiable.
+pub fn r3(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    c.mu.is_empty() || !op.apply(&c.psi1, &c.mu).is_empty()
+}
+
+/// (R4) Irrelevance of syntax. Our operators take model sets, so
+/// equivalent theories are *identical* arguments — the postulate holds by
+/// construction and this check is constantly true (kept so satisfaction
+/// matrices list every postulate).
+pub fn r4(_op: &dyn ChangeOperator, _c: &Ctx) -> bool {
+    true
+}
+
+/// (R5) `(ψ ∘ μ) ∧ φ` implies `ψ ∘ (μ ∧ φ)`.
+pub fn r5(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    op.apply(&c.psi1, &c.mu)
+        .intersect(&c.phi)
+        .implies(&op.apply(&c.psi1, &c.mu.intersect(&c.phi)))
+}
+
+/// (R6) If `(ψ ∘ μ) ∧ φ` is satisfiable then `ψ ∘ (μ ∧ φ)` implies
+/// `(ψ ∘ μ) ∧ φ`.
+pub fn r6(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    let lhs = op.apply(&c.psi1, &c.mu).intersect(&c.phi);
+    lhs.is_empty() || op.apply(&c.psi1, &c.mu.intersect(&c.phi)).implies(&lhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postulates::harness::check_exhaustive;
+    use crate::postulates::PostulateId;
+    use crate::revision::{
+        BorgidaRevision, DalalRevision, DrasticRevision, SatohRevision, WeberRevision,
+    };
+
+    #[test]
+    fn dalal_satisfies_r1_to_r6_exhaustively_n2() {
+        assert_eq!(
+            check_exhaustive(&DalalRevision, PostulateId::revision(), 2),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn drastic_satisfies_r1_to_r6_exhaustively_n2() {
+        assert_eq!(
+            check_exhaustive(&DrasticRevision, PostulateId::revision(), 2),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn all_revision_operators_satisfy_r1_r2_r3_exhaustively_n2() {
+        use PostulateId::*;
+        for op in [
+            &DalalRevision as &dyn ChangeOperator,
+            &SatohRevision,
+            &BorgidaRevision,
+            &WeberRevision,
+            &DrasticRevision,
+        ] {
+            assert_eq!(
+                check_exhaustive(&op, &[R1, R2, R3, R4], 2),
+                Ok(()),
+                "{}",
+                op.name()
+            );
+        }
+    }
+
+    #[test]
+    fn satoh_fails_r6_but_satisfies_r5() {
+        // Satoh's operator satisfies R1–R5 but famously not R6 (it
+        // corresponds to a non-total preorder); verify both facts.
+        use PostulateId::*;
+        assert_eq!(check_exhaustive(&SatohRevision, &[R5], 2), Ok(()));
+        // R6 fails somewhere on a slightly larger universe.
+        let r6_n2 = check_exhaustive(&SatohRevision, &[R6], 2);
+        let r6_n3 = crate::postulates::harness::check_random(&SatohRevision, &[R6], 3, 20_000, 7);
+        assert!(
+            r6_n2.is_err() || r6_n3.is_err(),
+            "expected Satoh to violate R6 on small universes"
+        );
+    }
+
+    #[test]
+    fn fitting_operator_fails_r2() {
+        // The heart of Theorem 3.2's first separation: model-fitting
+        // cannot satisfy R2.
+        use crate::fitting::OdistFitting;
+        let err = check_exhaustive(&OdistFitting, &[PostulateId::R2], 2).unwrap_err();
+        assert_eq!(err.id, PostulateId::R2);
+    }
+
+    #[test]
+    fn update_operator_fails_r3() {
+        // Updates drop to ⊥ on inconsistent ψ, violating R3.
+        use crate::update::WinslettUpdate;
+        let err = check_exhaustive(&WinslettUpdate, &[PostulateId::R3], 2).unwrap_err();
+        assert_eq!(err.id, PostulateId::R3);
+        assert!(err.ctx.psi1.is_empty());
+    }
+}

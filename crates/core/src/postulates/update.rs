@@ -1,0 +1,111 @@
+//! The Katsuno–Mendelzon update postulates (U1)–(U8) over model sets.
+
+use super::Ctx;
+use crate::operator::ChangeOperator;
+
+/// (U1) `ψ ⋄ μ` implies `μ`.
+pub fn u1(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    op.apply(&c.psi1, &c.mu).implies(&c.mu)
+}
+
+/// (U2) If `ψ` implies `μ` then `ψ ⋄ μ` is equivalent to `ψ`.
+pub fn u2(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    !c.psi1.implies(&c.mu) || op.apply(&c.psi1, &c.mu) == c.psi1
+}
+
+/// (U3) If both `ψ` and `μ` are satisfiable then `ψ ⋄ μ` is satisfiable.
+pub fn u3(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    c.psi1.is_empty() || c.mu.is_empty() || !op.apply(&c.psi1, &c.mu).is_empty()
+}
+
+/// (U4) Irrelevance of syntax — holds by construction on model sets (see
+/// [`super::revision::r4`]).
+pub fn u4(_op: &dyn ChangeOperator, _c: &Ctx) -> bool {
+    true
+}
+
+/// (U5) `(ψ ⋄ μ) ∧ φ` implies `ψ ⋄ (μ ∧ φ)`.
+pub fn u5(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    op.apply(&c.psi1, &c.mu)
+        .intersect(&c.phi)
+        .implies(&op.apply(&c.psi1, &c.mu.intersect(&c.phi)))
+}
+
+/// (U6) If `ψ ⋄ μ₁` implies `μ₂` and `ψ ⋄ μ₂` implies `μ₁` then
+/// `ψ ⋄ μ₁ ↔ ψ ⋄ μ₂`. (Here `μ₁ = mu`, `μ₂ = phi`.)
+pub fn u6(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    let r1 = op.apply(&c.psi1, &c.mu);
+    let r2 = op.apply(&c.psi1, &c.phi);
+    !(r1.implies(&c.phi) && r2.implies(&c.mu)) || r1 == r2
+}
+
+/// (U7) If `ψ` is a singleton then `(ψ ⋄ μ₁) ∧ (ψ ⋄ μ₂)` implies
+/// `ψ ⋄ (μ₁ ∨ μ₂)`.
+pub fn u7(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    if c.psi1.len() != 1 {
+        return true;
+    }
+    op.apply(&c.psi1, &c.mu)
+        .intersect(&op.apply(&c.psi1, &c.phi))
+        .implies(&op.apply(&c.psi1, &c.mu.union(&c.phi)))
+}
+
+/// (U8) `(ψ₁ ∨ ψ₂) ⋄ μ ↔ (ψ₁ ⋄ μ) ∨ (ψ₂ ⋄ μ)`.
+pub fn u8(op: &dyn ChangeOperator, c: &Ctx) -> bool {
+    op.apply(&c.psi1.union(&c.psi2), &c.mu)
+        == op.apply(&c.psi1, &c.mu).union(&op.apply(&c.psi2, &c.mu))
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::postulates::harness::check_exhaustive;
+    use crate::postulates::PostulateId;
+    use crate::update::{ForbusUpdate, WinslettUpdate};
+
+    #[test]
+    fn winslett_satisfies_u1_to_u8_exhaustively_n2() {
+        assert_eq!(
+            check_exhaustive(&WinslettUpdate, PostulateId::update(), 2),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn forbus_satisfies_core_update_postulates_exhaustively_n2() {
+        use PostulateId::*;
+        // Forbus satisfies U1-U5 and U8; U6/U7 can fail for cardinality-
+        // based orders on some universes — check the uncontested ones.
+        assert_eq!(
+            check_exhaustive(&ForbusUpdate, &[U1, U2, U3, U4, U5, U8], 2),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn revision_operators_fail_u8() {
+        // Theorem 3.2's third separation ingredient: R1+R2+R3 force a U8
+        // violation.
+        use crate::revision::DalalRevision;
+        let err = check_exhaustive(&DalalRevision, &[PostulateId::U8], 2).unwrap_err();
+        assert_eq!(err.id, PostulateId::U8);
+    }
+
+    #[test]
+    fn fitting_operator_fails_u8() {
+        use crate::fitting::OdistFitting;
+        let err = check_exhaustive(&OdistFitting, &[PostulateId::U8], 2).unwrap_err();
+        assert_eq!(err.id, PostulateId::U8);
+    }
+
+    #[test]
+    fn updates_fail_a2() {
+        // Updates are not model-fitting either: U2 forces ψ ⋄ μ = ψ when
+        // ψ ⊆ μ, which clashes with overall-closeness selection; the
+        // canonical quick separation is via A8 (see harness tests). Here:
+        // Winslett satisfies U2 yet fails A8.
+        use crate::postulates::PostulateId::A8;
+        let err = check_exhaustive(&WinslettUpdate, &[A8], 2).unwrap_err();
+        assert_eq!(err.id, A8);
+    }
+}

@@ -1,0 +1,475 @@
+//! SAT-backed implementations for signatures beyond the enumeration limit.
+//!
+//! The paper's Section 5 poses the computational complexity of revision /
+//! update / arbitration as an open problem. This module provides the
+//! scalable side of experiment E8: Dalal revision by cardinality-minimal
+//! Hamming distance over a CDCL solver, SAT-based model enumeration, and
+//! arbitration radius search for knowledge bases with explicitly known
+//! models.
+//!
+//! Complexity honesty: full model-fitting quantifies over *all* models of
+//! `ψ` (`odist` is a max), putting the general problem at the second level
+//! of the polynomial hierarchy; the SAT route here covers the practically
+//! common case where `Mod(ψ)` is explicit (e.g. merging a handful of
+//! sources), while revision needs only the `∃∃`-pattern and scales fully.
+
+use arbitrex_logic::{to_clauses, Cnf, Formula, Interp, ModelSet};
+use arbitrex_sat::{
+    enumerate_models, minimize_true_count, AllSatLimit, CardinalityLadder, Lit, SolveResult, Solver,
+};
+
+/// Enumerate `Mod(f)` over `n_vars` variables through Tseitin + AllSAT with
+/// projection onto the original variables.
+///
+/// Returns `None` if the model count exceeds `limit`.
+pub fn models_via_sat(f: &Formula, n_vars: u32, limit: usize) -> Option<ModelSet> {
+    let cnf = to_clauses(f, n_vars);
+    let mut solver = Solver::new();
+    solver.ensure_vars(cnf.n_vars);
+    for clause in &cnf.clauses {
+        solver.add_dimacs_clause(clause);
+    }
+    let models = enumerate_models(&mut solver, n_vars, AllSatLimit::AtMost(limit))?;
+    Some(ModelSet::new(n_vars, models.into_iter().map(Interp)))
+}
+
+/// Add a Tseitin CNF to `solver`, mapping original DIMACS variable `w`
+/// (1-based, `w ≤ cnf.n_original`) through `map` and allocating fresh
+/// solver variables for the auxiliaries.
+fn add_cnf_remapped(solver: &mut Solver, cnf: &Cnf, map: impl Fn(u32) -> u32) {
+    let n_aux = cnf.n_vars - cnf.n_original;
+    let aux_base = solver.num_vars();
+    solver.ensure_vars(aux_base + n_aux);
+    for clause in &cnf.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&l| {
+                let w = l.unsigned_abs();
+                let var = if w <= cnf.n_original {
+                    map(w - 1)
+                } else {
+                    aux_base + (w - cnf.n_original - 1)
+                };
+                Lit::new(var, l > 0)
+            })
+            .collect();
+        solver.add_clause(&lits);
+    }
+}
+
+/// Result of a SAT-backed distance-minimizing operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatChangeResult {
+    /// The minimal distance achieved (`None` when the result is vacuous —
+    /// e.g. `ψ` inconsistent, where revision returns `Mod(μ)` unranked).
+    pub distance: Option<u32>,
+    /// The resulting model set.
+    pub models: ModelSet,
+}
+
+/// Dalal's revision via SAT: minimize the Hamming distance between a model
+/// of `μ` and a model of `ψ` with a sequential-counter ladder and binary
+/// search, then enumerate every model of `μ` achieving it.
+///
+/// Agrees exactly with [`crate::revision::DalalRevision`] on enumerable
+/// signatures (cross-checked in the integration tests) while scaling to
+/// signatures far beyond `2^n` enumeration.
+///
+/// `model_limit` caps the final enumeration; `None` is returned if
+/// exceeded.
+pub fn dalal_revision_sat(
+    psi: &Formula,
+    mu: &Formula,
+    n_vars: u32,
+    model_limit: usize,
+) -> Option<SatChangeResult> {
+    // Variable layout: x = 0..n (models of μ), y = n..2n (models of ψ),
+    // then Tseitin auxiliaries, then difference vars.
+    let n = n_vars;
+    let mu_cnf = to_clauses(mu, n);
+    let psi_cnf = to_clauses(psi, n);
+
+    // ψ inconsistent ⇒ revision returns Mod(μ).
+    {
+        let mut s = Solver::new();
+        s.ensure_vars(psi_cnf.n_vars);
+        for c in &psi_cnf.clauses {
+            s.add_dimacs_clause(c);
+        }
+        if s.solve() == SolveResult::Unsat {
+            let models = models_via_sat(mu, n, model_limit)?;
+            return Some(SatChangeResult {
+                distance: None,
+                models,
+            });
+        }
+    }
+
+    let mut solver = Solver::new();
+    solver.ensure_vars(2 * n);
+    add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
+    add_cnf_remapped(&mut solver, &psi_cnf, |v| n + v);
+
+    // Difference variables d_v ↔ (x_v ⊕ y_v).
+    let d_base = solver.num_vars();
+    solver.ensure_vars(d_base + n);
+    let mut d_lits = Vec::with_capacity(n as usize);
+    for v in 0..n {
+        let x = Lit::pos(v);
+        let y = Lit::pos(n + v);
+        let d = Lit::pos(d_base + v);
+        solver.add_clause(&[d.negate(), x, y]);
+        solver.add_clause(&[d.negate(), x.negate(), y.negate()]);
+        solver.add_clause(&[d, x.negate(), y]);
+        solver.add_clause(&[d, x, y.negate()]);
+        d_lits.push(d);
+    }
+
+    let (k, _model, ladder) = match minimize_true_count(&mut solver, &d_lits) {
+        Some(r) => r,
+        None => {
+            // μ unsatisfiable (ψ was checked above).
+            return Some(SatChangeResult {
+                distance: None,
+                models: ModelSet::empty(n),
+            });
+        }
+    };
+    // Lock the optimum and enumerate the x-projections.
+    ladder.assert_at_most(&mut solver, k);
+    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit))?;
+    Some(SatChangeResult {
+        distance: Some(k as u32),
+        models: ModelSet::new(n, models.into_iter().map(Interp)),
+    })
+}
+
+/// The paper's model-fitting operator via SAT, for a knowledge base given
+/// as an *explicit* model set (the common case in merging scenarios):
+/// binary search on the radius `r` such that some model of `μ` is within
+/// distance `r` of **every** model of `ψ`, then enumerate the optimum.
+///
+/// Returns `None` if the model enumeration exceeds `model_limit`.
+pub fn odist_fitting_sat(
+    psi_models: &[Interp],
+    mu: &Formula,
+    n_vars: u32,
+    model_limit: usize,
+) -> Option<SatChangeResult> {
+    let n = n_vars;
+    if psi_models.is_empty() {
+        // (A2): unsatisfiable knowledge base fits nothing.
+        return Some(SatChangeResult {
+            distance: None,
+            models: ModelSet::empty(n),
+        });
+    }
+    let mu_cnf = to_clauses(mu, n);
+    let mut solver = Solver::new();
+    solver.ensure_vars(n);
+    add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
+    if solver.solve() == SolveResult::Unsat {
+        return Some(SatChangeResult {
+            distance: None,
+            models: ModelSet::empty(n),
+        });
+    }
+
+    // One ladder per ψ-model J, over the literals "x_v differs from J_v".
+    let ladders: Vec<CardinalityLadder> = psi_models
+        .iter()
+        .map(|j| {
+            let diff_lits: Vec<Lit> = (0..n)
+                .map(|v| Lit::new(v, !j.get(arbitrex_logic::Var(v))))
+                .collect();
+            CardinalityLadder::encode(&mut solver, &diff_lits)
+        })
+        .collect();
+
+    // Binary search the least feasible radius r in [0, n].
+    let feasible = |solver: &mut Solver, r: usize| -> bool {
+        let assumps: Vec<Lit> = ladders.iter().filter_map(|l| l.at_most(r)).collect();
+        solver.solve_with_assumptions(&assumps) == SolveResult::Sat
+    };
+    let mut lo = 0usize;
+    let mut hi = n as usize; // always feasible: any model differs ≤ n
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(&mut solver, mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Lock the optimum radius permanently and enumerate.
+    for ladder in &ladders {
+        ladder.assert_at_most(&mut solver, hi);
+    }
+    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit))?;
+    Some(SatChangeResult {
+        distance: Some(hi as u32),
+        models: ModelSet::new(n, models.into_iter().map(Interp)),
+    })
+}
+
+/// Weighted model-fitting via SAT, for a weighted knowledge base given as
+/// an explicit support list: minimize
+/// `wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)` over models `I` of `μ`.
+///
+/// Encoding: one unary counter over the multiset of difference literals,
+/// each `(J, v)` literal replicated `ψ̃(J) / g` times (`g` = gcd of the
+/// weights — uniform scaling cannot change the minimizers). Counter size
+/// is `O((Σ scaled-weights · n)²)` clauses, so this is intended for a few
+/// voices with small relative weights — exactly the merging scenarios —
+/// not for amortizing astronomically scaled weights.
+///
+/// Returns `None` if the optimal-model enumeration exceeds `model_limit`.
+pub fn wdist_fitting_sat(
+    psi_weighted: &[(Interp, u64)],
+    mu: &Formula,
+    n_vars: u32,
+    model_limit: usize,
+) -> Option<SatChangeResult> {
+    let n = n_vars;
+    let support: Vec<(Interp, u64)> = psi_weighted
+        .iter()
+        .copied()
+        .filter(|&(_, w)| w > 0)
+        .collect();
+    if support.is_empty() {
+        // (F2): unsatisfiable ψ̃ fits nothing.
+        return Some(SatChangeResult {
+            distance: None,
+            models: ModelSet::empty(n),
+        });
+    }
+    let g = support.iter().fold(0u64, |acc, &(_, w)| gcd(acc, w));
+    let mu_cnf = to_clauses(mu, n);
+    let mut solver = Solver::new();
+    solver.ensure_vars(n);
+    add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
+    if solver.solve() == SolveResult::Unsat {
+        return Some(SatChangeResult {
+            distance: None,
+            models: ModelSet::empty(n),
+        });
+    }
+    // The weighted multiset of difference literals.
+    let mut diff_lits: Vec<Lit> = Vec::new();
+    for &(j, w) in &support {
+        let copies = (w / g) as usize;
+        for v in 0..n {
+            let lit = Lit::new(v, !j.get(arbitrex_logic::Var(v)));
+            for _ in 0..copies {
+                diff_lits.push(lit);
+            }
+        }
+    }
+    let (k, _model, ladder) =
+        minimize_true_count(&mut solver, &diff_lits).expect("solver was satisfiable above");
+    ladder.assert_at_most(&mut solver, k);
+    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit))?;
+    Some(SatChangeResult {
+        distance: Some(k as u32),
+        models: ModelSet::new(n, models.into_iter().map(Interp)),
+    })
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitting::OdistFitting;
+    use crate::operator::ChangeOperator;
+    use crate::revision::DalalRevision;
+    use arbitrex_logic::{parse, Sig};
+
+    #[test]
+    fn models_via_sat_agrees_with_enumeration() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "(A | B) & (B | C) & !(A & B & C)").unwrap();
+        let n = sig.width();
+        let via_sat = models_via_sat(&f, n, 1000).unwrap();
+        assert_eq!(via_sat, ModelSet::of_formula(&f, n));
+    }
+
+    #[test]
+    fn models_via_sat_respects_limit() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A | !A").unwrap();
+        assert!(models_via_sat(&f, 1, 1).is_none());
+        assert!(models_via_sat(&f, 1, 2).is_some());
+    }
+
+    #[test]
+    fn dalal_sat_matches_enumeration_on_examples() {
+        let cases = [
+            ("A & B", "!A | !B"),
+            ("A & B & C", "!C"),
+            ("(A | B) & C", "!C & (A <-> B)"),
+            ("!A & !B & !C", "A & B"),
+        ];
+        for (p, m) in cases {
+            let mut sig = Sig::new();
+            let psi = parse(&mut sig, p).unwrap();
+            let mu = parse(&mut sig, m).unwrap();
+            let n = sig.width();
+            let sat = dalal_revision_sat(&psi, &mu, n, 10_000).unwrap();
+            let reference = DalalRevision.apply(
+                &ModelSet::of_formula(&psi, n),
+                &ModelSet::of_formula(&mu, n),
+            );
+            assert_eq!(sat.models, reference, "mismatch on ({p}, {m})");
+        }
+    }
+
+    #[test]
+    fn dalal_sat_inconsistent_psi_returns_mu() {
+        let mut sig = Sig::new();
+        let psi = parse(&mut sig, "A & !A").unwrap();
+        let mu = parse(&mut sig, "A | B").unwrap();
+        let n = sig.width();
+        let sat = dalal_revision_sat(&psi, &mu, n, 100).unwrap();
+        assert_eq!(sat.distance, None);
+        assert_eq!(sat.models, ModelSet::of_formula(&mu, n));
+    }
+
+    #[test]
+    fn dalal_sat_unsat_mu_is_empty() {
+        let mut sig = Sig::new();
+        let psi = parse(&mut sig, "A").unwrap();
+        let mu = parse(&mut sig, "B & !B").unwrap();
+        let n = sig.width();
+        let sat = dalal_revision_sat(&psi, &mu, n, 100).unwrap();
+        assert!(sat.models.is_empty());
+    }
+
+    #[test]
+    fn dalal_sat_reports_the_minimal_distance() {
+        let mut sig = Sig::new();
+        let psi = parse(&mut sig, "A & B & C & D").unwrap();
+        let mu = parse(&mut sig, "!A & !B").unwrap();
+        let n = sig.width();
+        let sat = dalal_revision_sat(&psi, &mu, n, 100).unwrap();
+        assert_eq!(sat.distance, Some(2));
+    }
+
+    #[test]
+    fn odist_sat_reproduces_example_31() {
+        let mut sig = Sig::new();
+        sig.var("S");
+        sig.var("D");
+        sig.var("Q");
+        let mu = parse(&mut sig, "(!S & D & !Q) | (S & D & !Q)").unwrap();
+        let psi_models = [Interp(0b001), Interp(0b010), Interp(0b111)];
+        let sat = odist_fitting_sat(&psi_models, &mu, 3, 100).unwrap();
+        assert_eq!(sat.distance, Some(1));
+        assert_eq!(sat.models.as_singleton(), Some(Interp(0b011)));
+    }
+
+    #[test]
+    fn odist_sat_matches_enumeration_operator() {
+        let mut sig = Sig::new();
+        let mu = parse(&mut sig, "(A | B) & (C -> A)").unwrap();
+        let n = sig.width();
+        let psi_models = [Interp(0b000), Interp(0b111), Interp(0b010)];
+        let sat = odist_fitting_sat(&psi_models, &mu, n, 1000).unwrap();
+        let reference =
+            OdistFitting.apply(&ModelSet::new(n, psi_models), &ModelSet::of_formula(&mu, n));
+        assert_eq!(sat.models, reference);
+    }
+
+    #[test]
+    fn odist_sat_empty_psi_is_a2() {
+        let mut sig = Sig::new();
+        let mu = parse(&mut sig, "A").unwrap();
+        let sat = odist_fitting_sat(&[], &mu, 1, 10).unwrap();
+        assert!(sat.models.is_empty());
+    }
+
+    #[test]
+    fn wdist_sat_reproduces_example_41() {
+        let mut sig = Sig::new();
+        sig.var("S");
+        sig.var("D");
+        sig.var("Q");
+        let mu = parse(&mut sig, "(!S & D & !Q) | (S & D & !Q)").unwrap();
+        let psi = [(Interp(0b001), 10), (Interp(0b010), 20), (Interp(0b111), 5)];
+        let sat = wdist_fitting_sat(&psi, &mu, 3, 100).unwrap();
+        // wdist({D}) = 30, scaled by gcd 5 -> 6.
+        assert_eq!(sat.distance, Some(6));
+        assert_eq!(sat.models.as_singleton(), Some(Interp(0b010)));
+    }
+
+    #[test]
+    fn wdist_sat_agrees_with_wdist_fitting() {
+        use crate::weighted::WeightedKb;
+        use crate::wfitting::{WdistFitting, WeightedChangeOperator};
+        let mut sig = Sig::new();
+        let mu = parse(&mut sig, "(A | B) & (C -> A)").unwrap();
+        let n = sig.width();
+        let psi = [(Interp(0b000), 3), (Interp(0b111), 2), (Interp(0b010), 1)];
+        let sat = wdist_fitting_sat(&psi, &mu, n, 100).unwrap();
+        let reference = WdistFitting.apply(
+            &WeightedKb::from_weights(n, psi),
+            &WeightedKb::from_model_set(&ModelSet::of_formula(&mu, n)),
+        );
+        assert_eq!(sat.models, reference.support_set());
+    }
+
+    #[test]
+    fn wdist_sat_handles_edge_cases() {
+        let mut sig = Sig::new();
+        let mu = parse(&mut sig, "A").unwrap();
+        // Empty / zero-weight ψ̃ -> unsatisfiable result (F2).
+        let sat = wdist_fitting_sat(&[], &mu, 1, 10).unwrap();
+        assert!(sat.models.is_empty());
+        let sat = wdist_fitting_sat(&[(Interp(0), 0)], &mu, 1, 10).unwrap();
+        assert!(sat.models.is_empty());
+        // Unsatisfiable μ.
+        let bad = parse(&mut sig, "A & !A").unwrap();
+        let sat = wdist_fitting_sat(&[(Interp(0), 1)], &bad, 1, 10).unwrap();
+        assert!(sat.models.is_empty());
+    }
+
+    #[test]
+    fn wdist_sat_at_scale() {
+        // A 9-vs-2 jury over 30 propositions: majority's world wins.
+        let n = 30u32;
+        let mut sig = Sig::with_anon_vars(n as usize);
+        let mu = parse(&mut sig, "true | v0").unwrap(); // unconstrained
+        let world_a = Interp::full(n);
+        let world_b = Interp::EMPTY;
+        let sat = wdist_fitting_sat(&[(world_a, 9), (world_b, 2)], &mu, n, 10).unwrap();
+        assert_eq!(sat.models.as_singleton(), Some(world_a));
+    }
+
+    #[test]
+    fn sat_backends_scale_past_the_enumeration_limit() {
+        // 40 variables: 2^40 enumeration is impossible, SAT handles it.
+        let n = 40u32;
+        let mut sig = Sig::with_anon_vars(n as usize);
+        // ψ: all variables true; μ: v0 false and v1 false.
+        let psi_text = (0..n)
+            .map(|i| format!("v{i}"))
+            .collect::<Vec<_>>()
+            .join(" & ");
+        let psi = parse(&mut sig, &psi_text).unwrap();
+        let mu = parse(&mut sig, "!v0 & !v1").unwrap();
+        let sat = dalal_revision_sat(&psi, &mu, n, 10).unwrap();
+        assert_eq!(sat.distance, Some(2));
+        // The unique optimum: everything true except v0, v1.
+        assert_eq!(sat.models.len(), 1);
+        let m = sat.models.as_singleton().unwrap();
+        assert!(!m.get(arbitrex_logic::Var(0)));
+        assert!(!m.get(arbitrex_logic::Var(1)));
+        assert!((2..n).all(|v| m.get(arbitrex_logic::Var(v))));
+    }
+}

@@ -1,0 +1,355 @@
+//! Weighted knowledge bases (Section 4 of the paper).
+//!
+//! A weighted knowledge base is a function from interpretations to
+//! non-negative weights describing each interpretation's relative degree of
+//! importance. The paper allows real weights; we use `u64` — every example
+//! in the paper is integral, rational weights scale to integers without
+//! changing any comparison the semantics performs, and integer arithmetic
+//! keeps the postulate checkers exact (see DESIGN.md, "Substitutions").
+//!
+//! Semantics of connectives on weighted KBs:
+//! `(ψ̃ ∨ φ̃)(I) = ψ̃(I) + φ̃(I)` (⊔, pointwise sum) and
+//! `(ψ̃ ∧ φ̃)(I) = min(ψ̃(I), φ̃(I))` (⊓, pointwise min).
+//! `ψ̃ → φ̃` iff `ψ̃(I) ≤ φ̃(I)` for all `I`.
+
+use arbitrex_logic::{Interp, ModelSet};
+
+/// A weighted knowledge base over a fixed signature width: a total map from
+/// interpretations to `u64` weights, stored sparsely (zero-weight
+/// interpretations are omitted).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WeightedKb {
+    n_vars: u32,
+    /// Sorted by interpretation; weights are strictly positive.
+    entries: Vec<(Interp, u64)>,
+}
+
+impl WeightedKb {
+    /// Build from `(interpretation, weight)` pairs. Repeated
+    /// interpretations have their weights **summed**; zero weights are
+    /// dropped.
+    pub fn from_weights<It: IntoIterator<Item = (Interp, u64)>>(
+        n_vars: u32,
+        weights: It,
+    ) -> WeightedKb {
+        let mask = Interp::full(n_vars).0;
+        let mut entries: Vec<(Interp, u64)> = weights
+            .into_iter()
+            .inspect(|(i, _)| {
+                assert!(
+                    i.0 & !mask == 0,
+                    "interpretation {:#b} beyond width {}",
+                    i.0,
+                    n_vars
+                )
+            })
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        // Merge duplicates by summing.
+        let mut merged: Vec<(Interp, u64)> = Vec::with_capacity(entries.len());
+        for (i, w) in entries {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => {
+                    *acc = acc
+                        .checked_add(w)
+                        .expect("weight overflow while merging duplicates")
+                }
+                _ => merged.push((i, w)),
+            }
+        }
+        WeightedKb {
+            n_vars,
+            entries: merged,
+        }
+    }
+
+    /// The translation of a classical knowledge base given in Section 4:
+    /// weight 1 on every model, 0 elsewhere.
+    pub fn from_model_set(models: &ModelSet) -> WeightedKb {
+        WeightedKb {
+            n_vars: models.n_vars(),
+            entries: models.iter().map(|i| (i, 1)).collect(),
+        }
+    }
+
+    /// The everywhere-zero (unsatisfiable) weighted knowledge base.
+    pub fn unsatisfiable(n_vars: u32) -> WeightedKb {
+        WeightedKb {
+            n_vars,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The weighted universe `𝓜̃` with weight 1 on every interpretation —
+    /// the second argument of weighted arbitration.
+    ///
+    /// # Panics
+    /// Panics if `n_vars` exceeds the enumeration limit.
+    pub fn all(n_vars: u32) -> WeightedKb {
+        WeightedKb::from_model_set(&ModelSet::all(n_vars))
+    }
+
+    /// Signature width.
+    pub fn n_vars(&self) -> u32 {
+        self.n_vars
+    }
+
+    /// The weight of interpretation `i` (0 if unsupported).
+    pub fn weight(&self, i: Interp) -> u64 {
+        match self.entries.binary_search_by_key(&i, |&(j, _)| j) {
+            Ok(k) => self.entries[k].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// Iterate over the support: `(I, w)` pairs with `w > 0`, ascending `I`.
+    pub fn support(&self) -> impl Iterator<Item = (Interp, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The support as a classical model set `{I : ψ̃(I) > 0}`.
+    pub fn support_set(&self) -> ModelSet {
+        ModelSet::new(self.n_vars, self.entries.iter().map(|&(i, _)| i))
+    }
+
+    /// Number of interpretations with positive weight.
+    pub fn support_size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Satisfiable = some interpretation has positive weight.
+    pub fn is_satisfiable(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// Total weight mass.
+    pub fn total_weight(&self) -> u128 {
+        self.entries.iter().map(|&(_, w)| w as u128).sum()
+    }
+
+    fn check_width(&self, other: &WeightedKb) {
+        assert_eq!(
+            self.n_vars, other.n_vars,
+            "weighted KBs over different signature widths ({} vs {})",
+            self.n_vars, other.n_vars
+        );
+    }
+
+    /// Weighted disjunction `⊔`: pointwise **sum** of weights.
+    pub fn join(&self, other: &WeightedKb) -> WeightedKb {
+        self.check_width(other);
+        let mut out: Vec<(Interp, u64)> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut a, mut b) = (
+            self.entries.iter().peekable(),
+            other.entries.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(i, wi)), Some(&&(j, wj))) => {
+                    if i < j {
+                        out.push((i, wi));
+                        a.next();
+                    } else if j < i {
+                        out.push((j, wj));
+                        b.next();
+                    } else {
+                        out.push((
+                            i,
+                            wi.checked_add(wj)
+                                .expect("weight overflow in weighted disjunction"),
+                        ));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&e), None) => {
+                    out.push(e);
+                    a.next();
+                }
+                (None, Some(&&e)) => {
+                    out.push(e);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        WeightedKb {
+            n_vars: self.n_vars,
+            entries: out,
+        }
+    }
+
+    /// Weighted conjunction `⊓`: pointwise **minimum** of weights.
+    pub fn meet(&self, other: &WeightedKb) -> WeightedKb {
+        self.check_width(other);
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|&(i, w)| {
+                let w2 = other.weight(i);
+                let m = w.min(w2);
+                (m > 0).then_some((i, m))
+            })
+            .collect();
+        WeightedKb {
+            n_vars: self.n_vars,
+            entries,
+        }
+    }
+
+    /// Weighted implication: `ψ̃ → φ̃` iff `ψ̃(I) ≤ φ̃(I)` for all `I`.
+    pub fn implies(&self, other: &WeightedKb) -> bool {
+        self.check_width(other);
+        self.entries.iter().all(|&(i, w)| w <= other.weight(i))
+    }
+
+    /// Weighted equivalence: equal weight functions.
+    pub fn equivalent(&self, other: &WeightedKb) -> bool {
+        self == other
+    }
+
+    /// Scale every weight by `factor` (handy for building majority
+    /// scenarios; `factor = 0` yields the unsatisfiable KB).
+    pub fn scale(&self, factor: u64) -> WeightedKb {
+        if factor == 0 {
+            return WeightedKb::unsatisfiable(self.n_vars);
+        }
+        WeightedKb {
+            n_vars: self.n_vars,
+            entries: self
+                .entries
+                .iter()
+                .map(|&(i, w)| (i, w.checked_mul(factor).expect("weight overflow in scale")))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(bits: u64) -> Interp {
+        Interp(bits)
+    }
+
+    #[test]
+    fn from_weights_drops_zeros_and_merges_duplicates() {
+        let kb = WeightedKb::from_weights(2, [(i(0b01), 3), (i(0b10), 0), (i(0b01), 2)]);
+        assert_eq!(kb.weight(i(0b01)), 5);
+        assert_eq!(kb.weight(i(0b10)), 0);
+        assert_eq!(kb.support_size(), 1);
+    }
+
+    #[test]
+    fn from_model_set_is_the_paper_translation() {
+        let ms = ModelSet::new(2, [i(0b00), i(0b11)]);
+        let kb = WeightedKb::from_model_set(&ms);
+        assert_eq!(kb.weight(i(0b00)), 1);
+        assert_eq!(kb.weight(i(0b11)), 1);
+        assert_eq!(kb.weight(i(0b01)), 0);
+        assert_eq!(kb.support_set(), ms);
+    }
+
+    #[test]
+    fn satisfiability() {
+        assert!(!WeightedKb::unsatisfiable(3).is_satisfiable());
+        assert!(WeightedKb::from_weights(3, [(i(0b1), 1)]).is_satisfiable());
+    }
+
+    #[test]
+    fn join_sums_and_meet_mins() {
+        let a = WeightedKb::from_weights(2, [(i(0b00), 3), (i(0b01), 1)]);
+        let b = WeightedKb::from_weights(2, [(i(0b01), 4), (i(0b10), 2)]);
+        let j = a.join(&b);
+        assert_eq!(j.weight(i(0b00)), 3);
+        assert_eq!(j.weight(i(0b01)), 5);
+        assert_eq!(j.weight(i(0b10)), 2);
+        let m = a.meet(&b);
+        assert_eq!(m.weight(i(0b00)), 0);
+        assert_eq!(m.weight(i(0b01)), 1);
+        assert_eq!(m.weight(i(0b10)), 0);
+        assert_eq!(m.support_size(), 1);
+    }
+
+    #[test]
+    fn join_is_commutative_and_associative() {
+        let a = WeightedKb::from_weights(2, [(i(0), 1), (i(1), 2)]);
+        let b = WeightedKb::from_weights(2, [(i(1), 3)]);
+        let c = WeightedKb::from_weights(2, [(i(2), 5)]);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+    }
+
+    #[test]
+    fn implication_is_pointwise_le() {
+        let small = WeightedKb::from_weights(2, [(i(0b01), 1)]);
+        let big = WeightedKb::from_weights(2, [(i(0b01), 2), (i(0b10), 1)]);
+        assert!(small.implies(&big));
+        assert!(!big.implies(&small));
+        assert!(WeightedKb::unsatisfiable(2).implies(&small));
+        // meet implies both operands; both operands imply join.
+        assert!(small.meet(&big).implies(&small));
+        assert!(small.meet(&big).implies(&big));
+        assert!(small.implies(&small.join(&big)));
+        assert!(big.implies(&small.join(&big)));
+    }
+
+    #[test]
+    fn syntax_vs_semantics_distinction() {
+        // ψ̃ ≠ φ̃ as syntax but Mod(ψ̃) = Mod(φ̃) cannot happen in our
+        // normalized representation — equal functions are equal values.
+        // What survives is: different *constructions* yield the same KB.
+        let a = WeightedKb::from_weights(2, [(i(0b01), 2)]);
+        let b = WeightedKb::from_weights(2, [(i(0b01), 1), (i(0b01), 1)]);
+        assert!(a.equivalent(&b));
+    }
+
+    #[test]
+    fn all_weights_one_universe() {
+        let m = WeightedKb::all(3);
+        assert_eq!(m.support_size(), 8);
+        assert!(m.support().all(|(_, w)| w == 1));
+    }
+
+    #[test]
+    fn scale() {
+        let a = WeightedKb::from_weights(2, [(i(0b01), 2), (i(0b10), 3)]);
+        let s = a.scale(4);
+        assert_eq!(s.weight(i(0b01)), 8);
+        assert_eq!(s.weight(i(0b10)), 12);
+        assert!(!a.scale(0).is_satisfiable());
+    }
+
+    #[test]
+    fn total_weight() {
+        let a = WeightedKb::from_weights(2, [(i(0b01), 2), (i(0b10), 3)]);
+        assert_eq!(a.total_weight(), 5);
+        assert_eq!(WeightedKb::unsatisfiable(2).total_weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight overflow")]
+    fn join_overflow_panics_instead_of_wrapping() {
+        let a = WeightedKb::from_weights(1, [(i(0), u64::MAX)]);
+        let b = WeightedKb::from_weights(1, [(i(0), 1)]);
+        let _ = a.join(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight overflow")]
+    fn scale_overflow_panics_instead_of_wrapping() {
+        let a = WeightedKb::from_weights(1, [(i(0), u64::MAX / 2 + 1)]);
+        let _ = a.scale(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different signature widths")]
+    fn width_mismatch_panics() {
+        let a = WeightedKb::from_weights(2, [(i(0b01), 1)]);
+        let b = WeightedKb::from_weights(3, [(i(0b01), 1)]);
+        let _ = a.join(&b);
+    }
+}

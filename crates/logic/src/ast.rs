@@ -1,0 +1,361 @@
+//! The propositional formula AST.
+//!
+//! The paper builds formulas from terms with `¬`, `∧`, `∨`. We additionally
+//! provide the derived connectives `→`, `↔`, `⊕` and the constants `⊤`/`⊥`
+//! as first-class nodes because they appear constantly in the postulates
+//! (e.g. `ψ₁ ↔ ψ₂` in (A4)) and in arbitration itself
+//! (`ψ Δ φ = (ψ ∨ φ) ▷ ⊤`).
+
+use crate::interp::Var;
+use std::collections::BTreeSet;
+
+/// A propositional formula over [`Var`]s interned in a [`crate::Sig`].
+///
+/// `And`/`Or` are n-ary to keep big conjunctions flat; [`Formula::and`] and
+/// [`Formula::or`] flatten and fold constants on construction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant true `⊤`.
+    True,
+    /// The constant false `⊥`.
+    False,
+    /// A propositional variable.
+    Var(Var),
+    /// Negation `¬φ`.
+    Not(Box<Formula>),
+    /// N-ary conjunction `φ₁ ∧ … ∧ φ_k` (empty conjunction is `⊤`).
+    And(Vec<Formula>),
+    /// N-ary disjunction `φ₁ ∨ … ∨ φ_k` (empty disjunction is `⊥`).
+    Or(Vec<Formula>),
+    /// Material implication `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional `φ ↔ ψ`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Exclusive or `φ ⊕ ψ`.
+    Xor(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Variable as a formula.
+    pub fn var(v: Var) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// Negation, folding constants and double negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// A literal: the variable or its negation.
+    pub fn lit(v: Var, positive: bool) -> Formula {
+        if positive {
+            Formula::Var(v)
+        } else {
+            Formula::Not(Box::new(Formula::Var(v)))
+        }
+    }
+
+    /// Conjunction of an iterator of formulas, flattening nested `And`s and
+    /// folding `⊤`/`⊥`.
+    pub fn and<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas, flattening nested `Or`s and
+    /// folding `⊤`/`⊥`.
+    pub fn or<I: IntoIterator<Item = Formula>>(parts: I) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Binary conjunction convenience.
+    pub fn and2(a: Formula, b: Formula) -> Formula {
+        Formula::and([a, b])
+    }
+
+    /// Binary disjunction convenience.
+    pub fn or2(a: Formula, b: Formula) -> Formula {
+        Formula::or([a, b])
+    }
+
+    /// Implication `a → b`, folding constants.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::False, _) | (_, Formula::True) => Formula::True,
+            (Formula::True, _) => b,
+            (_, Formula::False) => Formula::not(a),
+            _ => Formula::Implies(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Biconditional `a ↔ b`, folding constants.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::True, _) => b,
+            (_, Formula::True) => a,
+            (Formula::False, _) => Formula::not(b),
+            (_, Formula::False) => Formula::not(a),
+            _ => Formula::Iff(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Exclusive or `a ⊕ b`, folding constants.
+    pub fn xor(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::False, _) => b,
+            (_, Formula::False) => a,
+            (Formula::True, _) => Formula::not(b),
+            (_, Formula::True) => Formula::not(a),
+            _ => Formula::Xor(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Is this syntactically the constant `⊤`?
+    pub fn is_true(&self) -> bool {
+        matches!(self, Formula::True)
+    }
+
+    /// Is this syntactically the constant `⊥`?
+    pub fn is_false(&self) -> bool {
+        matches!(self, Formula::False)
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                1 + a.size() + b.size()
+            }
+        }
+    }
+
+    /// Height of the AST (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::depth).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+        }
+    }
+
+    /// The set of variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Var(v) => {
+                out.insert(*v);
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+
+    /// Largest variable index occurring in the formula, if any.
+    pub fn max_var(&self) -> Option<Var> {
+        self.vars().into_iter().next_back()
+    }
+
+    /// Substitute `replacement` for every occurrence of variable `v`.
+    pub fn substitute(&self, v: Var, replacement: &Formula) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Var(w) => {
+                if *w == v {
+                    replacement.clone()
+                } else {
+                    Formula::Var(*w)
+                }
+            }
+            Formula::Not(f) => Formula::not(f.substitute(v, replacement)),
+            Formula::And(fs) => Formula::and(fs.iter().map(|f| f.substitute(v, replacement))),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|f| f.substitute(v, replacement))),
+            Formula::Implies(a, b) => {
+                Formula::implies(a.substitute(v, replacement), b.substitute(v, replacement))
+            }
+            Formula::Iff(a, b) => {
+                Formula::iff(a.substitute(v, replacement), b.substitute(v, replacement))
+            }
+            Formula::Xor(a, b) => {
+                Formula::xor(a.substitute(v, replacement), b.substitute(v, replacement))
+            }
+        }
+    }
+}
+
+impl std::ops::BitAnd for Formula {
+    type Output = Formula;
+    /// `f & g` builds the conjunction (with constant folding).
+    fn bitand(self, rhs: Formula) -> Formula {
+        Formula::and2(self, rhs)
+    }
+}
+
+impl std::ops::BitOr for Formula {
+    type Output = Formula;
+    /// `f | g` builds the disjunction (with constant folding).
+    fn bitor(self, rhs: Formula) -> Formula {
+        Formula::or2(self, rhs)
+    }
+}
+
+impl std::ops::BitXor for Formula {
+    type Output = Formula;
+    /// `f ^ g` builds the exclusive or (with constant folding).
+    fn bitxor(self, rhs: Formula) -> Formula {
+        Formula::xor(self, rhs)
+    }
+}
+
+impl std::ops::Not for Formula {
+    type Output = Formula;
+    /// `!f` builds the negation (with double-negation folding).
+    fn not(self) -> Formula {
+        Formula::not(self)
+    }
+}
+
+impl From<Var> for Formula {
+    fn from(v: Var) -> Formula {
+        Formula::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Formula {
+        Formula::Var(Var(i))
+    }
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert_eq!(Formula::not(Formula::True), Formula::False);
+        assert_eq!(Formula::not(Formula::not(v(0))), v(0));
+        assert_eq!(Formula::and([Formula::True, v(0)]), v(0));
+        assert_eq!(Formula::and([Formula::False, v(0)]), Formula::False);
+        assert_eq!(Formula::or([Formula::False, v(1)]), v(1));
+        assert_eq!(Formula::or([Formula::True, v(1)]), Formula::True);
+        assert_eq!(Formula::and([] as [Formula; 0]), Formula::True);
+        assert_eq!(Formula::or([] as [Formula; 0]), Formula::False);
+    }
+
+    #[test]
+    fn nary_constructors_flatten() {
+        let f = Formula::and([Formula::and([v(0), v(1)]), v(2)]);
+        assert_eq!(f, Formula::And(vec![v(0), v(1), v(2)]));
+        let g = Formula::or([v(0), Formula::or([v(1), v(2)])]);
+        assert_eq!(g, Formula::Or(vec![v(0), v(1), v(2)]));
+    }
+
+    #[test]
+    fn implies_iff_xor_fold() {
+        assert_eq!(Formula::implies(Formula::False, v(0)), Formula::True);
+        assert_eq!(Formula::implies(Formula::True, v(0)), v(0));
+        assert_eq!(Formula::implies(v(0), Formula::False), Formula::not(v(0)));
+        assert_eq!(Formula::iff(Formula::True, v(0)), v(0));
+        assert_eq!(Formula::iff(v(0), Formula::False), Formula::not(v(0)));
+        assert_eq!(Formula::xor(Formula::False, v(0)), v(0));
+        assert_eq!(Formula::xor(v(0), Formula::True), Formula::not(v(0)));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let f = Formula::and([v(0), Formula::not(v(1))]);
+        assert_eq!(f.size(), 4);
+        assert_eq!(f.depth(), 3);
+        assert_eq!(Formula::True.size(), 1);
+        assert_eq!(Formula::True.depth(), 1);
+    }
+
+    #[test]
+    fn vars_collects_all_occurrences() {
+        let f = Formula::implies(v(2), Formula::and([v(0), v(2), Formula::not(v(5))]));
+        let vars: Vec<Var> = f.vars().into_iter().collect();
+        assert_eq!(vars, vec![Var(0), Var(2), Var(5)]);
+        assert_eq!(f.max_var(), Some(Var(5)));
+        assert_eq!(Formula::True.max_var(), None);
+    }
+
+    #[test]
+    fn operator_overloads_match_constructors() {
+        assert_eq!(v(0) & v(1), Formula::and2(v(0), v(1)));
+        assert_eq!(v(0) | v(1), Formula::or2(v(0), v(1)));
+        assert_eq!(v(0) ^ v(1), Formula::xor(v(0), v(1)));
+        assert_eq!(!v(0), Formula::not(v(0)));
+        assert_eq!(!!v(0), v(0));
+        assert_eq!(v(0) & Formula::False, Formula::False);
+        let f: Formula = Var(3).into();
+        assert_eq!(f, v(3));
+        // A realistic chained build.
+        let g = (v(0) | v(1)) & !(v(0) & v(1));
+        let h = Formula::and2(
+            Formula::or2(v(0), v(1)),
+            Formula::not(Formula::and2(v(0), v(1))),
+        );
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn substitute_replaces_and_folds() {
+        let f = Formula::and([v(0), v(1)]);
+        assert_eq!(f.substitute(Var(0), &Formula::True), v(1));
+        assert_eq!(f.substitute(Var(1), &Formula::False), Formula::False);
+        let g = Formula::not(v(0)).substitute(Var(0), &Formula::not(v(1)));
+        assert_eq!(g, v(1));
+    }
+}

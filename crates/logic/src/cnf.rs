@@ -1,0 +1,416 @@
+//! Conjunctive normal form: distributive conversion for small formulas, and
+//! the Tseitin transformation producing DIMACS-style clause lists for the
+//! SAT backend in `arbitrex-sat`.
+
+use crate::ast::Formula;
+use crate::interp::Var;
+use crate::nnf::to_nnf;
+
+/// A CNF in DIMACS convention: variables are `1..=n_vars`, a positive
+/// literal is `v`, a negative literal is `-v`. Variable `i+1` here encodes
+/// the logic-level [`Var`]`(i)`; Tseitin auxiliaries take indices above the
+/// original signature width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Total number of variables, original plus auxiliary.
+    pub n_vars: u32,
+    /// Number of original (non-auxiliary) variables; DIMACS vars
+    /// `1..=n_original` correspond to `Var(0)..Var(n_original-1)`.
+    pub n_original: u32,
+    /// The clause list.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl Cnf {
+    /// Evaluate the clause set under a full assignment given as a slice of
+    /// booleans indexed by DIMACS variable minus one.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                if l > 0 {
+                    assignment[v]
+                } else {
+                    !assignment[v]
+                }
+            })
+        })
+    }
+}
+
+/// Distributive CNF conversion (on the NNF). Exponential in the worst case;
+/// meant for small formulas and for testing the Tseitin route.
+pub fn to_cnf(f: &Formula) -> Formula {
+    distribute(&to_nnf(f))
+}
+
+fn distribute(f: &Formula) -> Formula {
+    match f {
+        Formula::And(gs) => Formula::and(gs.iter().map(distribute)),
+        Formula::Or(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(distribute).collect();
+            // Fold pairwise distribution over the disjuncts.
+            parts
+                .into_iter()
+                .reduce(distribute_or2)
+                .unwrap_or(Formula::False)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Distribute `a ∨ b` where both are already in CNF.
+fn distribute_or2(a: Formula, b: Formula) -> Formula {
+    match (a, b) {
+        (Formula::And(xs), b) => Formula::and(xs.into_iter().map(|x| distribute_or2(x, b.clone()))),
+        (a, Formula::And(ys)) => Formula::and(ys.into_iter().map(|y| distribute_or2(a.clone(), y))),
+        (a, b) => Formula::or2(a, b),
+    }
+}
+
+/// Extract clauses directly from a formula that is already syntactically
+/// in CNF (a conjunction of clauses of literals, allowing `⊤`/`⊥`
+/// constants). Returns `None` when the formula has any other shape.
+///
+/// Unlike [`tseitin`] this introduces no auxiliary variables, so the
+/// resulting problem is over exactly the original signature — preferable
+/// for AllSAT enumeration and for the k-CNF benchmark workloads.
+pub fn direct_cnf(f: &Formula, n_original: u32) -> Option<Cnf> {
+    if let Some(v) = f.max_var() {
+        if v.0 >= n_original {
+            return None;
+        }
+    }
+    fn literal(f: &Formula) -> Option<i32> {
+        match f {
+            Formula::Var(v) => Some(v.0 as i32 + 1),
+            Formula::Not(g) => match &**g {
+                Formula::Var(v) => Some(-(v.0 as i32 + 1)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+    fn clause(f: &Formula) -> Option<Option<Vec<i32>>> {
+        // Outer None = not a clause; inner None = tautological (skip).
+        match f {
+            Formula::True => Some(None),
+            Formula::False => Some(Some(vec![])),
+            Formula::Or(parts) => {
+                let lits: Option<Vec<i32>> = parts.iter().map(literal).collect();
+                lits.map(Some)
+            }
+            other => literal(other).map(|l| Some(vec![l])),
+        }
+    }
+    let mut clauses = Vec::new();
+    let conjuncts: &[Formula] = match f {
+        Formula::And(parts) => parts,
+        other => std::slice::from_ref(other),
+    };
+    for part in conjuncts {
+        // `None` from the inner option is a ⊤ conjunct — skip it.
+        if let Some(c) = clause(part)? {
+            clauses.push(c);
+        }
+    }
+    Some(Cnf {
+        n_vars: n_original,
+        n_original,
+        clauses,
+    })
+}
+
+/// Clauses for the SAT backend: [`direct_cnf`] when the formula is already
+/// CNF-shaped, [`tseitin`] otherwise.
+pub fn to_clauses(f: &Formula, n_original: u32) -> Cnf {
+    direct_cnf(f, n_original).unwrap_or_else(|| tseitin(f, n_original))
+}
+
+/// Tseitin transformation: equisatisfiable CNF, linear in formula size.
+///
+/// `n_original` must cover every variable of `f`; the result's clause set is
+/// satisfiable iff `f` is, and every model of the CNF restricted to the
+/// original variables is a model of `f` (and vice versa, each model of `f`
+/// extends uniquely to the auxiliaries).
+pub fn tseitin(f: &Formula, n_original: u32) -> Cnf {
+    if let Some(v) = f.max_var() {
+        assert!(
+            v.0 < n_original,
+            "formula mentions v{} beyond width {n_original}",
+            v.0
+        );
+    }
+    let mut enc = Tseitin {
+        next: n_original as i32 + 1,
+        clauses: Vec::new(),
+    };
+    match enc.encode(f) {
+        Lit::Const(true) => {}
+        Lit::Const(false) => enc.clauses.push(vec![]),
+        Lit::Dimacs(root) => enc.clauses.push(vec![root]),
+    }
+    Cnf {
+        n_vars: (enc.next - 1) as u32,
+        n_original,
+        clauses: enc.clauses,
+    }
+}
+
+enum Lit {
+    Const(bool),
+    Dimacs(i32),
+}
+
+struct Tseitin {
+    next: i32,
+    clauses: Vec<Vec<i32>>,
+}
+
+impl Tseitin {
+    fn fresh(&mut self) -> i32 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+
+    fn var_lit(v: Var) -> i32 {
+        v.0 as i32 + 1
+    }
+
+    /// Encode `f`, returning a literal equivalent to it under the emitted
+    /// defining clauses.
+    fn encode(&mut self, f: &Formula) -> Lit {
+        match f {
+            Formula::True => Lit::Const(true),
+            Formula::False => Lit::Const(false),
+            Formula::Var(v) => Lit::Dimacs(Self::var_lit(*v)),
+            Formula::Not(g) => match self.encode(g) {
+                Lit::Const(b) => Lit::Const(!b),
+                Lit::Dimacs(l) => Lit::Dimacs(-l),
+            },
+            Formula::And(gs) => {
+                let mut lits = Vec::with_capacity(gs.len());
+                for g in gs {
+                    match self.encode(g) {
+                        Lit::Const(false) => return Lit::Const(false),
+                        Lit::Const(true) => {}
+                        Lit::Dimacs(l) => lits.push(l),
+                    }
+                }
+                self.define_and(lits)
+            }
+            Formula::Or(gs) => {
+                let mut lits = Vec::with_capacity(gs.len());
+                for g in gs {
+                    match self.encode(g) {
+                        Lit::Const(true) => return Lit::Const(true),
+                        Lit::Const(false) => {}
+                        Lit::Dimacs(l) => lits.push(l),
+                    }
+                }
+                match self.define_and(lits.iter().map(|&l| -l).collect()) {
+                    Lit::Const(b) => Lit::Const(!b),
+                    Lit::Dimacs(l) => Lit::Dimacs(-l),
+                }
+            }
+            Formula::Implies(a, b) => {
+                self.encode(&Formula::or2(Formula::not((**a).clone()), (**b).clone()))
+            }
+            Formula::Iff(a, b) => {
+                let la = self.encode(a);
+                let lb = self.encode(b);
+                match (la, lb) {
+                    (Lit::Const(x), Lit::Const(y)) => Lit::Const(x == y),
+                    (Lit::Const(true), Lit::Dimacs(l)) | (Lit::Dimacs(l), Lit::Const(true)) => {
+                        Lit::Dimacs(l)
+                    }
+                    (Lit::Const(false), Lit::Dimacs(l)) | (Lit::Dimacs(l), Lit::Const(false)) => {
+                        Lit::Dimacs(-l)
+                    }
+                    (Lit::Dimacs(x), Lit::Dimacs(y)) => {
+                        // t ↔ (x ↔ y)
+                        let t = self.fresh();
+                        self.clauses.push(vec![-t, -x, y]);
+                        self.clauses.push(vec![-t, x, -y]);
+                        self.clauses.push(vec![t, x, y]);
+                        self.clauses.push(vec![t, -x, -y]);
+                        Lit::Dimacs(t)
+                    }
+                }
+            }
+            Formula::Xor(a, b) => match self.encode(&Formula::Iff(a.clone(), b.clone())) {
+                Lit::Const(v) => Lit::Const(!v),
+                Lit::Dimacs(l) => Lit::Dimacs(-l),
+            },
+        }
+    }
+
+    /// Define a fresh `t ↔ (l₁ ∧ … ∧ l_k)` and return `t`.
+    fn define_and(&mut self, lits: Vec<i32>) -> Lit {
+        match lits.len() {
+            0 => Lit::Const(true),
+            1 => Lit::Dimacs(lits[0]),
+            _ => {
+                let t = self.fresh();
+                for &l in &lits {
+                    self.clauses.push(vec![-t, l]);
+                }
+                let mut long: Vec<i32> = lits.iter().map(|&l| -l).collect();
+                long.push(t);
+                self.clauses.push(long);
+                Lit::Dimacs(t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSet;
+    use crate::parser::parse;
+    use crate::sig::Sig;
+
+    /// Check Tseitin projection equivalence by brute force over all
+    /// assignments to original + auxiliary variables.
+    fn check_tseitin(s: &str) {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, s).unwrap();
+        let n = sig.width().max(1);
+        let cnf = tseitin(&f, n);
+        assert!(cnf.n_vars <= n + f.size() as u32);
+        let direct = ModelSet::of_formula(&f, n);
+        // Project CNF models onto original vars.
+        let mut projected = std::collections::BTreeSet::new();
+        let total = cnf.n_vars;
+        assert!(total <= 22, "test formula too large");
+        for bits in 0..(1u64 << total) {
+            let assignment: Vec<bool> = (0..total).map(|i| bits >> i & 1 == 1).collect();
+            if cnf.eval(&assignment) {
+                projected.insert(bits & ((1u64 << n) - 1));
+            }
+        }
+        let projected: Vec<crate::Interp> = projected.into_iter().map(crate::Interp).collect();
+        assert_eq!(
+            ModelSet::new(n, projected),
+            direct,
+            "tseitin mismatch on {s}"
+        );
+    }
+
+    #[test]
+    fn tseitin_projection_equivalence() {
+        for s in [
+            "A",
+            "!A",
+            "A & B",
+            "A | B",
+            "A -> B",
+            "A <-> B",
+            "A ^ B",
+            "(A | B) & (!A | C)",
+            "!(A & (B -> !C) <-> (A ^ C))",
+            "(!S & D) | (S & D)",
+            "true",
+            "false",
+            "A & !A",
+        ] {
+            check_tseitin(s);
+        }
+    }
+
+    fn is_cnf(f: &Formula) -> bool {
+        fn is_clause(f: &Formula) -> bool {
+            match f {
+                Formula::Or(gs) => gs.iter().all(is_lit),
+                other => is_lit(other),
+            }
+        }
+        fn is_lit(f: &Formula) -> bool {
+            match f {
+                Formula::Var(_) | Formula::True | Formula::False => true,
+                Formula::Not(g) => matches!(**g, Formula::Var(_)),
+                _ => false,
+            }
+        }
+        match f {
+            Formula::And(gs) => gs.iter().all(is_clause),
+            other => is_clause(other),
+        }
+    }
+
+    #[test]
+    fn distributive_cnf_is_cnf_and_equivalent() {
+        for s in [
+            "A | (B & C)",
+            "(A & B) | (C & D)",
+            "A <-> B",
+            "!(A -> (B | C))",
+            "(A & B) | (B & C) | (C & A)",
+        ] {
+            let mut sig = Sig::new();
+            let f = parse(&mut sig, s).unwrap();
+            let n = sig.width();
+            let g = to_cnf(&f);
+            assert!(is_cnf(&g), "not CNF for {s}: {g:?}");
+            assert_eq!(
+                ModelSet::of_formula(&f, n),
+                ModelSet::of_formula(&g, n),
+                "CNF changed semantics of {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn tseitin_of_constants() {
+        let t = tseitin(&Formula::True, 2);
+        assert!(t.clauses.is_empty());
+        let f = tseitin(&Formula::False, 2);
+        assert_eq!(f.clauses, vec![Vec::<i32>::new()]);
+    }
+
+    #[test]
+    fn direct_cnf_accepts_cnf_shapes_only() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "(A | !B) & C & (B | C | !A)").unwrap();
+        let cnf = direct_cnf(&f, 3).unwrap();
+        assert_eq!(cnf.n_vars, 3); // no auxiliaries
+        assert_eq!(cnf.clauses.len(), 3);
+        // Semantics match full enumeration.
+        for bits in 0..8u64 {
+            let assignment: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                cnf.eval(&assignment),
+                crate::eval::eval(&f, crate::Interp(bits))
+            );
+        }
+        // Non-CNF shapes are rejected, falling back to Tseitin.
+        let g = parse(&mut sig, "A -> B").unwrap();
+        assert!(direct_cnf(&g, 3).is_none());
+        let both = to_clauses(&g, 3);
+        assert!(both.n_vars >= 3);
+        // Single clause / single literal / constants.
+        let h = parse(&mut sig, "A | B").unwrap();
+        assert_eq!(direct_cnf(&h, 3).unwrap().clauses, vec![vec![1, 2]]);
+        let l = parse(&mut sig, "!C").unwrap();
+        assert_eq!(direct_cnf(&l, 3).unwrap().clauses, vec![vec![-3]]);
+        assert!(direct_cnf(&Formula::True, 2).unwrap().clauses.is_empty());
+        assert_eq!(
+            direct_cnf(&Formula::False, 2).unwrap().clauses,
+            vec![Vec::<i32>::new()]
+        );
+    }
+
+    #[test]
+    fn cnf_eval_checks_all_clauses() {
+        let cnf = Cnf {
+            n_vars: 2,
+            n_original: 2,
+            clauses: vec![vec![1, 2], vec![-1]],
+        };
+        assert!(cnf.eval(&[false, true]));
+        assert!(!cnf.eval(&[true, true])); // violates -1
+        assert!(!cnf.eval(&[false, false])); // violates 1 v 2
+    }
+}

@@ -1,0 +1,180 @@
+//! Pretty-printing formulas with minimal parentheses.
+//!
+//! [`Formula`] stores bare variable indices, so rendering needs a [`Sig`] to
+//! recover names: use [`Formula::display`]. The output re-parses to an equal
+//! formula (round-trip property, tested in `tests/`).
+
+use crate::ast::Formula;
+use crate::sig::Sig;
+use std::fmt;
+
+/// Binding strength used to decide where parentheses are required.
+/// Higher binds tighter.
+fn precedence(f: &Formula) -> u8 {
+    match f {
+        Formula::Iff(..) => 1,
+        Formula::Implies(..) => 2,
+        Formula::Or(..) => 3,
+        Formula::Xor(..) => 4,
+        Formula::And(..) => 5,
+        Formula::Not(..) => 6,
+        Formula::True | Formula::False | Formula::Var(_) => 7,
+    }
+}
+
+impl Formula {
+    /// Render the formula using variable names from `sig`.
+    ///
+    /// ```
+    /// use arbitrex_logic::{parse, Sig};
+    /// let mut sig = Sig::new();
+    /// let f = parse(&mut sig, "(!S & D) | (S & D)").unwrap();
+    /// assert_eq!(f.display(&sig).to_string(), "!S & D | S & D");
+    /// ```
+    pub fn display<'a>(&'a self, sig: &'a Sig) -> FormulaDisplay<'a> {
+        FormulaDisplay { f: self, sig }
+    }
+}
+
+/// Helper returned by [`Formula::display`].
+pub struct FormulaDisplay<'a> {
+    f: &'a Formula,
+    sig: &'a Sig,
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(self.f, self.sig, out, 0)
+    }
+}
+
+fn write_formula(
+    f: &Formula,
+    sig: &Sig,
+    out: &mut fmt::Formatter<'_>,
+    parent_prec: u8,
+) -> fmt::Result {
+    let prec = precedence(f);
+    let needs_parens = prec < parent_prec;
+    if needs_parens {
+        write!(out, "(")?;
+    }
+    match f {
+        Formula::True => write!(out, "true")?,
+        Formula::False => write!(out, "false")?,
+        Formula::Var(v) => {
+            if v.index() < sig.len() {
+                write!(out, "{}", sig.name(*v))?;
+            } else {
+                write!(out, "v{}", v.0)?;
+            }
+        }
+        Formula::Not(g) => {
+            write!(out, "!")?;
+            write_formula(g, sig, out, prec + 1)?;
+        }
+        Formula::And(gs) => write_nary(gs, " & ", sig, out, prec)?,
+        Formula::Or(gs) => write_nary(gs, " | ", sig, out, prec)?,
+        Formula::Xor(a, b) => {
+            write_formula(a, sig, out, prec)?;
+            write!(out, " ^ ")?;
+            write_formula(b, sig, out, prec + 1)?;
+        }
+        Formula::Implies(a, b) => {
+            // Right-associative: parenthesize a left nested implication.
+            write_formula(a, sig, out, prec + 1)?;
+            write!(out, " -> ")?;
+            write_formula(b, sig, out, prec)?;
+        }
+        Formula::Iff(a, b) => {
+            write_formula(a, sig, out, prec)?;
+            write!(out, " <-> ")?;
+            write_formula(b, sig, out, prec + 1)?;
+        }
+    }
+    if needs_parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+fn write_nary(
+    parts: &[Formula],
+    sep: &str,
+    sig: &Sig,
+    out: &mut fmt::Formatter<'_>,
+    prec: u8,
+) -> fmt::Result {
+    debug_assert!(
+        parts.len() >= 2,
+        "constructors keep n-ary nodes non-degenerate"
+    );
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            write!(out, "{sep}")?;
+        }
+        // Children at equal precedence need no parens for associative ops,
+        // but a nested same-op node must keep them to round-trip the shape.
+        write_formula(p, sig, out, prec + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(s: &str) -> String {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, s).unwrap();
+        f.display(&sig).to_string()
+    }
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(roundtrip("A"), "A");
+        assert_eq!(roundtrip("true"), "true");
+        assert_eq!(roundtrip("false"), "false");
+    }
+
+    #[test]
+    fn minimal_parentheses() {
+        assert_eq!(roundtrip("A | (B & C)"), "A | B & C");
+        assert_eq!(roundtrip("(A | B) & C"), "(A | B) & C");
+        assert_eq!(roundtrip("!(A & B)"), "!(A & B)");
+        assert_eq!(roundtrip("!A & B"), "!A & B");
+    }
+
+    #[test]
+    fn implication_associativity_preserved() {
+        assert_eq!(roundtrip("A -> B -> C"), "A -> B -> C");
+        assert_eq!(roundtrip("(A -> B) -> C"), "(A -> B) -> C");
+    }
+
+    #[test]
+    fn display_reparses_to_same_formula() {
+        let inputs = [
+            "A & B & (A & B -> C)",
+            "(!S & D) | (S & D)",
+            "(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)",
+            "A <-> B ^ C",
+            "!(A | !B) -> (C <-> D)",
+        ];
+        for s in inputs {
+            let mut sig = Sig::new();
+            let f = parse(&mut sig, s).unwrap();
+            let printed = f.display(&sig).to_string();
+            let mut sig2 = sig.clone();
+            let g = parse(&mut sig2, &printed).unwrap();
+            assert_eq!(f, g, "round-trip failed for `{s}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn unknown_var_renders_with_index() {
+        let sig = Sig::new();
+        let f = Formula::Var(crate::interp::Var(7));
+        assert_eq!(f.display(&sig).to_string(), "v7");
+    }
+}

@@ -1,0 +1,93 @@
+//! Disjunctive normal form by distribution over the NNF.
+
+use crate::ast::Formula;
+use crate::nnf::to_nnf;
+
+/// Rewrite into disjunctive normal form. Exponential in the worst case;
+/// intended for small formulas (model-set `to_formula` already yields a
+/// canonical DNF of minterms for the semantic route).
+pub fn to_dnf(f: &Formula) -> Formula {
+    distribute(&to_nnf(f))
+}
+
+fn distribute(f: &Formula) -> Formula {
+    match f {
+        Formula::Or(gs) => Formula::or(gs.iter().map(distribute)),
+        Formula::And(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(distribute).collect();
+            parts
+                .into_iter()
+                .reduce(distribute_and2)
+                .unwrap_or(Formula::True)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Distribute `a ∧ b` where both are already in DNF.
+fn distribute_and2(a: Formula, b: Formula) -> Formula {
+    match (a, b) {
+        (Formula::Or(xs), b) => Formula::or(xs.into_iter().map(|x| distribute_and2(x, b.clone()))),
+        (a, Formula::Or(ys)) => Formula::or(ys.into_iter().map(|y| distribute_and2(a.clone(), y))),
+        (a, b) => Formula::and2(a, b),
+    }
+}
+
+/// Is the formula in DNF (a disjunction of conjunctions of literals)?
+pub fn is_dnf(f: &Formula) -> bool {
+    fn is_term(f: &Formula) -> bool {
+        match f {
+            Formula::And(gs) => gs.iter().all(is_lit),
+            other => is_lit(other),
+        }
+    }
+    fn is_lit(f: &Formula) -> bool {
+        match f {
+            Formula::Var(_) | Formula::True | Formula::False => true,
+            Formula::Not(g) => matches!(**g, Formula::Var(_)),
+            _ => false,
+        }
+    }
+    match f {
+        Formula::Or(gs) => gs.iter().all(is_term),
+        other => is_term(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSet;
+    use crate::parser::parse;
+    use crate::sig::Sig;
+
+    #[test]
+    fn dnf_is_dnf_and_equivalent() {
+        for s in [
+            "A & (B | C)",
+            "(A | B) & (C | D)",
+            "A <-> B",
+            "!(A -> (B | C))",
+            "(A | B) & (B | C) & (C | A)",
+            "A",
+            "!A",
+        ] {
+            let mut sig = Sig::new();
+            let f = parse(&mut sig, s).unwrap();
+            let n = sig.width();
+            let g = to_dnf(&f);
+            assert!(is_dnf(&g), "not DNF for {s}: {g:?}");
+            assert_eq!(
+                ModelSet::of_formula(&f, n),
+                ModelSet::of_formula(&g, n),
+                "DNF changed semantics of {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_set_to_formula_is_dnf() {
+        let s = ModelSet::new(3, [crate::Interp(0b010), crate::Interp(0b111)]);
+        assert!(is_dnf(&s.to_formula()));
+    }
+}

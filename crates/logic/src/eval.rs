@@ -1,0 +1,78 @@
+//! Formula evaluation under an interpretation.
+
+use crate::ast::Formula;
+use crate::interp::Interp;
+
+/// Evaluate `f` under interpretation `i` (the classical `I ⊨ f` relation).
+pub fn eval(f: &Formula, i: Interp) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Var(v) => i.get(*v),
+        Formula::Not(g) => !eval(g, i),
+        Formula::And(gs) => gs.iter().all(|g| eval(g, i)),
+        Formula::Or(gs) => gs.iter().any(|g| eval(g, i)),
+        Formula::Implies(a, b) => !eval(a, i) || eval(b, i),
+        Formula::Iff(a, b) => eval(a, i) == eval(b, i),
+        Formula::Xor(a, b) => eval(a, i) != eval(b, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Var;
+
+    fn v(i: u32) -> Formula {
+        Formula::Var(Var(i))
+    }
+
+    #[test]
+    fn constants() {
+        assert!(eval(&Formula::True, Interp::EMPTY));
+        assert!(!eval(&Formula::False, Interp::EMPTY));
+    }
+
+    #[test]
+    fn variables_and_negation() {
+        let i = Interp::from_vars([Var(1)]);
+        assert!(!eval(&v(0), i));
+        assert!(eval(&v(1), i));
+        assert!(eval(&Formula::not(v(0)), i));
+    }
+
+    #[test]
+    fn connectives_truth_tables() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let i = Interp::EMPTY.with(Var(0), a).with(Var(1), b);
+                assert_eq!(eval(&Formula::and2(v(0), v(1)), i), a && b);
+                assert_eq!(eval(&Formula::or2(v(0), v(1)), i), a || b);
+                assert_eq!(
+                    eval(&Formula::Implies(Box::new(v(0)), Box::new(v(1))), i),
+                    !a || b
+                );
+                assert_eq!(
+                    eval(&Formula::Iff(Box::new(v(0)), Box::new(v(1))), i),
+                    a == b
+                );
+                assert_eq!(
+                    eval(&Formula::Xor(Box::new(v(0)), Box::new(v(1))), i),
+                    a != b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intro_example_theory() {
+        // {A, B, A ∧ B → C}: satisfied by {A,B,C} but not by {A,B}.
+        let theory = Formula::and([
+            v(0),
+            v(1),
+            Formula::implies(Formula::and2(v(0), v(1)), v(2)),
+        ]);
+        assert!(eval(&theory, Interp::from_vars([Var(0), Var(1), Var(2)])));
+        assert!(!eval(&theory, Interp::from_vars([Var(0), Var(1)])));
+    }
+}

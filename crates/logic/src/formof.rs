@@ -1,0 +1,60 @@
+//! The `form(I₁,…,I_k)` construction from the paper's proofs: a formula
+//! whose models are *exactly* the given interpretations.
+
+use crate::ast::Formula;
+use crate::interp::{Interp, Var};
+
+/// Build the minterm (complete conjunction of literals) whose unique model
+/// over `n_vars` variables is `i`.
+pub fn minterm(n_vars: u32, i: Interp) -> Formula {
+    Formula::and((0..n_vars).map(|k| Formula::lit(Var(k), i.get(Var(k)))))
+}
+
+/// `form(I₁,…,I_k)`: the canonical formula with exactly the given models —
+/// a disjunction of minterms (`⊥` for the empty collection).
+///
+/// ```
+/// use arbitrex_logic::{form_of, Interp, ModelSet};
+/// let f = form_of(2, [Interp(0b01), Interp(0b10)]);
+/// assert_eq!(ModelSet::of_formula(&f, 2).len(), 2);
+/// ```
+pub fn form_of<I: IntoIterator<Item = Interp>>(n_vars: u32, models: I) -> Formula {
+    Formula::or(models.into_iter().map(|m| minterm(n_vars, m)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSet;
+
+    #[test]
+    fn minterm_has_unique_model() {
+        for bits in 0..8u64 {
+            let f = minterm(3, Interp(bits));
+            let m = ModelSet::of_formula(&f, 3);
+            assert_eq!(m.as_singleton(), Some(Interp(bits)));
+        }
+    }
+
+    #[test]
+    fn minterm_over_zero_vars_is_true() {
+        assert_eq!(minterm(0, Interp::EMPTY), Formula::True);
+    }
+
+    #[test]
+    fn form_of_empty_is_false() {
+        assert_eq!(form_of(3, []), Formula::False);
+    }
+
+    #[test]
+    fn form_of_roundtrips_every_subset_of_two_var_universe() {
+        for mask in 0u32..16 {
+            let models: Vec<Interp> = (0..4u64)
+                .filter(|b| mask >> b & 1 == 1)
+                .map(Interp)
+                .collect();
+            let f = form_of(2, models.iter().copied());
+            assert_eq!(ModelSet::of_formula(&f, 2), ModelSet::new(2, models));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Interpretations over a finite propositional signature.
+//!
+//! The paper takes a finite set of terms `𝒯` and calls every subset
+//! `I ⊆ 𝒯` an interpretation. We represent an interpretation as a bitmask:
+//! bit `i` is set iff variable `i` is in `I`. This caps the enumeration
+//! layer at [`MAX_VARS`] = 64 variables, which is far beyond exhaustive
+//! enumeration anyway (the SAT backend covers larger signatures).
+
+use std::fmt;
+
+/// Maximum number of variables supported by the enumeration layer.
+pub const MAX_VARS: usize = 64;
+
+/// A propositional variable, identified by its index in a [`crate::Sig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index of this variable as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An interpretation: a subset of the signature's variables, as a bitmask.
+///
+/// `Interp` does not itself remember the signature width; containers such as
+/// [`crate::ModelSet`] carry the width and guarantee that stored masks only
+/// use the low `n` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Interp(pub u64);
+
+impl Interp {
+    /// The empty interpretation `∅` (every variable false).
+    pub const EMPTY: Interp = Interp(0);
+
+    /// Build an interpretation from the list of variables it makes true.
+    pub fn from_vars<I: IntoIterator<Item = Var>>(vars: I) -> Interp {
+        let mut bits = 0u64;
+        for v in vars {
+            assert!(v.index() < MAX_VARS, "variable index {} out of range", v.0);
+            bits |= 1u64 << v.index();
+        }
+        Interp(bits)
+    }
+
+    /// The full interpretation over `n` variables (every variable true).
+    pub fn full(n: u32) -> Interp {
+        assert!(n as usize <= MAX_VARS);
+        if n == 64 {
+            Interp(u64::MAX)
+        } else {
+            Interp((1u64 << n) - 1)
+        }
+    }
+
+    /// Does this interpretation make variable `v` true?
+    #[inline]
+    pub fn get(self, v: Var) -> bool {
+        (self.0 >> v.index()) & 1 == 1
+    }
+
+    /// Return a copy with variable `v` set to `value`.
+    #[inline]
+    pub fn with(self, v: Var, value: bool) -> Interp {
+        if value {
+            Interp(self.0 | (1u64 << v.index()))
+        } else {
+            Interp(self.0 & !(1u64 << v.index()))
+        }
+    }
+
+    /// Return a copy with variable `v` flipped.
+    #[inline]
+    pub fn flip(self, v: Var) -> Interp {
+        Interp(self.0 ^ (1u64 << v.index()))
+    }
+
+    /// Number of variables assigned true.
+    #[inline]
+    pub fn count_true(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Dalal's distance: the number of variables on which `self` and `other`
+    /// differ, i.e. `|(I \ J) ∪ (J \ I)|`. For `I = {A,B,C}` and
+    /// `J = {C,D,E}` this is 4, as in Section 2 of the paper.
+    #[inline]
+    pub fn dist(self, other: Interp) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// The symmetric difference `(I \ J) ∪ (J \ I)` as a variable mask.
+    #[inline]
+    pub fn diff_mask(self, other: Interp) -> u64 {
+        self.0 ^ other.0
+    }
+
+    /// Iterate over the variables assigned true.
+    pub fn true_vars(self) -> impl Iterator<Item = Var> {
+        let bits = self.0;
+        (0..64u32).filter(move |i| (bits >> i) & 1 == 1).map(Var)
+    }
+
+    /// Render against a signature, e.g. `{S, D}`.
+    pub fn display<'a>(self, sig: &'a crate::Sig) -> InterpDisplay<'a> {
+        InterpDisplay { interp: self, sig }
+    }
+}
+
+/// Helper returned by [`Interp::display`].
+pub struct InterpDisplay<'a> {
+    interp: Interp,
+    sig: &'a crate::Sig,
+}
+
+impl fmt::Display for InterpDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for v in self.interp.true_vars() {
+            if v.index() >= self.sig.len() {
+                break;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.sig.name(v))?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vars_and_get() {
+        let i = Interp::from_vars([Var(0), Var(3)]);
+        assert!(i.get(Var(0)));
+        assert!(!i.get(Var(1)));
+        assert!(!i.get(Var(2)));
+        assert!(i.get(Var(3)));
+    }
+
+    #[test]
+    fn full_has_n_low_bits() {
+        assert_eq!(Interp::full(0).0, 0);
+        assert_eq!(Interp::full(3).0, 0b111);
+        assert_eq!(Interp::full(64).0, u64::MAX);
+    }
+
+    #[test]
+    fn with_and_flip_are_inverses() {
+        let i = Interp::EMPTY.with(Var(2), true);
+        assert!(i.get(Var(2)));
+        assert_eq!(i.with(Var(2), false), Interp::EMPTY);
+        assert_eq!(i.flip(Var(2)), Interp::EMPTY);
+        assert_eq!(Interp::EMPTY.flip(Var(5)).flip(Var(5)), Interp::EMPTY);
+    }
+
+    #[test]
+    fn dalal_distance_matches_paper_example() {
+        // I = {A,B,C}, J = {C,D,E} over vars A..E => dist = 4.
+        let i = Interp::from_vars([Var(0), Var(1), Var(2)]);
+        let j = Interp::from_vars([Var(2), Var(3), Var(4)]);
+        assert_eq!(i.dist(j), 4);
+        assert_eq!(j.dist(i), 4);
+    }
+
+    #[test]
+    fn dist_is_zero_iff_equal() {
+        let i = Interp(0b1010);
+        assert_eq!(i.dist(i), 0);
+        assert!(i.dist(Interp(0b1011)) > 0);
+    }
+
+    #[test]
+    fn true_vars_roundtrip() {
+        let i = Interp::from_vars([Var(1), Var(4), Var(63)]);
+        let vs: Vec<Var> = i.true_vars().collect();
+        assert_eq!(vs, vec![Var(1), Var(4), Var(63)]);
+        assert_eq!(Interp::from_vars(vs), i);
+    }
+
+    #[test]
+    fn count_true_counts_bits() {
+        assert_eq!(Interp(0b10110).count_true(), 3);
+        assert_eq!(Interp::EMPTY.count_true(), 0);
+    }
+
+    #[test]
+    fn display_uses_signature_names() {
+        let mut sig = crate::Sig::new();
+        let s = sig.var("S");
+        let d = sig.var("D");
+        sig.var("Q");
+        let i = Interp::from_vars([s, d]);
+        assert_eq!(format!("{}", i.display(&sig)), "{S, D}");
+        assert_eq!(format!("{}", Interp::EMPTY.display(&sig)), "{}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Two-level minimization: Quine–McCluskey prime implicants with a greedy
+//! cover.
+//!
+//! [`ModelSet::to_formula`](crate::ModelSet::to_formula) returns a
+//! canonical but verbose DNF of minterms; [`minimal_dnf`] produces a small
+//! equivalent DNF for human consumption (CLI output, examples, reports).
+//! Prime implicants are exact; the cover is greedy, so the result is
+//! guaranteed equivalent and prime but within a log-factor of the optimal
+//! cover size rather than optimal (Petrick's method would be exponential).
+
+use crate::ast::Formula;
+use crate::interp::Var;
+use crate::models::ModelSet;
+
+/// An implicant: a partial assignment `(fixed-bits mask, values)` covering
+/// the models that agree with `values` on `mask`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Cube {
+    /// Bits that are fixed (1 = fixed).
+    mask: u64,
+    /// Values on the fixed bits (0 elsewhere).
+    values: u64,
+}
+
+impl Cube {
+    fn covers(self, m: u64) -> bool {
+        m & self.mask == self.values
+    }
+
+    /// Try to merge two cubes differing in exactly one fixed bit.
+    fn merge(self, other: Cube) -> Option<Cube> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = self.values ^ other.values;
+        if diff.count_ones() == 1 {
+            Some(Cube {
+                mask: self.mask & !diff,
+                values: self.values & !diff,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn to_formula(self, n_vars: u32) -> Formula {
+        Formula::and((0..n_vars).filter_map(|v| {
+            let bit = 1u64 << v;
+            if self.mask & bit != 0 {
+                Some(Formula::lit(Var(v), self.values & bit != 0))
+            } else {
+                None
+            }
+        }))
+    }
+}
+
+/// Compute all prime implicants of the model set by iterated merging.
+fn prime_implicants(models: &ModelSet) -> Vec<Cube> {
+    let full_mask = crate::Interp::full(models.n_vars()).0;
+    let mut current: Vec<Cube> = models
+        .iter()
+        .map(|i| Cube {
+            mask: full_mask,
+            values: i.0,
+        })
+        .collect();
+    let mut primes: Vec<Cube> = Vec::new();
+    while !current.is_empty() {
+        let mut merged_flags = vec![false; current.len()];
+        let mut next: Vec<Cube> = Vec::new();
+        for i in 0..current.len() {
+            for j in (i + 1)..current.len() {
+                if let Some(m) = current[i].merge(current[j]) {
+                    merged_flags[i] = true;
+                    merged_flags[j] = true;
+                    next.push(m);
+                }
+            }
+        }
+        for (cube, merged) in current.iter().zip(&merged_flags) {
+            if !merged {
+                primes.push(*cube);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    primes.sort_unstable();
+    primes.dedup();
+    primes
+}
+
+/// A small DNF equivalent to the model set: prime implicants +
+/// greedy set cover. Returns `⊥` for the empty set and `⊤` for the full
+/// universe.
+pub fn minimal_dnf(models: &ModelSet) -> Formula {
+    if models.is_empty() {
+        return Formula::False;
+    }
+    let n = models.n_vars();
+    if models.len() as u128 == 1u128 << n {
+        return Formula::True;
+    }
+    let primes = prime_implicants(models);
+    // Greedy cover of the models by prime implicants.
+    let mut uncovered: Vec<u64> = models.iter().map(|i| i.0).collect();
+    let mut chosen: Vec<Cube> = Vec::new();
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .max_by_key(|c| uncovered.iter().filter(|&&m| c.covers(m)).count())
+            .copied()
+            .expect("primes cover every model");
+        uncovered.retain(|&m| !best.covers(m));
+        chosen.push(best);
+    }
+    Formula::or(chosen.into_iter().map(|c| c.to_formula(n)))
+}
+
+/// Convenience: minimize an arbitrary formula over `n_vars` variables
+/// (enumerates its models first).
+pub fn minimize_formula(f: &Formula, n_vars: u32) -> Formula {
+    minimal_dnf(&ModelSet::of_formula(f, n_vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use crate::parser::parse;
+    use crate::sig::Sig;
+
+    fn ms(n: u32, bits: &[u64]) -> ModelSet {
+        ModelSet::new(n, bits.iter().map(|&b| Interp(b)))
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(minimal_dnf(&ModelSet::empty(2)), Formula::False);
+        assert_eq!(minimal_dnf(&ModelSet::all(2)), Formula::True);
+    }
+
+    #[test]
+    fn single_variable_recovered() {
+        // Models of "A" over A,B: {A}, {A,B} -> minimal DNF is just A.
+        let m = ms(2, &[0b01, 0b11]);
+        assert_eq!(minimal_dnf(&m), Formula::Var(Var(0)));
+    }
+
+    #[test]
+    fn xor_stays_two_terms() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A ^ B").unwrap();
+        let m = ModelSet::of_formula(&f, 2);
+        let g = minimal_dnf(&m);
+        // A⊕B has exactly two prime implicants, both needed.
+        match &g {
+            Formula::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected a 2-term DNF, got {other:?}"),
+        }
+        assert_eq!(ModelSet::of_formula(&g, 2), m);
+    }
+
+    #[test]
+    fn classic_qmc_example() {
+        // f(A,B,C) with models {0b000, 0b001, 0b010, 0b011, 0b101}
+        // (bit0 = A, bit2 = C): minimal DNF is !C | (A & !B) —
+        // two implicants, three literals, AST size 7.
+        let m = ms(3, &[0b000, 0b001, 0b010, 0b011, 0b101]);
+        let g = minimal_dnf(&m);
+        assert_eq!(ModelSet::of_formula(&g, 3), m);
+        assert!(g.size() <= 7, "not minimal enough: {g:?}");
+    }
+
+    #[test]
+    fn minimization_is_equivalence_preserving_exhaustively_n3() {
+        // Every one of the 256 model sets over 3 variables round-trips.
+        for mask in 0u32..256 {
+            let m = ModelSet::new(3, (0..8u64).filter(|b| mask >> b & 1 == 1).map(Interp));
+            let g = minimal_dnf(&m);
+            assert_eq!(ModelSet::of_formula(&g, 3), m, "mask {mask:#b}");
+            // Never larger than the raw minterm DNF.
+            assert!(g.size() <= m.to_formula().size());
+        }
+    }
+
+    #[test]
+    fn minimize_formula_shrinks_redundant_input() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "(A & B) | (A & !B) | (A & C)").unwrap();
+        let g = minimize_formula(&f, 3);
+        assert_eq!(g, Formula::Var(Var(0))); // everything collapses to A
+    }
+}

@@ -1,0 +1,138 @@
+//! Negation normal form.
+
+use crate::ast::Formula;
+
+/// Rewrite into negation normal form: `¬` applied only to variables, and all
+/// of `→`, `↔`, `⊕` expanded into `∧`/`∨`/`¬`.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn nnf(f: &Formula, negated: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if negated {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negated {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Var(v) => Formula::lit(*v, !negated),
+        Formula::Not(g) => nnf(g, !negated),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| nnf(g, negated));
+            if negated {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| nnf(g, negated));
+            if negated {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            if negated {
+                // ¬(a → b) = a ∧ ¬b
+                Formula::and2(nnf(a, false), nnf(b, true))
+            } else {
+                Formula::or2(nnf(a, true), nnf(b, false))
+            }
+        }
+        Formula::Iff(a, b) => {
+            // a ↔ b = (a ∧ b) ∨ (¬a ∧ ¬b); negation swaps to xor form.
+            if negated {
+                Formula::or2(
+                    Formula::and2(nnf(a, false), nnf(b, true)),
+                    Formula::and2(nnf(a, true), nnf(b, false)),
+                )
+            } else {
+                Formula::or2(
+                    Formula::and2(nnf(a, false), nnf(b, false)),
+                    Formula::and2(nnf(a, true), nnf(b, true)),
+                )
+            }
+        }
+        Formula::Xor(a, b) => nnf(&Formula::Iff(a.clone(), b.clone()), !negated),
+    }
+}
+
+/// Is the formula in negation normal form?
+pub fn is_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Var(_) => true,
+        Formula::Not(g) => matches!(**g, Formula::Var(_)),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().all(is_nnf),
+        Formula::Implies(..) | Formula::Iff(..) | Formula::Xor(..) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSet;
+    use crate::parser::parse;
+    use crate::sig::Sig;
+
+    fn check_equiv(s: &str) {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, s).unwrap();
+        let n = sig.width().max(1);
+        let g = to_nnf(&f);
+        assert!(is_nnf(&g), "not NNF: {s}");
+        assert_eq!(
+            ModelSet::of_formula(&f, n),
+            ModelSet::of_formula(&g, n),
+            "NNF changed semantics of {s}"
+        );
+    }
+
+    #[test]
+    fn nnf_preserves_semantics() {
+        for s in [
+            "A",
+            "!A",
+            "!!A",
+            "!(A & B)",
+            "!(A | B | C)",
+            "A -> B",
+            "!(A -> B)",
+            "A <-> B",
+            "!(A <-> B)",
+            "A ^ B",
+            "!(A ^ B)",
+            "!(A & (B -> !C) <-> (A ^ C))",
+            "!true",
+            "!false",
+        ] {
+            check_equiv(s);
+        }
+    }
+
+    #[test]
+    fn nnf_output_shape() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "!(A & B)").unwrap();
+        let g = parse(&mut sig, "!A | !B").unwrap();
+        assert_eq!(to_nnf(&f), g);
+    }
+
+    #[test]
+    fn is_nnf_detects_embedded_connectives() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A -> B").unwrap();
+        assert!(!is_nnf(&f));
+        assert!(is_nnf(&to_nnf(&f)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Random generators for formulas, interpretations and model sets.
+//!
+//! Used by the postulate fuzz harness (randomized validation of Theorems
+//! 3.1/3.2/4.1 on universes too large to enumerate exhaustively) and by the
+//! scaling benchmarks.
+
+use crate::ast::Formula;
+use crate::interp::{Interp, Var};
+use crate::models::ModelSet;
+use rand::Rng;
+
+/// Configuration for random formula trees.
+#[derive(Debug, Clone, Copy)]
+pub struct FormulaGen {
+    /// Number of distinct variables to draw from.
+    pub n_vars: u32,
+    /// Maximum AST depth.
+    pub max_depth: u32,
+    /// Probability that an internal position becomes a leaf early.
+    pub leaf_bias: f64,
+}
+
+impl Default for FormulaGen {
+    fn default() -> Self {
+        FormulaGen {
+            n_vars: 4,
+            max_depth: 5,
+            leaf_bias: 0.3,
+        }
+    }
+}
+
+impl FormulaGen {
+    /// Sample a random formula tree.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Formula {
+        self.gen_depth(rng, self.max_depth)
+    }
+
+    fn gen_depth<R: Rng + ?Sized>(&self, rng: &mut R, depth: u32) -> Formula {
+        if depth <= 1 || rng.random_bool(self.leaf_bias) {
+            return self.leaf(rng);
+        }
+        match rng.random_range(0..6u8) {
+            0 => Formula::not(self.gen_depth(rng, depth - 1)),
+            1 => {
+                let k = rng.random_range(2..=3usize);
+                Formula::and((0..k).map(|_| self.gen_depth(rng, depth - 1)))
+            }
+            2 => {
+                let k = rng.random_range(2..=3usize);
+                Formula::or((0..k).map(|_| self.gen_depth(rng, depth - 1)))
+            }
+            3 => Formula::implies(
+                self.gen_depth(rng, depth - 1),
+                self.gen_depth(rng, depth - 1),
+            ),
+            4 => Formula::iff(
+                self.gen_depth(rng, depth - 1),
+                self.gen_depth(rng, depth - 1),
+            ),
+            _ => Formula::xor(
+                self.gen_depth(rng, depth - 1),
+                self.gen_depth(rng, depth - 1),
+            ),
+        }
+    }
+
+    fn leaf<R: Rng + ?Sized>(&self, rng: &mut R) -> Formula {
+        if self.n_vars == 0 {
+            return if rng.random_bool(0.5) {
+                Formula::True
+            } else {
+                Formula::False
+            };
+        }
+        let v = Var(rng.random_range(0..self.n_vars));
+        Formula::lit(v, rng.random_bool(0.5))
+    }
+}
+
+/// Sample a uniformly random k-CNF formula with `n_clauses` clauses over
+/// `n_vars` variables (clauses have distinct variables within themselves).
+pub fn random_kcnf<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_vars: u32,
+    k: usize,
+    n_clauses: usize,
+) -> Formula {
+    assert!(k as u32 <= n_vars, "clause width exceeds variable count");
+    let clauses = (0..n_clauses).map(|_| {
+        let mut vars: Vec<u32> = Vec::with_capacity(k);
+        while vars.len() < k {
+            let v = rng.random_range(0..n_vars);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        Formula::or(
+            vars.into_iter()
+                .map(|v| Formula::lit(Var(v), rng.random_bool(0.5))),
+        )
+    });
+    Formula::and(clauses)
+}
+
+/// Same clause distribution, but emitted directly as DIMACS clauses for the
+/// SAT backend (avoids AST overhead at large sizes).
+pub fn random_kcnf_clauses<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_vars: u32,
+    k: usize,
+    n_clauses: usize,
+) -> Vec<Vec<i32>> {
+    assert!(k as u32 <= n_vars);
+    (0..n_clauses)
+        .map(|_| {
+            let mut vars: Vec<u32> = Vec::with_capacity(k);
+            while vars.len() < k {
+                let v = rng.random_range(0..n_vars);
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            vars.into_iter()
+                .map(|v| {
+                    let lit = v as i32 + 1;
+                    if rng.random_bool(0.5) {
+                        lit
+                    } else {
+                        -lit
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Sample a uniformly random interpretation over `n_vars` variables.
+pub fn random_interp<R: Rng + ?Sized>(rng: &mut R, n_vars: u32) -> Interp {
+    Interp(rng.random::<u64>() & Interp::full(n_vars).0)
+}
+
+/// Sample a random *non-empty* model set over `n_vars` variables with at
+/// most `max_models` models (a satisfiable theory).
+pub fn random_nonempty_model_set<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_vars: u32,
+    max_models: usize,
+) -> ModelSet {
+    assert!(max_models >= 1);
+    let count = rng.random_range(1..=max_models);
+    ModelSet::new(n_vars, (0..count).map(|_| random_interp(rng, n_vars)))
+}
+
+/// Sample a random model set over `n_vars` variables, empty with probability
+/// `empty_prob`.
+pub fn random_model_set<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_vars: u32,
+    max_models: usize,
+    empty_prob: f64,
+) -> ModelSet {
+    if rng.random_bool(empty_prob) {
+        ModelSet::empty(n_vars)
+    } else {
+        random_nonempty_model_set(rng, n_vars, max_models)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn formula_gen_respects_depth_and_vars() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gen = FormulaGen {
+            n_vars: 3,
+            max_depth: 4,
+            leaf_bias: 0.2,
+        };
+        for _ in 0..200 {
+            let f = gen.sample(&mut rng);
+            // A leaf may be a negative literal `!v`, which adds one level.
+            assert!(f.depth() <= 5);
+            if let Some(v) = f.max_var() {
+                assert!(v.0 < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn kcnf_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = random_kcnf(&mut rng, 6, 3, 10);
+        #[allow(clippy::single_match)]
+        match &f {
+            Formula::And(clauses) => {
+                assert!(clauses.len() <= 10); // constructors may fold dups
+                for c in clauses {
+                    match c {
+                        Formula::Or(lits) => assert!(lits.len() <= 3),
+                        // A clause can degenerate to a single literal.
+                        Formula::Var(_) | Formula::Not(_) => {}
+                        other => panic!("unexpected clause shape {other:?}"),
+                    }
+                }
+            }
+            // Extremely unlikely but legal: everything folded.
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn kcnf_clauses_use_valid_dimacs_lits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cs = random_kcnf_clauses(&mut rng, 8, 3, 20);
+        assert_eq!(cs.len(), 20);
+        for c in &cs {
+            assert_eq!(c.len(), 3);
+            for &l in c {
+                assert!(l != 0 && l.unsigned_abs() <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn random_interp_stays_in_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let i = random_interp(&mut rng, 5);
+            assert_eq!(i.0 & !0b11111, 0);
+        }
+    }
+
+    #[test]
+    fn random_model_sets_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = random_nonempty_model_set(&mut rng, 4, 6);
+            assert!(!s.is_empty());
+            assert!(s.len() <= 6);
+            assert_eq!(s.n_vars(), 4);
+        }
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            if random_model_set(&mut rng, 4, 6, 0.3).is_empty() {
+                saw_empty = true;
+            }
+        }
+        assert!(saw_empty);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let gen = FormulaGen::default();
+        let a = gen.sample(&mut StdRng::seed_from_u64(42));
+        let b = gen.sample(&mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

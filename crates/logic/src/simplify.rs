@@ -1,0 +1,162 @@
+//! Lightweight structural simplification.
+//!
+//! Not a full minimizer — just the cheap, always-safe rewrites: constant
+//! folding, flattening, duplicate removal, complementary-literal detection,
+//! and local identities (`¬¬`, `a ↔ a`, `a ⊕ a`). Semantics-preserving by
+//! construction (property-tested).
+
+use crate::ast::Formula;
+
+/// Simplify a formula. Idempotent and equivalence-preserving.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Var(_) => f.clone(),
+        Formula::Not(g) => Formula::not(simplify(g)),
+        Formula::And(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(simplify).collect();
+            let flat = Formula::and(parts);
+            dedup_junction(flat, true)
+        }
+        Formula::Or(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(simplify).collect();
+            let flat = Formula::or(parts);
+            dedup_junction(flat, false)
+        }
+        Formula::Implies(a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            if a == b {
+                Formula::True
+            } else {
+                Formula::implies(a, b)
+            }
+        }
+        Formula::Iff(a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            if a == b {
+                Formula::True
+            } else if complementary(&a, &b) {
+                Formula::False
+            } else {
+                Formula::iff(a, b)
+            }
+        }
+        Formula::Xor(a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            if a == b {
+                Formula::False
+            } else if complementary(&a, &b) {
+                Formula::True
+            } else {
+                Formula::xor(a, b)
+            }
+        }
+    }
+}
+
+/// Are `a` and `b` syntactic complements (`g` vs `¬g`)?
+fn complementary(a: &Formula, b: &Formula) -> bool {
+    match (a, b) {
+        (Formula::Not(x), y) | (y, Formula::Not(x)) => **x == *y,
+        _ => false,
+    }
+}
+
+/// Remove duplicate children and detect complementary pairs inside an
+/// already-flattened `And` (`is_and = true`) or `Or`.
+fn dedup_junction(f: Formula, is_and: bool) -> Formula {
+    let parts = match f {
+        Formula::And(ps) if is_and => ps,
+        Formula::Or(ps) if !is_and => ps,
+        other => return other,
+    };
+    let mut seen: Vec<Formula> = Vec::with_capacity(parts.len());
+    for p in parts {
+        if seen.contains(&p) {
+            continue;
+        }
+        if seen.iter().any(|q| complementary(q, &p)) {
+            return if is_and {
+                Formula::False
+            } else {
+                Formula::True
+            };
+        }
+        seen.push(p);
+    }
+    if is_and {
+        Formula::and(seen)
+    } else {
+        Formula::or(seen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSet;
+    use crate::parser::parse;
+    use crate::sig::Sig;
+
+    fn simp(s: &str) -> (Formula, Formula, u32) {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, s).unwrap();
+        let g = simplify(&f);
+        (f, g, sig.width().max(1))
+    }
+
+    #[test]
+    fn removes_duplicates_and_complements() {
+        let (_, g, _) = simp("A & A & B");
+        assert_eq!(g, {
+            let mut sig = Sig::new();
+            parse(&mut sig, "A & B").unwrap()
+        });
+        let (_, g, _) = simp("A & !A");
+        assert_eq!(g, Formula::False);
+        let (_, g, _) = simp("A | !A | B");
+        assert_eq!(g, Formula::True);
+    }
+
+    #[test]
+    fn local_identities() {
+        assert_eq!(simp("A -> A").1, Formula::True);
+        assert_eq!(simp("A <-> A").1, Formula::True);
+        assert_eq!(simp("A ^ A").1, Formula::False);
+        assert_eq!(simp("A <-> !A").1, Formula::False);
+        assert_eq!(simp("A ^ !A").1, Formula::True);
+    }
+
+    #[test]
+    fn preserves_semantics() {
+        for s in [
+            "A & (A | B)",
+            "(A -> B) & (A -> B)",
+            "!(A & !A)",
+            "(A ^ B) <-> (B ^ A)",
+            "A & B & !A | C",
+        ] {
+            let (f, g, n) = simp(s);
+            assert_eq!(
+                ModelSet::of_formula(&f, n),
+                ModelSet::of_formula(&g, n),
+                "simplify changed semantics of {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for s in ["A & A & B", "A | !A", "!(A -> A)", "(A ^ B) & (A ^ B)"] {
+            let (_, g, _) = simp(s);
+            assert_eq!(simplify(&g), g, "not idempotent on {s}");
+        }
+    }
+
+    #[test]
+    fn never_grows() {
+        for s in ["A & A", "A | A | A | A", "!(!(A))", "A & B & C"] {
+            let (f, g, _) = simp(s);
+            assert!(g.size() <= f.size());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the logic kernel's own invariants, at the
+//! crate boundary (the workspace-level proptests cover cross-crate
+//! pipelines).
+
+use arbitrex_logic::{
+    eval, form_of, parse, simplify, to_cnf, to_dnf, to_nnf, tseitin, Formula, Interp, ModelSet,
+    Sig, Var,
+};
+use proptest::prelude::*;
+
+const N: u32 = 4;
+
+fn formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0..N).prop_map(|v| Formula::Var(Var(v))),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::xor(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_normal_forms_preserve_model_sets(f in formula()) {
+        let reference = ModelSet::of_formula(&f, N);
+        prop_assert_eq!(ModelSet::of_formula(&to_nnf(&f), N), reference.clone());
+        prop_assert_eq!(ModelSet::of_formula(&simplify(&f), N), reference.clone());
+        // Distribution-based CNF/DNF can blow up, but at depth ≤ 5 over 4
+        // vars they stay manageable.
+        prop_assert_eq!(ModelSet::of_formula(&to_cnf(&f), N), reference.clone());
+        prop_assert_eq!(ModelSet::of_formula(&to_dnf(&f), N), reference);
+    }
+
+    #[test]
+    fn simplify_is_idempotent_and_never_grows(f in formula()) {
+        let once = simplify(&f);
+        prop_assert_eq!(simplify(&once), once.clone());
+        prop_assert!(once.size() <= f.size());
+    }
+
+    #[test]
+    fn tseitin_is_equisatisfiable(f in formula()) {
+        let cnf = tseitin(&f, N);
+        let direct_sat = !ModelSet::of_formula(&f, N).is_empty();
+        // Brute-force the CNF over original + auxiliary variables.
+        let total = cnf.n_vars;
+        prop_assume!(total <= 24);
+        let cnf_sat = (0..1u64 << total).any(|bits| {
+            let assignment: Vec<bool> = (0..total).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&assignment)
+        });
+        prop_assert_eq!(cnf_sat, direct_sat);
+    }
+
+    #[test]
+    fn display_parse_roundtrip_is_exact(f in formula()) {
+        // Stronger than semantic equivalence: the printer must re-parse to
+        // the *same tree* (constructors normalize both sides identically).
+        let sig = Sig::with_anon_vars(N as usize);
+        let printed = f.display(&sig).to_string();
+        let mut sig2 = sig.clone();
+        let reparsed = parse(&mut sig2, &printed).unwrap();
+        prop_assert_eq!(
+            ModelSet::of_formula(&reparsed, N),
+            ModelSet::of_formula(&f, N)
+        );
+    }
+
+    #[test]
+    fn substitution_semantics(f in formula(), v in 0..N, value in any::<bool>()) {
+        // f[v := ⊤/⊥] evaluated at any I equals f at I with v forced.
+        let replacement = if value { Formula::True } else { Formula::False };
+        let g = f.substitute(Var(v), &replacement);
+        for bits in 0..(1u64 << N) {
+            let i = Interp(bits);
+            let forced = i.with(Var(v), value);
+            prop_assert_eq!(eval(&g, i), eval(&f, forced));
+        }
+    }
+
+    #[test]
+    fn form_of_is_left_inverse_of_model_enumeration(mask in any::<u16>()) {
+        let models: Vec<Interp> =
+            (0..16u64).filter(|b| mask >> b & 1 == 1).map(Interp).collect();
+        let f = form_of(N, models.iter().copied());
+        prop_assert_eq!(
+            ModelSet::of_formula(&f, N),
+            ModelSet::new(N, models)
+        );
+    }
+
+    #[test]
+    fn eval_respects_connective_semantics(f in formula(), g in formula(), bits in 0..16u64) {
+        let i = Interp(bits);
+        prop_assert_eq!(eval(&Formula::and2(f.clone(), g.clone()), i), eval(&f, i) && eval(&g, i));
+        prop_assert_eq!(eval(&Formula::or2(f.clone(), g.clone()), i), eval(&f, i) || eval(&g, i));
+        prop_assert_eq!(eval(&Formula::implies(f.clone(), g.clone()), i), !eval(&f, i) || eval(&g, i));
+        prop_assert_eq!(eval(&Formula::iff(f.clone(), g.clone()), i), eval(&f, i) == eval(&g, i));
+        prop_assert_eq!(eval(&Formula::xor(f.clone(), g.clone()), i), eval(&f, i) != eval(&g, i));
+        prop_assert_eq!(eval(&Formula::not(f.clone()), i), !eval(&f, i));
+    }
+}

@@ -1,0 +1,32 @@
+//! # arbitrex-merge
+//!
+//! Multi-source belief merging built on the arbitration operators of
+//! `arbitrex-core` — the application area the paper's introduction
+//! motivates: juries weighing contemporary witnesses, and large
+//! heterogeneous databases that must merge equally important sets of
+//! information to answer queries.
+//!
+//! A [`Source`] is a named, weighted set of models (one voice). The
+//! [`merge`] module offers the paper-faithful N-ary merges (weighted
+//! arbitration over the join of all voices; egalitarian max-fitting) next
+//! to the fold-based alternatives (iterated revision / update / pairwise
+//! arbitration) the experiments compare them against, and [`metrics`]
+//! quantifies how dissatisfied each source is with a proposed consensus.
+
+pub mod merge;
+pub mod metrics;
+pub mod order;
+pub mod query;
+pub mod report;
+pub mod scenario;
+pub mod source;
+
+pub use merge::{
+    merge_egalitarian, merge_fold_arbitration, merge_fold_revision, merge_fold_update,
+    merge_majority, merge_weighted_arbitration, MergeOutcome,
+};
+pub use metrics::{dissatisfaction, max_dissatisfaction, sum_dissatisfaction, SourceReport};
+pub use order::{order_sweep, OrderSweep};
+pub use query::{ask, ask_each, QueryAnswer};
+pub use report::Table;
+pub use source::Source;

@@ -1,0 +1,110 @@
+//! Dissatisfaction metrics: how far a consensus sits from each source.
+
+use crate::source::Source;
+use arbitrex_logic::{Interp, ModelSet};
+
+/// How dissatisfied `source` is with the consensus interpretation `i`: the
+/// Dalal distance from `i` to the source's *closest* model (0 = the
+/// consensus is one of the worlds the source considers possible).
+pub fn dissatisfaction(source: &Source, i: Interp) -> u32 {
+    source
+        .models
+        .iter()
+        .map(|j| i.dist(j))
+        .min()
+        .expect("sources are non-empty by construction")
+}
+
+/// The worst per-source dissatisfaction with `i` (the egalitarian
+/// objective), ignoring weights.
+pub fn max_dissatisfaction(sources: &[Source], i: Interp) -> u32 {
+    sources
+        .iter()
+        .map(|s| dissatisfaction(s, i))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The weight-summed dissatisfaction with `i` (the majority objective).
+pub fn sum_dissatisfaction(sources: &[Source], i: Interp) -> u64 {
+    sources
+        .iter()
+        .map(|s| dissatisfaction(s, i) as u64 * s.weight)
+        .sum()
+}
+
+/// The best (minimum over the consensus set) value of a per-interpretation
+/// objective — merge outcomes are sets, so metrics report their best
+/// member.
+pub fn best_over<F: Fn(Interp) -> u64>(consensus: &ModelSet, objective: F) -> Option<u64> {
+    consensus.iter().map(objective).min()
+}
+
+/// A per-source row of a merge report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceReport {
+    /// Source name.
+    pub name: String,
+    /// Source weight.
+    pub weight: u64,
+    /// Dissatisfaction with the best consensus model for this source.
+    pub dissatisfaction: u32,
+}
+
+/// Build per-source reports for a chosen consensus interpretation.
+pub fn report_for(sources: &[Source], consensus: Interp) -> Vec<SourceReport> {
+    sources
+        .iter()
+        .map(|s| SourceReport {
+            name: s.name.clone(),
+            weight: s.weight,
+            dissatisfaction: dissatisfaction(s, consensus),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(name: &str, bits: &[u64], w: u64) -> Source {
+        Source::weighted(name, ModelSet::new(3, bits.iter().map(|&b| Interp(b))), w)
+    }
+
+    #[test]
+    fn dissatisfaction_is_min_over_source_models() {
+        let s = src("a", &[0b000, 0b111], 1);
+        assert_eq!(dissatisfaction(&s, Interp(0b001)), 1); // closest: 000
+        assert_eq!(dissatisfaction(&s, Interp(0b011)), 1); // closest: 111
+        assert_eq!(dissatisfaction(&s, Interp(0b000)), 0);
+    }
+
+    #[test]
+    fn max_and_sum_aggregate_correctly() {
+        let sources = vec![src("a", &[0b000], 1), src("b", &[0b111], 3)];
+        let i = Interp(0b001);
+        assert_eq!(max_dissatisfaction(&sources, i), 2);
+        assert_eq!(sum_dissatisfaction(&sources, i), 1 + 2 * 3);
+        assert_eq!(max_dissatisfaction(&[], i), 0);
+        assert_eq!(sum_dissatisfaction(&[], i), 0);
+    }
+
+    #[test]
+    fn best_over_picks_minimum_member() {
+        let consensus = ModelSet::new(3, [Interp(0b001), Interp(0b011)]);
+        let sources = vec![src("a", &[0b000], 1)];
+        let best = best_over(&consensus, |i| sum_dissatisfaction(&sources, i));
+        assert_eq!(best, Some(1));
+        assert_eq!(best_over(&ModelSet::empty(3), |_| 0), None);
+    }
+
+    #[test]
+    fn report_rows_match_sources() {
+        let sources = vec![src("a", &[0b000], 1), src("b", &[0b110], 2)];
+        let rows = report_for(&sources, Interp(0b010));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].dissatisfaction, 1);
+        assert_eq!(rows[1].dissatisfaction, 1);
+        assert_eq!(rows[1].weight, 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Query answering over merged knowledge: the "heterogeneous databases
+//! answering queries" use-case from the paper's introduction.
+//!
+//! Once sources are merged into a consensus model set, a query `φ` can be
+//! answered **skeptically** (`φ` holds in every consensus model — the
+//! merged theory entails it) or **credulously** (`φ` holds in some
+//! consensus model). Different merge strategies give different answers to
+//! the same query; [`QueryAnswer`] carries both modes so callers can see
+//! the gap.
+
+use arbitrex_logic::{eval, Formula, ModelSet};
+
+/// Three-valued answer to a query against a consensus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// The query holds in every consensus model.
+    Entailed,
+    /// The query holds in some but not all consensus models.
+    Possible,
+    /// The query holds in no consensus model.
+    Rejected,
+    /// The consensus is empty — every query is vacuous.
+    NoConsensus,
+}
+
+impl QueryAnswer {
+    /// Skeptical reading: is the query guaranteed?
+    pub fn skeptical(self) -> bool {
+        self == QueryAnswer::Entailed
+    }
+
+    /// Credulous reading: is the query at least possible?
+    pub fn credulous(self) -> bool {
+        matches!(self, QueryAnswer::Entailed | QueryAnswer::Possible)
+    }
+}
+
+/// Answer `query` against a consensus model set.
+pub fn ask(consensus: &ModelSet, query: &Formula) -> QueryAnswer {
+    if consensus.is_empty() {
+        return QueryAnswer::NoConsensus;
+    }
+    let holding = consensus.iter().filter(|&i| eval(query, i)).count();
+    if holding == consensus.len() {
+        QueryAnswer::Entailed
+    } else if holding > 0 {
+        QueryAnswer::Possible
+    } else {
+        QueryAnswer::Rejected
+    }
+}
+
+/// Answer `query` under several merge outcomes at once, for comparison
+/// tables: `(strategy name, answer)` pairs.
+pub fn ask_each<'a>(
+    outcomes: impl IntoIterator<Item = &'a crate::merge::MergeOutcome>,
+    query: &Formula,
+) -> Vec<(&'a str, QueryAnswer)> {
+    outcomes
+        .into_iter()
+        .map(|o| (o.strategy, ask(&o.consensus, query)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge_egalitarian, merge_majority};
+    use crate::scenario::jury;
+    use arbitrex_logic::{parse, Sig};
+
+    #[test]
+    fn answers_cover_all_cases() {
+        let mut sig = Sig::new();
+        let a = parse(&mut sig, "A").unwrap();
+        let consensus = ModelSet::new(
+            2,
+            [arbitrex_logic::Interp(0b01), arbitrex_logic::Interp(0b11)],
+        );
+        assert_eq!(ask(&consensus, &a), QueryAnswer::Entailed);
+        let b = parse(&mut sig, "B").unwrap();
+        assert_eq!(ask(&consensus, &b), QueryAnswer::Possible);
+        let nb = parse(&mut sig, "!A").unwrap();
+        assert_eq!(ask(&consensus, &nb), QueryAnswer::Rejected);
+        assert_eq!(ask(&ModelSet::empty(2), &a), QueryAnswer::NoConsensus);
+    }
+
+    #[test]
+    fn skeptical_vs_credulous() {
+        assert!(QueryAnswer::Entailed.skeptical());
+        assert!(QueryAnswer::Entailed.credulous());
+        assert!(!QueryAnswer::Possible.skeptical());
+        assert!(QueryAnswer::Possible.credulous());
+        assert!(!QueryAnswer::Rejected.credulous());
+        assert!(!QueryAnswer::NoConsensus.skeptical());
+    }
+
+    #[test]
+    fn jury_strategies_answer_the_guilt_query_differently() {
+        let mut sig = Sig::new();
+        sig.var("A");
+        sig.var("B");
+        let query = parse(&mut sig, "A & !B").unwrap();
+        let sources = jury(9, 2);
+        let majority = merge_majority(&sources, None);
+        let egalitarian = merge_egalitarian(&sources, None);
+        // The majority convicts A; the egalitarian consensus does not
+        // entail it.
+        assert_eq!(ask(&majority.consensus, &query), QueryAnswer::Entailed);
+        assert_ne!(ask(&egalitarian.consensus, &query), QueryAnswer::Entailed);
+        let rows = ask_each([&majority, &egalitarian], &query);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "majority");
+    }
+}

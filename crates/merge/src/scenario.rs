@@ -1,0 +1,173 @@
+//! Ready-made scenarios: the paper's worked examples and the motivating
+//! stories from its introduction, as reusable constructors for the
+//! examples, tests and benchmarks.
+
+use crate::source::Source;
+use arbitrex_core::WeightedKb;
+use arbitrex_logic::{parse, Interp, ModelSet, Sig};
+
+/// The database-class scenario shared by Examples 3.1 and 4.1.
+///
+/// Variables (in signature order): `S` (SQL), `D` (Datalog), `Q`
+/// (Query-by-Example).
+#[derive(Debug, Clone)]
+pub struct Classroom {
+    /// The signature `{S, D, Q}`.
+    pub sig: Sig,
+    /// The instructor's offer `μ = (¬S ∧ D ∧ ¬Q) ∨ (S ∧ D ∧ ¬Q)`.
+    pub offer: ModelSet,
+    /// The three student wishes as interpretations: `{S}`, `{D}`,
+    /// `{S, D, Q}`.
+    pub wishes: [Interp; 3],
+}
+
+/// Bit positions of the classroom variables.
+pub const S: u64 = 0b001;
+/// Datalog.
+pub const D: u64 = 0b010;
+/// Query-by-Example.
+pub const Q: u64 = 0b100;
+
+impl Classroom {
+    /// Build the classroom signature, offer, and wish list.
+    pub fn new() -> Classroom {
+        let mut sig = Sig::new();
+        sig.var("S");
+        sig.var("D");
+        sig.var("Q");
+        let mu = parse(&mut sig, "(!S & D & !Q) | (S & D & !Q)").unwrap();
+        Classroom {
+            offer: ModelSet::of_formula(&mu, 3),
+            wishes: [Interp(S), Interp(D), Interp(S | D | Q)],
+            sig,
+        }
+    }
+
+    /// Example 3.1's class: one student per wish (unit weights), as a
+    /// model set `ψ`.
+    pub fn example_31_psi(&self) -> ModelSet {
+        ModelSet::new(3, self.wishes)
+    }
+
+    /// Example 4.1's class: 10 want SQL only, 20 Datalog only, 5 all
+    /// three, as a weighted KB `ψ̃`.
+    pub fn example_41_psi(&self) -> WeightedKb {
+        self.class_of(10, 20, 5)
+    }
+
+    /// A parametric class (used by the crossover sweep E9).
+    pub fn class_of(&self, sql_only: u64, datalog_only: u64, all_three: u64) -> WeightedKb {
+        WeightedKb::from_weights(
+            3,
+            [
+                (self.wishes[0], sql_only),
+                (self.wishes[1], datalog_only),
+                (self.wishes[2], all_three),
+            ],
+        )
+    }
+
+    /// The offer as a weighted KB (weight 1 per offered interpretation).
+    pub fn offer_weighted(&self) -> WeightedKb {
+        WeightedKb::from_model_set(&self.offer)
+    }
+}
+
+impl Default for Classroom {
+    fn default() -> Self {
+        Classroom::new()
+    }
+}
+
+/// The jury scenario from the introduction: witnesses disagree on who
+/// started a brawl. Variables: `A` (A started it), `B` (B started it).
+///
+/// Returns sources for `for_a` witnesses claiming `A ∧ ¬B` and `for_b`
+/// claiming `¬A ∧ B`.
+pub fn jury(for_a: u64, for_b: u64) -> Vec<Source> {
+    let a_claim = ModelSet::new(2, [Interp(0b01)]);
+    let b_claim = ModelSet::new(2, [Interp(0b10)]);
+    vec![
+        Source::weighted("witnesses-for-A", a_claim, for_a),
+        Source::weighted("witnesses-for-B", b_claim, for_b),
+    ]
+}
+
+/// A heterogeneous-database merging scenario: `n_sources` databases over a
+/// shared `n_vars`-variable schema, each asserting a random consistent
+/// fact base (a random set of up to `max_models` records), seeded for
+/// reproducibility.
+pub fn heterogeneous_databases(
+    n_sources: usize,
+    n_vars: u32,
+    max_models: usize,
+    seed: u64,
+) -> Vec<Source> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_sources)
+        .map(|k| {
+            let models =
+                arbitrex_logic::random::random_nonempty_model_set(&mut rng, n_vars, max_models);
+            Source::new(format!("db{k}"), models)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge_majority, merge_weighted_arbitration};
+    use arbitrex_core::{ChangeOperator, OdistFitting, WdistFitting, WeightedChangeOperator};
+
+    #[test]
+    fn classroom_reproduces_example_31() {
+        let c = Classroom::new();
+        let result = OdistFitting.apply(&c.example_31_psi(), &c.offer);
+        assert_eq!(result.as_singleton(), Some(Interp(S | D)));
+    }
+
+    #[test]
+    fn classroom_reproduces_example_41() {
+        let c = Classroom::new();
+        let result = WdistFitting.apply(&c.example_41_psi(), &c.offer_weighted());
+        assert_eq!(result.support_set().as_singleton(), Some(Interp(D)));
+    }
+
+    #[test]
+    fn classroom_offer_has_exactly_two_models() {
+        let c = Classroom::new();
+        assert_eq!(c.offer.len(), 2);
+        assert!(c.offer.contains(Interp(D)));
+        assert!(c.offer.contains(Interp(S | D)));
+    }
+
+    #[test]
+    fn jury_majority_verdict() {
+        let sources = jury(9, 2);
+        let out = merge_majority(&sources, None);
+        assert_eq!(out.consensus.as_singleton(), Some(Interp(0b01)));
+        let wa = merge_weighted_arbitration(&sources);
+        assert_eq!(wa.consensus.as_singleton(), Some(Interp(0b01)));
+    }
+
+    #[test]
+    fn jury_tie_keeps_both_options_open() {
+        let sources = jury(5, 5);
+        let out = merge_majority(&sources, None);
+        // Symmetric: every interpretation within cost 5... the minimum is
+        // reached by the two claims and both compromises.
+        assert!(out.consensus.contains(Interp(0b01)));
+        assert!(out.consensus.contains(Interp(0b10)));
+    }
+
+    #[test]
+    fn heterogeneous_databases_are_reproducible() {
+        let a = heterogeneous_databases(4, 5, 3, 99);
+        let b = heterogeneous_databases(4, 5, 3, 99);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|s| s.n_vars() == 5 && !s.models.is_empty()));
+    }
+}

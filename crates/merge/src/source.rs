@@ -1,0 +1,96 @@
+//! Information sources: named, weighted voices.
+
+use arbitrex_core::WeightedKb;
+use arbitrex_logic::{Formula, ModelSet};
+
+/// One source of information in a merging problem: a name for reporting, a
+/// satisfiable set of models (what the source claims the world looks like)
+/// and a weight (how many voices it speaks for — e.g. "9 witnesses").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Source {
+    /// Display name used in reports.
+    pub name: String,
+    /// The source's claim as a model set.
+    pub models: ModelSet,
+    /// Multiplicity of the voice (≥ 1).
+    pub weight: u64,
+}
+
+impl Source {
+    /// A unit-weight source.
+    pub fn new(name: impl Into<String>, models: ModelSet) -> Source {
+        Source::weighted(name, models, 1)
+    }
+
+    /// A source speaking with the given multiplicity.
+    ///
+    /// # Panics
+    /// Panics if `weight` is zero or `models` is empty — a silent or
+    /// inconsistent witness is a modelling error, not a voice.
+    pub fn weighted(name: impl Into<String>, models: ModelSet, weight: u64) -> Source {
+        assert!(weight >= 1, "a source must carry positive weight");
+        assert!(!models.is_empty(), "a source must make a satisfiable claim");
+        Source {
+            name: name.into(),
+            models,
+            weight,
+        }
+    }
+
+    /// Build from a formula over `n_vars` variables.
+    pub fn from_formula(name: impl Into<String>, f: &Formula, n_vars: u32, weight: u64) -> Source {
+        Source::weighted(name, ModelSet::of_formula(f, n_vars), weight)
+    }
+
+    /// The source as a weighted knowledge base: each of its models carries
+    /// the source's weight (every interpretation the source considers
+    /// possible speaks with the source's full voice).
+    pub fn to_weighted_kb(&self) -> WeightedKb {
+        WeightedKb::from_weights(
+            self.models.n_vars(),
+            self.models.iter().map(|i| (i, self.weight)),
+        )
+    }
+
+    /// Signature width.
+    pub fn n_vars(&self) -> u32 {
+        self.models.n_vars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::{parse, Interp, Sig};
+
+    #[test]
+    fn from_formula_builds_models() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A | B").unwrap();
+        let s = Source::from_formula("w1", &f, 2, 3);
+        assert_eq!(s.models.len(), 3);
+        assert_eq!(s.weight, 3);
+        assert_eq!(s.name, "w1");
+    }
+
+    #[test]
+    fn to_weighted_kb_multiplies_voice() {
+        let s = Source::weighted("jury", ModelSet::new(2, [Interp(0b01), Interp(0b10)]), 9);
+        let kb = s.to_weighted_kb();
+        assert_eq!(kb.weight(Interp(0b01)), 9);
+        assert_eq!(kb.weight(Interp(0b10)), 9);
+        assert_eq!(kb.weight(Interp(0b00)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_rejected() {
+        Source::weighted("x", ModelSet::new(1, [Interp(0)]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "satisfiable claim")]
+    fn empty_claim_rejected() {
+        Source::new("x", ModelSet::empty(1));
+    }
+}

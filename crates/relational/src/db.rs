@@ -1,0 +1,271 @@
+//! Relational databases under integrity constraints, with theory change.
+//!
+//! A [`RelationalDb`] is a belief state over the ground atoms of a
+//! [`Vocabulary`]: a set of possible worlds (a propositional
+//! [`ModelSet`]) intersected with the grounded integrity constraints. The
+//! change operations are the paper's three kinds, inherited from
+//! `arbitrex-core`: `revise` (new information outranks the current
+//! state), `update` (the world changed), `arbitrate` (peer information —
+//! merge on equal terms).
+
+use crate::vocab::Vocabulary;
+use arbitrex_core::arbitration::arbitrate;
+use arbitrex_core::fitting::OdistFitting;
+use arbitrex_core::{ChangeOperator, DalalRevision, WinslettUpdate};
+use arbitrex_logic::{Formula, Interp, ModelSet};
+
+/// A relational belief state: possible worlds over the grounded
+/// vocabulary, always within the integrity constraints.
+#[derive(Debug, Clone)]
+pub struct RelationalDb {
+    vocab: Vocabulary,
+    constraints: Formula,
+    constraint_models: ModelSet,
+    state: ModelSet,
+}
+
+impl RelationalDb {
+    /// Create a database over `vocab` with integrity constraints
+    /// `constraints` (pass [`Formula::True`] for none). The initial state
+    /// is *complete ignorance within the constraints*: every constraint
+    /// model is possible.
+    ///
+    /// # Panics
+    /// Panics if the constraints are unsatisfiable — the schema itself
+    /// would be broken.
+    pub fn new(vocab: Vocabulary, constraints: Formula) -> RelationalDb {
+        let n = vocab.width();
+        let constraint_models = ModelSet::of_formula(&constraints, n);
+        assert!(
+            !constraint_models.is_empty(),
+            "integrity constraints are unsatisfiable"
+        );
+        RelationalDb {
+            vocab,
+            constraints,
+            state: constraint_models.clone(),
+            constraint_models,
+        }
+    }
+
+    /// The vocabulary (immutable — interning new atoms after construction
+    /// would desynchronize the signature width).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The integrity constraints.
+    pub fn constraints(&self) -> &Formula {
+        &self.constraints
+    }
+
+    /// The current possible worlds.
+    pub fn state(&self) -> &ModelSet {
+        &self.state
+    }
+
+    /// Is the database in a consistent state?
+    pub fn is_consistent(&self) -> bool {
+        !self.state.is_empty()
+    }
+
+    /// Ground a formula's models within the integrity constraints.
+    fn constrained_models(&self, f: &Formula) -> ModelSet {
+        ModelSet::of_formula(f, self.vocab.width()).intersect(&self.constraint_models)
+    }
+
+    /// Set the state outright (e.g. to an exact fact base). The models are
+    /// intersected with the constraints.
+    pub fn assert_state(&mut self, f: &Formula) {
+        self.state = self.constrained_models(f);
+    }
+
+    /// **Revision** by `f`: the new information is more reliable than the
+    /// current state (Dalal's operator), constrained.
+    pub fn revise(&mut self, f: &Formula) {
+        let mu = self.constrained_models(f);
+        self.state = DalalRevision.apply(&self.state, &mu);
+    }
+
+    /// **Update** by `f`: the world has changed (Winslett's operator),
+    /// constrained.
+    pub fn update(&mut self, f: &Formula) {
+        let mu = self.constrained_models(f);
+        self.state = WinslettUpdate.apply(&self.state, &mu);
+    }
+
+    /// **Arbitration** with `f`: peer information; the consensus is
+    /// re-fitted within the constraints via
+    /// `(ψ ∨ φ) ▷ constraints` (the constrained version of
+    /// Corollary 3.1's `ψ Δ φ = (ψ ∨ φ) ▷ ⊤`).
+    pub fn arbitrate(&mut self, f: &Formula) {
+        let phi = self.constrained_models(f);
+        self.state = OdistFitting.apply(&self.state.union(&phi), &self.constraint_models);
+    }
+
+    /// Unconstrained arbitration (exact Corollary 3.1), for comparison.
+    pub fn arbitrate_unconstrained(&mut self, f: &Formula) {
+        let phi = ModelSet::of_formula(f, self.vocab.width());
+        self.state = arbitrate(&self.state, &phi);
+    }
+
+    /// Does the database entail `f` (true in every possible world)?
+    pub fn entails(&self, f: &Formula) -> bool {
+        !self.state.is_empty() && self.state.implies(&self.constrained_models_loose(f))
+    }
+
+    /// Is `f` possible (true in some possible world)?
+    pub fn possible(&self, f: &Formula) -> bool {
+        !self
+            .state
+            .intersect(&self.constrained_models_loose(f))
+            .is_empty()
+    }
+
+    fn constrained_models_loose(&self, f: &Formula) -> ModelSet {
+        ModelSet::of_formula(f, self.vocab.width())
+    }
+
+    /// The facts true in **every** possible world — the certain part of
+    /// the database, as ground-atom variables.
+    pub fn certain_facts(&self) -> Vec<arbitrex_logic::Var> {
+        let n = self.vocab.width();
+        (0..n)
+            .map(arbitrex_logic::Var)
+            .filter(|&v| self.state.iter().all(|i| i.get(v)))
+            .collect()
+    }
+
+    /// Render the certain facts with their relational names.
+    pub fn certain_facts_display(&self) -> Vec<String> {
+        self.certain_facts()
+            .into_iter()
+            .map(|v| self.vocab.sig().name(v).to_string())
+            .collect()
+    }
+
+    /// The state's worlds rendered as fact sets.
+    pub fn worlds_display(&self) -> Vec<String> {
+        self.state
+            .iter()
+            .map(|i| format_world(&self.vocab, i))
+            .collect()
+    }
+}
+
+fn format_world(vocab: &Vocabulary, world: Interp) -> String {
+    let facts: Vec<&str> = world
+        .true_vars()
+        .filter(|v| v.index() < vocab.sig().len())
+        .map(|v| vocab.sig().name(v))
+        .collect();
+    format!("{{{}}}", facts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-person, two-project assignment schema with the constraint
+    /// that everyone is assigned somewhere.
+    fn staffing() -> (Vocabulary, Formula, usize) {
+        let mut v = Vocabulary::new();
+        v.constant("ann");
+        v.constant("bob");
+        let on = v.relation("On", 2); // On(person, project): proj ∈ {ann? no...}
+                                      // Reuse the same two constants as projects for a compact universe.
+        v.ground_all(on);
+        let everyone_assigned = v.forall1(|v, p| v.exists1(|v, proj| v.atom(on, &[p, proj])));
+        (v, everyone_assigned, on)
+    }
+
+    #[test]
+    fn initial_state_is_all_constraint_models() {
+        let (v, ic, _) = staffing();
+        let db = RelationalDb::new(v, ic.clone());
+        assert!(db.is_consistent());
+        assert!(db.entails(&ic));
+    }
+
+    #[test]
+    fn assert_then_query() {
+        let (mut v, ic, on) = staffing();
+        let ann_on_0 = v.atom(on, &[0, 0]);
+        let exact = Formula::and([
+            ann_on_0.clone(),
+            v.forall2(|v, p, proj| {
+                if p == 0 && proj == 0 {
+                    Formula::True
+                } else if p == 1 && proj == 1 {
+                    v.atom(on, &[p, proj])
+                } else {
+                    Formula::not(v.atom(on, &[p, proj]))
+                }
+            }),
+        ]);
+        let mut db = RelationalDb::new(v, ic);
+        db.assert_state(&exact);
+        assert_eq!(db.state().len(), 1);
+        assert!(db.entails(&ann_on_0));
+        assert_eq!(
+            db.certain_facts_display(),
+            vec!["On(ann,ann)".to_string(), "On(bob,bob)".to_string()]
+        );
+    }
+
+    #[test]
+    fn revision_respects_constraints() {
+        let (mut v, ic, on) = staffing();
+        let ann_0 = v.atom(on, &[0, 0]);
+        let ann_1 = v.atom(on, &[0, 1]);
+        let mut db = RelationalDb::new(v, ic.clone());
+        // Learn: Ann is on project 0 only.
+        db.assert_state(&Formula::and([ann_0.clone(), Formula::not(ann_1.clone())]));
+        assert!(db.entails(&ann_0));
+        // Reliable news: Ann is NOT on project 0. Revision must move her
+        // somewhere (constraint: everyone assigned) — so On(ann, 1).
+        db.revise(&Formula::not(ann_0.clone()));
+        assert!(db.is_consistent());
+        assert!(db.entails(&ic));
+        assert!(db.entails(&ann_1));
+    }
+
+    #[test]
+    fn arbitration_merges_two_conflicting_departments() {
+        let (mut v, ic, on) = staffing();
+        let ann_0 = v.atom(on, &[0, 0]);
+        let ann_1 = v.atom(on, &[0, 1]);
+        let mut db = RelationalDb::new(v, ic.clone());
+        // Department A's records: Ann on 0 only.
+        db.assert_state(&Formula::and([ann_0.clone(), Formula::not(ann_1.clone())]));
+        // Department B's records insist: Ann on 1 only.
+        db.arbitrate(&Formula::and([ann_1.clone(), Formula::not(ann_0.clone())]));
+        assert!(db.is_consistent());
+        assert!(db.entails(&ic));
+        // Neither department dictates: both assignments stay possible.
+        assert!(db.possible(&ann_0));
+        assert!(db.possible(&ann_1));
+        assert!(!db.entails(&Formula::not(ann_0)));
+    }
+
+    #[test]
+    fn update_moves_each_world_separately() {
+        let (mut v, ic, on) = staffing();
+        let bob_0 = v.atom(on, &[1, 0]);
+        let mut db = RelationalDb::new(v, ic);
+        // The world changed: Bob joined project 0.
+        db.update(&bob_0.clone());
+        assert!(db.entails(&bob_0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn broken_constraints_panic() {
+        let mut v = Vocabulary::new();
+        v.constant("a");
+        let p = v.relation("P", 1);
+        let atom = v.atom(p, &[0]);
+        let bad = Formula::and([atom.clone(), Formula::not(atom)]);
+        RelationalDb::new(v, bad);
+    }
+}

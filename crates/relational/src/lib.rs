@@ -1,0 +1,33 @@
+//! # arbitrex-relational
+//!
+//! A finite-domain relational layer over the propositional theory-change
+//! operators — a concrete step toward the paper's first open problem
+//! (Section 5): *"extend arbitration from propositional to first-order,
+//! similarly perhaps to the first order update language in \[GMR92\]"* (citation, not a link).
+//!
+//! Over a **finite domain**, function-free first-order sentences reduce to
+//! propositional formulas by grounding: every ground atom `R(c₁,…,c_k)`
+//! becomes a propositional variable, and quantifiers expand into finite
+//! conjunctions/disjunctions. This crate provides:
+//!
+//! * [`Vocabulary`] — relations + constants, with the grounding map into a
+//!   propositional [`Sig`](arbitrex_logic::Sig),
+//! * [`GroundAtom`] construction and display (`Assigned(ann, db)`),
+//! * quantifier expansion helpers ([`Vocabulary::forall1`],
+//!   [`Vocabulary::exists1`], and binary variants),
+//! * [`RelationalDb`] — a relational database under integrity
+//!   constraints, whose belief state is a propositional model set, with
+//!   `revise` / `update` / `arbitrate` operations inherited from
+//!   `arbitrex-core`.
+//!
+//! The full first-order case (infinite domains) remains open, as in the
+//! paper; the finite-domain fragment is exactly what the database
+//! scenarios of the introduction need.
+
+pub mod db;
+pub mod parser;
+pub mod vocab;
+
+pub use db::RelationalDb;
+pub use parser::parse_relational;
+pub use vocab::{GroundAtom, Vocabulary};

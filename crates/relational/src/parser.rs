@@ -1,0 +1,274 @@
+//! Text syntax for relational formulas: the propositional grammar of
+//! `arbitrex-logic` extended with ground atoms `Rel(c1,…,ck)`.
+//!
+//! The propositional parser cannot be reused directly because `(` after an
+//! identifier means an argument list here, not grouping. This parser
+//! handles the relational atom form and delegates everything else to the
+//! same precedence climbing as the propositional one.
+
+use crate::vocab::Vocabulary;
+use arbitrex_logic::{Formula, ParseError};
+
+/// Parse a relational formula, interning constants/relations/atoms into
+/// `vocab`. Relations must be declared beforehand (unknown relation names
+/// are an error — catching typos matters more in a schema setting);
+/// constants are interned on sight.
+///
+/// ```
+/// use arbitrex_relational::{parse_relational, Vocabulary};
+/// let mut v = Vocabulary::new();
+/// v.relation("On", 2);
+/// let f = parse_relational(&mut v, "On(ann,db) & !On(ann,web)").unwrap();
+/// assert_eq!(v.width(), 2);
+/// assert_eq!(f.vars().len(), 2);
+/// ```
+pub fn parse_relational(vocab: &mut Vocabulary, input: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        vocab,
+    };
+    p.skip_ws();
+    let f = p.parse_iff()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(ParseError {
+            position: p.pos,
+            message: "unexpected trailing input".into(),
+        });
+    }
+    Ok(f)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    vocab: &'a mut Vocabulary,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && (self.input[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input.get(self.pos).map(|&b| b as char)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn parse_iff(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.parse_implies()?;
+        while self.eat("<->") || self.eat("<=>") {
+            let rhs = self.parse_implies()?;
+            f = Formula::iff(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.eat("->") || self.eat("=>") {
+            let rhs = self.parse_implies()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.eat("||") || self.eat("|") {
+            parts.push(self.parse_and()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.eat("&&") || self.eat("&") {
+            parts.push(self.parse_unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat("!") || self.eat("~") {
+            return Ok(Formula::not(self.parse_unary()?));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                self.skip_ws();
+                let inner = self.parse_iff()?;
+                if !self.eat(")") {
+                    return Err(self.error("expected `)`"));
+                }
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+                let ident = self.take_ident();
+                self.skip_ws();
+                match ident.to_ascii_lowercase().as_str() {
+                    "true" | "top" => return Ok(Formula::True),
+                    "false" | "bot" => return Ok(Formula::False),
+                    _ => {}
+                }
+                if self.peek() == Some('(') {
+                    // Relational atom.
+                    self.pos += 1;
+                    self.skip_ws();
+                    let mut args = Vec::new();
+                    loop {
+                        let arg = self.take_ident();
+                        if arg.is_empty() {
+                            return Err(self.error("expected a constant name"));
+                        }
+                        args.push(self.vocab.constant(&arg));
+                        self.skip_ws();
+                        if self.eat(",") {
+                            continue;
+                        }
+                        if self.eat(")") {
+                            break;
+                        }
+                        return Err(self.error("expected `,` or `)` in argument list"));
+                    }
+                    let rel = self
+                        .vocab
+                        .find_relation(&ident)
+                        .ok_or_else(|| self.error(format!("undeclared relation `{ident}`")))?;
+                    Ok(self.vocab.atom(rel, &args))
+                } else {
+                    Err(self.error(format!(
+                        "bare identifier `{ident}` — relational formulas use atoms like `{ident}(c)`"
+                    )))
+                }
+            }
+            Some(other) => Err(self.error(format!("unexpected character `{other}`"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos] as char;
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::ModelSet;
+
+    fn setup() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.relation("On", 2);
+        v.relation("Emp", 1);
+        v
+    }
+
+    #[test]
+    fn parses_atoms_and_connectives() {
+        let mut v = setup();
+        let f = parse_relational(&mut v, "On(ann,db) & !On(ann,web)").unwrap();
+        assert_eq!(v.width(), 2);
+        assert_eq!(v.sig().name(arbitrex_logic::Var(0)), "On(ann,db)");
+        let models = ModelSet::of_formula(&f, 2);
+        assert_eq!(models.len(), 1);
+    }
+
+    #[test]
+    fn precedence_and_grouping() {
+        let mut v = setup();
+        let f = parse_relational(&mut v, "(Emp(a) | Emp(b)) -> On(a,p)").unwrap();
+        let n = v.width();
+        assert_eq!(n, 3);
+        // Count models to pin semantics: violated only when antecedent
+        // true and On(a,p) false -> 8 - 3 = 5 models.
+        assert_eq!(ModelSet::of_formula(&f, n).len(), 5);
+    }
+
+    #[test]
+    fn constants_are_shared_across_atoms() {
+        let mut v = setup();
+        parse_relational(&mut v, "On(x,y) | On(y,x)").unwrap();
+        assert_eq!(v.domain_size(), 2);
+        assert_eq!(v.width(), 2);
+    }
+
+    #[test]
+    fn undeclared_relation_is_an_error() {
+        let mut v = setup();
+        let e = parse_relational(&mut v, "Boss(ann)").unwrap_err();
+        assert!(e.message.contains("undeclared relation"));
+    }
+
+    #[test]
+    fn bare_identifier_is_an_error() {
+        let mut v = setup();
+        let e = parse_relational(&mut v, "Emp(a) & ann").unwrap_err();
+        assert!(e.message.contains("bare identifier"));
+    }
+
+    #[test]
+    fn constants_and_iff_and_trailing_errors() {
+        let mut v = setup();
+        assert_eq!(parse_relational(&mut v, "true").unwrap(), Formula::True);
+        assert_eq!(parse_relational(&mut v, "false").unwrap(), Formula::False);
+        let f = parse_relational(&mut v, "Emp(a) <-> Emp(b)").unwrap();
+        assert_eq!(ModelSet::of_formula(&f, v.width()).len(), 2);
+        assert!(parse_relational(&mut v, "Emp(a) Emp(b)").is_err());
+        assert!(parse_relational(&mut v, "Emp(a,").is_err());
+        assert!(parse_relational(&mut v, "(Emp(a)").is_err());
+    }
+
+    #[test]
+    fn idempotent_reparse_through_display() {
+        let mut v = setup();
+        let f = parse_relational(&mut v, "On(a,b) -> (Emp(a) & Emp(b))").unwrap();
+        let printed = f.display(v.sig()).to_string();
+        // Atom names contain parens/commas, so the *propositional* parser
+        // can't read them back — but the relational one can.
+        let mut v2 = setup();
+        let g = parse_relational(&mut v2, &printed).unwrap();
+        assert_eq!(
+            ModelSet::of_formula(&f, v.width()),
+            ModelSet::of_formula(&g, v2.width())
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Vocabularies: relations over a finite constant domain, grounded into a
+//! propositional signature.
+
+use arbitrex_logic::{Formula, Sig, Var};
+use std::collections::HashMap;
+
+/// A ground atom `R(c₁,…,c_k)`, identified by relation and constant
+/// indices into its [`Vocabulary`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundAtom {
+    /// Relation index.
+    pub relation: usize,
+    /// Argument constants (indices into the domain).
+    pub args: Vec<usize>,
+}
+
+/// A finite relational vocabulary: named constants and named relations
+/// with fixed arities. Ground atoms are interned as propositional
+/// variables in an underlying [`Sig`] on first use.
+///
+/// ```
+/// use arbitrex_relational::Vocabulary;
+/// let mut v = Vocabulary::new();
+/// let (ann, bob) = (v.constant("ann"), v.constant("bob"));
+/// let likes = v.relation("Likes", 2);
+/// let f = v.atom(likes, &[ann, bob]); // the proposition Likes(ann, bob)
+/// assert_eq!(v.sig().len(), 1);
+/// assert_eq!(f.vars().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    constants: Vec<String>,
+    relations: Vec<(String, usize)>,
+    sig: Sig,
+    atom_index: HashMap<GroundAtom, Var>,
+    atoms_by_var: Vec<GroundAtom>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Vocabulary {
+        Vocabulary::default()
+    }
+
+    /// Intern a constant, returning its index.
+    pub fn constant(&mut self, name: &str) -> usize {
+        if let Some(i) = self.constants.iter().position(|c| c == name) {
+            return i;
+        }
+        self.constants.push(name.to_string());
+        self.constants.len() - 1
+    }
+
+    /// Declare a relation with the given arity, returning its index.
+    ///
+    /// # Panics
+    /// Panics if the name is already declared with a different arity.
+    pub fn relation(&mut self, name: &str, arity: usize) -> usize {
+        if let Some(i) = self.relations.iter().position(|(n, _)| n == name) {
+            assert_eq!(
+                self.relations[i].1, arity,
+                "relation {name} redeclared with different arity"
+            );
+            return i;
+        }
+        self.relations.push((name.to_string(), arity));
+        self.relations.len() - 1
+    }
+
+    /// Look up a relation index by name, without declaring.
+    pub fn find_relation(&self, name: &str) -> Option<usize> {
+        self.relations.iter().position(|(n, _)| n == name)
+    }
+
+    /// Number of declared relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of constants in the domain.
+    pub fn domain_size(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// All constant indices.
+    pub fn domain(&self) -> std::ops::Range<usize> {
+        0..self.constants.len()
+    }
+
+    /// The underlying propositional signature (one variable per interned
+    /// ground atom).
+    pub fn sig(&self) -> &Sig {
+        &self.sig
+    }
+
+    /// Signature width (number of interned ground atoms).
+    pub fn width(&self) -> u32 {
+        self.sig.width()
+    }
+
+    /// The propositional variable for `R(args…)`, interning on first use.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch, unknown indices, or overflowing the
+    /// 64-variable enumeration limit.
+    pub fn atom_var(&mut self, relation: usize, args: &[usize]) -> Var {
+        let (name, arity) = &self.relations[relation];
+        assert_eq!(args.len(), *arity, "arity mismatch for {name}");
+        for &a in args {
+            assert!(a < self.constants.len(), "unknown constant index {a}");
+        }
+        let atom = GroundAtom {
+            relation,
+            args: args.to_vec(),
+        };
+        if let Some(&v) = self.atom_index.get(&atom) {
+            return v;
+        }
+        let display = format!(
+            "{}({})",
+            name,
+            args.iter()
+                .map(|&a| self.constants[a].as_str())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let v = self.sig.var(&display);
+        self.atom_index.insert(atom.clone(), v);
+        debug_assert_eq!(v.index(), self.atoms_by_var.len());
+        self.atoms_by_var.push(atom);
+        v
+    }
+
+    /// The atom `R(args…)` as a formula.
+    pub fn atom(&mut self, relation: usize, args: &[usize]) -> Formula {
+        Formula::Var(self.atom_var(relation, args))
+    }
+
+    /// Pre-intern every ground atom of `relation` (needed before model
+    /// enumeration so the signature is complete).
+    pub fn ground_all(&mut self, relation: usize) {
+        let arity = self.relations[relation].1;
+        let n = self.constants.len();
+        let mut args = vec![0usize; arity];
+        loop {
+            self.atom_var(relation, &args);
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == arity {
+                    return;
+                }
+                args[i] += 1;
+                if args[i] < n {
+                    break;
+                }
+                args[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// `∀x. body(x)` over the finite domain: the conjunction of all
+    /// instances.
+    pub fn forall1<F: FnMut(&mut Vocabulary, usize) -> Formula>(&mut self, mut body: F) -> Formula {
+        let domain: Vec<usize> = self.domain().collect();
+        Formula::and(
+            domain
+                .into_iter()
+                .map(|c| body(self, c))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// `∃x. body(x)` over the finite domain: the disjunction of all
+    /// instances.
+    pub fn exists1<F: FnMut(&mut Vocabulary, usize) -> Formula>(&mut self, mut body: F) -> Formula {
+        let domain: Vec<usize> = self.domain().collect();
+        Formula::or(
+            domain
+                .into_iter()
+                .map(|c| body(self, c))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// `∀x ∀y. body(x, y)` over the finite domain.
+    pub fn forall2<F: FnMut(&mut Vocabulary, usize, usize) -> Formula>(
+        &mut self,
+        mut body: F,
+    ) -> Formula {
+        let domain: Vec<usize> = self.domain().collect();
+        let mut parts = Vec::new();
+        for &x in &domain {
+            for &y in &domain {
+                parts.push(body(self, x, y));
+            }
+        }
+        Formula::and(parts)
+    }
+
+    /// `∃x ∃y. body(x, y)` over the finite domain.
+    pub fn exists2<F: FnMut(&mut Vocabulary, usize, usize) -> Formula>(
+        &mut self,
+        mut body: F,
+    ) -> Formula {
+        let domain: Vec<usize> = self.domain().collect();
+        let mut parts = Vec::new();
+        for &x in &domain {
+            for &y in &domain {
+                parts.push(body(self, x, y));
+            }
+        }
+        Formula::or(parts)
+    }
+
+    /// The ground atom a propositional variable stands for, if any.
+    pub fn atom_of_var(&self, v: Var) -> Option<&GroundAtom> {
+        self.atoms_by_var.get(v.index())
+    }
+
+    /// Human-readable name of a constant.
+    pub fn constant_name(&self, c: usize) -> &str {
+        &self.constants[c]
+    }
+
+    /// Human-readable name of a relation.
+    pub fn relation_name(&self, r: usize) -> &str {
+        &self.relations[r].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::{eval, Interp, ModelSet};
+
+    #[test]
+    fn atoms_are_interned_once_with_readable_names() {
+        let mut v = Vocabulary::new();
+        let a = v.constant("ann");
+        let b = v.constant("bob");
+        let likes = v.relation("Likes", 2);
+        let x1 = v.atom_var(likes, &[a, b]);
+        let x2 = v.atom_var(likes, &[a, b]);
+        assert_eq!(x1, x2);
+        assert_eq!(v.sig().name(x1), "Likes(ann,bob)");
+        assert_eq!(v.constant("ann"), a); // constants interned too
+    }
+
+    #[test]
+    fn ground_all_creates_every_instance() {
+        let mut v = Vocabulary::new();
+        v.constant("a");
+        v.constant("b");
+        v.constant("c");
+        let r = v.relation("R", 2);
+        v.ground_all(r);
+        assert_eq!(v.width(), 9);
+        let p = v.relation("P", 1);
+        v.ground_all(p);
+        assert_eq!(v.width(), 12);
+    }
+
+    #[test]
+    fn forall_expansion_is_a_conjunction_of_instances() {
+        let mut v = Vocabulary::new();
+        v.constant("a");
+        v.constant("b");
+        let p = v.relation("P", 1);
+        let all_p = v.forall1(|v, c| v.atom(p, &[c]));
+        let n = v.width();
+        // Only the all-true interpretation satisfies ∀x.P(x).
+        let models = ModelSet::of_formula(&all_p, n);
+        assert_eq!(models.as_singleton(), Some(Interp::full(n)));
+    }
+
+    #[test]
+    fn exists_expansion_is_a_disjunction() {
+        let mut v = Vocabulary::new();
+        v.constant("a");
+        v.constant("b");
+        let p = v.relation("P", 1);
+        let some_p = v.exists1(|v, c| v.atom(p, &[c]));
+        let n = v.width();
+        let models = ModelSet::of_formula(&some_p, n);
+        assert_eq!(models.len(), 3); // all but the empty interpretation
+    }
+
+    #[test]
+    fn nested_quantifiers_express_constraints() {
+        // ∀x∀y. Likes(x,y) → Likes(y,x) — symmetry.
+        let mut v = Vocabulary::new();
+        v.constant("a");
+        v.constant("b");
+        let likes = v.relation("Likes", 2);
+        v.ground_all(likes);
+        let symmetric =
+            v.forall2(|v, x, y| Formula::implies(v.atom(likes, &[x, y]), v.atom(likes, &[y, x])));
+        let n = v.width();
+        // Models: choose Likes(a,a), Likes(b,b) freely (2 bits) and the
+        // pair {Likes(a,b), Likes(b,a)} together (off or both on).
+        assert_eq!(ModelSet::of_formula(&symmetric, n).len(), 8);
+        // And a concrete check.
+        let mut i = Interp::EMPTY;
+        i = i.with(v.atom_var(likes, &[0, 1]), true);
+        assert!(!eval(&symmetric, i));
+        i = i.with(v.atom_var(likes, &[1, 0]), true);
+        assert!(eval(&symmetric, i));
+    }
+
+    #[test]
+    fn atom_of_var_reverse_lookup() {
+        let mut v = Vocabulary::new();
+        let a = v.constant("a");
+        let p = v.relation("P", 1);
+        let var = v.atom_var(p, &[a]);
+        let atom = v.atom_of_var(var).unwrap();
+        assert_eq!(atom.relation, p);
+        assert_eq!(atom.args, vec![a]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut v = Vocabulary::new();
+        let a = v.constant("a");
+        let p = v.relation("P", 1);
+        v.atom_var(p, &[a, a]);
+    }
+}

@@ -1,0 +1,145 @@
+//! AllSAT: enumerate (projected) models via blocking clauses.
+//!
+//! The theory-change backends need `Mod(φ)` explicitly — revision, update
+//! and model-fitting all quantify over model sets. For formulas whose model
+//! count is manageable even when the variable count is not, SAT-based
+//! enumeration projected onto the original (non-Tseitin) variables is the
+//! scalable route.
+
+use crate::lit::Lit;
+use crate::solver::{SolveResult, Solver};
+
+/// Bound on enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllSatLimit {
+    /// Enumerate every model.
+    Unlimited,
+    /// Stop after this many models.
+    AtMost(usize),
+}
+
+/// Enumerate the models of the solver's clause set projected onto variables
+/// `0..project_vars`, as bitmasks (bit `v` = variable `v` true).
+///
+/// Each found projection is blocked with a clause over the projection
+/// variables, so models that agree on the projection are reported once.
+/// Blocking clauses stay in the solver — pass a dedicated solver instance.
+///
+/// Returns the sorted list of projected models, or `None` if the limit was
+/// hit before enumeration finished (partial results are discarded so callers
+/// can't mistake a truncation for the full set).
+pub fn enumerate_models(
+    solver: &mut Solver,
+    project_vars: u32,
+    limit: AllSatLimit,
+) -> Option<Vec<u64>> {
+    assert!(project_vars <= 64, "projection wider than 64 bits");
+    assert!(project_vars <= solver.num_vars());
+    let mut out: Vec<u64> = Vec::new();
+    loop {
+        match solver.solve() {
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                let mut bits = 0u64;
+                let mut blocking: Vec<Lit> = Vec::with_capacity(project_vars as usize);
+                for v in 0..project_vars {
+                    let val = solver.model_value(v).expect("model covers all vars");
+                    if val {
+                        bits |= 1u64 << v;
+                    }
+                    blocking.push(Lit::new(v, !val));
+                }
+                out.push(bits);
+                if let AllSatLimit::AtMost(max) = limit {
+                    if out.len() > max {
+                        return None;
+                    }
+                }
+                if blocking.is_empty() {
+                    // Zero projection vars: a single (empty) projection.
+                    break;
+                }
+                if !solver.add_clause(&blocking) {
+                    break; // blocking clause made the set unsat
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    if let AllSatLimit::AtMost(max) = limit {
+        if out.len() > max {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solver_with(n: u32, clauses: &[&[i32]]) -> Solver {
+        let mut s = Solver::new();
+        s.ensure_vars(n);
+        for c in clauses {
+            s.add_dimacs_clause(c);
+        }
+        s
+    }
+
+    #[test]
+    fn enumerates_all_models_of_small_formula() {
+        // x1 ∨ x2 over 2 vars: 3 models.
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let models = enumerate_models(&mut s, 2, AllSatLimit::Unlimited).unwrap();
+        assert_eq!(models, vec![0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn unsat_formula_has_no_models() {
+        let mut s = solver_with(1, &[&[1], &[-1]]);
+        let models = enumerate_models(&mut s, 1, AllSatLimit::Unlimited).unwrap();
+        assert!(models.is_empty());
+    }
+
+    #[test]
+    fn free_variables_double_the_count() {
+        // Clause only on x1; x2 free => models {1}, {1,2} projected on both.
+        let mut s = solver_with(2, &[&[1]]);
+        let models = enumerate_models(&mut s, 2, AllSatLimit::Unlimited).unwrap();
+        assert_eq!(models, vec![0b01, 0b11]);
+    }
+
+    #[test]
+    fn projection_merges_agreeing_models() {
+        // x2 free, project only on x1: one projected model.
+        let mut s = solver_with(2, &[&[1]]);
+        let models = enumerate_models(&mut s, 1, AllSatLimit::Unlimited).unwrap();
+        assert_eq!(models, vec![0b1]);
+    }
+
+    #[test]
+    fn limit_truncation_returns_none() {
+        let mut s = solver_with(3, &[]); // 8 models
+        assert_eq!(enumerate_models(&mut s, 3, AllSatLimit::AtMost(4)), None);
+        let mut s = solver_with(3, &[]);
+        let all = enumerate_models(&mut s, 3, AllSatLimit::AtMost(8)).unwrap();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn zero_projection_vars() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let models = enumerate_models(&mut s, 0, AllSatLimit::Unlimited).unwrap();
+        assert_eq!(models, vec![0]);
+    }
+
+    #[test]
+    fn tseitin_style_aux_vars_are_projected_away() {
+        // x3 defined as x1 ∧ x2 (aux); formula asserts x3.
+        let mut s = solver_with(3, &[&[-3, 1], &[-3, 2], &[-1, -2, 3], &[3]]);
+        let models = enumerate_models(&mut s, 2, AllSatLimit::Unlimited).unwrap();
+        assert_eq!(models, vec![0b11]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sequential-counter cardinality constraints (Sinz 2005).
+//!
+//! The ladder is encoded once per input set; any bound `≤ k` can then be
+//! imposed per-solve via an assumption literal, which is what the distance
+//! minimization loops in [`crate::optimize`] and the Dalal-revision SAT
+//! backend rely on.
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+
+/// A unary "counter" over a set of input literals.
+///
+/// After [`CardinalityLadder::encode`], output `j` (0-based) is a literal
+/// that is *forced true whenever at least `j + 1` inputs are true*. The
+/// implication is one-directional, which is exactly what assumption-driven
+/// upper bounds need: assuming `¬output[k]` forbids `k + 1` or more inputs
+/// from being true.
+#[derive(Debug, Clone)]
+pub struct CardinalityLadder {
+    outputs: Vec<Lit>,
+    n_inputs: usize,
+}
+
+impl CardinalityLadder {
+    /// Encode the counter for `inputs` into `solver`, introducing
+    /// `O(n²)` auxiliary variables and clauses.
+    pub fn encode(solver: &mut Solver, inputs: &[Lit]) -> CardinalityLadder {
+        let n = inputs.len();
+        if n == 0 {
+            return CardinalityLadder {
+                outputs: Vec::new(),
+                n_inputs: 0,
+            };
+        }
+        // s[i][j] (i in 0..n, j in 0..=i) = "at least j+1 of the first i+1
+        // inputs are true".
+        let mut prev: Vec<Lit> = Vec::new();
+        for (i, &x) in inputs.iter().enumerate() {
+            let width = i + 1;
+            let mut row: Vec<Lit> = Vec::with_capacity(width);
+            for _ in 0..width {
+                row.push(Lit::pos(solver.new_var()));
+            }
+            // x_i ⇒ s_i_0
+            solver.add_clause(&[x.negate(), row[0]]);
+            for j in 0..prev.len() {
+                // s_{i-1}_j ⇒ s_i_j
+                solver.add_clause(&[prev[j].negate(), row[j]]);
+                // x_i ∧ s_{i-1}_j ⇒ s_i_{j+1}
+                solver.add_clause(&[x.negate(), prev[j].negate(), row[j + 1]]);
+            }
+            prev = row;
+        }
+        CardinalityLadder {
+            outputs: prev,
+            n_inputs: n,
+        }
+    }
+
+    /// Number of input literals counted.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// The assumption literal enforcing "at most `k` inputs true", or `None`
+    /// if `k ≥ n` (no constraint needed).
+    pub fn at_most(&self, k: usize) -> Option<Lit> {
+        if k >= self.n_inputs {
+            None
+        } else {
+            Some(self.outputs[k].negate())
+        }
+    }
+
+    /// Permanently assert "at most `k` inputs true".
+    pub fn assert_at_most(&self, solver: &mut Solver, k: usize) {
+        if let Some(l) = self.at_most(k) {
+            solver.add_clause(&[l]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    /// Build a solver with `n` free variables and a ladder over all of them.
+    fn setup(n: u32) -> (Solver, CardinalityLadder, Vec<Lit>) {
+        let mut s = Solver::new();
+        s.ensure_vars(n);
+        let inputs: Vec<Lit> = (0..n).map(Lit::pos).collect();
+        let ladder = CardinalityLadder::encode(&mut s, &inputs);
+        (s, ladder, inputs)
+    }
+
+    fn count_true(s: &Solver, n: u32) -> usize {
+        (0..n).filter(|&v| s.model_value(v) == Some(true)).count()
+    }
+
+    #[test]
+    fn at_most_zero_forces_all_false() {
+        let (mut s, ladder, _) = setup(4);
+        let a = ladder.at_most(0).unwrap();
+        assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+        assert_eq!(count_true(&s, 4), 0);
+    }
+
+    #[test]
+    fn at_most_k_bounds_are_respected_and_tight() {
+        let n = 5;
+        for k in 0..n as usize {
+            let (mut s, ladder, inputs) = setup(n);
+            let a = ladder.at_most(k).unwrap();
+            assert_eq!(s.solve_with_assumptions(&[a]), SolveResult::Sat);
+            assert!(count_true(&s, n) <= k);
+            // Forcing k+1 inputs true under the bound must be unsat.
+            let mut assumps = vec![a];
+            assumps.extend(inputs.iter().take(k + 1));
+            assert_eq!(
+                s.solve_with_assumptions(&assumps),
+                SolveResult::Unsat,
+                "k={k}"
+            );
+            // Forcing exactly k true must still be sat.
+            let mut assumps = vec![a];
+            assumps.extend(inputs.iter().take(k));
+            assert_eq!(s.solve_with_assumptions(&assumps), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn at_most_n_or_more_is_unconstrained() {
+        let (_, ladder, _) = setup(3);
+        assert_eq!(ladder.at_most(3), None);
+        assert_eq!(ladder.at_most(10), None);
+    }
+
+    #[test]
+    fn empty_input_set() {
+        let mut s = Solver::new();
+        let ladder = CardinalityLadder::encode(&mut s, &[]);
+        assert_eq!(ladder.at_most(0), None);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assert_at_most_is_permanent() {
+        let (mut s, ladder, inputs) = setup(4);
+        ladder.assert_at_most(&mut s, 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(count_true(&s, 4) <= 1);
+        let assumps: Vec<Lit> = inputs.iter().take(2).copied().collect();
+        assert_eq!(s.solve_with_assumptions(&assumps), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn works_over_negative_literals() {
+        // Count "inputs" that are negations: at most 1 of ¬x0..¬x3 true
+        // means at least 3 of x0..x3 true.
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        let inputs: Vec<Lit> = (0..4).map(Lit::neg_on).collect();
+        let ladder = CardinalityLadder::encode(&mut s, &inputs);
+        ladder.assert_at_most(&mut s, 1);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let trues = (0..4).filter(|&v| s.model_value(v) == Some(true)).count();
+        assert!(trues >= 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! DIMACS CNF reading and writing.
+
+use crate::error::DimacsError;
+
+/// A parsed DIMACS problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsProblem {
+    /// Declared variable count.
+    pub n_vars: u32,
+    /// Clause list in DIMACS literal convention.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+/// Parse DIMACS CNF text. Comment lines (`c …`) are skipped; literals may be
+/// split across lines; each clause ends with `0`.
+pub fn parse_dimacs(input: &str) -> Result<DimacsProblem, DimacsError> {
+    let mut n_vars: Option<u32> = None;
+    let mut clauses: Vec<Vec<i32>> = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line_num = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') {
+            continue;
+        }
+        if trimmed.starts_with('p') {
+            let mut parts = trimmed.split_whitespace();
+            let ok = parts.next() == Some("p") && parts.next() == Some("cnf") && n_vars.is_none();
+            let vars = parts.next().and_then(|t| t.parse::<u32>().ok());
+            let _n_clauses = parts.next().and_then(|t| t.parse::<usize>().ok());
+            match (ok, vars) {
+                (true, Some(v)) => n_vars = Some(v),
+                _ => return Err(DimacsError::BadHeader { line: line_num }),
+            }
+            continue;
+        }
+        let declared = match n_vars {
+            Some(v) => v,
+            None => return Err(DimacsError::BadHeader { line: line_num }),
+        };
+        for tok in trimmed.split_whitespace() {
+            let lit: i32 = tok.parse().map_err(|_| DimacsError::BadToken {
+                line: line_num,
+                token: tok.into(),
+            })?;
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if lit.unsigned_abs() > declared {
+                    return Err(DimacsError::LitOutOfRange {
+                        line: line_num,
+                        lit,
+                        declared,
+                    });
+                }
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::UnterminatedClause);
+    }
+    Ok(DimacsProblem {
+        n_vars: n_vars.unwrap_or(0),
+        clauses,
+    })
+}
+
+/// Serialize a clause set to DIMACS CNF text.
+pub fn write_dimacs(n_vars: u32, clauses: &[Vec<i32>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p cnf {} {}\n", n_vars, clauses.len()));
+    for c in clauses {
+        for l in c {
+            out.push_str(&format!("{l} "));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_problem() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let p = parse_dimacs(text).unwrap();
+        assert_eq!(p.n_vars, 3);
+        assert_eq!(p.clauses, vec![vec![1, -2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn clauses_may_span_lines() {
+        let text = "p cnf 2 1\n1\n-2\n0\n";
+        let p = parse_dimacs(text).unwrap();
+        assert_eq!(p.clauses, vec![vec![1, -2]]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(
+            parse_dimacs("1 2 0\n"),
+            Err(DimacsError::BadHeader { line: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_token_and_overflow_lit() {
+        let e = parse_dimacs("p cnf 2 1\n1 x 0\n").unwrap_err();
+        assert!(matches!(e, DimacsError::BadToken { line: 2, .. }));
+        let e = parse_dimacs("p cnf 2 1\n3 0\n").unwrap_err();
+        assert!(matches!(e, DimacsError::LitOutOfRange { lit: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert_eq!(
+            parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(DimacsError::UnterminatedClause)
+        );
+    }
+
+    #[test]
+    fn write_then_parse_roundtrips() {
+        let clauses = vec![vec![1, -3], vec![2], vec![-1, -2, 3]];
+        let text = write_dimacs(3, &clauses);
+        let p = parse_dimacs(&text).unwrap();
+        assert_eq!(p.n_vars, 3);
+        assert_eq!(p.clauses, clauses);
+    }
+
+    #[test]
+    fn empty_clause_list() {
+        let p = parse_dimacs("p cnf 4 0\n").unwrap();
+        assert_eq!(p.n_vars, 4);
+        assert!(p.clauses.is_empty());
+    }
+}

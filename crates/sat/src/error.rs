@@ -1,0 +1,83 @@
+//! Error types for the SAT crate.
+
+use std::fmt;
+
+/// Errors raised while reading DIMACS CNF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// Missing or malformed `p cnf <vars> <clauses>` header.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A token that is neither an integer literal nor a comment.
+    BadToken {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A literal references a variable above the header's declared count.
+    LitOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending literal.
+        lit: i32,
+        /// Declared variable count.
+        declared: u32,
+    },
+    /// The file ended in the middle of a clause (no terminating `0`).
+    UnterminatedClause,
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::BadHeader { line } => {
+                write!(f, "line {line}: expected `p cnf <vars> <clauses>` header")
+            }
+            DimacsError::BadToken { line, token } => {
+                write!(f, "line {line}: unexpected token `{token}`")
+            }
+            DimacsError::LitOutOfRange {
+                line,
+                lit,
+                declared,
+            } => write!(
+                f,
+                "line {line}: literal {lit} out of range for {declared} declared variables"
+            ),
+            DimacsError::UnterminatedClause => write!(f, "input ended inside a clause"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(DimacsError::BadHeader { line: 2 }
+            .to_string()
+            .contains("line 2"));
+        assert!(DimacsError::BadToken {
+            line: 3,
+            token: "x".into()
+        }
+        .to_string()
+        .contains("`x`"));
+        assert!(DimacsError::LitOutOfRange {
+            line: 4,
+            lit: -9,
+            declared: 5
+        }
+        .to_string()
+        .contains("-9"));
+        assert!(DimacsError::UnterminatedClause
+            .to_string()
+            .contains("ended"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Literals and three-valued assignments.
+
+use std::fmt;
+
+/// A literal, encoded as `2·var + sign` where `sign = 1` means negated.
+///
+/// This packing gives literals a dense index space (`code()`) used for the
+/// watch lists, and makes negation a single XOR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Build a literal on variable `var` (0-based), positive or negated.
+    #[inline]
+    pub fn new(var: u32, positive: bool) -> Lit {
+        Lit(var << 1 | (!positive as u32))
+    }
+
+    /// Positive literal on `var`.
+    #[inline]
+    pub fn pos(var: u32) -> Lit {
+        Lit::new(var, true)
+    }
+
+    /// Negative literal on `var`.
+    #[inline]
+    pub fn neg_on(var: u32) -> Lit {
+        Lit::new(var, false)
+    }
+
+    /// The variable (0-based).
+    #[inline]
+    pub fn var(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Is this the positive literal?
+    #[inline]
+    pub fn is_pos(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The complementary literal.
+    #[inline]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index in `0..2·n_vars`, for watch lists.
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Convert from a non-zero DIMACS literal (`±(var+1)`).
+    ///
+    /// # Panics
+    /// Panics on 0.
+    pub fn from_dimacs(l: i32) -> Lit {
+        assert!(l != 0, "DIMACS literal 0 is the clause terminator");
+        Lit::new(l.unsigned_abs() - 1, l > 0)
+    }
+
+    /// Convert to DIMACS convention.
+    pub fn to_dimacs(self) -> i32 {
+        let v = self.var() as i32 + 1;
+        if self.is_pos() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_dimacs())
+    }
+}
+
+/// Three-valued assignment state of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    Undef,
+}
+
+impl LBool {
+    /// Truth value of a literal given its variable's assignment.
+    #[inline]
+    pub fn of_lit(self, lit: Lit) -> LBool {
+        match self {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if lit.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if lit.is_pos() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// From a concrete boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Is this `True`?
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// Is this `False`?
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// Is this unassigned?
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_roundtrip() {
+        for v in 0..10u32 {
+            for pos in [true, false] {
+                let l = Lit::new(v, pos);
+                assert_eq!(l.var(), v);
+                assert_eq!(l.is_pos(), pos);
+                assert_eq!(l.negate().var(), v);
+                assert_eq!(l.negate().is_pos(), !pos);
+                assert_eq!(l.negate().negate(), l);
+            }
+        }
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for d in [-5, -1, 1, 3, 42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+        assert_eq!(Lit::from_dimacs(1), Lit::pos(0));
+        assert_eq!(Lit::from_dimacs(-1), Lit::neg_on(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn dimacs_zero_panics() {
+        Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn codes_are_dense_and_distinct() {
+        assert_eq!(Lit::pos(0).code(), 0);
+        assert_eq!(Lit::neg_on(0).code(), 1);
+        assert_eq!(Lit::pos(1).code(), 2);
+        assert_eq!(Lit::neg_on(1).code(), 3);
+    }
+
+    #[test]
+    fn lbool_of_lit() {
+        assert_eq!(LBool::True.of_lit(Lit::pos(0)), LBool::True);
+        assert_eq!(LBool::True.of_lit(Lit::neg_on(0)), LBool::False);
+        assert_eq!(LBool::False.of_lit(Lit::pos(0)), LBool::False);
+        assert_eq!(LBool::False.of_lit(Lit::neg_on(0)), LBool::True);
+        assert_eq!(LBool::Undef.of_lit(Lit::pos(0)), LBool::Undef);
+    }
+
+    #[test]
+    fn lbool_predicates() {
+        assert!(LBool::True.is_true() && !LBool::True.is_false());
+        assert!(LBool::False.is_false() && !LBool::False.is_undef());
+        assert!(LBool::Undef.is_undef());
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::from_bool(false), LBool::False);
+    }
+}

@@ -1,0 +1,45 @@
+//! The Luby restart sequence.
+
+/// The `i`-th element (1-based) of the Luby sequence
+/// `1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …` (Luby, Sinclair & Zuckerman 1993),
+/// the universally-optimal restart schedule used by the solver.
+pub fn luby(i: u64) -> u64 {
+    assert!(i >= 1, "Luby sequence is 1-based");
+    // Find k with 2^k - 1 >= i; if i == 2^k - 1 the value is 2^(k-1),
+    // otherwise recurse on i - (2^(k-1) - 1).
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    if (1u64 << k) - 1 == i {
+        1u64 << (k - 1)
+    } else {
+        luby(i - ((1u64 << (k - 1)) - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fifteen_terms() {
+        let expect = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn powers_of_two_at_sequence_ends() {
+        assert_eq!(luby(31), 16);
+        assert_eq!(luby(63), 32);
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 1..200 {
+            let v = luby(i);
+            assert!(v.is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Cardinality minimization: find a model minimizing the number of true
+//! literals among a given set.
+//!
+//! This is the engine behind the SAT backend for Dalal's revision operator:
+//! with difference variables `d_i ↔ (x_i ⊕ y_i)` between a model of `μ` and
+//! a model of `ψ`, minimizing the true count of `{d_i}` computes the minimal
+//! Hamming distance — and the optimal models fall out of the final solve.
+
+use crate::card::CardinalityLadder;
+use crate::lit::Lit;
+use crate::solver::{SolveResult, Solver};
+
+/// Find the minimum number of `targets` literals that can be simultaneously
+/// true in a model of the solver's clause set, by binary search over an
+/// assumption-driven cardinality ladder.
+///
+/// Returns `(k, model)` where `model` is a satisfying assignment achieving
+/// exactly the minimum `k` (as a bool-per-variable snapshot covering the
+/// *original* variables present before the ladder was encoded), or `None`
+/// if the clause set is unsatisfiable.
+///
+/// The ladder's auxiliary clauses remain in the solver afterwards; the
+/// returned bound can be re-imposed by the caller via
+/// [`CardinalityLadder::assert_at_most`] on the returned ladder.
+pub fn minimize_true_count(
+    solver: &mut Solver,
+    targets: &[Lit],
+) -> Option<(usize, Vec<bool>, CardinalityLadder)> {
+    let n_original = solver.num_vars();
+    if solver.solve() == SolveResult::Unsat {
+        return None;
+    }
+    let count_in_model = |s: &Solver| {
+        targets
+            .iter()
+            .filter(|l| s.model_value(l.var()) == Some(l.is_pos()))
+            .count()
+    };
+    let best_count = count_in_model(solver);
+    let mut best_model: Vec<bool> = solver.model()[..n_original as usize].to_vec();
+    if best_count == 0 || targets.is_empty() {
+        let ladder = CardinalityLadder::encode(solver, targets);
+        return Some((best_count, best_model, ladder));
+    }
+    let ladder = CardinalityLadder::encode(solver, targets);
+    // Invariant: sat with ≤ hi is known (hi = best_count), unsat with ≤ lo-1
+    // unknown; classic binary search on the least feasible bound.
+    let mut lo = 0usize;
+    let mut hi = best_count;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let assumption = ladder.at_most(mid);
+        let assumps: Vec<Lit> = assumption.into_iter().collect();
+        match solver.solve_with_assumptions(&assumps) {
+            SolveResult::Sat => {
+                let c = count_in_model(solver);
+                debug_assert!(c <= mid);
+                best_model = solver.model()[..n_original as usize].to_vec();
+                hi = c;
+            }
+            SolveResult::Unsat => {
+                lo = mid + 1;
+            }
+        }
+    }
+    Some((hi, best_model, ladder))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsat_returns_none() {
+        let mut s = Solver::new();
+        s.ensure_vars(1);
+        s.add_dimacs_clause(&[1]);
+        s.add_dimacs_clause(&[-1]);
+        assert!(minimize_true_count(&mut s, &[Lit::pos(0)]).is_none());
+    }
+
+    #[test]
+    fn minimum_is_zero_when_targets_unconstrained() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_dimacs_clause(&[1, 2, 3]);
+        // x0 can be false: min true count of {x0} is 0.
+        let (k, model, _) = minimize_true_count(&mut s, &[Lit::pos(0)]).unwrap();
+        assert_eq!(k, 0);
+        assert!(!model[0]);
+    }
+
+    #[test]
+    fn forced_literals_push_minimum_up() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        // x0 forced; x1 ∨ x2 forced (at least one).
+        s.add_dimacs_clause(&[1]);
+        s.add_dimacs_clause(&[2, 3]);
+        let targets = [Lit::pos(0), Lit::pos(1), Lit::pos(2)];
+        let (k, model, _) = minimize_true_count(&mut s, &targets).unwrap();
+        assert_eq!(k, 2);
+        assert!(model[0]);
+        assert!(model[1] ^ model[2] || (model[1] != model[2]));
+    }
+
+    #[test]
+    fn at_least_constraints_via_big_clauses() {
+        // Exactly-one over 4 vars: minimum true count is 1.
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        s.add_dimacs_clause(&[1, 2, 3, 4]);
+        for i in 1..=4 {
+            for j in (i + 1)..=4 {
+                s.add_dimacs_clause(&[-i, -j]);
+            }
+        }
+        let targets: Vec<Lit> = (0..4).map(Lit::pos).collect();
+        let (k, model, _) = minimize_true_count(&mut s, &targets).unwrap();
+        assert_eq!(k, 1);
+        assert_eq!(model.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn minimize_over_negative_literals() {
+        // Maximize trues == minimize falses: x0 ∨ x1 with targets ¬x0, ¬x1.
+        let mut s = Solver::new();
+        s.ensure_vars(2);
+        s.add_dimacs_clause(&[1, 2]);
+        let targets = [Lit::neg_on(0), Lit::neg_on(1)];
+        let (k, model, _) = minimize_true_count(&mut s, &targets).unwrap();
+        assert_eq!(k, 0);
+        assert!(model[0] && model[1]);
+    }
+
+    #[test]
+    fn empty_target_set() {
+        let mut s = Solver::new();
+        s.ensure_vars(2);
+        s.add_dimacs_clause(&[1]);
+        let (k, model, _) = minimize_true_count(&mut s, &[]).unwrap();
+        assert_eq!(k, 0);
+        assert!(model[0]);
+    }
+
+    #[test]
+    fn ladder_can_lock_in_the_optimum() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_dimacs_clause(&[1, 2]);
+        s.add_dimacs_clause(&[2, 3]);
+        let targets: Vec<Lit> = (0..3).map(Lit::pos).collect();
+        let (k, _, ladder) = minimize_true_count(&mut s, &targets).unwrap();
+        assert_eq!(k, 1); // x1 alone satisfies both clauses
+        ladder.assert_at_most(&mut s, k);
+        // Now x1 is effectively forced: check by assuming ¬x1.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg_on(1)]),
+            SolveResult::Unsat
+        );
+    }
+}

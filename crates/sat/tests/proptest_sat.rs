@@ -1,0 +1,161 @@
+//! Property-based tests for the CDCL solver against brute-force ground
+//! truth on random instances.
+
+use arbitrex_sat::{
+    enumerate_models, minimize_true_count, parse_dimacs, write_dimacs, AllSatLimit,
+    CardinalityLadder, Lit, SolveResult, Solver,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random clause set over `n` variables.
+fn clause_set(n: u32, max_clauses: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let lit = (1..=n as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..4);
+    prop::collection::vec(clause, 0..max_clauses)
+}
+
+fn brute_force_models(n: u32, clauses: &[Vec<i32>]) -> Vec<u64> {
+    (0..1u64 << n)
+        .filter(|&bits| {
+            clauses.iter().all(|c| {
+                c.iter().any(|&l| {
+                    let v = l.unsigned_abs() - 1;
+                    ((bits >> v) & 1 == 1) == (l > 0)
+                })
+            })
+        })
+        .collect()
+}
+
+fn solver_with(n: u32, clauses: &[Vec<i32>]) -> Solver {
+    let mut s = Solver::new();
+    s.ensure_vars(n);
+    for c in clauses {
+        s.add_dimacs_clause(c);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn solve_agrees_with_brute_force(clauses in clause_set(7, 30)) {
+        let n = 7;
+        let brute = brute_force_models(n, &clauses);
+        let mut s = solver_with(n, &clauses);
+        let got = s.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, !brute.is_empty());
+        if got {
+            let model_bits: u64 = (0..n)
+                .filter(|&v| s.model_value(v) == Some(true))
+                .map(|v| 1u64 << v)
+                .sum();
+            prop_assert!(brute.contains(&model_bits), "solver model not a real model");
+        }
+    }
+
+    #[test]
+    fn allsat_enumerates_exactly_the_brute_force_models(clauses in clause_set(6, 20)) {
+        let n = 6;
+        let brute = brute_force_models(n, &clauses);
+        let mut s = solver_with(n, &clauses);
+        let got = enumerate_models(&mut s, n, AllSatLimit::Unlimited).unwrap();
+        prop_assert_eq!(got, brute);
+    }
+
+    #[test]
+    fn assumptions_match_clause_addition(clauses in clause_set(6, 20), assume in 1..6i32) {
+        // Solving under assumption l must agree with solving clauses+{l}.
+        let n = 6;
+        let mut s1 = solver_with(n, &clauses);
+        let under_assumption =
+            s1.solve_with_assumptions(&[Lit::from_dimacs(assume)]) == SolveResult::Sat;
+        let mut with_clause = clauses.clone();
+        with_clause.push(vec![assume]);
+        let brute = brute_force_models(n, &with_clause);
+        prop_assert_eq!(under_assumption, !brute.is_empty());
+    }
+
+    #[test]
+    fn minimize_true_count_is_optimal(clauses in clause_set(6, 16)) {
+        let n = 6;
+        let brute = brute_force_models(n, &clauses);
+        let mut s = solver_with(n, &clauses);
+        let targets: Vec<Lit> = (0..n).map(Lit::pos).collect();
+        match minimize_true_count(&mut s, &targets) {
+            None => prop_assert!(brute.is_empty()),
+            Some((k, model, _)) => {
+                let best = brute.iter().map(|b| b.count_ones()).min().unwrap();
+                prop_assert_eq!(k as u32, best);
+                let model_bits: u64 = model
+                    .iter()
+                    .take(n as usize)
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(v, _)| 1u64 << v)
+                    .sum();
+                prop_assert!(brute.contains(&model_bits));
+                prop_assert_eq!(model_bits.count_ones(), best);
+            }
+        }
+    }
+
+    #[test]
+    fn cardinality_ladder_bounds_are_exact(k in 0usize..6, forced in 0u32..6) {
+        // Free variables + at-most-k: satisfiable iff forced ≤ k.
+        let n = 6;
+        let mut s = Solver::new();
+        s.ensure_vars(n);
+        let inputs: Vec<Lit> = (0..n).map(Lit::pos).collect();
+        let ladder = CardinalityLadder::encode(&mut s, &inputs);
+        let mut assumps: Vec<Lit> = ladder.at_most(k).into_iter().collect();
+        assumps.extend((0..forced).map(Lit::pos));
+        let sat = s.solve_with_assumptions(&assumps) == SolveResult::Sat;
+        prop_assert_eq!(sat, forced as usize <= k);
+    }
+
+    #[test]
+    fn dimacs_roundtrip(clauses in clause_set(8, 25)) {
+        let text = write_dimacs(8, &clauses);
+        let parsed = parse_dimacs(&text).unwrap();
+        prop_assert_eq!(parsed.n_vars, 8);
+        prop_assert_eq!(parsed.clauses, clauses);
+    }
+
+    #[test]
+    fn unsat_cores_are_sound(clauses in clause_set(6, 16), assume_mask in 1u32..64) {
+        // Assume a random subset of positive literals; when UNSAT, the
+        // reported core must itself be UNSAT with the clause set.
+        let n = 6;
+        let assumps: Vec<Lit> = (0..n)
+            .filter(|&v| assume_mask >> v & 1 == 1)
+            .map(Lit::pos)
+            .collect();
+        let mut s = solver_with(n, &clauses);
+        if s.solve_with_assumptions(&assumps) == SolveResult::Unsat {
+            let core: Vec<Lit> = s.unsat_core().to_vec();
+            prop_assert!(core.iter().all(|l| assumps.contains(l)));
+            let mut s2 = solver_with(n, &clauses);
+            prop_assert_eq!(s2.solve_with_assumptions(&core), SolveResult::Unsat);
+        }
+    }
+
+    #[test]
+    fn incremental_solving_is_consistent(
+        base in clause_set(6, 12),
+        extra in clause_set(6, 6),
+    ) {
+        // Solving base then adding extra must equal solving base+extra
+        // from scratch.
+        let n = 6;
+        let mut incremental = solver_with(n, &base);
+        let _ = incremental.solve();
+        for c in &extra {
+            incremental.add_dimacs_clause(c);
+        }
+        let inc = incremental.solve() == SolveResult::Sat;
+        let mut all = base.clone();
+        all.extend(extra.iter().cloned());
+        let fresh = !brute_force_models(n, &all).is_empty();
+        prop_assert_eq!(inc, fresh);
+    }
+}

@@ -1,0 +1,82 @@
+//! The jury scenario from the paper's introduction (experiment E10's
+//! headline case).
+//!
+//! Nine witnesses of a brawl say A started the fight; two say it was B.
+//! All witnesses are contemporary and equally credible individually — the
+//! jury needs *arbitration*, not revision (no witness outranks another)
+//! and not update (the world did not change between testimonies).
+//!
+//! Run with: `cargo run --example jury`
+
+use arbitrex::merge::metrics::{max_dissatisfaction, sum_dissatisfaction};
+use arbitrex::merge::scenario::jury;
+use arbitrex::prelude::*;
+
+fn main() {
+    let mut sig = Sig::new();
+    sig.var("A"); // "A started the fight"
+    sig.var("B"); // "B started the fight"
+
+    let sources = jury(9, 2);
+    println!("9 witnesses claim A ∧ ¬B; 2 witnesses claim ¬A ∧ B\n");
+
+    let strategies = [
+        merge_weighted_arbitration(&sources),
+        merge_majority(&sources, None),
+        merge_egalitarian(&sources, None),
+        merge_fold_arbitration(&sources),
+        merge_fold_revision(&sources),
+        merge_fold_update(&sources),
+    ];
+    let mut table = Table::new([
+        "strategy",
+        "verdict (consensus models)",
+        "worst witness",
+        "Σ weighted",
+    ]);
+    for out in &strategies {
+        let (worst, total) = out
+            .consensus
+            .iter()
+            .map(|i| {
+                (
+                    max_dissatisfaction(&sources, i),
+                    sum_dissatisfaction(&sources, i),
+                )
+            })
+            .min_by_key(|&(_, s)| s)
+            .map(|(m, s)| (m.to_string(), s.to_string()))
+            .unwrap_or(("-".into(), "-".into()));
+        table.row([
+            out.strategy.to_string(),
+            out.consensus.display(&sig).to_string(),
+            worst,
+            total,
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("readings:");
+    println!(" * weighted arbitration / majority follow the 9-2 majority: A did it;");
+    println!(" * egalitarian arbitration ignores head-counts — with one voice per");
+    println!("   side it offers the symmetric compromises (both or neither);");
+    println!(" * folding revision simply believes whoever testified last —");
+    println!("   exactly the asymmetry arbitration exists to avoid.");
+
+    // Order-sensitivity of the folds versus commutativity of arbitration.
+    let reversed: Vec<Source> = sources.iter().rev().cloned().collect();
+    let fwd = merge_fold_revision(&sources).consensus;
+    let rev = merge_fold_revision(&reversed).consensus;
+    println!(
+        "\nfold-revision forward vs reversed witness order: {} vs {}",
+        fwd.display(&sig),
+        rev.display(&sig)
+    );
+    let afwd = merge_weighted_arbitration(&sources).consensus;
+    let arev = merge_weighted_arbitration(&reversed).consensus;
+    println!(
+        "weighted arbitration forward vs reversed:        {} vs {} (order-free)",
+        afwd.display(&sig),
+        arev.display(&sig)
+    );
+}

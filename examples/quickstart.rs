@@ -1,0 +1,60 @@
+//! Quickstart: the three kinds of theory change on the paper's own opening
+//! example.
+//!
+//! The introduction considers the database `{A, B, A ∧ B → C}` receiving
+//! the new information `¬C`. Revision, update and arbitration resolve the
+//! conflict under different assumptions about *who to trust*; this example
+//! runs all three and prints what each believes afterwards.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use arbitrex::prelude::*;
+
+fn main() {
+    let mut sig = Sig::new();
+    let psi = parse(&mut sig, "A & B & (A & B -> C)").unwrap();
+    let mu = parse(&mut sig, "!C").unwrap();
+    let n = sig.width();
+
+    let psi_models = ModelSet::of_formula(&psi, n);
+    let mu_models = ModelSet::of_formula(&mu, n);
+
+    println!("knowledge base ψ = {}", psi.display(&sig));
+    println!("  models: {}", psi_models.display(&sig));
+    println!("new information μ = {}", mu.display(&sig));
+    println!("  models: {}\n", mu_models.display(&sig));
+
+    let mut table = Table::new(["operator", "kind", "resulting models"]);
+    let classical: Vec<(&dyn ChangeOperator, &str)> = vec![
+        (&DalalRevision, "revision (new info wins)"),
+        (&SatohRevision, "revision (new info wins)"),
+        (&WinslettUpdate, "update (world changed)"),
+        (&ForbusUpdate, "update (world changed)"),
+        (&OdistFitting, "model-fitting (peers)"),
+    ];
+    for (op, kind) in classical {
+        let result = op.apply(&psi_models, &mu_models);
+        table.row([op.name(), kind, &result.display(&sig).to_string()]);
+    }
+    // Arbitration treats ψ and μ as two voices and may leave μ's letter of
+    // the law behind in favour of the best compromise interpretation.
+    let arb = arbitrate(&psi_models, &mu_models);
+    table.row([
+        "arbitration",
+        "consensus (ψ Δ μ)",
+        &arb.display(&sig).to_string(),
+    ]);
+    println!("{}", table.render());
+
+    // Arbitration is the commutative one.
+    let flipped = arbitrate(&mu_models, &psi_models);
+    println!(
+        "arbitration is commutative: ψ Δ μ == μ Δ ψ  ->  {}",
+        arb == flipped
+    );
+    let rev_flipped = DalalRevision.apply(&mu_models, &psi_models);
+    println!(
+        "revision is not:            ψ ∘ μ == μ ∘ ψ  ->  {}",
+        DalalRevision.apply(&psi_models, &mu_models) == rev_flipped
+    );
+}

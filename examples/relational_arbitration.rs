@@ -1,0 +1,95 @@
+//! Relational arbitration (toward the paper's first open problem).
+//!
+//! Section 5 asks how to extend arbitration beyond propositional logic.
+//! Over a finite domain the answer is grounding: this example builds a
+//! small staffing database — people assigned to projects under the
+//! integrity constraint "everyone is assigned somewhere" — and merges two
+//! departments' conflicting records three ways: revision (HQ's records
+//! win), update (the world changed), and arbitration (the departments are
+//! peers).
+//!
+//! Run with: `cargo run --example relational_arbitration`
+
+use arbitrex::logic::Formula;
+use arbitrex::relational::{RelationalDb, Vocabulary};
+
+fn main() {
+    // Schema: On(person, project) over people {ann, bob}, projects
+    // {db, web}. Constants share one domain; only On(person, project)
+    // atoms are used.
+    let mut v = Vocabulary::new();
+    let ann = v.constant("ann");
+    let bob = v.constant("bob");
+    let dbp = v.constant("dbproj");
+    let web = v.constant("webproj");
+    let on = v.relation("On", 2);
+    // Ground only the meaningful atoms: people × projects.
+    for p in [ann, bob] {
+        for proj in [dbp, web] {
+            v.atom_var(on, &[p, proj]);
+        }
+    }
+    // Integrity constraint: every person is on at least one project.
+    let ic = Formula::and(
+        [ann, bob].map(|p| Formula::or([dbp, web].map(|proj| v.atom(on, &[p, proj])))),
+    );
+
+    let dept_a = |v: &mut Vocabulary| {
+        // Department A: Ann on dbproj only, Bob on webproj only.
+        Formula::and([
+            v.atom(on, &[ann, dbp]),
+            Formula::not(v.atom(on, &[ann, web])),
+            v.atom(on, &[bob, web]),
+            Formula::not(v.atom(on, &[bob, dbp])),
+        ])
+    };
+    let dept_b = |v: &mut Vocabulary| {
+        // Department B disagrees about Ann: she's on webproj only.
+        Formula::and([
+            v.atom(on, &[ann, web]),
+            Formula::not(v.atom(on, &[ann, dbp])),
+            v.atom(on, &[bob, web]),
+            Formula::not(v.atom(on, &[bob, dbp])),
+        ])
+    };
+
+    let a_records = dept_a(&mut v);
+    let b_records = dept_b(&mut v);
+    println!("integrity constraint: everyone is assigned to some project");
+    println!("department A: Ann@dbproj, Bob@webproj");
+    println!("department B: Ann@webproj, Bob@webproj\n");
+
+    // Revision: B's records are authoritative.
+    let mut db = RelationalDb::new(v.clone(), ic.clone());
+    db.assert_state(&a_records);
+    db.revise(&b_records);
+    println!("after REVISION by B (B outranks A):");
+    for w in db.worlds_display() {
+        println!("  possible world: {w}");
+    }
+
+    // Update: the world changed to match B.
+    let mut db = RelationalDb::new(v.clone(), ic.clone());
+    db.assert_state(&a_records);
+    db.update(&b_records);
+    println!("\nafter UPDATE by B (assignments actually changed):");
+    for w in db.worlds_display() {
+        println!("  possible world: {w}");
+    }
+
+    // Arbitration: the departments are peers.
+    let mut db = RelationalDb::new(v.clone(), ic.clone());
+    db.assert_state(&a_records);
+    db.arbitrate(&b_records);
+    println!("\nafter ARBITRATION with B (equal voices):");
+    for w in db.worlds_display() {
+        println!("  possible world: {w}");
+    }
+    println!(
+        "\ncertain facts under arbitration: {:?}",
+        db.certain_facts_display()
+    );
+    println!("(both departments agree Bob is on webproj; for Ann the consensus is");
+    println!("the compromise 'on both projects' — each department's record is off");
+    println!("by exactly one fact, instead of one department being overruled.)");
+}

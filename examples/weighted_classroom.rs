@@ -1,0 +1,76 @@
+//! Example 4.1 of the paper plus the majority-crossover sweep
+//! (experiments E2 and E9).
+//!
+//! Same classroom, but now 35 students: 10 want SQL only, 20 Datalog only,
+//! 5 want all three. Weighted arbitration tries to satisfy the *majority*
+//! instead of the worst-off individual, and the outcome flips from
+//! "teach both" to "teach Datalog only". The sweep then varies the size of
+//! the Datalog-only block to find exactly where the flip happens.
+//!
+//! Run with: `cargo run --example weighted_classroom`
+
+use arbitrex::merge::scenario::{Classroom, D, S};
+use arbitrex::prelude::*;
+use arbitrex_logic::Interp;
+
+fn main() {
+    let class = Classroom::new();
+    let sig = &class.sig;
+    let psi = class.example_41_psi();
+    let mu = class.offer_weighted();
+
+    println!(
+        "instructor's offer μ̃ (weight 1 each): {}",
+        class.offer.display(sig)
+    );
+    println!("class ψ̃: 10 × {{S}}, 20 × {{D}}, 5 × {{S,D,Q}}\n");
+
+    // The wdist table exactly as the paper computes it (30 vs 35).
+    let mut table = Table::new(["candidate I", "wdist(ψ̃, I)"]);
+    for (i, _) in mu.support() {
+        table.row([
+            i.display(sig).to_string(),
+            wdist(&psi, i).unwrap().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let result = WdistFitting.apply(&psi, &mu);
+    println!(
+        "weighted fitting ψ̃ ▷ μ̃ supports {}  (teach Datalog only)\n",
+        result.support_set().display(sig)
+    );
+
+    // E9: sweep the Datalog-only block size with 10 SQL-only and 5
+    // all-three students fixed. Where does the outcome flip from the
+    // compromise {S,D} to the majority choice {D}?
+    println!("crossover sweep: #Datalog-only students vs chosen offer");
+    let mut sweep = Table::new([
+        "#datalog-only",
+        "wdist({D})",
+        "wdist({S,D})",
+        "chosen offer",
+    ]);
+    let mut flip_at = None;
+    for k in 0..=30u64 {
+        let psi_k = class.class_of(10, k, 5);
+        let w_d = wdist(&psi_k, Interp(D)).unwrap();
+        let w_sd = wdist(&psi_k, Interp(S | D)).unwrap();
+        let outcome = WdistFitting.apply(&psi_k, &mu).support_set();
+        let label = outcome.display(sig).to_string();
+        if flip_at.is_none() && outcome.as_singleton() == Some(Interp(D)) {
+            flip_at = Some(k);
+        }
+        if k % 3 == 0 || Some(k) == flip_at {
+            sweep.row([k.to_string(), w_d.to_string(), w_sd.to_string(), label]);
+        }
+    }
+    println!("{}", sweep.render());
+    match flip_at {
+        Some(k) => println!(
+            "the majority takes over at {k} Datalog-only students \
+             (wdist({{D}}) drops below wdist({{S,D}}))"
+        ),
+        None => println!("no flip within the sweep range"),
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end reproduction of every worked example in the paper, driven
+//! through the public text-level API (parse → operators → formulas), the
+//! way a downstream user would.
+
+use arbitrex::prelude::*;
+
+/// Section 1's opening example: `{A, B, A ∧ B → C}` plus `¬C`.
+#[test]
+fn intro_example_all_three_change_kinds() {
+    let mut sig = Sig::new();
+    let psi = parse(&mut sig, "A & B & (A & B -> C)").unwrap();
+    let mu = parse(&mut sig, "!C").unwrap();
+    let n = sig.width();
+    let psi_m = ModelSet::of_formula(&psi, n);
+    let mu_m = ModelSet::of_formula(&mu, n);
+
+    // ψ has the single model {A,B,C}; the closest ¬C-world drops only C.
+    assert_eq!(psi_m.as_singleton(), Some(Interp(0b111)));
+    let revised = DalalRevision.apply(&psi_m, &mu_m);
+    assert_eq!(revised.as_singleton(), Some(Interp(0b011)));
+    // Update agrees here (singleton ψ).
+    assert_eq!(WinslettUpdate.apply(&psi_m, &mu_m), revised);
+    // Arbitration gives the two voices equal standing: any world at
+    // Hamming distance ≤ 1 from both sides' closest models survives.
+    let arb = arbitrate(&psi_m, &mu_m);
+    assert!(arb.contains(Interp(0b011)));
+    assert_eq!(arbitrate(&mu_m, &psi_m), arb); // commutative
+}
+
+/// Example 3.1 exactly as printed, through the parser.
+#[test]
+fn example_31_through_the_text_api() {
+    let mut sig = Sig::new();
+    let (s, d, q) = (sig.var("S"), sig.var("D"), sig.var("Q"));
+    let mu = parse(&mut sig, "(!S & D & !Q) | (S & D & !Q)").unwrap();
+    let psi = parse(&mut sig, "(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)").unwrap();
+    let n = sig.width();
+    let mu_m = ModelSet::of_formula(&mu, n);
+    let psi_m = ModelSet::of_formula(&psi, n);
+
+    // The paper's intermediate numbers.
+    assert_eq!(odist(&psi_m, Interp::from_vars([d])), Some(2));
+    assert_eq!(odist(&psi_m, Interp::from_vars([s, d])), Some(1));
+    let _ = q;
+
+    // Mod(ψ ▷ μ) = {{S, D}}: teach both.
+    let fitted = OdistFitting.apply(&psi_m, &mu_m);
+    assert_eq!(fitted.as_singleton(), Some(Interp::from_vars([s, d])));
+
+    // The contrast the paper draws: Dalal revision picks Datalog only.
+    let revised = DalalRevision.apply(&psi_m, &mu_m);
+    assert_eq!(revised.as_singleton(), Some(Interp::from_vars([d])));
+
+    // Formula-level wrapper returns an equivalent formula.
+    let wrapped = FormulaOperator::new(OdistFitting, n).apply(&psi, &mu);
+    assert_eq!(ModelSet::of_formula(&wrapped, n), fitted);
+}
+
+/// Example 3.1's closing remark: had the instructor been willing to teach
+/// any combination, he/she would be doing arbitration.
+#[test]
+fn example_31_with_unconstrained_instructor_is_arbitration() {
+    let mut sig = Sig::new();
+    sig.var("S");
+    sig.var("D");
+    sig.var("Q");
+    let mu = parse(&mut sig, "(!S & D & !Q) | (S & D & !Q)").unwrap();
+    let psi = parse(&mut sig, "(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)").unwrap();
+    let mu_m = ModelSet::of_formula(&mu, 3);
+    let psi_m = ModelSet::of_formula(&psi, 3);
+    // ψ Δ μ = (ψ ∨ μ) ▷ ⊤.
+    let via_def = OdistFitting.apply(&psi_m.union(&mu_m), &ModelSet::all(3));
+    assert_eq!(arbitrate(&psi_m, &mu_m), via_def);
+}
+
+/// Example 4.1 exactly as printed.
+#[test]
+fn example_41_weighted_classroom() {
+    let mut sig = Sig::new();
+    let (s, d, q) = (sig.var("S"), sig.var("D"), sig.var("Q"));
+    let psi = WeightedKb::from_weights(
+        3,
+        [
+            (Interp::from_vars([s]), 10),
+            (Interp::from_vars([d]), 20),
+            (Interp::from_vars([s, d, q]), 5),
+        ],
+    );
+    let mu = WeightedKb::from_weights(
+        3,
+        [(Interp::from_vars([d]), 1), (Interp::from_vars([s, d]), 1)],
+    );
+    // The paper's wdist values: 30 and 35.
+    assert_eq!(wdist(&psi, Interp::from_vars([d])), Some(30));
+    assert_eq!(wdist(&psi, Interp::from_vars([s, d])), Some(35));
+    // Result: φ̃({D}) = 1, zero elsewhere.
+    let result = WdistFitting.apply(&psi, &mu);
+    assert_eq!(result.weight(Interp::from_vars([d])), 1);
+    assert_eq!(result.support_size(), 1);
+}
+
+/// The jury story from Section 1: equal, contemporary witnesses need
+/// arbitration, and with weights the 9-vs-2 majority prevails.
+#[test]
+fn jury_story() {
+    let sources = arbitrex::merge::scenario::jury(9, 2);
+    let verdict = merge_weighted_arbitration(&sources);
+    assert_eq!(verdict.consensus.as_singleton(), Some(Interp(0b01))); // A did it
+                                                                      // Reversing testimony order cannot change an arbitration verdict.
+    let reversed: Vec<Source> = sources.iter().rev().cloned().collect();
+    assert_eq!(
+        merge_weighted_arbitration(&reversed).consensus,
+        verdict.consensus
+    );
+    // Folding revision through the witnesses believes the last speaker.
+    assert_ne!(
+        merge_fold_revision(&sources).consensus,
+        merge_fold_revision(&reversed).consensus
+    );
+}
+
+/// Section 4's embedding: a classical KB as a weighted KB with weight 1 on
+/// every model behaves like sum-fitting.
+#[test]
+fn classical_embedding_consistency() {
+    let psi = ModelSet::new(3, [Interp(0b001), Interp(0b010), Interp(0b111)]);
+    let mu = ModelSet::new(3, [Interp(0b010), Interp(0b011)]);
+    let weighted = WdistFitting.apply(
+        &WeightedKb::from_model_set(&psi),
+        &WeightedKb::from_model_set(&mu),
+    );
+    let classical = SumFitting.apply(&psi, &mu);
+    assert_eq!(weighted.support_set(), classical);
+}

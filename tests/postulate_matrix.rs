@@ -1,0 +1,242 @@
+//! The full operator × postulate satisfaction matrix as executable
+//! expectations (experiment E3). Each entry is verified exhaustively over
+//! the 2-variable universe (16⁴ theory quadruples), so a ✓ here is a
+//! complete proof on that universe and a ✗ is a concrete counterexample.
+
+use arbitrex::core::fitting::GMaxFitting;
+use arbitrex::core::postulates::harness::{check_exhaustive, satisfaction_matrix};
+use arbitrex::core::postulates::PostulateId;
+use arbitrex::prelude::*;
+
+use PostulateId::*;
+
+/// The expected verdicts, derived from the paper (Theorem 3.2, Appendix A,
+/// [KM91]/[KM92] attributions) and from this reproduction's findings.
+fn expectations() -> Vec<(&'static str, Vec<(PostulateId, bool)>)> {
+    vec![
+        (
+            "dalal-revision",
+            vec![
+                (R1, true),
+                (R2, true),
+                (R3, true),
+                (R4, true),
+                (R5, true),
+                (R6, true),
+                (U2, false),
+                (U8, false),
+                (A2, false),
+                (A8, false),
+            ],
+        ),
+        (
+            "satoh-revision",
+            vec![
+                (R1, true),
+                (R2, true),
+                (R3, true),
+                (R4, true),
+                (R5, true),
+                (U8, false),
+                (A8, false),
+            ],
+        ),
+        (
+            "borgida-revision",
+            vec![(R1, true), (R2, true), (R3, true), (U8, false), (A8, false)],
+        ),
+        (
+            "weber-revision",
+            // Weber satisfies R1-R4 but fails the minimality axioms
+            // R5/R6-style on small universes (its erasure is coarse).
+            vec![(R1, true), (R2, true), (R3, true), (R4, true), (A8, false)],
+        ),
+        (
+            "drastic-revision",
+            vec![
+                (R1, true),
+                (R2, true),
+                (R3, true),
+                (R4, true),
+                (R5, true),
+                (R6, true),
+                (U8, false),
+                (A8, false),
+            ],
+        ),
+        (
+            "winslett-update",
+            vec![
+                (U1, true),
+                (U2, true),
+                (U3, true),
+                (U4, true),
+                (U5, true),
+                (U6, true),
+                (U7, true),
+                (U8, true),
+                (R2, false),
+                (R3, false),
+                (A2, true),
+                (A8, false),
+            ],
+        ),
+        (
+            "forbus-update",
+            vec![
+                (U1, true),
+                (U2, true),
+                (U3, true),
+                (U5, true),
+                (U8, true),
+                (R2, false),
+                (A8, false),
+            ],
+        ),
+        (
+            "odist-fitting",
+            // The paper's operator: A1-A7 hold, A8 is the erratum.
+            vec![
+                (A1, true),
+                (A2, true),
+                (A3, true),
+                (A4, true),
+                (A5, true),
+                (A6, true),
+                (A7, true),
+                (A8, false),
+                (R2, false),
+                (U2, false),
+                (U8, false),
+            ],
+        ),
+        (
+            "lex-odist-fitting",
+            // The repaired operator: all eight A-axioms.
+            vec![
+                (A1, true),
+                (A2, true),
+                (A3, true),
+                (A4, true),
+                (A5, true),
+                (A6, true),
+                (A7, true),
+                (A8, true),
+                (R2, false),
+                (U2, false),
+                (U8, false),
+            ],
+        ),
+        (
+            "sum-fitting",
+            // Majority flavour: loses A7 as well (set-union dedup).
+            vec![
+                (A1, true),
+                (A2, true),
+                (A3, true),
+                (A5, true),
+                (A6, true),
+                (A7, false),
+                (A8, false),
+            ],
+        ),
+        (
+            "gmax-fitting",
+            // Leximax refinement: same A1-A6 profile; the distance vector
+            // over a union is not determined by the disjuncts' vectors, so
+            // both A7 and A8 fail (unlike plain odist, which keeps A7).
+            vec![
+                (A1, true),
+                (A2, true),
+                (A3, true),
+                (A4, true),
+                (A5, true),
+                (A6, true),
+                (A7, false),
+                (A8, false),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn matrix_matches_expectations() {
+    let ops: Vec<&dyn ChangeOperator> = vec![
+        &DalalRevision,
+        &SatohRevision,
+        &BorgidaRevision,
+        &WeberRevision,
+        &DrasticRevision,
+        &WinslettUpdate,
+        &ForbusUpdate,
+        &OdistFitting,
+        &LexOdistFitting,
+        &SumFitting,
+        &GMaxFitting,
+    ];
+    let ids = PostulateId::all();
+    let rows = satisfaction_matrix(&ops, &ids);
+    for (op_name, expected) in expectations() {
+        let row = rows
+            .iter()
+            .find(|r| r.operator == op_name)
+            .unwrap_or_else(|| panic!("missing row for {op_name}"));
+        for (id, want) in expected {
+            assert_eq!(
+                row.passed(id),
+                Some(want),
+                "{op_name} × {id}: expected {}",
+                if want { "satisfied" } else { "violated" }
+            );
+        }
+    }
+}
+
+#[test]
+fn every_family_is_disjoint_from_the_others() {
+    // Pairwise disjointness as a matrix property: no operator passes the
+    // signature postulates of two different families simultaneously.
+    let ops: Vec<&dyn ChangeOperator> = vec![
+        &DalalRevision,
+        &SatohRevision,
+        &BorgidaRevision,
+        &WeberRevision,
+        &DrasticRevision,
+        &WinslettUpdate,
+        &ForbusUpdate,
+        &OdistFitting,
+        &LexOdistFitting,
+        &SumFitting,
+    ];
+    for op in &ops {
+        let r2 = check_exhaustive(*op, &[R2], 2).is_ok();
+        let u2u8 = check_exhaustive(*op, &[U2, U8], 2).is_ok();
+        let a8 = check_exhaustive(*op, &[A8], 2).is_ok();
+        assert!(
+            !(r2 && a8),
+            "{} satisfies both R2 and A8 — contradicts Theorem 3.2",
+            op.name()
+        );
+        assert!(
+            !(u2u8 && a8),
+            "{} satisfies U2+U8 and A8 — contradicts Theorem 3.2",
+            op.name()
+        );
+        let r123 = check_exhaustive(*op, &[R1, R2, R3], 2).is_ok();
+        let u8ok = check_exhaustive(*op, &[U8], 2).is_ok();
+        assert!(
+            !(r123 && u8ok),
+            "{} satisfies R1-R3 and U8 — contradicts Theorem 3.2",
+            op.name()
+        );
+    }
+}
+
+#[test]
+fn randomized_fuzz_confirms_the_positive_entries_at_n3() {
+    use arbitrex::core::postulates::harness::check_random;
+    // The ✓ entries should survive fuzzing on a bigger universe too.
+    assert!(check_random(&DalalRevision, PostulateId::revision(), 3, 10_000, 1).is_ok());
+    assert!(check_random(&WinslettUpdate, PostulateId::update(), 3, 10_000, 2).is_ok());
+    assert!(check_random(&LexOdistFitting, PostulateId::fitting(), 3, 10_000, 3).is_ok());
+}

@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! operators' structural invariants.
+
+use arbitrex::bdd::{compile, BddManager};
+use arbitrex::prelude::*;
+use proptest::prelude::*;
+
+const N: u32 = 4;
+
+/// Strategy: a model set over `N` variables from a 16-bit mask.
+fn model_set() -> impl Strategy<Value = ModelSet> {
+    any::<u16>()
+        .prop_map(|mask| ModelSet::new(N, (0..16u64).filter(|b| mask >> b & 1 == 1).map(Interp)))
+}
+
+/// Strategy: a non-empty model set.
+fn nonempty_model_set() -> impl Strategy<Value = ModelSet> {
+    model_set().prop_filter("non-empty", |m| !m.is_empty())
+}
+
+/// Strategy: a random formula over `N` variables.
+fn formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0..N).prop_map(|v| Formula::Var(Var(v))),
+        (0..N).prop_map(|v| Formula::not(Formula::Var(Var(v)))),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::and),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Formula::or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::xor(a, b)),
+        ]
+    })
+}
+
+/// Strategy: a weighted KB over `N` variables.
+fn weighted_kb() -> impl Strategy<Value = WeightedKb> {
+    prop::collection::vec((0..16u64, 0..5u64), 0..6).prop_map(|entries| {
+        WeightedKb::from_weights(N, entries.into_iter().map(|(i, w)| (Interp(i), w)))
+    })
+}
+
+proptest! {
+    // ------- metric space -------
+
+    #[test]
+    fn dist_is_a_metric(a in 0..16u64, b in 0..16u64, c in 0..16u64) {
+        let (a, b, c) = (Interp(a), Interp(b), Interp(c));
+        prop_assert_eq!(dist(a, b), dist(b, a));
+        prop_assert_eq!(dist(a, b) == 0, a == b);
+        prop_assert!(dist(a, c) <= dist(a, b) + dist(b, c));
+    }
+
+    // ------- model-set algebra -------
+
+    #[test]
+    fn model_set_boolean_laws(a in model_set(), b in model_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        // De Morgan.
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersect(&b.complement())
+        );
+        // Absorption.
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+        // Difference via complement.
+        prop_assert_eq!(a.difference(&b), a.intersect(&b.complement()));
+    }
+
+    #[test]
+    fn to_formula_roundtrips(a in model_set()) {
+        prop_assert_eq!(ModelSet::of_formula(&a.to_formula(), N), a);
+    }
+
+    // ------- formula pipeline -------
+
+    #[test]
+    fn display_parse_roundtrip(f in formula()) {
+        let sig = Sig::with_anon_vars(N as usize);
+        let printed = f.display(&sig).to_string();
+        let mut sig2 = sig.clone();
+        let reparsed = parse(&mut sig2, &printed).unwrap();
+        prop_assert_eq!(
+            ModelSet::of_formula(&reparsed, N),
+            ModelSet::of_formula(&f, N),
+            "pretty-printing changed semantics of {}", printed
+        );
+    }
+
+    #[test]
+    fn nnf_simplify_preserve_semantics(f in formula()) {
+        let reference = ModelSet::of_formula(&f, N);
+        prop_assert_eq!(ModelSet::of_formula(&arbitrex::logic::to_nnf(&f), N), reference.clone());
+        prop_assert_eq!(ModelSet::of_formula(&arbitrex::logic::simplify(&f), N), reference);
+    }
+
+    #[test]
+    fn bdd_agrees_with_enumeration(f in formula()) {
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let reference = ModelSet::of_formula(&f, N);
+        prop_assert_eq!(mgr.count_models(b, N), reference.len() as u128);
+    }
+
+    // ------- operator invariants -------
+
+    #[test]
+    fn inclusion_postulate_for_every_operator(psi in model_set(), mu in model_set()) {
+        let ops: Vec<&dyn ChangeOperator> = vec![
+            &DalalRevision, &SatohRevision, &BorgidaRevision, &WeberRevision,
+            &DrasticRevision, &WinslettUpdate, &ForbusUpdate,
+            &OdistFitting, &LexOdistFitting, &SumFitting,
+        ];
+        for op in ops {
+            prop_assert!(op.apply(&psi, &mu).implies(&mu), "{} broke inclusion", op.name());
+        }
+    }
+
+    #[test]
+    fn fitting_satisfiability_postulates(psi in nonempty_model_set(), mu in nonempty_model_set()) {
+        for op in [&OdistFitting as &dyn ChangeOperator, &LexOdistFitting, &SumFitting] {
+            prop_assert!(!op.apply(&psi, &mu).is_empty(), "{} broke A3", op.name());
+        }
+        for op in [&OdistFitting as &dyn ChangeOperator, &LexOdistFitting, &SumFitting] {
+            prop_assert!(op.apply(&ModelSet::empty(N), &mu).is_empty(), "{} broke A2", op.name());
+        }
+    }
+
+    #[test]
+    fn arbitration_is_commutative(psi in model_set(), phi in model_set()) {
+        prop_assert_eq!(arbitrate(&psi, &phi), arbitrate(&phi, &psi));
+    }
+
+    #[test]
+    fn arbitration_of_singletons_lies_between(a in 0..16u64, b in 0..16u64) {
+        // Consensus between two single worlds is on a geodesic: every
+        // chosen model sits within the diameter, and its max distance to
+        // the endpoints is minimal = ceil(d/2).
+        let (a, b) = (Interp(a), Interp(b));
+        let psi = ModelSet::singleton(N, a);
+        let phi = ModelSet::singleton(N, b);
+        let consensus = arbitrate(&psi, &phi);
+        let d = dist(a, b);
+        for i in consensus.iter() {
+            prop_assert!(dist(i, a).max(dist(i, b)) == d.div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn revision_with_consistent_input_is_conjunction(psi in model_set(), mu in model_set()) {
+        let both = psi.intersect(&mu);
+        prop_assume!(!both.is_empty());
+        for op in [
+            &DalalRevision as &dyn ChangeOperator, &SatohRevision, &BorgidaRevision,
+            &WeberRevision, &DrasticRevision,
+        ] {
+            prop_assert_eq!(op.apply(&psi, &mu), both.clone(), "{} broke R2", op.name());
+        }
+    }
+
+    #[test]
+    fn update_distributes_over_kb_disjunction(
+        psi1 in model_set(), psi2 in model_set(), mu in model_set()
+    ) {
+        for op in [&WinslettUpdate as &dyn ChangeOperator, &ForbusUpdate] {
+            prop_assert_eq!(
+                op.apply(&psi1.union(&psi2), &mu),
+                op.apply(&psi1, &mu).union(&op.apply(&psi2, &mu)),
+                "{} broke U8", op.name()
+            );
+        }
+    }
+
+    // ------- weighted lattice -------
+
+    #[test]
+    fn weighted_kb_lattice_laws(a in weighted_kb(), b in weighted_kb(), c in weighted_kb()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        prop_assert_eq!(a.join(&b).join(&c), a.join(&b.join(&c)));
+        prop_assert_eq!(a.meet(&b).meet(&c), a.meet(&b.meet(&c)));
+        // min absorbs over sum: a ⊓ (a ⊔ b) = a.
+        prop_assert_eq!(a.meet(&a.join(&b)), a.clone());
+        // Implication bounds.
+        prop_assert!(a.meet(&b).implies(&a));
+        prop_assert!(a.implies(&a.join(&b)));
+    }
+
+    #[test]
+    fn weighted_arbitration_is_commutative(a in weighted_kb(), b in weighted_kb()) {
+        prop_assert_eq!(warbitrate(&a, &b), warbitrate(&b, &a));
+    }
+
+    #[test]
+    fn wdist_fitting_result_implied_by_mu(psi in weighted_kb(), mu in weighted_kb()) {
+        let r = WdistFitting.apply(&psi, &mu);
+        prop_assert!(r.implies(&mu));
+        if psi.is_satisfiable() && mu.is_satisfiable() {
+            prop_assert!(r.is_satisfiable());
+        } else {
+            prop_assert!(!r.is_satisfiable());
+        }
+    }
+
+    #[test]
+    fn weight_scaling_does_not_change_fitting(psi in weighted_kb(), mu in weighted_kb(), k in 1..9u64) {
+        prop_assert_eq!(
+            WdistFitting.apply(&psi.scale(k), &mu).support_set(),
+            WdistFitting.apply(&psi, &mu).support_set()
+        );
+    }
+}
