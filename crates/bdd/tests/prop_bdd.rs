@@ -1,0 +1,146 @@
+//! Randomized tests for the BDD package against brute-force truth tables.
+//! Seeded generators replace proptest strategies (offline build).
+
+use arbitrex_bdd::{compile, Bdd, BddManager};
+use arbitrex_logic::{Formula, Var};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const N: u32 = 5;
+const CASES: usize = 192;
+
+fn gen_formula<R: Rng + ?Sized>(rng: &mut R, depth: u32) -> Formula {
+    if depth == 0 || rng.random_bool(0.25) {
+        return match rng.random_range(0..4u8) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Var(Var(rng.random_range(0..N))),
+        };
+    }
+    match rng.random_range(0..5u8) {
+        0 => Formula::not(gen_formula(rng, depth - 1)),
+        1 => {
+            let k = rng.random_range(2..=3usize);
+            Formula::and((0..k).map(|_| gen_formula(rng, depth - 1)))
+        }
+        2 => {
+            let k = rng.random_range(2..=3usize);
+            Formula::or((0..k).map(|_| gen_formula(rng, depth - 1)))
+        }
+        3 => Formula::implies(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+        _ => Formula::xor(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+    }
+}
+
+fn truth_table(mgr: &BddManager, b: Bdd) -> Vec<bool> {
+    (0..1u64 << N).map(|bits| mgr.eval(b, bits)).collect()
+}
+
+#[test]
+fn compile_matches_direct_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0xBDD1);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        for bits in 0..(1u64 << N) {
+            assert_eq!(
+                mgr.eval(b, bits),
+                arbitrex_logic::eval(&f, arbitrex_logic::Interp(bits)),
+                "eval mismatch at {bits:#07b}, case {case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonicity_semantically_equal_means_identical_handle() {
+    let mut rng = StdRng::seed_from_u64(0xBDD2);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
+        let g = gen_formula(&mut rng, 5);
+        let mut mgr = BddManager::new();
+        let bf = compile(&mut mgr, &f);
+        let bg = compile(&mut mgr, &g);
+        let same_semantics = truth_table(&mgr, bf) == truth_table(&mgr, bg);
+        assert_eq!(bf == bg, same_semantics, "canonicity, case {case}");
+    }
+}
+
+#[test]
+fn boolean_ops_on_bdds_match_truth_tables() {
+    let mut rng = StdRng::seed_from_u64(0xBDD3);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
+        let g = gen_formula(&mut rng, 5);
+        let mut mgr = BddManager::new();
+        let bf = compile(&mut mgr, &f);
+        let bg = compile(&mut mgr, &g);
+        let and = mgr.and(bf, bg);
+        let or = mgr.or(bf, bg);
+        let xor = mgr.xor(bf, bg);
+        let not_f = mgr.not(bf);
+        for bits in 0..(1u64 << N) {
+            let (x, y) = (mgr.eval(bf, bits), mgr.eval(bg, bits));
+            assert_eq!(mgr.eval(and, bits), x && y, "and, case {case}");
+            assert_eq!(mgr.eval(or, bits), x || y, "or, case {case}");
+            assert_eq!(mgr.eval(xor, bits), x != y, "xor, case {case}");
+            assert_eq!(mgr.eval(not_f, bits), !x, "not, case {case}");
+        }
+    }
+}
+
+#[test]
+fn counting_and_enumeration_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBDD4);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let models = mgr.models(b, N);
+        assert_eq!(
+            mgr.count_models(b, N),
+            models.len() as u128,
+            "count vs enumerate, case {case}"
+        );
+        // Every enumerated model really satisfies; none missed.
+        let expected: Vec<u64> = (0..1u64 << N).filter(|&bits| mgr.eval(b, bits)).collect();
+        assert_eq!(models, expected, "enumeration, case {case}");
+    }
+}
+
+#[test]
+fn shannon_expansion() {
+    let mut rng = StdRng::seed_from_u64(0xBDD5);
+    for case in 0..CASES {
+        // f == (v ∧ f|v=1) ∨ (¬v ∧ f|v=0)
+        let f = gen_formula(&mut rng, 5);
+        let v = rng.random_range(0..N);
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let hi = mgr.restrict(b, v, true);
+        let lo = mgr.restrict(b, v, false);
+        let var = mgr.var(v);
+        let nvar = mgr.nvar(v);
+        let left = mgr.and(var, hi);
+        let right = mgr.and(nvar, lo);
+        let rebuilt = mgr.or(left, right);
+        assert_eq!(rebuilt, b, "shannon expansion on v{v}, case {case}");
+    }
+}
+
+#[test]
+fn quantifier_duality() {
+    let mut rng = StdRng::seed_from_u64(0xBDD6);
+    for case in 0..CASES {
+        // ∃v.f == ¬∀v.¬f
+        let f = gen_formula(&mut rng, 5);
+        let v = rng.random_range(0..N);
+        let mut mgr = BddManager::new();
+        let b = compile(&mut mgr, &f);
+        let exists = mgr.exists(b, v);
+        let nb = mgr.not(b);
+        let forall_neg = mgr.forall(nb, v);
+        let dual = mgr.not(forall_neg);
+        assert_eq!(exists, dual, "quantifier duality on v{v}, case {case}");
+    }
+}

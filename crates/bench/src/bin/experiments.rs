@@ -16,7 +16,7 @@ use arbitrex_core::postulates::{harness::check_exhaustive, PostulateId};
 use arbitrex_core::satbackend::dalal_revision_sat;
 use arbitrex_core::{
     BorgidaRevision, ChangeOperator, DalalRevision, DrasticRevision, ForbusUpdate, SatohRevision,
-    WdistFitting, WeberRevision, WeightedChangeOperator, WinslettUpdate,
+    UniverseFitting, WdistFitting, WeberRevision, WeightedChangeOperator, WinslettUpdate,
 };
 use arbitrex_logic::{Interp, ModelSet};
 use arbitrex_merge::scenario::{heterogeneous_databases, jury, Classroom, D, S};
@@ -63,6 +63,9 @@ fn main() {
     }
     if want("e11") {
         e11_dynamics();
+    }
+    if want("e12") {
+        e12_kernel();
     }
 }
 
@@ -560,6 +563,133 @@ fn e10_merging() {
     println!("{}", h.render());
     println!("expected shape: the semantic merges are optimal on their own");
     println!("objective every time; folded revision is order-sensitive.\n");
+}
+
+/// E12 — fast-path selection kernel vs the naive oracles.
+///
+/// Times the retained naive implementations against the pruned streaming
+/// kernel for arbitration, odist fitting over `μ = ⊤`, and Dalal
+/// revision, then writes the measurements to `BENCH_PR1.json` (a
+/// machine-readable record of the speedups this optimization pass
+/// delivers).
+fn e12_kernel() {
+    use arbitrex_core::kernel::naive;
+    header(
+        "E12",
+        "selection-kernel speedup",
+        "perf pass: single-pass ranking + popcount-bound pruning + streaming universe",
+    );
+    // Median-of-`reps` timing over a fixed workload per width.
+    fn time_runs(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut runs: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        runs[reps / 2]
+    }
+
+    struct Row {
+        op: &'static str,
+        n: u32,
+        naive_us: f64,
+        pruned_us: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut t = Table::new(["operator", "n_vars", "naive (µs)", "pruned (µs)", "speedup"]);
+    for n in [10u32, 12, 14, 16] {
+        let wl = random_pairs(n, 8, 4, 12);
+        let reps = if n >= 16 { 3 } else { 5 };
+        let full = ModelSet::all(n);
+        let measured: [(&'static str, f64, f64); 3] = [
+            (
+                "arbitration",
+                time_runs(reps, || {
+                    for (psi, phi) in &wl.pairs {
+                        std::hint::black_box(naive::arbitrate(psi, phi));
+                    }
+                }),
+                time_runs(reps, || {
+                    for (psi, phi) in &wl.pairs {
+                        std::hint::black_box(arbitrate(psi, phi));
+                    }
+                }),
+            ),
+            (
+                "odist-fitting-vs-top",
+                time_runs(reps, || {
+                    for (psi, _) in &wl.pairs {
+                        std::hint::black_box(naive::odist_fitting(psi, &full));
+                    }
+                }),
+                time_runs(reps, || {
+                    for (psi, _) in &wl.pairs {
+                        std::hint::black_box(OdistFitting.apply_universe(psi).unwrap());
+                    }
+                }),
+            ),
+            (
+                "dalal-revision-vs-top",
+                time_runs(reps, || {
+                    for (psi, _) in &wl.pairs {
+                        std::hint::black_box(naive::dalal_revision(psi, &full));
+                    }
+                }),
+                time_runs(reps, || {
+                    for (psi, _) in &wl.pairs {
+                        std::hint::black_box(DalalRevision.apply(psi, &full));
+                    }
+                }),
+            ),
+        ];
+        for (op, naive_us, pruned_us) in measured {
+            t.row([
+                op.to_string(),
+                n.to_string(),
+                format!("{naive_us:.1}"),
+                format!("{pruned_us:.1}"),
+                format!("{:.1}x", naive_us / pruned_us),
+            ]);
+            rows.push(Row {
+                op,
+                n,
+                naive_us,
+                pruned_us,
+            });
+        }
+    }
+    println!("{}", t.render());
+
+    // Machine-readable record (hand-rendered: the workspace has no JSON
+    // dependency).
+    let mut json = String::from("{\n  \"experiment\": \"e12-kernel-speedup\",\n");
+    json.push_str("  \"workload\": \"random_pairs(n, max_models=8, count=4, seed=12), median of repeated runs\",\n");
+    json.push_str("  \"unit\": \"microseconds per workload pass\",\n  \"rows\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"operator\": \"{}\", \"n_vars\": {}, \"naive_us\": {:.1}, \"pruned_us\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.op,
+            r.n,
+            r.naive_us,
+            r.pruned_us,
+            r.naive_us / r.pruned_us,
+            if k + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_PR1.json", &json) {
+        Ok(()) => println!("wrote BENCH_PR1.json ({} rows)", rows.len()),
+        Err(e) => println!("could not write BENCH_PR1.json: {e}"),
+    }
+    let arb14 = rows
+        .iter()
+        .find(|r| r.op == "arbitration" && r.n == 14)
+        .map(|r| r.naive_us / r.pruned_us)
+        .unwrap_or(0.0);
+    println!("arbitration n=14 speedup: {arb14:.1}x (acceptance floor: 4x)\n");
 }
 
 /// E11 — iterated change dynamics (reproduction extension).

@@ -7,11 +7,138 @@
 //! commutative, arbitration is commutative — the defining symmetry that
 //! revision and update lack.
 
-use crate::fitting::OdistFitting;
+use crate::error::CoreError;
+use crate::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, RankFitting, SumFitting};
+use crate::kernel::{
+    gmax_fill_pruned, odist_pruned, select_min_universe, select_min_universe_mono,
+    select_min_universe_odist, select_min_vec, PopProfile,
+};
 use crate::operator::ChangeOperator;
 use crate::weighted::WeightedKb;
-use crate::wfitting::{WdistFitting, WeightedChangeOperator};
-use arbitrex_logic::ModelSet;
+use crate::wfitting::{WdistFitting, WeightedChangeOperator, WeightedRankFitting};
+use arbitrex_logic::{all_interps, Interp, ModelSet};
+
+/// A model-fitting operator that can fit against the *unconstrained*
+/// universe `𝓜` — the `μ = ⊤` special case arbitration is built on.
+///
+/// The provided default materializes `Mod(⊤)` and delegates to
+/// [`ChangeOperator::apply`]; the concrete fitting operators override it
+/// with a **streaming** scan of the `2^n` candidate bitmasks through the
+/// pruned selection kernel, so arbitration never allocates the universe
+/// (peak memory is proportional to the answer, not to `2^n`).
+///
+/// Either way the signature width is checked first: past
+/// [`arbitrex_logic::ENUM_LIMIT`] this returns
+/// [`CoreError::EnumLimitExceeded`] instead of attempting the scan.
+pub trait UniverseFitting: ChangeOperator {
+    /// `ψ ▷ ⊤` over `n = psi.n_vars()` variables.
+    fn apply_universe(&self, psi: &ModelSet) -> Result<ModelSet, CoreError> {
+        let n = psi.n_vars();
+        CoreError::check_enum_limit(n)?;
+        Ok(self.apply(psi, &ModelSet::all(n)))
+    }
+}
+
+impl UniverseFitting for OdistFitting {
+    fn apply_universe(&self, psi: &ModelSet) -> Result<ModelSet, CoreError> {
+        let n = psi.n_vars();
+        if psi.is_empty() {
+            CoreError::check_enum_limit(n)?;
+            return Ok(ModelSet::empty(n));
+        }
+        // Branch-and-bound with the pairwise triangle-inequality bound —
+        // far stronger than the bare monotone bound for the max aggregate.
+        let (_, min) = select_min_universe_odist(n, psi.as_slice())?;
+        Ok(min)
+    }
+}
+
+impl UniverseFitting for LexOdistFitting {
+    fn apply_universe(&self, psi: &ModelSet) -> Result<ModelSet, CoreError> {
+        let n = psi.n_vars();
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => {
+                CoreError::check_enum_limit(n)?;
+                return Ok(ModelSet::empty(n));
+            }
+        };
+        let slice = psi.as_slice();
+        let (_, min) = select_min_universe(n, || {
+            |i: Interp, cap: Option<&(u32, u64)>| {
+                odist_pruned(slice, &prof, i, cap.map(|c| c.0)).map(|d| (d, i.0))
+            }
+        })?;
+        Ok(min)
+    }
+}
+
+impl UniverseFitting for SumFitting {
+    fn apply_universe(&self, psi: &ModelSet) -> Result<ModelSet, CoreError> {
+        let n = psi.n_vars();
+        if psi.is_empty() {
+            CoreError::check_enum_limit(n)?;
+            return Ok(ModelSet::empty(n));
+        }
+        let (_, min) = select_min_universe_mono(n, psi.as_slice(), |d: &[u32]| {
+            d.iter().map(|&x| x as u64).sum::<u64>()
+        })?;
+        Ok(min)
+    }
+}
+
+impl UniverseFitting for GMaxFitting {
+    fn apply_universe(&self, psi: &ModelSet) -> Result<ModelSet, CoreError> {
+        let n = psi.n_vars();
+        CoreError::check_enum_limit(n)?;
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Ok(ModelSet::empty(n)),
+        };
+        // Streamed but sequential: the buffer-reusing vector selection
+        // keeps allocation flat, which matters more here than chunking.
+        Ok(select_min_vec(n, all_interps(n), |i, cap, buf| {
+            gmax_fill_pruned(psi.as_slice(), &prof, i, cap, buf)
+        }))
+    }
+}
+
+impl<K: Ord, F: Fn(&ModelSet, Interp) -> K> UniverseFitting for RankFitting<K, F> {}
+
+/// The weighted analogue of [`UniverseFitting`]: fit against `𝓜̃`, the
+/// weighted knowledge base with weight 1 everywhere.
+pub trait WeightedUniverseFitting: WeightedChangeOperator {
+    /// `ψ̃ ▷ 𝓜̃` over `n = psi.n_vars()` variables.
+    fn apply_universe(&self, psi: &WeightedKb) -> Result<WeightedKb, CoreError> {
+        let n = psi.n_vars();
+        CoreError::check_enum_limit(n)?;
+        Ok(self.apply(psi, &WeightedKb::all(n)))
+    }
+}
+
+impl WeightedUniverseFitting for WdistFitting {
+    fn apply_universe(&self, psi: &WeightedKb) -> Result<WeightedKb, CoreError> {
+        let n = psi.n_vars();
+        if !psi.is_satisfiable() {
+            CoreError::check_enum_limit(n)?;
+            return Ok(WeightedKb::unsatisfiable(n));
+        }
+        let (models, weights): (Vec<Interp>, Vec<u64>) = psi.support().unzip();
+        let (_, min) = select_min_universe_mono(n, &models, |d: &[u32]| {
+            d.iter()
+                .zip(&weights)
+                .map(|(&x, &w)| x as u128 * w as u128)
+                .sum::<u128>()
+        })?;
+        // Every interpretation carries weight 1 in 𝓜̃.
+        Ok(WeightedKb::from_weights(n, min.iter().map(|i| (i, 1))))
+    }
+}
+
+impl<K: Ord, F: Fn(&WeightedKb, Interp) -> K> WeightedUniverseFitting
+    for WeightedRankFitting<K, F>
+{
+}
 
 /// Arbitration built from a model-fitting operator:
 /// `ψ Δ φ = (ψ ∨ φ) ▷ 𝓜`.
@@ -42,7 +169,7 @@ impl Default for Arbitration<OdistFitting> {
     }
 }
 
-impl<F: ChangeOperator> Arbitration<F> {
+impl<F: UniverseFitting> Arbitration<F> {
     /// Arbitration via the given fitting operator.
     pub fn new(fitting: F) -> Self {
         Arbitration { fitting }
@@ -52,22 +179,36 @@ impl<F: ChangeOperator> Arbitration<F> {
     pub fn fitting(&self) -> &F {
         &self.fitting
     }
+
+    /// `ψ Δ φ`, reporting [`CoreError::EnumLimitExceeded`] instead of
+    /// panicking when the signature is too wide to enumerate.
+    pub fn try_apply(&self, psi: &ModelSet, phi: &ModelSet) -> Result<ModelSet, CoreError> {
+        self.fitting.apply_universe(&psi.union(phi))
+    }
 }
 
-impl<F: ChangeOperator> ChangeOperator for Arbitration<F> {
+impl<F: UniverseFitting> ChangeOperator for Arbitration<F> {
     fn name(&self) -> &'static str {
         "arbitration"
     }
 
     fn apply(&self, psi: &ModelSet, phi: &ModelSet) -> ModelSet {
-        let n = psi.n_vars();
-        self.fitting.apply(&psi.union(phi), &ModelSet::all(n))
+        self.try_apply(psi, phi)
+            .expect("signature exceeds ENUM_LIMIT; use try_apply or the SAT backend")
     }
 }
 
 /// Convenience: arbitrate with the paper's odist-based fitting.
+///
+/// Panics past [`arbitrex_logic::ENUM_LIMIT`]; use [`try_arbitrate`] to
+/// handle wide signatures gracefully.
 pub fn arbitrate(psi: &ModelSet, phi: &ModelSet) -> ModelSet {
     Arbitration::default().apply(psi, phi)
+}
+
+/// [`arbitrate`], returning a typed error past the enumeration limit.
+pub fn try_arbitrate(psi: &ModelSet, phi: &ModelSet) -> Result<ModelSet, CoreError> {
+    Arbitration::default().try_apply(psi, phi)
 }
 
 /// A folk alternative for comparison: symmetrized revision
@@ -122,27 +263,41 @@ impl Default for WeightedArbitration<WdistFitting> {
     }
 }
 
-impl<F: WeightedChangeOperator> WeightedArbitration<F> {
+impl<F: WeightedUniverseFitting> WeightedArbitration<F> {
     /// Weighted arbitration via the given weighted fitting operator.
     pub fn new(fitting: F) -> Self {
         WeightedArbitration { fitting }
     }
+
+    /// `ψ̃ Δ φ̃`, reporting [`CoreError::EnumLimitExceeded`] instead of
+    /// panicking when the signature is too wide to enumerate.
+    pub fn try_apply(&self, psi: &WeightedKb, phi: &WeightedKb) -> Result<WeightedKb, CoreError> {
+        self.fitting.apply_universe(&psi.join(phi))
+    }
 }
 
-impl<F: WeightedChangeOperator> WeightedChangeOperator for WeightedArbitration<F> {
+impl<F: WeightedUniverseFitting> WeightedChangeOperator for WeightedArbitration<F> {
     fn name(&self) -> &'static str {
         "weighted-arbitration"
     }
 
     fn apply(&self, psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
-        let n = psi.n_vars();
-        self.fitting.apply(&psi.join(phi), &WeightedKb::all(n))
+        self.try_apply(psi, phi)
+            .expect("signature exceeds ENUM_LIMIT; use try_apply or the SAT backend")
     }
 }
 
 /// Convenience: weighted arbitration with the paper's wdist-based fitting.
+///
+/// Panics past [`arbitrex_logic::ENUM_LIMIT`]; use [`try_warbitrate`] to
+/// handle wide signatures gracefully.
 pub fn warbitrate(psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
     WeightedArbitration::default().apply(psi, phi)
+}
+
+/// [`warbitrate`], returning a typed error past the enumeration limit.
+pub fn try_warbitrate(psi: &WeightedKb, phi: &WeightedKb) -> Result<WeightedKb, CoreError> {
+    WeightedArbitration::default().try_apply(psi, phi)
 }
 
 #[cfg(test)]
@@ -258,6 +413,78 @@ mod tests {
             check_exhaustive(&sym, &[PostulateId::A5], 2).is_err()
                 || check_exhaustive(&sym, &[PostulateId::A8], 2).is_err()
         );
+    }
+
+    #[test]
+    fn try_arbitrate_reports_enum_limit_as_typed_error() {
+        use arbitrex_logic::ENUM_LIMIT;
+        let n = ENUM_LIMIT + 1;
+        let psi = ms(n, &[0b0]);
+        let phi = ms(n, &[0b1]);
+        let err = try_arbitrate(&psi, &phi).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::EnumLimitExceeded {
+                n_vars: n,
+                limit: ENUM_LIMIT
+            }
+        );
+        assert!(err.to_string().contains("SAT backend"));
+        // The weighted side and the empty-ψ path report the same error.
+        let wpsi = WeightedKb::from_weights(n, [(i(0), 1)]);
+        let wphi = WeightedKb::from_weights(n, [(i(1), 1)]);
+        assert!(try_warbitrate(&wpsi, &wphi).is_err());
+        assert!(try_arbitrate(&ModelSet::empty(n), &ModelSet::empty(n)).is_err());
+    }
+
+    #[test]
+    fn try_arbitrate_matches_arbitrate_inside_the_limit() {
+        let psi = ms(2, &[0b00]);
+        let phi = ms(2, &[0b11]);
+        assert_eq!(try_arbitrate(&psi, &phi).unwrap(), arbitrate(&psi, &phi));
+        let wa = WeightedKb::from_weights(2, [(i(0b01), 9)]);
+        let wb = WeightedKb::from_weights(2, [(i(0b10), 2)]);
+        assert_eq!(try_warbitrate(&wa, &wb).unwrap(), warbitrate(&wa, &wb));
+    }
+
+    #[test]
+    fn streaming_universe_fitting_matches_materialized_default() {
+        // Each override must agree with the provided default (materialize
+        // Mod(⊤), call apply) on every non-empty ψ at n = 3.
+        fn materialized<F: ChangeOperator>(f: &F, psi: &ModelSet) -> ModelSet {
+            f.apply(psi, &ModelSet::all(psi.n_vars()))
+        }
+        for pmask in 1u32..=255 {
+            let psi = ModelSet::new(3, (0..8u64).filter(|b| pmask >> b & 1 == 1).map(Interp));
+            assert_eq!(
+                OdistFitting.apply_universe(&psi).unwrap(),
+                materialized(&OdistFitting, &psi)
+            );
+            assert_eq!(
+                LexOdistFitting.apply_universe(&psi).unwrap(),
+                materialized(&LexOdistFitting, &psi)
+            );
+            assert_eq!(
+                SumFitting.apply_universe(&psi).unwrap(),
+                materialized(&SumFitting, &psi)
+            );
+            assert_eq!(
+                GMaxFitting.apply_universe(&psi).unwrap(),
+                materialized(&GMaxFitting, &psi)
+            );
+        }
+        // Weighted: random-ish weights over a few supports.
+        for seed in 1u64..=32 {
+            let a = seed.wrapping_mul(0x9E3779B97F4A7C15);
+            let psi = WeightedKb::from_weights(
+                3,
+                (0..4).map(|k| (Interp(a >> (k * 3) & 0b111), (a >> (k * 7) & 0b11) + 1)),
+            );
+            assert_eq!(
+                WdistFitting.apply_universe(&psi).unwrap(),
+                WdistFitting.apply(&psi, &WeightedKb::all(3))
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Typed errors for operations whose cost depends on the signature width.
+
+use arbitrex_logic::ENUM_LIMIT;
+
+/// Errors from `arbitrex-core` operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreError {
+    /// The operation would scan all `2^n` interpretations and `n` exceeds
+    /// the enumeration limit. Switch to the SAT-backed operators in
+    /// [`crate::satbackend`] for wider signatures.
+    EnumLimitExceeded {
+        /// The requested signature width.
+        n_vars: u32,
+        /// The enumeration limit ([`ENUM_LIMIT`]).
+        limit: u32,
+    },
+}
+
+impl CoreError {
+    /// Shorthand constructor checking `n_vars` against [`ENUM_LIMIT`].
+    pub(crate) fn check_enum_limit(n_vars: u32) -> Result<(), CoreError> {
+        if n_vars > ENUM_LIMIT {
+            Err(CoreError::EnumLimitExceeded {
+                n_vars,
+                limit: ENUM_LIMIT,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::EnumLimitExceeded { n_vars, limit } => write!(
+                f,
+                "enumerating 2^{n_vars} interpretations exceeds the limit of 2^{limit}; \
+                 use the SAT backend (arbitrex_core::satbackend) for signatures this wide"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_enum_limit_boundary() {
+        assert_eq!(CoreError::check_enum_limit(ENUM_LIMIT), Ok(()));
+        assert_eq!(
+            CoreError::check_enum_limit(ENUM_LIMIT + 1),
+            Err(CoreError::EnumLimitExceeded {
+                n_vars: ENUM_LIMIT + 1,
+                limit: ENUM_LIMIT,
+            })
+        );
+    }
+
+    #[test]
+    fn display_points_at_sat_backend() {
+        let e = CoreError::EnumLimitExceeded {
+            n_vars: 40,
+            limit: ENUM_LIMIT,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2^40"));
+        assert!(msg.contains("SAT backend"));
+    }
+}

@@ -8,7 +8,9 @@
 //! satisfy postulates (A1–A8) via Theorem 3.1; the postulate harness in
 //! [`crate::postulates`] re-verifies that claim mechanically.
 
-use crate::distance::{odist, sum_dist};
+use crate::kernel::{
+    gmax_fill_pruned, odist_pruned, select_min, select_min_vec, sum_dist_pruned, PopProfile,
+};
 use crate::operator::ChangeOperator;
 use crate::preorder::min_by_rank;
 use arbitrex_logic::{Interp, ModelSet};
@@ -51,10 +53,14 @@ impl ChangeOperator for OdistFitting {
 
     fn apply(&self, psi: &ModelSet, mu: &ModelSet) -> ModelSet {
         // (A2): nothing can be fitted to an unsatisfiable knowledge base.
-        if psi.is_empty() {
-            return ModelSet::empty(mu.n_vars());
-        }
-        min_by_rank(mu, |i| odist(psi, i).expect("psi nonempty"))
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return ModelSet::empty(mu.n_vars()),
+        };
+        let (_, min) = select_min(mu.n_vars(), mu.iter(), |i, cap| {
+            odist_pruned(psi.as_slice(), &prof, i, cap.copied())
+        });
+        min
     }
 }
 
@@ -78,10 +84,16 @@ impl ChangeOperator for LexOdistFitting {
     }
 
     fn apply(&self, psi: &ModelSet, mu: &ModelSet) -> ModelSet {
-        if psi.is_empty() {
-            return ModelSet::empty(mu.n_vars());
-        }
-        min_by_rank(mu, |i| (odist(psi, i).expect("psi nonempty"), i.0))
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return ModelSet::empty(mu.n_vars()),
+        };
+        // Prune on the leading odist component: any candidate whose odist
+        // strictly exceeds the best's is lexicographically greater.
+        let (_, min) = select_min(mu.n_vars(), mu.iter(), |i, cap: Option<&(u32, u64)>| {
+            odist_pruned(psi.as_slice(), &prof, i, cap.map(|c| c.0)).map(|d| (d, i.0))
+        });
+        min
     }
 }
 
@@ -105,10 +117,14 @@ impl ChangeOperator for SumFitting {
     }
 
     fn apply(&self, psi: &ModelSet, mu: &ModelSet) -> ModelSet {
-        if psi.is_empty() {
-            return ModelSet::empty(mu.n_vars());
-        }
-        min_by_rank(mu, |i| sum_dist(psi, i).expect("psi nonempty"))
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return ModelSet::empty(mu.n_vars()),
+        };
+        let (_, min) = select_min(mu.n_vars(), mu.iter(), |i, cap| {
+            sum_dist_pruned(psi.as_slice(), &prof, i, cap.copied())
+        });
+        min
     }
 }
 
@@ -141,10 +157,14 @@ impl ChangeOperator for GMaxFitting {
     }
 
     fn apply(&self, psi: &ModelSet, mu: &ModelSet) -> ModelSet {
-        if psi.is_empty() {
-            return ModelSet::empty(mu.n_vars());
-        }
-        min_by_rank(mu, |i| gmax_vector(psi, i))
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return ModelSet::empty(mu.n_vars()),
+        };
+        // Buffer-reusing selection: no per-candidate Vec allocation.
+        select_min_vec(mu.n_vars(), mu.iter(), |i, cap, buf| {
+            gmax_fill_pruned(psi.as_slice(), &prof, i, cap, buf)
+        })
     }
 }
 

@@ -1,0 +1,1451 @@
+//! The fast-path selection kernel shared by every enumeration-backed
+//! operator.
+//!
+//! Every operator in this crate has the same computational core: scan a
+//! candidate pool, rank each candidate against `Mod(ψ)` by some distance
+//! aggregate, and keep the candidates achieving the minimum rank. The
+//! naive shape of that loop — rank every candidate from scratch, twice
+//! (once to find the minimum, once to filter) — is what this module
+//! replaces. Five independent layers compose:
+//!
+//! 1. **Single-pass selection** ([`select_min`], [`select_min_vec`]): one
+//!    scan with a running minimum and a tied set; each candidate is ranked
+//!    at most once, and vector ranks reuse buffers instead of allocating.
+//! 2. **Bound-pruned aggregation** ([`PopProfile`] and the `*_pruned`
+//!    evaluators): a popcount histogram of `Mod(ψ)` yields an O(1)-to-O(64)
+//!    lower bound on any candidate's rank; candidates whose bound already
+//!    exceeds the running minimum are rejected without touching `Mod(ψ)`,
+//!    and max/sum scans abort mid-way once they exceed it.
+//! 3. **Streaming universes** ([`select_min_universe`]): arbitration's
+//!    candidate pool `𝓜` is consumed as a stream of `2^n` bitmasks, never
+//!    materialized — peak memory is proportional to the answer.
+//! 4. **Branch-and-bound subcube search** ([`select_min_subcube`],
+//!    [`select_min_universe_odist`]): for monotone aggregates, whole
+//!    subcubes of the universe are pruned against partial-distance (and,
+//!    for odist, pairwise triangle-inequality) lower bounds — the layer
+//!    that lets arbitration beat the `2^n` linear-scan floor.
+//! 5. **Scoped-thread parallelism** (`parallel` feature, on by default):
+//!    universe scans are chunked across `std::thread::scope` workers that
+//!    share their best-so-far rank for cross-chunk pruning. Thread count
+//!    follows available parallelism, overridable with `ARBITREX_THREADS`.
+//!
+//! The pruned evaluators obey one contract, which [`select_min`] relies on
+//! for correctness: given a cap (the rank to beat), an evaluator must
+//! return the **exact** rank whenever it is `≤ cap` — ties included — and
+//! may return `None` only when the rank is provably `> cap`. All pruning
+//! therefore uses strict comparisons.
+//!
+//! The naive implementations every optimized path is differentially tested
+//! against live in [`naive`]; `tests/kernel_differential.rs` at the
+//! workspace root checks operator-level agreement on random inputs.
+
+use crate::error::CoreError;
+use crate::weighted::WeightedKb;
+use arbitrex_logic::{all_interps, Interp, ModelSet};
+
+// ---------------------------------------------------------------------------
+// Layer 2: popcount-bucket bounds on Mod(ψ)
+// ---------------------------------------------------------------------------
+
+/// A popcount histogram of `Mod(ψ)`, precomputed once per operator
+/// application and queried per candidate.
+///
+/// For any interpretations `I`, `J`: `dist(I, J) ≥ |pop(I) − pop(J)|`
+/// (flipping a bit changes the popcount by exactly one). Bucketing the
+/// models of `ψ` by popcount therefore bounds every distance aggregate
+/// from below without looking at the models themselves.
+#[derive(Debug, Clone)]
+pub struct PopProfile {
+    /// `hist[c - min_pop]` = number of ψ-models with popcount `c`.
+    hist: Vec<u32>,
+    min_pop: u32,
+    max_pop: u32,
+}
+
+impl PopProfile {
+    /// Profile a non-empty model set; `None` when `psi` is empty.
+    pub fn of(psi: &ModelSet) -> Option<PopProfile> {
+        Self::from_pops(psi.iter().map(|j| j.count_true()))
+    }
+
+    fn from_pops(pops: impl Iterator<Item = u32>) -> Option<PopProfile> {
+        let mut counts = [0u32; 65];
+        let (mut min_pop, mut max_pop) = (u32::MAX, 0u32);
+        let mut any = false;
+        for p in pops {
+            any = true;
+            counts[p as usize] += 1;
+            min_pop = min_pop.min(p);
+            max_pop = max_pop.max(p);
+        }
+        if !any {
+            return None;
+        }
+        Some(PopProfile {
+            hist: counts[min_pop as usize..=max_pop as usize].to_vec(),
+            min_pop,
+            max_pop,
+        })
+    }
+
+    /// Lower bound on `odist(ψ, I) = max_J dist(I, J)`: the distance to the
+    /// farther of the two extreme popcount buckets.
+    #[inline]
+    pub fn odist_lower_bound(&self, i: Interp) -> u32 {
+        let p = i.count_true();
+        let lo = self.min_pop.abs_diff(p);
+        let hi = self.max_pop.abs_diff(p);
+        lo.max(hi)
+    }
+
+    /// Lower bound on `min_dist(ψ, I) = min_J dist(I, J)`: zero inside the
+    /// popcount range, the distance to the nearer end outside it.
+    #[inline]
+    pub fn min_dist_lower_bound(&self, i: Interp) -> u32 {
+        let p = i.count_true();
+        if p < self.min_pop {
+            self.min_pop - p
+        } else {
+            p.saturating_sub(self.max_pop)
+        }
+    }
+
+    /// Lower bound on `Σ_J dist(I, J)`: sum of per-bucket popcount gaps.
+    #[inline]
+    pub fn sum_lower_bound(&self, i: Interp) -> u64 {
+        let p = i.count_true();
+        let mut lb = 0u64;
+        for (k, &count) in self.hist.iter().enumerate() {
+            let c = self.min_pop + k as u32;
+            lb += count as u64 * c.abs_diff(p) as u64;
+        }
+        lb
+    }
+}
+
+/// The weighted analogue of [`PopProfile`]: total weight per popcount
+/// bucket, bounding `wdist` from below.
+#[derive(Debug, Clone)]
+pub struct WeightedPopProfile {
+    /// `whist[c - min_pop]` = total ψ̃-weight at popcount `c`.
+    whist: Vec<u64>,
+    min_pop: u32,
+}
+
+impl WeightedPopProfile {
+    /// Profile a satisfiable weighted KB; `None` when `psi` has empty
+    /// support.
+    pub fn of(psi: &WeightedKb) -> Option<WeightedPopProfile> {
+        let mut weights = [0u64; 65];
+        let (mut min_pop, mut max_pop) = (u32::MAX, 0u32);
+        let mut any = false;
+        for (j, w) in psi.support() {
+            any = true;
+            let p = j.count_true();
+            weights[p as usize] += w;
+            min_pop = min_pop.min(p);
+            max_pop = max_pop.max(p);
+        }
+        if !any {
+            return None;
+        }
+        Some(WeightedPopProfile {
+            whist: weights[min_pop as usize..=max_pop as usize].to_vec(),
+            min_pop,
+        })
+    }
+
+    /// Lower bound on `wdist(ψ̃, I) = Σ_J dist(I, J) · ψ̃(J)`.
+    #[inline]
+    pub fn wdist_lower_bound(&self, i: Interp) -> u128 {
+        let p = i.count_true();
+        let mut lb = 0u128;
+        for (k, &w) in self.whist.iter().enumerate() {
+            let c = self.min_pop + k as u32;
+            lb += w as u128 * c.abs_diff(p) as u128;
+        }
+        lb
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: bound-pruned distance aggregates
+// ---------------------------------------------------------------------------
+
+/// `odist(ψ, I)` with pruning: `None` as soon as the running max (or the
+/// profile lower bound) strictly exceeds `cap`.
+#[inline]
+pub fn odist_pruned(psi: &[Interp], prof: &PopProfile, i: Interp, cap: Option<u32>) -> Option<u32> {
+    if let Some(cap) = cap {
+        if prof.odist_lower_bound(i) > cap {
+            return None;
+        }
+    }
+    let mut max = 0u32;
+    for &j in psi {
+        let d = i.dist(j);
+        if d > max {
+            if let Some(cap) = cap {
+                if d > cap {
+                    return None;
+                }
+            }
+            max = d;
+        }
+    }
+    Some(max)
+}
+
+/// `min_dist(ψ, I)` with pruning: `None` when the profile lower bound
+/// strictly exceeds `cap`; otherwise the exact minimum, stopping early
+/// once the scan reaches the lower bound (it cannot improve further).
+#[inline]
+pub fn min_dist_pruned(
+    psi: &[Interp],
+    prof: &PopProfile,
+    i: Interp,
+    cap: Option<u32>,
+) -> Option<u32> {
+    let lb = prof.min_dist_lower_bound(i);
+    if let Some(cap) = cap {
+        if lb > cap {
+            return None;
+        }
+    }
+    let mut min = u32::MAX;
+    for &j in psi {
+        let d = i.dist(j);
+        if d < min {
+            min = d;
+            if min == lb {
+                break;
+            }
+        }
+    }
+    Some(min)
+}
+
+/// `Σ_J dist(I, J)` with pruning: `None` as soon as the partial sum (or
+/// the profile lower bound) strictly exceeds `cap`.
+#[inline]
+pub fn sum_dist_pruned(
+    psi: &[Interp],
+    prof: &PopProfile,
+    i: Interp,
+    cap: Option<u64>,
+) -> Option<u64> {
+    if let Some(cap) = cap {
+        if prof.sum_lower_bound(i) > cap {
+            return None;
+        }
+    }
+    let mut sum = 0u64;
+    for &j in psi {
+        sum += i.dist(j) as u64;
+        if let Some(cap) = cap {
+            if sum > cap {
+                return None;
+            }
+        }
+    }
+    Some(sum)
+}
+
+/// `wdist(ψ̃, I)` with pruning: `None` as soon as the partial weighted sum
+/// (or the profile lower bound) strictly exceeds `cap`.
+#[inline]
+pub fn wdist_pruned(
+    support: &[(Interp, u64)],
+    prof: &WeightedPopProfile,
+    i: Interp,
+    cap: Option<u128>,
+) -> Option<u128> {
+    if let Some(cap) = cap {
+        if prof.wdist_lower_bound(i) > cap {
+            return None;
+        }
+    }
+    let mut sum = 0u128;
+    for &(j, w) in support {
+        sum += i.dist(j) as u128 * w as u128;
+        if let Some(cap) = cap {
+            if sum > cap {
+                return None;
+            }
+        }
+    }
+    Some(sum)
+}
+
+/// Fill `buf` with the GMax rank vector (distances to each ψ-model, sorted
+/// descending) — the buffer-reusing replacement for
+/// [`crate::fitting::gmax_vector`]. Returns `false` (buffer contents
+/// unspecified) when the vector is provably lexicographically greater than
+/// `cap`: its leading entry is the odist, so the odist bounds prune here
+/// too.
+#[inline]
+pub fn gmax_fill_pruned(
+    psi: &[Interp],
+    prof: &PopProfile,
+    i: Interp,
+    cap: Option<&[u32]>,
+    buf: &mut Vec<u32>,
+) -> bool {
+    let cap_head = cap.map(|c| c[0]);
+    if let Some(ch) = cap_head {
+        if prof.odist_lower_bound(i) > ch {
+            return false;
+        }
+    }
+    buf.clear();
+    for &j in psi {
+        let d = i.dist(j);
+        if let Some(ch) = cap_head {
+            // The final leading entry is ≥ d, so d > cap[0] means the
+            // whole vector is strictly greater.
+            if d > ch {
+                return false;
+            }
+        }
+        buf.push(d);
+    }
+    buf.sort_unstable_by(|a, b| b.cmp(a));
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: single-pass ranked selection
+// ---------------------------------------------------------------------------
+
+/// Single-pass `Min(candidates, ≤_rank)`: one scan with a running minimum
+/// and a tied set, each candidate ranked at most once.
+///
+/// `eval(i, cap)` receives the current best rank as the cap and must
+/// follow the pruned-evaluator contract (exact rank when `≤ cap`, `None`
+/// only when `> cap`). Returns the minimum rank and the set achieving it.
+pub fn select_min<K, E, I>(n_vars: u32, candidates: I, mut eval: E) -> (Option<K>, ModelSet)
+where
+    K: Ord,
+    E: FnMut(Interp, Option<&K>) -> Option<K>,
+    I: IntoIterator<Item = Interp>,
+{
+    let mut best: Option<K> = None;
+    let mut tied: Vec<Interp> = Vec::new();
+    for i in candidates {
+        if let Some(k) = eval(i, best.as_ref()) {
+            match best.as_ref() {
+                Some(b) if k > *b => {}
+                Some(b) if k == *b => tied.push(i),
+                _ => {
+                    best = Some(k);
+                    tied.clear();
+                    tied.push(i);
+                }
+            }
+        }
+    }
+    (best, ModelSet::new(n_vars, tied))
+}
+
+/// [`select_min`] for *vector* ranks, with buffer reuse: the candidate and
+/// best-so-far vectors live in two swapped buffers, so ranking allocates
+/// nothing once the buffers reach capacity.
+///
+/// `fill(i, cap, buf)` writes `i`'s rank vector into `buf` and returns
+/// `true`, or returns `false` when the vector is provably `> cap`
+/// (same contract as the scalar evaluators, lexicographic order).
+pub fn select_min_vec<E, I>(n_vars: u32, candidates: I, mut fill: E) -> ModelSet
+where
+    E: FnMut(Interp, Option<&[u32]>, &mut Vec<u32>) -> bool,
+    I: IntoIterator<Item = Interp>,
+{
+    let mut best: Vec<u32> = Vec::new();
+    let mut cand: Vec<u32> = Vec::new();
+    let mut tied: Vec<Interp> = Vec::new();
+    for i in candidates {
+        let cap = if tied.is_empty() {
+            None
+        } else {
+            Some(best.as_slice())
+        };
+        if !fill(i, cap, &mut cand) {
+            continue;
+        }
+        if tied.is_empty() || cand < best {
+            std::mem::swap(&mut best, &mut cand);
+            tied.clear();
+            tied.push(i);
+        } else if cand == best {
+            tied.push(i);
+        }
+    }
+    ModelSet::new(n_vars, tied)
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2½: branch-and-bound subcube search over the universe
+// ---------------------------------------------------------------------------
+
+/// Branch-and-bound `Min(𝓜, ≤_agg)` for *monotone* distance aggregates —
+/// the sharpest tool for arbitration-shaped scans, where the candidate
+/// pool is the entire universe.
+///
+/// Rather than visiting all `2^n` candidates, the search assigns variables
+/// one at a time (most-discriminating bit first) and tracks, for every
+/// model `J` of ψ, the Hamming distance accumulated on the decided bits.
+/// Distances only grow as bits are fixed, so for a **monotone** aggregate
+/// (`agg(d) ≤ agg(d')` whenever `d ≤ d'` pointwise — max, sum, and
+/// weighted sum all qualify) the aggregate of the partial distances lower-
+/// bounds every candidate in the subcube. A subcube whose bound strictly
+/// exceeds the best key found so far is discarded whole — `2^free`
+/// candidates pruned with `O(|ψ|)` work — which is what lets arbitration
+/// beat the linear-scan floor. Ties survive: only strictly worse subcubes
+/// are cut.
+///
+/// The two children of each node are explored better-bound-first, so a
+/// near-optimal candidate is found early and the cap tightens immediately.
+///
+/// Returns the minimum key and all candidates achieving it.
+/// `models` must be non-empty.
+pub fn select_min_subcube<K, A>(n_vars: u32, models: &[Interp], agg: A) -> (Option<K>, ModelSet)
+where
+    K: Ord + Clone,
+    A: Fn(&[u32]) -> K,
+{
+    assert!(!models.is_empty(), "subcube search needs a non-empty psi");
+    let order = discriminating_bit_order(n_vars, models);
+    let mut d = vec![0u32; models.len()];
+    let mut search = SubcubeSearch {
+        models,
+        agg: &agg,
+        order: &order,
+        best: None,
+        tied: Vec::new(),
+    };
+    search.descend(0, 0, &mut d);
+    let SubcubeSearch { best, tied, .. } = search;
+    (best, ModelSet::new(n_vars, tied.into_iter().map(Interp)))
+}
+
+/// Bits where the models disagree most, first: balanced bits force the
+/// partial distances up whichever value is chosen, so bounds tighten at
+/// shallow depth.
+fn discriminating_bit_order(n_vars: u32, models: &[Interp]) -> Vec<u32> {
+    let k = models.len();
+    let mut order: Vec<u32> = (0..n_vars).collect();
+    order.sort_by_key(|&b| {
+        let ones = models.iter().filter(|j| j.0 >> b & 1 == 1).count();
+        std::cmp::Reverse(ones.min(k - ones))
+    });
+    order
+}
+
+struct SubcubeSearch<'a, K, A> {
+    models: &'a [Interp],
+    agg: &'a A,
+    order: &'a [u32],
+    best: Option<K>,
+    tied: Vec<u64>,
+}
+
+impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
+    /// Add (`up`) or remove (`!up`) bit `bit = v`'s contribution to the
+    /// partial distances.
+    fn shift(&self, d: &mut [u32], bit: u32, v: u64, up: bool) {
+        for (dj, m) in d.iter_mut().zip(self.models) {
+            let mismatch = (m.0 >> bit & 1) != v;
+            if mismatch {
+                *dj = if up { *dj + 1 } else { *dj - 1 };
+            }
+        }
+    }
+
+    fn descend(&mut self, depth: usize, prefix: u64, d: &mut [u32]) {
+        if depth == self.order.len() {
+            let key = (self.agg)(d);
+            match self.best.as_ref() {
+                Some(b) if key > *b => {}
+                Some(b) if key == *b => self.tied.push(prefix),
+                _ => {
+                    self.best = Some(key);
+                    self.tied.clear();
+                    self.tied.push(prefix);
+                }
+            }
+            return;
+        }
+        let bit = self.order[depth];
+        let mut bounds: [Option<K>; 2] = [None, None];
+        for v in 0..2u64 {
+            self.shift(d, bit, v, true);
+            bounds[v as usize] = Some((self.agg)(d));
+            self.shift(d, bit, v, false);
+        }
+        let visit = if bounds[0] <= bounds[1] {
+            [0u64, 1]
+        } else {
+            [1, 0]
+        };
+        for v in visit {
+            // Re-check against the cap each time: the first child may have
+            // tightened it.
+            let lb = bounds[v as usize].as_ref().unwrap();
+            if let Some(b) = self.best.as_ref() {
+                if *lb > *b {
+                    continue;
+                }
+            }
+            self.shift(d, bit, v, true);
+            self.descend(depth + 1, prefix | (v << bit), d);
+            self.shift(d, bit, v, false);
+        }
+    }
+}
+
+/// Parallel [`select_min_subcube`]: the top `s` levels of the search tree
+/// are expanded into `2^s` root subcubes which workers claim from a shared
+/// queue, publishing improvements through a shared best so every subtree
+/// prunes against the globally tightest cap.
+#[cfg(feature = "parallel")]
+fn select_min_subcube_parallel<K, A>(
+    n_vars: u32,
+    models: &[Interp],
+    agg: A,
+    threads: usize,
+) -> (Option<K>, ModelSet)
+where
+    K: Ord + Clone + Send,
+    A: Fn(&[u32]) -> K + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let order = discriminating_bit_order(n_vars, models);
+    // Enough roots that workers stay busy, shallow enough to stay cheap.
+    let split = (threads * 4)
+        .next_power_of_two()
+        .trailing_zeros()
+        .min(n_vars.saturating_sub(1))
+        .min(10) as usize;
+    let next_root = AtomicUsize::new(0);
+    let shared_best: Mutex<Option<K>> = Mutex::new(None);
+    let per_worker: Vec<(Option<K>, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, shared, order, agg) = (&next_root, &shared_best, &order, &agg);
+                scope.spawn(move || {
+                    let mut search = SubcubeSearch {
+                        models,
+                        agg,
+                        order: &order[split..],
+                        best: None,
+                        tied: Vec::new(),
+                    };
+                    let mut d = vec![0u32; models.len()];
+                    loop {
+                        let root = next.fetch_add(1, Ordering::Relaxed);
+                        if root >= 1 << split {
+                            break;
+                        }
+                        {
+                            let g = shared.lock().unwrap();
+                            if let Some(gb) = g.as_ref() {
+                                if search.best.as_ref().is_none_or(|b| gb < b) {
+                                    search.best = Some(gb.clone());
+                                    search.tied.clear();
+                                }
+                            }
+                        }
+                        let mut prefix = 0u64;
+                        d.iter_mut().for_each(|x| *x = 0);
+                        for (level, &bit) in order[..split].iter().enumerate() {
+                            let v = (root >> level & 1) as u64;
+                            prefix |= v << bit;
+                            search.shift(&mut d, bit, v, true);
+                        }
+                        let before = search.best.clone();
+                        search.descend(0, prefix, &mut d);
+                        if search.best != before {
+                            let mut g = shared.lock().unwrap();
+                            let sb = search.best.as_ref().unwrap();
+                            if g.as_ref().is_none_or(|gb| sb < gb) {
+                                *g = Some(sb.clone());
+                            }
+                        }
+                    }
+                    (search.best, search.tied)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let overall = per_worker
+        .iter()
+        .filter_map(|(b, _)| b.as_ref())
+        .min()
+        .cloned();
+    let mut keep: Vec<Interp> = Vec::new();
+    if let Some(o) = overall.as_ref() {
+        for (b, t) in per_worker {
+            if b.as_ref() == Some(o) {
+                keep.extend(t.into_iter().map(Interp));
+            }
+        }
+    }
+    (overall, ModelSet::new(n_vars, keep))
+}
+
+/// Below this signature width the branch-and-bound bookkeeping (bit
+/// ordering, per-node bounds, recursion) costs more than the sweep it
+/// saves; a straight scan of the universe with a reused distance buffer
+/// wins. Crossover measured in the E12 experiment.
+const SUBCUBE_MIN_VARS: u32 = 12;
+
+/// Straight pruned sweep of the universe: one reused distance buffer,
+/// single-pass selection. The small-`n` complement of the subcube search.
+fn select_min_universe_scan<K, A>(n_vars: u32, models: &[Interp], agg: &A) -> (Option<K>, ModelSet)
+where
+    K: Ord,
+    A: Fn(&[u32]) -> K,
+{
+    let mut d = vec![0u32; models.len()];
+    select_min(n_vars, all_interps(n_vars), |j, _| {
+        for (dj, m) in d.iter_mut().zip(models) {
+            *dj = (m.0 ^ j.0).count_ones();
+        }
+        Some(agg(&d))
+    })
+}
+
+/// `Min(𝓜, ≤_agg)` for a monotone aggregate: the branch-and-bound subcube
+/// search, chunked across scoped threads for wide universes when the
+/// `parallel` feature is on.
+///
+/// This is the entry point the arbitration-backed operators use; see
+/// [`select_min_subcube`] for the monotonicity contract on `agg`.
+pub fn select_min_universe_mono<K, A>(
+    n_vars: u32,
+    models: &[Interp],
+    agg: A,
+) -> Result<(Option<K>, ModelSet), CoreError>
+where
+    K: Ord + Clone + Send,
+    A: Fn(&[u32]) -> K + Sync,
+{
+    CoreError::check_enum_limit(n_vars)?;
+    if n_vars < SUBCUBE_MIN_VARS {
+        return Ok(select_min_universe_scan(n_vars, models, &agg));
+    }
+    let threads = thread_count(1u64 << n_vars);
+    if threads <= 1 {
+        return Ok(select_min_subcube(n_vars, models, agg));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        Ok(select_min_subcube_parallel(n_vars, models, agg, threads))
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("thread_count is 1 without the parallel feature")
+}
+
+/// [`select_min_subcube`] specialized to the `max` aggregate (odist — the
+/// arbitration key), with a second, much sharper pruning bound.
+///
+/// For any candidate `J` the triangle inequality gives
+/// `dist(I_i, J) + dist(I_k, J) ≥ dist(I_i, I_k)`, so the odist of every
+/// candidate is at least `⌈max_{i<k} dist(I_i, I_k) / 2⌉` — a bound that is
+/// already within a factor of two of the optimum *at the root*, where the
+/// partial-distance bound is still zero. The search maintains, per model
+/// pair, the invariant `s_ik = d_i + d_k + freediff_ik` (partial distances
+/// plus the number of still-free bits where the pair disagrees): assigning
+/// a bit the pair disagrees on moves one unit from `freediff` to a partial
+/// distance (`s` unchanged), while mismatching both members of an agreeing
+/// pair adds two. Any completion satisfies `dist_i + dist_k ≥ s_ik`, so
+/// `⌈max s / 2⌉` lower-bounds the subcube and only tightens with depth.
+///
+/// Returns the minimum odist and all candidates achieving it.
+/// `models` must be non-empty.
+pub fn select_min_subcube_odist(n_vars: u32, models: &[Interp]) -> (Option<u32>, ModelSet) {
+    assert!(!models.is_empty(), "subcube search needs a non-empty psi");
+    let order = discriminating_bit_order(n_vars, models);
+    let (pairs, s0) = odist_pairs(models);
+    let mut search = OdistSubcube {
+        models,
+        order: &order,
+        pairs: &pairs,
+        // Seeding with an achieved upper bound is safe: only strictly
+        // worse subcubes are pruned, so every candidate matching the
+        // probe's key (including the probe itself) is still visited.
+        best: Some(odist_probe(n_vars, models)),
+        tied: Vec::new(),
+    };
+    let mut d = vec![0u32; models.len()];
+    let mut s = s0;
+    search.descend(0, 0, &mut d, &mut s);
+    (
+        search.best,
+        ModelSet::new(n_vars, search.tied.into_iter().map(Interp)),
+    )
+}
+
+/// A cheap upper bound on the minimum odist, *achieved by some candidate*:
+/// the best of the coordinate-wise majority vote, the midpoint of the
+/// farthest model pair, and every model of ψ itself. Seeding the search
+/// with it means pruning is fully armed before the first descent.
+fn odist_probe(n_vars: u32, models: &[Interp]) -> u32 {
+    let m = models.len();
+    let ecc = |j: u64| {
+        models
+            .iter()
+            .map(|i| (i.0 ^ j).count_ones())
+            .max()
+            .unwrap_or(0)
+    };
+    let mut maj = 0u64;
+    for b in 0..n_vars {
+        let ones = models.iter().filter(|j| j.0 >> b & 1 == 1).count();
+        if ones * 2 > m {
+            maj |= 1 << b;
+        }
+    }
+    let mut best = ecc(maj);
+    let mut far = (0usize, 0usize, 0u32);
+    for i in 0..m {
+        for k in i + 1..m {
+            let dist = (models[i].0 ^ models[k].0).count_ones();
+            if dist > far.2 {
+                far = (i, k, dist);
+            }
+        }
+    }
+    let mut xor = models[far.0].0 ^ models[far.1].0;
+    let mut mid = models[far.0].0;
+    for _ in 0..far.2 / 2 {
+        mid ^= 1 << xor.trailing_zeros();
+        xor &= xor - 1;
+    }
+    best = best.min(ecc(mid));
+    for j in models {
+        best = best.min(ecc(j.0));
+    }
+    best
+}
+
+/// Model-index pairs and their root `s_ik = dist(I_i, I_k)` values.
+///
+/// Only the `4·m` widest pairs are kept: the bound is a max, so dropping
+/// pairs is always sound (it merely weakens pruning), and the widest pairs
+/// are the ones that dominate it — while the full quadratic set would make
+/// every node's bound scan `O(m²)` for large unions.
+fn odist_pairs(models: &[Interp]) -> (Vec<(usize, usize)>, Vec<u32>) {
+    let m = models.len();
+    let mut scored: Vec<(u32, (usize, usize))> = (0..m)
+        .flat_map(|i| (i + 1..m).map(move |k| (i, k)))
+        .map(|(i, k)| ((models[i].0 ^ models[k].0).count_ones(), (i, k)))
+        .collect();
+    scored.sort_by_key(|&(s, _)| std::cmp::Reverse(s));
+    scored.truncate(4 * m);
+    scored.into_iter().map(|(s, p)| (p, s)).unzip()
+}
+
+struct OdistSubcube<'a> {
+    models: &'a [Interp],
+    order: &'a [u32],
+    pairs: &'a [(usize, usize)],
+    best: Option<u32>,
+    tied: Vec<u64>,
+}
+
+impl OdistSubcube<'_> {
+    fn shift(&self, d: &mut [u32], s: &mut [u32], bit: u32, v: u64, up: bool) {
+        for (dj, m) in d.iter_mut().zip(self.models) {
+            if (m.0 >> bit & 1) != v {
+                *dj = if up { *dj + 1 } else { *dj - 1 };
+            }
+        }
+        for (sx, &(i, k)) in s.iter_mut().zip(self.pairs) {
+            if (self.models[i].0 >> bit & 1) != v && (self.models[k].0 >> bit & 1) != v {
+                *sx = if up { *sx + 2 } else { *sx - 2 };
+            }
+        }
+    }
+
+    /// The subcube bound after assigning `bit = v`, computed in one pass
+    /// without mutating the state (no apply/undo round-trip).
+    fn child_bound(&self, d: &[u32], s: &[u32], bit: u32, v: u64) -> u32 {
+        let mut dm = 0u32;
+        for (dj, m) in d.iter().zip(self.models) {
+            dm = dm.max(dj + ((m.0 >> bit & 1) != v) as u32);
+        }
+        let mut sm = 0u32;
+        for (sx, &(i, k)) in s.iter().zip(self.pairs) {
+            let both = (self.models[i].0 >> bit & 1) != v && (self.models[k].0 >> bit & 1) != v;
+            sm = sm.max(sx + 2 * both as u32);
+        }
+        dm.max(sm.div_ceil(2))
+    }
+
+    fn descend(&mut self, depth: usize, prefix: u64, d: &mut [u32], s: &mut [u32]) {
+        if depth == self.order.len() {
+            let key = d.iter().copied().max().unwrap_or(0);
+            match self.best {
+                Some(b) if key > b => {}
+                Some(b) if key == b => self.tied.push(prefix),
+                _ => {
+                    self.best = Some(key);
+                    self.tied.clear();
+                    self.tied.push(prefix);
+                }
+            }
+            return;
+        }
+        let bit = self.order[depth];
+        let bounds = [
+            self.child_bound(d, s, bit, 0),
+            self.child_bound(d, s, bit, 1),
+        ];
+        let visit = if bounds[0] <= bounds[1] {
+            [0u64, 1]
+        } else {
+            [1, 0]
+        };
+        for v in visit {
+            if let Some(b) = self.best {
+                if bounds[v as usize] > b {
+                    continue;
+                }
+            }
+            self.shift(d, s, bit, v, true);
+            self.descend(depth + 1, prefix | (v << bit), d, s);
+            self.shift(d, s, bit, v, false);
+        }
+    }
+}
+
+/// Parallel [`select_min_subcube_odist`], same split-root scheme as
+/// [`select_min_subcube_parallel`].
+#[cfg(feature = "parallel")]
+fn select_min_subcube_odist_parallel(
+    n_vars: u32,
+    models: &[Interp],
+    threads: usize,
+) -> (Option<u32>, ModelSet) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let order = discriminating_bit_order(n_vars, models);
+    let (pairs, s0) = odist_pairs(models);
+    let split = (threads * 4)
+        .next_power_of_two()
+        .trailing_zeros()
+        .min(n_vars.saturating_sub(1))
+        .min(10) as usize;
+    let next_root = AtomicUsize::new(0);
+    let shared_best: Mutex<Option<u32>> = Mutex::new(Some(odist_probe(n_vars, models)));
+    let per_worker: Vec<(Option<u32>, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, shared, order, pairs, s0) =
+                    (&next_root, &shared_best, &order, &pairs, &s0);
+                scope.spawn(move || {
+                    let mut search = OdistSubcube {
+                        models,
+                        order: &order[split..],
+                        pairs,
+                        best: None,
+                        tied: Vec::new(),
+                    };
+                    let mut d = vec![0u32; models.len()];
+                    let mut s = s0.clone();
+                    loop {
+                        let root = next.fetch_add(1, Ordering::Relaxed);
+                        if root >= 1 << split {
+                            break;
+                        }
+                        {
+                            let g = shared.lock().unwrap();
+                            if let Some(gb) = *g {
+                                if search.best.is_none_or(|b| gb < b) {
+                                    search.best = Some(gb);
+                                    search.tied.clear();
+                                }
+                            }
+                        }
+                        let mut prefix = 0u64;
+                        d.iter_mut().for_each(|x| *x = 0);
+                        s.copy_from_slice(s0);
+                        for (level, &bit) in order[..split].iter().enumerate() {
+                            let v = (root >> level & 1) as u64;
+                            prefix |= v << bit;
+                            search.shift(&mut d, &mut s, bit, v, true);
+                        }
+                        let before = search.best;
+                        search.descend(0, prefix, &mut d, &mut s);
+                        if search.best != before {
+                            let mut g = shared.lock().unwrap();
+                            let sb = search.best.unwrap();
+                            if g.is_none_or(|gb| sb < gb) {
+                                *g = Some(sb);
+                            }
+                        }
+                    }
+                    (search.best, search.tied)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let overall = per_worker.iter().filter_map(|(b, _)| *b).min();
+    let mut keep: Vec<Interp> = Vec::new();
+    if let Some(o) = overall {
+        for (b, t) in per_worker {
+            if b == Some(o) {
+                keep.extend(t.into_iter().map(Interp));
+            }
+        }
+    }
+    (overall, ModelSet::new(n_vars, keep))
+}
+
+/// `Min(𝓜, ≤_odist)` over the whole universe: the pairwise-bounded
+/// branch-and-bound search, parallel for wide universes. This is the path
+/// arbitration itself takes (`ψ Δ φ = Mod(ψ ∨ φ) ▷ ⊤` minimizes odist).
+pub fn select_min_universe_odist(
+    n_vars: u32,
+    models: &[Interp],
+) -> Result<(Option<u32>, ModelSet), CoreError> {
+    CoreError::check_enum_limit(n_vars)?;
+    if n_vars < SUBCUBE_MIN_VARS {
+        let agg = |d: &[u32]| d.iter().copied().max().unwrap_or(0);
+        return Ok(select_min_universe_scan(n_vars, models, &agg));
+    }
+    let threads = thread_count(1u64 << n_vars);
+    if threads <= 1 {
+        return Ok(select_min_subcube_odist(n_vars, models));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        Ok(select_min_subcube_odist_parallel(n_vars, models, threads))
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("thread_count is 1 without the parallel feature")
+}
+
+// ---------------------------------------------------------------------------
+// Layers 3 + 4: streaming universe selection, optionally parallel
+// ---------------------------------------------------------------------------
+
+/// How many worker threads a universe scan of `total` candidates should
+/// use. Honors `ARBITREX_THREADS` (clamped to 1..=64), defaults to the
+/// machine's available parallelism, and never spins threads for universes
+/// too small to amortize them.
+#[cfg(feature = "parallel")]
+fn thread_count(total: u64) -> usize {
+    let configured = std::env::var("ARBITREX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let t = configured
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, 64);
+    if total < 1 << 13 {
+        1
+    } else {
+        t.min((total >> 12) as usize).max(1)
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn thread_count(_total: u64) -> usize {
+    1
+}
+
+/// `Min(𝓜, ≤_rank)` over the streamed universe of all `2^n`
+/// interpretations — the kernel under arbitration.
+///
+/// `factory` builds one pruned evaluator per worker (each worker needs its
+/// own scratch state); with one worker this degenerates to a sequential
+/// [`select_min`] over [`all_interps`]. Workers scan disjoint chunks,
+/// publishing their best rank through a shared cell so that every chunk
+/// prunes against the globally best rank found so far.
+///
+/// Returns [`CoreError::EnumLimitExceeded`] instead of scanning more than
+/// `2^ENUM_LIMIT` candidates.
+pub fn select_min_universe<K, E, F>(
+    n_vars: u32,
+    factory: F,
+) -> Result<(Option<K>, ModelSet), CoreError>
+where
+    K: Ord + Clone + Send,
+    E: FnMut(Interp, Option<&K>) -> Option<K>,
+    F: Fn() -> E + Sync,
+{
+    CoreError::check_enum_limit(n_vars)?;
+    let total = 1u64 << n_vars;
+    let threads = thread_count(total);
+    if threads <= 1 {
+        return Ok(select_min(n_vars, all_interps(n_vars), factory()));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        Ok(select_min_universe_parallel(
+            n_vars, total, threads, &factory,
+        ))
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("thread_count is 1 without the parallel feature")
+}
+
+/// The chunked scoped-thread scan behind [`select_min_universe`].
+#[cfg(feature = "parallel")]
+fn select_min_universe_parallel<K, E, F>(
+    n_vars: u32,
+    total: u64,
+    threads: usize,
+    factory: &F,
+) -> (Option<K>, ModelSet)
+where
+    K: Ord + Clone + Send,
+    E: FnMut(Interp, Option<&K>) -> Option<K>,
+    F: Fn() -> E + Sync,
+{
+    use std::sync::Mutex;
+
+    /// Refresh the local cap from the globally published best every this
+    /// many candidates — frequent enough to prune, rare enough not to
+    /// contend.
+    const SYNC_EVERY: u64 = 4096;
+
+    let shared_best: Mutex<Option<K>> = Mutex::new(None);
+    let chunk = total.div_ceil(threads as u64);
+    let per_chunk: Vec<(Option<K>, Vec<Interp>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let shared = &shared_best;
+                scope.spawn(move || {
+                    let mut eval = factory();
+                    let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(total));
+                    let mut best: Option<K> = None;
+                    let mut tied: Vec<Interp> = Vec::new();
+                    let mut since_sync = 0u64;
+                    for bits in lo..hi {
+                        since_sync += 1;
+                        if since_sync >= SYNC_EVERY {
+                            since_sync = 0;
+                            let g = shared.lock().unwrap();
+                            if let Some(gb) = g.as_ref() {
+                                // Adopt a strictly better global cap; local
+                                // ties are then stale.
+                                if best.as_ref().is_none_or(|b| gb < b) {
+                                    best = Some(gb.clone());
+                                    tied.clear();
+                                }
+                            }
+                        }
+                        let i = Interp(bits);
+                        if let Some(k) = eval(i, best.as_ref()) {
+                            match best.as_ref() {
+                                Some(b) if k > *b => {}
+                                Some(b) if k == *b => tied.push(i),
+                                _ => {
+                                    let mut g = shared.lock().unwrap();
+                                    if g.as_ref().is_none_or(|gb| k < *gb) {
+                                        *g = Some(k.clone());
+                                    }
+                                    best = Some(k);
+                                    tied.clear();
+                                    tied.push(i);
+                                }
+                            }
+                        }
+                    }
+                    (best, tied)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let overall = per_chunk
+        .iter()
+        .filter_map(|(b, _)| b.as_ref())
+        .min()
+        .cloned();
+    let mut keep: Vec<Interp> = Vec::new();
+    if let Some(o) = overall.as_ref() {
+        for (b, t) in per_chunk {
+            if b.as_ref() == Some(o) {
+                keep.extend(t);
+            }
+        }
+    }
+    (overall, ModelSet::new(n_vars, keep))
+}
+
+// ---------------------------------------------------------------------------
+// Naive oracles
+// ---------------------------------------------------------------------------
+
+pub mod naive {
+    //! Specification-shaped implementations of every operator the kernel
+    //! accelerates, kept as differential-testing oracles.
+    //!
+    //! Each function is the direct transcription of its paper definition:
+    //! two-pass minimum selection over the full candidate pool, distance
+    //! aggregates from [`crate::distance`], and a materialized universe
+    //! for arbitration. Nothing here prunes, streams, caches, or threads —
+    //! slow on purpose, and obviously correct.
+
+    use crate::distance::{min_dist, odist, sum_dist, wdist};
+    use crate::weighted::WeightedKb;
+    use arbitrex_logic::{Interp, ModelSet};
+
+    /// The pre-kernel `min_by_rank`: find the minimum rank in one pass,
+    /// filter for it in a second — every rank computed twice.
+    pub fn min_by_rank_two_pass<K: Ord, F: Fn(Interp) -> K>(s: &ModelSet, rank: F) -> ModelSet {
+        let best = s.iter().map(&rank).min();
+        match best {
+            None => ModelSet::empty(s.n_vars()),
+            Some(b) => ModelSet::new(s.n_vars(), s.iter().filter(|&i| rank(i) == b)),
+        }
+    }
+
+    /// Oracle for [`crate::fitting::OdistFitting`].
+    pub fn odist_fitting(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        if psi.is_empty() {
+            return ModelSet::empty(mu.n_vars());
+        }
+        min_by_rank_two_pass(mu, |i| odist(psi, i).expect("psi nonempty"))
+    }
+
+    /// Oracle for [`crate::fitting::LexOdistFitting`].
+    pub fn lex_odist_fitting(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        if psi.is_empty() {
+            return ModelSet::empty(mu.n_vars());
+        }
+        min_by_rank_two_pass(mu, |i| (odist(psi, i).expect("psi nonempty"), i.0))
+    }
+
+    /// Oracle for [`crate::fitting::SumFitting`].
+    pub fn sum_fitting(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        if psi.is_empty() {
+            return ModelSet::empty(mu.n_vars());
+        }
+        min_by_rank_two_pass(mu, |i| sum_dist(psi, i).expect("psi nonempty"))
+    }
+
+    /// Oracle for [`crate::fitting::GMaxFitting`]: a fresh allocated,
+    /// sorted distance vector per candidate per pass.
+    pub fn gmax_fitting(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        if psi.is_empty() {
+            return ModelSet::empty(mu.n_vars());
+        }
+        min_by_rank_two_pass(mu, |i| {
+            let mut v: Vec<u32> = psi.iter().map(|j| i.dist(j)).collect();
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v
+        })
+    }
+
+    /// Oracle for [`crate::revision::DalalRevision`].
+    pub fn dalal_revision(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        if psi.is_empty() {
+            return mu.clone();
+        }
+        min_by_rank_two_pass(mu, |i| min_dist(psi, i).expect("psi nonempty"))
+    }
+
+    /// Oracle for [`crate::update::WinslettUpdate`]: per-model ⊆-minimal
+    /// selection with difference masks recomputed on every membership
+    /// check.
+    pub fn winslett_update(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        let mut out: Vec<Interp> = Vec::new();
+        for j in psi.iter() {
+            let diffs: Vec<u64> = mu.iter().map(|i| i.diff_mask(j)).collect();
+            let minimal: Vec<u64> = diffs
+                .iter()
+                .copied()
+                .filter(|&m| !diffs.iter().any(|&o| o != m && o & !m == 0))
+                .collect();
+            out.extend(mu.iter().filter(|&i| minimal.contains(&i.diff_mask(j))));
+        }
+        ModelSet::new(mu.n_vars(), out)
+    }
+
+    /// Oracle for [`crate::update::ForbusUpdate`]: two passes over `μ` per
+    /// model of `ψ`.
+    pub fn forbus_update(psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        let mut out: Vec<Interp> = Vec::new();
+        for j in psi.iter() {
+            if let Some(best) = mu.iter().map(|i| i.dist(j)).min() {
+                out.extend(mu.iter().filter(|&i| i.dist(j) == best));
+            }
+        }
+        ModelSet::new(mu.n_vars(), out)
+    }
+
+    /// Oracle for [`crate::wfitting::WdistFitting`].
+    pub fn wdist_fitting(psi: &WeightedKb, mu: &WeightedKb) -> WeightedKb {
+        if !psi.is_satisfiable() {
+            return WeightedKb::unsatisfiable(mu.n_vars());
+        }
+        let best = mu
+            .support()
+            .map(|(i, _)| wdist(psi, i).expect("psi satisfiable"))
+            .min();
+        let best = match best {
+            Some(b) => b,
+            None => return WeightedKb::unsatisfiable(mu.n_vars()),
+        };
+        WeightedKb::from_weights(
+            mu.n_vars(),
+            mu.support().filter(|&(i, _)| wdist(psi, i) == Some(best)),
+        )
+    }
+
+    /// Oracle for [`crate::arbitration::arbitrate`]: materialize `𝓜`, fit
+    /// with the two-pass odist selection.
+    pub fn arbitrate(psi: &ModelSet, phi: &ModelSet) -> ModelSet {
+        odist_fitting(&psi.union(phi), &ModelSet::all(psi.n_vars()))
+    }
+
+    /// Oracle for [`crate::arbitration::warbitrate`]: materialize `𝓜̃`.
+    pub fn warbitrate(psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
+        wdist_fitting(&psi.join(phi), &WeightedKb::all(psi.n_vars()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{min_dist, odist, sum_dist, wdist};
+
+    /// Pseudo-random model set derived from a seed, over n ≤ 6 vars.
+    fn scrambled(n: u32, seed: u64) -> ModelSet {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let count = (x % (1 << n.min(4))) as usize + 1;
+        ModelSet::new(
+            n,
+            (0..count).map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                Interp(x & ((1 << n) - 1))
+            }),
+        )
+    }
+
+    #[test]
+    fn pop_profile_bounds_are_sound() {
+        for seed in 0..64u64 {
+            let psi = scrambled(6, seed);
+            let prof = PopProfile::of(&psi).unwrap();
+            for bits in 0..64u64 {
+                let i = Interp(bits);
+                assert!(prof.odist_lower_bound(i) <= odist(&psi, i).unwrap());
+                assert!(prof.min_dist_lower_bound(i) <= min_dist(&psi, i).unwrap());
+                assert!(prof.sum_lower_bound(i) <= sum_dist(&psi, i).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn pop_profile_of_empty_is_none() {
+        assert!(PopProfile::of(&ModelSet::empty(3)).is_none());
+        assert!(WeightedPopProfile::of(&WeightedKb::unsatisfiable(3)).is_none());
+    }
+
+    #[test]
+    fn pruned_evaluators_are_exact_at_or_below_cap() {
+        for seed in 0..32u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            for bits in 0..64u64 {
+                let i = Interp(bits);
+                let od = odist(&psi, i).unwrap();
+                let md = min_dist(&psi, i).unwrap();
+                let sd = sum_dist(&psi, i).unwrap();
+                // No cap: always exact.
+                assert_eq!(odist_pruned(slice, &prof, i, None), Some(od));
+                assert_eq!(min_dist_pruned(slice, &prof, i, None), Some(md));
+                assert_eq!(sum_dist_pruned(slice, &prof, i, None), Some(sd));
+                // Cap at the exact value (a tie): still exact.
+                assert_eq!(odist_pruned(slice, &prof, i, Some(od)), Some(od));
+                assert_eq!(sum_dist_pruned(slice, &prof, i, Some(sd)), Some(sd));
+                // Cap strictly below: may be None, never a wrong value.
+                if od > 0 {
+                    assert!(matches!(
+                        odist_pruned(slice, &prof, i, Some(od - 1)),
+                        None | Some(_) if odist_pruned(slice, &prof, i, Some(od - 1)).unwrap_or(od) == od
+                    ));
+                }
+                // min_dist returns exact values whenever it returns.
+                if let Some(got) = min_dist_pruned(slice, &prof, i, Some(md)) {
+                    assert_eq!(got, md);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wdist_pruned_matches_spec() {
+        let psi = WeightedKb::from_weights(
+            3,
+            [(Interp(0b001), 10), (Interp(0b010), 20), (Interp(0b111), 5)],
+        );
+        let support: Vec<(Interp, u64)> = psi.support().collect();
+        let prof = WeightedPopProfile::of(&psi).unwrap();
+        for bits in 0..8u64 {
+            let i = Interp(bits);
+            let exact = wdist(&psi, i).unwrap();
+            assert_eq!(wdist_pruned(&support, &prof, i, None), Some(exact));
+            assert_eq!(wdist_pruned(&support, &prof, i, Some(exact)), Some(exact));
+            assert!(prof.wdist_lower_bound(i) <= exact);
+        }
+    }
+
+    #[test]
+    fn select_min_matches_two_pass_selection() {
+        for seed in 0..64u64 {
+            let s = scrambled(6, seed);
+            let rank = |i: Interp| i.0.wrapping_mul(0x9E3779B9) % 7;
+            let expect = naive::min_by_rank_two_pass(&s, rank);
+            let (best, got) = select_min(6, s.iter(), |i, _| Some(rank(i)));
+            assert_eq!(got, expect);
+            assert_eq!(best, expect.iter().next().map(rank));
+        }
+    }
+
+    #[test]
+    fn select_min_of_empty_pool() {
+        let (best, got) = select_min::<u32, _, _>(3, std::iter::empty(), |_, _| unreachable!());
+        assert!(best.is_none());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn select_min_vec_matches_allocating_selection() {
+        for seed in 0..64u64 {
+            let psi = scrambled(5, seed);
+            let mu = scrambled(5, seed.wrapping_add(1000));
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            let expect = naive::gmax_fitting(&psi, &mu);
+            let got = select_min_vec(5, mu.iter(), |i, cap, buf| {
+                gmax_fill_pruned(slice, &prof, i, cap, buf)
+            });
+            assert_eq!(got, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn subcube_search_matches_exhaustive_scan_for_all_monotone_aggregates() {
+        for seed in 0..48u64 {
+            let psi = scrambled(7, seed);
+            let slice = psi.as_slice();
+            // odist (max), sum, and weighted-sum aggregates.
+            let (best, got) =
+                select_min_subcube(7, slice, |d: &[u32]| d.iter().copied().max().unwrap());
+            let expect = naive::odist_fitting(&psi, &ModelSet::all(7));
+            assert_eq!(got, expect, "odist, seed {seed}");
+            assert_eq!(best, expect.iter().next().map(|i| odist(&psi, i).unwrap()));
+
+            // The pairwise-bounded specialization agrees with the generic one.
+            let (sp_best, sp) = select_min_subcube_odist(7, slice);
+            assert_eq!(sp, expect, "odist specialized, seed {seed}");
+            assert_eq!(sp_best, best);
+
+            let (_, got) = select_min_subcube(7, slice, |d: &[u32]| {
+                d.iter().map(|&x| x as u64).sum::<u64>()
+            });
+            assert_eq!(
+                got,
+                naive::sum_fitting(&psi, &ModelSet::all(7)),
+                "sum, seed {seed}"
+            );
+
+            let weights: Vec<u64> = slice.iter().map(|j| 1 + j.0 % 5).collect();
+            let kb = WeightedKb::from_weights(7, slice.iter().map(|&j| (j, 1 + j.0 % 5)));
+            let (_, got) = select_min_subcube(7, slice, |d: &[u32]| {
+                d.iter()
+                    .zip(&weights)
+                    .map(|(&x, &w)| x as u128 * w as u128)
+                    .sum::<u128>()
+            });
+            let expect = naive::wdist_fitting(&kb, &WeightedKb::all(7));
+            assert_eq!(got, expect.support_set(), "wdist, seed {seed}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_subcube_search_matches_sequential() {
+        for seed in 0..16u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let agg = |d: &[u32]| d.iter().copied().max().unwrap();
+            let (seq_best, seq) = select_min_subcube(6, slice, agg);
+            for threads in [2, 3, 5] {
+                let (par_best, par) = select_min_subcube_parallel(6, slice, agg, threads);
+                assert_eq!(par, seq, "threads {threads}, seed {seed}");
+                assert_eq!(par_best, seq_best);
+                let (po_best, po) = select_min_subcube_odist_parallel(6, slice, threads);
+                assert_eq!(po, seq, "odist threads {threads}, seed {seed}");
+                assert_eq!(po_best, seq_best);
+            }
+        }
+    }
+
+    #[test]
+    fn universe_selection_matches_materialized_selection() {
+        for seed in 0..32u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            let expect = naive::odist_fitting(&psi, &ModelSet::all(6));
+            let (_, got) = select_min_universe(6, || {
+                |i: Interp, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied())
+            })
+            .unwrap();
+            assert_eq!(got, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn universe_selection_rejects_wide_signatures() {
+        let r = select_min_universe::<u32, _, _>(arbitrex_logic::ENUM_LIMIT + 1, || {
+            |_: Interp, _: Option<&u32>| Some(0)
+        });
+        assert_eq!(
+            r.unwrap_err(),
+            CoreError::EnumLimitExceeded {
+                n_vars: arbitrex_logic::ENUM_LIMIT + 1,
+                limit: arbitrex_logic::ENUM_LIMIT,
+            }
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_universe_selection_matches_sequential() {
+        // Exercise the chunked path directly (the public entry point would
+        // choose one worker for a universe this small).
+        for seed in 0..16u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            let factory =
+                || |i: Interp, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied());
+            let (seq_best, seq) = select_min(6, all_interps(6), factory());
+            for threads in [2, 3, 5] {
+                let (par_best, par) = select_min_universe_parallel(6, 64, threads, &factory);
+                assert_eq!(par, seq, "threads {threads}, seed {seed}");
+                assert_eq!(par_best, seq_best);
+            }
+        }
+    }
+}

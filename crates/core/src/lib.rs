@@ -27,8 +27,10 @@
 pub mod arbitration;
 pub mod assignment;
 pub mod distance;
+pub mod error;
 pub mod fitting;
 pub mod iterated;
+pub mod kernel;
 pub mod operator;
 pub mod postulates;
 pub mod preorder;
@@ -38,8 +40,12 @@ pub mod update;
 pub mod weighted;
 pub mod wfitting;
 
-pub use arbitration::{Arbitration, WeightedArbitration};
+pub use arbitration::{
+    arbitrate, try_arbitrate, try_warbitrate, warbitrate, Arbitration, UniverseFitting,
+    WeightedArbitration, WeightedUniverseFitting,
+};
 pub use distance::{dist, min_dist, odist, sum_dist, wdist};
+pub use error::CoreError;
 pub use fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
 pub use operator::{ChangeOperator, FormulaOperator};
 pub use revision::{BorgidaRevision, DalalRevision, DrasticRevision, SatohRevision, WeberRevision};

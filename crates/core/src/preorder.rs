@@ -61,13 +61,23 @@ pub fn min_models(s: &ModelSet, pre: &impl Preorder) -> ModelSet {
 }
 
 /// `Min(S, ≤)` for a ranked pre-order: the members of `S` achieving the
-/// minimum rank. Linear in `|S|` (two passes).
+/// minimum rank. Single pass — `rank` is invoked exactly once per member
+/// (the pre-kernel implementation scanned twice, ranking every member
+/// again during the filter pass).
 pub fn min_by_rank<K: Ord, F: Fn(Interp) -> K>(s: &ModelSet, rank: F) -> ModelSet {
-    let best = s.iter().map(&rank).min();
-    match best {
-        None => ModelSet::empty(s.n_vars()),
-        Some(b) => ModelSet::new(s.n_vars(), s.iter().filter(|&i| rank(i) == b)),
-    }
+    let (_, min) = crate::kernel::select_min(s.n_vars(), s.iter(), |i, _| Some(rank(i)));
+    min
+}
+
+/// [`min_by_rank`] for ranked pre-orders wrapped in a [`RankOrder`],
+/// without re-borrowing the closure. Callers holding a `RankOrder` (the
+/// loyal-assignment machinery, [`crate::fitting::RankFitting`]) go through
+/// here so the single-pass guarantee covers them too.
+pub fn min_models_ranked<K: Ord, F: Fn(Interp) -> K>(
+    s: &ModelSet,
+    order: &RankOrder<K, F>,
+) -> ModelSet {
+    min_by_rank(s, |i| order.rank(i))
 }
 
 /// Check that `pre` is a *total* pre-order over the given universe:
@@ -148,6 +158,42 @@ mod tests {
         let universe = ModelSet::all(4);
         let pre = RankOrder::new(rank);
         assert_eq!(min_models(&universe, &pre), min_by_rank(&universe, rank));
+    }
+
+    #[test]
+    fn min_by_rank_ranks_each_member_exactly_once() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let s = ModelSet::new(4, (0..12).map(i));
+        let m = min_by_rank(&s, |x| {
+            calls.set(calls.get() + 1);
+            x.count_true()
+        });
+        assert_eq!(
+            calls.get(),
+            s.len(),
+            "rank must be computed once per member"
+        );
+        assert_eq!(m, ModelSet::new(4, [i(0)]));
+
+        calls.set(0);
+        let order = RankOrder::new(|x: Interp| {
+            calls.set(calls.get() + 1);
+            x.count_true()
+        });
+        min_models_ranked(&s, &order);
+        assert_eq!(calls.get(), s.len());
+    }
+
+    #[test]
+    fn min_models_ranked_agrees_with_min_by_rank() {
+        let rank = |x: Interp| (x.0.wrapping_mul(0x9E3779B9) >> 3) % 5;
+        let universe = ModelSet::all(4);
+        let order = RankOrder::new(rank);
+        assert_eq!(
+            min_models_ranked(&universe, &order),
+            min_by_rank(&universe, rank)
+        );
     }
 
     #[test]

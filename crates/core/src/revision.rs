@@ -12,9 +12,8 @@
 //! knowledge base carries no usable information, the new information is
 //! fully trusted). This satisfies R1–R6.
 
-use crate::distance::min_dist;
+use crate::kernel::{min_dist_pruned, select_min, PopProfile};
 use crate::operator::ChangeOperator;
-use crate::preorder::min_by_rank;
 use arbitrex_logic::{Interp, ModelSet};
 
 /// Dalal's revision: keep the models of `μ` at minimal Hamming distance
@@ -28,10 +27,14 @@ impl ChangeOperator for DalalRevision {
     }
 
     fn apply(&self, psi: &ModelSet, mu: &ModelSet) -> ModelSet {
-        if psi.is_empty() {
-            return mu.clone();
-        }
-        min_by_rank(mu, |i| min_dist(psi, i).expect("psi nonempty"))
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return mu.clone(),
+        };
+        let (_, min) = select_min(mu.n_vars(), mu.iter(), |i, cap| {
+            min_dist_pruned(psi.as_slice(), &prof, i, cap.copied())
+        });
+        min
     }
 }
 
@@ -84,13 +87,17 @@ pub struct BorgidaRevision;
 /// is ⊆-minimal among all models of `mu` — Winslett's PMA selection, shared
 /// by Borgida revision and Winslett update.
 pub(crate) fn pma_select(mu: &ModelSet, j: Interp) -> Vec<Interp> {
-    let diffs: Vec<u64> = mu.iter().map(|i| i.diff_mask(j)).collect();
-    let mut sorted = diffs.clone();
+    // Compute each difference mask once and carry it alongside its model —
+    // the filter pass previously re-XOR'd every candidate.
+    let paired: Vec<(Interp, u64)> = mu.iter().map(|i| (i, i.diff_mask(j))).collect();
+    let mut sorted: Vec<u64> = paired.iter().map(|&(_, m)| m).collect();
     sorted.sort_unstable();
     sorted.dedup();
     let minimal = subset_minimal(&sorted);
-    mu.iter()
-        .filter(|&i| minimal.contains(&i.diff_mask(j)))
+    paired
+        .into_iter()
+        .filter(|(_, m)| minimal.contains(m))
+        .map(|(i, _)| i)
         .collect()
 }
 

@@ -45,11 +45,25 @@ impl ChangeOperator for ForbusUpdate {
     }
 
     fn apply(&self, psi: &ModelSet, mu: &ModelSet) -> ModelSet {
+        // Single pass over μ per world: running minimum plus tied set,
+        // instead of a min pass followed by a filter pass re-computing
+        // every distance.
         let mut out: Vec<Interp> = Vec::new();
+        let mut tied: Vec<Interp> = Vec::new();
         for j in psi.iter() {
-            if let Some(best) = mu.iter().map(|i| i.dist(j)).min() {
-                out.extend(mu.iter().filter(|&i| i.dist(j) == best));
+            let mut best = u32::MAX;
+            tied.clear();
+            for i in mu.iter() {
+                let d = i.dist(j);
+                if d < best {
+                    best = d;
+                    tied.clear();
+                    tied.push(i);
+                } else if d == best {
+                    tied.push(i);
+                }
             }
+            out.extend_from_slice(&tied);
         }
         ModelSet::new(mu.n_vars(), out)
     }

@@ -1,6 +1,6 @@
 //! Weighted model-fitting (Section 4 of the paper).
 
-use crate::distance::wdist;
+use crate::kernel::{select_min, wdist_pruned, WeightedPopProfile};
 use crate::weighted::WeightedKb;
 use arbitrex_logic::Interp;
 
@@ -54,21 +54,17 @@ impl WeightedChangeOperator for WdistFitting {
 
     fn apply(&self, psi: &WeightedKb, mu: &WeightedKb) -> WeightedKb {
         // (F2): unsatisfiable ψ̃ fits nothing.
-        if !psi.is_satisfiable() {
-            return WeightedKb::unsatisfiable(mu.n_vars());
-        }
-        let best = mu
-            .support()
-            .map(|(i, _)| wdist(psi, i).expect("psi satisfiable"))
-            .min();
-        let best = match best {
-            Some(b) => b,
+        let prof = match WeightedPopProfile::of(psi) {
+            Some(p) => p,
             None => return WeightedKb::unsatisfiable(mu.n_vars()),
         };
-        WeightedKb::from_weights(
-            mu.n_vars(),
-            mu.support().filter(|&(i, _)| wdist(psi, i) == Some(best)),
-        )
+        let support: Vec<(Interp, u64)> = psi.support().collect();
+        // Single pruned pass over μ̃'s support; each minimizer keeps its
+        // μ̃-weight.
+        let (_, min) = select_min(mu.n_vars(), mu.support().map(|(i, _)| i), |i, cap| {
+            wdist_pruned(&support, &prof, i, cap.copied())
+        });
+        WeightedKb::from_weights(mu.n_vars(), min.iter().map(|i| (i, mu.weight(i))))
     }
 }
 
@@ -101,21 +97,18 @@ impl<K: Ord, F: Fn(&WeightedKb, Interp) -> K> WeightedChangeOperator for Weighte
         if !psi.is_satisfiable() {
             return WeightedKb::unsatisfiable(mu.n_vars());
         }
-        let best = mu.support().map(|(i, _)| (self.rank)(psi, i)).min();
-        let best = match best {
-            Some(b) => b,
-            None => return WeightedKb::unsatisfiable(mu.n_vars()),
-        };
-        WeightedKb::from_weights(
-            mu.n_vars(),
-            mu.support().filter(|&(i, _)| (self.rank)(psi, i) == best),
-        )
+        // Single pass: rank invoked once per support member.
+        let (_, min) = select_min(mu.n_vars(), mu.support().map(|(i, _)| i), |i, _| {
+            Some((self.rank)(psi, i))
+        });
+        WeightedKb::from_weights(mu.n_vars(), min.iter().map(|i| (i, mu.weight(i))))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::distance::wdist;
 
     fn i(bits: u64) -> Interp {
         Interp(bits)

@@ -45,7 +45,7 @@ pub use eval::eval;
 pub use formof::form_of;
 pub use interp::{Interp, Var, MAX_VARS};
 pub use minimize::{minimal_dnf, minimize_formula};
-pub use models::ModelSet;
+pub use models::{all_interps, ModelSet, ENUM_LIMIT};
 pub use nnf::to_nnf;
 pub use parser::parse;
 pub use sig::Sig;

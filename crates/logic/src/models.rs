@@ -57,14 +57,26 @@ impl ModelSet {
     /// # Panics
     /// Panics if `n_vars > ENUM_LIMIT`.
     pub fn all(n_vars: u32) -> ModelSet {
-        assert!(
-            n_vars <= ENUM_LIMIT,
-            "refusing to materialize 2^{n_vars} interpretations"
-        );
-        ModelSet {
-            n_vars,
-            models: (0..1u64 << n_vars).map(Interp).collect(),
+        Self::try_all(n_vars).unwrap()
+    }
+
+    /// Fallible version of [`ModelSet::all`]: `Err` instead of panicking
+    /// when materializing `2^n` interpretations would exceed [`ENUM_LIMIT`].
+    ///
+    /// Callers that only need to *scan* the universe should prefer
+    /// [`all_interps`], which streams the interpretations without
+    /// allocating.
+    pub fn try_all(n_vars: u32) -> Result<ModelSet, LogicError> {
+        if n_vars > ENUM_LIMIT {
+            return Err(LogicError::TooManyVars {
+                requested: n_vars as usize,
+                limit: ENUM_LIMIT as usize,
+            });
         }
+        Ok(ModelSet {
+            n_vars,
+            models: all_interps(n_vars).collect(),
+        })
     }
 
     /// The singleton model set `{i}`.
@@ -250,6 +262,25 @@ impl ModelSet {
     }
 }
 
+/// Stream all `2^n` interpretations in increasing bitmask order without
+/// materializing them — the universe `𝓜` as an iterator.
+///
+/// Unlike [`ModelSet::all`] this allocates nothing, so scans over the whole
+/// universe (e.g. arbitration's candidate pool) keep peak memory
+/// proportional to the *answer*, not to `2^n`. There is deliberately no
+/// `ENUM_LIMIT` check here: the cost of a streaming scan is the caller's
+/// time budget, not this crate's memory.
+///
+/// # Panics
+/// Panics if `n_vars ≥ 64` (the interpretation width).
+pub fn all_interps(n_vars: u32) -> impl Iterator<Item = Interp> {
+    assert!(
+        (n_vars as usize) < MAX_VARS,
+        "cannot stream 2^{n_vars} interpretations as u64 bitmasks"
+    );
+    (0..1u64 << n_vars).map(Interp)
+}
+
 impl<'a> IntoIterator for &'a ModelSet {
     type Item = Interp;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, Interp>>;
@@ -304,6 +335,25 @@ mod tests {
         assert_eq!(ModelSet::all(3).len(), 8);
         assert!(ModelSet::empty(3).is_empty());
         assert_eq!(ModelSet::all(0).len(), 1); // the empty interpretation
+    }
+
+    #[test]
+    fn try_all_respects_enum_limit() {
+        assert_eq!(ModelSet::try_all(3).unwrap(), ModelSet::all(3));
+        assert!(matches!(
+            ModelSet::try_all(ENUM_LIMIT + 1),
+            Err(LogicError::TooManyVars { .. })
+        ));
+    }
+
+    #[test]
+    fn all_interps_streams_the_universe_in_order() {
+        let streamed: Vec<Interp> = all_interps(3).collect();
+        assert_eq!(streamed, ModelSet::all(3).as_slice());
+        assert_eq!(all_interps(0).count(), 1);
+        // Streams past the materialization limit without allocating.
+        let mut wide = all_interps(ENUM_LIMIT + 8);
+        assert_eq!(wide.next(), Some(Interp(0)));
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Randomized property tests for the logic kernel's own invariants, at the
+//! crate boundary (the workspace-level property tests cover cross-crate
+//! pipelines). Hand-rolled seeded generators instead of proptest — the
+//! build environment is offline, so shrinking frameworks are out of reach;
+//! failures print the seed/case index for replay.
+
+use arbitrex_logic::{
+    eval, form_of, parse, simplify, to_cnf, to_dnf, to_nnf, tseitin, Formula, Interp, ModelSet,
+    Sig, Var,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const N: u32 = 4;
+const CASES: usize = 256;
+
+/// A random formula over `N` variables with `⊤`/`⊥` leaves included —
+/// mirrors the old proptest strategy (depth ≤ 5, fan-in 2–3).
+fn gen_formula<R: Rng + ?Sized>(rng: &mut R, depth: u32) -> Formula {
+    if depth == 0 || rng.random_bool(0.25) {
+        return match rng.random_range(0..4u8) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::Var(Var(rng.random_range(0..N))),
+        };
+    }
+    match rng.random_range(0..6u8) {
+        0 => Formula::not(gen_formula(rng, depth - 1)),
+        1 => {
+            let k = rng.random_range(2..=3usize);
+            Formula::and((0..k).map(|_| gen_formula(rng, depth - 1)))
+        }
+        2 => {
+            let k = rng.random_range(2..=3usize);
+            Formula::or((0..k).map(|_| gen_formula(rng, depth - 1)))
+        }
+        3 => Formula::implies(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+        4 => Formula::iff(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+        _ => Formula::xor(gen_formula(rng, depth - 1), gen_formula(rng, depth - 1)),
+    }
+}
+
+#[test]
+fn all_normal_forms_preserve_model_sets() {
+    let mut rng = StdRng::seed_from_u64(0xA11F);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 4);
+        let reference = ModelSet::of_formula(&f, N);
+        assert_eq!(
+            ModelSet::of_formula(&to_nnf(&f), N),
+            reference,
+            "nnf changed semantics, case {case}"
+        );
+        assert_eq!(
+            ModelSet::of_formula(&simplify(&f), N),
+            reference,
+            "simplify changed semantics, case {case}"
+        );
+        // Distribution-based CNF/DNF can blow up, but at depth ≤ 4 over 4
+        // vars they stay manageable.
+        assert_eq!(
+            ModelSet::of_formula(&to_cnf(&f), N),
+            reference,
+            "cnf changed semantics, case {case}"
+        );
+        assert_eq!(
+            ModelSet::of_formula(&to_dnf(&f), N),
+            reference,
+            "dnf changed semantics, case {case}"
+        );
+    }
+}
+
+#[test]
+fn simplify_is_idempotent_and_never_grows() {
+    let mut rng = StdRng::seed_from_u64(0x51D3);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
+        let once = simplify(&f);
+        assert_eq!(
+            simplify(&once),
+            once,
+            "simplify not idempotent, case {case}"
+        );
+        assert!(
+            once.size() <= f.size(),
+            "simplify grew formula, case {case}"
+        );
+    }
+}
+
+#[test]
+fn tseitin_is_equisatisfiable() {
+    let mut rng = StdRng::seed_from_u64(0x7531);
+    let mut checked = 0;
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 3);
+        let cnf = tseitin(&f, N);
+        let total = cnf.n_vars;
+        // Brute-force the CNF over original + auxiliary variables; skip
+        // cases whose auxiliary count makes that too wide.
+        if total > 16 {
+            continue;
+        }
+        checked += 1;
+        let direct_sat = !ModelSet::of_formula(&f, N).is_empty();
+        let cnf_sat = (0..1u64 << total).any(|bits| {
+            let assignment: Vec<bool> = (0..total).map(|i| bits >> i & 1 == 1).collect();
+            cnf.eval(&assignment)
+        });
+        assert_eq!(
+            cnf_sat, direct_sat,
+            "equisatisfiability broken, case {case}"
+        );
+    }
+    assert!(
+        checked > CASES / 4,
+        "too few tseitin cases in budget: {checked}"
+    );
+}
+
+#[test]
+fn display_parse_roundtrip_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xD15B);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 5);
+        let sig = Sig::with_anon_vars(N as usize);
+        let printed = f.display(&sig).to_string();
+        let mut sig2 = sig.clone();
+        let reparsed = parse(&mut sig2, &printed).unwrap();
+        assert_eq!(
+            ModelSet::of_formula(&reparsed, N),
+            ModelSet::of_formula(&f, N),
+            "pretty-printing changed semantics of {printed}, case {case}"
+        );
+    }
+}
+
+#[test]
+fn substitution_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5B57);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 4);
+        let v = Var(rng.random_range(0..N));
+        let value: bool = rng.random();
+        // f[v := ⊤/⊥] evaluated at any I equals f at I with v forced.
+        let replacement = if value { Formula::True } else { Formula::False };
+        let g = f.substitute(v, &replacement);
+        for bits in 0..(1u64 << N) {
+            let i = Interp(bits);
+            let forced = i.with(v, value);
+            assert_eq!(
+                eval(&g, i),
+                eval(&f, forced),
+                "substitution broken, case {case}"
+            );
+        }
+    }
+}
+
+#[test]
+fn form_of_is_left_inverse_of_model_enumeration() {
+    let mut rng = StdRng::seed_from_u64(0xF02);
+    for _ in 0..CASES {
+        let mask: u16 = rng.random();
+        let models: Vec<Interp> = (0..16u64)
+            .filter(|b| mask >> b & 1 == 1)
+            .map(Interp)
+            .collect();
+        let f = form_of(N, models.iter().copied());
+        assert_eq!(ModelSet::of_formula(&f, N), ModelSet::new(N, models));
+    }
+}
+
+#[test]
+fn eval_respects_connective_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    for case in 0..CASES {
+        let f = gen_formula(&mut rng, 4);
+        let g = gen_formula(&mut rng, 4);
+        let i = Interp(rng.random_range(0..16u64));
+        assert_eq!(
+            eval(&Formula::and2(f.clone(), g.clone()), i),
+            eval(&f, i) && eval(&g, i),
+            "and, case {case}"
+        );
+        assert_eq!(
+            eval(&Formula::or2(f.clone(), g.clone()), i),
+            eval(&f, i) || eval(&g, i),
+            "or, case {case}"
+        );
+        assert_eq!(
+            eval(&Formula::implies(f.clone(), g.clone()), i),
+            !eval(&f, i) || eval(&g, i),
+            "implies, case {case}"
+        );
+        assert_eq!(
+            eval(&Formula::iff(f.clone(), g.clone()), i),
+            eval(&f, i) == eval(&g, i),
+            "iff, case {case}"
+        );
+        assert_eq!(
+            eval(&Formula::xor(f.clone(), g.clone()), i),
+            eval(&f, i) != eval(&g, i),
+            "xor, case {case}"
+        );
+        assert_eq!(
+            eval(&Formula::not(f.clone()), i),
+            !eval(&f, i),
+            "not, case {case}"
+        );
+    }
+}

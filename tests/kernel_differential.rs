@@ -1,0 +1,220 @@
+//! Differential tests: every operator routed through the fast-path
+//! selection kernel must agree exactly with its naive, specification-shaped
+//! oracle in `arbitrex_core::kernel::naive` — on random inputs, on the
+//! empty-ψ/empty-μ edges, and on weighted knowledge bases.
+
+use arbitrex_core::kernel::naive;
+use arbitrex_core::{
+    arbitrate, warbitrate, ChangeOperator, DalalRevision, ForbusUpdate, GMaxFitting,
+    LexOdistFitting, OdistFitting, SumFitting, WdistFitting, WeightedChangeOperator, WeightedKb,
+    WinslettUpdate,
+};
+use arbitrex_logic::{Interp, ModelSet};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const CASES: usize = 400;
+
+/// A random model set over `n` variables; empty with probability ~1/8.
+fn gen_model_set<R: Rng + ?Sized>(rng: &mut R, n: u32) -> ModelSet {
+    if rng.random_bool(0.125) {
+        return ModelSet::empty(n);
+    }
+    let count = rng.random_range(1..=(1usize << n.min(4)));
+    ModelSet::new(
+        n,
+        (0..count).map(|_| Interp(rng.random_range(0..1u64 << n))),
+    )
+}
+
+fn gen_weighted_kb<R: Rng + ?Sized>(rng: &mut R, n: u32) -> WeightedKb {
+    if rng.random_bool(0.125) {
+        return WeightedKb::unsatisfiable(n);
+    }
+    let count = rng.random_range(1..=6usize);
+    WeightedKb::from_weights(
+        n,
+        (0..count).map(|_| {
+            (
+                Interp(rng.random_range(0..1u64 << n)),
+                rng.random_range(1..40u64),
+            )
+        }),
+    )
+}
+
+#[test]
+fn odist_fitting_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F1);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            OdistFitting.apply(&psi, &mu),
+            naive::odist_fitting(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn lex_odist_fitting_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F2);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            LexOdistFitting.apply(&psi, &mu),
+            naive::lex_odist_fitting(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn sum_fitting_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F3);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            SumFitting.apply(&psi, &mu),
+            naive::sum_fitting(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn gmax_fitting_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F4);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            GMaxFitting.apply(&psi, &mu),
+            naive::gmax_fitting(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn dalal_revision_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F5);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            DalalRevision.apply(&psi, &mu),
+            naive::dalal_revision(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn winslett_update_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F6);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            WinslettUpdate.apply(&psi, &mu),
+            naive::winslett_update(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn forbus_update_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F7);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let mu = gen_model_set(&mut rng, n);
+        assert_eq!(
+            ForbusUpdate.apply(&psi, &mu),
+            naive::forbus_update(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn wdist_fitting_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F8);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_weighted_kb(&mut rng, n);
+        let mu = gen_weighted_kb(&mut rng, n);
+        assert_eq!(
+            WdistFitting.apply(&psi, &mu),
+            naive::wdist_fitting(&psi, &mu),
+            "case {case}: psi={psi:?} mu={mu:?}"
+        );
+    }
+}
+
+#[test]
+fn streaming_arbitration_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1F9);
+    for case in 0..CASES {
+        let n = rng.random_range(1..=10u32);
+        let psi = gen_model_set(&mut rng, n);
+        let phi = gen_model_set(&mut rng, n);
+        assert_eq!(
+            arbitrate(&psi, &phi),
+            naive::arbitrate(&psi, &phi),
+            "case {case}: psi={psi:?} phi={phi:?}"
+        );
+    }
+}
+
+#[test]
+fn streaming_weighted_arbitration_matches_naive_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xD1FA);
+    for case in 0..CASES / 2 {
+        let n = rng.random_range(1..=8u32);
+        let psi = gen_weighted_kb(&mut rng, n);
+        let phi = gen_weighted_kb(&mut rng, n);
+        assert_eq!(
+            warbitrate(&psi, &phi),
+            naive::warbitrate(&psi, &phi),
+            "case {case}: psi={psi:?} phi={phi:?}"
+        );
+    }
+}
+
+#[test]
+fn edge_cases_agree_with_oracles() {
+    for n in [1u32, 3, 6] {
+        let empty = ModelSet::empty(n);
+        let full = ModelSet::all(n);
+        let single = ModelSet::new(n, [Interp(0)]);
+        for psi in [&empty, &full, &single] {
+            for mu in [&empty, &full, &single] {
+                assert_eq!(OdistFitting.apply(psi, mu), naive::odist_fitting(psi, mu));
+                assert_eq!(GMaxFitting.apply(psi, mu), naive::gmax_fitting(psi, mu));
+                assert_eq!(SumFitting.apply(psi, mu), naive::sum_fitting(psi, mu));
+                assert_eq!(DalalRevision.apply(psi, mu), naive::dalal_revision(psi, mu));
+                assert_eq!(ForbusUpdate.apply(psi, mu), naive::forbus_update(psi, mu));
+                assert_eq!(arbitrate(psi, mu), naive::arbitrate(psi, mu));
+            }
+        }
+        let wempty = WeightedKb::unsatisfiable(n);
+        let wsingle = WeightedKb::from_weights(n, [(Interp(0), 7)]);
+        for psi in [&wempty, &wsingle] {
+            for mu in [&wempty, &wsingle] {
+                assert_eq!(WdistFitting.apply(psi, mu), naive::wdist_fitting(psi, mu));
+                assert_eq!(warbitrate(psi, mu), naive::warbitrate(psi, mu));
+            }
+        }
+    }
+}
