@@ -1,8 +1,13 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E10) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E13) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
+//!
+//! E13 compares two builds; the telemetry-off leg is
+//! `cargo run --release -p arbitrex-bench --no-default-features \
+//!  --features parallel --bin experiments e13` (keep `parallel` on so only
+//! the counters differ between the legs).
 
 use arbitrex_bench::{random_kcnf_pairs, random_pairs, wide_constraint, wide_fact_base};
 use arbitrex_core::arbitration::arbitrate;
@@ -66,6 +71,9 @@ fn main() {
     }
     if want("e12") {
         e12_kernel();
+    }
+    if want("e13") {
+        e13_overhead();
     }
 }
 
@@ -569,9 +577,10 @@ fn e10_merging() {
 ///
 /// Times the retained naive implementations against the pruned streaming
 /// kernel for arbitration, odist fitting over `μ = ⊤`, and Dalal
-/// revision, then writes the measurements to `BENCH_PR1.json` (a
-/// machine-readable record of the speedups this optimization pass
-/// delivers).
+/// revision, profiles one pass of each pruned workload through the
+/// telemetry layer, and writes timings + counter columns to
+/// `BENCH_PR2.json` (`BENCH_PR1.json` is kept as the pre-telemetry
+/// baseline).
 fn e12_kernel() {
     use arbitrex_core::kernel::naive;
     header(
@@ -592,19 +601,62 @@ fn e12_kernel() {
         runs[reps / 2]
     }
 
+    /// Counter columns recorded per row; every key comes from the kernel
+    /// section of the telemetry snapshot (see OBSERVABILITY.md).
+    const COUNTER_COLS: [&str; 6] = [
+        "candidates_scanned",
+        "candidates_pruned",
+        "profile_prune_hits",
+        "bnb_nodes_opened",
+        "bnb_nodes_cut",
+        "parallel_shards",
+    ];
     struct Row {
         op: &'static str,
         n: u32,
         naive_us: f64,
         pruned_us: f64,
+        counters: Vec<u64>,
+    }
+    // One profiled (untimed) pass over the pruned workload; the timed reps
+    // run without the reset/snapshot bracketing.
+    fn profile_pass(mut f: impl FnMut()) -> Vec<u64> {
+        let (_, snap) = arbitrex_core::telemetry::capture(&mut f);
+        COUNTER_COLS
+            .iter()
+            .map(|c| snap.get("kernel", c).unwrap_or(0))
+            .collect()
     }
     let mut rows: Vec<Row> = Vec::new();
-    let mut t = Table::new(["operator", "n_vars", "naive (µs)", "pruned (µs)", "speedup"]);
+    let mut t = Table::new([
+        "operator",
+        "n_vars",
+        "naive (µs)",
+        "pruned (µs)",
+        "speedup",
+        "scanned",
+        "bound-pruned",
+    ]);
     for n in [10u32, 12, 14, 16] {
         let wl = random_pairs(n, 8, 4, 12);
         let reps = if n >= 16 { 3 } else { 5 };
         let full = ModelSet::all(n);
-        let measured: [(&'static str, f64, f64); 3] = [
+        let run_arb = || {
+            for (psi, phi) in &wl.pairs {
+                std::hint::black_box(arbitrate(psi, phi));
+            }
+        };
+        let run_odist = || {
+            for (psi, _) in &wl.pairs {
+                std::hint::black_box(OdistFitting.apply_universe(psi).unwrap());
+            }
+        };
+        let run_dalal = || {
+            for (psi, _) in &wl.pairs {
+                std::hint::black_box(DalalRevision.apply(psi, &full));
+            }
+        };
+        let measured: [(&'static str, f64, f64, Vec<u64>); 3] = [
             (
                 "arbitration",
                 time_runs(reps, || {
@@ -612,11 +664,8 @@ fn e12_kernel() {
                         std::hint::black_box(naive::arbitrate(psi, phi));
                     }
                 }),
-                time_runs(reps, || {
-                    for (psi, phi) in &wl.pairs {
-                        std::hint::black_box(arbitrate(psi, phi));
-                    }
-                }),
+                time_runs(reps, run_arb),
+                profile_pass(run_arb),
             ),
             (
                 "odist-fitting-vs-top",
@@ -625,11 +674,8 @@ fn e12_kernel() {
                         std::hint::black_box(naive::odist_fitting(psi, &full));
                     }
                 }),
-                time_runs(reps, || {
-                    for (psi, _) in &wl.pairs {
-                        std::hint::black_box(OdistFitting.apply_universe(psi).unwrap());
-                    }
-                }),
+                time_runs(reps, run_odist),
+                profile_pass(run_odist),
             ),
             (
                 "dalal-revision-vs-top",
@@ -638,51 +684,68 @@ fn e12_kernel() {
                         std::hint::black_box(naive::dalal_revision(psi, &full));
                     }
                 }),
-                time_runs(reps, || {
-                    for (psi, _) in &wl.pairs {
-                        std::hint::black_box(DalalRevision.apply(psi, &full));
-                    }
-                }),
+                time_runs(reps, run_dalal),
+                profile_pass(run_dalal),
             ),
         ];
-        for (op, naive_us, pruned_us) in measured {
+        for (op, naive_us, pruned_us, counters) in measured {
+            // scanned = explicit candidate evaluations; bound-pruned =
+            // popcount-profile rejections + B&B subtree cuts.
+            let scanned = counters[0];
+            let bound_pruned = counters[2] + counters[4];
             t.row([
                 op.to_string(),
                 n.to_string(),
                 format!("{naive_us:.1}"),
                 format!("{pruned_us:.1}"),
                 format!("{:.1}x", naive_us / pruned_us),
+                scanned.to_string(),
+                bound_pruned.to_string(),
             ]);
             rows.push(Row {
                 op,
                 n,
                 naive_us,
                 pruned_us,
+                counters,
             });
         }
     }
     println!("{}", t.render());
+    if !arbitrex_core::telemetry::enabled() {
+        println!("(telemetry compiled out — counter columns read 0)");
+    }
 
     // Machine-readable record (hand-rendered: the workspace has no JSON
-    // dependency).
+    // dependency). BENCH_PR1.json is the pre-telemetry baseline; this PR
+    // writes the counter-augmented BENCH_PR2.json next to it.
     let mut json = String::from("{\n  \"experiment\": \"e12-kernel-speedup\",\n");
     json.push_str("  \"workload\": \"random_pairs(n, max_models=8, count=4, seed=12), median of repeated runs\",\n");
-    json.push_str("  \"unit\": \"microseconds per workload pass\",\n  \"rows\": [\n");
+    json.push_str("  \"unit\": \"microseconds per workload pass\",\n");
+    json.push_str(&format!(
+        "  \"telemetry_enabled\": {},\n  \"rows\": [\n",
+        arbitrex_core::telemetry::enabled()
+    ));
     for (k, r) in rows.iter().enumerate() {
+        let mut counters = String::new();
+        for (name, v) in COUNTER_COLS.iter().zip(&r.counters) {
+            counters.push_str(&format!(", \"{name}\": {v}"));
+        }
         json.push_str(&format!(
-            "    {{\"operator\": \"{}\", \"n_vars\": {}, \"naive_us\": {:.1}, \"pruned_us\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"operator\": \"{}\", \"n_vars\": {}, \"naive_us\": {:.1}, \"pruned_us\": {:.1}, \"speedup\": {:.2}{}}}{}\n",
             r.op,
             r.n,
             r.naive_us,
             r.pruned_us,
             r.naive_us / r.pruned_us,
+            counters,
             if k + 1 == rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_PR1.json", &json) {
-        Ok(()) => println!("wrote BENCH_PR1.json ({} rows)", rows.len()),
-        Err(e) => println!("could not write BENCH_PR1.json: {e}"),
+    match std::fs::write("BENCH_PR2.json", &json) {
+        Ok(()) => println!("wrote BENCH_PR2.json ({} rows)", rows.len()),
+        Err(e) => println!("could not write BENCH_PR2.json: {e}"),
     }
     let arb14 = rows
         .iter()
@@ -690,6 +753,63 @@ fn e12_kernel() {
         .map(|r| r.naive_us / r.pruned_us)
         .unwrap_or(0.0);
     println!("arbitration n=14 speedup: {arb14:.1}x (acceptance floor: 4x)\n");
+}
+
+/// E13 — telemetry overhead.
+///
+/// Times the instrumented hot paths in whichever build is running and
+/// reports whether the counters were compiled in. EXPERIMENTS.md pairs the
+/// output of the default build (telemetry on) with that of
+/// `--no-default-features --features parallel` (telemetry off, parallel
+/// kept on so only the counters differ) against the BENCH_PR1.json
+/// baseline.
+fn e13_overhead() {
+    header(
+        "E13",
+        "telemetry overhead",
+        "observability pass: counters must be ~free when on, free when off",
+    );
+    fn median_us(reps: usize, mut f: impl FnMut()) -> f64 {
+        let mut runs: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        runs[reps / 2]
+    }
+    println!(
+        "build: telemetry {}\n",
+        if arbitrex_core::telemetry::enabled() {
+            "ENABLED (default features)"
+        } else {
+            "COMPILED OUT (--no-default-features --features parallel)"
+        }
+    );
+    let mut t = Table::new(["n_vars", "arbitration (µs)", "odist-fitting-vs-top (µs)"]);
+    for n in [12u32, 14, 16] {
+        // Same workload/seed as E12 so rows are comparable across builds
+        // and against the BENCH_PR1.json baseline.
+        let wl = random_pairs(n, 8, 4, 12);
+        let reps = if n >= 16 { 5 } else { 9 };
+        let arb = median_us(reps, || {
+            for (psi, phi) in &wl.pairs {
+                std::hint::black_box(arbitrate(psi, phi));
+            }
+        });
+        let odist = median_us(reps, || {
+            for (psi, _) in &wl.pairs {
+                std::hint::black_box(OdistFitting.apply_universe(psi).unwrap());
+            }
+        });
+        t.row([n.to_string(), format!("{arb:.1}"), format!("{odist:.1}")]);
+    }
+    println!("{}", t.render());
+    println!("acceptance: telemetry-off must sit within 2% of the PR 1 baseline;");
+    println!("telemetry-on should stay within a few percent (counters are batched");
+    println!("into locals and flushed once per search).\n");
 }
 
 /// E11 — iterated change dynamics (reproduction extension).

@@ -273,14 +273,57 @@ pub fn help() -> String {
          \x20 arbitrex audit [operator...]                postulate matrix (R/U/A)\n\
          \x20 arbitrex iterate <operator> \"<psi>\" \"<mu>\"  long-run dynamics\n\
          \n\
+         flags:\n\
+         \x20 --stats        append operator telemetry counters (text)\n\
+         \x20 --stats-json   append operator telemetry counters (JSON)\n\
+         \x20\x20\x20\x20 counters read 0 when built without the `telemetry` feature;\n\
+         \x20\x20\x20\x20 see OBSERVABILITY.md for every counter's definition\n\
+         \n\
          operators: {}\n\
          formulas:  atoms, ! & | ^ -> <->, true/false, parentheses\n",
         OPERATOR_NAMES.join(", ")
     )
 }
 
-/// Dispatch a full argument vector (without the program name).
+/// Dispatch a full argument vector (without the program name), handling
+/// the global `--stats` / `--stats-json` flags: the command's output is
+/// followed by a telemetry profile of exactly that command's work.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut stats_text = false;
+    let mut stats_json = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| match a.as_str() {
+            "--stats" => {
+                stats_text = true;
+                false
+            }
+            "--stats-json" => {
+                stats_json = true;
+                false
+            }
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    if !(stats_text || stats_json) {
+        return dispatch(&args);
+    }
+    let (result, snapshot) = arbitrex_core::telemetry::capture(|| dispatch(&args));
+    result.map(|mut out| {
+        if stats_text {
+            out.push_str(&snapshot.render_text());
+        }
+        if stats_json {
+            out.push_str(&snapshot.to_json());
+            out.push('\n');
+        }
+        out
+    })
+}
+
+/// The flagless command dispatcher behind [`run`].
+fn dispatch(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(help()),
         Some("change") => match args {
@@ -445,5 +488,37 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("strategy: majority"));
+    }
+
+    #[test]
+    fn stats_flag_appends_text_profile() {
+        let out = run(&sv(&["arbitrate", "A & B", "!A & !B", "--stats"])).unwrap();
+        assert!(out.contains("telemetry"), "{out}");
+        assert!(out.contains("kernel"), "{out}");
+    }
+
+    #[test]
+    fn stats_json_flag_appends_json_profile() {
+        let out = run(&sv(&["arbitrate", "A & B", "!A & !B", "--stats-json"])).unwrap();
+        assert!(out.contains("\"telemetry_enabled\""), "{out}");
+        assert!(out.contains("\"candidates_scanned\""), "{out}");
+        if arbitrex_core::telemetry::enabled() {
+            // The arbitration above must have scanned ψ ∨ φ's models.
+            assert!(!out.contains("\"candidates_scanned\": 0"), "{out}");
+        }
+    }
+
+    #[test]
+    fn stats_flag_position_does_not_matter() {
+        let a = run(&sv(&["--stats-json", "models", "A | B"])).unwrap();
+        let b = run(&sv(&["models", "A | B", "--stats-json"])).unwrap();
+        assert!(a.contains("\"telemetry_enabled\""));
+        assert!(b.contains("\"telemetry_enabled\""));
+    }
+
+    #[test]
+    fn no_stats_flag_means_no_profile() {
+        let out = run(&sv(&["models", "A"])).unwrap();
+        assert!(!out.contains("telemetry_enabled"), "{out}");
     }
 }

@@ -118,12 +118,14 @@ pub trait WeightedUniverseFitting: WeightedChangeOperator {
 
 impl WeightedUniverseFitting for WdistFitting {
     fn apply_universe(&self, psi: &WeightedKb) -> Result<WeightedKb, CoreError> {
+        crate::telemetry::WDIST_APPLICATIONS.incr();
         let n = psi.n_vars();
         if !psi.is_satisfiable() {
             CoreError::check_enum_limit(n)?;
             return Ok(WeightedKb::unsatisfiable(n));
         }
         let (models, weights): (Vec<Interp>, Vec<u64>) = psi.support().unzip();
+        crate::telemetry::WSUPPORT_SCANNED.add(models.len() as u64);
         let (_, min) = select_min_universe_mono(n, &models, |d: &[u32]| {
             d.iter()
                 .zip(&weights)
@@ -202,13 +204,54 @@ impl<F: UniverseFitting> ChangeOperator for Arbitration<F> {
 ///
 /// Panics past [`arbitrex_logic::ENUM_LIMIT`]; use [`try_arbitrate`] to
 /// handle wide signatures gracefully.
+///
+/// Example 3.1 as an arbitration `ψ Δ μ = (ψ ∨ μ) ▷ ⊤`: the three
+/// teachers and the two offers arbitrate to the same consensus the
+/// fitting picks, here found by searching the whole universe:
+///
+/// ```
+/// use arbitrex_core::arbitrate;
+/// use arbitrex_logic::{Interp, ModelSet};
+/// // S = bit0, D = bit1, Q = bit2.
+/// let psi = ModelSet::new(3, [Interp(0b001), Interp(0b010), Interp(0b111)]);
+/// let phi = ModelSet::new(3, [Interp(0b010), Interp(0b011)]);
+/// assert_eq!(arbitrate(&psi, &phi).as_singleton(), Some(Interp(0b011)));
+/// assert_eq!(arbitrate(&phi, &psi), arbitrate(&psi, &phi)); // commutative
+/// ```
 pub fn arbitrate(psi: &ModelSet, phi: &ModelSet) -> ModelSet {
     Arbitration::default().apply(psi, phi)
 }
 
 /// [`arbitrate`], returning a typed error past the enumeration limit.
+///
+/// ```
+/// use arbitrex_core::{try_arbitrate, CoreError};
+/// use arbitrex_logic::{Interp, ModelSet, ENUM_LIMIT};
+/// // Example 3.1 (S = bit0, D = bit1, Q = bit2): consensus is {S,D}.
+/// let psi = ModelSet::new(3, [Interp(0b001), Interp(0b010), Interp(0b111)]);
+/// let phi = ModelSet::new(3, [Interp(0b010), Interp(0b011)]);
+/// let r = try_arbitrate(&psi, &phi).unwrap();
+/// assert_eq!(r.as_singleton(), Some(Interp(0b011)));
+/// // Past the enumeration limit the same call reports a typed error.
+/// let wide = ModelSet::new(ENUM_LIMIT + 1, [Interp(0)]);
+/// assert!(matches!(
+///     try_arbitrate(&wide, &wide),
+///     Err(CoreError::EnumLimitExceeded { .. })
+/// ));
+/// ```
 pub fn try_arbitrate(psi: &ModelSet, phi: &ModelSet) -> Result<ModelSet, CoreError> {
     Arbitration::default().try_apply(psi, phi)
+}
+
+/// [`try_arbitrate`] plus the per-call [`TelemetrySnapshot`] it produced
+/// (all zeros when the `telemetry` feature is off). Resets the global
+/// counters first — see [`crate::telemetry::capture`] for the concurrency
+/// caveat.
+pub fn try_arbitrate_with_stats(
+    psi: &ModelSet,
+    phi: &ModelSet,
+) -> (Result<ModelSet, CoreError>, crate::TelemetrySnapshot) {
+    crate::telemetry::capture(|| try_arbitrate(psi, phi))
 }
 
 /// A folk alternative for comparison: symmetrized revision
@@ -291,13 +334,60 @@ impl<F: WeightedUniverseFitting> WeightedChangeOperator for WeightedArbitration<
 ///
 /// Panics past [`arbitrex_logic::ENUM_LIMIT`]; use [`try_warbitrate`] to
 /// handle wide signatures gracefully.
+///
+/// Example 4.1 as a weighted arbitration: the 35 students' weighted theory
+/// joined with the unit-weight offer still singles out `{D}` — the
+/// 20-strong Datalog majority outvotes the compromise `{S,D}`:
+///
+/// ```
+/// use arbitrex_core::{warbitrate, WeightedKb};
+/// use arbitrex_logic::Interp;
+/// // S = bit0, D = bit1, Q = bit2.
+/// let psi = WeightedKb::from_weights(3, [
+///     (Interp(0b001), 10), // SQL only
+///     (Interp(0b010), 20), // Datalog only
+///     (Interp(0b111), 5),  // all three
+/// ]);
+/// let offer = WeightedKb::from_weights(3, [(Interp(0b010), 1), (Interp(0b011), 1)]);
+/// let consensus = warbitrate(&psi, &offer);
+/// assert_eq!(consensus.support_set().as_singleton(), Some(Interp(0b010)));
+/// ```
 pub fn warbitrate(psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
     WeightedArbitration::default().apply(psi, phi)
 }
 
 /// [`warbitrate`], returning a typed error past the enumeration limit.
+///
+/// ```
+/// use arbitrex_core::{try_warbitrate, CoreError, WeightedKb};
+/// use arbitrex_logic::{Interp, ENUM_LIMIT};
+/// // The Example 4.1 outcome, via the fallible path.
+/// let psi = WeightedKb::from_weights(3, [
+///     (Interp(0b001), 10), (Interp(0b010), 20), (Interp(0b111), 5),
+/// ]);
+/// let offer = WeightedKb::from_weights(3, [(Interp(0b010), 1), (Interp(0b011), 1)]);
+/// let r = try_warbitrate(&psi, &offer).unwrap();
+/// assert_eq!(r.support_set().as_singleton(), Some(Interp(0b010)));
+/// // Past the enumeration limit the same call reports a typed error.
+/// let wide = WeightedKb::from_weights(ENUM_LIMIT + 1, [(Interp(0), 1)]);
+/// assert!(matches!(
+///     try_warbitrate(&wide, &wide),
+///     Err(CoreError::EnumLimitExceeded { .. })
+/// ));
+/// ```
 pub fn try_warbitrate(psi: &WeightedKb, phi: &WeightedKb) -> Result<WeightedKb, CoreError> {
     WeightedArbitration::default().try_apply(psi, phi)
+}
+
+/// [`try_warbitrate`] plus the per-call [`TelemetrySnapshot`] it produced
+/// (all zeros when the `telemetry` feature is off). Resets the global
+/// counters first — see [`crate::telemetry::capture`] for the concurrency
+/// caveat.
+pub fn try_warbitrate_with_stats(
+    psi: &WeightedKb,
+    phi: &WeightedKb,
+) -> (Result<WeightedKb, CoreError>, crate::TelemetrySnapshot) {
+    crate::telemetry::capture(|| try_warbitrate(psi, phi))
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@
 //! workspace root checks operator-level agreement on random inputs.
 
 use crate::error::CoreError;
+use crate::telemetry;
 use crate::weighted::WeightedKb;
 use arbitrex_logic::{all_interps, Interp, ModelSet};
 
@@ -178,6 +179,7 @@ impl WeightedPopProfile {
 pub fn odist_pruned(psi: &[Interp], prof: &PopProfile, i: Interp, cap: Option<u32>) -> Option<u32> {
     if let Some(cap) = cap {
         if prof.odist_lower_bound(i) > cap {
+            telemetry::PROFILE_PRUNE_HITS.incr();
             return None;
         }
     }
@@ -209,6 +211,7 @@ pub fn min_dist_pruned(
     let lb = prof.min_dist_lower_bound(i);
     if let Some(cap) = cap {
         if lb > cap {
+            telemetry::PROFILE_PRUNE_HITS.incr();
             return None;
         }
     }
@@ -236,6 +239,7 @@ pub fn sum_dist_pruned(
 ) -> Option<u64> {
     if let Some(cap) = cap {
         if prof.sum_lower_bound(i) > cap {
+            telemetry::PROFILE_PRUNE_HITS.incr();
             return None;
         }
     }
@@ -262,6 +266,7 @@ pub fn wdist_pruned(
 ) -> Option<u128> {
     if let Some(cap) = cap {
         if prof.wdist_lower_bound(i) > cap {
+            telemetry::WPROFILE_PRUNE_HITS.incr();
             return None;
         }
     }
@@ -294,6 +299,7 @@ pub fn gmax_fill_pruned(
     let cap_head = cap.map(|c| c[0]);
     if let Some(ch) = cap_head {
         if prof.odist_lower_bound(i) > ch {
+            telemetry::PROFILE_PRUNE_HITS.incr();
             return false;
         }
     }
@@ -331,7 +337,11 @@ where
 {
     let mut best: Option<K> = None;
     let mut tied: Vec<Interp> = Vec::new();
+    // Batched into locals so the disabled-telemetry build can eliminate the
+    // bookkeeping entirely.
+    let (mut scanned, mut pruned) = (0u64, 0u64);
     for i in candidates {
+        scanned += 1;
         if let Some(k) = eval(i, best.as_ref()) {
             match best.as_ref() {
                 Some(b) if k > *b => {}
@@ -342,8 +352,14 @@ where
                     tied.push(i);
                 }
             }
+        } else {
+            pruned += 1;
         }
     }
+    telemetry::SELECTIONS.incr();
+    telemetry::CANDIDATES_SCANNED.add(scanned);
+    telemetry::CANDIDATES_PRUNED.add(pruned);
+    telemetry::TIES_KEPT.add(tied.len() as u64);
     (best, ModelSet::new(n_vars, tied))
 }
 
@@ -362,13 +378,16 @@ where
     let mut best: Vec<u32> = Vec::new();
     let mut cand: Vec<u32> = Vec::new();
     let mut tied: Vec<Interp> = Vec::new();
+    let (mut scanned, mut pruned) = (0u64, 0u64);
     for i in candidates {
+        scanned += 1;
         let cap = if tied.is_empty() {
             None
         } else {
             Some(best.as_slice())
         };
         if !fill(i, cap, &mut cand) {
+            pruned += 1;
             continue;
         }
         if tied.is_empty() || cand < best {
@@ -379,6 +398,10 @@ where
             tied.push(i);
         }
     }
+    telemetry::SELECTIONS.incr();
+    telemetry::CANDIDATES_SCANNED.add(scanned);
+    telemetry::CANDIDATES_PRUNED.add(pruned);
+    telemetry::TIES_KEPT.add(tied.len() as u64);
     ModelSet::new(n_vars, tied)
 }
 
@@ -421,8 +444,13 @@ where
         order: &order,
         best: None,
         tied: Vec::new(),
+        nodes: 0,
+        cut: 0,
     };
     search.descend(0, 0, &mut d);
+    search.flush_telemetry();
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(search.tied.len() as u64);
     let SubcubeSearch { best, tied, .. } = search;
     (best, ModelSet::new(n_vars, tied.into_iter().map(Interp)))
 }
@@ -446,9 +474,20 @@ struct SubcubeSearch<'a, K, A> {
     order: &'a [u32],
     best: Option<K>,
     tied: Vec<u64>,
+    /// Nodes expanded / children cut, accumulated locally and flushed once
+    /// per search via [`SubcubeSearch::flush_telemetry`].
+    nodes: u64,
+    cut: u64,
 }
 
 impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
+    fn flush_telemetry(&mut self) {
+        telemetry::BNB_NODES_OPENED.add(self.nodes);
+        telemetry::BNB_NODES_CUT.add(self.cut);
+        self.nodes = 0;
+        self.cut = 0;
+    }
+
     /// Add (`up`) or remove (`!up`) bit `bit = v`'s contribution to the
     /// partial distances.
     fn shift(&self, d: &mut [u32], bit: u32, v: u64, up: bool) {
@@ -461,6 +500,7 @@ impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
     }
 
     fn descend(&mut self, depth: usize, prefix: u64, d: &mut [u32]) {
+        self.nodes += 1;
         if depth == self.order.len() {
             let key = (self.agg)(d);
             match self.best.as_ref() {
@@ -492,6 +532,7 @@ impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
             let lb = bounds[v as usize].as_ref().unwrap();
             if let Some(b) = self.best.as_ref() {
                 if *lb > *b {
+                    self.cut += 1;
                     continue;
                 }
             }
@@ -534,12 +575,15 @@ where
             .map(|_| {
                 let (next, shared, order, agg) = (&next_root, &shared_best, &order, &agg);
                 scope.spawn(move || {
+                    let _shard_span = telemetry::SHARD.span();
                     let mut search = SubcubeSearch {
                         models,
                         agg,
                         order: &order[split..],
                         best: None,
                         tied: Vec::new(),
+                        nodes: 0,
+                        cut: 0,
                     };
                     let mut d = vec![0u32; models.len()];
                     loop {
@@ -573,6 +617,7 @@ where
                             }
                         }
                     }
+                    search.flush_telemetry();
                     (search.best, search.tied)
                 })
             })
@@ -592,6 +637,9 @@ where
             }
         }
     }
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(keep.len() as u64);
+    telemetry::PARALLEL_SHARDS.add(threads as u64);
     (overall, ModelSet::new(n_vars, keep))
 }
 
@@ -633,6 +681,7 @@ where
     A: Fn(&[u32]) -> K + Sync,
 {
     CoreError::check_enum_limit(n_vars)?;
+    let _span = telemetry::UNIVERSE_SEARCH.span();
     if n_vars < SUBCUBE_MIN_VARS {
         return Ok(select_min_universe_scan(n_vars, models, &agg));
     }
@@ -678,10 +727,15 @@ pub fn select_min_subcube_odist(n_vars: u32, models: &[Interp]) -> (Option<u32>,
         // probe's key (including the probe itself) is still visited.
         best: Some(odist_probe(n_vars, models)),
         tied: Vec::new(),
+        nodes: 0,
+        cut: 0,
     };
     let mut d = vec![0u32; models.len()];
     let mut s = s0;
     search.descend(0, 0, &mut d, &mut s);
+    search.flush_telemetry();
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(search.tied.len() as u64);
     (
         search.best,
         ModelSet::new(n_vars, search.tied.into_iter().map(Interp)),
@@ -754,9 +808,20 @@ struct OdistSubcube<'a> {
     pairs: &'a [(usize, usize)],
     best: Option<u32>,
     tied: Vec<u64>,
+    /// Nodes expanded / children cut, accumulated locally and flushed once
+    /// per search via [`OdistSubcube::flush_telemetry`].
+    nodes: u64,
+    cut: u64,
 }
 
 impl OdistSubcube<'_> {
+    fn flush_telemetry(&mut self) {
+        telemetry::BNB_NODES_OPENED.add(self.nodes);
+        telemetry::BNB_NODES_CUT.add(self.cut);
+        self.nodes = 0;
+        self.cut = 0;
+    }
+
     fn shift(&self, d: &mut [u32], s: &mut [u32], bit: u32, v: u64, up: bool) {
         for (dj, m) in d.iter_mut().zip(self.models) {
             if (m.0 >> bit & 1) != v {
@@ -786,6 +851,7 @@ impl OdistSubcube<'_> {
     }
 
     fn descend(&mut self, depth: usize, prefix: u64, d: &mut [u32], s: &mut [u32]) {
+        self.nodes += 1;
         if depth == self.order.len() {
             let key = d.iter().copied().max().unwrap_or(0);
             match self.best {
@@ -812,6 +878,7 @@ impl OdistSubcube<'_> {
         for v in visit {
             if let Some(b) = self.best {
                 if bounds[v as usize] > b {
+                    self.cut += 1;
                     continue;
                 }
             }
@@ -848,12 +915,15 @@ fn select_min_subcube_odist_parallel(
                 let (next, shared, order, pairs, s0) =
                     (&next_root, &shared_best, &order, &pairs, &s0);
                 scope.spawn(move || {
+                    let _shard_span = telemetry::SHARD.span();
                     let mut search = OdistSubcube {
                         models,
                         order: &order[split..],
                         pairs,
                         best: None,
                         tied: Vec::new(),
+                        nodes: 0,
+                        cut: 0,
                     };
                     let mut d = vec![0u32; models.len()];
                     let mut s = s0.clone();
@@ -889,6 +959,7 @@ fn select_min_subcube_odist_parallel(
                             }
                         }
                     }
+                    search.flush_telemetry();
                     (search.best, search.tied)
                 })
             })
@@ -904,6 +975,9 @@ fn select_min_subcube_odist_parallel(
             }
         }
     }
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(keep.len() as u64);
+    telemetry::PARALLEL_SHARDS.add(threads as u64);
     (overall, ModelSet::new(n_vars, keep))
 }
 
@@ -915,6 +989,7 @@ pub fn select_min_universe_odist(
     models: &[Interp],
 ) -> Result<(Option<u32>, ModelSet), CoreError> {
     CoreError::check_enum_limit(n_vars)?;
+    let _span = telemetry::UNIVERSE_SEARCH.span();
     if n_vars < SUBCUBE_MIN_VARS {
         let agg = |d: &[u32]| d.iter().copied().max().unwrap_or(0);
         return Ok(select_min_universe_scan(n_vars, models, &agg));
@@ -984,6 +1059,7 @@ where
     F: Fn() -> E + Sync,
 {
     CoreError::check_enum_limit(n_vars)?;
+    let _span = telemetry::UNIVERSE_SEARCH.span();
     let total = 1u64 << n_vars;
     let threads = thread_count(total);
     if threads <= 1 {
@@ -1026,11 +1102,13 @@ where
             .map(|t| {
                 let shared = &shared_best;
                 scope.spawn(move || {
+                    let _shard_span = telemetry::SHARD.span();
                     let mut eval = factory();
                     let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(total));
                     let mut best: Option<K> = None;
                     let mut tied: Vec<Interp> = Vec::new();
                     let mut since_sync = 0u64;
+                    let mut pruned = 0u64;
                     for bits in lo..hi {
                         since_sync += 1;
                         if since_sync >= SYNC_EVERY {
@@ -1060,8 +1138,12 @@ where
                                     tied.push(i);
                                 }
                             }
+                        } else {
+                            pruned += 1;
                         }
                     }
+                    telemetry::CANDIDATES_SCANNED.add(hi.saturating_sub(lo));
+                    telemetry::CANDIDATES_PRUNED.add(pruned);
                     (best, tied)
                 })
             })
@@ -1082,6 +1164,9 @@ where
             }
         }
     }
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(keep.len() as u64);
+    telemetry::PARALLEL_SHARDS.add(threads as u64);
     (overall, ModelSet::new(n_vars, keep))
 }
 

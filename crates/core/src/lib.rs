@@ -23,6 +23,12 @@
 //! and the weighted F) into an executable check with counterexample
 //! reporting, used to validate Theorems 3.1, 3.2 and 4.1 empirically —
 //! exhaustively on small universes and by randomized fuzzing on larger ones.
+//!
+//! Every operator path is instrumented with process-global counters (the
+//! default-on `telemetry` feature; see [`telemetry`] and `OBSERVABILITY.md`
+//! at the workspace root) that compile to nothing when disabled.
+
+#![warn(missing_docs)]
 
 pub mod arbitration;
 pub mod assignment;
@@ -36,19 +42,21 @@ pub mod postulates;
 pub mod preorder;
 pub mod revision;
 pub mod satbackend;
+pub mod telemetry;
 pub mod update;
 pub mod weighted;
 pub mod wfitting;
 
 pub use arbitration::{
-    arbitrate, try_arbitrate, try_warbitrate, warbitrate, Arbitration, UniverseFitting,
-    WeightedArbitration, WeightedUniverseFitting,
+    arbitrate, try_arbitrate, try_arbitrate_with_stats, try_warbitrate, try_warbitrate_with_stats,
+    warbitrate, Arbitration, UniverseFitting, WeightedArbitration, WeightedUniverseFitting,
 };
 pub use distance::{dist, min_dist, odist, sum_dist, wdist};
 pub use error::CoreError;
 pub use fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
 pub use operator::{ChangeOperator, FormulaOperator};
 pub use revision::{BorgidaRevision, DalalRevision, DrasticRevision, SatohRevision, WeberRevision};
+pub use telemetry::TelemetrySnapshot;
 pub use update::{ForbusUpdate, WinslettUpdate};
 pub use weighted::WeightedKb;
 pub use wfitting::{WdistFitting, WeightedChangeOperator};

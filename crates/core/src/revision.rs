@@ -18,6 +18,20 @@ use arbitrex_logic::{Interp, ModelSet};
 
 /// Dalal's revision: keep the models of `μ` at minimal Hamming distance
 /// from the nearest model of `ψ`. Proven in \[KM91\] to satisfy R1–R6.
+///
+/// On Example 3.1 revision picks `{D}` — the offer closest to *some*
+/// teacher (the Datalog teacher gets their way exactly) — where the
+/// paper's arbitration picks the egalitarian `{S,D}`:
+///
+/// ```
+/// use arbitrex_core::{ChangeOperator, DalalRevision};
+/// use arbitrex_logic::{Interp, ModelSet};
+/// // S = bit0, D = bit1, Q = bit2.
+/// let psi = ModelSet::new(3, [Interp(0b001), Interp(0b010), Interp(0b111)]);
+/// let mu = ModelSet::new(3, [Interp(0b010), Interp(0b011)]);
+/// let revised = DalalRevision.apply(&psi, &mu);
+/// assert_eq!(revised.as_singleton(), Some(Interp(0b010))); // {D}, dist 0
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DalalRevision;
 

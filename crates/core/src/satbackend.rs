@@ -13,7 +13,9 @@
 //! common case where `Mod(ψ)` is explicit (e.g. merging a handful of
 //! sources), while revision needs only the `∃∃`-pattern and scales fully.
 
+use crate::telemetry;
 use arbitrex_logic::{to_clauses, Cnf, Formula, Interp, ModelSet};
+use arbitrex_sat::telemetry::record_solver;
 use arbitrex_sat::{
     enumerate_models, minimize_true_count, AllSatLimit, CardinalityLadder, Lit, SolveResult, Solver,
 };
@@ -23,13 +25,16 @@ use arbitrex_sat::{
 ///
 /// Returns `None` if the model count exceeds `limit`.
 pub fn models_via_sat(f: &Formula, n_vars: u32, limit: usize) -> Option<ModelSet> {
+    telemetry::SAT_BACKEND_CALLS.incr();
     let cnf = to_clauses(f, n_vars);
     let mut solver = Solver::new();
     solver.ensure_vars(cnf.n_vars);
     for clause in &cnf.clauses {
         solver.add_dimacs_clause(clause);
     }
-    let models = enumerate_models(&mut solver, n_vars, AllSatLimit::AtMost(limit))?;
+    let models = enumerate_models(&mut solver, n_vars, AllSatLimit::AtMost(limit));
+    record_solver(&solver);
+    let models = models?;
     Some(ModelSet::new(n_vars, models.into_iter().map(Interp)))
 }
 
@@ -83,6 +88,7 @@ pub fn dalal_revision_sat(
     n_vars: u32,
     model_limit: usize,
 ) -> Option<SatChangeResult> {
+    telemetry::SAT_BACKEND_CALLS.incr();
     // Variable layout: x = 0..n (models of μ), y = n..2n (models of ψ),
     // then Tseitin auxiliaries, then difference vars.
     let n = n_vars;
@@ -96,7 +102,9 @@ pub fn dalal_revision_sat(
         for c in &psi_cnf.clauses {
             s.add_dimacs_clause(c);
         }
-        if s.solve() == SolveResult::Unsat {
+        let unsat = s.solve() == SolveResult::Unsat;
+        record_solver(&s);
+        if unsat {
             let models = models_via_sat(mu, n, model_limit)?;
             return Some(SatChangeResult {
                 distance: None,
@@ -129,6 +137,7 @@ pub fn dalal_revision_sat(
         Some(r) => r,
         None => {
             // μ unsatisfiable (ψ was checked above).
+            record_solver(&solver);
             return Some(SatChangeResult {
                 distance: None,
                 models: ModelSet::empty(n),
@@ -137,7 +146,9 @@ pub fn dalal_revision_sat(
     };
     // Lock the optimum and enumerate the x-projections.
     ladder.assert_at_most(&mut solver, k);
-    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit))?;
+    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit));
+    record_solver(&solver);
+    let models = models?;
     Some(SatChangeResult {
         distance: Some(k as u32),
         models: ModelSet::new(n, models.into_iter().map(Interp)),
@@ -156,6 +167,7 @@ pub fn odist_fitting_sat(
     n_vars: u32,
     model_limit: usize,
 ) -> Option<SatChangeResult> {
+    telemetry::SAT_BACKEND_CALLS.incr();
     let n = n_vars;
     if psi_models.is_empty() {
         // (A2): unsatisfiable knowledge base fits nothing.
@@ -169,6 +181,7 @@ pub fn odist_fitting_sat(
     solver.ensure_vars(n);
     add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
     if solver.solve() == SolveResult::Unsat {
+        record_solver(&solver);
         return Some(SatChangeResult {
             distance: None,
             models: ModelSet::empty(n),
@@ -193,7 +206,9 @@ pub fn odist_fitting_sat(
     };
     let mut lo = 0usize;
     let mut hi = n as usize; // always feasible: any model differs ≤ n
+    let mut steps = 0u64;
     while lo < hi {
+        steps += 1;
         let mid = lo + (hi - lo) / 2;
         if feasible(&mut solver, mid) {
             hi = mid;
@@ -201,11 +216,14 @@ pub fn odist_fitting_sat(
             lo = mid + 1;
         }
     }
+    arbitrex_sat::telemetry::CARD_BINSEARCH_STEPS.add(steps);
     // Lock the optimum radius permanently and enumerate.
     for ladder in &ladders {
         ladder.assert_at_most(&mut solver, hi);
     }
-    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit))?;
+    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit));
+    record_solver(&solver);
+    let models = models?;
     Some(SatChangeResult {
         distance: Some(hi as u32),
         models: ModelSet::new(n, models.into_iter().map(Interp)),
@@ -230,6 +248,7 @@ pub fn wdist_fitting_sat(
     n_vars: u32,
     model_limit: usize,
 ) -> Option<SatChangeResult> {
+    telemetry::SAT_BACKEND_CALLS.incr();
     let n = n_vars;
     let support: Vec<(Interp, u64)> = psi_weighted
         .iter()
@@ -249,6 +268,7 @@ pub fn wdist_fitting_sat(
     solver.ensure_vars(n);
     add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
     if solver.solve() == SolveResult::Unsat {
+        record_solver(&solver);
         return Some(SatChangeResult {
             distance: None,
             models: ModelSet::empty(n),
@@ -268,7 +288,9 @@ pub fn wdist_fitting_sat(
     let (k, _model, ladder) =
         minimize_true_count(&mut solver, &diff_lits).expect("solver was satisfiable above");
     ladder.assert_at_most(&mut solver, k);
-    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit))?;
+    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit));
+    record_solver(&solver);
+    let models = models?;
     Some(SatChangeResult {
         distance: Some(k as u32),
         models: ModelSet::new(n, models.into_iter().map(Interp)),

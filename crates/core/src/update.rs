@@ -17,6 +17,21 @@ use arbitrex_logic::{Interp, ModelSet};
 /// Winslett's possible-models-approach update (propositional
 /// simplification): each model `J` of `ψ` keeps the models of `μ` whose
 /// change set `I Δ J` is ⊆-minimal; results are unioned. Satisfies U1–U8.
+///
+/// On Example 3.1 update refuses to choose: each teacher's world moves to
+/// its own closest offer ({S} and {S,D,Q} both land on {S,D}, {D} stays
+/// put), and the union keeps *both* offers — per-world locality (U8)
+/// cannot deliver the single consensus arbitration finds:
+///
+/// ```
+/// use arbitrex_core::{ChangeOperator, WinslettUpdate};
+/// use arbitrex_logic::{Interp, ModelSet};
+/// // S = bit0, D = bit1, Q = bit2.
+/// let psi = ModelSet::new(3, [Interp(0b001), Interp(0b010), Interp(0b111)]);
+/// let mu = ModelSet::new(3, [Interp(0b010), Interp(0b011)]);
+/// let updated = WinslettUpdate.apply(&psi, &mu);
+/// assert_eq!(updated, mu); // both offers survive
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WinslettUpdate;
 

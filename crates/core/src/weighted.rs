@@ -85,7 +85,9 @@ impl WeightedKb {
     /// the second argument of weighted arbitration.
     ///
     /// # Panics
-    /// Panics if `n_vars` exceeds the enumeration limit.
+    /// Panics if `n_vars` exceeds the enumeration limit; build from
+    /// [`ModelSet::try_all`](arbitrex_logic::ModelSet::try_all) via
+    /// [`WeightedKb::from_model_set`] to handle that case as an error.
     pub fn all(n_vars: u32) -> WeightedKb {
         WeightedKb::from_model_set(&ModelSet::all(n_vars))
     }

@@ -1,6 +1,7 @@
 //! Weighted model-fitting (Section 4 of the paper).
 
 use crate::kernel::{select_min, wdist_pruned, WeightedPopProfile};
+use crate::telemetry;
 use crate::weighted::WeightedKb;
 use arbitrex_logic::Interp;
 
@@ -53,12 +54,14 @@ impl WeightedChangeOperator for WdistFitting {
     }
 
     fn apply(&self, psi: &WeightedKb, mu: &WeightedKb) -> WeightedKb {
+        telemetry::WDIST_APPLICATIONS.incr();
         // (F2): unsatisfiable ψ̃ fits nothing.
         let prof = match WeightedPopProfile::of(psi) {
             Some(p) => p,
             None => return WeightedKb::unsatisfiable(mu.n_vars()),
         };
         let support: Vec<(Interp, u64)> = psi.support().collect();
+        telemetry::WSUPPORT_SCANNED.add(support.len() as u64);
         // Single pruned pass over μ̃'s support; each minimizer keeps its
         // μ̃-weight.
         let (_, min) = select_min(mu.n_vars(), mu.support().map(|(i, _)| i), |i, cap| {
@@ -94,6 +97,7 @@ impl<K: Ord, F: Fn(&WeightedKb, Interp) -> K> WeightedChangeOperator for Weighte
     }
 
     fn apply(&self, psi: &WeightedKb, mu: &WeightedKb) -> WeightedKb {
+        telemetry::WDIST_APPLICATIONS.incr();
         if !psi.is_satisfiable() {
             return WeightedKb::unsatisfiable(mu.n_vars());
         }

@@ -21,6 +21,8 @@
 //! The enumeration layer supports up to 64 variables ([`MAX_VARS`]); the SAT
 //! layer in `arbitrex-sat` has no such limit.
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod cnf;
 pub mod display;

@@ -55,7 +55,9 @@ impl ModelSet {
     /// `ψ Δ φ = (ψ ∨ φ) ▷ 𝓜`.
     ///
     /// # Panics
-    /// Panics if `n_vars > ENUM_LIMIT`.
+    /// Panics if `n_vars > ENUM_LIMIT`. Use [`ModelSet::try_all`] to get a
+    /// [`LogicError::TooManyVars`] instead, or [`all_interps`] to stream
+    /// the universe without materializing it at all.
     pub fn all(n_vars: u32) -> ModelSet {
         Self::try_all(n_vars).unwrap()
     }
@@ -87,7 +89,11 @@ impl ModelSet {
     /// Enumerate `Mod(f)` over `n_vars` variables by exhaustive evaluation.
     ///
     /// # Panics
-    /// Panics if `n_vars > ENUM_LIMIT` or `f` mentions a variable `≥ n_vars`.
+    /// Panics if `n_vars > ENUM_LIMIT` or `f` mentions a variable
+    /// `≥ n_vars`. Use [`ModelSet::try_of_formula`] to get the
+    /// corresponding [`LogicError`] instead; past the limit, the SAT
+    /// backend (`arbitrex-core`'s `satbackend`) answers the same questions
+    /// without enumerating.
     pub fn of_formula(f: &Formula, n_vars: u32) -> ModelSet {
         Self::try_of_formula(f, n_vars).unwrap()
     }
@@ -234,7 +240,11 @@ impl ModelSet {
     /// Set complement — the semantics of negation: `Mod(¬φ) = 𝓜 \ Mod(φ)`.
     ///
     /// # Panics
-    /// Panics if `n_vars > ENUM_LIMIT`.
+    /// Panics if `n_vars > ENUM_LIMIT`, because the complement materializes
+    /// the universe via [`ModelSet::all`]. For a non-panicking check,
+    /// compare `n_vars()` against [`ENUM_LIMIT`] first — a `ModelSet` can
+    /// legally be *constructed* over up to 64 variables; only universe
+    /// materialization is capped.
     pub fn complement(&self) -> ModelSet {
         ModelSet::all(self.n_vars).difference(self)
     }

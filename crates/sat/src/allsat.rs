@@ -36,6 +36,7 @@ pub fn enumerate_models(
     assert!(project_vars <= 64, "projection wider than 64 bits");
     assert!(project_vars <= solver.num_vars());
     let mut out: Vec<u64> = Vec::new();
+    let mut blocked = 0u64;
     loop {
         match solver.solve() {
             SolveResult::Unsat => break,
@@ -52,6 +53,8 @@ pub fn enumerate_models(
                 out.push(bits);
                 if let AllSatLimit::AtMost(max) = limit {
                     if out.len() > max {
+                        crate::telemetry::ALLSAT_MODELS.add(out.len() as u64);
+                        crate::telemetry::ALLSAT_BLOCKING_CLAUSES.add(blocked);
                         return None;
                     }
                 }
@@ -59,12 +62,15 @@ pub fn enumerate_models(
                     // Zero projection vars: a single (empty) projection.
                     break;
                 }
+                blocked += 1;
                 if !solver.add_clause(&blocking) {
                     break; // blocking clause made the set unsat
                 }
             }
         }
     }
+    crate::telemetry::ALLSAT_MODELS.add(out.len() as u64);
+    crate::telemetry::ALLSAT_BLOCKING_CLAUSES.add(blocked);
     out.sort_unstable();
     out.dedup();
     if let AllSatLimit::AtMost(max) = limit {

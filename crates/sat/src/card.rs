@@ -25,6 +25,7 @@ impl CardinalityLadder {
     /// Encode the counter for `inputs` into `solver`, introducing
     /// `O(n²)` auxiliary variables and clauses.
     pub fn encode(solver: &mut Solver, inputs: &[Lit]) -> CardinalityLadder {
+        crate::telemetry::CARD_LADDERS_ENCODED.incr();
         let n = inputs.len();
         if n == 0 {
             return CardinalityLadder {

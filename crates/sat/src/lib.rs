@@ -21,6 +21,11 @@
 //! * DIMACS CNF reading/writing ([`dimacs`]).
 //!
 //! The solver is deliberately self-contained: no external solver crates.
+//! Global solver counters (conflicts, propagations, ladder searches,
+//! AllSAT progress) live in [`telemetry`] and are compiled out unless the
+//! workspace's telemetry feature is on.
+
+#![warn(missing_docs)]
 
 pub mod allsat;
 pub mod card;
@@ -31,6 +36,7 @@ pub mod lit;
 pub mod luby;
 pub mod optimize;
 pub mod solver;
+pub mod telemetry;
 
 pub use allsat::{enumerate_models, AllSatLimit};
 pub use card::CardinalityLadder;

@@ -47,7 +47,9 @@ pub fn minimize_true_count(
     // unknown; classic binary search on the least feasible bound.
     let mut lo = 0usize;
     let mut hi = best_count;
+    let mut steps = 0u64;
     while lo < hi {
+        steps += 1;
         let mid = lo + (hi - lo) / 2;
         let assumption = ladder.at_most(mid);
         let assumps: Vec<Lit> = assumption.into_iter().collect();
@@ -63,6 +65,7 @@ pub fn minimize_true_count(
             }
         }
     }
+    crate::telemetry::CARD_BINSEARCH_STEPS.add(steps);
     Some((hi, best_model, ladder))
 }
 

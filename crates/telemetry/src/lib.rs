@@ -1,0 +1,526 @@
+//! # arbitrex-telemetry
+//!
+//! Zero-dependency observability primitives for the arbitrex workspace:
+//! atomic [`Counter`]s, monotonic [`Timer`]s with RAII [`SpanGuard`]s, and
+//! a [`TelemetrySnapshot`] that serializes to JSON without pulling in any
+//! external crate.
+//!
+//! The whole crate is gated on the `enabled` cargo feature. With the
+//! feature **off** every type is a zero-sized shell and every method is an
+//! empty `#[inline]` function, so instrumentation in hot loops compiles to
+//! nothing (local accumulators feeding a no-op [`Counter::add`] are
+//! dead-code-eliminated). With the feature **on**, counters are relaxed
+//! `AtomicU64`s and timers read `std::time::Instant`.
+//!
+//! Counters do not self-register (that would need link-time magic the
+//! workspace avoids); instead each instrumented crate declares its statics
+//! and groups them into a [`Section`], and a top-level crate assembles the
+//! sections into a [`TelemetrySnapshot`]. See `arbitrex_core::telemetry`
+//! for the canonical assembly and `OBSERVABILITY.md` at the workspace root
+//! for the meaning of every counter.
+//!
+//! ```
+//! use arbitrex_telemetry::{Counter, Section, snapshot_of};
+//! static SCANS: Counter = Counter::new("scans");
+//! static SECTION: Section = Section {
+//!     name: "demo",
+//!     counters: &[&SCANS],
+//!     timers: &[],
+//! };
+//! SCANS.add(3);
+//! let snap = snapshot_of(&[&SECTION]);
+//! // With the `enabled` feature on this reports 3; off, it reports 0.
+//! assert!(snap.get("demo", "scans") == Some(3) || !arbitrex_telemetry::enabled());
+//! assert!(snap.to_json().contains("\"demo\""));
+//! ```
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Is telemetry compiled in? `false` means every counter and timer in the
+/// process is a no-op and snapshots are all zeros.
+#[inline]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A named monotonically increasing event counter.
+///
+/// Increments use relaxed atomics: counts are exact per counter but carry
+/// no ordering relative to other counters. Instrumentation in tight loops
+/// should accumulate into a local `u64` and [`Counter::add`] once per
+/// call/chunk — with telemetry disabled the no-op `add` lets the compiler
+/// eliminate the local bookkeeping entirely.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new counter at zero. `const`, so counters can be `static`s.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            #[cfg(feature = "enabled")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's snapshot key.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        if n > 0 {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 when telemetry is disabled).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Reset to zero.
+    #[inline]
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer + SpanGuard
+// ---------------------------------------------------------------------------
+
+/// A named accumulator of monotonic wall-clock time.
+///
+/// Tracks total elapsed nanoseconds and the number of spans that reported
+/// into it. Concurrent spans (e.g. one per worker shard) sum their
+/// durations, so a parallel region reports *busy* time, not wall time.
+#[derive(Debug)]
+pub struct Timer {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    nanos: AtomicU64,
+    #[cfg(feature = "enabled")]
+    spans: AtomicU64,
+}
+
+impl Timer {
+    /// A new timer at zero. `const`, so timers can be `static`s.
+    pub const fn new(name: &'static str) -> Timer {
+        Timer {
+            name,
+            #[cfg(feature = "enabled")]
+            nanos: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            spans: AtomicU64::new(0),
+        }
+    }
+
+    /// The timer's snapshot key (reported as `<name>_ns` / `<name>_spans`).
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Start a span; the elapsed time is added when the guard drops.
+    #[inline]
+    pub fn span(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            #[cfg(feature = "enabled")]
+            timer: self,
+            #[cfg(feature = "enabled")]
+            start: std::time::Instant::now(),
+            #[cfg(not(feature = "enabled"))]
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Record an externally measured duration.
+    #[inline]
+    pub fn add_nanos(&self, ns: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.nanos.fetch_add(ns, Ordering::Relaxed);
+            self.spans.fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = ns;
+    }
+
+    /// Total accumulated nanoseconds (0 when telemetry is disabled).
+    #[inline]
+    pub fn nanos(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.nanos.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Number of completed spans (0 when telemetry is disabled).
+    #[inline]
+    pub fn spans(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.spans.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Reset both accumulators to zero.
+    #[inline]
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        {
+            self.nanos.store(0, Ordering::Relaxed);
+            self.spans.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// RAII guard returned by [`Timer::span`]; reports the elapsed time into
+/// its timer on drop. Zero-sized (modulo lifetime) when telemetry is
+/// disabled.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'a> {
+    #[cfg(feature = "enabled")]
+    timer: &'a Timer,
+    #[cfg(feature = "enabled")]
+    start: std::time::Instant,
+    #[cfg(not(feature = "enabled"))]
+    _marker: std::marker::PhantomData<&'a Timer>,
+}
+
+impl Drop for SpanGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        self.timer.add_nanos(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sections and snapshots
+// ---------------------------------------------------------------------------
+
+/// A named group of counters and timers, declared `static` by the crate
+/// that owns the instrumentation.
+#[derive(Debug)]
+pub struct Section {
+    /// Snapshot key for the group (e.g. `"kernel"`, `"sat"`).
+    pub name: &'static str,
+    /// The counters in the group, in display order.
+    pub counters: &'static [&'static Counter],
+    /// The timers in the group, in display order.
+    pub timers: &'static [&'static Timer],
+}
+
+impl Section {
+    /// Read every counter and timer into an owned [`SectionSnapshot`].
+    pub fn snapshot(&self) -> SectionSnapshot {
+        SectionSnapshot {
+            name: self.name,
+            counters: self.counters.iter().map(|c| (c.name(), c.get())).collect(),
+            timers: self
+                .timers
+                .iter()
+                .map(|t| TimerSnapshot {
+                    name: t.name(),
+                    nanos: t.nanos(),
+                    spans: t.spans(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reset every counter and timer in the group.
+    pub fn reset(&self) {
+        for c in self.counters {
+            c.reset();
+        }
+        for t in self.timers {
+            t.reset();
+        }
+    }
+}
+
+/// Point-in-time values of one [`Section`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionSnapshot {
+    /// The section name.
+    pub name: &'static str,
+    /// `(counter name, value)` pairs in declaration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Timer readings in declaration order.
+    pub timers: Vec<TimerSnapshot>,
+}
+
+/// Point-in-time values of one [`Timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// The timer name.
+    pub name: &'static str,
+    /// Total accumulated nanoseconds.
+    pub nanos: u64,
+    /// Number of completed spans.
+    pub spans: u64,
+}
+
+/// A point-in-time reading of a set of sections — the value returned by
+/// `arbitrex_core::telemetry::snapshot()` and printed by the CLI's
+/// `--stats` / `--stats-json` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Whether telemetry was compiled in when the snapshot was taken.
+    pub enabled: bool,
+    /// The sections, in registration order.
+    pub sections: Vec<SectionSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Look up a counter value by section and counter name.
+    pub fn get(&self, section: &str, counter: &str) -> Option<u64> {
+        let s = self.sections.iter().find(|s| s.name == section)?;
+        s.counters
+            .iter()
+            .find(|(n, _)| *n == counter)
+            .map(|&(_, v)| v)
+    }
+
+    /// True when every counter and timer reads zero (always the case when
+    /// telemetry is compiled out).
+    pub fn is_all_zero(&self) -> bool {
+        self.sections.iter().all(|s| {
+            s.counters.iter().all(|&(_, v)| v == 0)
+                && s.timers.iter().all(|t| t.nanos == 0 && t.spans == 0)
+        })
+    }
+
+    /// Serialize to a stable JSON object:
+    ///
+    /// ```json
+    /// {"telemetry_enabled": true,
+    ///  "kernel": {"candidates_scanned": 123, "shard_busy_ns": 456, ...}}
+    /// ```
+    ///
+    /// Timers contribute two keys, `<name>_ns` and `<name>_spans`. The
+    /// writer is self-contained (no external JSON dependency); names are
+    /// escaped defensively even though they are static identifiers.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"telemetry_enabled\": {}",
+            if self.enabled { "true" } else { "false" }
+        ));
+        for s in &self.sections {
+            out.push_str(", ");
+            out.push_str(&format!("{}: {{", json_string(s.name)));
+            let mut first = true;
+            for (name, v) in &s.counters {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!("{}: {}", json_string(name), v));
+            }
+            for t in &s.timers {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{}: {}, {}: {}",
+                    json_string(&format!("{}_ns", t.name)),
+                    t.nanos,
+                    json_string(&format!("{}_spans", t.name)),
+                    t.spans
+                ));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render as an aligned human-readable block (what `--stats` prints).
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "telemetry ({}):\n",
+            if self.enabled {
+                "enabled"
+            } else {
+                "compiled out — all counters read 0"
+            }
+        );
+        for s in &self.sections {
+            for (name, v) in &s.counters {
+                out.push_str(&format!("  {}.{:<28} {}\n", s.name, name, v));
+            }
+            for t in &s.timers {
+                out.push_str(&format!(
+                    "  {}.{:<28} {:.3} ms over {} span(s)\n",
+                    s.name,
+                    format!("{}_busy", t.name),
+                    t.nanos as f64 / 1e6,
+                    t.spans
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Snapshot a list of sections in order.
+pub fn snapshot_of(sections: &[&Section]) -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        enabled: enabled(),
+        sections: sections.iter().map(|s| s.snapshot()).collect(),
+    }
+}
+
+/// Reset every counter and timer in the given sections.
+pub fn reset_of(sections: &[&Section]) {
+    for s in sections {
+        s.reset();
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static C1: Counter = Counter::new("hits");
+    static C2: Counter = Counter::new("misses");
+    static T1: Timer = Timer::new("busy");
+    static SEC: Section = Section {
+        name: "test",
+        counters: &[&C1, &C2],
+        timers: &[&T1],
+    };
+
+    #[test]
+    fn counters_count_when_enabled_and_vanish_when_not() {
+        SEC.reset();
+        C1.add(2);
+        C1.incr();
+        C2.add(0);
+        if enabled() {
+            assert_eq!(C1.get(), 3);
+            assert_eq!(C2.get(), 0);
+        } else {
+            assert_eq!(C1.get(), 0);
+        }
+        C1.reset();
+        assert_eq!(C1.get(), 0);
+    }
+
+    #[test]
+    fn timers_accumulate_spans() {
+        SEC.reset();
+        {
+            let _g = T1.span();
+        }
+        T1.add_nanos(5);
+        if enabled() {
+            assert_eq!(T1.spans(), 2);
+            assert!(T1.nanos() >= 5);
+        } else {
+            assert_eq!(T1.spans(), 0);
+            assert_eq!(T1.nanos(), 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_and_serializes() {
+        SEC.reset();
+        C1.add(7);
+        let snap = snapshot_of(&[&SEC]);
+        assert_eq!(snap.enabled, enabled());
+        if enabled() {
+            assert_eq!(snap.get("test", "hits"), Some(7));
+            assert!(!snap.is_all_zero());
+        } else {
+            assert_eq!(snap.get("test", "hits"), Some(0));
+            assert!(snap.is_all_zero());
+        }
+        assert_eq!(snap.get("test", "nope"), None);
+        assert_eq!(snap.get("nope", "hits"), None);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"telemetry_enabled\""));
+        assert!(json.contains("\"test\""));
+        assert!(json.contains("\"hits\""));
+        assert!(json.contains("\"busy_ns\""));
+        let text = snap.render_text();
+        assert!(text.contains("test.hits"));
+    }
+
+    #[test]
+    fn reset_of_zeroes_everything() {
+        C1.add(1);
+        T1.add_nanos(1);
+        reset_of(&[&SEC]);
+        assert!(snapshot_of(&[&SEC]).is_all_zero());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}
