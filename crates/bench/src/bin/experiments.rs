@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E13) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E14) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
@@ -74,6 +74,9 @@ fn main() {
     }
     if want("e13") {
         e13_overhead();
+    }
+    if want("e14") {
+        e14_anytime();
     }
 }
 
@@ -810,6 +813,187 @@ fn e13_overhead() {
     println!("acceptance: telemetry-off must sit within 2% of the PR 1 baseline;");
     println!("telemetry-on should stay within a few percent (counters are batched");
     println!("into locals and flushed once per search).\n");
+}
+
+/// E14 — anytime degradation curve (robustness pass).
+///
+/// Two legs, both against exact oracles:
+///
+/// * **SAT leg**: Dalal revision on a pinned random-3CNF `μ` under a
+///   conflict-limit ladder. The best-incumbent distance bound tightens
+///   monotonically toward the optimum as the budget grows.
+/// * **Enumeration leg**: arbitration over an 11-variable universe under
+///   a step-limit ladder. Degraded answers are typed `UpperBound`
+///   supersets (minima found so far ∪ not-yet-refuted frontier) that
+///   shrink to the exact model set once the budget covers the scan.
+///
+/// Writes the machine-readable record to BENCH_PR3.json.
+fn e14_anytime() {
+    use arbitrex_core::kernel::naive;
+    use arbitrex_core::satbackend::dalal_revision_sat_budgeted;
+    use arbitrex_core::{try_arbitrate_with_budget, Budget};
+    use arbitrex_logic::form_of;
+    header(
+        "E14",
+        "anytime degradation curve",
+        "robustness pass: budgets degrade to typed bounds, never panic",
+    );
+
+    struct JsonRow {
+        leg: &'static str,
+        budget: String,
+        quality: &'static str,
+        bound: String,
+        models: usize,
+        contains_exact: bool,
+        work: u64,
+    }
+    let mut json_rows: Vec<JsonRow> = Vec::new();
+
+    // SAT leg: ψ = the all-ones world, μ = a pinned near-phase-transition
+    // 3-CNF (same generator as E8), so the distance ladder has to refute
+    // several radii and the solver genuinely conflicts.
+    let n_sat = 16u32;
+    let psi_f = form_of(n_sat, [Interp((1u64 << n_sat) - 1)]);
+    let mu_f = random_kcnf_pairs(n_sat, 1, 21).remove(0).0;
+    let model_limit = 1 << 16;
+    // A never-tripping conflict limit keeps the budget armed so the
+    // exact run still meters its conflicts (unconstrained budgets skip
+    // solver bookkeeping entirely).
+    let exact_sat = dalal_revision_sat_budgeted(
+        &psi_f,
+        &mu_f,
+        n_sat,
+        model_limit,
+        &Budget::unlimited().with_conflict_limit(u64::MAX),
+    )
+    .expect("model limit not reached");
+    let mut t = Table::new([
+        "conflict limit",
+        "quality",
+        "distance bound",
+        "models",
+        "contains exact",
+    ]);
+    for limit in [1u64, 2, 4, 8, 16, 32, 64, u64::MAX] {
+        let budget = Budget::unlimited().with_conflict_limit(limit);
+        let out = dalal_revision_sat_budgeted(&psi_f, &mu_f, n_sat, model_limit, &budget)
+            .expect("model limit not reached");
+        let contains = exact_sat.models.iter().all(|m| out.models.contains(m));
+        let bound = out
+            .distance
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "-".into());
+        let label = if limit == u64::MAX {
+            "unlimited".to_string()
+        } else {
+            limit.to_string()
+        };
+        t.row([
+            label.clone(),
+            out.quality.name().to_string(),
+            bound.clone(),
+            out.models.len().to_string(),
+            if out.quality.is_exact() || out.quality == arbitrex_core::Quality::UpperBound {
+                contains.to_string()
+            } else {
+                format!("{contains} (subset leg)")
+            },
+        ]);
+        json_rows.push(JsonRow {
+            leg: "sat-dalal",
+            budget: label,
+            quality: out.quality.name(),
+            bound,
+            models: out.models.len(),
+            contains_exact: contains,
+            work: out.spent.total(),
+        });
+    }
+    println!("{}", t.render());
+    println!(
+        "exact optimum: distance {}, {} model(s), {} conflict(s) to prove\n",
+        exact_sat.distance.unwrap(),
+        exact_sat.models.len(),
+        exact_sat.spent.conflicts
+    );
+
+    // Enumeration leg: 11 variables keep arbitration on the linear-scan
+    // kernel path (2^11 candidates), whose meter charges the budget every
+    // 1024 ticks — the step ladder below brackets those checkpoints.
+    let wl = random_pairs(11, 8, 1, 12);
+    let (psi, phi) = &wl.pairs[0];
+    let exact_enum = naive::arbitrate(psi, phi);
+    let mut t = Table::new([
+        "step limit",
+        "quality",
+        "models",
+        "superset of exact",
+        "work units",
+    ]);
+    for limit in [512u64, 1536, u64::MAX] {
+        let budget = Budget::unlimited().with_step_limit(limit);
+        let out = try_arbitrate_with_budget(psi, phi, &budget).expect("within enum limit");
+        let superset = exact_enum.iter().all(|m| out.models.contains(m));
+        let label = if limit == u64::MAX {
+            "unlimited".to_string()
+        } else {
+            limit.to_string()
+        };
+        t.row([
+            label.clone(),
+            out.quality.name().to_string(),
+            out.models.len().to_string(),
+            superset.to_string(),
+            out.spent.total().to_string(),
+        ]);
+        json_rows.push(JsonRow {
+            leg: "enum-arbitration",
+            budget: label,
+            quality: out.quality.name(),
+            bound: "-".into(),
+            models: out.models.len(),
+            contains_exact: superset,
+            work: out.spent.total(),
+        });
+    }
+    println!("{}", t.render());
+    println!(
+        "exact arbitration: {} model(s); degraded rows report supersets that",
+        exact_enum.len()
+    );
+    println!("shrink toward it as the budget covers more of the 2048-candidate scan.\n");
+
+    // Machine-readable record (hand-rendered; no JSON dependency).
+    let mut json = String::from("{\n  \"experiment\": \"e14-anytime-degradation\",\n");
+    json.push_str(
+        "  \"legs\": \"sat-dalal: conflict-limit ladder; enum-arbitration: step-limit ladder\",\n",
+    );
+    json.push_str(&format!(
+        "  \"exact\": {{\"sat_distance\": {}, \"sat_models\": {}, \"enum_models\": {}}},\n",
+        exact_sat.distance.unwrap(),
+        exact_sat.models.len(),
+        exact_enum.len()
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (k, r) in json_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"leg\": \"{}\", \"budget\": \"{}\", \"quality\": \"{}\", \"bound\": \"{}\", \"models\": {}, \"contains_exact\": {}, \"work_units\": {}}}{}\n",
+            r.leg,
+            r.budget,
+            r.quality,
+            r.bound,
+            r.models,
+            r.contains_exact,
+            r.work,
+            if k + 1 == json_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_PR3.json", &json) {
+        Ok(()) => println!("wrote BENCH_PR3.json ({} rows)\n", json_rows.len()),
+        Err(e) => println!("could not write BENCH_PR3.json: {e}\n"),
+    }
 }
 
 /// E11 — iterated change dynamics (reproduction extension).

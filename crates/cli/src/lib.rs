@@ -2,30 +2,122 @@
 //!
 //! Separated from `main.rs` so every command is unit-testable: each
 //! command takes parsed arguments and returns the text it would print.
+//!
+//! Errors carry an [`ErrorKind`] that maps to a distinct process exit
+//! code, so scripts can tell a parse error from a budget trip without
+//! scraping stderr. Budgeted execution (`--timeout-ms`, `--max-steps`,
+//! `--max-conflicts`, `--max-models`, `--fault`) routes through the
+//! `try_*_with_budget` entry points of `arbitrex-core` and degrades
+//! gracefully: an exhausted budget reports the partial result on stderr
+//! and exits with [`ErrorKind::Budget`]'s code instead of panicking.
 
-use arbitrex_core::arbitration::arbitrate;
+use std::time::Duration;
+
+use arbitrex_core::arbitration::{try_arbitrate, try_arbitrate_with_budget};
 use arbitrex_core::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
+use arbitrex_core::satbackend::{dalal_revision_sat_budgeted, odist_fitting_sat_budgeted};
 use arbitrex_core::{
-    BorgidaRevision, ChangeOperator, DalalRevision, DrasticRevision, ForbusUpdate, SatohRevision,
+    BorgidaRevision, Budget, BudgetSite, BudgetSpent, BudgetedChangeOperator, ChangeOperator,
+    CoreError, DalalRevision, DrasticRevision, FaultPlan, ForbusUpdate, Quality, SatohRevision,
     WeberRevision, WinslettUpdate,
 };
-use arbitrex_logic::{parse, Formula, ModelSet, Sig};
-use arbitrex_merge::{ask, merge_egalitarian, merge_majority, merge_weighted_arbitration, Source};
+use arbitrex_logic::{parse, Formula, ModelSet, Sig, ENUM_LIMIT};
+use arbitrex_merge::{
+    ask, merge_egalitarian, merge_majority, merge_weighted_arbitration,
+    merge_weighted_arbitration_with_budget, Source,
+};
 
-/// A CLI-level error with a user-facing message.
+/// What went wrong, at the granularity scripts care about. Each kind maps
+/// to a distinct process exit code via [`ErrorKind::exit_code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Any failure not covered by a more specific kind (exit code 1).
+    Generic = 1,
+    /// Bad command line: unknown command/operator/flag or missing
+    /// arguments (exit code 2).
+    Usage = 2,
+    /// A formula failed to parse (exit code 3).
+    Parse = 3,
+    /// The signature is too wide for exhaustive enumeration, or a SAT
+    /// model limit was exceeded (exit code 4).
+    Limit = 4,
+    /// An execution budget tripped; the message carries the degraded
+    /// partial result (exit code 5).
+    Budget = 5,
+}
+
+impl ErrorKind {
+    /// The process exit code for this kind of error.
+    pub fn exit_code(self) -> i32 {
+        self as i32
+    }
+
+    /// Stable snake_case name (used in messages and tests).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Generic => "generic",
+            ErrorKind::Usage => "usage",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Limit => "limit",
+            ErrorKind::Budget => "budget",
+        }
+    }
+}
+
+/// A CLI-level error: a user-facing message plus the [`ErrorKind`] that
+/// decides the process exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    /// Which exit code this error maps to.
+    pub kind: ErrorKind,
+    /// The user-facing message (printed to stderr by `main`).
+    pub message: String,
+}
+
+impl CliError {
+    /// An error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> CliError {
+        CliError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// A command-line usage error (exit code 2).
+    pub fn usage(message: impl Into<String>) -> CliError {
+        CliError::new(ErrorKind::Usage, message)
+    }
+
+    /// A formula parse error (exit code 3).
+    pub fn parse(message: impl Into<String>) -> CliError {
+        CliError::new(ErrorKind::Parse, message)
+    }
+
+    /// An enumeration/model limit error (exit code 4).
+    pub fn limit(message: impl Into<String>) -> CliError {
+        CliError::new(ErrorKind::Limit, message)
+    }
+
+    /// A budget-exhaustion error (exit code 5).
+    pub fn budget(message: impl Into<String>) -> CliError {
+        CliError::new(ErrorKind::Budget, message)
+    }
+}
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
 impl std::error::Error for CliError {}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError(msg.into()))
+    Err(CliError::usage(msg))
+}
+
+fn limit_err(e: CoreError) -> CliError {
+    CliError::limit(e.to_string())
 }
 
 /// Look up a binary change operator by CLI name.
@@ -36,6 +128,22 @@ pub fn operator_by_name(name: &str) -> Option<Box<dyn ChangeOperator>> {
         "borgida" => Box::new(BorgidaRevision),
         "weber" => Box::new(WeberRevision),
         "drastic" => Box::new(DrasticRevision),
+        "winslett" | "update" => Box::new(WinslettUpdate),
+        "forbus" => Box::new(ForbusUpdate),
+        "odist" | "fit" | "fitting" => Box::new(OdistFitting),
+        "lex-odist" | "lex" => Box::new(LexOdistFitting),
+        "gmax" => Box::new(GMaxFitting),
+        "sum" => Box::new(SumFitting),
+        _ => return None,
+    })
+}
+
+/// Look up the budgeted variant of a change operator by CLI name. A
+/// subset of [`operator_by_name`]: only the enumeration-backed operators
+/// with graceful degradation support budgets.
+pub fn budgeted_operator_by_name(name: &str) -> Option<Box<dyn BudgetedChangeOperator>> {
+    Some(match name {
+        "dalal" | "revise" | "revision" => Box::new(DalalRevision),
         "winslett" | "update" => Box::new(WinslettUpdate),
         "forbus" => Box::new(ForbusUpdate),
         "odist" | "fit" | "fitting" => Box::new(OdistFitting),
@@ -61,22 +169,94 @@ pub const OPERATOR_NAMES: &[&str] = &[
     "sum",
 ];
 
+/// Names accepted by [`budgeted_operator_by_name`], for error messages.
+pub const BUDGETED_OPERATOR_NAMES: &[&str] = &[
+    "dalal",
+    "winslett",
+    "forbus",
+    "odist",
+    "lex-odist",
+    "gmax",
+    "sum",
+];
+
+fn check_width(n: u32) -> Result<(), CliError> {
+    if n > ENUM_LIMIT {
+        Err(CliError::limit(format!(
+            "formulas over {n} variables exceed the enumeration limit of {ENUM_LIMIT}"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
 fn parse_both(psi: &str, mu: &str) -> Result<(Sig, Formula, Formula), CliError> {
     let mut sig = Sig::new();
-    let psi = parse(&mut sig, psi).map_err(|e| CliError(format!("in ψ: {e}")))?;
-    let mu = parse(&mut sig, mu).map_err(|e| CliError(format!("in μ: {e}")))?;
+    let psi = parse(&mut sig, psi).map_err(|e| CliError::parse(format!("in ψ: {e}")))?;
+    let mu = parse(&mut sig, mu).map_err(|e| CliError::parse(format!("in μ: {e}")))?;
     if sig.is_empty() {
         // Constant-only formulas still need one variable to enumerate over.
         sig.var("p");
     }
+    check_width(sig.width())?;
     Ok((sig, psi, mu))
+}
+
+/// Describe a trip for error messages: the `Exhausted` record when the
+/// budget saw one, a generic phrase otherwise.
+fn trip_text(spent: &BudgetSpent) -> String {
+    match spent.trip {
+        Some(t) => t.to_string(),
+        None => "budget exhausted".to_string(),
+    }
+}
+
+/// Render a (possibly huge) degraded model set for an error message:
+/// the full set when small, a count otherwise.
+fn models_text(sig: &Sig, models: &ModelSet) -> String {
+    const SHOW: usize = 16;
+    if models.len() <= SHOW {
+        models.display(sig).to_string()
+    } else {
+        format!("{} model(s)", models.len())
+    }
+}
+
+/// Turn a degraded model-set answer into the budget error carrying the
+/// partial result, or format the trailing `budget:` line for exact ones.
+fn budget_verdict(
+    sig: &Sig,
+    models: &ModelSet,
+    quality: Quality,
+    spent: &BudgetSpent,
+) -> Result<String, CliError> {
+    match quality {
+        Quality::Exact => Ok(format!(
+            "budget:   exact after {} work unit(s)\n",
+            spent.total()
+        )),
+        Quality::UpperBound => Err(CliError::budget(format!(
+            "{}; upper-bound result after {} work unit(s) \
+             (superset of the exact answer): {}",
+            trip_text(spent),
+            spent.total(),
+            models_text(sig, models),
+        ))),
+        Quality::Interrupted => Err(CliError::budget(format!(
+            "{}; interrupted with incumbent(s) after {} work unit(s) \
+             (no containment guarantee): {}",
+            trip_text(spent),
+            spent.total(),
+            models_text(sig, models),
+        ))),
+    }
 }
 
 /// `arbitrex change <operator> "<psi>" "<mu>"` — apply a binary operator
 /// and show the result as models and as a formula.
 pub fn cmd_change(op_name: &str, psi_text: &str, mu_text: &str) -> Result<String, CliError> {
     let op = operator_by_name(op_name).ok_or_else(|| {
-        CliError(format!(
+        CliError::usage(format!(
             "unknown operator `{op_name}` (expected one of: {})",
             OPERATOR_NAMES.join(", ")
         ))
@@ -96,13 +276,104 @@ pub fn cmd_change(op_name: &str, psi_text: &str, mu_text: &str) -> Result<String
     ))
 }
 
+/// [`cmd_change`] under a [`Budget`]: only the enumeration-backed
+/// operators with graceful degradation are accepted; a tripped budget
+/// reports the partial result as an [`ErrorKind::Budget`] error.
+pub fn cmd_change_budgeted(
+    op_name: &str,
+    psi_text: &str,
+    mu_text: &str,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    let op = budgeted_operator_by_name(op_name).ok_or_else(|| {
+        if operator_by_name(op_name).is_some() {
+            CliError::usage(format!(
+                "operator `{op_name}` has no budgeted variant (budgeted operators: {})",
+                BUDGETED_OPERATOR_NAMES.join(", ")
+            ))
+        } else {
+            CliError::usage(format!(
+                "unknown operator `{op_name}` (expected one of: {})",
+                OPERATOR_NAMES.join(", ")
+            ))
+        }
+    })?;
+    let (sig, psi, mu) = parse_both(psi_text, mu_text)?;
+    let n = sig.width();
+    let psi_m = ModelSet::of_formula(&psi, n);
+    let mu_m = ModelSet::of_formula(&mu, n);
+    let out = op.apply_with_budget(&psi_m, &mu_m, budget);
+    let verdict = budget_verdict(&sig, &out.models, out.quality, &out.spent)?;
+    Ok(format!(
+        "operator: {}\nψ models: {}\nμ models: {}\nresult:   {}\nformula:  {}\n{}",
+        op.name(),
+        psi_m.display(&sig),
+        mu_m.display(&sig),
+        out.models.display(&sig),
+        arbitrex_logic::minimal_dnf(&out.models).display(&sig),
+        verdict,
+    ))
+}
+
+/// Cap on enumerated models for the CLI's SAT-backed change command.
+const SAT_MODEL_LIMIT: usize = 1 << 16;
+
+/// `arbitrex change ... --backend sat` — the CDCL-backed distance
+/// minimization for `dalal` and `odist`, honoring the same budget flags
+/// (this is the path where `--max-conflicts` bites).
+pub fn cmd_change_sat(
+    op_name: &str,
+    psi_text: &str,
+    mu_text: &str,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    let (sig, psi, mu) = parse_both(psi_text, mu_text)?;
+    let n = sig.width();
+    let out = match op_name {
+        "dalal" | "revise" | "revision" => {
+            dalal_revision_sat_budgeted(&psi, &mu, n, SAT_MODEL_LIMIT, budget)
+        }
+        "odist" | "fit" | "fitting" => {
+            let psi_m = ModelSet::of_formula(&psi, n);
+            odist_fitting_sat_budgeted(psi_m.as_slice(), &mu, n, SAT_MODEL_LIMIT, budget)
+        }
+        other if operator_by_name(other).is_some() => {
+            return err(format!(
+                "operator `{other}` has no SAT backend (SAT operators: dalal, odist)"
+            ))
+        }
+        other => {
+            return err(format!(
+                "unknown operator `{other}` (expected one of: {})",
+                OPERATOR_NAMES.join(", ")
+            ))
+        }
+    };
+    let out = out.ok_or_else(|| {
+        CliError::limit(format!(
+            "SAT backend exceeded its model limit of {SAT_MODEL_LIMIT}"
+        ))
+    })?;
+    let verdict = budget_verdict(&sig, &out.models, out.quality, &out.spent)?;
+    let distance = match out.distance {
+        Some(d) => d.to_string(),
+        None => "-".to_string(),
+    };
+    Ok(format!(
+        "operator: {op_name} (sat)\ndistance: {distance}\nresult:   {}\nformula:  {}\n{}",
+        out.models.display(&sig),
+        arbitrex_logic::minimal_dnf(&out.models).display(&sig),
+        verdict,
+    ))
+}
+
 /// `arbitrex arbitrate "<psi>" "<phi>"` — the symmetric consensus.
 pub fn cmd_arbitrate(psi_text: &str, phi_text: &str) -> Result<String, CliError> {
     let (sig, psi, phi) = parse_both(psi_text, phi_text)?;
     let n = sig.width();
     let psi_m = ModelSet::of_formula(&psi, n);
     let phi_m = ModelSet::of_formula(&phi, n);
-    let result = arbitrate(&psi_m, &phi_m);
+    let result = try_arbitrate(&psi_m, &phi_m).map_err(limit_err)?;
     Ok(format!(
         "ψ Δ φ models: {}\nformula:      {}\n",
         result.display(&sig),
@@ -110,13 +381,35 @@ pub fn cmd_arbitrate(psi_text: &str, phi_text: &str) -> Result<String, CliError>
     ))
 }
 
+/// [`cmd_arbitrate`] under a [`Budget`]; a tripped budget reports the
+/// partial consensus as an [`ErrorKind::Budget`] error.
+pub fn cmd_arbitrate_budgeted(
+    psi_text: &str,
+    phi_text: &str,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    let (sig, psi, phi) = parse_both(psi_text, phi_text)?;
+    let n = sig.width();
+    let psi_m = ModelSet::of_formula(&psi, n);
+    let phi_m = ModelSet::of_formula(&phi, n);
+    let out = try_arbitrate_with_budget(&psi_m, &phi_m, budget).map_err(limit_err)?;
+    let verdict = budget_verdict(&sig, &out.models, out.quality, &out.spent)?;
+    Ok(format!(
+        "ψ Δ φ models: {}\nformula:      {}\n{}",
+        out.models.display(&sig),
+        arbitrex_logic::minimal_dnf(&out.models).display(&sig),
+        verdict,
+    ))
+}
+
 /// `arbitrex models "<formula>"` — enumerate and count models.
 pub fn cmd_models(text: &str) -> Result<String, CliError> {
     let mut sig = Sig::new();
-    let f = parse(&mut sig, text).map_err(|e| CliError(e.to_string()))?;
+    let f = parse(&mut sig, text).map_err(|e| CliError::parse(e.to_string()))?;
     if sig.is_empty() {
         sig.var("p");
     }
+    check_width(sig.width())?;
     let n = sig.width();
     let models = ModelSet::of_formula(&f, n);
     Ok(format!(
@@ -141,11 +434,13 @@ pub fn parse_voice(spec: &str) -> Result<(String, u64), CliError> {
 }
 
 /// `arbitrex merge [--strategy s] [--query q] voice...` where each voice
-/// is `formula[:weight]`.
+/// is `formula[:weight]`. With a budget, only the `weighted` strategy is
+/// accepted (the others have no budgeted variant).
 pub fn cmd_merge(
     strategy: &str,
     query: Option<&str>,
     voices: &[String],
+    budget: Option<&Budget>,
 ) -> Result<String, CliError> {
     if voices.is_empty() {
         return err("merge needs at least one voice (`formula[:weight]`)");
@@ -155,17 +450,18 @@ pub fn cmd_merge(
         .iter()
         .map(|spec| {
             let (text, weight) = parse_voice(spec)?;
-            let f =
-                parse(&mut sig, &text).map_err(|e| CliError(format!("in voice `{spec}`: {e}")))?;
+            let f = parse(&mut sig, &text)
+                .map_err(|e| CliError::parse(format!("in voice `{spec}`: {e}")))?;
             Ok((f, weight, text))
         })
         .collect::<Result<_, CliError>>()?;
     let query_f = query
-        .map(|q| parse(&mut sig, q).map_err(|e| CliError(format!("in query: {e}"))))
+        .map(|q| parse(&mut sig, q).map_err(|e| CliError::parse(format!("in query: {e}"))))
         .transpose()?;
     if sig.is_empty() {
         sig.var("p");
     }
+    check_width(sig.width())?;
     let n = sig.width();
     let sources: Vec<Source> = parsed
         .iter()
@@ -173,16 +469,37 @@ pub fn cmd_merge(
         .map(|(k, (f, w, text))| {
             let models = ModelSet::of_formula(f, n);
             if models.is_empty() {
-                return err(format!("voice `{text}` is unsatisfiable"));
+                return Err(CliError::new(
+                    ErrorKind::Generic,
+                    format!("voice `{text}` is unsatisfiable"),
+                ));
             }
             Ok(Source::weighted(format!("voice{k}"), models, *w))
         })
         .collect::<Result<_, CliError>>()?;
-    let outcome = match strategy {
-        "egalitarian" | "max" => merge_egalitarian(&sources, None),
-        "majority" | "sum" => merge_majority(&sources, None),
-        "weighted" | "arbitration" => merge_weighted_arbitration(&sources),
-        other => {
+    let mut budget_line = None;
+    let outcome = match (strategy, budget) {
+        ("egalitarian" | "max", None) => merge_egalitarian(&sources, None),
+        ("majority" | "sum", None) => merge_majority(&sources, None),
+        ("weighted" | "arbitration", None) => merge_weighted_arbitration(&sources),
+        ("weighted" | "arbitration", Some(b)) => {
+            let out = merge_weighted_arbitration_with_budget(&sources, b);
+            if !out.quality.is_exact() {
+                // Surfaces the degraded consensus as the budget error.
+                budget_verdict(&sig, &out.outcome.consensus, out.quality, &out.spent)?;
+            }
+            budget_line = Some(format!(
+                "budget: exact after {} work unit(s)\n",
+                out.spent.total()
+            ));
+            out.outcome
+        }
+        ("egalitarian" | "max" | "majority" | "sum", Some(_)) => {
+            return err(format!(
+                "strategy `{strategy}` has no budgeted variant (use --strategy weighted)"
+            ))
+        }
+        (other, _) => {
             return err(format!(
                 "unknown strategy `{other}` (expected egalitarian, majority, or weighted)"
             ))
@@ -197,6 +514,9 @@ pub fn cmd_merge(
         let answer = ask(&outcome.consensus, &q);
         out.push_str(&format!("query {}: {:?}\n", q.display(&sig), answer));
     }
+    if let Some(line) = budget_line {
+        out.push_str(&line);
+    }
     Ok(out)
 }
 
@@ -208,12 +528,15 @@ pub fn cmd_audit(names: &[String]) -> Result<String, CliError> {
     let selected: Vec<Box<dyn ChangeOperator>> = if names.is_empty() {
         OPERATOR_NAMES
             .iter()
-            .map(|n| operator_by_name(n).expect("published names resolve"))
+            .filter_map(|n| operator_by_name(n))
             .collect()
     } else {
         names
             .iter()
-            .map(|n| operator_by_name(n).ok_or_else(|| CliError(format!("unknown operator `{n}`"))))
+            .map(|n| {
+                operator_by_name(n)
+                    .ok_or_else(|| CliError::usage(format!("unknown operator `{n}`")))
+            })
             .collect::<Result<_, _>>()?
     };
     let refs: Vec<&dyn ChangeOperator> = selected.iter().map(|b| b.as_ref()).collect();
@@ -240,7 +563,7 @@ pub fn cmd_audit(names: &[String]) -> Result<String, CliError> {
 pub fn cmd_iterate(op_name: &str, psi_text: &str, mu_text: &str) -> Result<String, CliError> {
     use arbitrex_core::iterated::iterate_fixed_input;
     let op = operator_by_name(op_name)
-        .ok_or_else(|| CliError(format!("unknown operator `{op_name}`")))?;
+        .ok_or_else(|| CliError::usage(format!("unknown operator `{op_name}`")))?;
     let (sig, psi, mu) = parse_both(psi_text, mu_text)?;
     let n = sig.width();
     let psi_m = ModelSet::of_formula(&psi, n);
@@ -278,6 +601,18 @@ pub fn help() -> String {
          \x20 --stats-json   append operator telemetry counters (JSON)\n\
          \x20\x20\x20\x20 counters read 0 when built without the `telemetry` feature;\n\
          \x20\x20\x20\x20 see OBSERVABILITY.md for every counter's definition\n\
+         \x20 --backend sat  CDCL distance minimization for `change`\n\
+         \x20\x20\x20\x20 (operators: dalal, odist)\n\
+         \n\
+         budget flags (change, arbitrate, merge --strategy weighted):\n\
+         \x20 --timeout-ms <n>      wall-clock deadline\n\
+         \x20 --max-steps <n>       scan + branch-and-bound work limit\n\
+         \x20 --max-conflicts <n>   SAT conflict limit (--backend sat)\n\
+         \x20 --max-models <n>      enumerated-model limit (--backend sat)\n\
+         \x20 --fault <site>:<k>    trip at the k-th charge (testing);\n\
+         \x20\x20\x20\x20 sites: scan, node, conflict, model, ladder_step\n\
+         \x20 a tripped budget prints the degraded result on stderr and\n\
+         \x20 exits with code 5 (usage 2, parse 3, limits 4, other 1)\n\
          \n\
          operators: {}\n\
          formulas:  atoms, ! & | ^ -> <->, true/false, parentheses\n",
@@ -285,31 +620,118 @@ pub fn help() -> String {
     )
 }
 
+/// Parse a `--fault site:k` specification into a [`FaultPlan`].
+pub fn parse_fault(spec: &str) -> Result<FaultPlan, CliError> {
+    let (site, at) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::usage(format!("--fault expects `site:k`, got `{spec}`")))?;
+    let site = BudgetSite::ALL
+        .into_iter()
+        .find(|s| s.name() == site)
+        .ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown fault site `{site}` (expected one of: {})",
+                BudgetSite::ALL.map(BudgetSite::name).join(", ")
+            ))
+        })?;
+    let at = at.parse::<u64>().ok().filter(|&k| k >= 1).ok_or_else(|| {
+        CliError::usage(format!(
+            "invalid fault count `{at}` (need a positive integer)"
+        ))
+    })?;
+    Ok(FaultPlan::new(site, at))
+}
+
+/// Global flags extracted by [`run`] before command dispatch.
+#[derive(Debug, Default)]
+struct ExecCtx {
+    budget: Option<Budget>,
+    backend_sat: bool,
+}
+
+fn flag_value<'a>(
+    it: &mut std::slice::Iter<'a, String>,
+    flag: &str,
+) -> Result<&'a String, CliError> {
+    it.next()
+        .ok_or_else(|| CliError::usage(format!("{flag} needs a value")))
+}
+
+fn flag_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, CliError> {
+    let v = flag_value(it, flag)?;
+    v.parse::<u64>()
+        .map_err(|_| CliError::usage(format!("{flag} needs an integer, got `{v}`")))
+}
+
 /// Dispatch a full argument vector (without the program name), handling
-/// the global `--stats` / `--stats-json` flags: the command's output is
-/// followed by a telemetry profile of exactly that command's work.
+/// the global flags: `--stats` / `--stats-json` append a telemetry
+/// profile of exactly that command's work; the budget flags route the
+/// command through its `try_*_with_budget` variant.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut stats_text = false;
     let mut stats_json = false;
-    let args: Vec<String> = args
-        .iter()
-        .filter(|a| match a.as_str() {
-            "--stats" => {
-                stats_text = true;
-                false
+    let mut timeout_ms: Option<u64> = None;
+    let mut max_steps: Option<u64> = None;
+    let mut max_conflicts: Option<u64> = None;
+    let mut max_models: Option<u64> = None;
+    let mut fault: Option<FaultPlan> = None;
+    let mut backend_sat = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stats" => stats_text = true,
+            "--stats-json" => stats_json = true,
+            "--backend" => {
+                backend_sat = match flag_value(&mut it, "--backend")?.as_str() {
+                    "sat" => true,
+                    "enum" | "enumeration" => false,
+                    other => {
+                        return err(format!("unknown backend `{other}` (expected enum or sat)"))
+                    }
+                }
             }
-            "--stats-json" => {
-                stats_json = true;
-                false
-            }
-            _ => true,
-        })
-        .cloned()
-        .collect();
-    if !(stats_text || stats_json) {
-        return dispatch(&args);
+            "--timeout-ms" => timeout_ms = Some(flag_u64(&mut it, "--timeout-ms")?),
+            "--max-steps" => max_steps = Some(flag_u64(&mut it, "--max-steps")?),
+            "--max-conflicts" => max_conflicts = Some(flag_u64(&mut it, "--max-conflicts")?),
+            "--max-models" => max_models = Some(flag_u64(&mut it, "--max-models")?),
+            "--fault" => fault = Some(parse_fault(flag_value(&mut it, "--fault")?)?),
+            _ => rest.push(arg.clone()),
+        }
     }
-    let (result, snapshot) = arbitrex_core::telemetry::capture(|| dispatch(&args));
+    let mut budget = None;
+    if timeout_ms.is_some()
+        || max_steps.is_some()
+        || max_conflicts.is_some()
+        || max_models.is_some()
+        || fault.is_some()
+    {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = timeout_ms {
+            b = b.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(n) = max_steps {
+            b = b.with_step_limit(n);
+        }
+        if let Some(n) = max_conflicts {
+            b = b.with_conflict_limit(n);
+        }
+        if let Some(n) = max_models {
+            b = b.with_candidate_limit(n);
+        }
+        if let Some(f) = fault {
+            b = b.with_fault(f);
+        }
+        budget = Some(b);
+    }
+    let ctx = ExecCtx {
+        budget,
+        backend_sat,
+    };
+    if !(stats_text || stats_json) {
+        return dispatch(&rest, &ctx);
+    }
+    let (result, snapshot) = arbitrex_core::telemetry::capture(|| dispatch(&rest, &ctx));
     result.map(|mut out| {
         if stats_text {
             out.push_str(&snapshot.render_text());
@@ -323,15 +745,38 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 /// The flagless command dispatcher behind [`run`].
-fn dispatch(args: &[String]) -> Result<String, CliError> {
-    match args.first().map(String::as_str) {
+fn dispatch(args: &[String], ctx: &ExecCtx) -> Result<String, CliError> {
+    let command = args.first().map(String::as_str);
+    if ctx.backend_sat && command != Some("change") {
+        return err("--backend sat only applies to the `change` command");
+    }
+    if ctx.budget.is_some() && matches!(command, Some("models" | "audit" | "iterate")) {
+        return err(format!(
+            "budget flags are not supported for `{}` (budgeted commands: \
+             change, arbitrate, merge --strategy weighted)",
+            command.unwrap_or_default()
+        ));
+    }
+    match command {
         None | Some("help") | Some("--help") | Some("-h") => Ok(help()),
         Some("change") => match args {
-            [_, op, psi, mu] => cmd_change(op, psi, mu),
+            [_, op, psi, mu] => {
+                if ctx.backend_sat {
+                    let unlimited = Budget::unlimited();
+                    cmd_change_sat(op, psi, mu, ctx.budget.as_ref().unwrap_or(&unlimited))
+                } else if let Some(b) = &ctx.budget {
+                    cmd_change_budgeted(op, psi, mu, b)
+                } else {
+                    cmd_change(op, psi, mu)
+                }
+            }
             _ => err("usage: arbitrex change <operator> \"<psi>\" \"<mu>\""),
         },
         Some("arbitrate") => match args {
-            [_, psi, phi] => cmd_arbitrate(psi, phi),
+            [_, psi, phi] => match &ctx.budget {
+                Some(b) => cmd_arbitrate_budgeted(psi, phi, b),
+                None => cmd_arbitrate(psi, phi),
+            },
             _ => err("usage: arbitrex arbitrate \"<psi>\" \"<phi>\""),
         },
         Some("models") => match args {
@@ -350,23 +795,12 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             let mut it = args[1..].iter();
             while let Some(arg) = it.next() {
                 match arg.as_str() {
-                    "--strategy" => {
-                        strategy = it
-                            .next()
-                            .ok_or(CliError("--strategy needs a value".into()))?
-                            .clone()
-                    }
-                    "--query" => {
-                        query = Some(
-                            it.next()
-                                .ok_or(CliError("--query needs a value".into()))?
-                                .clone(),
-                        )
-                    }
+                    "--strategy" => strategy = flag_value(&mut it, "--strategy")?.clone(),
+                    "--query" => query = Some(flag_value(&mut it, "--query")?.clone()),
                     other => voices.push(other.to_string()),
                 }
             }
-            cmd_merge(&strategy, query.as_deref(), &voices)
+            cmd_merge(&strategy, query.as_deref(), &voices, ctx.budget.as_ref())
         }
         Some(other) => err(format!("unknown command `{other}` — try `arbitrex help`")),
     }
@@ -375,6 +809,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use arbitrex_core::TripReason;
 
     fn sv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
@@ -394,7 +829,8 @@ mod tests {
     #[test]
     fn change_rejects_unknown_operator() {
         let e = cmd_change("nonsense", "A", "B").unwrap_err();
-        assert!(e.0.contains("unknown operator"));
+        assert!(e.message.contains("unknown operator"));
+        assert_eq!(e.kind, ErrorKind::Usage);
     }
 
     #[test]
@@ -402,6 +838,81 @@ mod tests {
         for name in OPERATOR_NAMES {
             assert!(operator_by_name(name).is_some(), "{name}");
         }
+        for name in BUDGETED_OPERATOR_NAMES {
+            assert!(budgeted_operator_by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn audit_with_no_names_covers_every_published_operator() {
+        // Pins the filter_map in cmd_audit: a published name that failed
+        // to resolve would drop its row.
+        let out = cmd_audit(&[]).unwrap();
+        for name in OPERATOR_NAMES {
+            let resolved = operator_by_name(name).unwrap();
+            assert!(out.contains(resolved.name()), "missing row for {name}");
+        }
+    }
+
+    #[test]
+    fn error_kinds_map_to_distinct_exit_codes() {
+        let kinds = [
+            ErrorKind::Generic,
+            ErrorKind::Usage,
+            ErrorKind::Parse,
+            ErrorKind::Limit,
+            ErrorKind::Budget,
+        ];
+        let codes: Vec<i32> = kinds.iter().map(|k| k.exit_code()).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5]);
+        for k in kinds {
+            assert_ne!(k.exit_code(), 0, "{} must be nonzero", k.name());
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_the_parse_kind() {
+        assert_eq!(cmd_models("A &&& B").unwrap_err().kind, ErrorKind::Parse);
+        assert_eq!(cmd_arbitrate("(A", "B").unwrap_err().kind, ErrorKind::Parse);
+        assert_eq!(
+            cmd_merge("weighted", None, &sv(&["A |"]), None)
+                .unwrap_err()
+                .kind,
+            ErrorKind::Parse
+        );
+    }
+
+    #[test]
+    fn usage_errors_carry_the_usage_kind() {
+        assert_eq!(
+            run(&sv(&["frobnicate"])).unwrap_err().kind,
+            ErrorKind::Usage
+        );
+        assert_eq!(
+            run(&sv(&["change", "dalal"])).unwrap_err().kind,
+            ErrorKind::Usage
+        );
+        assert_eq!(
+            run(&sv(&["--backend", "quantum", "models", "A"]))
+                .unwrap_err()
+                .kind,
+            ErrorKind::Usage
+        );
+        assert_eq!(
+            run(&sv(&["--timeout-ms", "soon", "arbitrate", "A", "B"]))
+                .unwrap_err()
+                .kind,
+            ErrorKind::Usage
+        );
+    }
+
+    #[test]
+    fn wide_signatures_carry_the_limit_kind() {
+        let atoms: Vec<String> = (0..40).map(|i| format!("x{i}")).collect();
+        let wide = atoms.join(" | ");
+        let e = cmd_models(&wide).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Limit);
+        assert!(e.message.contains("enumeration limit"), "{}", e.message);
     }
 
     #[test]
@@ -431,16 +942,23 @@ mod tests {
 
     #[test]
     fn merge_command_jury() {
-        let out = cmd_merge("weighted", Some("A & !B"), &sv(&["A & !B:9", "!A & B:2"])).unwrap();
+        let out = cmd_merge(
+            "weighted",
+            Some("A & !B"),
+            &sv(&["A & !B:9", "!A & B:2"]),
+            None,
+        )
+        .unwrap();
         assert!(out.contains("consensus: {{A}}"), "{out}");
         assert!(out.contains("Entailed"), "{out}");
     }
 
     #[test]
     fn merge_rejects_unsatisfiable_voice_and_bad_strategy() {
-        assert!(cmd_merge("weighted", None, &sv(&["A & !A"])).is_err());
-        assert!(cmd_merge("nope", None, &sv(&["A"])).is_err());
-        assert!(cmd_merge("weighted", None, &[]).is_err());
+        let e = cmd_merge("weighted", None, &sv(&["A & !A"]), None).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Generic);
+        assert!(cmd_merge("nope", None, &sv(&["A"]), None).is_err());
+        assert!(cmd_merge("weighted", None, &[], None).is_err());
     }
 
     #[test]
@@ -520,5 +1038,201 @@ mod tests {
     fn no_stats_flag_means_no_profile() {
         let out = run(&sv(&["models", "A"])).unwrap();
         assert!(!out.contains("telemetry_enabled"), "{out}");
+    }
+
+    #[test]
+    fn parse_fault_specs() {
+        let f = parse_fault("node:3").unwrap();
+        assert_eq!(f.site, BudgetSite::Node);
+        assert_eq!(f.at, 3);
+        assert_eq!(parse_fault("node").unwrap_err().kind, ErrorKind::Usage);
+        assert_eq!(parse_fault("warp:1").unwrap_err().kind, ErrorKind::Usage);
+        assert_eq!(parse_fault("scan:0").unwrap_err().kind, ErrorKind::Usage);
+        assert_eq!(parse_fault("scan:x").unwrap_err().kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn generous_budget_stays_exact_and_reports_it() {
+        let exact = run(&sv(&["change", "dalal", "A & B", "!A | !B"])).unwrap();
+        let budgeted = run(&sv(&[
+            "change",
+            "dalal",
+            "A & B",
+            "!A | !B",
+            "--max-steps",
+            "100000",
+        ]))
+        .unwrap();
+        assert!(budgeted.contains("budget:   exact"), "{budgeted}");
+        // Same result line as the unbudgeted run.
+        let result = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("result:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(result(&exact), result(&budgeted));
+    }
+
+    #[test]
+    fn fault_flag_degrades_with_budget_error() {
+        // The first ranked candidate faults: every candidate lands in the
+        // frontier, so the degraded answer is an upper bound.
+        let e = run(&sv(&[
+            "change", "dalal", "A & B", "!A | !B", "--fault", "scan:1",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(e.message.contains("fault"), "{}", e.message);
+        assert!(e.message.contains("upper-bound"), "{}", e.message);
+    }
+
+    #[test]
+    fn arbitrate_fault_at_first_scan_degrades() {
+        // Small universes rank candidates by linear scan (the subcube
+        // branch-and-bound only engages at 12+ variables), so the scan
+        // site is the one that faults here.
+        let e = run(&sv(&["arbitrate", "A & B", "!A & !B", "--fault", "scan:1"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(e.message.contains("scan"), "{}", e.message);
+    }
+
+    #[test]
+    fn arbitrate_fault_at_first_node_degrades_on_wide_universes() {
+        // 12 atoms push the universe search into branch-and-bound, where
+        // the root node always charges: `node:1` is a guaranteed trip.
+        let atoms: Vec<String> = (0..12).map(|i| format!("a{i}")).collect();
+        let psi = atoms.join(" & ");
+        let phi = format!("!({})", atoms.join(" | "));
+        let e = run(&sv(&["arbitrate", &psi, &phi, "--fault", "node:1"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(e.message.contains("node"), "{}", e.message);
+    }
+
+    #[test]
+    fn budget_flags_reject_unbudgeted_operators_and_commands() {
+        let e = run(&sv(&["change", "satoh", "A", "B", "--max-steps", "5"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.message.contains("no budgeted variant"), "{}", e.message);
+        let e = run(&sv(&["models", "A", "--max-steps", "5"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        let e = run(&sv(&[
+            "merge",
+            "--strategy",
+            "majority",
+            "A",
+            "--max-steps",
+            "5",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn sat_backend_change_matches_enumeration() {
+        let enumerated = run(&sv(&["change", "dalal", "A & B", "!A | !B"])).unwrap();
+        let sat = run(&sv(&[
+            "change",
+            "dalal",
+            "A & B",
+            "!A | !B",
+            "--backend",
+            "sat",
+        ]))
+        .unwrap();
+        assert!(sat.contains("distance: 1"), "{sat}");
+        let result = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("result:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(result(&enumerated), result(&sat));
+        // And the odist operator too.
+        let sat = run(&sv(&[
+            "change",
+            "odist",
+            "A & B",
+            "!A | !B",
+            "--backend",
+            "sat",
+        ]))
+        .unwrap();
+        assert!(sat.contains("budget:   exact"), "{sat}");
+    }
+
+    #[test]
+    fn sat_backend_rejects_operators_without_sat_support() {
+        let e = run(&sv(&["change", "gmax", "A", "B", "--backend", "sat"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.message.contains("no SAT backend"), "{}", e.message);
+        let e = run(&sv(&["models", "A", "--backend", "sat"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn sat_backend_model_fault_interrupts() {
+        // Two optimal models at distance 1; faulting the first enumerated
+        // model leaves a partial incumbent set.
+        let e = run(&sv(&[
+            "change",
+            "dalal",
+            "A & B",
+            "!A | !B",
+            "--backend",
+            "sat",
+            "--fault",
+            "model:1",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(e.message.contains("interrupted"), "{}", e.message);
+    }
+
+    #[test]
+    fn weighted_merge_honors_budget_flags() {
+        let ok = run(&sv(&[
+            "merge",
+            "--strategy",
+            "weighted",
+            "A:2",
+            "!A:1",
+            "--max-steps",
+            "100000",
+        ]))
+        .unwrap();
+        assert!(ok.contains("budget: exact"), "{ok}");
+        let e = run(&sv(&[
+            "merge",
+            "--strategy",
+            "weighted",
+            "A:2",
+            "!A:1",
+            "--fault",
+            "scan:1",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(
+            e.message.contains("upper-bound") || e.message.contains("interrupted"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn tiny_step_budget_trips_with_steps_reason_text() {
+        // The scan meter batches 1024 ticks per limit check, so a trip
+        // needs a pool larger than one stride: a disjunction over 11
+        // atoms gives μ 2^11 - 1 = 2047 candidates.
+        let atoms: Vec<String> = (0..11).map(|i| format!("a{i}")).collect();
+        let mu = atoms.join(" | ");
+        let e = run(&sv(&["change", "dalal", "a0", &mu, "--max-steps", "16"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Budget);
+        assert!(
+            e.message.contains(TripReason::Steps.name()),
+            "{}",
+            e.message
+        );
     }
 }

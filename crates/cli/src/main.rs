@@ -1,14 +1,16 @@
 //! The `arbitrex` command-line tool. All logic lives in the library
 //! (`arbitrex_cli`) so it can be unit-tested; this binary only handles
-//! process concerns.
+//! process concerns: printing, and mapping each [`arbitrex_cli::ErrorKind`]
+//! to its distinct nonzero exit code (usage 2, parse 3, limits 4,
+//! exhausted budget 5, anything else 1).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match arbitrex_cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            eprintln!("error ({}): {e}", e.kind.name());
+            std::process::exit(e.kind.exit_code());
         }
     }
 }

@@ -7,11 +7,13 @@
 //! commutative, arbitration is commutative — the defining symmetry that
 //! revision and update lack.
 
+use crate::budget::{Budget, Outcome, Quality, WeightedOutcome};
 use crate::error::CoreError;
 use crate::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, RankFitting, SumFitting};
 use crate::kernel::{
-    gmax_fill_pruned, odist_pruned, select_min_universe, select_min_universe_mono,
-    select_min_universe_odist, select_min_vec, PopProfile,
+    gmax_fill_pruned, odist_pruned, select_min_budgeted, select_min_universe,
+    select_min_universe_budgeted, select_min_universe_mono, select_min_universe_mono_budgeted,
+    select_min_universe_odist, select_min_universe_odist_budgeted, select_min_vec, PopProfile,
 };
 use crate::operator::ChangeOperator;
 use crate::weighted::WeightedKb;
@@ -37,6 +39,22 @@ pub trait UniverseFitting: ChangeOperator {
         CoreError::check_enum_limit(n)?;
         Ok(self.apply(psi, &ModelSet::all(n)))
     }
+
+    /// Budgeted `ψ ▷ ⊤`: degrade gracefully instead of running to
+    /// completion when `budget` gives out, per the
+    /// [`Quality`](crate::budget::Quality) containment contract.
+    ///
+    /// The provided default cannot interrupt an opaque [`apply`]
+    /// (`ChangeOperator::apply`), so it runs exactly and reports
+    /// [`Quality::Exact`]; the concrete fitting operators override it to
+    /// thread the budget through the selection kernel.
+    fn apply_universe_budgeted(
+        &self,
+        psi: &ModelSet,
+        budget: &Budget,
+    ) -> Result<Outcome, CoreError> {
+        Ok(Outcome::exact(self.apply_universe(psi)?, budget))
+    }
 }
 
 impl UniverseFitting for OdistFitting {
@@ -50,6 +68,19 @@ impl UniverseFitting for OdistFitting {
         // far stronger than the bare monotone bound for the max aggregate.
         let (_, min) = select_min_universe_odist(n, psi.as_slice())?;
         Ok(min)
+    }
+
+    fn apply_universe_budgeted(
+        &self,
+        psi: &ModelSet,
+        budget: &Budget,
+    ) -> Result<Outcome, CoreError> {
+        let n = psi.n_vars();
+        if psi.is_empty() {
+            CoreError::check_enum_limit(n)?;
+            return Ok(Outcome::exact(ModelSet::empty(n), budget));
+        }
+        Ok(select_min_universe_odist_budgeted(n, psi.as_slice(), budget)?.into_outcome(budget))
     }
 }
 
@@ -71,6 +102,32 @@ impl UniverseFitting for LexOdistFitting {
         })?;
         Ok(min)
     }
+
+    fn apply_universe_budgeted(
+        &self,
+        psi: &ModelSet,
+        budget: &Budget,
+    ) -> Result<Outcome, CoreError> {
+        let n = psi.n_vars();
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => {
+                CoreError::check_enum_limit(n)?;
+                return Ok(Outcome::exact(ModelSet::empty(n), budget));
+            }
+        };
+        let slice = psi.as_slice();
+        let sel = select_min_universe_budgeted(
+            n,
+            || {
+                |i: Interp, cap: Option<&(u32, u64)>| {
+                    odist_pruned(slice, &prof, i, cap.map(|c| c.0)).map(|d| (d, i.0))
+                }
+            },
+            budget,
+        )?;
+        Ok(sel.into_outcome(budget))
+    }
 }
 
 impl UniverseFitting for SumFitting {
@@ -84,6 +141,25 @@ impl UniverseFitting for SumFitting {
             d.iter().map(|&x| x as u64).sum::<u64>()
         })?;
         Ok(min)
+    }
+
+    fn apply_universe_budgeted(
+        &self,
+        psi: &ModelSet,
+        budget: &Budget,
+    ) -> Result<Outcome, CoreError> {
+        let n = psi.n_vars();
+        if psi.is_empty() {
+            CoreError::check_enum_limit(n)?;
+            return Ok(Outcome::exact(ModelSet::empty(n), budget));
+        }
+        let sel = select_min_universe_mono_budgeted(
+            n,
+            psi.as_slice(),
+            |d: &[u32]| d.iter().map(|&x| x as u64).sum::<u64>(),
+            budget,
+        )?;
+        Ok(sel.into_outcome(budget))
     }
 }
 
@@ -101,6 +177,40 @@ impl UniverseFitting for GMaxFitting {
             gmax_fill_pruned(psi.as_slice(), &prof, i, cap, buf)
         }))
     }
+
+    fn apply_universe_budgeted(
+        &self,
+        psi: &ModelSet,
+        budget: &Budget,
+    ) -> Result<Outcome, CoreError> {
+        let n = psi.n_vars();
+        CoreError::check_enum_limit(n)?;
+        if budget.is_unconstrained() {
+            return Ok(Outcome::exact(self.apply_universe(psi)?, budget));
+        }
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Ok(Outcome::exact(ModelSet::empty(n), budget)),
+        };
+        let slice = psi.as_slice();
+        // The budgeted scan ranks with an allocated vector key (the exact
+        // path's buffer swapping doesn't compose with frontier tracking);
+        // acceptable for a path that is by definition resource-limited.
+        let mut buf: Vec<u32> = Vec::new();
+        let sel = select_min_budgeted(
+            n,
+            all_interps(n),
+            |i, cap: Option<&Vec<u32>>| {
+                if gmax_fill_pruned(slice, &prof, i, cap.map(|c| c.as_slice()), &mut buf) {
+                    Some(buf.clone())
+                } else {
+                    None
+                }
+            },
+            budget,
+        );
+        Ok(sel.into_outcome(budget))
+    }
 }
 
 impl<K: Ord, F: Fn(&ModelSet, Interp) -> K> UniverseFitting for RankFitting<K, F> {}
@@ -113,6 +223,20 @@ pub trait WeightedUniverseFitting: WeightedChangeOperator {
         let n = psi.n_vars();
         CoreError::check_enum_limit(n)?;
         Ok(self.apply(psi, &WeightedKb::all(n)))
+    }
+
+    /// Budgeted `ψ̃ ▷ 𝓜̃` — the weighted analogue of
+    /// [`UniverseFitting::apply_universe_budgeted`].
+    ///
+    /// The default cannot interrupt an opaque `apply` and runs exactly;
+    /// [`WdistFitting`] overrides it to thread the budget through the
+    /// selection kernel.
+    fn apply_universe_budgeted(
+        &self,
+        psi: &WeightedKb,
+        budget: &Budget,
+    ) -> Result<WeightedOutcome, CoreError> {
+        Ok(WeightedOutcome::exact(self.apply_universe(psi)?, budget))
     }
 }
 
@@ -134,6 +258,46 @@ impl WeightedUniverseFitting for WdistFitting {
         })?;
         // Every interpretation carries weight 1 in 𝓜̃.
         Ok(WeightedKb::from_weights(n, min.iter().map(|i| (i, 1))))
+    }
+
+    fn apply_universe_budgeted(
+        &self,
+        psi: &WeightedKb,
+        budget: &Budget,
+    ) -> Result<WeightedOutcome, CoreError> {
+        crate::telemetry::WDIST_APPLICATIONS.incr();
+        let n = psi.n_vars();
+        if !psi.is_satisfiable() {
+            CoreError::check_enum_limit(n)?;
+            return Ok(WeightedOutcome::exact(WeightedKb::unsatisfiable(n), budget));
+        }
+        let (models, weights): (Vec<Interp>, Vec<u64>) = psi.support().unzip();
+        crate::telemetry::WSUPPORT_SCANNED.add(models.len() as u64);
+        let sel = select_min_universe_mono_budgeted(
+            n,
+            &models,
+            |d: &[u32]| {
+                d.iter()
+                    .zip(&weights)
+                    .map(|(&x, &w)| x as u128 * w as u128)
+                    .sum::<u128>()
+            },
+            budget,
+        )?;
+        // Every interpretation carries weight 1 in 𝓜̃, so minimizers and
+        // frontier members alike enter the degraded result with weight 1.
+        let quality = sel.quality();
+        let support = match (quality, sel.frontier) {
+            (Quality::UpperBound, Some(f)) if !f.is_empty() => {
+                sel.minima.union(&ModelSet::new(n, f))
+            }
+            _ => sel.minima,
+        };
+        Ok(WeightedOutcome::new(
+            WeightedKb::from_weights(n, support.iter().map(|i| (i, 1))),
+            quality,
+            budget,
+        ))
     }
 }
 
@@ -187,6 +351,19 @@ impl<F: UniverseFitting> Arbitration<F> {
     pub fn try_apply(&self, psi: &ModelSet, phi: &ModelSet) -> Result<ModelSet, CoreError> {
         self.fitting.apply_universe(&psi.union(phi))
     }
+
+    /// `ψ Δ φ` under `budget`, degrading gracefully per the
+    /// [`Quality`](crate::budget::Quality) containment contract instead of
+    /// running to completion.
+    pub fn try_apply_with_budget(
+        &self,
+        psi: &ModelSet,
+        phi: &ModelSet,
+        budget: &Budget,
+    ) -> Result<Outcome, CoreError> {
+        self.fitting
+            .apply_universe_budgeted(&psi.union(phi), budget)
+    }
 }
 
 impl<F: UniverseFitting> ChangeOperator for Arbitration<F> {
@@ -195,6 +372,8 @@ impl<F: UniverseFitting> ChangeOperator for Arbitration<F> {
     }
 
     fn apply(&self, psi: &ModelSet, phi: &ModelSet) -> ModelSet {
+        // invariant: deliberate documented panic — the trait's infallible
+        // convenience entry; fallible callers use try_apply.
         self.try_apply(psi, phi)
             .expect("signature exceeds ENUM_LIMIT; use try_apply or the SAT backend")
     }
@@ -252,6 +431,31 @@ pub fn try_arbitrate_with_stats(
     phi: &ModelSet,
 ) -> (Result<ModelSet, CoreError>, crate::TelemetrySnapshot) {
     crate::telemetry::capture(|| try_arbitrate(psi, phi))
+}
+
+/// [`try_arbitrate`] under a [`Budget`]: a typed, degrade-gracefully
+/// variant that returns an [`Outcome`] instead of running to completion.
+///
+/// With an unconstrained budget the result is bit-identical to
+/// [`try_arbitrate`]; when the budget trips, the outcome's
+/// [`Quality`](crate::budget::Quality) states the containment contract the
+/// returned models satisfy.
+///
+/// ```
+/// use arbitrex_core::{try_arbitrate, try_arbitrate_with_budget, Budget};
+/// use arbitrex_logic::{Interp, ModelSet};
+/// let psi = ModelSet::new(3, [Interp(0b001), Interp(0b010), Interp(0b111)]);
+/// let phi = ModelSet::new(3, [Interp(0b010), Interp(0b011)]);
+/// let out = try_arbitrate_with_budget(&psi, &phi, &Budget::unlimited()).unwrap();
+/// assert!(out.is_exact());
+/// assert_eq!(out.models, try_arbitrate(&psi, &phi).unwrap());
+/// ```
+pub fn try_arbitrate_with_budget(
+    psi: &ModelSet,
+    phi: &ModelSet,
+    budget: &Budget,
+) -> Result<Outcome, CoreError> {
+    Arbitration::default().try_apply_with_budget(psi, phi, budget)
 }
 
 /// A folk alternative for comparison: symmetrized revision
@@ -317,6 +521,18 @@ impl<F: WeightedUniverseFitting> WeightedArbitration<F> {
     pub fn try_apply(&self, psi: &WeightedKb, phi: &WeightedKb) -> Result<WeightedKb, CoreError> {
         self.fitting.apply_universe(&psi.join(phi))
     }
+
+    /// `ψ̃ Δ φ̃` under `budget`, degrading gracefully per the
+    /// [`Quality`](crate::budget::Quality) containment contract instead of
+    /// running to completion.
+    pub fn try_apply_with_budget(
+        &self,
+        psi: &WeightedKb,
+        phi: &WeightedKb,
+        budget: &Budget,
+    ) -> Result<WeightedOutcome, CoreError> {
+        self.fitting.apply_universe_budgeted(&psi.join(phi), budget)
+    }
 }
 
 impl<F: WeightedUniverseFitting> WeightedChangeOperator for WeightedArbitration<F> {
@@ -325,6 +541,8 @@ impl<F: WeightedUniverseFitting> WeightedChangeOperator for WeightedArbitration<
     }
 
     fn apply(&self, psi: &WeightedKb, phi: &WeightedKb) -> WeightedKb {
+        // invariant: deliberate documented panic — the trait's infallible
+        // convenience entry; fallible callers use try_apply.
         self.try_apply(psi, phi)
             .expect("signature exceeds ENUM_LIMIT; use try_apply or the SAT backend")
     }
@@ -388,6 +606,18 @@ pub fn try_warbitrate_with_stats(
     phi: &WeightedKb,
 ) -> (Result<WeightedKb, CoreError>, crate::TelemetrySnapshot) {
     crate::telemetry::capture(|| try_warbitrate(psi, phi))
+}
+
+/// [`try_warbitrate`] under a [`Budget`]: a typed, degrade-gracefully
+/// variant that returns a [`WeightedOutcome`] instead of running to
+/// completion. With an unconstrained budget the result is bit-identical to
+/// [`try_warbitrate`].
+pub fn try_warbitrate_with_budget(
+    psi: &WeightedKb,
+    phi: &WeightedKb,
+    budget: &Budget,
+) -> Result<WeightedOutcome, CoreError> {
+    WeightedArbitration::default().try_apply_with_budget(psi, phi, budget)
 }
 
 #[cfg(test)]
@@ -586,5 +816,87 @@ mod tests {
         let egalitarian = Arbitration::default().apply(&psi, &phi);
         let majority = Arbitration::new(SumFitting).apply(&psi, &phi);
         assert_ne!(egalitarian, majority);
+    }
+
+    #[test]
+    fn budgeted_arbitration_unconstrained_matches_exact() {
+        use crate::budget::Budget;
+        let psi = ms(3, &[0b001, 0b010, 0b111]);
+        let phi = ms(3, &[0b010, 0b011]);
+        let exact = try_arbitrate(&psi, &phi).unwrap();
+        let out = try_arbitrate_with_budget(&psi, &phi, &Budget::unlimited()).unwrap();
+        assert!(out.is_exact());
+        assert_eq!(out.models, exact);
+        // Each fitting override agrees with its exact sibling.
+        let pool = psi.union(&phi);
+        for check in [
+            (
+                OdistFitting.apply_universe(&pool).unwrap(),
+                OdistFitting
+                    .apply_universe_budgeted(&pool, &Budget::unlimited())
+                    .unwrap(),
+            ),
+            (
+                LexOdistFitting.apply_universe(&pool).unwrap(),
+                LexOdistFitting
+                    .apply_universe_budgeted(&pool, &Budget::unlimited())
+                    .unwrap(),
+            ),
+            (
+                SumFitting.apply_universe(&pool).unwrap(),
+                SumFitting
+                    .apply_universe_budgeted(&pool, &Budget::unlimited())
+                    .unwrap(),
+            ),
+            (
+                GMaxFitting.apply_universe(&pool).unwrap(),
+                GMaxFitting
+                    .apply_universe_budgeted(&pool, &Budget::unlimited())
+                    .unwrap(),
+            ),
+        ] {
+            assert!(check.1.is_exact());
+            assert_eq!(check.1.models, check.0);
+        }
+    }
+
+    #[test]
+    fn budgeted_arbitration_fault_keeps_containment() {
+        use crate::budget::{Budget, BudgetSite, FaultPlan, Quality, TripReason};
+        let psi = ms(3, &[0b001, 0b010, 0b111]);
+        let phi = ms(3, &[0b010, 0b011]);
+        let exact = try_arbitrate(&psi, &phi).unwrap();
+        for at in [1, 3, 6] {
+            let b = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Scan, at));
+            let out = try_arbitrate_with_budget(&psi, &phi, &b).unwrap();
+            assert_eq!(out.quality, Quality::UpperBound);
+            assert_eq!(out.spent.trip.unwrap().reason, TripReason::Fault);
+            for m in exact.iter() {
+                assert!(out.models.contains(m), "lost exact minimum {m:?} at {at}");
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_warbitration_unconstrained_and_faulted() {
+        use crate::budget::{Budget, BudgetSite, FaultPlan, Quality, TripReason};
+        let psi = WeightedKb::from_weights(3, [(i(0b001), 10), (i(0b010), 20), (i(0b111), 5)]);
+        let offer = WeightedKb::from_weights(3, [(i(0b010), 1), (i(0b011), 1)]);
+        let exact = try_warbitrate(&psi, &offer).unwrap();
+        let out = try_warbitrate_with_budget(&psi, &offer, &Budget::unlimited()).unwrap();
+        assert!(out.is_exact());
+        assert_eq!(out.kb, exact);
+        for at in [1, 4] {
+            let b = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Scan, at));
+            let degraded = try_warbitrate_with_budget(&psi, &offer, &b).unwrap();
+            assert_eq!(degraded.quality, Quality::UpperBound);
+            assert_eq!(degraded.spent.trip.unwrap().reason, TripReason::Fault);
+            for (m, _) in exact.support() {
+                assert!(
+                    degraded.kb.weight(m) > 0,
+                    "lost exact support {m:?} at {at}"
+                );
+            }
+        }
     }
 }

@@ -50,6 +50,7 @@ impl RankedAssignment for OdistAssignment {
     type Key = u32;
 
     fn rank(&self, psi: &ModelSet, i: Interp) -> u32 {
+        // invariant: the trait contract restricts rank() to satisfiable ψ.
         crate::distance::odist(psi, i).expect("rank is only defined for satisfiable psi")
     }
 }
@@ -87,6 +88,7 @@ impl RankedAssignment for SumAssignment {
     type Key = u64;
 
     fn rank(&self, psi: &ModelSet, i: Interp) -> u64 {
+        // invariant: the trait contract restricts rank() to satisfiable ψ.
         crate::distance::sum_dist(psi, i).expect("rank is only defined for satisfiable psi")
     }
 }

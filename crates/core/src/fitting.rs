@@ -8,8 +8,10 @@
 //! satisfy postulates (A1–A8) via Theorem 3.1; the postulate harness in
 //! [`crate::postulates`] re-verifies that claim mechanically.
 
+use crate::budget::{Budget, BudgetedChangeOperator, Outcome};
 use crate::kernel::{
-    gmax_fill_pruned, odist_pruned, select_min, select_min_vec, sum_dist_pruned, PopProfile,
+    gmax_fill_pruned, odist_pruned, select_min, select_min_budgeted, select_min_vec,
+    sum_dist_pruned, PopProfile,
 };
 use crate::operator::ChangeOperator;
 use crate::preorder::min_by_rank;
@@ -64,6 +66,22 @@ impl ChangeOperator for OdistFitting {
     }
 }
 
+impl BudgetedChangeOperator for OdistFitting {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Outcome::exact(ModelSet::empty(mu.n_vars()), budget),
+        };
+        select_min_budgeted(
+            mu.n_vars(),
+            mu.iter(),
+            |i, cap: Option<&u32>| odist_pruned(psi.as_slice(), &prof, i, cap.copied()),
+            budget,
+        )
+        .into_outcome(budget)
+    }
+}
+
 /// Model-fitting with a deterministic tie-break: minimize the pair
 /// `(odist(ψ, I), I)` lexicographically, the fixed bitmask order breaking
 /// odist ties.
@@ -97,6 +115,24 @@ impl ChangeOperator for LexOdistFitting {
     }
 }
 
+impl BudgetedChangeOperator for LexOdistFitting {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Outcome::exact(ModelSet::empty(mu.n_vars()), budget),
+        };
+        select_min_budgeted(
+            mu.n_vars(),
+            mu.iter(),
+            |i, cap: Option<&(u32, u64)>| {
+                odist_pruned(psi.as_slice(), &prof, i, cap.map(|c| c.0)).map(|d| (d, i.0))
+            },
+            budget,
+        )
+        .into_outcome(budget)
+    }
+}
+
 /// Sum-aggregated fitting: minimize `Σ_{J ∈ Mod(ψ)} dist(I, J)` — the
 /// unweighted majority flavour (each model of `ψ` votes with weight 1).
 ///
@@ -125,6 +161,22 @@ impl ChangeOperator for SumFitting {
             sum_dist_pruned(psi.as_slice(), &prof, i, cap.copied())
         });
         min
+    }
+}
+
+impl BudgetedChangeOperator for SumFitting {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Outcome::exact(ModelSet::empty(mu.n_vars()), budget),
+        };
+        select_min_budgeted(
+            mu.n_vars(),
+            mu.iter(),
+            |i, cap: Option<&u64>| sum_dist_pruned(psi.as_slice(), &prof, i, cap.copied()),
+            budget,
+        )
+        .into_outcome(budget)
     }
 }
 
@@ -165,6 +217,40 @@ impl ChangeOperator for GMaxFitting {
         select_min_vec(mu.n_vars(), mu.iter(), |i, cap, buf| {
             gmax_fill_pruned(psi.as_slice(), &prof, i, cap, buf)
         })
+    }
+}
+
+impl BudgetedChangeOperator for GMaxFitting {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        // The exact path's buffer swapping doesn't compose with frontier
+        // tracking, so stay on it unless the budget can actually trip.
+        if budget.is_unconstrained() {
+            return Outcome::exact(self.apply(psi, mu), budget);
+        }
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Outcome::exact(ModelSet::empty(mu.n_vars()), budget),
+        };
+        let mut buf: Vec<u32> = Vec::new();
+        select_min_budgeted(
+            mu.n_vars(),
+            mu.iter(),
+            |i, cap: Option<&Vec<u32>>| {
+                if gmax_fill_pruned(
+                    psi.as_slice(),
+                    &prof,
+                    i,
+                    cap.map(|c| c.as_slice()),
+                    &mut buf,
+                ) {
+                    Some(buf.clone())
+                } else {
+                    None
+                }
+            },
+            budget,
+        )
+        .into_outcome(budget)
     }
 }
 

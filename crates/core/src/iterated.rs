@@ -54,6 +54,7 @@ fn iterate_impl<F: FnMut(&ModelSet) -> ModelSet>(
 ) -> IterationOutcome {
     let mut trajectory = vec![psi.clone()];
     for _ in 0..max_steps {
+        // invariant: the trajectory starts non-empty and only grows.
         let next = step(trajectory.last().unwrap());
         let seen = trajectory.iter().position(|s| *s == next);
         trajectory.push(next);

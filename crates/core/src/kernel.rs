@@ -39,6 +39,7 @@
 //! against live in [`naive`]; `tests/kernel_differential.rs` at the
 //! workspace root checks operator-level agreement on random inputs.
 
+use crate::budget::{Budget, BudgetSite, Exhausted, Outcome, Quality};
 use crate::error::CoreError;
 use crate::telemetry;
 use crate::weighted::WeightedKb;
@@ -446,6 +447,9 @@ where
         tied: Vec::new(),
         nodes: 0,
         cut: 0,
+        budget: None,
+        stopped: None,
+        frontier: Vec::new(),
     };
     search.descend(0, 0, &mut d);
     search.flush_telemetry();
@@ -478,6 +482,14 @@ struct SubcubeSearch<'a, K, A> {
     /// per search via [`SubcubeSearch::flush_telemetry`].
     nodes: u64,
     cut: u64,
+    /// When set, every node expansion is charged to [`BudgetSite::Node`];
+    /// the unbudgeted paths pass `None` and pay only a branch per node.
+    budget: Option<&'a Budget>,
+    /// The trip that stopped the search, if the budget gave out.
+    stopped: Option<Exhausted>,
+    /// Subcubes abandoned unexplored by the trip unwind, as
+    /// `(assigned-prefix, depth)` pairs — free bits are `order[depth..]`.
+    frontier: Vec<(u64, usize)>,
 }
 
 impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
@@ -500,7 +512,20 @@ impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
     }
 
     fn descend(&mut self, depth: usize, prefix: u64, d: &mut [u32]) {
+        if self.stopped.is_some() {
+            // A budget trip is unwinding the search: every subcube reached
+            // from here on is recorded unexplored instead of visited.
+            self.frontier.push((prefix, depth));
+            return;
+        }
         self.nodes += 1;
+        if let Some(b) = self.budget {
+            if let Err(t) = b.charge(BudgetSite::Node, 1) {
+                self.stopped = Some(t);
+                self.frontier.push((prefix, depth));
+                return;
+            }
+        }
         if depth == self.order.len() {
             let key = (self.agg)(d);
             match self.best.as_ref() {
@@ -529,6 +554,7 @@ impl<K: Ord + Clone, A: Fn(&[u32]) -> K> SubcubeSearch<'_, K, A> {
         for v in visit {
             // Re-check against the cap each time: the first child may have
             // tightened it.
+            // invariant: the loop above filled both child bounds.
             let lb = bounds[v as usize].as_ref().unwrap();
             if let Some(b) = self.best.as_ref() {
                 if *lb > *b {
@@ -584,6 +610,9 @@ where
                         tied: Vec::new(),
                         nodes: 0,
                         cut: 0,
+                        budget: None,
+                        stopped: None,
+                        frontier: Vec::new(),
                     };
                     let mut d = vec![0u32; models.len()];
                     loop {
@@ -592,6 +621,8 @@ where
                             break;
                         }
                         {
+                            // invariant: poisoned only if a sibling
+                            // worker panicked — propagate the panic.
                             let g = shared.lock().unwrap();
                             if let Some(gb) = g.as_ref() {
                                 if search.best.as_ref().is_none_or(|b| gb < b) {
@@ -610,7 +641,9 @@ where
                         let before = search.best.clone();
                         search.descend(0, prefix, &mut d);
                         if search.best != before {
+                            // invariant: see the lock above.
                             let mut g = shared.lock().unwrap();
+                            // invariant: best != before implies Some.
                             let sb = search.best.as_ref().unwrap();
                             if g.as_ref().is_none_or(|gb| sb < gb) {
                                 *g = Some(sb.clone());
@@ -622,6 +655,7 @@ where
                 })
             })
             .collect();
+        // invariant: join() errs only when a worker panicked — propagate.
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let overall = per_worker
@@ -729,6 +763,9 @@ pub fn select_min_subcube_odist(n_vars: u32, models: &[Interp]) -> (Option<u32>,
         tied: Vec::new(),
         nodes: 0,
         cut: 0,
+        budget: None,
+        stopped: None,
+        frontier: Vec::new(),
     };
     let mut d = vec![0u32; models.len()];
     let mut s = s0;
@@ -812,6 +849,14 @@ struct OdistSubcube<'a> {
     /// per search via [`OdistSubcube::flush_telemetry`].
     nodes: u64,
     cut: u64,
+    /// When set, every node expansion is charged to [`BudgetSite::Node`];
+    /// the unbudgeted paths pass `None` and pay only a branch per node.
+    budget: Option<&'a Budget>,
+    /// The trip that stopped the search, if the budget gave out.
+    stopped: Option<Exhausted>,
+    /// Subcubes abandoned unexplored by the trip unwind, as
+    /// `(assigned-prefix, depth)` pairs — free bits are `order[depth..]`.
+    frontier: Vec<(u64, usize)>,
 }
 
 impl OdistSubcube<'_> {
@@ -851,7 +896,20 @@ impl OdistSubcube<'_> {
     }
 
     fn descend(&mut self, depth: usize, prefix: u64, d: &mut [u32], s: &mut [u32]) {
+        if self.stopped.is_some() {
+            // A budget trip is unwinding the search: every subcube reached
+            // from here on is recorded unexplored instead of visited.
+            self.frontier.push((prefix, depth));
+            return;
+        }
         self.nodes += 1;
+        if let Some(b) = self.budget {
+            if let Err(t) = b.charge(BudgetSite::Node, 1) {
+                self.stopped = Some(t);
+                self.frontier.push((prefix, depth));
+                return;
+            }
+        }
         if depth == self.order.len() {
             let key = d.iter().copied().max().unwrap_or(0);
             match self.best {
@@ -924,6 +982,9 @@ fn select_min_subcube_odist_parallel(
                         tied: Vec::new(),
                         nodes: 0,
                         cut: 0,
+                        budget: None,
+                        stopped: None,
+                        frontier: Vec::new(),
                     };
                     let mut d = vec![0u32; models.len()];
                     let mut s = s0.clone();
@@ -933,6 +994,8 @@ fn select_min_subcube_odist_parallel(
                             break;
                         }
                         {
+                            // invariant: poisoned only if a sibling
+                            // worker panicked — propagate the panic.
                             let g = shared.lock().unwrap();
                             if let Some(gb) = *g {
                                 if search.best.is_none_or(|b| gb < b) {
@@ -952,7 +1015,9 @@ fn select_min_subcube_odist_parallel(
                         let before = search.best;
                         search.descend(0, prefix, &mut d, &mut s);
                         if search.best != before {
+                            // invariant: see the lock above.
                             let mut g = shared.lock().unwrap();
+                            // invariant: best != before implies Some.
                             let sb = search.best.unwrap();
                             if g.is_none_or(|gb| sb < gb) {
                                 *g = Some(sb);
@@ -964,6 +1029,7 @@ fn select_min_subcube_odist_parallel(
                 })
             })
             .collect();
+        // invariant: join() errs only when a worker panicked — propagate.
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let overall = per_worker.iter().filter_map(|(b, _)| *b).min();
@@ -1113,6 +1179,8 @@ where
                         since_sync += 1;
                         if since_sync >= SYNC_EVERY {
                             since_sync = 0;
+                            // invariant: poisoned only if a sibling
+                            // worker panicked — propagate the panic.
                             let g = shared.lock().unwrap();
                             if let Some(gb) = g.as_ref() {
                                 // Adopt a strictly better global cap; local
@@ -1129,6 +1197,7 @@ where
                                 Some(b) if k > *b => {}
                                 Some(b) if k == *b => tied.push(i),
                                 _ => {
+                                    // invariant: see the lock above.
                                     let mut g = shared.lock().unwrap();
                                     if g.as_ref().is_none_or(|gb| k < *gb) {
                                         *g = Some(k.clone());
@@ -1148,6 +1217,7 @@ where
                 })
             })
             .collect();
+        // invariant: join() errs only when a worker panicked — propagate.
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
@@ -1168,6 +1238,826 @@ where
     telemetry::TIES_KEPT.add(keep.len() as u64);
     telemetry::PARALLEL_SHARDS.add(threads as u64);
     (overall, ModelSet::new(n_vars, keep))
+}
+
+// ---------------------------------------------------------------------------
+// Layer 6: budgeted selection — typed, degrade-gracefully variants
+// ---------------------------------------------------------------------------
+
+/// Result of a budgeted kernel selection: the incumbents, the unexplored
+/// frontier, and the trip that ended the search (if any).
+///
+/// Containment contract (checked in `tests/budget_containment.rs`): when
+/// `trip` is `None` the result equals the exact selection. When the search
+/// was interrupted, `minima ∪ frontier` is a **superset** of the exact
+/// minima — cutting is sound even mid-search, because a subcube is only cut
+/// when its lower bound strictly exceeds a best key that some visited (or
+/// probed) candidate actually achieves. A `None` frontier means the
+/// unexplored region was too large to materialize (past
+/// [`Budget::frontier_limit`]) and only the incumbents survive.
+#[derive(Debug, Clone)]
+pub struct BudgetedSelect<K> {
+    /// The best key among visited candidates (for an interrupted search, an
+    /// upper bound on the true minimum).
+    pub best: Option<K>,
+    /// Candidates achieving `best` among those visited.
+    pub minima: ModelSet,
+    /// Candidates never ranked before the trip: `Some(vec![])` for an
+    /// exact search, `Some(..)` when materialized within the frontier
+    /// limit, `None` on frontier overflow.
+    pub frontier: Option<Vec<Interp>>,
+    /// The budget trip that stopped the search, if any.
+    pub trip: Option<Exhausted>,
+}
+
+impl<K> BudgetedSelect<K> {
+    fn exact(best: Option<K>, minima: ModelSet) -> Self {
+        BudgetedSelect {
+            best,
+            minima,
+            frontier: Some(Vec::new()),
+            trip: None,
+        }
+    }
+
+    /// The [`Quality`] level this selection supports.
+    pub fn quality(&self) -> Quality {
+        match (&self.trip, &self.frontier) {
+            (None, _) => Quality::Exact,
+            (Some(_), Some(_)) => Quality::UpperBound,
+            (Some(_), None) => Quality::Interrupted,
+        }
+    }
+
+    /// Convert into an operator [`Outcome`]: upper-bound results return
+    /// `minima ∪ frontier`, everything else returns the incumbents.
+    pub fn into_outcome(self, budget: &Budget) -> Outcome {
+        let quality = self.quality();
+        let models = match (quality, self.frontier) {
+            (Quality::UpperBound, Some(f)) if !f.is_empty() => {
+                let n = self.minima.n_vars();
+                self.minima.union(&ModelSet::new(n, f))
+            }
+            _ => self.minima,
+        };
+        Outcome::new(models, quality, budget)
+    }
+}
+
+/// Drain the unscanned tail of a candidate pool into a frontier, bailing
+/// out (`None`) as soon as it exceeds `limit`.
+fn collect_frontier(rest: impl Iterator<Item = Interp>, limit: u64) -> Option<Vec<Interp>> {
+    let mut out: Vec<Interp> = Vec::new();
+    for i in rest {
+        if out.len() as u64 >= limit {
+            telemetry::FRONTIER_OVERFLOWS.incr();
+            return None;
+        }
+        out.push(i);
+    }
+    telemetry::FRONTIER_MODELS.add(out.len() as u64);
+    Some(out)
+}
+
+/// Materialize the interpretations of disjoint `(assigned-prefix, depth)`
+/// subcubes — free bits are `order[depth..]` — unless their total count
+/// exceeds `limit`.
+fn expand_frontier(order: &[u32], subcubes: &[(u64, usize)], limit: u64) -> Option<Vec<Interp>> {
+    let mut total = 0u64;
+    for &(_, depth) in subcubes {
+        let free = (order.len() - depth) as u32;
+        let count = 1u64.checked_shl(free).unwrap_or(u64::MAX);
+        total = total.saturating_add(count);
+        if total > limit {
+            telemetry::FRONTIER_OVERFLOWS.incr();
+            return None;
+        }
+    }
+    let mut out: Vec<Interp> = Vec::with_capacity(total as usize);
+    for &(prefix, depth) in subcubes {
+        let free_bits = &order[depth..];
+        for m in 0..1u64 << free_bits.len() {
+            let mut bits = prefix;
+            for (idx, &b) in free_bits.iter().enumerate() {
+                if m >> idx & 1 == 1 {
+                    bits |= 1 << b;
+                }
+            }
+            out.push(Interp(bits));
+        }
+    }
+    telemetry::FRONTIER_MODELS.add(out.len() as u64);
+    Some(out)
+}
+
+/// Budgeted [`select_min`]: each ranked candidate ticks a
+/// [`BudgetSite::Scan`] meter; on a trip the unscanned tail becomes the
+/// frontier. An unconstrained budget takes the exact path unchanged.
+///
+/// The meter batches its limit checks (every 1024 candidates unless a
+/// fault is armed on the scan site), so a trip may be observed up to one
+/// stride late — the extra candidates were ranked exactly, which never
+/// affects correctness, only how much work the trip saves.
+pub fn select_min_budgeted<K, E, I>(
+    n_vars: u32,
+    candidates: I,
+    mut eval: E,
+    budget: &Budget,
+) -> BudgetedSelect<K>
+where
+    K: Ord,
+    E: FnMut(Interp, Option<&K>) -> Option<K>,
+    I: IntoIterator<Item = Interp>,
+{
+    if budget.is_unconstrained() {
+        let (best, minima) = select_min(n_vars, candidates, eval);
+        return BudgetedSelect::exact(best, minima);
+    }
+    let mut best: Option<K> = None;
+    let mut tied: Vec<Interp> = Vec::new();
+    let (mut scanned, mut pruned) = (0u64, 0u64);
+    let mut iter = candidates.into_iter();
+    let mut tripped: Option<(Exhausted, Interp)> = None;
+    {
+        let mut meter = budget.meter(BudgetSite::Scan);
+        for i in iter.by_ref() {
+            if let Err(t) = meter.tick() {
+                // `i` was never ranked: it belongs to the frontier.
+                tripped = Some((t, i));
+                break;
+            }
+            scanned += 1;
+            if let Some(k) = eval(i, best.as_ref()) {
+                match best.as_ref() {
+                    Some(b) if k > *b => {}
+                    Some(b) if k == *b => tied.push(i),
+                    _ => {
+                        best = Some(k);
+                        tied.clear();
+                        tied.push(i);
+                    }
+                }
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    telemetry::SELECTIONS.incr();
+    telemetry::CANDIDATES_SCANNED.add(scanned);
+    telemetry::CANDIDATES_PRUNED.add(pruned);
+    telemetry::TIES_KEPT.add(tied.len() as u64);
+    let (trip, frontier) = match tripped {
+        None => (None, Some(Vec::new())),
+        Some((t, first)) => (
+            Some(t),
+            collect_frontier(std::iter::once(first).chain(iter), budget.frontier_limit()),
+        ),
+    };
+    BudgetedSelect {
+        best,
+        minima: ModelSet::new(n_vars, tied),
+        frontier,
+        trip,
+    }
+}
+
+/// Budgeted [`select_min_subcube`]: every node expansion is charged to
+/// [`BudgetSite::Node`]; on a trip the recursion unwinds, recording each
+/// unvisited subcube, and the frontier is their materialization.
+pub fn select_min_subcube_budgeted<K, A>(
+    n_vars: u32,
+    models: &[Interp],
+    agg: A,
+    budget: &Budget,
+) -> BudgetedSelect<K>
+where
+    K: Ord + Clone,
+    A: Fn(&[u32]) -> K,
+{
+    if budget.is_unconstrained() {
+        let (best, minima) = select_min_subcube(n_vars, models, agg);
+        return BudgetedSelect::exact(best, minima);
+    }
+    assert!(!models.is_empty(), "subcube search needs a non-empty psi");
+    let order = discriminating_bit_order(n_vars, models);
+    let mut d = vec![0u32; models.len()];
+    let mut search = SubcubeSearch {
+        models,
+        agg: &agg,
+        order: &order,
+        best: None,
+        tied: Vec::new(),
+        nodes: 0,
+        cut: 0,
+        budget: Some(budget),
+        stopped: None,
+        frontier: Vec::new(),
+    };
+    search.descend(0, 0, &mut d);
+    search.flush_telemetry();
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(search.tied.len() as u64);
+    let trip = search.stopped;
+    let frontier = match trip {
+        None => Some(Vec::new()),
+        Some(_) => expand_frontier(&order, &search.frontier, budget.frontier_limit()),
+    };
+    BudgetedSelect {
+        best: search.best,
+        minima: ModelSet::new(n_vars, search.tied.into_iter().map(Interp)),
+        frontier,
+        trip,
+    }
+}
+
+/// Budgeted [`select_min_subcube_odist`]: same scheme as
+/// [`select_min_subcube_budgeted`], with the pairwise-bounded odist search.
+/// The probe seed keeps its soundness under interruption: only subcubes
+/// strictly worse than an *achieved* bound are ever cut, so the frontier
+/// still contains every unvisited true minimum.
+pub fn select_min_subcube_odist_budgeted(
+    n_vars: u32,
+    models: &[Interp],
+    budget: &Budget,
+) -> BudgetedSelect<u32> {
+    if budget.is_unconstrained() {
+        let (best, minima) = select_min_subcube_odist(n_vars, models);
+        return BudgetedSelect::exact(best, minima);
+    }
+    assert!(!models.is_empty(), "subcube search needs a non-empty psi");
+    let order = discriminating_bit_order(n_vars, models);
+    let (pairs, s0) = odist_pairs(models);
+    let mut search = OdistSubcube {
+        models,
+        order: &order,
+        pairs: &pairs,
+        best: Some(odist_probe(n_vars, models)),
+        tied: Vec::new(),
+        nodes: 0,
+        cut: 0,
+        budget: Some(budget),
+        stopped: None,
+        frontier: Vec::new(),
+    };
+    let mut d = vec![0u32; models.len()];
+    let mut s = s0;
+    search.descend(0, 0, &mut d, &mut s);
+    search.flush_telemetry();
+    telemetry::SELECTIONS.incr();
+    telemetry::TIES_KEPT.add(search.tied.len() as u64);
+    let trip = search.stopped;
+    let frontier = match trip {
+        None => Some(Vec::new()),
+        Some(_) => expand_frontier(&order, &search.frontier, budget.frontier_limit()),
+    };
+    BudgetedSelect {
+        best: search.best,
+        minima: ModelSet::new(n_vars, search.tied.into_iter().map(Interp)),
+        frontier,
+        trip,
+    }
+}
+
+/// Budgeted [`select_min_subcube`] with explicit worker shards: the budget
+/// is shared by every worker, a tripped worker stops claiming roots, and
+/// the frontier is the union of all workers' unwound subcubes plus every
+/// root no worker ever claimed.
+///
+/// Public (rather than routed only through the dispatchers) so the
+/// fault-injection matrix can pin the parallel-shard path directly.
+#[cfg(feature = "parallel")]
+pub fn select_min_subcube_parallel_budgeted<K, A>(
+    n_vars: u32,
+    models: &[Interp],
+    agg: A,
+    threads: usize,
+    budget: &Budget,
+) -> BudgetedSelect<K>
+where
+    K: Ord + Clone + Send,
+    A: Fn(&[u32]) -> K + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let order = discriminating_bit_order(n_vars, models);
+    let split = (threads * 4)
+        .next_power_of_two()
+        .trailing_zeros()
+        .min(n_vars.saturating_sub(1))
+        .min(10) as usize;
+    let next_root = AtomicUsize::new(0);
+    let shared_best: Mutex<Option<K>> = Mutex::new(None);
+    type WorkerOut<K> = (Option<K>, Vec<u64>, Vec<(u64, usize)>, Option<Exhausted>);
+    let per_worker: Vec<WorkerOut<K>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, shared, order, agg) = (&next_root, &shared_best, &order, &agg);
+                scope.spawn(move || {
+                    let _shard_span = telemetry::SHARD.span();
+                    let mut search = SubcubeSearch {
+                        models,
+                        agg,
+                        order: &order[split..],
+                        best: None,
+                        tied: Vec::new(),
+                        nodes: 0,
+                        cut: 0,
+                        budget: Some(budget),
+                        stopped: None,
+                        frontier: Vec::new(),
+                    };
+                    let mut d = vec![0u32; models.len()];
+                    loop {
+                        if search.stopped.is_some() {
+                            break;
+                        }
+                        let root = next.fetch_add(1, Ordering::Relaxed);
+                        if root >= 1 << split {
+                            break;
+                        }
+                        {
+                            // invariant: poisoned only if a sibling
+                            // worker panicked — propagate the panic.
+                            let g = shared.lock().unwrap();
+                            if let Some(gb) = g.as_ref() {
+                                if search.best.as_ref().is_none_or(|b| gb < b) {
+                                    search.best = Some(gb.clone());
+                                    search.tied.clear();
+                                }
+                            }
+                        }
+                        let mut prefix = 0u64;
+                        d.iter_mut().for_each(|x| *x = 0);
+                        for (level, &bit) in order[..split].iter().enumerate() {
+                            let v = (root >> level & 1) as u64;
+                            prefix |= v << bit;
+                            search.shift(&mut d, bit, v, true);
+                        }
+                        let before = search.best.clone();
+                        search.descend(0, prefix, &mut d);
+                        if search.best != before {
+                            // invariant: see the lock above.
+                            let mut g = shared.lock().unwrap();
+                            // invariant: best != before implies Some.
+                            let sb = search.best.as_ref().unwrap();
+                            if g.as_ref().is_none_or(|gb| sb < gb) {
+                                *g = Some(sb.clone());
+                            }
+                        }
+                    }
+                    search.flush_telemetry();
+                    (search.best, search.tied, search.frontier, search.stopped)
+                })
+            })
+            .collect();
+        // invariant: join() errs only when a worker panicked — propagate.
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    telemetry::SELECTIONS.incr();
+    telemetry::PARALLEL_SHARDS.add(threads as u64);
+    let overall = per_worker
+        .iter()
+        .filter_map(|(b, ..)| b.as_ref())
+        .min()
+        .cloned();
+    let mut keep: Vec<Interp> = Vec::new();
+    if let Some(o) = overall.as_ref() {
+        for (b, t, ..) in &per_worker {
+            if b.as_ref() == Some(o) {
+                keep.extend(t.iter().copied().map(Interp));
+            }
+        }
+    }
+    telemetry::TIES_KEPT.add(keep.len() as u64);
+    let trip = per_worker.iter().find_map(|(.., s)| *s);
+    let frontier = match trip {
+        None => Some(Vec::new()),
+        Some(_) => {
+            let mut subcubes: Vec<(u64, usize)> = Vec::new();
+            for (_, _, f, _) in &per_worker {
+                // Worker depths are relative to `order[split..]`.
+                subcubes.extend(f.iter().map(|&(p, dl)| (p, split + dl)));
+            }
+            // Roots no worker claimed before the trip are wholly unexplored.
+            let claimed = next_root.load(Ordering::Relaxed).min(1 << split);
+            for root in claimed..(1 << split) {
+                let mut prefix = 0u64;
+                for (level, &bit) in order[..split].iter().enumerate() {
+                    if root >> level & 1 == 1 {
+                        prefix |= 1 << bit;
+                    }
+                }
+                subcubes.push((prefix, split));
+            }
+            expand_frontier(&order, &subcubes, budget.frontier_limit())
+        }
+    };
+    BudgetedSelect {
+        best: overall,
+        minima: ModelSet::new(n_vars, keep),
+        frontier,
+        trip,
+    }
+}
+
+/// Budgeted [`select_min_subcube_odist`] with explicit worker shards; see
+/// [`select_min_subcube_parallel_budgeted`] for the shared-budget scheme.
+#[cfg(feature = "parallel")]
+pub fn select_min_subcube_odist_parallel_budgeted(
+    n_vars: u32,
+    models: &[Interp],
+    threads: usize,
+    budget: &Budget,
+) -> BudgetedSelect<u32> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let order = discriminating_bit_order(n_vars, models);
+    let (pairs, s0) = odist_pairs(models);
+    let split = (threads * 4)
+        .next_power_of_two()
+        .trailing_zeros()
+        .min(n_vars.saturating_sub(1))
+        .min(10) as usize;
+    let next_root = AtomicUsize::new(0);
+    let shared_best: Mutex<Option<u32>> = Mutex::new(Some(odist_probe(n_vars, models)));
+    type WorkerOut = (Option<u32>, Vec<u64>, Vec<(u64, usize)>, Option<Exhausted>);
+    let per_worker: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (next, shared, order, pairs, s0) =
+                    (&next_root, &shared_best, &order, &pairs, &s0);
+                scope.spawn(move || {
+                    let _shard_span = telemetry::SHARD.span();
+                    let mut search = OdistSubcube {
+                        models,
+                        order: &order[split..],
+                        pairs,
+                        best: None,
+                        tied: Vec::new(),
+                        nodes: 0,
+                        cut: 0,
+                        budget: Some(budget),
+                        stopped: None,
+                        frontier: Vec::new(),
+                    };
+                    let mut d = vec![0u32; models.len()];
+                    let mut s = s0.clone();
+                    loop {
+                        if search.stopped.is_some() {
+                            break;
+                        }
+                        let root = next.fetch_add(1, Ordering::Relaxed);
+                        if root >= 1 << split {
+                            break;
+                        }
+                        {
+                            // invariant: poisoned only if a sibling
+                            // worker panicked — propagate the panic.
+                            let g = shared.lock().unwrap();
+                            if let Some(gb) = *g {
+                                if search.best.is_none_or(|b| gb < b) {
+                                    search.best = Some(gb);
+                                    search.tied.clear();
+                                }
+                            }
+                        }
+                        let mut prefix = 0u64;
+                        d.iter_mut().for_each(|x| *x = 0);
+                        s.copy_from_slice(s0);
+                        for (level, &bit) in order[..split].iter().enumerate() {
+                            let v = (root >> level & 1) as u64;
+                            prefix |= v << bit;
+                            search.shift(&mut d, &mut s, bit, v, true);
+                        }
+                        let before = search.best;
+                        search.descend(0, prefix, &mut d, &mut s);
+                        if search.best != before {
+                            // invariant: see the lock above.
+                            let mut g = shared.lock().unwrap();
+                            // invariant: best != before implies Some.
+                            let sb = search.best.unwrap();
+                            if g.is_none_or(|gb| sb < gb) {
+                                *g = Some(sb);
+                            }
+                        }
+                    }
+                    search.flush_telemetry();
+                    (search.best, search.tied, search.frontier, search.stopped)
+                })
+            })
+            .collect();
+        // invariant: join() errs only when a worker panicked — propagate.
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    telemetry::SELECTIONS.incr();
+    telemetry::PARALLEL_SHARDS.add(threads as u64);
+    let overall = per_worker.iter().filter_map(|(b, ..)| *b).min();
+    let mut keep: Vec<Interp> = Vec::new();
+    if let Some(o) = overall {
+        for (b, t, ..) in &per_worker {
+            if *b == Some(o) {
+                keep.extend(t.iter().copied().map(Interp));
+            }
+        }
+    }
+    telemetry::TIES_KEPT.add(keep.len() as u64);
+    let trip = per_worker.iter().find_map(|(.., s)| *s);
+    let frontier = match trip {
+        None => Some(Vec::new()),
+        Some(_) => {
+            let mut subcubes: Vec<(u64, usize)> = Vec::new();
+            for (_, _, f, _) in &per_worker {
+                subcubes.extend(f.iter().map(|&(p, dl)| (p, split + dl)));
+            }
+            let claimed = next_root.load(Ordering::Relaxed).min(1 << split);
+            for root in claimed..(1 << split) {
+                let mut prefix = 0u64;
+                for (level, &bit) in order[..split].iter().enumerate() {
+                    if root >> level & 1 == 1 {
+                        prefix |= 1 << bit;
+                    }
+                }
+                subcubes.push((prefix, split));
+            }
+            expand_frontier(&order, &subcubes, budget.frontier_limit())
+        }
+    };
+    BudgetedSelect {
+        best: overall,
+        minima: ModelSet::new(n_vars, keep),
+        frontier,
+        trip,
+    }
+}
+
+/// Budgeted chunked universe scan with explicit worker shards: every
+/// worker meters [`BudgetSite::Scan`] against the shared budget; tripped
+/// workers record their unscanned range, and the frontier is the union of
+/// those ranges.
+#[cfg(feature = "parallel")]
+pub fn select_min_universe_parallel_budgeted<K, E, F>(
+    n_vars: u32,
+    threads: usize,
+    factory: &F,
+    budget: &Budget,
+) -> BudgetedSelect<K>
+where
+    K: Ord + Clone + Send,
+    E: FnMut(Interp, Option<&K>) -> Option<K>,
+    F: Fn() -> E + Sync,
+{
+    use std::sync::Mutex;
+
+    const SYNC_EVERY: u64 = 4096;
+
+    let total = 1u64 << n_vars;
+    let shared_best: Mutex<Option<K>> = Mutex::new(None);
+    let chunk = total.div_ceil(threads as u64);
+    type WorkerOut<K> = (
+        Option<K>,
+        Vec<Interp>,
+        Option<(u64, u64)>,
+        Option<Exhausted>,
+    );
+    let per_chunk: Vec<WorkerOut<K>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let shared = &shared_best;
+                scope.spawn(move || {
+                    let _shard_span = telemetry::SHARD.span();
+                    let mut eval = factory();
+                    let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(total));
+                    let mut best: Option<K> = None;
+                    let mut tied: Vec<Interp> = Vec::new();
+                    let mut since_sync = 0u64;
+                    let (mut scanned, mut pruned) = (0u64, 0u64);
+                    let mut meter = budget.meter(BudgetSite::Scan);
+                    let mut trip: Option<Exhausted> = None;
+                    let mut remaining: Option<(u64, u64)> = None;
+                    for bits in lo..hi {
+                        if let Err(e) = meter.tick() {
+                            trip = Some(e);
+                            remaining = Some((bits, hi));
+                            break;
+                        }
+                        scanned += 1;
+                        since_sync += 1;
+                        if since_sync >= SYNC_EVERY {
+                            since_sync = 0;
+                            // invariant: poisoned only if a sibling
+                            // worker panicked — propagate the panic.
+                            let g = shared.lock().unwrap();
+                            if let Some(gb) = g.as_ref() {
+                                if best.as_ref().is_none_or(|b| gb < b) {
+                                    best = Some(gb.clone());
+                                    tied.clear();
+                                }
+                            }
+                        }
+                        let i = Interp(bits);
+                        if let Some(k) = eval(i, best.as_ref()) {
+                            match best.as_ref() {
+                                Some(b) if k > *b => {}
+                                Some(b) if k == *b => tied.push(i),
+                                _ => {
+                                    // invariant: see the lock above.
+                                    let mut g = shared.lock().unwrap();
+                                    if g.as_ref().is_none_or(|gb| k < *gb) {
+                                        *g = Some(k.clone());
+                                    }
+                                    best = Some(k);
+                                    tied.clear();
+                                    tied.push(i);
+                                }
+                            }
+                        } else {
+                            pruned += 1;
+                        }
+                    }
+                    drop(meter);
+                    telemetry::CANDIDATES_SCANNED.add(scanned);
+                    telemetry::CANDIDATES_PRUNED.add(pruned);
+                    (best, tied, remaining, trip)
+                })
+            })
+            .collect();
+        // invariant: join() errs only when a worker panicked — propagate.
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    telemetry::SELECTIONS.incr();
+    telemetry::PARALLEL_SHARDS.add(threads as u64);
+    let overall = per_chunk
+        .iter()
+        .filter_map(|(b, ..)| b.as_ref())
+        .min()
+        .cloned();
+    let mut keep: Vec<Interp> = Vec::new();
+    if let Some(o) = overall.as_ref() {
+        for (b, t, ..) in &per_chunk {
+            if b.as_ref() == Some(o) {
+                keep.extend(t.iter().copied());
+            }
+        }
+    }
+    telemetry::TIES_KEPT.add(keep.len() as u64);
+    let trip = per_chunk.iter().find_map(|(.., s)| *s);
+    let frontier = match trip {
+        None => Some(Vec::new()),
+        Some(_) => {
+            let limit = budget.frontier_limit();
+            let pending: u64 = per_chunk
+                .iter()
+                .filter_map(|(_, _, r, _)| r.map(|(lo, hi)| hi - lo))
+                .sum();
+            if pending > limit {
+                telemetry::FRONTIER_OVERFLOWS.incr();
+                None
+            } else {
+                let mut out: Vec<Interp> = Vec::with_capacity(pending as usize);
+                for (_, _, r, _) in &per_chunk {
+                    if let Some((lo, hi)) = r {
+                        out.extend((*lo..*hi).map(Interp));
+                    }
+                }
+                telemetry::FRONTIER_MODELS.add(out.len() as u64);
+                Some(out)
+            }
+        }
+    };
+    BudgetedSelect {
+        best: overall,
+        minima: ModelSet::new(n_vars, keep),
+        frontier,
+        trip,
+    }
+}
+
+/// Budgeted [`select_min_universe`]: the streamed-universe scan with a
+/// [`BudgetSite::Scan`] meter per worker. Dispatch mirrors the exact entry
+/// point; an unconstrained budget delegates to it outright.
+pub fn select_min_universe_budgeted<K, E, F>(
+    n_vars: u32,
+    factory: F,
+    budget: &Budget,
+) -> Result<BudgetedSelect<K>, CoreError>
+where
+    K: Ord + Clone + Send,
+    E: FnMut(Interp, Option<&K>) -> Option<K>,
+    F: Fn() -> E + Sync,
+{
+    CoreError::check_enum_limit(n_vars)?;
+    if budget.is_unconstrained() {
+        let (best, minima) = select_min_universe(n_vars, factory)?;
+        return Ok(BudgetedSelect::exact(best, minima));
+    }
+    let _span = telemetry::UNIVERSE_SEARCH.span();
+    let total = 1u64 << n_vars;
+    let threads = thread_count(total);
+    if threads <= 1 {
+        return Ok(select_min_budgeted(
+            n_vars,
+            all_interps(n_vars),
+            factory(),
+            budget,
+        ));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        Ok(select_min_universe_parallel_budgeted(
+            n_vars, threads, &factory, budget,
+        ))
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("thread_count is 1 without the parallel feature")
+}
+
+/// Budgeted [`select_min_universe_mono`]: branch-and-bound under a node
+/// budget for wide universes, a metered scan below the subcube crossover.
+pub fn select_min_universe_mono_budgeted<K, A>(
+    n_vars: u32,
+    models: &[Interp],
+    agg: A,
+    budget: &Budget,
+) -> Result<BudgetedSelect<K>, CoreError>
+where
+    K: Ord + Clone + Send,
+    A: Fn(&[u32]) -> K + Sync,
+{
+    CoreError::check_enum_limit(n_vars)?;
+    if budget.is_unconstrained() {
+        let (best, minima) = select_min_universe_mono(n_vars, models, agg)?;
+        return Ok(BudgetedSelect::exact(best, minima));
+    }
+    let _span = telemetry::UNIVERSE_SEARCH.span();
+    if n_vars < SUBCUBE_MIN_VARS {
+        let mut d = vec![0u32; models.len()];
+        return Ok(select_min_budgeted(
+            n_vars,
+            all_interps(n_vars),
+            |j, _| {
+                for (dj, m) in d.iter_mut().zip(models) {
+                    *dj = (m.0 ^ j.0).count_ones();
+                }
+                Some(agg(&d))
+            },
+            budget,
+        ));
+    }
+    let threads = thread_count(1u64 << n_vars);
+    if threads <= 1 {
+        return Ok(select_min_subcube_budgeted(n_vars, models, agg, budget));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        Ok(select_min_subcube_parallel_budgeted(
+            n_vars, models, agg, threads, budget,
+        ))
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("thread_count is 1 without the parallel feature")
+}
+
+/// Budgeted [`select_min_universe_odist`]: the arbitration kernel under a
+/// budget.
+pub fn select_min_universe_odist_budgeted(
+    n_vars: u32,
+    models: &[Interp],
+    budget: &Budget,
+) -> Result<BudgetedSelect<u32>, CoreError> {
+    CoreError::check_enum_limit(n_vars)?;
+    if budget.is_unconstrained() {
+        let (best, minima) = select_min_universe_odist(n_vars, models)?;
+        return Ok(BudgetedSelect::exact(best, minima));
+    }
+    let _span = telemetry::UNIVERSE_SEARCH.span();
+    if n_vars < SUBCUBE_MIN_VARS {
+        let mut d = vec![0u32; models.len()];
+        return Ok(select_min_budgeted(
+            n_vars,
+            all_interps(n_vars),
+            |j, _| {
+                for (dj, m) in d.iter_mut().zip(models) {
+                    *dj = (m.0 ^ j.0).count_ones();
+                }
+                Some(d.iter().copied().max().unwrap_or(0))
+            },
+            budget,
+        ));
+    }
+    let threads = thread_count(1u64 << n_vars);
+    if threads <= 1 {
+        return Ok(select_min_subcube_odist_budgeted(n_vars, models, budget));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        Ok(select_min_subcube_odist_parallel_budgeted(
+            n_vars, models, threads, budget,
+        ))
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("thread_count is 1 without the parallel feature")
 }
 
 // ---------------------------------------------------------------------------
@@ -1532,5 +2422,259 @@ mod tests {
                 assert_eq!(par_best, seq_best);
             }
         }
+    }
+
+    // --- budgeted layer -----------------------------------------------------
+
+    use crate::budget::{FaultPlan, TripReason};
+
+    /// `minima ∪ frontier` of an interrupted selection must contain every
+    /// exact minimum; an exact selection must equal the oracle outright.
+    fn assert_contains(sel: &BudgetedSelect<u32>, exact: &ModelSet, ctx: &str) {
+        match sel.quality() {
+            Quality::Exact => {
+                assert_eq!(&sel.minima, exact, "{ctx}: exact result differs");
+            }
+            Quality::UpperBound => {
+                let frontier = sel.frontier.as_ref().unwrap();
+                let n = sel.minima.n_vars();
+                let superset = sel
+                    .minima
+                    .union(&ModelSet::new(n, frontier.iter().copied()));
+                for i in exact.iter() {
+                    assert!(
+                        superset.contains(i),
+                        "{ctx}: true minimum {i:?} missing from upper bound"
+                    );
+                }
+            }
+            Quality::Interrupted => {}
+        }
+    }
+
+    #[test]
+    fn budgeted_select_min_unconstrained_is_exact() {
+        for seed in 0..16u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            let (best, minima) = select_min(6, all_interps(6), |i, cap: Option<&u32>| {
+                odist_pruned(slice, &prof, i, cap.copied())
+            });
+            let sel = select_min_budgeted(
+                6,
+                all_interps(6),
+                |i, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied()),
+                &Budget::unlimited(),
+            );
+            assert!(matches!(sel.quality(), Quality::Exact));
+            assert_eq!(sel.minima, minima, "seed {seed}");
+            assert_eq!(sel.best, best);
+        }
+    }
+
+    #[test]
+    fn budgeted_select_min_fault_keeps_containment() {
+        for seed in 0..16u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            let exact = naive::odist_fitting(&psi, &ModelSet::all(6));
+            for at in [1u64, 7, 31, 60] {
+                let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Scan, at));
+                let sel = select_min_budgeted(
+                    6,
+                    all_interps(6),
+                    |i, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied()),
+                    &budget,
+                );
+                let trip = sel.trip.expect("fault must trip");
+                assert_eq!(trip.reason, TripReason::Fault);
+                assert_eq!(trip.site, BudgetSite::Scan);
+                assert_contains(&sel, &exact, &format!("scan fault at {at}, seed {seed}"));
+                // Ranked + frontier covers the whole universe: the fault is
+                // armed on the scan site (stride 1), so exactly `at - 1`
+                // candidates were ranked before the tripping tick.
+                if let Some(f) = &sel.frontier {
+                    assert_eq!(f.len() as u64, 64 - (at - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_select_min_frontier_overflow_degrades_to_interrupted() {
+        let psi = scrambled(6, 3);
+        let slice = psi.as_slice();
+        let prof = PopProfile::of(&psi).unwrap();
+        let budget = Budget::unlimited()
+            .with_fault(FaultPlan::new(BudgetSite::Scan, 2))
+            .with_frontier_limit(4);
+        let sel = select_min_budgeted(
+            6,
+            all_interps(6),
+            |i, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied()),
+            &budget,
+        );
+        assert!(matches!(sel.quality(), Quality::Interrupted));
+        assert!(sel.frontier.is_none());
+    }
+
+    #[test]
+    fn budgeted_subcube_fault_keeps_containment() {
+        for seed in 0..24u64 {
+            let psi = scrambled(7, seed);
+            let slice = psi.as_slice();
+            let exact = naive::odist_fitting(&psi, &ModelSet::all(7));
+            let agg = |d: &[u32]| d.iter().copied().max().unwrap();
+            // A fault past the search's actual node count never fires and
+            // the search completes exactly — only `at = 1` is guaranteed
+            // to trip (the root node always charges).
+            for at in [1u64, 5, 17, 100] {
+                let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Node, at));
+                let sel = select_min_subcube_budgeted(7, slice, agg, &budget);
+                if at == 1 {
+                    assert!(sel.trip.is_some(), "node fault at 1 must trip");
+                }
+                assert_contains(&sel, &exact, &format!("bnb fault at {at}, seed {seed}"));
+
+                let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Node, at));
+                let sel = select_min_subcube_odist_budgeted(7, slice, &budget);
+                if at == 1 {
+                    assert!(sel.trip.is_some(), "odist node fault at 1 must trip");
+                }
+                assert_contains(&sel, &exact, &format!("odist fault at {at}, seed {seed}"));
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_subcube_step_limit_trips_typed() {
+        let psi = scrambled(7, 11);
+        let slice = psi.as_slice();
+        let exact = naive::odist_fitting(&psi, &ModelSet::all(7));
+        let budget = Budget::unlimited().with_step_limit(3);
+        let sel = select_min_subcube_odist_budgeted(7, slice, &budget);
+        let trip = sel.trip.expect("step limit must trip");
+        assert_eq!(trip.reason, TripReason::Steps);
+        assert_contains(&sel, &exact, "step limit");
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn budgeted_parallel_shards_keep_containment() {
+        for seed in 0..12u64 {
+            let psi = scrambled(7, seed);
+            let slice = psi.as_slice();
+            let exact = naive::odist_fitting(&psi, &ModelSet::all(7));
+            let agg = |d: &[u32]| d.iter().copied().max().unwrap();
+            for threads in [2usize, 3] {
+                // As in the sequential test, only `at = 1` is guaranteed
+                // to trip; larger trip points may exceed the pruned
+                // search's actual node count and complete exactly.
+                for at in [1u64, 9, 40] {
+                    let budget =
+                        Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Node, at));
+                    let sel = select_min_subcube_parallel_budgeted(7, slice, agg, threads, &budget);
+                    if at == 1 {
+                        assert!(sel.trip.is_some(), "par node fault at 1 must trip");
+                    }
+                    assert_contains(
+                        &sel,
+                        &exact,
+                        &format!("par bnb t={threads} at={at} seed={seed}"),
+                    );
+
+                    let budget =
+                        Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Node, at));
+                    let sel =
+                        select_min_subcube_odist_parallel_budgeted(7, slice, threads, &budget);
+                    if at == 1 {
+                        assert!(sel.trip.is_some(), "par odist fault at 1 must trip");
+                    }
+                    assert_contains(
+                        &sel,
+                        &exact,
+                        &format!("par odist t={threads} at={at} seed={seed}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn budgeted_parallel_universe_scan_keeps_containment() {
+        for seed in 0..12u64 {
+            let psi = scrambled(6, seed);
+            let slice = psi.as_slice();
+            let prof = PopProfile::of(&psi).unwrap();
+            let exact = naive::odist_fitting(&psi, &ModelSet::all(6));
+            let factory =
+                || |i: Interp, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied());
+            for threads in [2usize, 3] {
+                for at in [1u64, 20, 63] {
+                    let budget =
+                        Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Scan, at));
+                    let sel = select_min_universe_parallel_budgeted(6, threads, &factory, &budget);
+                    assert!(sel.trip.is_some(), "t={threads} at={at}");
+                    assert_contains(
+                        &sel,
+                        &exact,
+                        &format!("par scan t={threads} at={at} seed={seed}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budgeted_dispatchers_match_exact_when_unconstrained() {
+        let psi = scrambled(6, 5);
+        let slice = psi.as_slice();
+        let exact = naive::odist_fitting(&psi, &ModelSet::all(6));
+        let sel = select_min_universe_odist_budgeted(6, slice, &Budget::unlimited()).unwrap();
+        assert!(matches!(sel.quality(), Quality::Exact));
+        assert_eq!(sel.minima, exact);
+
+        let agg = |d: &[u32]| d.iter().map(|&x| x as u64).sum::<u64>();
+        let sel = select_min_universe_mono_budgeted(6, slice, agg, &Budget::unlimited()).unwrap();
+        assert!(matches!(sel.quality(), Quality::Exact));
+        assert_eq!(sel.minima, naive::sum_fitting(&psi, &ModelSet::all(6)));
+    }
+
+    #[test]
+    fn budgeted_dispatchers_reject_wide_signatures() {
+        let r = select_min_universe_odist_budgeted(
+            arbitrex_logic::ENUM_LIMIT + 1,
+            &[Interp(0)],
+            &Budget::unlimited(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn budgeted_cancel_token_stops_the_scan() {
+        use crate::budget::CancelToken;
+        let psi = scrambled(6, 9);
+        let slice = psi.as_slice();
+        let prof = PopProfile::of(&psi).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        // Stride-1 metering via a fault on a *different* count far away
+        // isn't needed: cancellation is checked on every flush, and the
+        // fault below forces stride 1 on the scan site.
+        let budget = Budget::unlimited()
+            .with_cancel(token)
+            .with_fault(FaultPlan::new(BudgetSite::Scan, u64::MAX));
+        let sel = select_min_budgeted(
+            6,
+            all_interps(6),
+            |i, cap: Option<&u32>| odist_pruned(slice, &prof, i, cap.copied()),
+            &budget,
+        );
+        let trip = sel.trip.expect("cancelled budget must trip");
+        assert_eq!(trip.reason, TripReason::Cancelled);
+        assert!(budget.spent().scans < 64);
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod arbitration;
 pub mod assignment;
+pub mod budget;
 pub mod distance;
 pub mod error;
 pub mod fitting;
@@ -48,8 +49,13 @@ pub mod weighted;
 pub mod wfitting;
 
 pub use arbitration::{
-    arbitrate, try_arbitrate, try_arbitrate_with_stats, try_warbitrate, try_warbitrate_with_stats,
-    warbitrate, Arbitration, UniverseFitting, WeightedArbitration, WeightedUniverseFitting,
+    arbitrate, try_arbitrate, try_arbitrate_with_budget, try_arbitrate_with_stats, try_warbitrate,
+    try_warbitrate_with_budget, try_warbitrate_with_stats, warbitrate, Arbitration,
+    UniverseFitting, WeightedArbitration, WeightedUniverseFitting,
+};
+pub use budget::{
+    Budget, BudgetSite, BudgetSpent, BudgetedChangeOperator, BudgetedWeightedChangeOperator,
+    CancelToken, Exhausted, FaultPlan, Outcome, Quality, TripReason, WeightedOutcome,
 };
 pub use distance::{dist, min_dist, odist, sum_dist, wdist};
 pub use error::CoreError;

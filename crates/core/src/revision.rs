@@ -12,7 +12,8 @@
 //! knowledge base carries no usable information, the new information is
 //! fully trusted). This satisfies R1–R6.
 
-use crate::kernel::{min_dist_pruned, select_min, PopProfile};
+use crate::budget::{Budget, BudgetedChangeOperator, Outcome};
+use crate::kernel::{min_dist_pruned, select_min, select_min_budgeted, PopProfile};
 use crate::operator::ChangeOperator;
 use arbitrex_logic::{Interp, ModelSet};
 
@@ -49,6 +50,22 @@ impl ChangeOperator for DalalRevision {
             min_dist_pruned(psi.as_slice(), &prof, i, cap.copied())
         });
         min
+    }
+}
+
+impl BudgetedChangeOperator for DalalRevision {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        let prof = match PopProfile::of(psi) {
+            Some(p) => p,
+            None => return Outcome::exact(mu.clone(), budget),
+        };
+        select_min_budgeted(
+            mu.n_vars(),
+            mu.iter(),
+            |i, cap: Option<&u32>| min_dist_pruned(psi.as_slice(), &prof, i, cap.copied()),
+            budget,
+        )
+        .into_outcome(budget)
     }
 }
 

@@ -13,11 +13,13 @@
 //! common case where `Mod(ψ)` is explicit (e.g. merging a handful of
 //! sources), while revision needs only the `∃∃`-pattern and scales fully.
 
+use crate::budget::{Budget, BudgetSite, BudgetSpent, Quality};
 use crate::telemetry;
 use arbitrex_logic::{to_clauses, Cnf, Formula, Interp, ModelSet};
 use arbitrex_sat::telemetry::record_solver;
 use arbitrex_sat::{
-    enumerate_models, minimize_true_count, AllSatLimit, CardinalityLadder, Lit, SolveResult, Solver,
+    enumerate_models, enumerate_models_budgeted, minimize_true_count_budgeted, AllSatLimit,
+    CardinalityLadder, EnumStatus, Lit, MinimizeOutcome, SolveResult, Solver,
 };
 
 /// Enumerate `Mod(f)` over `n_vars` variables through Tseitin + AllSAT with
@@ -72,6 +74,53 @@ pub struct SatChangeResult {
     pub models: ModelSet,
 }
 
+/// The typed result of a budgeted SAT-backed operation: the degradation
+/// ladder runs optimal-distance → best-incumbent-distance (models within an
+/// upper bound, [`Quality::UpperBound`]) → whatever models were enumerated
+/// before interruption ([`Quality::Interrupted`], a *subset* of the models
+/// at `distance`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SatOutcome {
+    /// The distance bound the models satisfy: the minimum when `quality`
+    /// is exact, an upper bound otherwise; `None` when vacuous or when the
+    /// search was interrupted before any incumbent existed.
+    pub distance: Option<u32>,
+    /// The models within `distance` (all of them unless interrupted
+    /// mid-enumeration).
+    pub models: ModelSet,
+    /// The containment contract the models satisfy.
+    pub quality: Quality,
+    /// Work charged to the budget, including the trip record.
+    pub spent: BudgetSpent,
+}
+
+impl SatOutcome {
+    fn new(distance: Option<u32>, models: ModelSet, quality: Quality, budget: &Budget) -> Self {
+        let spent = budget.spent();
+        crate::budget::record_outcome(&spent);
+        SatOutcome {
+            distance,
+            models,
+            quality,
+            spent,
+        }
+    }
+
+    /// Did the search run to completion?
+    pub fn is_exact(&self) -> bool {
+        self.quality.is_exact()
+    }
+}
+
+/// Attach (a clone of) `budget` to `solver` so individual SAT searches
+/// charge [`BudgetSite::Conflict`] — skipped for unconstrained budgets to
+/// keep the exact path free of bookkeeping.
+fn arm_solver(solver: &mut Solver, budget: &Budget) {
+    if !budget.is_unconstrained() {
+        solver.set_budget(Some(budget.clone()));
+    }
+}
+
 /// Dalal's revision via SAT: minimize the Hamming distance between a model
 /// of `μ` and a model of `ψ` with a sequential-counter ladder and binary
 /// search, then enumerate every model of `μ` achieving it.
@@ -88,6 +137,30 @@ pub fn dalal_revision_sat(
     n_vars: u32,
     model_limit: usize,
 ) -> Option<SatChangeResult> {
+    let out = dalal_revision_sat_budgeted(psi, mu, n_vars, model_limit, &Budget::unlimited())?;
+    // invariant: an unlimited budget never trips, so the outcome is exact.
+    debug_assert!(out.is_exact());
+    Some(SatChangeResult {
+        distance: out.distance,
+        models: out.models,
+    })
+}
+
+/// [`dalal_revision_sat`] under a [`Budget`]: the solver charges
+/// [`BudgetSite::Conflict`] per conflict, the cardinality minimization
+/// charges [`BudgetSite::LadderStep`] per binary-search step, and the final
+/// enumeration charges [`BudgetSite::Model`] per model. On exhaustion the
+/// result degrades per [`SatOutcome`]'s ladder instead of aborting.
+///
+/// Returns `None` only when the model enumeration exceeds `model_limit`
+/// (the legacy resource cap, distinct from budget exhaustion).
+pub fn dalal_revision_sat_budgeted(
+    psi: &Formula,
+    mu: &Formula,
+    n_vars: u32,
+    model_limit: usize,
+    budget: &Budget,
+) -> Option<SatOutcome> {
     telemetry::SAT_BACKEND_CALLS.incr();
     // Variable layout: x = 0..n (models of μ), y = n..2n (models of ψ),
     // then Tseitin auxiliaries, then difference vars.
@@ -98,22 +171,49 @@ pub fn dalal_revision_sat(
     // ψ inconsistent ⇒ revision returns Mod(μ).
     {
         let mut s = Solver::new();
+        arm_solver(&mut s, budget);
         s.ensure_vars(psi_cnf.n_vars);
         for c in &psi_cnf.clauses {
             s.add_dimacs_clause(c);
         }
-        let unsat = s.solve() == SolveResult::Unsat;
+        let r = s.solve();
         record_solver(&s);
-        if unsat {
-            let models = models_via_sat(mu, n, model_limit)?;
-            return Some(SatChangeResult {
-                distance: None,
-                models,
-            });
+        match r {
+            SolveResult::Interrupted => {
+                return Some(SatOutcome::new(
+                    None,
+                    ModelSet::empty(n),
+                    Quality::Interrupted,
+                    budget,
+                ));
+            }
+            SolveResult::Unsat => {
+                let mut ms = Solver::new();
+                arm_solver(&mut ms, budget);
+                ms.ensure_vars(mu_cnf.n_vars.max(n));
+                for c in &mu_cnf.clauses {
+                    ms.add_dimacs_clause(c);
+                }
+                let res =
+                    enumerate_models_budgeted(&mut ms, n, AllSatLimit::AtMost(model_limit), budget);
+                record_solver(&ms);
+                let models = ModelSet::new(n, res.models.into_iter().map(Interp));
+                return match res.status {
+                    EnumStatus::LimitExceeded => None,
+                    EnumStatus::Complete => {
+                        Some(SatOutcome::new(None, models, Quality::Exact, budget))
+                    }
+                    EnumStatus::Interrupted(_) => {
+                        Some(SatOutcome::new(None, models, Quality::Interrupted, budget))
+                    }
+                };
+            }
+            SolveResult::Sat => {}
         }
     }
 
     let mut solver = Solver::new();
+    arm_solver(&mut solver, budget);
     solver.ensure_vars(2 * n);
     add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
     add_cnf_remapped(&mut solver, &psi_cnf, |v| n + v);
@@ -133,26 +233,68 @@ pub fn dalal_revision_sat(
         d_lits.push(d);
     }
 
-    let (k, _model, ladder) = match minimize_true_count(&mut solver, &d_lits) {
-        Some(r) => r,
-        None => {
+    let bound = match minimize_true_count_budgeted(&mut solver, &d_lits, budget) {
+        MinimizeOutcome::Unsat => {
             // μ unsatisfiable (ψ was checked above).
             record_solver(&solver);
-            return Some(SatChangeResult {
-                distance: None,
-                models: ModelSet::empty(n),
-            });
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Exact,
+                budget,
+            ));
         }
+        MinimizeOutcome::Interrupted(_) => {
+            // No incumbent: nothing trustworthy to return.
+            record_solver(&solver);
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Interrupted,
+                budget,
+            ));
+        }
+        MinimizeOutcome::Bound(b) => b,
     };
-    // Lock the optimum and enumerate the x-projections.
-    ladder.assert_at_most(&mut solver, k);
-    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit));
+    // Lock the bound (the optimum when exact, the best incumbent — an
+    // upper bound — otherwise) and enumerate the x-projections. After a
+    // trip the budget is sticky-exhausted, so materializing the degraded
+    // result — like the kernel's frontier collection — runs uncharged
+    // (still capped by `model_limit`).
+    let unlimited = Budget::unlimited();
+    let enum_budget = if bound.is_exact() {
+        budget
+    } else {
+        solver.set_budget(None);
+        &unlimited
+    };
+    bound.ladder.assert_at_most(&mut solver, bound.k);
+    let res = enumerate_models_budgeted(
+        &mut solver,
+        n,
+        AllSatLimit::AtMost(model_limit),
+        enum_budget,
+    );
     record_solver(&solver);
-    let models = models?;
-    Some(SatChangeResult {
-        distance: Some(k as u32),
-        models: ModelSet::new(n, models.into_iter().map(Interp)),
-    })
+    let models = ModelSet::new(n, res.models.into_iter().map(Interp));
+    let distance = Some(bound.k as u32);
+    match res.status {
+        EnumStatus::LimitExceeded => None,
+        EnumStatus::Complete => {
+            let quality = if bound.is_exact() {
+                Quality::Exact
+            } else {
+                Quality::UpperBound
+            };
+            Some(SatOutcome::new(distance, models, quality, budget))
+        }
+        EnumStatus::Interrupted(_) => Some(SatOutcome::new(
+            distance,
+            models,
+            Quality::Interrupted,
+            budget,
+        )),
+    }
 }
 
 /// The paper's model-fitting operator via SAT, for a knowledge base given
@@ -167,25 +309,68 @@ pub fn odist_fitting_sat(
     n_vars: u32,
     model_limit: usize,
 ) -> Option<SatChangeResult> {
+    let out =
+        odist_fitting_sat_budgeted(psi_models, mu, n_vars, model_limit, &Budget::unlimited())?;
+    // invariant: an unlimited budget never trips, so the outcome is exact.
+    debug_assert!(out.is_exact());
+    Some(SatChangeResult {
+        distance: out.distance,
+        models: out.models,
+    })
+}
+
+/// [`odist_fitting_sat`] under a [`Budget`]: radius binary-search steps
+/// charge [`BudgetSite::LadderStep`], SAT conflicts charge
+/// [`BudgetSite::Conflict`], and the final enumeration charges
+/// [`BudgetSite::Model`]. The search keeps `hi` feasible throughout
+/// (radius `n` always is, given satisfiable `μ`), so interrupting the
+/// binary search still yields models within a sound upper-bound radius —
+/// a superset of the optimal fit, reported as [`Quality::UpperBound`].
+///
+/// Returns `None` only when the model enumeration exceeds `model_limit`.
+pub fn odist_fitting_sat_budgeted(
+    psi_models: &[Interp],
+    mu: &Formula,
+    n_vars: u32,
+    model_limit: usize,
+    budget: &Budget,
+) -> Option<SatOutcome> {
     telemetry::SAT_BACKEND_CALLS.incr();
     let n = n_vars;
     if psi_models.is_empty() {
         // (A2): unsatisfiable knowledge base fits nothing.
-        return Some(SatChangeResult {
-            distance: None,
-            models: ModelSet::empty(n),
-        });
+        return Some(SatOutcome::new(
+            None,
+            ModelSet::empty(n),
+            Quality::Exact,
+            budget,
+        ));
     }
     let mu_cnf = to_clauses(mu, n);
     let mut solver = Solver::new();
+    arm_solver(&mut solver, budget);
     solver.ensure_vars(n);
     add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
-    if solver.solve() == SolveResult::Unsat {
-        record_solver(&solver);
-        return Some(SatChangeResult {
-            distance: None,
-            models: ModelSet::empty(n),
-        });
+    match solver.solve() {
+        SolveResult::Unsat => {
+            record_solver(&solver);
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Exact,
+                budget,
+            ));
+        }
+        SolveResult::Interrupted => {
+            record_solver(&solver);
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Interrupted,
+                budget,
+            ));
+        }
+        SolveResult::Sat => {}
     }
 
     // One ladder per ψ-model J, over the literals "x_v differs from J_v".
@@ -199,35 +384,70 @@ pub fn odist_fitting_sat(
         })
         .collect();
 
-    // Binary search the least feasible radius r in [0, n].
-    let feasible = |solver: &mut Solver, r: usize| -> bool {
-        let assumps: Vec<Lit> = ladders.iter().filter_map(|l| l.at_most(r)).collect();
-        solver.solve_with_assumptions(&assumps) == SolveResult::Sat
-    };
+    // Binary search the least feasible radius r in [0, n]; `hi` stays
+    // feasible at every point, so a trip mid-search leaves a sound upper
+    // bound.
     let mut lo = 0usize;
     let mut hi = n as usize; // always feasible: any model differs ≤ n
     let mut steps = 0u64;
+    let mut tripped = false;
     while lo < hi {
+        if budget.charge(BudgetSite::LadderStep, 1).is_err() {
+            tripped = true;
+            break;
+        }
         steps += 1;
         let mid = lo + (hi - lo) / 2;
-        if feasible(&mut solver, mid) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
+        let assumps: Vec<Lit> = ladders.iter().filter_map(|l| l.at_most(mid)).collect();
+        match solver.solve_with_assumptions(&assumps) {
+            SolveResult::Sat => hi = mid,
+            SolveResult::Unsat => lo = mid + 1,
+            SolveResult::Interrupted => {
+                tripped = true;
+                break;
+            }
         }
     }
     arbitrex_sat::telemetry::CARD_BINSEARCH_STEPS.add(steps);
-    // Lock the optimum radius permanently and enumerate.
+    // Lock the best feasible radius found and enumerate. After a trip the
+    // budget is sticky-exhausted, so the degraded materialization runs
+    // uncharged (still capped by `model_limit`).
+    let unlimited = Budget::unlimited();
+    let enum_budget = if tripped {
+        solver.set_budget(None);
+        &unlimited
+    } else {
+        budget
+    };
     for ladder in &ladders {
         ladder.assert_at_most(&mut solver, hi);
     }
-    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit));
+    let res = enumerate_models_budgeted(
+        &mut solver,
+        n,
+        AllSatLimit::AtMost(model_limit),
+        enum_budget,
+    );
     record_solver(&solver);
-    let models = models?;
-    Some(SatChangeResult {
-        distance: Some(hi as u32),
-        models: ModelSet::new(n, models.into_iter().map(Interp)),
-    })
+    let models = ModelSet::new(n, res.models.into_iter().map(Interp));
+    let distance = Some(hi as u32);
+    match res.status {
+        EnumStatus::LimitExceeded => None,
+        EnumStatus::Complete => {
+            let quality = if tripped {
+                Quality::UpperBound
+            } else {
+                Quality::Exact
+            };
+            Some(SatOutcome::new(distance, models, quality, budget))
+        }
+        EnumStatus::Interrupted(_) => Some(SatOutcome::new(
+            distance,
+            models,
+            Quality::Interrupted,
+            budget,
+        )),
+    }
 }
 
 /// Weighted model-fitting via SAT, for a weighted knowledge base given as
@@ -248,6 +468,28 @@ pub fn wdist_fitting_sat(
     n_vars: u32,
     model_limit: usize,
 ) -> Option<SatChangeResult> {
+    let out =
+        wdist_fitting_sat_budgeted(psi_weighted, mu, n_vars, model_limit, &Budget::unlimited())?;
+    // invariant: an unlimited budget never trips, so the outcome is exact.
+    debug_assert!(out.is_exact());
+    Some(SatChangeResult {
+        distance: out.distance,
+        models: out.models,
+    })
+}
+
+/// [`wdist_fitting_sat`] under a [`Budget`], degrading per [`SatOutcome`]'s
+/// ladder: an inexact minimization bound is still feasible (every incumbent
+/// is), so the enumerated models are a sound superset of the optimal ones.
+///
+/// Returns `None` only when the model enumeration exceeds `model_limit`.
+pub fn wdist_fitting_sat_budgeted(
+    psi_weighted: &[(Interp, u64)],
+    mu: &Formula,
+    n_vars: u32,
+    model_limit: usize,
+    budget: &Budget,
+) -> Option<SatOutcome> {
     telemetry::SAT_BACKEND_CALLS.incr();
     let n = n_vars;
     let support: Vec<(Interp, u64)> = psi_weighted
@@ -257,22 +499,39 @@ pub fn wdist_fitting_sat(
         .collect();
     if support.is_empty() {
         // (F2): unsatisfiable ψ̃ fits nothing.
-        return Some(SatChangeResult {
-            distance: None,
-            models: ModelSet::empty(n),
-        });
+        return Some(SatOutcome::new(
+            None,
+            ModelSet::empty(n),
+            Quality::Exact,
+            budget,
+        ));
     }
     let g = support.iter().fold(0u64, |acc, &(_, w)| gcd(acc, w));
     let mu_cnf = to_clauses(mu, n);
     let mut solver = Solver::new();
+    arm_solver(&mut solver, budget);
     solver.ensure_vars(n);
     add_cnf_remapped(&mut solver, &mu_cnf, |v| v);
-    if solver.solve() == SolveResult::Unsat {
-        record_solver(&solver);
-        return Some(SatChangeResult {
-            distance: None,
-            models: ModelSet::empty(n),
-        });
+    match solver.solve() {
+        SolveResult::Unsat => {
+            record_solver(&solver);
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Exact,
+                budget,
+            ));
+        }
+        SolveResult::Interrupted => {
+            record_solver(&solver);
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Interrupted,
+                budget,
+            ));
+        }
+        SolveResult::Sat => {}
     }
     // The weighted multiset of difference literals.
     let mut diff_lits: Vec<Lit> = Vec::new();
@@ -285,16 +544,57 @@ pub fn wdist_fitting_sat(
             }
         }
     }
-    let (k, _model, ladder) =
-        minimize_true_count(&mut solver, &diff_lits).expect("solver was satisfiable above");
-    ladder.assert_at_most(&mut solver, k);
-    let models = enumerate_models(&mut solver, n, AllSatLimit::AtMost(model_limit));
+    let bound = match minimize_true_count_budgeted(&mut solver, &diff_lits, budget) {
+        // The solver was satisfiable above, so Unsat here can only mean an
+        // interrupted re-solve under a sticky-tripped budget; either way
+        // there is no incumbent to report.
+        MinimizeOutcome::Unsat | MinimizeOutcome::Interrupted(_) => {
+            record_solver(&solver);
+            return Some(SatOutcome::new(
+                None,
+                ModelSet::empty(n),
+                Quality::Interrupted,
+                budget,
+            ));
+        }
+        MinimizeOutcome::Bound(b) => b,
+    };
+    // As in the Dalal backend: after a trip the degraded materialization
+    // runs uncharged, still capped by `model_limit`.
+    let unlimited = Budget::unlimited();
+    let enum_budget = if bound.is_exact() {
+        budget
+    } else {
+        solver.set_budget(None);
+        &unlimited
+    };
+    bound.ladder.assert_at_most(&mut solver, bound.k);
+    let res = enumerate_models_budgeted(
+        &mut solver,
+        n,
+        AllSatLimit::AtMost(model_limit),
+        enum_budget,
+    );
     record_solver(&solver);
-    let models = models?;
-    Some(SatChangeResult {
-        distance: Some(k as u32),
-        models: ModelSet::new(n, models.into_iter().map(Interp)),
-    })
+    let models = ModelSet::new(n, res.models.into_iter().map(Interp));
+    let distance = Some(bound.k as u32);
+    match res.status {
+        EnumStatus::LimitExceeded => None,
+        EnumStatus::Complete => {
+            let quality = if bound.is_exact() {
+                Quality::Exact
+            } else {
+                Quality::UpperBound
+            };
+            Some(SatOutcome::new(distance, models, quality, budget))
+        }
+        EnumStatus::Interrupted(_) => Some(SatOutcome::new(
+            distance,
+            models,
+            Quality::Interrupted,
+            budget,
+        )),
+    }
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -471,6 +771,74 @@ mod tests {
         let world_b = Interp::EMPTY;
         let sat = wdist_fitting_sat(&[(world_a, 9), (world_b, 2)], &mu, n, 10).unwrap();
         assert_eq!(sat.models.as_singleton(), Some(world_a));
+    }
+
+    #[test]
+    fn budgeted_sat_backends_unconstrained_match_legacy() {
+        let mut sig = Sig::new();
+        let psi = parse(&mut sig, "A & B & C").unwrap();
+        let mu = parse(&mut sig, "!C").unwrap();
+        let n = sig.width();
+        let legacy = dalal_revision_sat(&psi, &mu, n, 1000).unwrap();
+        let out = dalal_revision_sat_budgeted(&psi, &mu, n, 1000, &Budget::unlimited()).unwrap();
+        assert!(out.is_exact());
+        assert_eq!(out.distance, legacy.distance);
+        assert_eq!(out.models, legacy.models);
+
+        let psi_models = [Interp(0b000), Interp(0b111), Interp(0b010)];
+        let legacy = odist_fitting_sat(&psi_models, &mu, n, 1000).unwrap();
+        let out =
+            odist_fitting_sat_budgeted(&psi_models, &mu, n, 1000, &Budget::unlimited()).unwrap();
+        assert!(out.is_exact());
+        assert_eq!(out.distance, legacy.distance);
+        assert_eq!(out.models, legacy.models);
+
+        let psi_w = [(Interp(0b000), 3), (Interp(0b111), 2)];
+        let legacy = wdist_fitting_sat(&psi_w, &mu, n, 1000).unwrap();
+        let out = wdist_fitting_sat_budgeted(&psi_w, &mu, n, 1000, &Budget::unlimited()).unwrap();
+        assert!(out.is_exact());
+        assert_eq!(out.distance, legacy.distance);
+        assert_eq!(out.models, legacy.models);
+    }
+
+    #[test]
+    fn budgeted_odist_sat_ladder_fault_degrades_to_upper_bound() {
+        use crate::budget::{BudgetSite, FaultPlan};
+        let mut sig = Sig::new();
+        let mu = parse(&mut sig, "(A | B) & (C -> A)").unwrap();
+        let n = sig.width();
+        let psi_models = [Interp(0b000), Interp(0b111), Interp(0b010)];
+        let exact = odist_fitting_sat(&psi_models, &mu, n, 1000).unwrap();
+        // Trip the radius binary search on its first step: the locked
+        // radius stays at the initial feasible hi = n, so every model of μ
+        // is enumerated — a superset of the optimal fit.
+        let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::LadderStep, 1));
+        let out = odist_fitting_sat_budgeted(&psi_models, &mu, n, 1000, &budget).unwrap();
+        assert_eq!(out.quality, Quality::UpperBound);
+        assert!(out.distance.unwrap() >= exact.distance.unwrap());
+        for m in exact.models.iter() {
+            assert!(out.models.contains(m), "lost optimal model {m:?}");
+        }
+    }
+
+    #[test]
+    fn budgeted_dalal_sat_model_fault_interrupts_with_partial_models() {
+        use crate::budget::{BudgetSite, FaultPlan, TripReason};
+        let mut sig = Sig::new();
+        let psi = parse(&mut sig, "A & B").unwrap();
+        let mu = parse(&mut sig, "!A | !B").unwrap();
+        let n = sig.width();
+        let exact = dalal_revision_sat(&psi, &mu, n, 1000).unwrap();
+        assert!(exact.models.len() > 1, "need ties for a mid-AllSAT trip");
+        // Trip after the first enumerated model: a strict subset survives.
+        let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Model, 1));
+        let out = dalal_revision_sat_budgeted(&psi, &mu, n, 1000, &budget).unwrap();
+        assert_eq!(out.quality, Quality::Interrupted);
+        assert_eq!(out.spent.trip.unwrap().reason, TripReason::Fault);
+        assert!(out.models.len() < exact.models.len());
+        for m in out.models.iter() {
+            assert!(exact.models.contains(m), "spurious model {m:?}");
+        }
     }
 
     #[test]

@@ -103,12 +103,43 @@ pub static WEIGHTED_SECTION: Section = Section {
     timers: &[],
 };
 
-/// Every section in snapshot order: kernel, weighted, then the solver
-/// counters owned by `arbitrex-sat`.
-pub fn sections() -> [&'static Section; 3] {
+// --- section "budget": budgeted execution (budget.rs, kernel budgeted paths)
+
+/// Budgeted operator applications that produced a typed outcome
+/// ([`crate::budget::Outcome`] / [`crate::budget::WeightedOutcome`]).
+pub static BUDGETED_CALLS: Counter = Counter::new("budgeted_calls");
+/// Outcomes whose budget tripped (quality degraded below exact).
+pub static BUDGET_TRIPS: Counter = Counter::new("budget_trips");
+/// Trips triggered by an armed [`crate::budget::FaultPlan`] rather than a
+/// real resource limit.
+pub static FAULT_TRIPS: Counter = Counter::new("fault_trips");
+/// Not-yet-refuted frontier candidates materialized into degraded results.
+pub static FRONTIER_MODELS: Counter = Counter::new("frontier_models");
+/// Frontiers abandoned because they exceeded
+/// [`crate::budget::Budget::frontier_limit`] (outcome demoted from
+/// upper-bound to interrupted).
+pub static FRONTIER_OVERFLOWS: Counter = Counter::new("frontier_overflows");
+
+/// The `"budget"` section.
+pub static BUDGET_SECTION: Section = Section {
+    name: "budget",
+    counters: &[
+        &BUDGETED_CALLS,
+        &BUDGET_TRIPS,
+        &FAULT_TRIPS,
+        &FRONTIER_MODELS,
+        &FRONTIER_OVERFLOWS,
+    ],
+    timers: &[],
+};
+
+/// Every section in snapshot order: kernel, weighted, budget, then the
+/// solver counters owned by `arbitrex-sat`.
+pub fn sections() -> [&'static Section; 4] {
     [
         &KERNEL_SECTION,
         &WEIGHTED_SECTION,
+        &BUDGET_SECTION,
         &arbitrex_sat::telemetry::SAT_SECTION,
     ]
 }
@@ -156,14 +187,15 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_has_all_three_sections() {
+    fn snapshot_has_all_four_sections() {
         let snap = snapshot();
         let names: Vec<_> = snap.sections.iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["kernel", "weighted", "sat"]);
+        assert_eq!(names, vec!["kernel", "weighted", "budget", "sat"]);
         let json = snap.to_json();
         assert!(json.contains("\"bnb_nodes_cut\""));
         assert!(json.contains("\"conflicts\""));
         assert!(json.contains("\"wprofile_prune_hits\""));
+        assert!(json.contains("\"budget_trips\""));
     }
 
     #[test]

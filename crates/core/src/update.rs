@@ -10,6 +10,7 @@
 //! (`⊥ ⋄ μ = ⊥`), the standard KM reading — you cannot update worlds you
 //! do not have.
 
+use crate::budget::{Budget, BudgetSite, BudgetedChangeOperator, Outcome, Quality};
 use crate::operator::ChangeOperator;
 use crate::revision::pma_select;
 use arbitrex_logic::{Interp, ModelSet};
@@ -49,6 +50,30 @@ impl ChangeOperator for WinslettUpdate {
     }
 }
 
+impl BudgetedChangeOperator for WinslettUpdate {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        if budget.is_unconstrained() {
+            return Outcome::exact(self.apply(psi, mu), budget);
+        }
+        // One budget unit per world of ψ (each world's PMA selection scans
+        // all of μ). On exhaustion the exact result is abandoned: every
+        // per-world selection implies μ, so μ itself is the natural sound
+        // over-approximation — unlike the kernel scans there is no partial
+        // frontier to keep.
+        let mut meter = budget.meter(BudgetSite::Scan);
+        let mut out: Vec<Interp> = Vec::new();
+        for j in psi.iter() {
+            if meter.tick().is_err() {
+                drop(meter);
+                return Outcome::new(mu.clone(), Quality::UpperBound, budget);
+            }
+            out.extend(pma_select(mu, j));
+        }
+        drop(meter);
+        Outcome::exact(ModelSet::new(mu.n_vars(), out), budget)
+    }
+}
+
 /// Forbus' update: like Winslett but with minimal Hamming *cardinality*
 /// per model instead of ⊆-minimal change sets.
 #[derive(Debug, Clone, Copy, Default)]
@@ -81,6 +106,40 @@ impl ChangeOperator for ForbusUpdate {
             out.extend_from_slice(&tied);
         }
         ModelSet::new(mu.n_vars(), out)
+    }
+}
+
+impl BudgetedChangeOperator for ForbusUpdate {
+    fn apply_with_budget(&self, psi: &ModelSet, mu: &ModelSet, budget: &Budget) -> Outcome {
+        if budget.is_unconstrained() {
+            return Outcome::exact(self.apply(psi, mu), budget);
+        }
+        // One budget unit per world, as for Winslett; on exhaustion μ is
+        // the sound over-approximation of the per-world union.
+        let mut meter = budget.meter(BudgetSite::Scan);
+        let mut out: Vec<Interp> = Vec::new();
+        let mut tied: Vec<Interp> = Vec::new();
+        for j in psi.iter() {
+            if meter.tick().is_err() {
+                drop(meter);
+                return Outcome::new(mu.clone(), Quality::UpperBound, budget);
+            }
+            let mut best = u32::MAX;
+            tied.clear();
+            for i in mu.iter() {
+                let d = i.dist(j);
+                if d < best {
+                    best = d;
+                    tied.clear();
+                    tied.push(i);
+                } else if d == best {
+                    tied.push(i);
+                }
+            }
+            out.extend_from_slice(&tied);
+        }
+        drop(meter);
+        Outcome::exact(ModelSet::new(mu.n_vars(), out), budget)
     }
 }
 

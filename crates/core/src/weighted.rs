@@ -53,6 +53,8 @@ impl WeightedKb {
                 Some((j, acc)) if *j == i => {
                     *acc = acc
                         .checked_add(w)
+                        // invariant: deliberate panic — silent u64
+                        // wrap-around would corrupt min-weight answers.
                         .expect("weight overflow while merging duplicates")
                 }
                 _ => merged.push((i, w)),
@@ -160,6 +162,7 @@ impl WeightedKb {
                         out.push((
                             i,
                             wi.checked_add(wj)
+                                // invariant: deliberate overflow panic.
                                 .expect("weight overflow in weighted disjunction"),
                         ));
                         a.next();
@@ -223,6 +226,7 @@ impl WeightedKb {
             entries: self
                 .entries
                 .iter()
+                // invariant: deliberate overflow panic.
                 .map(|&(i, w)| (i, w.checked_mul(factor).expect("weight overflow in scale")))
                 .collect(),
         }

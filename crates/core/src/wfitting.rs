@@ -1,6 +1,7 @@
 //! Weighted model-fitting (Section 4 of the paper).
 
-use crate::kernel::{select_min, wdist_pruned, WeightedPopProfile};
+use crate::budget::{Budget, BudgetedWeightedChangeOperator, Quality, WeightedOutcome};
+use crate::kernel::{select_min, select_min_budgeted, wdist_pruned, WeightedPopProfile};
 use crate::telemetry;
 use crate::weighted::WeightedKb;
 use arbitrex_logic::Interp;
@@ -68,6 +69,43 @@ impl WeightedChangeOperator for WdistFitting {
             wdist_pruned(&support, &prof, i, cap.copied())
         });
         WeightedKb::from_weights(mu.n_vars(), min.iter().map(|i| (i, mu.weight(i))))
+    }
+}
+
+impl BudgetedWeightedChangeOperator for WdistFitting {
+    fn apply_with_budget(
+        &self,
+        psi: &WeightedKb,
+        mu: &WeightedKb,
+        budget: &Budget,
+    ) -> WeightedOutcome {
+        telemetry::WDIST_APPLICATIONS.incr();
+        let prof = match WeightedPopProfile::of(psi) {
+            Some(p) => p,
+            None => return WeightedOutcome::exact(WeightedKb::unsatisfiable(mu.n_vars()), budget),
+        };
+        let support: Vec<(Interp, u64)> = psi.support().collect();
+        telemetry::WSUPPORT_SCANNED.add(support.len() as u64);
+        let sel = select_min_budgeted(
+            mu.n_vars(),
+            mu.support().map(|(i, _)| i),
+            |i, cap: Option<&u128>| wdist_pruned(&support, &prof, i, cap.copied()),
+            budget,
+        );
+        // Minimizers and any unrefuted frontier members alike keep their
+        // μ̃-weights, preserving the weighted Min semantics on degradation.
+        let quality = sel.quality();
+        let kept = match (quality, sel.frontier) {
+            (Quality::UpperBound, Some(f)) if !f.is_empty() => sel
+                .minima
+                .union(&arbitrex_logic::ModelSet::new(mu.n_vars(), f)),
+            _ => sel.minima,
+        };
+        WeightedOutcome::new(
+            WeightedKb::from_weights(mu.n_vars(), kept.iter().map(|i| (i, mu.weight(i)))),
+            quality,
+            budget,
+        )
     }
 }
 

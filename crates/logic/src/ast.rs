@@ -75,6 +75,7 @@ impl Formula {
         }
         match out.len() {
             0 => Formula::True,
+            // invariant: the arm guarantees len == 1.
             1 => out.pop().unwrap(),
             _ => Formula::And(out),
         }
@@ -94,6 +95,7 @@ impl Formula {
         }
         match out.len() {
             0 => Formula::False,
+            // invariant: the arm guarantees len == 1.
             1 => out.pop().unwrap(),
             _ => Formula::Or(out),
         }

@@ -49,6 +49,6 @@ pub use interp::{Interp, Var, MAX_VARS};
 pub use minimize::{minimal_dnf, minimize_formula};
 pub use models::{all_interps, ModelSet, ENUM_LIMIT};
 pub use nnf::to_nnf;
-pub use parser::parse;
+pub use parser::{parse, MAX_PARSE_DEPTH};
 pub use sig::Sig;
 pub use simplify::simplify;

@@ -112,6 +112,8 @@ pub fn minimal_dnf(models: &ModelSet) -> Formula {
             .iter()
             .max_by_key(|c| uncovered.iter().filter(|&&m| c.covers(m)).count())
             .copied()
+            // invariant: every model expands to at least one prime
+            // implicant of its own, so the cover search never runs dry.
             .expect("primes cover every model");
         uncovered.retain(|&m| !best.covers(m));
         chosen.push(best);

@@ -20,6 +20,13 @@ use crate::ast::Formula;
 use crate::error::ParseError;
 use crate::sig::Sig;
 
+/// Deepest operator nesting [`parse`] accepts before returning a
+/// [`ParseError`] — the recursive-descent parser would otherwise overflow
+/// the stack on adversarial inputs like `"((((((…"`. One nesting level
+/// costs several stack frames (the whole precedence chain), so the cap is
+/// sized for comfort on a 2 MiB test-thread stack, not for maximal reach.
+pub const MAX_PARSE_DEPTH: usize = 256;
+
 /// Parse `input` into a [`Formula`], interning variables into `sig`.
 ///
 /// ```
@@ -34,6 +41,7 @@ pub fn parse(sig: &mut Sig, input: &str) -> Result<Formula, ParseError> {
     let mut p = Parser {
         tokens,
         pos: 0,
+        depth: 0,
         sig,
     };
     let f = p.parse_iff()?;
@@ -197,6 +205,7 @@ fn lex(input: &str) -> Result<Vec<Tok>, ParseError> {
 struct Parser<'a> {
     tokens: Vec<Tok>,
     pos: usize,
+    depth: usize,
     sig: &'a mut Sig,
 }
 
@@ -218,6 +227,25 @@ impl Parser<'_> {
         self.tokens.last().map(|t| t.position + 1).unwrap_or(0)
     }
 
+    /// Guard every recursion cycle (`(...)`, `!`, right-associative `->`)
+    /// against stack overflow. Callers decrement `depth` on the success
+    /// path; the error path propagates straight out of [`parse`], so a
+    /// missed decrement there is harmless.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            let position = self
+                .peek()
+                .map(|t| t.position)
+                .unwrap_or_else(|| self.end_position());
+            return Err(ParseError {
+                position,
+                message: format!("formula nesting exceeds the maximum depth of {MAX_PARSE_DEPTH}"),
+            });
+        }
+        Ok(())
+    }
+
     fn parse_iff(&mut self) -> Result<Formula, ParseError> {
         let mut f = self.parse_implies()?;
         while self.eat(&TokKind::Iff) {
@@ -230,7 +258,9 @@ impl Parser<'_> {
     fn parse_implies(&mut self) -> Result<Formula, ParseError> {
         let lhs = self.parse_or()?;
         if self.eat(&TokKind::Implies) {
+            self.enter()?;
             let rhs = self.parse_implies()?; // right-associative
+            self.depth -= 1;
             Ok(Formula::implies(lhs, rhs))
         } else {
             Ok(lhs)
@@ -243,6 +273,7 @@ impl Parser<'_> {
             parts.push(self.parse_xor()?);
         }
         Ok(if parts.len() == 1 {
+            // invariant: the branch guarantees len == 1.
             parts.pop().unwrap()
         } else {
             Formula::or(parts)
@@ -264,6 +295,7 @@ impl Parser<'_> {
             parts.push(self.parse_unary()?);
         }
         Ok(if parts.len() == 1 {
+            // invariant: the branch guarantees len == 1.
             parts.pop().unwrap()
         } else {
             Formula::and(parts)
@@ -272,7 +304,10 @@ impl Parser<'_> {
 
     fn parse_unary(&mut self) -> Result<Formula, ParseError> {
         if self.eat(&TokKind::Not) {
-            Ok(Formula::not(self.parse_unary()?))
+            self.enter()?;
+            let inner = self.parse_unary()?;
+            self.depth -= 1;
+            Ok(Formula::not(inner))
         } else {
             self.parse_atom()
         }
@@ -304,7 +339,9 @@ impl Parser<'_> {
             }
             TokKind::LParen => {
                 self.pos += 1;
+                self.enter()?;
                 let inner = self.parse_iff()?;
+                self.depth -= 1;
                 if self.eat(&TokKind::RParen) {
                     Ok(inner)
                 } else {
@@ -422,6 +459,31 @@ mod tests {
         assert!(e.message.contains(")"));
         let e = parse(&mut sig, "A B").unwrap_err();
         assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn nesting_below_the_depth_cap_parses() {
+        let depth = MAX_PARSE_DEPTH - 1;
+        let mut sig = Sig::new();
+        let deep = format!("{}A{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse(&mut sig, &deep).is_ok());
+        let nots = format!("{}A", "!".repeat(depth));
+        assert!(parse(&mut sig, &nots).is_ok());
+    }
+
+    #[test]
+    fn nesting_beyond_the_depth_cap_is_an_error_not_an_overflow() {
+        let depth = MAX_PARSE_DEPTH + 10;
+        let mut sig = Sig::new();
+        for input in [
+            format!("{}A{}", "(".repeat(depth), ")".repeat(depth)),
+            "(".repeat(depth),
+            format!("{}A", "!".repeat(depth)),
+            vec!["A"; depth].join(" -> "),
+        ] {
+            let e = parse(&mut sig, &input).unwrap_err();
+            assert!(e.message.contains("depth"), "{}", e.message);
+        }
     }
 
     #[test]

@@ -23,7 +23,8 @@ pub mod source;
 
 pub use merge::{
     merge_egalitarian, merge_fold_arbitration, merge_fold_revision, merge_fold_update,
-    merge_majority, merge_weighted_arbitration, MergeOutcome,
+    merge_majority, merge_weighted_arbitration, merge_weighted_arbitration_with_budget,
+    BudgetedMergeOutcome, MergeOutcome,
 };
 pub use metrics::{dissatisfaction, max_dissatisfaction, sum_dissatisfaction, SourceReport};
 pub use order::{order_sweep, OrderSweep};

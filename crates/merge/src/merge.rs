@@ -15,8 +15,10 @@
 use crate::metrics::{max_dissatisfaction, sum_dissatisfaction};
 use crate::source::Source;
 use arbitrex_core::arbitration::arbitrate;
+use arbitrex_core::budget::BudgetedWeightedChangeOperator;
 use arbitrex_core::{
-    ChangeOperator, DalalRevision, WdistFitting, WeightedChangeOperator, WeightedKb, WinslettUpdate,
+    Budget, BudgetSpent, ChangeOperator, DalalRevision, Quality, WdistFitting,
+    WeightedChangeOperator, WeightedKb, WinslettUpdate,
 };
 use arbitrex_logic::ModelSet;
 
@@ -134,6 +136,43 @@ pub fn merge_weighted_arbitration(sources: &[Source]) -> MergeOutcome {
     MergeOutcome::evaluate("weighted-arbitration", sources, fitted.support_set())
 }
 
+/// A [`MergeOutcome`] together with the budget accounting of the run that
+/// produced it — the merge-level view of the containment contract of
+/// [`arbitrex_core::Quality`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetedMergeOutcome {
+    /// The (possibly degraded) merge outcome. Under
+    /// [`Quality::UpperBound`] the consensus is a *superset* of the exact
+    /// one; under [`Quality::Interrupted`] it carries no containment
+    /// guarantee.
+    pub outcome: MergeOutcome,
+    /// The containment contract the consensus satisfies.
+    pub quality: Quality,
+    /// Work charged to the budget, including the trip record.
+    pub spent: BudgetSpent,
+}
+
+/// [`merge_weighted_arbitration`] under a [`Budget`]: the weighted fitting
+/// scan degrades gracefully on exhaustion instead of running to
+/// completion. With an unconstrained budget the consensus is bit-identical
+/// to the unbudgeted merge.
+pub fn merge_weighted_arbitration_with_budget(
+    sources: &[Source],
+    budget: &Budget,
+) -> BudgetedMergeOutcome {
+    let n = check_sources(sources);
+    let joined = sources
+        .iter()
+        .map(Source::to_weighted_kb)
+        .fold(WeightedKb::unsatisfiable(n), |acc, kb| acc.join(&kb));
+    let fitted = WdistFitting.apply_with_budget(&joined, &WeightedKb::all(n), budget);
+    BudgetedMergeOutcome {
+        outcome: MergeOutcome::evaluate("weighted-arbitration", sources, fitted.kb.support_set()),
+        quality: fitted.quality,
+        spent: fitted.spent,
+    }
+}
+
 /// Fold the paper's binary arbitration left-to-right over the sources.
 /// Commutative pairwise, but **not** associative — the outcome can depend
 /// on the fold order (measured in experiment E10).
@@ -202,6 +241,25 @@ mod tests {
         // Egalitarian ignores the weights: symmetric compromise.
         let eg = merge_egalitarian(&sources, None);
         assert_eq!(eg.consensus, ModelSet::new(2, [Interp(0b00), Interp(0b11)]));
+    }
+
+    #[test]
+    fn budgeted_weighted_merge_matches_and_degrades() {
+        use arbitrex_core::{BudgetSite, FaultPlan};
+        let sources = vec![src("nine", &[0b01], 9), src("two", &[0b10], 2)];
+        let exact = merge_weighted_arbitration(&sources);
+        let out = merge_weighted_arbitration_with_budget(&sources, &Budget::unlimited());
+        assert_eq!(out.quality, Quality::Exact);
+        assert_eq!(out.outcome.consensus, exact.consensus);
+        // Tripped on the first scan tick: every exact consensus model must
+        // survive into the over-approximation.
+        let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Scan, 1));
+        let degraded = merge_weighted_arbitration_with_budget(&sources, &budget);
+        assert_eq!(degraded.quality, Quality::UpperBound);
+        assert!(degraded.spent.trip.is_some());
+        for m in exact.consensus.iter() {
+            assert!(degraded.outcome.consensus.contains(m));
+        }
     }
 
     #[test]

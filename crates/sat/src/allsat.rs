@@ -8,6 +8,7 @@
 
 use crate::lit::Lit;
 use crate::solver::{SolveResult, Solver};
+use arbitrex_telemetry::budget::{Budget, BudgetSite, Exhausted, TripReason};
 
 /// Bound on enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,37 @@ pub enum AllSatLimit {
     Unlimited,
     /// Stop after this many models.
     AtMost(usize),
+}
+
+/// How a budgeted enumeration ([`enumerate_models_budgeted`]) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumStatus {
+    /// Every projected model was enumerated.
+    Complete,
+    /// The [`AllSatLimit`] was hit before enumeration finished.
+    LimitExceeded,
+    /// The budget gave out mid-enumeration; the returned models are a
+    /// *partial subset* of the projected model set.
+    Interrupted(Exhausted),
+}
+
+/// Result of a budgeted enumeration: the models found so far (sorted,
+/// deduplicated) plus how the enumeration ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumResult {
+    /// Projected models found (all of them iff `status` is `Complete`).
+    pub models: Vec<u64>,
+    /// How the enumeration ended.
+    pub status: EnumStatus,
+}
+
+/// The trip behind a [`SolveResult::Interrupted`]: the shared budget's
+/// record when there is one, else the legacy per-solver conflict budget.
+pub(crate) fn solver_trip(budget: &Budget) -> Exhausted {
+    budget.tripped().unwrap_or(Exhausted {
+        site: BudgetSite::Conflict,
+        reason: TripReason::Conflicts,
+    })
 }
 
 /// Enumerate the models of the solver's clause set projected onto variables
@@ -27,23 +59,51 @@ pub enum AllSatLimit {
 ///
 /// Returns the sorted list of projected models, or `None` if the limit was
 /// hit before enumeration finished (partial results are discarded so callers
-/// can't mistake a truncation for the full set).
+/// can't mistake a truncation for the full set). If the solver carries its
+/// own budget (via [`Solver::set_budget`] / [`Solver::set_conflict_budget`])
+/// an interruption also reports `None`; use [`enumerate_models_budgeted`]
+/// to keep the partial subset instead.
 pub fn enumerate_models(
     solver: &mut Solver,
     project_vars: u32,
     limit: AllSatLimit,
 ) -> Option<Vec<u64>> {
+    let result = enumerate_models_budgeted(solver, project_vars, limit, &Budget::unlimited());
+    match result.status {
+        EnumStatus::Complete => Some(result.models),
+        EnumStatus::LimitExceeded | EnumStatus::Interrupted(_) => None,
+    }
+}
+
+/// Budgeted AllSAT: like [`enumerate_models`], but each model found is
+/// charged to [`BudgetSite::Model`] on `budget`, and instead of discarding
+/// partial progress the result carries the models found so far together
+/// with a typed [`EnumStatus`]. An `Interrupted` status means the returned
+/// set is a *subset* of the projected models — never a superset — so the
+/// degradation direction is well-defined.
+///
+/// The budget governs the enumeration loop itself; to also interrupt the
+/// individual SAT solves, attach (a clone of) the same budget to the
+/// solver with [`Solver::set_budget`].
+pub fn enumerate_models_budgeted(
+    solver: &mut Solver,
+    project_vars: u32,
+    limit: AllSatLimit,
+    budget: &Budget,
+) -> EnumResult {
     assert!(project_vars <= 64, "projection wider than 64 bits");
     assert!(project_vars <= solver.num_vars());
     let mut out: Vec<u64> = Vec::new();
     let mut blocked = 0u64;
-    loop {
+    let mut status = loop {
         match solver.solve() {
-            SolveResult::Unsat => break,
+            SolveResult::Unsat => break EnumStatus::Complete,
+            SolveResult::Interrupted => break EnumStatus::Interrupted(solver_trip(budget)),
             SolveResult::Sat => {
                 let mut bits = 0u64;
                 let mut blocking: Vec<Lit> = Vec::with_capacity(project_vars as usize);
                 for v in 0..project_vars {
+                    // invariant: a Sat result always carries a complete model.
                     let val = solver.model_value(v).expect("model covers all vars");
                     if val {
                         bits |= 1u64 << v;
@@ -51,34 +111,40 @@ pub fn enumerate_models(
                     blocking.push(Lit::new(v, !val));
                 }
                 out.push(bits);
+                if let Err(trip) = budget.charge(BudgetSite::Model, 1) {
+                    break EnumStatus::Interrupted(trip);
+                }
                 if let AllSatLimit::AtMost(max) = limit {
                     if out.len() > max {
-                        crate::telemetry::ALLSAT_MODELS.add(out.len() as u64);
-                        crate::telemetry::ALLSAT_BLOCKING_CLAUSES.add(blocked);
-                        return None;
+                        break EnumStatus::LimitExceeded;
                     }
                 }
                 if blocking.is_empty() {
                     // Zero projection vars: a single (empty) projection.
-                    break;
+                    break EnumStatus::Complete;
                 }
                 blocked += 1;
                 if !solver.add_clause(&blocking) {
-                    break; // blocking clause made the set unsat
+                    break EnumStatus::Complete; // blocking clause made the set unsat
                 }
             }
         }
-    }
+    };
     crate::telemetry::ALLSAT_MODELS.add(out.len() as u64);
     crate::telemetry::ALLSAT_BLOCKING_CLAUSES.add(blocked);
     out.sort_unstable();
     out.dedup();
-    if let AllSatLimit::AtMost(max) = limit {
-        if out.len() > max {
-            return None;
+    if status == EnumStatus::Complete {
+        if let AllSatLimit::AtMost(max) = limit {
+            if out.len() > max {
+                status = EnumStatus::LimitExceeded;
+            }
         }
     }
-    Some(out)
+    EnumResult {
+        models: out,
+        status,
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +205,63 @@ mod tests {
         let mut s = solver_with(2, &[&[1, 2]]);
         let models = enumerate_models(&mut s, 0, AllSatLimit::Unlimited).unwrap();
         assert_eq!(models, vec![0]);
+    }
+
+    #[test]
+    fn budgeted_candidate_limit_keeps_partial_subset() {
+        let mut s = solver_with(3, &[]); // 8 models
+        let budget = Budget::unlimited().with_candidate_limit(3);
+        let r = enumerate_models_budgeted(&mut s, 3, AllSatLimit::Unlimited, &budget);
+        assert!(matches!(r.status, EnumStatus::Interrupted(_)));
+        // A subset of the true model set, not a superset.
+        assert!(r.models.len() <= 4);
+        assert!(r.models.iter().all(|&m| m < 8));
+        assert_eq!(budget.spent().models, r.models.len() as u64);
+    }
+
+    #[test]
+    fn budgeted_fault_mid_allsat_trips_deterministically() {
+        use arbitrex_telemetry::budget::FaultPlan;
+        let mut s = solver_with(3, &[]);
+        let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::Model, 2));
+        let r = enumerate_models_budgeted(&mut s, 3, AllSatLimit::Unlimited, &budget);
+        match r.status {
+            EnumStatus::Interrupted(trip) => {
+                assert_eq!(trip.reason, TripReason::Fault);
+                assert_eq!(trip.site, BudgetSite::Model);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        assert_eq!(r.models.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_complete_matches_unbudgeted() {
+        let mut s = solver_with(2, &[&[1, 2]]);
+        let r = enumerate_models_budgeted(
+            &mut s,
+            2,
+            AllSatLimit::Unlimited,
+            &Budget::unlimited().with_candidate_limit(100),
+        );
+        assert_eq!(r.status, EnumStatus::Complete);
+        assert_eq!(r.models, vec![0b01, 0b10, 0b11]);
+    }
+
+    #[test]
+    fn solver_budget_interrupts_enumeration() {
+        // A conflict-starved solver budget trips inside solve(); the
+        // enumeration surfaces the partial subset with Interrupted status.
+        let mut s = solver_with(3, &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3]]);
+        let budget = Budget::unlimited().with_conflict_limit(0);
+        s.set_budget(Some(budget.clone()));
+        let r = enumerate_models_budgeted(&mut s, 3, AllSatLimit::Unlimited, &budget);
+        // Either the first solve got lucky without conflicts or we tripped;
+        // in both cases the result is typed, never a panic.
+        match r.status {
+            EnumStatus::Complete | EnumStatus::Interrupted(_) => {}
+            other => panic!("unexpected status {other:?}"),
+        }
     }
 
     #[test]

@@ -38,11 +38,18 @@ pub mod optimize;
 pub mod solver;
 pub mod telemetry;
 
-pub use allsat::{enumerate_models, AllSatLimit};
+pub use allsat::{
+    enumerate_models, enumerate_models_budgeted, AllSatLimit, EnumResult, EnumStatus,
+};
+pub use arbitrex_telemetry::budget::{
+    Budget, BudgetSite, BudgetSpent, CancelToken, Exhausted, FaultPlan, TripReason,
+};
 pub use card::CardinalityLadder;
 pub use dimacs::{parse_dimacs, write_dimacs};
 pub use error::DimacsError;
 pub use lit::{LBool, Lit};
 pub use luby::luby;
-pub use optimize::minimize_true_count;
+pub use optimize::{
+    minimize_true_count, minimize_true_count_budgeted, MinimizeBound, MinimizeOutcome,
+};
 pub use solver::{SolveResult, Solver, SolverStats};

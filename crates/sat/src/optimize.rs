@@ -6,9 +6,45 @@
 //! a model of `ψ`, minimizing the true count of `{d_i}` computes the minimal
 //! Hamming distance — and the optimal models fall out of the final solve.
 
+use crate::allsat::solver_trip;
 use crate::card::CardinalityLadder;
 use crate::lit::Lit;
 use crate::solver::{SolveResult, Solver};
+use arbitrex_telemetry::budget::{Budget, BudgetSite, Exhausted};
+
+/// A feasible cardinality bound found by [`minimize_true_count_budgeted`].
+#[derive(Debug)]
+pub struct MinimizeBound {
+    /// A feasible true-count: the minimum when `trip` is `None`, otherwise
+    /// the best *incumbent* — an upper bound on the minimum.
+    pub k: usize,
+    /// A satisfying assignment achieving `k` (original variables only).
+    pub model: Vec<bool>,
+    /// The encoded ladder (its bound can be re-imposed via
+    /// [`CardinalityLadder::assert_at_most`]).
+    pub ladder: CardinalityLadder,
+    /// `Some` when the budget gave out mid-search, leaving `k` inexact.
+    pub trip: Option<Exhausted>,
+}
+
+impl MinimizeBound {
+    /// Is `k` the true minimum (search ran to completion)?
+    pub fn is_exact(&self) -> bool {
+        self.trip.is_none()
+    }
+}
+
+/// Outcome of a budgeted cardinality minimization.
+#[derive(Debug)]
+pub enum MinimizeOutcome {
+    /// The clause set is unsatisfiable: nothing to minimize.
+    Unsat,
+    /// The budget gave out before *any* model was found — no incumbent,
+    /// no bound.
+    Interrupted(Exhausted),
+    /// A feasible bound, exact unless `trip` is set.
+    Bound(MinimizeBound),
+}
 
 /// Find the minimum number of `targets` literals that can be simultaneously
 /// true in a model of the solver's clause set, by binary search over an
@@ -17,7 +53,10 @@ use crate::solver::{SolveResult, Solver};
 /// Returns `(k, model)` where `model` is a satisfying assignment achieving
 /// exactly the minimum `k` (as a bool-per-variable snapshot covering the
 /// *original* variables present before the ladder was encoded), or `None`
-/// if the clause set is unsatisfiable.
+/// if the clause set is unsatisfiable. If the solver carries its own budget
+/// (via [`Solver::set_budget`] / [`Solver::set_conflict_budget`]) an
+/// interruption also reports `None`; use [`minimize_true_count_budgeted`]
+/// to keep the incumbent bound instead.
 ///
 /// The ladder's auxiliary clauses remain in the solver afterwards; the
 /// returned bound can be re-imposed by the caller via
@@ -26,9 +65,35 @@ pub fn minimize_true_count(
     solver: &mut Solver,
     targets: &[Lit],
 ) -> Option<(usize, Vec<bool>, CardinalityLadder)> {
+    match minimize_true_count_budgeted(solver, targets, &Budget::unlimited()) {
+        MinimizeOutcome::Bound(b) if b.is_exact() => Some((b.k, b.model, b.ladder)),
+        MinimizeOutcome::Unsat => None,
+        // Only reachable when the *solver* was budgeted by the caller.
+        MinimizeOutcome::Bound(_) | MinimizeOutcome::Interrupted(_) => None,
+    }
+}
+
+/// Budgeted cardinality minimization: like [`minimize_true_count`], but
+/// each binary-search step is charged to [`BudgetSite::LadderStep`] on
+/// `budget`, and exhaustion degrades gracefully — the best *incumbent*
+/// bound found so far is returned (flagged inexact) instead of the search
+/// aborting. Because every incumbent is feasible, an inexact `k` is always
+/// an upper bound on the true minimum: the models within distance `k`
+/// are a superset of the optimal ones.
+///
+/// The budget governs the binary search itself; to also interrupt the
+/// individual SAT solves, attach (a clone of) the same budget to the
+/// solver with [`Solver::set_budget`].
+pub fn minimize_true_count_budgeted(
+    solver: &mut Solver,
+    targets: &[Lit],
+    budget: &Budget,
+) -> MinimizeOutcome {
     let n_original = solver.num_vars();
-    if solver.solve() == SolveResult::Unsat {
-        return None;
+    match solver.solve() {
+        SolveResult::Unsat => return MinimizeOutcome::Unsat,
+        SolveResult::Interrupted => return MinimizeOutcome::Interrupted(solver_trip(budget)),
+        SolveResult::Sat => {}
     }
     let count_in_model = |s: &Solver| {
         targets
@@ -40,7 +105,12 @@ pub fn minimize_true_count(
     let mut best_model: Vec<bool> = solver.model()[..n_original as usize].to_vec();
     if best_count == 0 || targets.is_empty() {
         let ladder = CardinalityLadder::encode(solver, targets);
-        return Some((best_count, best_model, ladder));
+        return MinimizeOutcome::Bound(MinimizeBound {
+            k: best_count,
+            model: best_model,
+            ladder,
+            trip: None,
+        });
     }
     let ladder = CardinalityLadder::encode(solver, targets);
     // Invariant: sat with ≤ hi is known (hi = best_count), unsat with ≤ lo-1
@@ -48,7 +118,12 @@ pub fn minimize_true_count(
     let mut lo = 0usize;
     let mut hi = best_count;
     let mut steps = 0u64;
+    let mut trip: Option<Exhausted> = None;
     while lo < hi {
+        if let Err(t) = budget.charge(BudgetSite::LadderStep, 1) {
+            trip = Some(t);
+            break;
+        }
         steps += 1;
         let mid = lo + (hi - lo) / 2;
         let assumption = ladder.at_most(mid);
@@ -63,10 +138,19 @@ pub fn minimize_true_count(
             SolveResult::Unsat => {
                 lo = mid + 1;
             }
+            SolveResult::Interrupted => {
+                trip = Some(solver_trip(budget));
+                break;
+            }
         }
     }
     crate::telemetry::CARD_BINSEARCH_STEPS.add(steps);
-    Some((hi, best_model, ladder))
+    MinimizeOutcome::Bound(MinimizeBound {
+        k: hi,
+        model: best_model,
+        ladder,
+        trip,
+    })
 }
 
 #[cfg(test)]
@@ -144,6 +228,62 @@ mod tests {
         let (k, model, _) = minimize_true_count(&mut s, &[]).unwrap();
         assert_eq!(k, 0);
         assert!(model[0]);
+    }
+
+    #[test]
+    fn budgeted_fault_on_ladder_step_keeps_incumbent_upper_bound() {
+        use arbitrex_telemetry::budget::{FaultPlan, TripReason};
+        // Exactly-one over 4 vars: true minimum is 1, initial incumbent
+        // is whatever the first solve found (≥ 1).
+        let mut s = Solver::new();
+        s.ensure_vars(4);
+        s.add_dimacs_clause(&[1, 2, 3, 4]);
+        let targets: Vec<Lit> = (0..4).map(Lit::pos).collect();
+        let budget = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::LadderStep, 1));
+        match minimize_true_count_budgeted(&mut s, &targets, &budget) {
+            MinimizeOutcome::Bound(b) => {
+                assert!(!b.is_exact());
+                assert_eq!(b.trip.unwrap().reason, TripReason::Fault);
+                // The incumbent is feasible, hence an upper bound on 0
+                // (all-false satisfies the clause via... no: clause needs
+                // one true) — on the true minimum 1.
+                assert!(b.k >= 1);
+                assert_eq!(
+                    b.model.iter().filter(|&&v| v).count(),
+                    b.k,
+                    "incumbent model must achieve its own bound"
+                );
+            }
+            other => panic!("expected Bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_unlimited_matches_legacy() {
+        let mut s = Solver::new();
+        s.ensure_vars(3);
+        s.add_dimacs_clause(&[1, 2]);
+        s.add_dimacs_clause(&[2, 3]);
+        let targets: Vec<Lit> = (0..3).map(Lit::pos).collect();
+        match minimize_true_count_budgeted(&mut s, &targets, &Budget::unlimited()) {
+            MinimizeOutcome::Bound(b) => {
+                assert!(b.is_exact());
+                assert_eq!(b.k, 1);
+            }
+            other => panic!("expected exact Bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_unsat_is_typed() {
+        let mut s = Solver::new();
+        s.ensure_vars(1);
+        s.add_dimacs_clause(&[1]);
+        s.add_dimacs_clause(&[-1]);
+        assert!(matches!(
+            minimize_true_count_budgeted(&mut s, &[Lit::pos(0)], &Budget::unlimited()),
+            MinimizeOutcome::Unsat
+        ));
     }
 
     #[test]

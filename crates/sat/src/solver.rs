@@ -5,6 +5,7 @@
 use crate::heap::ActivityHeap;
 use crate::lit::{LBool, Lit};
 use crate::luby::luby;
+use arbitrex_telemetry::budget::{Budget, BudgetSite};
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +14,12 @@ pub enum SolveResult {
     Sat,
     /// The clause set (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The solve was interrupted by an exhausted resource budget (either a
+    /// per-call conflict budget from [`Solver::set_conflict_budget`] or a
+    /// shared [`Budget`] from [`Solver::set_budget`]) before reaching a
+    /// verdict. Neither satisfiability nor unsatisfiability was
+    /// established; the solver state remains valid for further calls.
+    Interrupted,
 }
 
 /// Counters exposed for the benchmarks and tests.
@@ -85,6 +92,7 @@ pub struct Solver {
     max_learnt: f64,
     /// Hard conflict budget for a single `solve` call (None = unlimited).
     conflict_budget: Option<u64>,
+    budget: Option<Budget>,
     /// Subset of the last call's assumptions responsible for UNSAT.
     conflict_core: Vec<Lit>,
 }
@@ -119,6 +127,7 @@ impl Solver {
             n_learnt: 0,
             max_learnt: 0.0,
             conflict_budget: None,
+            budget: None,
             conflict_core: Vec::new(),
         }
     }
@@ -138,11 +147,24 @@ impl Solver {
         self.stats
     }
 
-    /// Limit the number of conflicts a single `solve` call may spend.
-    /// Exceeding the budget makes `solve` panic — used only by tests and
-    /// experiments that must guarantee termination diagnostics.
+    /// Limit the total number of conflicts `solve` calls may spend.
+    /// Exceeding the budget makes `solve` return
+    /// [`SolveResult::Interrupted`] instead of a verdict (it used to
+    /// panic); the solver stays usable — raise or clear the budget and
+    /// solve again.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Attach a shared execution [`Budget`]: every conflict is charged to
+    /// [`BudgetSite::Conflict`](arbitrex_telemetry::budget::BudgetSite::Conflict),
+    /// and an exhausted budget makes `solve` return
+    /// [`SolveResult::Interrupted`]. Unlike [`Solver::set_conflict_budget`]
+    /// the budget is shared — clones of it govern other solvers and kernel
+    /// scans of the same operator application, and deadlines/cancellation
+    /// trip here too.
+    pub fn set_budget(&mut self, budget: Option<Budget>) {
+        self.budget = budget;
     }
 
     /// Create a fresh variable and return its index.
@@ -548,6 +570,11 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        if let Some(b) = &self.budget {
+            if b.tripped().is_some() {
+                return SolveResult::Interrupted;
+            }
+        }
         for &a in assumptions {
             assert!(
                 a.var() < self.num_vars(),
@@ -585,10 +612,14 @@ impl Solver {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
                 if let Some(max) = self.conflict_budget {
-                    assert!(
-                        self.stats.conflicts <= max,
-                        "conflict budget {max} exhausted"
-                    );
+                    if self.stats.conflicts > max {
+                        return Some(SolveResult::Interrupted);
+                    }
+                }
+                if let Some(b) = &self.budget {
+                    if b.charge(BudgetSite::Conflict, 1).is_err() {
+                        return Some(SolveResult::Interrupted);
+                    }
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
@@ -983,5 +1014,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Pigeonhole principle PHP(p, p-1): p pigeons into p-1 holes, unsat
+    /// and conflict-hungry — the canonical budget-tripping instance.
+    fn pigeonhole(pigeons: u32) -> Solver {
+        let holes = pigeons - 1;
+        let var = |p: u32, h: u32| (p * holes + h + 1) as i32;
+        let mut s = Solver::new();
+        s.ensure_vars(pigeons * holes);
+        for p in 0..pigeons {
+            let c: Vec<i32> = (0..holes).map(|h| var(p, h)).collect();
+            s.add_dimacs_clause(&c);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_dimacs_clause(&[-var(p1, h), -var(p2, h)]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn exceeded_conflict_budget_returns_interrupted_not_panic() {
+        let mut s = pigeonhole(8);
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        // The solver stays usable: clear the budget and finish the proof.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn generous_conflict_budget_still_reaches_a_verdict() {
+        let mut s = pigeonhole(4);
+        s.set_conflict_budget(Some(1_000_000));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn shared_budget_interrupts_search() {
+        use arbitrex_telemetry::budget::TripReason;
+        let budget = Budget::unlimited().with_conflict_limit(5);
+        let mut s = pigeonhole(8);
+        s.set_budget(Some(budget.clone()));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        let trip = budget.tripped().unwrap();
+        assert_eq!(trip.site, BudgetSite::Conflict);
+        assert_eq!(trip.reason, TripReason::Conflicts);
+        assert!(budget.spent().conflicts >= 5);
+        // A tripped shared budget rejects follow-up solves immediately.
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        // Detaching it restores full solving.
+        s.set_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cancel_token_interrupts_search() {
+        use arbitrex_telemetry::budget::{CancelToken, TripReason};
+        let token = CancelToken::new();
+        token.cancel(); // pre-cancelled: trips on the first conflict
+        let mut s = pigeonhole(8);
+        s.set_budget(Some(Budget::unlimited().with_cancel(token)));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        let b = s.budget.as_ref().unwrap();
+        assert_eq!(b.tripped().unwrap().reason, TripReason::Cancelled);
     }
 }

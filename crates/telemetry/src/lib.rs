@@ -36,6 +36,8 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
+
 #[cfg(feature = "enabled")]
 use std::sync::atomic::{AtomicU64, Ordering};
 

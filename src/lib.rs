@@ -45,7 +45,14 @@ pub use arbitrex_sat as sat;
 
 /// One-stop imports for the common API surface.
 pub mod prelude {
-    pub use arbitrex_core::arbitration::{arbitrate, warbitrate, Arbitration, WeightedArbitration};
+    pub use arbitrex_core::arbitration::{
+        arbitrate, try_arbitrate_with_budget, try_warbitrate_with_budget, warbitrate, Arbitration,
+        WeightedArbitration,
+    };
+    pub use arbitrex_core::budget::{
+        Budget, BudgetSite, BudgetSpent, BudgetedChangeOperator, BudgetedWeightedChangeOperator,
+        CancelToken, FaultPlan, Outcome, Quality, TripReason, WeightedOutcome,
+    };
     pub use arbitrex_core::distance::{dist, min_dist, odist, sum_dist, wdist};
     pub use arbitrex_core::fitting::{LexOdistFitting, OdistFitting, SumFitting};
     pub use arbitrex_core::operator::{ChangeOperator, FormulaOperator};
