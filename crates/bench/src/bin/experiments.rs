@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E14) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E15) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
@@ -77,6 +77,9 @@ fn main() {
     }
     if want("e14") {
         e14_anytime();
+    }
+    if want("e15") {
+        e15_serving();
     }
 }
 
@@ -1043,4 +1046,230 @@ fn e11_dynamics() {
     println!("operator can oscillate with period 2 — ψ = {{01,10}}, μ = ⊤ alternates");
     println!("with {{00,11}}: arbitration between two symmetric camps flips between");
     println!("the camps and their midpoints forever.\n");
+}
+
+/// E15 — closed-loop serving load: worker scaling × canonicalizing cache
+/// (engineering, PR 4).
+///
+/// Spawns an in-process `arbitrex-server` per leg (threads ∈ {1, 4, 8} ×
+/// cache on/off), drives it with 8 keep-alive loopback clients replaying
+/// a fixed pool of 24 structurally distinct arbitration queries, and runs
+/// the identical workload twice. Pass 2 against a warm cache should be
+/// almost all hits (the pool fits in the cache) and show a lower p50.
+/// Writes the machine-readable record to BENCH_PR4.json.
+fn e15_serving() {
+    use arbitrex_server::{spawn, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    header(
+        "E15",
+        "service load: workers × canonicalizing result cache",
+        "engineering (PR 4); no paper artifact",
+    );
+
+    const CLIENTS: usize = 8;
+
+    // 64 structurally distinct queries: widths 6..=9, with three
+    // fixed-shape queries plus a polarity ladder (cubes with k positive
+    // literals, 1 <= k < n) per width. Distinct widths, connective
+    // structure, or positive-literal counts guarantee distinct canonical
+    // keys — alpha-renaming can permute variables but never flip a
+    // polarity or change a width — so a disjoint partition of the pool
+    // across clients makes pass 1 all misses and pass 2 all hits by
+    // construction. Widths stay below 10: a wide disjunction side has
+    // ~2^n models and the scan is O(candidates x models), so width 13
+    // queries run for seconds and the closed loop would measure one
+    // query, not the service.
+    fn pool() -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for n in 6..=9usize {
+            let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
+            let disj = vars.join(" | ");
+            let conj = vars.join(" & ");
+            let neg: Vec<String> = vars.iter().map(|v| format!("!{v}")).collect();
+            let negconj = neg.join(" & ");
+            let negdisj = neg.join(" | ");
+            let pairs = vars
+                .chunks(2)
+                .map(|c| c.join(" & "))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            out.push((disj.clone(), negconj));
+            out.push((conj, negdisj.clone()));
+            out.push((pairs, disj.clone()));
+            for k in 1..n {
+                let cube = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| if i < k { v.clone() } else { format!("!{v}") })
+                    .collect::<Vec<_>>()
+                    .join(" & ");
+                out.push((cube.clone(), disj.clone()));
+                out.push((cube, negdisj.clone()));
+            }
+        }
+        out
+    }
+
+    /// One request on a keep-alive connection; returns latency in ns.
+    fn one_request(stream: &mut TcpStream, body: &str) -> u64 {
+        let started = Instant::now();
+        let head = format!(
+            "POST /v1/arbitrate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        // One buffered write per request: splitting head and body into
+        // separate small packets trips Nagle + delayed-ACK (~40 ms per
+        // request) and the bench would measure the TCP stack, not the
+        // service.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        stream.write_all(&wire).expect("write request");
+        let mut reply = Vec::with_capacity(512);
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => panic!("server closed connection mid-response"),
+                Ok(_) => {
+                    reply.push(byte[0]);
+                    if reply.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+        let head_text = String::from_utf8_lossy(&reply);
+        assert!(
+            head_text.starts_with("HTTP/1.1 200"),
+            "non-200 under load: {head_text}"
+        );
+        let length: usize = head_text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        let mut body_buf = vec![0u8; length];
+        stream.read_exact(&mut body_buf).expect("read body");
+        started.elapsed().as_nanos() as u64
+    }
+
+    /// Closed loop: each client sends its own disjoint slice of the pool
+    /// back-to-back (slices never overlap, so the first pass sees every
+    /// query exactly once). The partition is strided so each client gets
+    /// a mix of widths — a contiguous split would hand one client every
+    /// width-9 query and pin the wall clock to that slice alone.
+    /// Returns (per-request latencies ns, wall ns).
+    fn run_pass(addr: SocketAddr, queries: &[(String, String)]) -> (Vec<u64>, u64) {
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let slice: Vec<_> = queries
+                    .iter()
+                    .skip(client)
+                    .step_by(CLIENTS)
+                    .cloned()
+                    .collect();
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                        .unwrap();
+                    let _ = stream.set_nodelay(true);
+                    let mut latencies = Vec::with_capacity(slice.len());
+                    for (psi, phi) in &slice {
+                        let body = format!(r#"{{"psi": "{psi}", "phi": "{phi}"}}"#);
+                        latencies.push(one_request(&mut stream, &body));
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        (all, wall.elapsed().as_nanos() as u64)
+    }
+
+    fn quantile_us(sorted: &[u64], q: f64) -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64 / 1_000.0
+    }
+
+    let queries = pool();
+    assert_eq!(queries.len() % CLIENTS, 0, "pool must split evenly");
+    let per_pass = queries.len();
+    println!(
+        "workload: {per_pass} distinct queries over {CLIENTS} keep-alive clients \
+         (disjoint slices), two identical passes per leg\n"
+    );
+    println!("threads  cache  pass  req/s    p50 µs    p95 µs    hit-rate");
+
+    let mut json_rows: Vec<String> = Vec::new();
+    for &threads in &[1usize, 4, 8] {
+        for &cache_on in &[true, false] {
+            let server = spawn(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads,
+                queue_depth: 256,
+                cache_entries: if cache_on { 4096 } else { 0 },
+                timeout_ms: 0,
+            })
+            .expect("spawn server");
+            let addr = server.addr;
+
+            for pass in 1..=2u32 {
+                use arbitrex_core::telemetry::{CACHE_HITS, CACHE_MISSES};
+                let (hits0, misses0) = (CACHE_HITS.get(), CACHE_MISSES.get());
+                let (mut latencies, wall_ns) = run_pass(addr, &queries);
+                let (hits, misses) = (CACHE_HITS.get() - hits0, CACHE_MISSES.get() - misses0);
+                latencies.sort_unstable();
+                let p50 = quantile_us(&latencies, 0.50);
+                let p95 = quantile_us(&latencies, 0.95);
+                let rps = per_pass as f64 / (wall_ns as f64 / 1e9);
+                let lookups = hits + misses;
+                let hit_rate = if lookups == 0 {
+                    None // cache disabled (all bypasses) or telemetry off
+                } else {
+                    Some(hits as f64 / lookups as f64)
+                };
+                let hit_text = match hit_rate {
+                    Some(r) => format!("{:.1}%", r * 100.0),
+                    None => "-".to_string(),
+                };
+                println!(
+                    "{threads:<8} {:<6} {pass:<5} {rps:<8.0} {p50:<9.1} {p95:<9.1} {hit_text}",
+                    if cache_on { "on" } else { "off" },
+                );
+                json_rows.push(format!(
+                    "    {{\"threads\": {threads}, \"cache\": {cache_on}, \"pass\": {pass}, \
+                     \"requests\": {per_pass}, \"wall_ms\": {:.1}, \"rps\": {rps:.0}, \
+                     \"p50_us\": {p50:.1}, \"p95_us\": {p95:.1}, \"hit_rate\": {}}}",
+                    wall_ns as f64 / 1e6,
+                    match hit_rate {
+                        Some(r) => format!("{r:.3}"),
+                        None => "null".to_string(),
+                    },
+                ));
+            }
+            server.stop().expect("clean shutdown");
+        }
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"e15-serving-load\",\n");
+    json.push_str(
+        "  \"workload\": \"64 distinct arbitration queries (widths 6-9, shapes + polarity ladder), \
+         8 keep-alive clients with disjoint slices, closed loop, two identical passes per leg\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&json_rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    match std::fs::write("BENCH_PR4.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR4.json ({} rows)\n", json_rows.len()),
+        Err(e) => println!("\ncould not write BENCH_PR4.json: {e}\n"),
+    }
 }

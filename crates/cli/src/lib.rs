@@ -14,12 +14,10 @@
 use std::time::Duration;
 
 use arbitrex_core::arbitration::{try_arbitrate, try_arbitrate_with_budget};
-use arbitrex_core::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
 use arbitrex_core::satbackend::{dalal_revision_sat_budgeted, odist_fitting_sat_budgeted};
 use arbitrex_core::{
-    BorgidaRevision, Budget, BudgetSite, BudgetSpent, BudgetedChangeOperator, ChangeOperator,
-    CoreError, DalalRevision, DrasticRevision, FaultPlan, ForbusUpdate, Quality, SatohRevision,
-    WeberRevision, WinslettUpdate,
+    Budget, BudgetSite, BudgetSpent, BudgetedChangeOperator, ChangeOperator, CoreError, FaultPlan,
+    Quality,
 };
 use arbitrex_logic::{parse, Formula, ModelSet, Sig, ENUM_LIMIT};
 use arbitrex_merge::{
@@ -120,65 +118,25 @@ fn limit_err(e: CoreError) -> CliError {
     CliError::limit(e.to_string())
 }
 
-/// Look up a binary change operator by CLI name.
+/// Look up a binary change operator by CLI name. Thin wrapper around the
+/// shared registry in [`arbitrex_core::operator`], which the server crate
+/// also uses — one name table for every front end.
 pub fn operator_by_name(name: &str) -> Option<Box<dyn ChangeOperator>> {
-    Some(match name {
-        "dalal" | "revise" | "revision" => Box::new(DalalRevision),
-        "satoh" => Box::new(SatohRevision),
-        "borgida" => Box::new(BorgidaRevision),
-        "weber" => Box::new(WeberRevision),
-        "drastic" => Box::new(DrasticRevision),
-        "winslett" | "update" => Box::new(WinslettUpdate),
-        "forbus" => Box::new(ForbusUpdate),
-        "odist" | "fit" | "fitting" => Box::new(OdistFitting),
-        "lex-odist" | "lex" => Box::new(LexOdistFitting),
-        "gmax" => Box::new(GMaxFitting),
-        "sum" => Box::new(SumFitting),
-        _ => return None,
-    })
+    arbitrex_core::operator::operator(name)
 }
 
 /// Look up the budgeted variant of a change operator by CLI name. A
 /// subset of [`operator_by_name`]: only the enumeration-backed operators
 /// with graceful degradation support budgets.
 pub fn budgeted_operator_by_name(name: &str) -> Option<Box<dyn BudgetedChangeOperator>> {
-    Some(match name {
-        "dalal" | "revise" | "revision" => Box::new(DalalRevision),
-        "winslett" | "update" => Box::new(WinslettUpdate),
-        "forbus" => Box::new(ForbusUpdate),
-        "odist" | "fit" | "fitting" => Box::new(OdistFitting),
-        "lex-odist" | "lex" => Box::new(LexOdistFitting),
-        "gmax" => Box::new(GMaxFitting),
-        "sum" => Box::new(SumFitting),
-        _ => return None,
-    })
+    arbitrex_core::operator::budgeted_operator(name)
 }
 
 /// Names accepted by [`operator_by_name`], for help output.
-pub const OPERATOR_NAMES: &[&str] = &[
-    "dalal",
-    "satoh",
-    "borgida",
-    "weber",
-    "drastic",
-    "winslett",
-    "forbus",
-    "odist",
-    "lex-odist",
-    "gmax",
-    "sum",
-];
+pub const OPERATOR_NAMES: &[&str] = arbitrex_core::OPERATOR_NAMES;
 
 /// Names accepted by [`budgeted_operator_by_name`], for error messages.
-pub const BUDGETED_OPERATOR_NAMES: &[&str] = &[
-    "dalal",
-    "winslett",
-    "forbus",
-    "odist",
-    "lex-odist",
-    "gmax",
-    "sum",
-];
+pub const BUDGETED_OPERATOR_NAMES: &[&str] = arbitrex_core::BUDGETED_OPERATOR_NAMES;
 
 fn check_width(n: u32) -> Result<(), CliError> {
     if n > ENUM_LIMIT {
@@ -581,6 +539,77 @@ pub fn cmd_iterate(op_name: &str, psi_text: &str, mu_text: &str) -> Result<Strin
     Ok(text)
 }
 
+/// Parse `arbitrex serve` flags into a [`ServerConfig`]. Split from
+/// [`cmd_serve`] so the flag surface is unit-testable without binding a
+/// socket.
+pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConfig, CliError> {
+    let mut config = arbitrex_server::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = flag_value(&mut it, "--addr")?.clone(),
+            "--threads" => {
+                config.threads = flag_u64(&mut it, "--threads")? as usize;
+                if config.threads == 0 {
+                    return err("--threads must be at least 1");
+                }
+            }
+            "--queue-depth" => {
+                config.queue_depth = flag_u64(&mut it, "--queue-depth")? as usize;
+                if config.queue_depth == 0 {
+                    return err("--queue-depth must be at least 1");
+                }
+            }
+            "--cache-entries" => {
+                config.cache_entries = flag_u64(&mut it, "--cache-entries")? as usize
+            }
+            "--timeout-ms" => config.timeout_ms = flag_u64(&mut it, "--timeout-ms")?,
+            other => {
+                return err(format!(
+                    "unknown serve flag `{other}` (expected --addr, --threads, \
+                     --queue-depth, --cache-entries, --timeout-ms)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// `arbitrex serve [--addr a] [--threads n] [--queue-depth n]
+/// [--cache-entries n] [--timeout-ms n]` — run the arbitration service in
+/// the foreground until SIGTERM/SIGINT.
+///
+/// Prints the bound address eagerly (before blocking) so scripts can
+/// discover the port when `--addr` ends in `:0`.
+pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let config = parse_serve_config(args)?;
+    let server = arbitrex_server::Server::bind(config.clone()).map_err(|e| {
+        CliError::new(
+            ErrorKind::Generic,
+            format!("cannot bind {}: {e}", config.addr),
+        )
+    })?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::new(ErrorKind::Generic, e.to_string()))?;
+    arbitrex_server::install_signal_shutdown();
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(
+            out,
+            "arbitrex-server listening on {addr} \
+             (threads={}, queue-depth={}, cache-entries={}, timeout-ms={})",
+            config.threads, config.queue_depth, config.cache_entries, config.timeout_ms
+        );
+        let _ = out.flush();
+    }
+    server
+        .run()
+        .map_err(|e| CliError::new(ErrorKind::Generic, format!("server error: {e}")))?;
+    Ok("server stopped\n".to_string())
+}
+
 /// Top-level help text.
 pub fn help() -> String {
     format!(
@@ -595,6 +624,9 @@ pub fn help() -> String {
          \x20\x20\x20\x20 majority, weighted\n\
          \x20 arbitrex audit [operator...]                postulate matrix (R/U/A)\n\
          \x20 arbitrex iterate <operator> \"<psi>\" \"<mu>\"  long-run dynamics\n\
+         \x20 arbitrex serve [--addr a] [--threads n] [--queue-depth n]\n\
+         \x20\x20\x20\x20 [--cache-entries n] [--timeout-ms n]\n\
+         \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\")\n\
          \n\
          flags:\n\
          \x20 --stats        append operator telemetry counters (text)\n\
@@ -668,6 +700,11 @@ fn flag_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, Cl
 /// profile of exactly that command's work; the budget flags route the
 /// command through its `try_*_with_budget` variant.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    // `serve` owns its whole argument list: its `--timeout-ms` is the
+    // server's default request deadline, not the global budget flag.
+    if args.first().map(String::as_str) == Some("serve") {
+        return cmd_serve(&args[1..]);
+    }
     let mut stats_text = false;
     let mut stats_json = false;
     let mut timeout_ms: Option<u64> = None;
@@ -813,6 +850,46 @@ mod tests {
 
     fn sv(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn serve_flags_parse_into_config() {
+        let cfg = parse_serve_config(&sv(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "8",
+            "--queue-depth",
+            "3",
+            "--cache-entries",
+            "99",
+            "--timeout-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:0");
+        assert_eq!(cfg.threads, 8);
+        assert_eq!(cfg.queue_depth, 3);
+        assert_eq!(cfg.cache_entries, 99);
+        assert_eq!(cfg.timeout_ms, 250);
+        // Defaults hold when flags are omitted.
+        let d = parse_serve_config(&[]).unwrap();
+        assert_eq!(d.threads, arbitrex_server::ServerConfig::default().threads);
+    }
+
+    #[test]
+    fn serve_usage_errors_exit_2() {
+        for bad in [
+            sv(&["--threads"]),          // missing value
+            sv(&["--threads", "zero"]),  // non-integer
+            sv(&["--threads", "0"]),     // out of range
+            sv(&["--queue-depth", "0"]), // out of range
+            sv(&["--port", "80"]),       // unknown flag
+        ] {
+            let e = cmd_serve(&bad).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Usage, "{bad:?}: {e}");
+            assert_eq!(e.kind.exit_code(), 2);
+        }
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! A sharded, canonicalizing LRU cache for operator results.
+//!
+//! Every operator in this crate is defined from the Hamming distance
+//! between interpretations, and Hamming distance is invariant under
+//! permutations of the variable set: `dist(σI, σJ) = dist(I, J)` for any
+//! bijection `σ` on variables. All selection therefore commutes with
+//! renaming — `op(σΨ, σΜ) = σ·op(Ψ, Μ)` — so a query can be solved *once in
+//! canonical variable space* and replayed for every alpha-variant. The
+//! [`OpCache`] exploits exactly this: queries are keyed by the canonical
+//! serialization from [`arbitrex_logic::canonical`] (NNF, sorted connective
+//! arguments, variables renumbered by a renaming-invariant order), results
+//! are stored as canonical-space interpretations, and a hit remaps the
+//! stored bits through the query's own variable permutation. Shuffled
+//! conjuncts, renamed atoms, and double negations all land on the same
+//! entry.
+//!
+//! Two soundness guards:
+//!
+//! * the shard map is keyed on the **full canonical byte string**, not its
+//!   64-bit FNV hash — hash collisions cost a shard probe, never a wrong
+//!   answer;
+//! * only [`Quality::Exact`] outcomes are cached. Degraded answers depend
+//!   on how far a particular budget got and are not a function of the
+//!   query alone.
+//!
+//! Lookups and insertions feed the `"cache"` telemetry section
+//! (`cache_hits` / `cache_misses` / `cache_bypasses` / `cache_insertions` /
+//! `cache_evictions`); see `OBSERVABILITY.md`.
+//!
+//! ```
+//! use arbitrex_core::cache::{cached_arbitrate, CacheStatus, OpCache};
+//! use arbitrex_core::Budget;
+//! use arbitrex_logic::{parse, Sig};
+//!
+//! let cache = OpCache::new(64);
+//! let mut sig = Sig::new();
+//! let psi = parse(&mut sig, "A & B").unwrap();
+//! let phi = parse(&mut sig, "!A & !B").unwrap();
+//! let b = Budget::unlimited();
+//! let (first, s1) = cached_arbitrate(&cache, &psi, &phi, sig.width(), &b).unwrap();
+//! assert_eq!(s1, CacheStatus::Miss);
+//! // The same query — and any alpha-variant of it — now hits.
+//! let (again, s2) = cached_arbitrate(&cache, &psi, &phi, sig.width(), &b).unwrap();
+//! assert_eq!(s2, CacheStatus::Hit);
+//! assert_eq!(first.models, again.models);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::budget::{Budget, BudgetedChangeOperator, Outcome, Quality, WeightedOutcome};
+use crate::error::CoreError;
+use crate::telemetry;
+use crate::weighted::WeightedKb;
+use arbitrex_logic::canonical::fnv1a;
+use arbitrex_logic::{canonicalize_query, Formula, Interp, ModelSet, MAX_VARS};
+
+/// How a cached entry point answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Answered from the cache (no operator work ran).
+    Hit,
+    /// Computed by the operator; an exact result was stored for next time.
+    Miss,
+    /// The cache was not consulted (zero capacity or uncacheable query) or
+    /// the result was too degraded to store.
+    Bypass,
+}
+
+impl CacheStatus {
+    /// Stable snake_case name (used in JSON responses).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Bypass => "bypass",
+        }
+    }
+}
+
+/// A canonical-space result payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedValue {
+    /// Models of a classical operator application.
+    Models(Vec<Interp>),
+    /// Support of a weighted operator application.
+    Weighted(Vec<(Interp, u64)>),
+}
+
+/// A query reduced to canonical variable space: the lookup key plus the
+/// permutation needed to replay a stored answer in the request's own
+/// variable order.
+#[derive(Debug, Clone)]
+pub struct QueryKey {
+    bytes: Vec<u8>,
+    hash: u64,
+    forward: Vec<u32>,
+}
+
+impl QueryKey {
+    /// Canonicalize `formulas` over `n_vars` variables under the operator
+    /// tag `tag` (distinct operators must use distinct tags). `extra` is
+    /// appended verbatim to the key for renaming-invariant scalars such as
+    /// source weights.
+    pub fn new(tag: &str, formulas: &[&Formula], n_vars: u32, extra: &[u8]) -> QueryKey {
+        let cq = canonicalize_query(formulas, n_vars);
+        let mut bytes = Vec::with_capacity(tag.len() + extra.len() + 16);
+        bytes.extend_from_slice(&(tag.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(tag.as_bytes());
+        bytes.extend_from_slice(&(extra.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(extra);
+        bytes.extend_from_slice(&cq.key_bytes());
+        let hash = fnv1a(&bytes);
+        QueryKey {
+            bytes,
+            hash,
+            forward: cq.forward,
+        }
+    }
+
+    /// The 64-bit FNV-1a hash of the canonical key (shard selector).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Map a canonical-space interpretation back into the request's
+    /// variable order (bit `i` of the result is bit `forward[i]` of `c`).
+    pub fn to_request_space(&self, c: Interp) -> Interp {
+        let mut out = 0u64;
+        for (i, &f) in self.forward.iter().enumerate() {
+            out |= (c.0 >> f & 1) << i;
+        }
+        Interp(out)
+    }
+
+    /// Map a request-space interpretation into canonical variable order
+    /// (bit `forward[i]` of the result is bit `i` of `r`).
+    pub fn to_canonical_space(&self, r: Interp) -> Interp {
+        let mut out = 0u64;
+        for (i, &f) in self.forward.iter().enumerate() {
+            out |= (r.0 >> i & 1) << f;
+        }
+        Interp(out)
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: Vec<u8>,
+    value: CachedValue,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: a slab-backed intrusive doubly-linked LRU list plus an index
+/// from full key bytes to slab slots.
+struct Shard {
+    map: HashMap<Vec<u8>, usize>,
+    slab: Vec<Entry>,
+    head: usize,
+    tail: usize,
+    free: Vec<usize>,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<CachedValue> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Insert or refresh; returns `true` if an entry was evicted.
+    fn insert(&mut self, key: &[u8], value: CachedValue) -> bool {
+        if let Some(&idx) = self.map.get(key) {
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = std::mem::take(&mut self.slab[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let entry = Entry {
+            key: key.to_vec(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = entry;
+                slot
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key.to_vec(), idx);
+        self.push_front(idx);
+        evicted
+    }
+}
+
+/// A sharded LRU cache of exact operator results in canonical variable
+/// space. `Sync`: each shard is independently locked, so concurrent
+/// workers contend only when their keys hash to the same shard.
+pub struct OpCache {
+    shards: Box<[Mutex<Shard>]>,
+}
+
+impl OpCache {
+    /// Default shard count for [`OpCache::new`].
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// A cache holding at least `capacity` entries across
+    /// [`OpCache::DEFAULT_SHARDS`] shards. `capacity == 0` disables the
+    /// cache: every lookup reports [`CacheStatus::Bypass`].
+    pub fn new(capacity: usize) -> OpCache {
+        OpCache::with_shards(OpCache::DEFAULT_SHARDS, capacity)
+    }
+
+    /// A cache with an explicit shard count (rounded up to at least 1).
+    /// Total capacity is `capacity` rounded up to a multiple of the shard
+    /// count, except that `capacity == 0` still disables the cache.
+    pub fn with_shards(n_shards: usize, capacity: usize) -> OpCache {
+        let n_shards = n_shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(n_shards)
+        };
+        let shards = (0..n_shards)
+            .map(|_| Mutex::new(Shard::new(per_shard)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        OpCache { shards }
+    }
+
+    /// Is the cache actually storing anything?
+    pub fn is_enabled(&self) -> bool {
+        self.shards[0].lock().unwrap().capacity > 0
+    }
+
+    /// Total entry capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shards[0].lock().unwrap().capacity
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (capacity is unchanged).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let mut s = shard.lock().unwrap();
+            let cap = s.capacity;
+            *s = Shard::new(cap);
+        }
+    }
+
+    fn shard_for(&self, key: &QueryKey) -> &Mutex<Shard> {
+        &self.shards[(key.hash() as usize) % self.shards.len()]
+    }
+
+    /// Raw lookup. Counts a hit or miss; returns `None` without counting
+    /// when the cache is disabled (the caller reports a bypass).
+    pub fn get(&self, key: &QueryKey) -> Option<CachedValue> {
+        if !self.is_enabled() {
+            telemetry::CACHE_BYPASSES.incr();
+            return None;
+        }
+        let found = self.shard_for(key).lock().unwrap().get(&key.bytes);
+        match found {
+            Some(v) => {
+                telemetry::CACHE_HITS.incr();
+                Some(v)
+            }
+            None => {
+                telemetry::CACHE_MISSES.incr();
+                None
+            }
+        }
+    }
+
+    /// Raw insertion of a canonical-space value. No-op when disabled.
+    pub fn insert(&self, key: &QueryKey, value: CachedValue) {
+        if !self.is_enabled() {
+            return;
+        }
+        let evicted = self
+            .shard_for(key)
+            .lock()
+            .unwrap()
+            .insert(&key.bytes, value);
+        telemetry::CACHE_INSERTIONS.incr();
+        if evicted {
+            telemetry::CACHE_EVICTIONS.incr();
+        }
+    }
+
+    /// Look up a classical result and replay it in request variable space.
+    pub fn get_models(&self, key: &QueryKey, n_vars: u32) -> Option<ModelSet> {
+        match self.get(key)? {
+            CachedValue::Models(canon) => Some(ModelSet::new(
+                n_vars,
+                canon.into_iter().map(|i| key.to_request_space(i)),
+            )),
+            CachedValue::Weighted(_) => None,
+        }
+    }
+
+    /// Store a classical result, remapped into canonical variable space.
+    pub fn insert_models(&self, key: &QueryKey, models: &ModelSet) {
+        let canon: Vec<Interp> = models.iter().map(|i| key.to_canonical_space(i)).collect();
+        self.insert(key, CachedValue::Models(canon));
+    }
+
+    /// Look up a weighted result and replay it in request variable space.
+    pub fn get_weighted(&self, key: &QueryKey, n_vars: u32) -> Option<WeightedKb> {
+        match self.get(key)? {
+            CachedValue::Weighted(canon) => Some(WeightedKb::from_weights(
+                n_vars,
+                canon.into_iter().map(|(i, w)| (key.to_request_space(i), w)),
+            )),
+            CachedValue::Models(_) => None,
+        }
+    }
+
+    /// Store a weighted result, remapped into canonical variable space.
+    pub fn insert_weighted(&self, key: &QueryKey, kb: &WeightedKb) {
+        let canon: Vec<(Interp, u64)> = kb
+            .support()
+            .map(|(i, w)| (key.to_canonical_space(i), w))
+            .collect();
+        self.insert(key, CachedValue::Weighted(canon));
+    }
+}
+
+fn check_query_width(n_vars: u32) -> Result<(), CoreError> {
+    CoreError::check_enum_limit(n_vars)?;
+    debug_assert!(n_vars as usize <= MAX_VARS);
+    Ok(())
+}
+
+/// Budgeted arbitration `ψ Δ φ` through `cache`: alpha-variants of an
+/// earlier exact answer replay without running the kernel.
+pub fn cached_arbitrate(
+    cache: &OpCache,
+    psi: &Formula,
+    phi: &Formula,
+    n_vars: u32,
+    budget: &Budget,
+) -> Result<(Outcome, CacheStatus), CoreError> {
+    check_query_width(n_vars)?;
+    let key = QueryKey::new("arbitrate", &[psi, phi], n_vars, &[]);
+    if let Some(models) = cache.get_models(&key, n_vars) {
+        return Ok((Outcome::exact(models, budget), CacheStatus::Hit));
+    }
+    let mp = ModelSet::of_formula(psi, n_vars);
+    let mf = ModelSet::of_formula(phi, n_vars);
+    let out = crate::arbitration::try_arbitrate_with_budget(&mp, &mf, budget)?;
+    let status = store_outcome(cache, &key, &out);
+    Ok((out, status))
+}
+
+/// Budgeted application of a named fitting/revision/update operator
+/// through `cache`. The key is tagged with `op.name()`, so distinct
+/// operators never share entries.
+pub fn cached_apply(
+    cache: &OpCache,
+    op: &dyn BudgetedChangeOperator,
+    psi: &Formula,
+    mu: &Formula,
+    n_vars: u32,
+    budget: &Budget,
+) -> Result<(Outcome, CacheStatus), CoreError> {
+    check_query_width(n_vars)?;
+    let tag = format!("apply:{}", op.name());
+    let key = QueryKey::new(&tag, &[psi, mu], n_vars, &[]);
+    if let Some(models) = cache.get_models(&key, n_vars) {
+        return Ok((Outcome::exact(models, budget), CacheStatus::Hit));
+    }
+    let mp = ModelSet::of_formula(psi, n_vars);
+    let mm = ModelSet::of_formula(mu, n_vars);
+    let out = op.apply_with_budget(&mp, &mm, budget);
+    let status = store_outcome(cache, &key, &out);
+    Ok((out, status))
+}
+
+/// Budgeted weighted arbitration `ψ̃ ▷ φ̃` through `cache`, where each side
+/// is a formula whose models all carry one source weight. The weights are
+/// renaming-invariant scalars and join the key verbatim.
+pub fn cached_warbitrate(
+    cache: &OpCache,
+    psi: &Formula,
+    psi_weight: u64,
+    phi: &Formula,
+    phi_weight: u64,
+    n_vars: u32,
+    budget: &Budget,
+) -> Result<(WeightedOutcome, CacheStatus), CoreError> {
+    check_query_width(n_vars)?;
+    let mut extra = Vec::with_capacity(16);
+    extra.extend_from_slice(&psi_weight.to_le_bytes());
+    extra.extend_from_slice(&phi_weight.to_le_bytes());
+    let key = QueryKey::new("warbitrate", &[psi, phi], n_vars, &extra);
+    if let Some(kb) = cache.get_weighted(&key, n_vars) {
+        return Ok((WeightedOutcome::exact(kb, budget), CacheStatus::Hit));
+    }
+    let wp = weighted_side(psi, psi_weight, n_vars);
+    let wf = weighted_side(phi, phi_weight, n_vars);
+    let out = crate::arbitration::try_warbitrate_with_budget(&wp, &wf, budget)?;
+    let status = if out.quality != Quality::Exact {
+        telemetry::CACHE_BYPASSES.incr();
+        CacheStatus::Bypass
+    } else if cache.is_enabled() {
+        cache.insert_weighted(&key, &out.kb);
+        CacheStatus::Miss
+    } else {
+        CacheStatus::Bypass
+    };
+    Ok((out, status))
+}
+
+/// `Mod(f)` with every model carrying `weight` (the uniform-source reading
+/// used by the service protocol).
+pub fn weighted_side(f: &Formula, weight: u64, n_vars: u32) -> WeightedKb {
+    let models = ModelSet::of_formula(f, n_vars);
+    WeightedKb::from_weights(n_vars, models.iter().map(|i| (i, weight)))
+}
+
+fn store_outcome(cache: &OpCache, key: &QueryKey, out: &Outcome) -> CacheStatus {
+    if out.quality != Quality::Exact {
+        telemetry::CACHE_BYPASSES.incr();
+        CacheStatus::Bypass
+    } else if cache.is_enabled() {
+        cache.insert_models(key, &out.models);
+        CacheStatus::Miss
+    } else {
+        CacheStatus::Bypass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitration::try_arbitrate;
+    use crate::fitting::OdistFitting;
+    use arbitrex_logic::{parse, Sig};
+
+    fn q(sig: &mut Sig, s: &str) -> Formula {
+        parse(sig, s).unwrap()
+    }
+
+    #[test]
+    fn status_names_are_stable() {
+        assert_eq!(CacheStatus::Hit.name(), "hit");
+        assert_eq!(CacheStatus::Miss.name(), "miss");
+        assert_eq!(CacheStatus::Bypass.name(), "bypass");
+    }
+
+    #[test]
+    fn remap_roundtrips_through_canonical_space() {
+        let mut sig = Sig::new();
+        // Force a nontrivial canonical order.
+        let psi = q(&mut sig, "C | (A & B)");
+        let phi = q(&mut sig, "!C");
+        let key = QueryKey::new("t", &[&psi, &phi], sig.width(), &[]);
+        for bits in 0u64..8 {
+            let r = Interp(bits);
+            assert_eq!(key.to_request_space(key.to_canonical_space(r)), r);
+        }
+    }
+
+    #[test]
+    fn hit_replays_the_exact_answer() {
+        let cache = OpCache::new(16);
+        let mut sig = Sig::new();
+        let psi = q(&mut sig, "A & B & !C");
+        let phi = q(&mut sig, "!A & !B & C");
+        let n = sig.width();
+        let b = Budget::unlimited();
+        let (first, s1) = cached_arbitrate(&cache, &psi, &phi, n, &b).unwrap();
+        assert_eq!(s1, CacheStatus::Miss);
+        let (second, s2) = cached_arbitrate(&cache, &psi, &phi, n, &b).unwrap();
+        assert_eq!(s2, CacheStatus::Hit);
+        let expect = try_arbitrate(
+            &ModelSet::of_formula(&psi, n),
+            &ModelSet::of_formula(&phi, n),
+        )
+        .unwrap();
+        assert_eq!(first.models, expect);
+        assert_eq!(second.models, expect);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn alpha_variant_hits_and_remaps_correctly() {
+        let cache = OpCache::new(16);
+        let b = Budget::unlimited();
+
+        // Original query over (A, B, C).
+        let mut sig1 = Sig::new();
+        let psi1 = q(&mut sig1, "(A & B) | C");
+        let phi1 = q(&mut sig1, "!A & !C");
+        let n = sig1.width();
+        let (_, s1) = cached_arbitrate(&cache, &psi1, &phi1, n, &b).unwrap();
+        assert_eq!(s1, CacheStatus::Miss);
+
+        // The same query with variables introduced in a different order
+        // and conjuncts shuffled: X↔A, Y↔B, Z↔C but numbered Z=0, X=1, Y=2.
+        let mut sig2 = Sig::new();
+        let _ = q(&mut sig2, "Z"); // intern Z first
+        let psi2 = q(&mut sig2, "Z | (Y & X)");
+        let phi2 = q(&mut sig2, "!Z & !X");
+        let (out2, s2) = cached_arbitrate(&cache, &psi2, &phi2, n, &b).unwrap();
+        assert_eq!(s2, CacheStatus::Hit);
+
+        // The replayed answer must equal a direct computation in the
+        // second query's own variable space.
+        let expect = try_arbitrate(
+            &ModelSet::of_formula(&psi2, n),
+            &ModelSet::of_formula(&phi2, n),
+        )
+        .unwrap();
+        assert_eq!(out2.models, expect);
+    }
+
+    #[test]
+    fn distinct_operators_do_not_share_entries() {
+        let cache = OpCache::new(16);
+        let mut sig = Sig::new();
+        let psi = q(&mut sig, "A");
+        let mu = q(&mut sig, "!A | B");
+        let n = sig.width();
+        let b = Budget::unlimited();
+        let (_, s1) = cached_apply(&cache, &OdistFitting, &psi, &mu, n, &b).unwrap();
+        assert_eq!(s1, CacheStatus::Miss);
+        // Same formulas, different tag: arbitration must not hit odist's entry.
+        let (_, s2) = cached_arbitrate(&cache, &psi, &mu, n, &b).unwrap();
+        assert_eq!(s2, CacheStatus::Miss);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn degraded_outcomes_are_not_cached() {
+        let cache = OpCache::new(16);
+        let mut sig = Sig::new();
+        // Wide disjunction: 2^11 - 1 + 1 candidate interps to scan, far
+        // past one 1024-step meter batch, so a zero deadline trips.
+        let names: Vec<String> = (0..11).map(|i| format!("V{i}")).collect();
+        let text = names.join(" | ");
+        let psi = q(&mut sig, &text);
+        let phi = q(&mut sig, &text);
+        let n = sig.width();
+        let b = Budget::unlimited().with_deadline(std::time::Duration::from_millis(0));
+        let (out, status) = cached_arbitrate(&cache, &psi, &phi, n, &b).unwrap();
+        assert_ne!(out.quality, Quality::Exact);
+        assert_eq!(status, CacheStatus::Bypass);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_bypasses() {
+        let cache = OpCache::new(0);
+        assert!(!cache.is_enabled());
+        let mut sig = Sig::new();
+        let psi = q(&mut sig, "A");
+        let phi = q(&mut sig, "!A");
+        let b = Budget::unlimited();
+        let (_, s1) = cached_arbitrate(&cache, &psi, &phi, sig.width(), &b).unwrap();
+        let (_, s2) = cached_arbitrate(&cache, &psi, &phi, sig.width(), &b).unwrap();
+        // With no capacity nothing is stored, so the exact repeat never
+        // upgrades to a hit.
+        assert_eq!(s1, CacheStatus::Bypass);
+        assert_eq!(s2, CacheStatus::Bypass);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        // One shard, capacity 2, driven through the raw interface. The
+        // three formulas must not be alpha-equivalent ("A" and "B" would
+        // canonicalize to the same key).
+        let cache = OpCache::with_shards(1, 2);
+        let mut sig = Sig::new();
+        let a = q(&mut sig, "A");
+        let b_ = q(&mut sig, "!A");
+        let c = q(&mut sig, "A & B");
+        let n = sig.width();
+        let ka = QueryKey::new("k", &[&a], n, &[]);
+        let kb = QueryKey::new("k", &[&b_], n, &[]);
+        let kc = QueryKey::new("k", &[&c], n, &[]);
+        cache.insert(&ka, CachedValue::Models(vec![Interp(1)]));
+        cache.insert(&kb, CachedValue::Models(vec![Interp(2)]));
+        // Touch ka so kb becomes least recently used.
+        assert!(cache.get(&ka).is_some());
+        cache.insert(&kc, CachedValue::Models(vec![Interp(3)]));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ka).is_some());
+        assert!(cache.get(&kb).is_none());
+        assert!(cache.get(&kc).is_some());
+    }
+
+    #[test]
+    fn weighted_roundtrip_hits_with_weights_in_key() {
+        let cache = OpCache::new(16);
+        let mut sig = Sig::new();
+        let psi = q(&mut sig, "A & B");
+        let phi = q(&mut sig, "!A & !B");
+        let n = sig.width();
+        let b = Budget::unlimited();
+        let (w1, s1) = cached_warbitrate(&cache, &psi, 3, &phi, 1, n, &b).unwrap();
+        assert_eq!(s1, CacheStatus::Miss);
+        let (w2, s2) = cached_warbitrate(&cache, &psi, 3, &phi, 1, n, &b).unwrap();
+        assert_eq!(s2, CacheStatus::Hit);
+        assert!(w1.kb.equivalent(&w2.kb));
+        // Different weights form a different query.
+        let (_, s3) = cached_warbitrate(&cache, &psi, 1, &phi, 3, n, &b).unwrap();
+        assert_eq!(s3, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn capacity_and_clear() {
+        let cache = OpCache::with_shards(4, 7);
+        assert_eq!(cache.capacity(), 8); // 4 shards × ceil(7/4)
+        let mut sig = Sig::new();
+        let a = q(&mut sig, "A");
+        let k = QueryKey::new("k", &[&a], sig.width(), &[]);
+        cache.insert(&k, CachedValue::Models(vec![Interp(0)]));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 8);
+    }
+}

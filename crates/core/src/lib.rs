@@ -33,6 +33,7 @@
 pub mod arbitration;
 pub mod assignment;
 pub mod budget;
+pub mod cache;
 pub mod distance;
 pub mod error;
 pub mod fitting;
@@ -57,10 +58,16 @@ pub use budget::{
     Budget, BudgetSite, BudgetSpent, BudgetedChangeOperator, BudgetedWeightedChangeOperator,
     CancelToken, Exhausted, FaultPlan, Outcome, Quality, TripReason, WeightedOutcome,
 };
+pub use cache::{
+    cached_apply, cached_arbitrate, cached_warbitrate, CacheStatus, CachedValue, OpCache, QueryKey,
+};
 pub use distance::{dist, min_dist, odist, sum_dist, wdist};
 pub use error::CoreError;
 pub use fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
-pub use operator::{ChangeOperator, FormulaOperator};
+pub use operator::{
+    budgeted_operator, operator, ChangeOperator, FormulaOperator, BUDGETED_OPERATOR_NAMES,
+    OPERATOR_NAMES,
+};
 pub use revision::{BorgidaRevision, DalalRevision, DrasticRevision, SatohRevision, WeberRevision};
 pub use telemetry::TelemetrySnapshot;
 pub use update::{ForbusUpdate, WinslettUpdate};

@@ -68,6 +68,77 @@ impl<Op: ChangeOperator> FormulaOperator<Op> {
     }
 }
 
+/// Look up a binary change operator by its stable registry name (the
+/// names accepted by the CLI and the service protocol). Aliases:
+/// `revise`/`revision` → `dalal`, `update` → `winslett`, `fit`/`fitting`
+/// → `odist`, `lex` → `lex-odist`.
+pub fn operator(name: &str) -> Option<Box<dyn ChangeOperator>> {
+    use crate::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
+    use crate::revision::{
+        BorgidaRevision, DalalRevision, DrasticRevision, SatohRevision, WeberRevision,
+    };
+    use crate::update::{ForbusUpdate, WinslettUpdate};
+    Some(match name {
+        "dalal" | "revise" | "revision" => Box::new(DalalRevision),
+        "satoh" => Box::new(SatohRevision),
+        "borgida" => Box::new(BorgidaRevision),
+        "weber" => Box::new(WeberRevision),
+        "drastic" => Box::new(DrasticRevision),
+        "winslett" | "update" => Box::new(WinslettUpdate),
+        "forbus" => Box::new(ForbusUpdate),
+        "odist" | "fit" | "fitting" => Box::new(OdistFitting),
+        "lex-odist" | "lex" => Box::new(LexOdistFitting),
+        "gmax" => Box::new(GMaxFitting),
+        "sum" => Box::new(SumFitting),
+        _ => return None,
+    })
+}
+
+/// Look up the budgeted variant of a change operator by registry name. A
+/// subset of [`operator`]: only the enumeration-backed operators with
+/// graceful degradation support budgets.
+pub fn budgeted_operator(name: &str) -> Option<Box<dyn crate::budget::BudgetedChangeOperator>> {
+    use crate::fitting::{GMaxFitting, LexOdistFitting, OdistFitting, SumFitting};
+    use crate::revision::DalalRevision;
+    use crate::update::{ForbusUpdate, WinslettUpdate};
+    Some(match name {
+        "dalal" | "revise" | "revision" => Box::new(DalalRevision),
+        "winslett" | "update" => Box::new(WinslettUpdate),
+        "forbus" => Box::new(ForbusUpdate),
+        "odist" | "fit" | "fitting" => Box::new(OdistFitting),
+        "lex-odist" | "lex" => Box::new(LexOdistFitting),
+        "gmax" => Box::new(GMaxFitting),
+        "sum" => Box::new(SumFitting),
+        _ => return None,
+    })
+}
+
+/// Canonical names accepted by [`operator`], for help output.
+pub const OPERATOR_NAMES: &[&str] = &[
+    "dalal",
+    "satoh",
+    "borgida",
+    "weber",
+    "drastic",
+    "winslett",
+    "forbus",
+    "odist",
+    "lex-odist",
+    "gmax",
+    "sum",
+];
+
+/// Canonical names accepted by [`budgeted_operator`], for error messages.
+pub const BUDGETED_OPERATOR_NAMES: &[&str] = &[
+    "dalal",
+    "winslett",
+    "forbus",
+    "odist",
+    "lex-odist",
+    "gmax",
+    "sum",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +184,32 @@ mod tests {
             ModelSet::of_formula(&op.apply(&psi1, &mu), n),
             ModelSet::of_formula(&op.apply(&psi2, &mu), n)
         );
+    }
+
+    #[test]
+    fn registry_covers_every_listed_name_and_aliases() {
+        for name in OPERATOR_NAMES {
+            assert!(operator(name).is_some(), "missing operator {name}");
+        }
+        for name in BUDGETED_OPERATOR_NAMES {
+            assert!(operator(name).is_some());
+            assert!(budgeted_operator(name).is_some(), "missing budgeted {name}");
+        }
+        for (alias, target) in [
+            ("revise", "dalal"),
+            ("revision", "dalal"),
+            ("update", "winslett"),
+            ("fit", "odist"),
+            ("fitting", "odist"),
+            ("lex", "lex-odist"),
+        ] {
+            assert_eq!(
+                operator(alias).unwrap().name(),
+                operator(target).unwrap().name()
+            );
+        }
+        assert!(operator("no-such-op").is_none());
+        assert!(budgeted_operator("satoh").is_none());
     }
 
     #[test]

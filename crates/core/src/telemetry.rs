@@ -133,13 +133,44 @@ pub static BUDGET_SECTION: Section = Section {
     timers: &[],
 };
 
-/// Every section in snapshot order: kernel, weighted, budget, then the
-/// solver counters owned by `arbitrex-sat`.
-pub fn sections() -> [&'static Section; 4] {
+// --- section "cache": the canonicalizing result cache (cache.rs) -----------
+
+/// Cache lookups answered from a stored result ([`crate::cache::OpCache`]) —
+/// the query was alpha-equivalent (up to variable renaming and argument
+/// shuffling) to an earlier exact answer.
+pub static CACHE_HITS: Counter = Counter::new("cache_hits");
+/// Cache lookups that found no stored result and fell through to the
+/// operator.
+pub static CACHE_MISSES: Counter = Counter::new("cache_misses");
+/// Lookups that skipped the cache entirely (capacity zero, oversized
+/// signature, or a non-exact outcome that is not cacheable).
+pub static CACHE_BYPASSES: Counter = Counter::new("cache_bypasses");
+/// Exact results written into the cache after a miss.
+pub static CACHE_INSERTIONS: Counter = Counter::new("cache_insertions");
+/// Entries displaced by the LRU policy to make room for an insertion.
+pub static CACHE_EVICTIONS: Counter = Counter::new("cache_evictions");
+
+/// The `"cache"` section.
+pub static CACHE_SECTION: Section = Section {
+    name: "cache",
+    counters: &[
+        &CACHE_HITS,
+        &CACHE_MISSES,
+        &CACHE_BYPASSES,
+        &CACHE_INSERTIONS,
+        &CACHE_EVICTIONS,
+    ],
+    timers: &[],
+};
+
+/// Every section in snapshot order: kernel, weighted, budget, cache, then
+/// the solver counters owned by `arbitrex-sat`.
+pub fn sections() -> [&'static Section; 5] {
     [
         &KERNEL_SECTION,
         &WEIGHTED_SECTION,
         &BUDGET_SECTION,
+        &CACHE_SECTION,
         &arbitrex_sat::telemetry::SAT_SECTION,
     ]
 }
@@ -187,15 +218,16 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_has_all_four_sections() {
+    fn snapshot_has_all_five_sections() {
         let snap = snapshot();
         let names: Vec<_> = snap.sections.iter().map(|s| s.name).collect();
-        assert_eq!(names, vec!["kernel", "weighted", "budget", "sat"]);
+        assert_eq!(names, vec!["kernel", "weighted", "budget", "cache", "sat"]);
         let json = snap.to_json();
         assert!(json.contains("\"bnb_nodes_cut\""));
         assert!(json.contains("\"conflicts\""));
         assert!(json.contains("\"wprofile_prune_hits\""));
         assert!(json.contains("\"budget_trips\""));
+        assert!(json.contains("\"cache_hits\""));
     }
 
     #[test]

@@ -1,0 +1,612 @@
+//! Canonical forms and cache keys for formulas.
+//!
+//! A serving layer in front of the operators wants to recognize that
+//! `A & !B`, `!B & A` and even `X & !Y` (same shape, different names) are
+//! *the same query*: every operator in `arbitrex-core` is defined through
+//! Dalal's distance on interpretations, which is invariant under
+//! permutations of the variable universe, so the answer to one is the
+//! answer to the other up to the same renaming. This module computes a
+//! deterministic canonical form that quotients out
+//!
+//! * **derived connectives and negation placement** — via [`crate::to_nnf`],
+//! * **argument order and duplication** in `∧`/`∨` — children are sorted
+//!   under a structural total order and deduplicated,
+//! * **variable identity** — variables are renumbered by first occurrence
+//!   in the sorted tree, iterated to a fixed point with the sorting,
+//!
+//! and hashes it with FNV-1a into a [`canonical_key`]. Alpha-equivalent or
+//! syntactically shuffled formulas collide by construction; inequivalent
+//! formulas collide only if either the canonicalizer's finite iteration
+//! fails to converge (a missed collision, never a false one) or the 64-bit
+//! hash collides. Consumers that must not trust 64 bits (the result cache
+//! in `arbitrex-core`) key on the full [`canonical_bytes`] instead and use
+//! the hash only for sharding.
+//!
+//! [`canonicalize_query`] is the joint form used by the cache: all
+//! formulas of one query share a single renaming (so `ψ` and `μ` stay
+//! aligned), and the renaming is returned as a permutation of the full
+//! `n`-variable universe so model sets computed in canonical space can be
+//! mapped back to the caller's variable order.
+
+use crate::ast::Formula;
+use crate::interp::Var;
+use crate::nnf::to_nnf;
+use std::cmp::Ordering;
+
+/// A query (one or more formulas over a shared signature) rewritten into
+/// canonical form, together with the variable permutation that got it
+/// there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalQuery {
+    /// The canonicalized formulas, in input order.
+    pub formulas: Vec<Formula>,
+    /// `forward[i]` is the canonical index of original variable `i`; a
+    /// permutation of `0..n_vars`.
+    pub forward: Vec<u32>,
+    /// Width of the variable universe the permutation ranges over.
+    pub n_vars: u32,
+}
+
+impl CanonicalQuery {
+    /// Serialize the whole query (formula count, then each canonical
+    /// formula length-prefixed) — the collision-free cache key material.
+    pub fn key_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.n_vars.to_le_bytes());
+        out.extend_from_slice(&(self.formulas.len() as u32).to_le_bytes());
+        for f in &self.formulas {
+            let bytes = serialize(f);
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+}
+
+/// Canonicalize a joint query: every formula is NNF-normalized, sorted,
+/// and the variables of the whole group are renumbered consistently.
+///
+/// `n_vars` is the width of the universe the query ranges over (it may
+/// exceed the largest variable actually mentioned); the returned
+/// [`CanonicalQuery::forward`] is a permutation of `0..n_vars`, with
+/// unmentioned variables assigned the leftover canonical slots in
+/// ascending order.
+pub fn canonicalize_query(formulas: &[&Formula], n_vars: u32) -> CanonicalQuery {
+    let width = formulas
+        .iter()
+        .filter_map(|f| f.max_var())
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0)
+        .max(n_vars);
+    let mut fs: Vec<Formula> = formulas.iter().map(|f| normalize(&to_nnf(f))).collect();
+    // Initial order from index-free color refinement: variables that play
+    // different structural roles get different colors no matter how the
+    // input happened to number them. First-occurrence renumbering alone
+    // is *not* renaming-invariant (two numberings of the same formula can
+    // converge to different fixed points); the colors break that tie.
+    let colors = refine_colors(&fs, width, 3);
+    let initial = order_from_colors(&fs, &colors, width);
+    for f in &mut fs {
+        *f = normalize(&rename(f, &initial));
+    }
+    // Composed renaming: forward[original] = current canonical index.
+    let mut forward: Vec<u32> = initial;
+    // Alternate renumber-by-first-occurrence with re-sorting until the
+    // numbering stabilizes. Each round is deterministic, so equal inputs
+    // always land on equal outputs even if a pathological formula fails
+    // to reach a fixed point within the iteration cap.
+    for _ in 0..8 {
+        let step = first_occurrence_renaming(&fs, width);
+        if step.iter().enumerate().all(|(i, &v)| v == i as u32) {
+            break;
+        }
+        for f in &mut fs {
+            *f = normalize(&rename(f, &step));
+        }
+        for slot in forward.iter_mut() {
+            *slot = step[*slot as usize];
+        }
+    }
+    CanonicalQuery {
+        formulas: fs,
+        forward,
+        n_vars: width,
+    }
+}
+
+/// The canonical serialization of a single formula. Two formulas get equal
+/// bytes iff the canonicalizer identifies them.
+pub fn canonical_bytes(f: &Formula) -> Vec<u8> {
+    serialize(&canonicalize_query(&[f], 0).formulas[0])
+}
+
+/// A 64-bit FNV-1a hash of [`canonical_bytes`] — the cache key promised to
+/// collide for alpha-equivalent and syntactically shuffled formulas.
+///
+/// ```
+/// use arbitrex_logic::{canonical_key, parse, Sig};
+/// let mut s1 = Sig::new();
+/// let f = parse(&mut s1, "A & !B").unwrap();
+/// let mut s2 = Sig::new();
+/// let g = parse(&mut s2, "!Y & X").unwrap(); // shuffled, renamed
+/// assert_eq!(canonical_key(&f), canonical_key(&g));
+/// ```
+pub fn canonical_key(f: &Formula) -> u64 {
+    fnv1a(&canonical_bytes(f))
+}
+
+/// FNV-1a over a byte string (the workspace's zero-dependency hash).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Mix a sequence of words with FNV-1a (the module's hash combiner).
+fn mix(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Bottom-up structure hash in which a variable contributes only its
+/// current color — never its index — and `∧`/`∨` children contribute as a
+/// sorted multiset, so the hash is invariant under renaming and shuffling.
+fn up_hash(f: &Formula, colors: &[u64]) -> u64 {
+    match f {
+        Formula::True => mix(&[1]),
+        Formula::False => mix(&[2]),
+        Formula::Var(v) => mix(&[3, colors[v.index()]]),
+        Formula::Not(g) => mix(&[4, up_hash(g, colors)]),
+        Formula::And(gs) | Formula::Or(gs) => {
+            let tag = if matches!(f, Formula::And(_)) { 5 } else { 6 };
+            let mut hs: Vec<u64> = gs.iter().map(|g| up_hash(g, colors)).collect();
+            hs.sort_unstable();
+            let mut words = vec![tag];
+            words.extend(hs);
+            mix(&words)
+        }
+        Formula::Implies(a, b) => mix(&[7, up_hash(a, colors), up_hash(b, colors)]),
+        Formula::Iff(a, b) => mix(&[8, up_hash(a, colors), up_hash(b, colors)]),
+        Formula::Xor(a, b) => mix(&[9, up_hash(a, colors), up_hash(b, colors)]),
+    }
+}
+
+/// Accumulate, per variable, the multiset of occurrence contexts: the
+/// top-down path hash at each of its leaves. Sibling information enters
+/// through sorted up-hashes, so contexts are order- and renaming-free.
+fn occurrence_contexts(f: &Formula, colors: &[u64], path: u64, out: &mut [Vec<u64>]) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Var(v) => out[v.index()].push(mix(&[path, 10])),
+        Formula::Not(g) => occurrence_contexts(g, colors, mix(&[path, 11]), out),
+        Formula::And(gs) | Formula::Or(gs) => {
+            let tag = if matches!(f, Formula::And(_)) { 12 } else { 13 };
+            let hs: Vec<u64> = gs.iter().map(|g| up_hash(g, colors)).collect();
+            let mut sorted = hs.clone();
+            sorted.sort_unstable();
+            let mut words = vec![tag];
+            words.extend_from_slice(&sorted);
+            let sibs = mix(&words);
+            for (g, h) in gs.iter().zip(hs) {
+                occurrence_contexts(g, colors, mix(&[path, tag, sibs, h]), out);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+            let tag = match f {
+                Formula::Implies(..) => 14,
+                Formula::Iff(..) => 15,
+                _ => 16,
+            };
+            occurrence_contexts(a, colors, mix(&[path, tag, 0]), out);
+            occurrence_contexts(b, colors, mix(&[path, tag, 1]), out);
+        }
+    }
+}
+
+/// Weisfeiler-Leman-style color refinement on the variables of a query:
+/// each round recolors every variable by the multiset of its occurrence
+/// contexts. Variables left with equal colors after `rounds` rounds are
+/// either genuinely interchangeable or beyond what refinement separates
+/// (the latter only costs cache hits, never correctness).
+fn refine_colors(fs: &[Formula], width: u32, rounds: usize) -> Vec<u64> {
+    let mut colors = vec![0u64; width as usize];
+    for _ in 0..rounds {
+        let mut contexts: Vec<Vec<u64>> = vec![Vec::new(); width as usize];
+        for (k, f) in fs.iter().enumerate() {
+            occurrence_contexts(f, &colors, mix(&[17, k as u64]), &mut contexts);
+        }
+        for (v, ctx) in contexts.iter_mut().enumerate() {
+            ctx.sort_unstable();
+            let mut words = vec![colors[v]];
+            words.extend_from_slice(ctx);
+            colors[v] = mix(&words);
+        }
+    }
+    colors
+}
+
+/// Turn refined colors into a renaming `map[original] = new`: occurring
+/// variables sorted by (color, first occurrence), unmentioned variables
+/// appended in ascending order.
+fn order_from_colors(fs: &[Formula], colors: &[u64], width: u32) -> Vec<u32> {
+    let first_occ = first_occurrence_renaming(fs, width);
+    let occurring: u32 = fs
+        .iter()
+        .flat_map(|f| f.vars())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len() as u32;
+    let mut vars: Vec<u32> = (0..width)
+        .filter(|&v| first_occ[v as usize] < occurring)
+        .collect();
+    vars.sort_by_key(|&v| (colors[v as usize], first_occ[v as usize]));
+    let mut map = vec![u32::MAX; width as usize];
+    let mut next = 0u32;
+    for v in vars {
+        map[v as usize] = next;
+        next += 1;
+    }
+    for slot in map.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    map
+}
+
+/// Sort-and-dedup normalization of an NNF formula. `∧`/`∨` children are
+/// flattened (via the smart constructors), ordered under [`cmp_formula`]
+/// and deduplicated; everything else is rebuilt as-is. Non-NNF nodes are
+/// normalized structurally without expansion (callers NNF first).
+fn normalize(f: &Formula) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Var(_) => f.clone(),
+        Formula::Not(g) => Formula::not(normalize(g)),
+        Formula::And(gs) => {
+            let flat = Formula::and(gs.iter().map(normalize));
+            match flat {
+                Formula::And(mut kids) => {
+                    kids.sort_by(cmp_formula);
+                    kids.dedup();
+                    Formula::and(kids)
+                }
+                other => other,
+            }
+        }
+        Formula::Or(gs) => {
+            let flat = Formula::or(gs.iter().map(normalize));
+            match flat {
+                Formula::Or(mut kids) => {
+                    kids.sort_by(cmp_formula);
+                    kids.dedup();
+                    Formula::or(kids)
+                }
+                other => other,
+            }
+        }
+        Formula::Implies(a, b) => Formula::implies(normalize(a), normalize(b)),
+        Formula::Iff(a, b) => Formula::iff(normalize(a), normalize(b)),
+        Formula::Xor(a, b) => Formula::xor(normalize(a), normalize(b)),
+    }
+}
+
+/// A structural total order on formulas: by node kind, then by contents.
+fn cmp_formula(a: &Formula, b: &Formula) -> Ordering {
+    fn rank(f: &Formula) -> u8 {
+        match f {
+            Formula::True => 0,
+            Formula::False => 1,
+            Formula::Var(_) => 2,
+            Formula::Not(_) => 3,
+            Formula::And(_) => 4,
+            Formula::Or(_) => 5,
+            Formula::Implies(..) => 6,
+            Formula::Iff(..) => 7,
+            Formula::Xor(..) => 8,
+        }
+    }
+    match (a, b) {
+        (Formula::Var(x), Formula::Var(y)) => x.cmp(y),
+        (Formula::Not(x), Formula::Not(y)) => cmp_formula(x, y),
+        (Formula::And(xs), Formula::And(ys)) | (Formula::Or(xs), Formula::Or(ys)) => {
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                match cmp_formula(x, y) {
+                    Ordering::Equal => {}
+                    other => return other,
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        (Formula::Implies(a1, b1), Formula::Implies(a2, b2))
+        | (Formula::Iff(a1, b1), Formula::Iff(a2, b2))
+        | (Formula::Xor(a1, b1), Formula::Xor(a2, b2)) => {
+            cmp_formula(a1, a2).then_with(|| cmp_formula(b1, b2))
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// Renumber variables by first occurrence in a left-to-right traversal of
+/// the group; variables of the universe that never occur take the leftover
+/// slots in ascending order. Returns `map[original] = new`.
+fn first_occurrence_renaming(fs: &[Formula], width: u32) -> Vec<u32> {
+    const UNSEEN: u32 = u32::MAX;
+    let mut map = vec![UNSEEN; width as usize];
+    let mut next = 0u32;
+    fn walk(f: &Formula, map: &mut [u32], next: &mut u32) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Var(v) => {
+                let slot = &mut map[v.index()];
+                if *slot == u32::MAX {
+                    *slot = *next;
+                    *next += 1;
+                }
+            }
+            Formula::Not(g) => walk(g, map, next),
+            Formula::And(gs) | Formula::Or(gs) => {
+                for g in gs {
+                    walk(g, map, next);
+                }
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) | Formula::Xor(a, b) => {
+                walk(a, map, next);
+                walk(b, map, next);
+            }
+        }
+    }
+    for f in fs {
+        walk(f, &mut map, &mut next);
+    }
+    for slot in map.iter_mut() {
+        if *slot == UNSEEN {
+            *slot = next;
+            next += 1;
+        }
+    }
+    map
+}
+
+/// Apply a variable renaming to a formula.
+fn rename(f: &Formula, map: &[u32]) -> Formula {
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Var(v) => Formula::Var(Var(map[v.index()])),
+        Formula::Not(g) => Formula::Not(Box::new(rename(g, map))),
+        Formula::And(gs) => Formula::And(gs.iter().map(|g| rename(g, map)).collect()),
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| rename(g, map)).collect()),
+        Formula::Implies(a, b) => {
+            Formula::Implies(Box::new(rename(a, map)), Box::new(rename(b, map)))
+        }
+        Formula::Iff(a, b) => Formula::Iff(Box::new(rename(a, map)), Box::new(rename(b, map))),
+        Formula::Xor(a, b) => Formula::Xor(Box::new(rename(a, map)), Box::new(rename(b, map))),
+    }
+}
+
+/// Compact prefix serialization of a (canonical, NNF) formula.
+fn serialize(f: &Formula) -> Vec<u8> {
+    let mut out = Vec::with_capacity(f.size() * 3);
+    write_node(f, &mut out);
+    out
+}
+
+fn write_node(f: &Formula, out: &mut Vec<u8>) {
+    match f {
+        Formula::True => out.push(b'T'),
+        Formula::False => out.push(b'F'),
+        Formula::Var(v) => {
+            out.push(b'v');
+            out.extend_from_slice(&v.0.to_le_bytes());
+        }
+        Formula::Not(g) => {
+            out.push(b'!');
+            write_node(g, out);
+        }
+        Formula::And(gs) => {
+            out.push(b'&');
+            out.extend_from_slice(&(gs.len() as u32).to_le_bytes());
+            for g in gs {
+                write_node(g, out);
+            }
+        }
+        Formula::Or(gs) => {
+            out.push(b'|');
+            out.extend_from_slice(&(gs.len() as u32).to_le_bytes());
+            for g in gs {
+                write_node(g, out);
+            }
+        }
+        Formula::Implies(a, b) => {
+            out.push(b'>');
+            write_node(a, out);
+            write_node(b, out);
+        }
+        Formula::Iff(a, b) => {
+            out.push(b'=');
+            write_node(a, out);
+            write_node(b, out);
+        }
+        Formula::Xor(a, b) => {
+            out.push(b'^');
+            write_node(a, out);
+            write_node(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelSet;
+    use crate::parser::parse;
+    use crate::random::FormulaGen;
+    use crate::sig::Sig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn key_of(text: &str) -> u64 {
+        let mut sig = Sig::new();
+        canonical_key(&parse(&mut sig, text).unwrap())
+    }
+
+    #[test]
+    fn reordered_conjuncts_and_disjuncts_collide() {
+        assert_eq!(key_of("A & B"), key_of("B & A"));
+        assert_eq!(key_of("A | B | C"), key_of("C | A | B"));
+        assert_eq!(key_of("(A | B) & C"), key_of("C & (B | A)"));
+        assert_eq!(key_of("A & A & B"), key_of("B & A"));
+    }
+
+    #[test]
+    fn alpha_equivalent_formulas_collide() {
+        assert_eq!(key_of("A & !B"), key_of("X & !Y"));
+        assert_eq!(key_of("!Q & P"), key_of("A & !B"));
+        assert_eq!(
+            key_of("(S & !D) | (!S & D & Q)"),
+            key_of("(!b & a) | (b & !a & c)")
+        );
+    }
+
+    #[test]
+    fn derived_connectives_collide_with_their_nnf() {
+        assert_eq!(key_of("A -> B"), key_of("!A | B"));
+        assert_eq!(key_of("!(A & B)"), key_of("!A | !B"));
+    }
+
+    #[test]
+    fn inequivalent_formulas_get_distinct_keys() {
+        assert_ne!(key_of("A & B"), key_of("A | B"));
+        assert_ne!(key_of("A"), key_of("!A"));
+        assert_ne!(key_of("A & B"), key_of("A & B & C"));
+        assert_ne!(key_of("true"), key_of("false"));
+        assert_ne!(key_of("A & (B | C)"), key_of("(A & B) | C"));
+    }
+
+    /// Is `f` semantically equivalent to `g` under *some* permutation of
+    /// the `n`-variable universe? (The equivalence the canonical key is
+    /// allowed — and wants — to quotient by.)
+    fn perm_equivalent(f: &Formula, g: &Formula, n: u32) -> bool {
+        let mf = ModelSet::of_formula(f, n);
+        let mut perm: Vec<u32> = (0..n).collect();
+        // Heap's algorithm, iterative, over at most 4 variables.
+        let mut c = vec![0usize; n as usize];
+        let check = |perm: &[u32]| {
+            let renamed = rename(g, perm);
+            mf == ModelSet::of_formula(&renamed, n)
+        };
+        if check(&perm) {
+            return true;
+        }
+        let mut i = 0usize;
+        while i < n as usize {
+            if c[i] < i {
+                if i.is_multiple_of(2) {
+                    perm.swap(0, i);
+                } else {
+                    perm.swap(c[i], i);
+                }
+                if check(&perm) {
+                    return true;
+                }
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn equal_keys_imply_permutation_equivalence_on_small_universes() {
+        // The soundness direction, model-checked: over a small universe,
+        // whenever two random formulas collide they really are the same
+        // query up to variable renaming. (The converse — all equivalent
+        // pairs colliding — is graph-canonicalization-hard and only costs
+        // cache misses, so it is not asserted.)
+        let mut rng = StdRng::seed_from_u64(0xcafe_0015);
+        let gen = FormulaGen {
+            n_vars: 3,
+            max_depth: 4,
+            ..Default::default()
+        };
+        let formulas: Vec<Formula> = (0..60).map(|_| gen.sample(&mut rng)).collect();
+        let keys: Vec<u64> = formulas.iter().map(canonical_key).collect();
+        let mut collisions = 0;
+        for i in 0..formulas.len() {
+            for j in (i + 1)..formulas.len() {
+                if keys[i] == keys[j] {
+                    collisions += 1;
+                    assert!(
+                        perm_equivalent(&formulas[i], &formulas[j], 3),
+                        "key collision between inequivalent formulas:\n  {:?}\n  {:?}",
+                        formulas[i],
+                        formulas[j]
+                    );
+                }
+            }
+        }
+        // The corpus is small and random formulas repeat shapes often:
+        // the test must actually have exercised the collision path.
+        assert!(collisions > 0, "corpus produced no collisions to check");
+    }
+
+    #[test]
+    fn canonicalize_query_returns_a_permutation_mapping_back() {
+        let mut sig = Sig::new();
+        let psi = parse(&mut sig, "B & !A").unwrap();
+        let mu = parse(&mut sig, "C | B").unwrap();
+        let n = sig.width();
+        let canon = canonicalize_query(&[&psi, &mu], n);
+        assert_eq!(canon.n_vars, n);
+        // forward is a permutation of 0..n.
+        let mut seen = vec![false; n as usize];
+        for &v in &canon.forward {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        // Renaming the originals by `forward` gives the canonical forms
+        // (up to the sort/dedup normalization).
+        let renamed_psi = normalize(&to_nnf(&rename(&psi, &canon.forward)));
+        assert_eq!(renamed_psi, canon.formulas[0]);
+        let renamed_mu = normalize(&to_nnf(&rename(&mu, &canon.forward)));
+        assert_eq!(renamed_mu, canon.formulas[1]);
+    }
+
+    #[test]
+    fn joint_canonicalization_aligns_pairs() {
+        // The same pair, written with shuffled names and argument order,
+        // produces identical joint key bytes.
+        let mut s1 = Sig::new();
+        let p1 = parse(&mut s1, "A & !B").unwrap();
+        let m1 = parse(&mut s1, "B | C").unwrap();
+        let k1 = canonicalize_query(&[&p1, &m1], s1.width()).key_bytes();
+        let mut s2 = Sig::new();
+        let p2 = parse(&mut s2, "!Y & X").unwrap();
+        let m2 = parse(&mut s2, "Z | Y").unwrap();
+        let k2 = canonicalize_query(&[&p2, &m2], s2.width()).key_bytes();
+        assert_eq!(k1, k2);
+        // But swapping which formula is ψ and which is μ does not collide.
+        let k3 = canonicalize_query(&[&m1, &p1], s1.width()).key_bytes();
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn constants_and_empty_queries_are_stable() {
+        assert_eq!(key_of("true"), key_of("A | !A | true"));
+        let canon = canonicalize_query(&[], 3);
+        assert_eq!(canon.forward, vec![0, 1, 2]);
+        assert!(canon.formulas.is_empty());
+    }
+}

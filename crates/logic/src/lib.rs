@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod canonical;
 pub mod cnf;
 pub mod display;
 pub mod dnf;
@@ -40,6 +41,7 @@ pub mod sig;
 pub mod simplify;
 
 pub use ast::Formula;
+pub use canonical::{canonical_bytes, canonical_key, canonicalize_query, CanonicalQuery};
 pub use cnf::{direct_cnf, to_clauses, to_cnf, tseitin, Cnf};
 pub use dnf::to_dnf;
 pub use error::{LogicError, ParseError};

@@ -1,0 +1,321 @@
+//! A minimal HTTP/1.1 framing layer over blocking streams.
+//!
+//! Supports exactly what the service protocol needs: request-line +
+//! headers + `Content-Length` bodies, keep-alive connections, and
+//! fixed-length JSON responses. No chunked encoding, no TLS, no
+//! continuation lines. Limits are hard: oversized headers or bodies fail
+//! the parse rather than allocating unboundedly.
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum request body size.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Consecutive read-timeout polls tolerated mid-request (head or body)
+/// before the request is declared malformed. Workers read with short
+/// timeouts to observe shutdown, so one poll expiring only means the
+/// next packet has not landed yet — a request is abandoned only after
+/// this many polls pass with no new bytes at all.
+pub const MAX_MID_REQUEST_POLLS: u32 = 200;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (no query parsing; the protocol uses none).
+    pub path: String,
+    /// Lowercased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to drop the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a read did not produce a request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed the connection before sending anything.
+    Closed,
+    /// The read timed out before the first byte arrived (idle keep-alive
+    /// connection; the caller decides whether to keep waiting).
+    Idle,
+    /// The bytes on the wire were not a parseable request; the caller
+    /// should answer 400 and close.
+    Malformed(String),
+}
+
+/// Read one request from `stream`. A read timeout before the first byte
+/// maps to [`ReadOutcome::Idle`]; a timeout mid-request is malformed.
+pub fn read_request(stream: &mut impl Read) -> io::Result<ReadOutcome> {
+    // Read the head byte-by-byte until CRLFCRLF (or LFLF). The per-byte
+    // reads are cheap relative to operator work, and keep the framing
+    // logic trivially correct for pipelined keep-alive requests.
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    let mut stalls = 0u32;
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Ok(if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request".to_string())
+                });
+            }
+            Ok(_) => {
+                stalls = 0;
+                head.push(byte[0]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Ok(ReadOutcome::Malformed("request head too large".to_string()));
+                }
+                if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if head.is_empty() {
+                    return Ok(ReadOutcome::Idle);
+                }
+                stalls += 1;
+                if stalls > MAX_MID_REQUEST_POLLS {
+                    return Ok(ReadOutcome::Malformed("timed out mid-request".to_string()));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let head_text = match std::str::from_utf8(&head) {
+        Ok(t) => t,
+        Err(_) => return Ok(ReadOutcome::Malformed("non-UTF-8 request head".to_string())),
+    };
+    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
+        _ => {
+            return Ok(ReadOutcome::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!("bad version `{version}`")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            }
+            None => return Ok(ReadOutcome::Malformed(format!("bad header `{line}`"))),
+        }
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    match content_length {
+        None => {}
+        Some(Err(_)) => {
+            return Ok(ReadOutcome::Malformed("bad content-length".to_string()));
+        }
+        Some(Ok(len)) if len > MAX_BODY_BYTES => {
+            return Ok(ReadOutcome::Malformed("body too large".to_string()));
+        }
+        Some(Ok(len)) => {
+            body.resize(len, 0);
+            let mut filled = 0usize;
+            let mut stalls = 0u32;
+            while filled < len {
+                match stream.read(&mut body[filled..]) {
+                    Ok(0) => {
+                        return Ok(ReadOutcome::Malformed("truncated body".to_string()));
+                    }
+                    Ok(n) => {
+                        filled += n;
+                        stalls = 0;
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        stalls += 1;
+                        if stalls > MAX_MID_REQUEST_POLLS {
+                            return Ok(ReadOutcome::Malformed(
+                                "timed out reading body".to_string(),
+                            ));
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// A response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with a JSON body.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, body }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize and send `response`; `close` controls the `Connection`
+/// header.
+pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_str(text: &str) -> ReadOutcome {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec())).unwrap()
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let out = read_str(
+            "POST /v1/arbitrate HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n{\"psi\":\"A\"}",
+        );
+        let req = match out {
+            ReadOutcome::Request(r) => r,
+            other => panic!("expected request, got {other:?}"),
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/arbitrate");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{\"psi\":\"A\"}");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_get_without_body_and_close_header() {
+        let out = read_str("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        match out {
+            ReadOutcome::Request(r) => {
+                assert_eq!(r.method, "GET");
+                assert!(r.body.is_empty());
+                assert!(r.wants_close());
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_typed_not_errors() {
+        for bad in [
+            "GARBAGE\r\n\r\n",
+            "GET /x HTTP/2.0\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            "POST /x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+        ] {
+            match read_str(bad) {
+                ReadOutcome::Malformed(_) => {}
+                other => panic!("expected malformed for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_closed() {
+        assert!(matches!(read_str(""), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let head = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(read_str(&head), ReadOutcome::Malformed(_)));
+    }
+
+    #[test]
+    fn response_has_content_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{}".to_string()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

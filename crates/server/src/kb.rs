@@ -1,0 +1,156 @@
+//! Named knowledge bases for iterated arbitration sessions.
+//!
+//! A stored KB is a formula together with the signature its variable
+//! names live in and a monotonically increasing sequence number; the
+//! `/v1/kb/{name}` endpoint arbitrates new information into it in place
+//! (`ψ ← ψ Δ μ`), the paper's iterated-change reading of a theory
+//! absorbing a stream of reports. The store is a read-mostly map of
+//! independently locked entries: concurrent updates to *different* KBs
+//! never contend, updates to the same KB serialize, and the sequence
+//! number makes lost updates detectable to clients.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use arbitrex_logic::{Formula, Sig};
+
+/// Longest accepted KB name.
+pub const MAX_NAME_LEN: usize = 64;
+
+/// One stored knowledge base.
+#[derive(Debug, Clone)]
+pub struct StoredKb {
+    /// The signature the formula's variables are named in. Grows when new
+    /// information mentions fresh variables.
+    pub sig: Sig,
+    /// The current theory.
+    pub formula: Formula,
+    /// Bumped by every committed mutation, starting at 1 on first put.
+    pub seq: u64,
+}
+
+/// A concurrent map from KB name to independently locked state.
+#[derive(Default)]
+pub struct KbStore {
+    map: RwLock<HashMap<String, Arc<Mutex<StoredKb>>>>,
+}
+
+/// Is `name` a well-formed KB name (`[A-Za-z0-9_-]`, nonempty, bounded)?
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= MAX_NAME_LEN
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl KbStore {
+    /// An empty store.
+    pub fn new() -> KbStore {
+        KbStore::default()
+    }
+
+    /// The entry for `name`, if present. Callers lock the returned entry
+    /// for the duration of one action; the store lock is already released.
+    pub fn entry(&self, name: &str) -> Option<Arc<Mutex<StoredKb>>> {
+        self.map.read().unwrap().get(name).cloned()
+    }
+
+    /// Create or replace `name` with a fresh theory. Returns the new
+    /// sequence number (1 for a new KB, previous + 1 for a replacement).
+    pub fn put(&self, name: &str, sig: Sig, formula: Formula) -> u64 {
+        let mut map = self.map.write().unwrap();
+        match map.get(name) {
+            Some(entry) => {
+                let mut kb = entry.lock().unwrap();
+                kb.sig = sig;
+                kb.formula = formula;
+                kb.seq += 1;
+                kb.seq
+            }
+            None => {
+                map.insert(
+                    name.to_string(),
+                    Arc::new(Mutex::new(StoredKb {
+                        sig,
+                        formula,
+                        seq: 1,
+                    })),
+                );
+                1
+            }
+        }
+    }
+
+    /// Remove `name`; `true` if it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.map.write().unwrap().remove(name).is_some()
+    }
+
+    /// Number of stored KBs.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::parse;
+
+    #[test]
+    fn put_get_replace_delete_lifecycle() {
+        let store = KbStore::new();
+        assert!(store.entry("fleet").is_none());
+
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A & B").unwrap();
+        assert_eq!(store.put("fleet", sig.clone(), f), 1);
+        assert_eq!(store.len(), 1);
+
+        let entry = store.entry("fleet").unwrap();
+        assert_eq!(entry.lock().unwrap().seq, 1);
+
+        let f2 = parse(&mut sig, "A | B").unwrap();
+        assert_eq!(store.put("fleet", sig, f2), 2);
+        // The handle observes the replacement: entries are shared state.
+        assert_eq!(entry.lock().unwrap().seq, 2);
+
+        assert!(store.delete("fleet"));
+        assert!(!store.delete("fleet"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn in_place_mutation_bumps_seq_through_the_entry() {
+        let store = KbStore::new();
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A").unwrap();
+        store.put("k", sig.clone(), f);
+        {
+            let entry = store.entry("k").unwrap();
+            let mut kb = entry.lock().unwrap();
+            kb.formula = parse(&mut kb.sig, "A & C").unwrap();
+            kb.seq += 1;
+        }
+        let entry = store.entry("k").unwrap();
+        let kb = entry.lock().unwrap();
+        assert_eq!(kb.seq, 2);
+        assert!(kb.sig.get("C").is_some());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(valid_name("fleet-1_config"));
+        assert!(valid_name("A"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("has space"));
+        assert!(!valid_name("sneaky/../path"));
+        assert!(!valid_name(&"x".repeat(MAX_NAME_LEN + 1)));
+    }
+}

@@ -1,0 +1,159 @@
+//! # arbitrex-server
+//!
+//! A concurrent arbitration service over the operators of Revesz's
+//! *Arbitration between Old and New Information* (PODS 1993): a zero-
+//! dependency TCP server speaking minimal HTTP/1.1 + JSON, built from
+//! four pieces:
+//!
+//! * **worker pool + bounded queue** ([`server`]) — `threads` workers
+//!   behind a `queue_depth`-bounded handoff; overflow answers `503`
+//!   immediately from the acceptor (backpressure, not buffering);
+//! * **per-request deadlines** ([`routes`]) — each request builds a
+//!   [`arbitrex_core::Budget`]; a slow query degrades to a typed
+//!   `upper_bound`/`interrupted` response instead of stalling a worker;
+//! * **canonicalizing result cache** ([`arbitrex_core::cache::OpCache`]) —
+//!   results keyed by the canonical form of the query (NNF, sorted
+//!   arguments, renaming-invariant variable order), so alpha-equivalent
+//!   and syntactically shuffled resubmissions hit;
+//! * **named KB store** ([`kb`]) — theories arbitrated in place
+//!   (`ψ ← ψ Δ μ`) with a sequence number, the service form of iterated
+//!   theory change.
+//!
+//! Endpoints: `POST /v1/arbitrate`, `POST /v1/fit`, `POST /v1/warbitrate`,
+//! `GET|POST|DELETE /v1/kb/{name}`, and `GET /metrics` (the workspace
+//! telemetry snapshot plus server counters and per-endpoint latency
+//! histograms). The protocol table is in the workspace README
+//! ("Serving"); counter definitions are in `OBSERVABILITY.md`.
+//!
+//! ```
+//! use arbitrex_server::{spawn, ServerConfig};
+//! use std::io::{Read, Write};
+//!
+//! let server = spawn(ServerConfig {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//! let mut conn = std::net::TcpStream::connect(server.addr).unwrap();
+//! let body = r#"{"psi": "A & B", "phi": "!A & !B"}"#;
+//! write!(
+//!     conn,
+//!     "POST /v1/arbitrate HTTP/1.1\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+//!     body.len(),
+//!     body
+//! )
+//! .unwrap();
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).unwrap();
+//! assert!(reply.contains("\"quality\":\"exact\""));
+//! server.stop().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod kb;
+pub mod metrics;
+pub mod routes;
+pub mod server;
+
+use std::io;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use arbitrex_core::cache::OpCache;
+use kb::KbStore;
+
+pub use server::{install_signal_shutdown, Server, ShutdownHandle};
+
+/// Knobs for one server instance, mirroring the `arbx serve` flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7313`; port `0` picks a free port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Bounded connection-queue depth; overflow is refused with 503.
+    pub queue_depth: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_entries: usize,
+    /// Default per-request deadline in milliseconds; 0 means none. A
+    /// request's own `timeout_ms` field overrides this.
+    pub timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7313".to_string(),
+            threads: 4,
+            queue_depth: 64,
+            cache_entries: 1024,
+            timeout_ms: 0,
+        }
+    }
+}
+
+/// Everything the request handlers share: configuration, the
+/// canonicalizing result cache, and the named KB store.
+pub struct ServiceState {
+    /// The configuration the server was built with.
+    pub config: ServerConfig,
+    /// Result cache keyed by canonical query form.
+    pub cache: OpCache,
+    /// Named knowledge bases.
+    pub kbs: KbStore,
+}
+
+impl ServiceState {
+    /// Build state for `config`.
+    pub fn new(config: ServerConfig) -> ServiceState {
+        let cache = OpCache::new(config.cache_entries);
+        ServiceState {
+            config,
+            cache,
+            kbs: KbStore::new(),
+        }
+    }
+}
+
+/// A server running on a background thread (tests, benches, and the CLI's
+/// foreground runner all build on this).
+pub struct RunningServer {
+    /// The bound address (with port 0 resolved).
+    pub addr: SocketAddr,
+    shutdown: ShutdownHandle,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// A handle that stops this server.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// Request shutdown and wait for the drain to finish.
+    pub fn stop(self) -> io::Result<()> {
+        self.shutdown.shutdown();
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+/// Bind and run `config` on a background thread.
+pub fn spawn(config: ServerConfig) -> io::Result<RunningServer> {
+    let server = Server::bind(config)?;
+    let addr = server.local_addr()?;
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::Builder::new()
+        .name("arbitrex-acceptor".to_string())
+        .spawn(move || server.run())?;
+    Ok(RunningServer {
+        addr,
+        shutdown,
+        join,
+    })
+}

@@ -1,0 +1,141 @@
+//! Server-side counters and per-endpoint latency histograms.
+//!
+//! These join the workspace's existing sections (`kernel`, `weighted`,
+//! `budget`, `cache`, `sat`) in the `/metrics` snapshot as section
+//! `"server"`. Like every other counter they compile to no-ops when the
+//! `telemetry` feature is off; the endpoint then reports zeros. Counter
+//! definitions live in `OBSERVABILITY.md` at the workspace root.
+
+use arbitrex_telemetry::{Counter, Histogram, Section};
+
+/// Connections accepted by the listener.
+pub static ACCEPTED: Counter = Counter::new("accepted");
+/// Connections handed to the worker queue.
+pub static QUEUED: Counter = Counter::new("queued");
+/// Connections refused with 503 because the queue was full.
+pub static REJECTED: Counter = Counter::new("rejected");
+/// HTTP requests parsed off accepted connections.
+pub static REQUESTS: Counter = Counter::new("requests");
+/// Responses in the 2xx range.
+pub static RESPONSES_OK: Counter = Counter::new("responses_ok");
+/// Responses in the 4xx range (malformed bodies, unknown routes, …).
+pub static RESPONSES_CLIENT_ERROR: Counter = Counter::new("responses_client_error");
+/// Responses in the 5xx range (including backpressure 503s).
+pub static RESPONSES_SERVER_ERROR: Counter = Counter::new("responses_server_error");
+/// Operator responses whose budget tripped (quality below exact).
+pub static DEGRADED: Counter = Counter::new("degraded");
+
+/// The `"server"` section.
+pub static SERVER_SECTION: Section = Section {
+    name: "server",
+    counters: &[
+        &ACCEPTED,
+        &QUEUED,
+        &REJECTED,
+        &REQUESTS,
+        &RESPONSES_OK,
+        &RESPONSES_CLIENT_ERROR,
+        &RESPONSES_SERVER_ERROR,
+        &DEGRADED,
+    ],
+    timers: &[],
+};
+
+/// Wall-clock handling latency of `/v1/arbitrate` requests.
+pub static LATENCY_ARBITRATE: Histogram = Histogram::new("arbitrate");
+/// Wall-clock handling latency of `/v1/fit` requests.
+pub static LATENCY_FIT: Histogram = Histogram::new("fit");
+/// Wall-clock handling latency of `/v1/warbitrate` requests.
+pub static LATENCY_WARBITRATE: Histogram = Histogram::new("warbitrate");
+/// Wall-clock handling latency of `/v1/kb/{name}` requests.
+pub static LATENCY_KB: Histogram = Histogram::new("kb");
+/// Wall-clock handling latency of `/metrics` requests.
+pub static LATENCY_METRICS: Histogram = Histogram::new("metrics");
+
+/// Every per-endpoint histogram, in protocol-table order.
+pub fn histograms() -> [&'static Histogram; 5] {
+    [
+        &LATENCY_ARBITRATE,
+        &LATENCY_FIT,
+        &LATENCY_WARBITRATE,
+        &LATENCY_KB,
+        &LATENCY_METRICS,
+    ]
+}
+
+/// Count `status` into the right response-class counter.
+pub fn record_response(status: u16) {
+    match status {
+        200..=299 => RESPONSES_OK.incr(),
+        400..=499 => RESPONSES_CLIENT_ERROR.incr(),
+        _ => RESPONSES_SERVER_ERROR.incr(),
+    }
+}
+
+/// The full `/metrics` document: the workspace telemetry snapshot
+/// (including this crate's `"server"` section) plus per-endpoint latency
+/// histograms.
+pub fn metrics_json() -> String {
+    let mut sections: Vec<&'static Section> = arbitrex_core::telemetry::sections().to_vec();
+    sections.push(&SERVER_SECTION);
+    let snapshot = arbitrex_telemetry::snapshot_of(&sections);
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\"telemetry\": ");
+    out.push_str(&snapshot.to_json());
+    out.push_str(", \"latency_ns\": {");
+    for (i, h) in histograms().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        out.push_str(h.name());
+        out.push_str("\": ");
+        out.push_str(&h.snapshot().to_json());
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Reset the server counters and histograms (test isolation).
+pub fn reset() {
+    SERVER_SECTION.reset();
+    for h in histograms() {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_json_contains_every_section_and_histogram() {
+        let text = metrics_json();
+        for section in ["kernel", "weighted", "budget", "cache", "sat", "server"] {
+            assert!(
+                text.contains(&format!("\"{section}\"")),
+                "missing {section}"
+            );
+        }
+        for h in ["arbitrate", "fit", "warbitrate", "kb", "metrics"] {
+            assert!(text.contains(&format!("\"{h}\"")), "missing histogram {h}");
+        }
+        assert!(text.contains("\"accepted\""));
+        assert!(text.contains("\"rejected\""));
+    }
+
+    #[test]
+    fn response_classes_split_by_status() {
+        reset();
+        record_response(200);
+        record_response(201);
+        record_response(404);
+        record_response(503);
+        if arbitrex_telemetry::enabled() {
+            assert_eq!(RESPONSES_OK.get(), 2);
+            assert_eq!(RESPONSES_CLIENT_ERROR.get(), 1);
+            assert_eq!(RESPONSES_SERVER_ERROR.get(), 1);
+        }
+        reset();
+    }
+}

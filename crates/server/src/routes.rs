@@ -1,0 +1,537 @@
+//! Endpoint dispatch: the service protocol over parsed requests.
+//!
+//! Every handler is a pure function of the shared [`ServiceState`] and one
+//! [`Request`], returning a [`Response`] — the connection loop in
+//! `server.rs` owns all socket I/O. The protocol table lives in the
+//! workspace README ("Serving").
+
+use std::time::{Duration, Instant};
+
+use crate::http::{Request, Response};
+use crate::json::{self, obj, Json};
+use crate::kb::{self, StoredKb};
+use crate::metrics;
+use crate::ServiceState;
+
+use arbitrex_core::cache::{cached_apply, cached_arbitrate, cached_warbitrate, CacheStatus};
+use arbitrex_core::iterated::iterate_fixed_input;
+use arbitrex_core::{budgeted_operator, Budget, BudgetSpent, Outcome, Quality};
+use arbitrex_logic::{parse as parse_formula, Formula, Interp, ModelSet, Sig, ENUM_LIMIT};
+
+/// Longest artificial `hold_ms` accepted (a load-testing knob; see
+/// [`budget_and_hold`]).
+pub const MAX_HOLD_MS: u64 = 10_000;
+/// Most models listed verbatim in a response; larger sets report
+/// `n_models` and set `models_truncated`.
+pub const MAX_LISTED_MODELS: usize = 256;
+/// Cap on `max_steps` for the KB `iterate` action.
+pub const MAX_ITERATE_STEPS: usize = 256;
+
+/// Route and handle one request, recording request/latency/response-class
+/// telemetry.
+pub fn dispatch(state: &ServiceState, req: &Request) -> Response {
+    metrics::REQUESTS.incr();
+    let start = Instant::now();
+    let (histogram, response) = route(state, req);
+    if let Some(h) = histogram {
+        h.record_nanos(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    metrics::record_response(response.status);
+    response
+}
+
+type Routed = (Option<&'static arbitrex_telemetry::Histogram>, Response);
+
+fn route(state: &ServiceState, req: &Request) -> Routed {
+    if let Some(name) = req.path.strip_prefix("/v1/kb/") {
+        return (Some(&metrics::LATENCY_KB), handle_kb(state, req, name));
+    }
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => (Some(&metrics::LATENCY_METRICS), handle_metrics(state)),
+        ("POST", "/v1/arbitrate") => (
+            Some(&metrics::LATENCY_ARBITRATE),
+            handle_arbitrate(state, req),
+        ),
+        ("POST", "/v1/fit") => (Some(&metrics::LATENCY_FIT), handle_fit(state, req)),
+        ("POST", "/v1/warbitrate") => (
+            Some(&metrics::LATENCY_WARBITRATE),
+            handle_warbitrate(state, req),
+        ),
+        (_, "/metrics" | "/v1/arbitrate" | "/v1/fit" | "/v1/warbitrate") => {
+            (None, error_response(405, "method not allowed"))
+        }
+        _ => (None, error_response(404, "no such endpoint")),
+    }
+}
+
+/// The uniform error body: `{"error": "...", "code": N}`.
+pub fn error_response(status: u16, message: impl Into<String>) -> Response {
+    let body = obj([
+        ("error", json::s(message.into())),
+        ("code", json::n(status as u64)),
+    ]);
+    Response::json(status, body.to_text())
+}
+
+fn ok(body: Json) -> Response {
+    Response::json(200, body.to_text())
+}
+
+// --- request decoding helpers ----------------------------------------------
+
+fn body_json(req: &Request) -> Result<Json, Response> {
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| error_response(400, "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| error_response(400, format!("invalid JSON: {e}")))
+}
+
+fn field_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, Response> {
+    body.get(key)
+        .ok_or_else(|| error_response(400, format!("missing field `{key}`")))?
+        .as_str()
+        .ok_or_else(|| error_response(400, format!("field `{key}` must be a string")))
+}
+
+fn field_u64(body: &Json, key: &str) -> Result<Option<u64>, Response> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            error_response(400, format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn parse_side(sig: &mut Sig, body: &Json, key: &str) -> Result<Formula, Response> {
+    let text = field_str(body, key)?;
+    parse_formula(sig, text)
+        .map_err(|e| error_response(400, format!("field `{key}` does not parse: {e}")))
+}
+
+fn check_width(n_vars: u32) -> Result<(), Response> {
+    if n_vars > ENUM_LIMIT {
+        return Err(error_response(
+            400,
+            format!("{n_vars} variables exceed the enumeration limit of {ENUM_LIMIT}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Build the request budget and apply the synthetic `hold_ms` latency.
+///
+/// `timeout_ms` in the body overrides the server default (`0` means an
+/// immediate deadline — useful for forcing degraded responses in tests);
+/// an absent field uses the server default, where `0` means unlimited.
+/// `hold_ms` makes the worker sleep before computing, a documented
+/// load-testing knob for exercising queue overflow.
+fn budget_and_hold(body: &Json, state: &ServiceState) -> Result<Budget, Response> {
+    if let Some(hold) = field_u64(body, "hold_ms")? {
+        std::thread::sleep(Duration::from_millis(hold.min(MAX_HOLD_MS)));
+    }
+    let mut budget = Budget::unlimited();
+    match field_u64(body, "timeout_ms")? {
+        Some(ms) => budget = budget.with_deadline(Duration::from_millis(ms)),
+        None if state.config.timeout_ms > 0 => {
+            budget = budget.with_deadline(Duration::from_millis(state.config.timeout_ms));
+        }
+        None => {}
+    }
+    if let Some(steps) = field_u64(body, "max_steps")? {
+        budget = budget.with_step_limit(steps);
+    }
+    Ok(budget)
+}
+
+// --- response encoding helpers ---------------------------------------------
+
+fn model_names(sig: &Sig, i: Interp) -> Json {
+    Json::Arr(
+        sig.iter()
+            .filter(|(v, _)| i.get(*v))
+            .map(|(_, name)| json::s(name))
+            .collect(),
+    )
+}
+
+fn models_json(sig: &Sig, models: &ModelSet) -> (Json, bool) {
+    let truncated = models.len() > MAX_LISTED_MODELS;
+    let listed = models
+        .iter()
+        .take(MAX_LISTED_MODELS)
+        .map(|i| model_names(sig, i))
+        .collect();
+    (Json::Arr(listed), truncated)
+}
+
+fn spent_json(spent: &BudgetSpent) -> Json {
+    let mut members = vec![
+        ("scans", json::n(spent.scans)),
+        ("nodes", json::n(spent.nodes)),
+        ("conflicts", json::n(spent.conflicts)),
+        ("models", json::n(spent.models)),
+        ("ladder_steps", json::n(spent.ladder_steps)),
+        ("tripped", Json::Bool(spent.trip.is_some())),
+    ];
+    if let Some(trip) = spent.trip {
+        members.push(("trip_reason", json::s(trip.reason.name())));
+    }
+    obj(members)
+}
+
+fn note_quality(quality: Quality) {
+    if quality != Quality::Exact {
+        metrics::DEGRADED.incr();
+    }
+}
+
+fn outcome_json(endpoint: &str, sig: &Sig, outcome: &Outcome, cache: CacheStatus) -> Json {
+    note_quality(outcome.quality);
+    let (models, truncated) = models_json(sig, &outcome.models);
+    obj([
+        ("endpoint", json::s(endpoint)),
+        ("quality", json::s(outcome.quality.name())),
+        ("cache", json::s(cache.name())),
+        ("n_vars", json::n(outcome.models.n_vars() as u64)),
+        ("n_models", json::n(outcome.models.len() as u64)),
+        ("models", models),
+        ("models_truncated", Json::Bool(truncated)),
+        (
+            "formula",
+            json::s(outcome.models.to_formula().display(sig).to_string()),
+        ),
+        ("spent", spent_json(&outcome.spent)),
+    ])
+}
+
+// --- endpoint handlers ------------------------------------------------------
+
+fn handle_metrics(state: &ServiceState) -> Response {
+    let mut text = metrics::metrics_json();
+    // Splice live gauge values (cache fill, KB count) into the document.
+    let gauges = format!(
+        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}}}}}",
+        state.cache.len(),
+        state.cache.capacity(),
+        state.kbs.len()
+    );
+    text.truncate(text.len() - 1);
+    text.push_str(&gauges);
+    Response::json(200, text)
+}
+
+fn handle_arbitrate(state: &ServiceState, req: &Request) -> Response {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    match arbitrate_inner(state, &body) {
+        Ok(resp) => resp,
+        Err(resp) => resp,
+    }
+}
+
+fn arbitrate_inner(state: &ServiceState, body: &Json) -> Result<Response, Response> {
+    let budget = budget_and_hold(body, state)?;
+    let mut sig = Sig::new();
+    let psi = parse_side(&mut sig, body, "psi")?;
+    let phi = parse_side(&mut sig, body, "phi")?;
+    check_width(sig.width())?;
+    let (outcome, cache) = cached_arbitrate(&state.cache, &psi, &phi, sig.width(), &budget)
+        .map_err(|e| error_response(400, e.to_string()))?;
+    Ok(ok(outcome_json("arbitrate", &sig, &outcome, cache)))
+}
+
+fn handle_fit(state: &ServiceState, req: &Request) -> Response {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    match fit_inner(state, &body) {
+        Ok(resp) => resp,
+        Err(resp) => resp,
+    }
+}
+
+fn fit_inner(state: &ServiceState, body: &Json) -> Result<Response, Response> {
+    let op_name = match body.get("op") {
+        None => "odist",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| error_response(400, "field `op` must be a string"))?,
+    };
+    let op = budgeted_operator(op_name).ok_or_else(|| {
+        error_response(
+            400,
+            format!(
+                "unknown operator `{op_name}`; budgeted operators: {}",
+                arbitrex_core::BUDGETED_OPERATOR_NAMES.join(", ")
+            ),
+        )
+    })?;
+    let budget = budget_and_hold(body, state)?;
+    let mut sig = Sig::new();
+    let psi = parse_side(&mut sig, body, "psi")?;
+    let mu = parse_side(&mut sig, body, "mu")?;
+    check_width(sig.width())?;
+    let (outcome, cache) = cached_apply(&state.cache, op.as_ref(), &psi, &mu, sig.width(), &budget)
+        .map_err(|e| error_response(400, e.to_string()))?;
+    let mut response = outcome_json("fit", &sig, &outcome, cache);
+    if let Json::Obj(members) = &mut response {
+        members.insert(1, ("op".to_string(), json::s(op_name)));
+    }
+    Ok(ok(response))
+}
+
+fn handle_warbitrate(state: &ServiceState, req: &Request) -> Response {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    match warbitrate_inner(state, &body) {
+        Ok(resp) => resp,
+        Err(resp) => resp,
+    }
+}
+
+fn warbitrate_inner(state: &ServiceState, body: &Json) -> Result<Response, Response> {
+    let budget = budget_and_hold(body, state)?;
+    let psi_weight = field_u64(body, "psi_weight")?.unwrap_or(1);
+    let phi_weight = field_u64(body, "phi_weight")?.unwrap_or(1);
+    if psi_weight == 0 || phi_weight == 0 {
+        return Err(error_response(400, "weights must be at least 1"));
+    }
+    let mut sig = Sig::new();
+    let psi = parse_side(&mut sig, body, "psi")?;
+    let phi = parse_side(&mut sig, body, "phi")?;
+    check_width(sig.width())?;
+    let n = sig.width();
+    for (key, f) in [("psi", &psi), ("phi", &phi)] {
+        if ModelSet::of_formula(f, n).is_empty() {
+            return Err(error_response(
+                400,
+                format!("field `{key}` is unsatisfiable; weighted sources need models"),
+            ));
+        }
+    }
+    let (outcome, cache) =
+        cached_warbitrate(&state.cache, &psi, psi_weight, &phi, phi_weight, n, &budget)
+            .map_err(|e| error_response(400, e.to_string()))?;
+    note_quality(outcome.quality);
+    let support_size = outcome.kb.support_size();
+    let support: Vec<Json> = outcome
+        .kb
+        .support()
+        .take(MAX_LISTED_MODELS)
+        .map(|(i, w)| obj([("model", model_names(&sig, i)), ("weight", json::n(w))]))
+        .collect();
+    Ok(ok(obj([
+        ("endpoint", json::s("warbitrate")),
+        ("quality", json::s(outcome.quality.name())),
+        ("cache", json::s(cache.name())),
+        ("n_vars", json::n(n as u64)),
+        ("support_size", json::n(support_size as u64)),
+        ("support", Json::Arr(support)),
+        (
+            "support_truncated",
+            Json::Bool(support_size > MAX_LISTED_MODELS),
+        ),
+        ("total_weight", json::n(outcome.kb.total_weight() as u64)),
+        ("spent", spent_json(&outcome.spent)),
+    ])))
+}
+
+// --- the KB endpoint --------------------------------------------------------
+
+fn handle_kb(state: &ServiceState, req: &Request, name: &str) -> Response {
+    if !kb::valid_name(name) {
+        return error_response(400, "KB names are [A-Za-z0-9_-], at most 64 chars");
+    }
+    match req.method.as_str() {
+        "GET" => kb_get(state, name),
+        "DELETE" => kb_delete(state, name),
+        "POST" => {
+            let body = match body_json(req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            match kb_post(state, name, &body) {
+                Ok(resp) => resp,
+                Err(resp) => resp,
+            }
+        }
+        _ => error_response(405, "method not allowed"),
+    }
+}
+
+fn kb_view(name: &str, kb: &StoredKb) -> Json {
+    obj([
+        ("name", json::s(name)),
+        ("formula", json::s(kb.formula.display(&kb.sig).to_string())),
+        ("n_vars", json::n(kb.sig.width() as u64)),
+        ("seq", json::n(kb.seq)),
+    ])
+}
+
+fn kb_get(state: &ServiceState, name: &str) -> Response {
+    match state.kbs.entry(name) {
+        Some(entry) => {
+            let kb = entry.lock().unwrap();
+            ok(kb_view(name, &kb))
+        }
+        None => error_response(404, format!("no KB named `{name}`")),
+    }
+}
+
+fn kb_delete(state: &ServiceState, name: &str) -> Response {
+    if state.kbs.delete(name) {
+        ok(obj([
+            ("name", json::s(name)),
+            ("deleted", Json::Bool(true)),
+        ]))
+    } else {
+        error_response(404, format!("no KB named `{name}`"))
+    }
+}
+
+fn kb_post(state: &ServiceState, name: &str, body: &Json) -> Result<Response, Response> {
+    let action = field_str(body, "action")?;
+    match action {
+        "put" => {
+            let mut sig = Sig::new();
+            let formula = parse_side(&mut sig, body, "formula")?;
+            check_width(sig.width())?;
+            let seq = state.kbs.put(name, sig.clone(), formula.clone());
+            let kb = StoredKb { sig, formula, seq };
+            Ok(ok(kb_view(name, &kb)))
+        }
+        "delete" => Ok(kb_delete(state, name)),
+        "arbitrate" | "fit" => kb_change(state, name, body, action),
+        "iterate" => kb_iterate(state, name, body),
+        other => Err(error_response(
+            400,
+            format!("unknown action `{other}`; expected put, arbitrate, fit, iterate, delete"),
+        )),
+    }
+}
+
+/// Arbitrate (or fit, with an explicit operator) new information into the
+/// stored theory in place: `ψ ← ψ Δ μ`. Only exact results commit; a
+/// degraded outcome is reported but leaves the KB untouched, so a stored
+/// theory can never silently absorb an under-searched compromise.
+fn kb_change(
+    state: &ServiceState,
+    name: &str,
+    body: &Json,
+    action: &str,
+) -> Result<Response, Response> {
+    let budget = budget_and_hold(body, state)?;
+    let entry = state
+        .kbs
+        .entry(name)
+        .ok_or_else(|| error_response(404, format!("no KB named `{name}`")))?;
+    let mut kb = entry.lock().unwrap();
+
+    let mut sig = kb.sig.clone();
+    let mu = parse_side(&mut sig, body, "formula")?;
+    check_width(sig.width())?;
+    let n = sig.width();
+    let psi = kb.formula.clone();
+
+    let (outcome, cache) = if action == "arbitrate" {
+        cached_arbitrate(&state.cache, &psi, &mu, n, &budget)
+    } else {
+        let op_name = match body.get("op") {
+            None => "odist",
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| error_response(400, "field `op` must be a string"))?,
+        };
+        let op = budgeted_operator(op_name)
+            .ok_or_else(|| error_response(400, format!("unknown operator `{op_name}`")))?;
+        cached_apply(&state.cache, op.as_ref(), &psi, &mu, n, &budget)
+    }
+    .map_err(|e| error_response(400, e.to_string()))?;
+
+    note_quality(outcome.quality);
+    let committed = outcome.quality == Quality::Exact;
+    if committed {
+        kb.sig = sig.clone();
+        kb.formula = outcome.models.to_formula();
+        kb.seq += 1;
+    }
+    let (models, truncated) = models_json(&sig, &outcome.models);
+    Ok(ok(obj([
+        ("endpoint", json::s("kb")),
+        ("name", json::s(name)),
+        ("action", json::s(action)),
+        ("quality", json::s(outcome.quality.name())),
+        ("cache", json::s(cache.name())),
+        ("committed", Json::Bool(committed)),
+        ("seq", json::n(kb.seq)),
+        ("n_vars", json::n(n as u64)),
+        ("n_models", json::n(outcome.models.len() as u64)),
+        ("models", models),
+        ("models_truncated", Json::Bool(truncated)),
+        (
+            "formula",
+            json::s(outcome.models.to_formula().display(&sig).to_string()),
+        ),
+        ("spent", spent_json(&outcome.spent)),
+    ])))
+}
+
+/// Iterate `ψ ← op(ψ, μ)` to a fixpoint or cycle via `core::iterated`,
+/// committing the final state.
+fn kb_iterate(state: &ServiceState, name: &str, body: &Json) -> Result<Response, Response> {
+    let entry = state
+        .kbs
+        .entry(name)
+        .ok_or_else(|| error_response(404, format!("no KB named `{name}`")))?;
+    let mut kb = entry.lock().unwrap();
+
+    let mut sig = kb.sig.clone();
+    let mu = parse_side(&mut sig, body, "formula")?;
+    check_width(sig.width())?;
+    let n = sig.width();
+    let max_steps = field_u64(body, "max_steps")?
+        .map(|s| (s as usize).min(MAX_ITERATE_STEPS))
+        .unwrap_or(64);
+    let op_name = match body.get("op") {
+        None => "odist",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| error_response(400, "field `op` must be a string"))?,
+    };
+    let op = arbitrex_core::operator(op_name)
+        .ok_or_else(|| error_response(400, format!("unknown operator `{op_name}`")))?;
+
+    let psi_m = ModelSet::of_formula(&kb.formula, n);
+    let mu_m = ModelSet::of_formula(&mu, n);
+    let run = iterate_fixed_input(op.as_ref(), &psi_m, &mu_m, max_steps);
+    let final_models = run.trajectory.last().cloned().unwrap_or(psi_m);
+
+    kb.sig = sig.clone();
+    kb.formula = final_models.to_formula();
+    kb.seq += 1;
+
+    Ok(ok(obj([
+        ("endpoint", json::s("kb")),
+        ("name", json::s(name)),
+        ("action", json::s("iterate")),
+        ("op", json::s(op_name)),
+        ("steps", json::n(run.trajectory.len() as u64 - 1)),
+        (
+            "period",
+            run.period()
+                .map(|p| json::n(p as u64))
+                .unwrap_or(Json::Null),
+        ),
+        ("fixpoint", Json::Bool(run.is_fixpoint())),
+        ("seq", json::n(kb.seq)),
+        ("n_models", json::n(final_models.len() as u64)),
+        (
+            "formula",
+            json::s(final_models.to_formula().display(&sig).to_string()),
+        ),
+    ])))
+}

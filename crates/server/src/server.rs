@@ -1,0 +1,254 @@
+//! The connection engine: accept loop, bounded queue, worker pool.
+//!
+//! One acceptor thread polls a nonblocking listener and pushes accepted
+//! connections onto a bounded queue; `threads` workers pop connections and
+//! run keep-alive request loops against [`crate::routes::dispatch`]. When
+//! the queue is full the *acceptor* writes the 503 — backpressure costs
+//! one small write, never a worker slot. Shutdown is cooperative: a flag
+//! checked by the acceptor poll, by idle workers, and between keep-alive
+//! requests, so SIGTERM (or [`ShutdownHandle::shutdown`]) drains cleanly
+//! with no request torn mid-response.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::http::{self, ReadOutcome, Response};
+use crate::metrics;
+use crate::routes;
+use crate::{ServerConfig, ServiceState};
+
+/// How often blocked loops wake to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Consecutive idle polls before a worker drops a keep-alive connection.
+const MAX_IDLE_POLLS: u32 = 200; // 200 × 25 ms = 5 s
+
+/// Process-global flag set by the installed signal handler. Checked by
+/// every running server in the process alongside its own handle.
+static SIGNAL_SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Install SIGTERM/SIGINT handlers that request clean shutdown of every
+/// server in the process. Uses the raw `signal(2)` binding — the handler
+/// only stores to an atomic, which is async-signal-safe.
+#[cfg(unix)]
+pub fn install_signal_shutdown() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// No-op off Unix; only the in-process [`ShutdownHandle`] stops the server.
+#[cfg(not(unix))]
+pub fn install_signal_shutdown() {}
+
+/// Requests a running server stop accepting and drain. Cloneable and
+/// usable from any thread.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Ask the server to stop. Idempotent.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    fn is_set(&self) -> bool {
+        self.flag.load(Ordering::SeqCst) || SIGNAL_SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// The bounded handoff between the acceptor and the workers.
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(VecDeque::with_capacity(depth)),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Enqueue unless full; the stream comes back on overflow so the
+    /// caller can refuse it.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() >= self.depth {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block for the next connection, waking periodically to observe
+    /// shutdown. `None` means "shutting down and drained".
+    fn pop(&self, shutdown: &ShutdownHandle) -> Option<TcpStream> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(stream) = q.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.is_set() {
+                return None;
+            }
+            let (guard, _timeout) = self.ready.wait_timeout(q, POLL_INTERVAL).unwrap();
+            q = guard;
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    shutdown: ShutdownHandle,
+}
+
+impl Server {
+    /// Bind `config.addr` (port 0 picks a free port) and build the shared
+    /// state: the canonicalizing result cache and the KB store.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServiceState::new(config)),
+            shutdown: ShutdownHandle {
+                flag: Arc::new(AtomicBool::new(false)),
+            },
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// The shared service state (cache, KB store, config).
+    pub fn state(&self) -> Arc<ServiceState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Run until shutdown: spawns the worker pool, accepts connections,
+    /// applies backpressure, then drains and joins the workers.
+    pub fn run(self) -> io::Result<()> {
+        let queue = Arc::new(ConnQueue::new(self.state.config.queue_depth.max(1)));
+        let threads = self.state.config.threads.max(1);
+
+        let workers: Vec<_> = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&self.state);
+                let shutdown = self.shutdown.clone();
+                thread::Builder::new()
+                    .name(format!("arbitrex-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop(&shutdown) {
+                            handle_connection(stream, &state, &shutdown);
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        while !self.shutdown.is_set() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    metrics::ACCEPTED.incr();
+                    // Accepted sockets must block: workers use timeouts.
+                    let _ = stream.set_nonblocking(false);
+                    match queue.try_push(stream) {
+                        Ok(()) => metrics::QUEUED.incr(),
+                        Err(mut refused) => {
+                            metrics::REJECTED.incr();
+                            let resp = routes::error_response(
+                                503,
+                                "server overloaded: request queue is full",
+                            );
+                            metrics::record_response(resp.status);
+                            let _ = http::write_response(&mut refused, &resp, true);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Unexpected accept failure: stop cleanly rather than
+                    // spin; workers still drain the queue.
+                    self.shutdown.shutdown();
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection's keep-alive request loop.
+fn handle_connection(mut stream: TcpStream, state: &ServiceState, shutdown: &ShutdownHandle) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut idle_polls = 0u32;
+    loop {
+        match http::read_request(&mut stream) {
+            Ok(ReadOutcome::Idle) => {
+                idle_polls += 1;
+                if shutdown.is_set() || idle_polls > MAX_IDLE_POLLS {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Malformed(message)) => {
+                metrics::REQUESTS.incr();
+                let resp = routes::error_response(400, message);
+                metrics::record_response(resp.status);
+                let _ = http::write_response(&mut stream, &resp, true);
+                return;
+            }
+            Ok(ReadOutcome::Request(request)) => {
+                idle_polls = 0;
+                let response: Response = routes::dispatch(state, &request);
+                let close = request.wants_close() || shutdown.is_set();
+                if http::write_response(&mut stream, &response, close).is_err() || close {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

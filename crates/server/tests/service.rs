@@ -1,0 +1,586 @@
+//! Loopback integration suite: every endpoint driven over real sockets
+//! against a server on an ephemeral port.
+//!
+//! Covers the acceptance criteria of the serving layer: happy paths for
+//! all four POST endpoints and `/metrics`, cache-hit determinism
+//! (including alpha-variant resubmission), queue-overflow backpressure
+//! (503), per-request deadlines degrading to typed qualities while the
+//! server keeps serving, and malformed-request 400s reusing the byte-soup
+//! fuzz corpus from `arbitrex-logic`'s `no_panic` suite. Every test ends
+//! with a clean `stop()`, so a worker panic anywhere fails the test.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use arbitrex_server::json::{self, Json};
+use arbitrex_server::{spawn, RunningServer, ServerConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn server_with(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        queue_depth: 16,
+        cache_entries: 256,
+        timeout_ms: 0,
+    };
+    configure(&mut config);
+    spawn(config).expect("spawn server")
+}
+
+fn server() -> RunningServer {
+    server_with(|_| {})
+}
+
+/// A keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &RunningServer) -> Client {
+        let stream = TcpStream::connect(server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client { stream }
+    }
+
+    fn send(&mut self, method: &str, path: &str, body: Option<&str>) {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).unwrap();
+        self.stream.write_all(body.as_bytes()).unwrap();
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.stream.read(&mut byte) {
+                Ok(0) => panic!("connection closed before response head"),
+                Ok(_) => {
+                    head.push(byte[0]);
+                    if head.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+        let head = String::from_utf8(head).unwrap();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; length];
+        self.stream.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+        self.send(method, path, body);
+        let (status, text) = self.read_response();
+        let value = json::parse(&text).unwrap_or_else(|e| panic!("bad JSON `{text}`: {e}"));
+        (status, value)
+    }
+}
+
+/// One-shot request on a fresh connection.
+fn request(server: &RunningServer, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+    Client::connect(server).request(method, path, body)
+}
+
+fn str_of<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+        .as_str()
+        .unwrap_or_else(|| panic!("`{key}` not a string in {v:?}"))
+}
+
+fn num_of(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+        .as_u64()
+        .unwrap_or_else(|| panic!("`{key}` not an integer in {v:?}"))
+}
+
+// --- happy paths -------------------------------------------------------------
+
+#[test]
+fn arbitrate_happy_path_with_cache_determinism() {
+    let server = server();
+    let body = r#"{"psi": "A & B", "phi": "!A & !B"}"#;
+
+    let (status, first) = request(&server, "POST", "/v1/arbitrate", Some(body));
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(str_of(&first, "endpoint"), "arbitrate");
+    assert_eq!(str_of(&first, "quality"), "exact");
+    assert_eq!(str_of(&first, "cache"), "miss");
+    // ψ Δ φ for opposite corners keeps the two fair compromises {A},{B}.
+    assert_eq!(num_of(&first, "n_models"), 2);
+
+    // Identical resubmission: hit, identical models.
+    let (status, second) = request(&server, "POST", "/v1/arbitrate", Some(body));
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&second, "cache"), "hit");
+    assert_eq!(second.get("models"), first.get("models"));
+    assert_eq!(second.get("n_models"), first.get("n_models"));
+
+    // Alpha-variant (renamed variables, shuffled conjuncts): still a hit,
+    // models expressed in the variant's own names.
+    let variant = r#"{"psi": "Y & X", "phi": "!X & !Y"}"#;
+    let (status, third) = request(&server, "POST", "/v1/arbitrate", Some(variant));
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&third, "cache"), "hit", "{third:?}");
+    assert_eq!(num_of(&third, "n_models"), 2);
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn fit_happy_path_and_operator_selection() {
+    let server = server();
+
+    let (status, fit) = request(
+        &server,
+        "POST",
+        "/v1/fit",
+        Some(r#"{"psi": "A & B", "mu": "!A | !B"}"#),
+    );
+    assert_eq!(status, 200, "{fit:?}");
+    assert_eq!(str_of(&fit, "endpoint"), "fit");
+    assert_eq!(str_of(&fit, "op"), "odist");
+    assert_eq!(str_of(&fit, "quality"), "exact");
+
+    let (status, dalal) = request(
+        &server,
+        "POST",
+        "/v1/fit",
+        Some(r#"{"psi": "A & B", "mu": "!A | !B", "op": "dalal"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&dalal, "op"), "dalal");
+    // Dalal revision of {AB} by ¬A∨¬B keeps the two distance-1 models.
+    assert_eq!(num_of(&dalal, "n_models"), 2);
+
+    let (status, bad) = request(
+        &server,
+        "POST",
+        "/v1/fit",
+        Some(r#"{"psi": "A", "mu": "B", "op": "nonsense"}"#),
+    );
+    assert_eq!(status, 400);
+    assert!(str_of(&bad, "error").contains("unknown operator"));
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn warbitrate_happy_path_weights_distinguish_queries() {
+    let server = server();
+    let body = r#"{"psi": "A & B", "phi": "!A & !B", "psi_weight": 3, "phi_weight": 1}"#;
+
+    let (status, first) = request(&server, "POST", "/v1/warbitrate", Some(body));
+    assert_eq!(status, 200, "{first:?}");
+    assert_eq!(str_of(&first, "endpoint"), "warbitrate");
+    assert_eq!(str_of(&first, "quality"), "exact");
+    assert_eq!(str_of(&first, "cache"), "miss");
+    assert!(num_of(&first, "support_size") > 0);
+
+    let (_, second) = request(&server, "POST", "/v1/warbitrate", Some(body));
+    assert_eq!(str_of(&second, "cache"), "hit");
+    assert_eq!(second.get("support"), first.get("support"));
+
+    // Same formulas under different weights are a different query.
+    let reweighted = r#"{"psi": "A & B", "phi": "!A & !B", "psi_weight": 1, "phi_weight": 3}"#;
+    let (status, third) = request(&server, "POST", "/v1/warbitrate", Some(reweighted));
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&third, "cache"), "miss");
+
+    // Unsatisfiable sources are refused, not panicked on.
+    let (status, unsat) = request(
+        &server,
+        "POST",
+        "/v1/warbitrate",
+        Some(r#"{"psi": "A & !A", "phi": "B"}"#),
+    );
+    assert_eq!(status, 400);
+    assert!(str_of(&unsat, "error").contains("unsatisfiable"));
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn kb_lifecycle_put_arbitrate_iterate_delete() {
+    let server = server();
+    let mut client = Client::connect(&server);
+
+    // put
+    let (status, put) = client.request(
+        "POST",
+        "/v1/kb/fleet",
+        Some(r#"{"action": "put", "formula": "A & B & C"}"#),
+    );
+    assert_eq!(status, 200, "{put:?}");
+    assert_eq!(num_of(&put, "seq"), 1);
+
+    // get
+    let (status, got) = client.request("GET", "/v1/kb/fleet", None);
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&got, "name"), "fleet");
+    assert_eq!(num_of(&got, "n_vars"), 3);
+
+    // arbitrate in place: conflicting report, exact result commits.
+    let (status, arb) = client.request(
+        "POST",
+        "/v1/kb/fleet",
+        Some(r#"{"action": "arbitrate", "formula": "!A & !B & !C"}"#),
+    );
+    assert_eq!(status, 200, "{arb:?}");
+    assert_eq!(str_of(&arb, "quality"), "exact");
+    assert_eq!(arb.get("committed"), Some(&Json::Bool(true)));
+    assert_eq!(num_of(&arb, "seq"), 2);
+    assert_eq!(num_of(&arb, "n_models"), 6);
+
+    // fit action with an explicit operator, mentioning a fresh variable
+    // (the signature widens).
+    let (status, fit) = client.request(
+        "POST",
+        "/v1/kb/fleet",
+        Some(r#"{"action": "fit", "op": "dalal", "formula": "D"}"#),
+    );
+    assert_eq!(status, 200, "{fit:?}");
+    assert_eq!(num_of(&fit, "seq"), 3);
+    assert_eq!(num_of(&fit, "n_vars"), 4);
+
+    // iterate to a fixpoint.
+    let (status, iter) = client.request(
+        "POST",
+        "/v1/kb/fleet",
+        Some(r#"{"action": "iterate", "formula": "A & D", "max_steps": 16}"#),
+    );
+    assert_eq!(status, 200, "{iter:?}");
+    assert_eq!(num_of(&iter, "seq"), 4);
+    assert!(iter.get("period").is_some());
+
+    // delete, then the KB is gone.
+    let (status, del) = client.request("DELETE", "/v1/kb/fleet", None);
+    assert_eq!(status, 200);
+    assert_eq!(del.get("deleted"), Some(&Json::Bool(true)));
+    let (status, _) = client.request("GET", "/v1/kb/fleet", None);
+    assert_eq!(status, 404);
+
+    // Bad names and bad actions are 400s.
+    let (status, _) = client.request("GET", "/v1/kb/has%20space", None);
+    assert_eq!(status, 400);
+    let (status, _) = client.request("POST", "/v1/kb/fleet", Some(r#"{"action": "explode"}"#));
+    assert_eq!(status, 400);
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn metrics_reports_sections_histograms_and_gauges() {
+    let server = server();
+    // Generate one cached pair so cache counters move.
+    let body = r#"{"psi": "P & Q", "phi": "!P & !Q"}"#;
+    let _ = request(&server, "POST", "/v1/arbitrate", Some(body));
+    let _ = request(&server, "POST", "/v1/arbitrate", Some(body));
+
+    let (status, text) = {
+        let mut c = Client::connect(&server);
+        c.send("GET", "/metrics", None);
+        c.read_response()
+    };
+    assert_eq!(status, 200);
+    for needle in [
+        "\"kernel\"",
+        "\"weighted\"",
+        "\"budget\"",
+        "\"cache\"",
+        "\"sat\"",
+        "\"server\"",
+        "\"latency_ns\"",
+        "\"arbitrate\"",
+        "\"warbitrate\"",
+        "\"gauges\"",
+        "\"cache_entries\"",
+        "\"kb_count\"",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in {text}");
+    }
+    // The document is valid JSON.
+    let doc = json::parse(&text).expect("metrics is JSON");
+    assert!(doc.get("telemetry").is_some());
+
+    server.stop().unwrap();
+}
+
+// --- backpressure ------------------------------------------------------------
+
+#[test]
+fn queue_overflow_answers_503() {
+    // One worker, queue depth one: a held request pins the worker, the
+    // next connection fills the queue, the third must be refused.
+    let server = server_with(|c| {
+        c.threads = 1;
+        c.queue_depth = 1;
+    });
+
+    let mut held = Client::connect(&server);
+    held.send(
+        "POST",
+        "/v1/arbitrate",
+        Some(r#"{"psi": "A", "phi": "!A", "hold_ms": 1500}"#),
+    );
+    std::thread::sleep(Duration::from_millis(400)); // worker is now sleeping in hold_ms
+
+    let mut queued = Client::connect(&server);
+    queued.send(
+        "POST",
+        "/v1/arbitrate",
+        Some(r#"{"psi": "B", "phi": "!B"}"#),
+    );
+    std::thread::sleep(Duration::from_millis(200)); // acceptor has queued it
+
+    let mut refused = Client::connect(&server);
+    let (status, body) = refused.request("GET", "/metrics", None);
+    assert_eq!(status, 503, "{body:?}");
+    assert!(str_of(&body, "error").contains("overloaded"));
+
+    // The held and queued requests still complete: backpressure refuses
+    // new work without corrupting accepted work.
+    let (status, _) = held.read_response_parsed();
+    assert_eq!(status, 200);
+    let (status, _) = queued.read_response_parsed();
+    assert_eq!(status, 200);
+
+    server.stop().unwrap();
+}
+
+impl Client {
+    fn read_response_parsed(&mut self) -> (u16, Json) {
+        let (status, text) = self.read_response();
+        (status, json::parse(&text).unwrap())
+    }
+}
+
+// --- deadlines ---------------------------------------------------------------
+
+#[test]
+fn deadline_degrades_typed_and_server_keeps_serving() {
+    let server = server();
+    // 11 variables: 2048 candidate interpretations, beyond one 1024-step
+    // meter batch, so a zero deadline reliably trips mid-scan.
+    let wide: Vec<String> = (0..11).map(|i| format!("V{i}")).collect();
+    let disj = wide.join(" | ");
+    let body = format!(r#"{{"psi": "{disj}", "phi": "{disj}", "timeout_ms": 0}}"#);
+
+    let (status, degraded) = request(&server, "POST", "/v1/arbitrate", Some(&body));
+    assert_eq!(status, 200, "{degraded:?}");
+    let quality = str_of(&degraded, "quality");
+    assert!(
+        quality == "upper_bound" || quality == "interrupted",
+        "expected degraded quality, got {quality}"
+    );
+    assert_eq!(
+        degraded.get("spent").unwrap().get("tripped"),
+        Some(&Json::Bool(true))
+    );
+    // Degraded results must not poison the cache.
+    assert_ne!(str_of(&degraded, "cache"), "hit");
+
+    // The same worker pool still answers exact queries afterwards.
+    let (status, after) = request(
+        &server,
+        "POST",
+        "/v1/arbitrate",
+        Some(r#"{"psi": "A", "phi": "!A"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&after, "quality"), "exact");
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn kb_never_commits_a_degraded_result() {
+    let server = server();
+    let mut client = Client::connect(&server);
+    let wide: Vec<String> = (0..11).map(|i| format!("V{i}")).collect();
+    let disj = wide.join(" | ");
+
+    let (_, put) = client.request(
+        "POST",
+        "/v1/kb/wide",
+        Some(&format!(r#"{{"action": "put", "formula": "{disj}"}}"#)),
+    );
+    assert_eq!(num_of(&put, "seq"), 1);
+
+    let (status, arb) = client.request(
+        "POST",
+        "/v1/kb/wide",
+        Some(&format!(
+            r#"{{"action": "arbitrate", "formula": "{disj}", "timeout_ms": 0}}"#
+        )),
+    );
+    assert_eq!(status, 200, "{arb:?}");
+    assert_eq!(arb.get("committed"), Some(&Json::Bool(false)));
+    assert_eq!(num_of(&arb, "seq"), 1, "degraded result must not commit");
+
+    server.stop().unwrap();
+}
+
+// --- malformed requests ------------------------------------------------------
+
+#[test]
+fn malformed_bodies_are_400_and_never_kill_the_server() {
+    let server = server();
+
+    // Fixed malformed shapes: bad JSON, wrong types, missing fields.
+    for bad in [
+        "",
+        "not json",
+        "{",
+        r#"{"psi": 7, "phi": "A"}"#,
+        r#"{"psi": "A"}"#,
+        r#"{"psi": "A", "phi": "(("}"#,
+        r#"{"psi": "A", "phi": "B", "timeout_ms": "soon"}"#,
+    ] {
+        let (status, body) = request(&server, "POST", "/v1/arbitrate", Some(bad));
+        assert_eq!(status, 400, "input {bad:?} gave {body:?}");
+        assert!(body.get("error").is_some());
+    }
+
+    // The byte-soup corpus from arbitrex-logic's no_panic suite, spliced
+    // into the formula fields: whatever the parser thinks of the soup,
+    // the server answers 200 or 400 and stays up.
+    const CHARSET: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '_', '\'', '0', '1', '7', '(', ')', '!', '~', '-', '&', '|', '^',
+        '<', '>', '=', '/', '\\', ' ', '\t', '\n', '@', '#', '.', ',', '*', '+', '[', ']', '{',
+        '}', '"', ';', ':', '?', 'λ', 'ø', '∧', '∨', '¬', '→', '↔',
+    ];
+    let mut rng = StdRng::seed_from_u64(0xb17e_5009);
+    let mut client = Client::connect(&server);
+    for _ in 0..200 {
+        let len = rng.random_range(0..64usize);
+        let soup: String = (0..len)
+            .map(|_| CHARSET[rng.random_range(0..CHARSET.len())])
+            .collect();
+        let body = arbitrex_server::json::obj([
+            ("psi", arbitrex_server::json::s(soup.clone())),
+            ("phi", arbitrex_server::json::s("A")),
+        ])
+        .to_text();
+        let (status, _) = client.request("POST", "/v1/arbitrate", Some(&body));
+        assert!(
+            status == 200 || status == 400,
+            "soup {soup:?} gave status {status}"
+        );
+    }
+
+    // Raw soup as the whole body too (mostly invalid JSON).
+    for _ in 0..100 {
+        let len = rng.random_range(0..48usize);
+        let soup: String = (0..len)
+            .map(|_| CHARSET[rng.random_range(0..CHARSET.len())])
+            .collect();
+        let (status, _) = request(&server, "POST", "/v1/fit", Some(&soup));
+        assert!(status == 200 || status == 400, "status {status}");
+    }
+
+    // Still healthy.
+    let (status, after) = request(
+        &server,
+        "POST",
+        "/v1/arbitrate",
+        Some(r#"{"psi": "A", "phi": "!A"}"#),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(str_of(&after, "quality"), "exact");
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn unknown_routes_and_methods() {
+    let server = server();
+    let (status, _) = request(&server, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = request(&server, "GET", "/v1/arbitrate", None);
+    assert_eq!(status, 405);
+    let (status, _) = request(&server, "DELETE", "/metrics", None);
+    assert_eq!(status, 405);
+
+    // A malformed request *line* gets a 400 before routing.
+    let mut raw = TcpStream::connect(server.addr).unwrap();
+    raw.write_all(b"GARBAGE\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+    server.stop().unwrap();
+}
+
+// --- concurrency -------------------------------------------------------------
+
+#[test]
+fn concurrent_mixed_workload_zero_failures() {
+    let server = server_with(|c| {
+        c.threads = 4;
+        c.queue_depth = 64;
+    });
+    let addr = server.addr;
+
+    let clients: Vec<_> = (0..8)
+        .map(|worker| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut client = Client { stream };
+                for round in 0..20 {
+                    let (path, body) = match (worker + round) % 3 {
+                        0 => (
+                            "/v1/arbitrate",
+                            r#"{"psi": "A & B", "phi": "!A & !B"}"#.to_string(),
+                        ),
+                        1 => (
+                            "/v1/fit",
+                            r#"{"psi": "A & B", "mu": "!A | !B"}"#.to_string(),
+                        ),
+                        _ => (
+                            "/v1/warbitrate",
+                            r#"{"psi": "A | B", "phi": "!A", "psi_weight": 2}"#.to_string(),
+                        ),
+                    };
+                    let (status, reply) = client.request("POST", path, Some(&body));
+                    assert_eq!(status, 200, "{reply:?}");
+                    assert_eq!(str_of(&reply, "quality"), "exact");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Clean shutdown proves no worker died mid-run.
+    server.stop().unwrap();
+}

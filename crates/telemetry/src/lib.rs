@@ -232,6 +232,148 @@ impl Drop for SpanGuard<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Number of buckets in a [`Histogram`]: powers of two from 1 ns up to
+/// ~17.6 s, with the last bucket absorbing everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 35;
+
+/// A lock-free log₂-bucketed latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` nanoseconds. Like
+/// [`Counter`], the whole structure compiles to a zero-sized no-op without
+/// the `enabled` feature. Used by the server for per-endpoint latency
+/// distributions exported on `/metrics`.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// A new empty histogram. `const`, so histograms can be `static`s.
+    pub const fn new(name: &'static str) -> Histogram {
+        #[cfg(feature = "enabled")]
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            #[cfg(feature = "enabled")]
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The histogram's snapshot key.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_nanos(&self, ns: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            let bucket = (63 - ns.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+            self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = ns;
+    }
+
+    /// Read all buckets (all zeros when telemetry is disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name,
+            #[cfg(feature = "enabled")]
+            buckets: {
+                let mut out = [0u64; HISTOGRAM_BUCKETS];
+                for (slot, b) in out.iter_mut().zip(self.buckets.iter()) {
+                    *slot = b.load(Ordering::Relaxed);
+                }
+                out
+            },
+            #[cfg(not(feature = "enabled"))]
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// Reset every bucket to zero.
+    pub fn reset(&self) {
+        #[cfg(feature = "enabled")]
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time values of one [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// The histogram name.
+    pub name: &'static str,
+    /// Bucket counts; bucket `i` covers `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (in nanoseconds) of the bucket containing the `q`-th
+    /// quantile (`0.0 ≤ q ≤ 1.0`), or `None` when empty. Log-bucket
+    /// resolution: the true quantile lies within a factor of 2.
+    pub fn quantile_upper_ns(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                });
+            }
+        }
+        None
+    }
+
+    /// Serialize as a JSON object with count, quantile bounds, and the
+    /// non-zero buckets as `{"lo_ns": count}` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"count\": {}", self.count());
+        for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+            match self.quantile_upper_ns(q) {
+                Some(ns) => out.push_str(&format!(", \"{label}_le_ns\": {ns}")),
+                None => out.push_str(&format!(", \"{label}_le_ns\": null")),
+            }
+        }
+        out.push_str(", \"buckets\": {");
+        let mut first = true;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            out.push_str(&format!("\"{}\": {}", 1u64 << i, b));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Sections and snapshots
 // ---------------------------------------------------------------------------
 
@@ -454,6 +596,49 @@ mod tests {
         counters: &[&C1, &C2],
         timers: &[&T1],
     };
+
+    static H1: Histogram = Histogram::new("latency");
+
+    #[test]
+    fn histogram_buckets_by_log2_and_quantiles_bound_from_above() {
+        H1.reset();
+        H1.record_nanos(0); // clamps to bucket 0
+        H1.record_nanos(1);
+        H1.record_nanos(1000); // bucket 9: [512, 1024)
+        H1.record_nanos(1024); // bucket 10
+        let snap = H1.snapshot();
+        if enabled() {
+            assert_eq!(snap.count(), 4);
+            assert_eq!(snap.buckets[0], 2);
+            assert_eq!(snap.buckets[9], 1);
+            assert_eq!(snap.buckets[10], 1);
+            // p50 lands in bucket 0 → upper bound 2 ns.
+            assert_eq!(snap.quantile_upper_ns(0.5), Some(2));
+            // p99 lands in the last occupied bucket → upper bound 2048 ns.
+            assert_eq!(snap.quantile_upper_ns(0.99), Some(2048));
+            let json = snap.to_json();
+            assert!(json.contains("\"count\": 4"));
+            assert!(json.contains("\"512\": 1"));
+        } else {
+            assert_eq!(snap.count(), 0);
+            assert_eq!(snap.quantile_upper_ns(0.5), None);
+        }
+        H1.reset();
+        assert_eq!(H1.snapshot().quantile_upper_ns(0.5), None);
+    }
+
+    static H2: Histogram = Histogram::new("saturating");
+
+    #[test]
+    fn histogram_saturates_to_last_bucket() {
+        H2.record_nanos(u64::MAX);
+        if enabled() {
+            let snap = H2.snapshot();
+            assert_eq!(snap.buckets[HISTOGRAM_BUCKETS - 1], 1);
+            assert_eq!(snap.count(), 1);
+        }
+        H2.reset();
+    }
 
     #[test]
     fn counters_count_when_enabled_and_vanish_when_not() {
