@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E15) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E16) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
@@ -80,6 +80,9 @@ fn main() {
     }
     if want("e15") {
         e15_serving();
+    }
+    if want("e16") {
+        e16_durability();
     }
 }
 
@@ -1218,6 +1221,7 @@ fn e15_serving() {
                 queue_depth: 256,
                 cache_entries: if cache_on { 4096 } else { 0 },
                 timeout_ms: 0,
+                ..ServerConfig::default()
             })
             .expect("spawn server");
             let addr = server.addr;
@@ -1271,5 +1275,184 @@ fn e15_serving() {
     match std::fs::write("BENCH_PR4.json", &json) {
         Ok(()) => println!("\nwrote BENCH_PR4.json ({} rows)\n", json_rows.len()),
         Err(e) => println!("\ncould not write BENCH_PR4.json: {e}\n"),
+    }
+}
+
+/// E16 — durability cost (PR 5): what an fsync per commit buys and what
+/// it costs. One keep-alive client storms sequential KB `put` commits at
+/// a fresh server per leg — commits to a single KB serialize on its
+/// entry lock, so one client measures the commit path itself, not lock
+/// contention. Legs: the in-memory store (no WAL, the PR-4 baseline)
+/// against the durable store at three snapshot cadences (never / every
+/// 64 / every 16 records). Durable acks land only after the WAL record
+/// is fsync'd, so the memory-vs-wal gap is the per-commit durability
+/// bill and the cadence sweep prices the periodic snapshots on top.
+/// Writes the machine-readable record to BENCH_PR5.json.
+fn e16_durability() {
+    use arbitrex_server::metrics::{WAL_FSYNCS, WAL_RECORDS_APPENDED, WAL_SNAPSHOTS_WRITTEN};
+    use arbitrex_server::{spawn, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    header(
+        "E16",
+        "durability cost: fsync-per-commit and snapshot cadence",
+        "engineering (PR 5); no paper artifact",
+    );
+
+    const COMMITS: usize = 512;
+
+    /// One `put` commit on a keep-alive connection; returns latency in ns.
+    fn one_commit(stream: &mut TcpStream, seq: usize) -> u64 {
+        // Alternate the stored formula so consecutive WAL records differ
+        // (a constant payload could hide encoding bugs behind caching).
+        let formula = if seq.is_multiple_of(2) {
+            "A & B"
+        } else {
+            "A | B"
+        };
+        let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+        let started = Instant::now();
+        let head = format!(
+            "POST /v1/kb/e16 HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        // One buffered write per request, as in E15: separate head/body
+        // packets trip Nagle + delayed-ACK and dwarf the fsync itself.
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        stream.write_all(&wire).expect("write request");
+        let mut reply = Vec::with_capacity(512);
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => panic!("server closed connection mid-response"),
+                Ok(_) => {
+                    reply.push(byte[0]);
+                    if reply.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+        let head_text = String::from_utf8_lossy(&reply);
+        assert!(
+            head_text.starts_with("HTTP/1.1 200"),
+            "non-200 commit: {head_text}"
+        );
+        let length: usize = head_text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        let mut body_buf = vec![0u8; length];
+        stream.read_exact(&mut body_buf).expect("read body");
+        started.elapsed().as_nanos() as u64
+    }
+
+    fn quantile_us(sorted: &[u64], q: f64) -> f64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64 / 1_000.0
+    }
+
+    println!(
+        "workload: {COMMITS} sequential `put` commits to one KB over a \
+         keep-alive connection, fresh server + state dir per leg\n"
+    );
+    println!("mode     snap-every  commits/s  p50 µs    p95 µs    fsyncs  snapshots");
+
+    // (mode label, state dir?, snapshot cadence). `None` cadence means
+    // the leg has no state dir at all — the in-memory baseline.
+    let legs: [(&str, Option<u64>); 4] = [
+        ("memory", None),
+        ("wal", Some(0)),
+        ("wal", Some(64)),
+        ("wal", Some(16)),
+    ];
+    let mut json_rows: Vec<String> = Vec::new();
+    for (leg_no, &(mode, snapshot_every)) in legs.iter().enumerate() {
+        let state_dir = snapshot_every.map(|_| {
+            let dir =
+                std::env::temp_dir().join(format!("arbx-e16-{}-{leg_no}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create state dir");
+            dir
+        });
+        let server = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            cache_entries: 0,
+            state_dir: state_dir.clone(),
+            snapshot_every: snapshot_every.unwrap_or(0),
+            ..ServerConfig::default()
+        })
+        .expect("spawn server");
+
+        let (records0, fsyncs0, snaps0) = (
+            WAL_RECORDS_APPENDED.get(),
+            WAL_FSYNCS.get(),
+            WAL_SNAPSHOTS_WRITTEN.get(),
+        );
+        let mut stream = TcpStream::connect(server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+            .unwrap();
+        let _ = stream.set_nodelay(true);
+        let wall = Instant::now();
+        let mut latencies: Vec<u64> = (0..COMMITS).map(|i| one_commit(&mut stream, i)).collect();
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        drop(stream);
+        // Deltas before stop(): clean shutdown writes one extra snapshot
+        // that is not part of the measured commit storm.
+        let records = WAL_RECORDS_APPENDED.get() - records0;
+        let fsyncs = WAL_FSYNCS.get() - fsyncs0;
+        let snapshots = WAL_SNAPSHOTS_WRITTEN.get() - snaps0;
+        server.stop().expect("clean shutdown");
+        if let Some(dir) = &state_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        if snapshot_every.is_some() {
+            assert_eq!(records as usize, COMMITS, "every commit must hit the WAL");
+        }
+
+        latencies.sort_unstable();
+        let p50 = quantile_us(&latencies, 0.50);
+        let p95 = quantile_us(&latencies, 0.95);
+        let cps = COMMITS as f64 / (wall_ns as f64 / 1e9);
+        let snap_text = match snapshot_every {
+            None => "-".to_string(),
+            Some(0) => "never".to_string(),
+            Some(n) => n.to_string(),
+        };
+        println!(
+            "{mode:<8} {snap_text:<11} {cps:<10.0} {p50:<9.1} {p95:<9.1} {fsyncs:<7} {snapshots}"
+        );
+        json_rows.push(format!(
+            "    {{\"mode\": \"{mode}\", \"snapshot_every\": {}, \"commits\": {COMMITS}, \
+             \"wall_ms\": {:.1}, \"commits_per_s\": {cps:.0}, \"p50_us\": {p50:.1}, \
+             \"p95_us\": {p95:.1}, \"fsyncs\": {fsyncs}, \"snapshots\": {snapshots}}}",
+            match snapshot_every {
+                None => "null".to_string(),
+                Some(n) => n.to_string(),
+            },
+            wall_ns as f64 / 1e6,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"e16-durability-cost\",\n");
+    json.push_str(
+        "  \"workload\": \"512 sequential KB put commits to one KB over a keep-alive \
+         connection; in-memory baseline vs WAL-backed store at snapshot cadences \
+         never/64/16; ack only after fsync on the durable legs\",\n",
+    );
+    json.push_str("  \"rows\": [\n");
+    json.push_str(&json_rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    match std::fs::write("BENCH_PR5.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR5.json ({} rows)\n", json_rows.len()),
+        Err(e) => println!("\ncould not write BENCH_PR5.json: {e}\n"),
     }
 }

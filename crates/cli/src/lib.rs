@@ -564,10 +564,35 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                 config.cache_entries = flag_u64(&mut it, "--cache-entries")? as usize
             }
             "--timeout-ms" => config.timeout_ms = flag_u64(&mut it, "--timeout-ms")?,
+            "--max-body-bytes" => {
+                config.max_body_bytes = flag_u64(&mut it, "--max-body-bytes")? as usize;
+                if config.max_body_bytes == 0 {
+                    return err("--max-body-bytes must be at least 1");
+                }
+            }
+            "--state-dir" => {
+                config.state_dir = Some(flag_value(&mut it, "--state-dir")?.into());
+            }
+            "--snapshot-every" => {
+                config.snapshot_every = flag_u64(&mut it, "--snapshot-every")?;
+            }
+            "--recover" => {
+                let mode = flag_value(&mut it, "--recover")?;
+                config.recover =
+                    arbitrex_server::recovery::RecoverMode::parse(mode).ok_or_else(|| {
+                        CliError::usage(format!(
+                            "--recover expects `strict` or `salvage`, got `{mode}`"
+                        ))
+                    })?;
+            }
+            "--fault" => {
+                config.durability_fault = Some(parse_fault(flag_value(&mut it, "--fault")?)?);
+            }
             other => {
                 return err(format!(
                     "unknown serve flag `{other}` (expected --addr, --threads, \
-                     --queue-depth, --cache-entries, --timeout-ms)"
+                     --queue-depth, --cache-entries, --timeout-ms, --max-body-bytes, \
+                     --state-dir, --snapshot-every, --recover, --fault)"
                 ))
             }
         }
@@ -596,6 +621,19 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     {
         use std::io::Write as _;
         let mut out = std::io::stdout();
+        if let Some(report) = &server.state().recovery {
+            let _ = writeln!(
+                out,
+                "arbitrex-server recovered {} KBs (snapshot={}, wal-records={}, \
+                 torn-tail-truncated={}, salvaged-bytes-dropped={}, max-seq={})",
+                report.kbs,
+                report.snapshot_loaded,
+                report.wal_records_replayed,
+                report.torn_tail_truncated,
+                report.salvaged_bytes_dropped,
+                report.max_seq
+            );
+        }
         let _ = writeln!(
             out,
             "arbitrex-server listening on {addr} \
@@ -625,8 +663,11 @@ pub fn help() -> String {
          \x20 arbitrex audit [operator...]                postulate matrix (R/U/A)\n\
          \x20 arbitrex iterate <operator> \"<psi>\" \"<mu>\"  long-run dynamics\n\
          \x20 arbitrex serve [--addr a] [--threads n] [--queue-depth n]\n\
-         \x20\x20\x20\x20 [--cache-entries n] [--timeout-ms n]\n\
-         \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\")\n\
+         \x20\x20\x20\x20 [--cache-entries n] [--timeout-ms n] [--max-body-bytes n]\n\
+         \x20\x20\x20\x20 [--state-dir d] [--snapshot-every n] [--recover strict|salvage]\n\
+         \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\");\n\
+         \x20\x20\x20\x20 --state-dir makes KBs durable (WAL + snapshots, README\n\
+         \x20\x20\x20\x20 \"Durability\")\n\
          \n\
          flags:\n\
          \x20 --stats        append operator telemetry counters (text)\n\
@@ -875,16 +916,46 @@ mod tests {
         // Defaults hold when flags are omitted.
         let d = parse_serve_config(&[]).unwrap();
         assert_eq!(d.threads, arbitrex_server::ServerConfig::default().threads);
+        assert_eq!(d.state_dir, None);
+    }
+
+    #[test]
+    fn serve_durability_flags_parse_into_config() {
+        let cfg = parse_serve_config(&sv(&[
+            "--state-dir",
+            "/tmp/arbx-state",
+            "--snapshot-every",
+            "17",
+            "--recover",
+            "salvage",
+            "--max-body-bytes",
+            "4096",
+            "--fault",
+            "wal_fsync:3",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cfg.state_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/arbx-state"))
+        );
+        assert_eq!(cfg.snapshot_every, 17);
+        assert_eq!(cfg.recover, arbitrex_server::recovery::RecoverMode::Salvage);
+        assert_eq!(cfg.max_body_bytes, 4096);
+        let fault = cfg.durability_fault.expect("fault plan");
+        assert_eq!(fault.site, arbitrex_core::BudgetSite::WalFsync);
     }
 
     #[test]
     fn serve_usage_errors_exit_2() {
         for bad in [
-            sv(&["--threads"]),          // missing value
-            sv(&["--threads", "zero"]),  // non-integer
-            sv(&["--threads", "0"]),     // out of range
-            sv(&["--queue-depth", "0"]), // out of range
-            sv(&["--port", "80"]),       // unknown flag
+            sv(&["--threads"]),             // missing value
+            sv(&["--threads", "zero"]),     // non-integer
+            sv(&["--threads", "0"]),        // out of range
+            sv(&["--queue-depth", "0"]),    // out of range
+            sv(&["--port", "80"]),          // unknown flag
+            sv(&["--recover", "ignore"]),   // unknown recovery mode
+            sv(&["--max-body-bytes", "0"]), // out of range
+            sv(&["--fault", "wal_write"]),  // missing count
         ] {
             let e = cmd_serve(&bad).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Usage, "{bad:?}: {e}");

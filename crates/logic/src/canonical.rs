@@ -136,6 +136,130 @@ pub fn canonical_key(f: &Formula) -> u64 {
     fnv1a(&canonical_bytes(f))
 }
 
+/// Serialize a formula in the canonical prefix byte encoding (the same
+/// bytes [`canonical_bytes`] produces, minus the canonicalization step).
+///
+/// This is the workspace's durable wire format: the server's write-ahead
+/// log stores formulas this way and replays them through
+/// [`decode_formula`], so `decode_formula(&encode_formula(f)) == Ok(f)`
+/// for every formula and the round trip is byte-identical.
+pub fn encode_formula(f: &Formula) -> Vec<u8> {
+    serialize(f)
+}
+
+/// Why [`decode_formula`] rejected a byte string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What was wrong at that offset.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "formula decode error at byte {}: {}",
+            self.offset, self.what
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Nesting cap for [`decode_formula`] — twice the parser's
+/// [`crate::MAX_PARSE_DEPTH`], so anything the workspace can produce
+/// round-trips while corrupt input cannot blow the decoder's stack.
+pub const DECODE_MAX_DEPTH: usize = 512;
+
+/// Decode a formula from the prefix byte encoding of [`encode_formula`].
+///
+/// Total: every byte string either decodes or returns a typed
+/// [`DecodeError`] — corrupt input never panics, over-allocates, or
+/// recurses past [`DECODE_MAX_DEPTH`]. Trailing bytes are an error, so a
+/// successful decode consumes the input exactly.
+pub fn decode_formula(bytes: &[u8]) -> Result<Formula, DecodeError> {
+    let mut pos = 0usize;
+    let f = read_node(bytes, &mut pos, 0)?;
+    if pos != bytes.len() {
+        return Err(DecodeError {
+            offset: pos,
+            what: "trailing bytes after formula",
+        });
+    }
+    Ok(f)
+}
+
+fn read_node(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Formula, DecodeError> {
+    if depth >= DECODE_MAX_DEPTH {
+        return Err(DecodeError {
+            offset: *pos,
+            what: "nesting too deep",
+        });
+    }
+    let at = *pos;
+    let tag = *bytes.get(at).ok_or(DecodeError {
+        offset: at,
+        what: "truncated: expected a node tag",
+    })?;
+    *pos += 1;
+    let read_u32 = |pos: &mut usize| -> Result<u32, DecodeError> {
+        let start = *pos;
+        let end = start.checked_add(4).filter(|&e| e <= bytes.len());
+        let end = end.ok_or(DecodeError {
+            offset: start,
+            what: "truncated: expected 4 bytes",
+        })?;
+        // invariant: the range is in bounds by the check above.
+        let word = u32::from_le_bytes(bytes[start..end].try_into().unwrap());
+        *pos = end;
+        Ok(word)
+    };
+    match tag {
+        b'T' => Ok(Formula::True),
+        b'F' => Ok(Formula::False),
+        b'v' => {
+            let v = read_u32(pos)?;
+            if v as usize >= crate::interp::MAX_VARS {
+                return Err(DecodeError {
+                    offset: at + 1,
+                    what: "variable index out of range",
+                });
+            }
+            Ok(Formula::Var(Var(v)))
+        }
+        b'!' => Ok(Formula::Not(Box::new(read_node(bytes, pos, depth + 1)?))),
+        b'&' | b'|' => {
+            let count = read_u32(pos)? as usize;
+            // No with_capacity: `count` is untrusted; each child costs at
+            // least one input byte, so growth is bounded by the input.
+            let mut children = Vec::new();
+            for _ in 0..count {
+                children.push(read_node(bytes, pos, depth + 1)?);
+            }
+            Ok(if tag == b'&' {
+                Formula::And(children)
+            } else {
+                Formula::Or(children)
+            })
+        }
+        b'>' | b'=' | b'^' => {
+            let a = Box::new(read_node(bytes, pos, depth + 1)?);
+            let b = Box::new(read_node(bytes, pos, depth + 1)?);
+            Ok(match tag {
+                b'>' => Formula::Implies(a, b),
+                b'=' => Formula::Iff(a, b),
+                _ => Formula::Xor(a, b),
+            })
+        }
+        _ => Err(DecodeError {
+            offset: at,
+            what: "unknown node tag",
+        }),
+    }
+}
+
 /// FNV-1a over a byte string (the workspace's zero-dependency hash).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -608,5 +732,63 @@ mod tests {
         let canon = canonicalize_query(&[], 3);
         assert_eq!(canon.forward, vec![0, 1, 2]);
         assert!(canon.formulas.is_empty());
+    }
+
+    #[test]
+    fn codec_round_trips_every_connective() {
+        let mut sig = Sig::new();
+        for text in [
+            "true",
+            "false",
+            "A",
+            "!A",
+            "A & B & !C",
+            "A | (B & C) | !D",
+            "A -> B",
+            "A <-> (B ^ C)",
+            "!(A -> (B <-> !C)) ^ (D | E | F)",
+        ] {
+            let f = parse(&mut sig, text).unwrap();
+            let bytes = encode_formula(&f);
+            assert_eq!(decode_formula(&bytes).unwrap(), f, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_bytes_totally() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "(A & !B) | (C ^ D)").unwrap();
+        let good = encode_formula(&f);
+        // Every truncation fails; no truncation panics.
+        for cut in 0..good.len() {
+            assert!(decode_formula(&good[..cut]).is_err(), "truncated at {cut}");
+        }
+        // Trailing garbage after a valid formula fails.
+        let mut extra = good.clone();
+        extra.push(b'T');
+        assert!(decode_formula(&extra).is_err());
+        // Unknown tag, oversized var index, absurd child count: typed errors.
+        assert_eq!(decode_formula(b"Z").unwrap_err().what, "unknown node tag");
+        let mut bad_var = vec![b'v'];
+        bad_var.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_formula(&bad_var).unwrap_err().what,
+            "variable index out of range"
+        );
+        let mut bomb = vec![b'&'];
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_formula(&bomb).is_err());
+        // Depth cap holds on a pathological Not-chain.
+        let mut deep = vec![b'!'; DECODE_MAX_DEPTH + 1];
+        deep.push(b'T');
+        assert_eq!(decode_formula(&deep).unwrap_err().what, "nesting too deep");
+    }
+
+    #[test]
+    fn codec_agrees_with_canonical_bytes() {
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "(!B & A) | C").unwrap();
+        let canon = decode_formula(&canonical_bytes(&f)).unwrap();
+        assert_eq!(encode_formula(&canon), canonical_bytes(&f));
     }
 }

@@ -41,7 +41,10 @@ pub mod sig;
 pub mod simplify;
 
 pub use ast::Formula;
-pub use canonical::{canonical_bytes, canonical_key, canonicalize_query, CanonicalQuery};
+pub use canonical::{
+    canonical_bytes, canonical_key, canonicalize_query, decode_formula, encode_formula,
+    CanonicalQuery, DecodeError,
+};
 pub use cnf::{direct_cnf, to_clauses, to_cnf, tseitin, Cnf};
 pub use dnf::to_dnf;
 pub use error::{LogicError, ParseError};

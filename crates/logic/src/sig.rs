@@ -18,7 +18,7 @@ use std::collections::HashMap;
 /// assert_eq!(sig.len(), 2);
 /// assert_eq!(sig.name(d), "D");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Sig {
     names: Vec<String>,
     index: HashMap<String, Var>,

@@ -10,7 +10,8 @@ use std::io::{self, Read, Write};
 
 /// Maximum bytes of request line + headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Maximum request body size.
+/// Default maximum request body size; servers can lower or raise it per
+/// instance ([`read_request_limited`], `--max-body-bytes`).
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Consecutive read-timeout polls tolerated mid-request (head or body)
 /// before the request is declared malformed. Workers read with short
@@ -61,11 +62,27 @@ pub enum ReadOutcome {
     /// The bytes on the wire were not a parseable request; the caller
     /// should answer 400 and close.
     Malformed(String),
+    /// The declared `Content-Length` exceeds the body cap. Rejected
+    /// before a single body byte is buffered; the caller should answer
+    /// 413 and close (the unread body makes the connection unusable).
+    TooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The cap it exceeded.
+        cap: usize,
+    },
 }
 
-/// Read one request from `stream`. A read timeout before the first byte
-/// maps to [`ReadOutcome::Idle`]; a timeout mid-request is malformed.
+/// [`read_request_limited`] with the default [`MAX_BODY_BYTES`] cap.
 pub fn read_request(stream: &mut impl Read) -> io::Result<ReadOutcome> {
+    read_request_limited(stream, MAX_BODY_BYTES)
+}
+
+/// Read one request from `stream`, rejecting bodies declared larger
+/// than `max_body` before buffering. A read timeout before the first
+/// byte maps to [`ReadOutcome::Idle`]; a timeout mid-request is
+/// malformed.
+pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> io::Result<ReadOutcome> {
     // Read the head byte-by-byte until CRLFCRLF (or LFLF). The per-byte
     // reads are cheap relative to operator work, and keep the framing
     // logic trivially correct for pipelined keep-alive requests.
@@ -152,8 +169,13 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<ReadOutcome> {
         Some(Err(_)) => {
             return Ok(ReadOutcome::Malformed("bad content-length".to_string()));
         }
-        Some(Ok(len)) if len > MAX_BODY_BYTES => {
-            return Ok(ReadOutcome::Malformed("body too large".to_string()));
+        Some(Ok(len)) if len > max_body => {
+            // Nothing of the body has been read (or allocated): the
+            // rejection costs the head bytes only.
+            return Ok(ReadOutcome::TooLarge {
+                declared: len,
+                cap: max_body,
+            });
         }
         Some(Ok(len)) => {
             body.resize(len, 0);
@@ -219,6 +241,7 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -305,7 +328,31 @@ mod tests {
             "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
-        assert!(matches!(read_str(&head), ReadOutcome::Malformed(_)));
+        match read_str(&head) {
+            ReadOutcome::TooLarge { declared, cap } => {
+                assert_eq!(declared, MAX_BODY_BYTES + 1);
+                assert_eq!(cap, MAX_BODY_BYTES);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_cap_is_configurable() {
+        let req = "POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"psi\":\"A\"}";
+        let mut cursor = Cursor::new(req.as_bytes().to_vec());
+        assert!(matches!(
+            read_request_limited(&mut cursor, 10).unwrap(),
+            ReadOutcome::TooLarge {
+                declared: 11,
+                cap: 10
+            }
+        ));
+        let mut cursor = Cursor::new(req.as_bytes().to_vec());
+        assert!(matches!(
+            read_request_limited(&mut cursor, 11).unwrap(),
+            ReadOutcome::Request(_)
+        ));
     }
 
     #[test]

@@ -7,18 +7,54 @@
 //! absorbing a stream of reports. The store is a read-mostly map of
 //! independently locked entries: concurrent updates to *different* KBs
 //! never contend, updates to the same KB serialize, and the sequence
-//! number makes lost updates detectable to clients.
+//! number makes lost updates detectable (and, with `if_seq`,
+//! preventable) for clients.
+//!
+//! # Durability
+//!
+//! The store has two backends. The default is purely in memory (tests,
+//! benches, `arbx serve` without `--state-dir`). With
+//! [`DurabilityOptions`] every mutation follows the commit protocol:
+//!
+//! 1. compute the new state under the entry's lock,
+//! 2. append it to the write-ahead log and **fsync** ([`crate::wal`]),
+//! 3. only then publish it in memory and acknowledge to the client.
+//!
+//! A crash between 2 and 3 leaves a durable record of a commit nobody
+//! was told about (harmless: replay keeps it); a crash during 2 leaves a
+//! torn tail that recovery truncates (also harmless: nobody was told).
+//! What can never happen is an acknowledged commit that recovery loses.
+//!
+//! The durable backend also maintains a *shadow* copy of the committed
+//! state under the WAL lock — the materialized fold of the log — so
+//! snapshots serialize a provably log-consistent state without touching
+//! the per-entry locks (which a committing request may hold while
+//! waiting on the WAL).
+//!
+//! Lock order: entry lock → WAL/shadow lock → map lock. The map lock is
+//! never held while acquiring an entry lock, so a mutation holding its
+//! entry across a (slow, fsyncing) commit cannot deadlock with lookups,
+//! deletes, or placeholder cleanup.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use arbitrex_core::{Budget, FaultPlan};
 use arbitrex_logic::{Formula, Sig};
+
+use crate::metrics;
+use crate::recovery::{self, RecoverMode, RecoveryError, RecoveryReport};
+use crate::snapshot;
+use crate::wal::{Wal, WalRecord, WAL_FILE};
 
 /// Longest accepted KB name.
 pub const MAX_NAME_LEN: usize = 64;
 
 /// One stored knowledge base.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredKb {
     /// The signature the formula's variables are named in. Grows when new
     /// information mentions fresh variables.
@@ -26,13 +62,80 @@ pub struct StoredKb {
     /// The current theory.
     pub formula: Formula,
     /// Bumped by every committed mutation, starting at 1 on first put.
+    /// `0` never names a committed state: it marks a placeholder entry
+    /// whose creating commit has not reached the log yet (treated as
+    /// absent everywhere).
     pub seq: u64,
 }
 
+/// Why a mutation did not commit.
+#[derive(Debug)]
+pub enum CommitError {
+    /// The caller's `if_seq` did not match the current sequence number.
+    Conflict {
+        /// The sequence number actually current (0 when absent).
+        current: u64,
+    },
+    /// The durable append (or its fsync) failed: the mutation was NOT
+    /// applied and must not be acknowledged.
+    Io(io::Error),
+}
+
+impl From<io::Error> for CommitError {
+    fn from(e: io::Error) -> CommitError {
+        CommitError::Io(e)
+    }
+}
+
+/// Configuration of the durable backend.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// State directory holding `wal.log` and `snapshot.bin`.
+    pub dir: PathBuf,
+    /// Snapshot after this many WAL records (0 disables periodic
+    /// snapshots; one is still written on clean shutdown).
+    pub snapshot_every: u64,
+    /// What to do when recovery meets damage beyond a torn tail.
+    pub recover: RecoverMode,
+    /// Deterministic durability fault injection (testing).
+    pub fault: Option<FaultPlan>,
+}
+
+struct DurableState {
+    wal: Wal,
+    /// The materialized fold of the log: exactly what recovery would
+    /// rebuild. Snapshots serialize this, never the live entries.
+    shadow: HashMap<String, StoredKb>,
+    dir: PathBuf,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    fault: Budget,
+}
+
+enum Durability {
+    Memory,
+    // Boxed: `DurableState` is ~370 bytes and there is one per store,
+    // so keep the in-memory variant from paying for it.
+    Durable(Box<Mutex<DurableState>>),
+}
+
 /// A concurrent map from KB name to independently locked state.
-#[derive(Default)]
 pub struct KbStore {
     map: RwLock<HashMap<String, Arc<Mutex<StoredKb>>>>,
+    /// Committed-KB count, mirrored from the map so `/metrics` scrapes
+    /// never touch the map lock.
+    count: AtomicUsize,
+    durability: Durability,
+}
+
+impl Default for KbStore {
+    fn default() -> KbStore {
+        KbStore {
+            map: RwLock::new(HashMap::new()),
+            count: AtomicUsize::new(0),
+            durability: Durability::Memory,
+        }
+    }
 }
 
 /// Is `name` a well-formed KB name (`[A-Za-z0-9_-]`, nonempty, bounded)?
@@ -45,56 +148,265 @@ pub fn valid_name(name: &str) -> bool {
 }
 
 impl KbStore {
-    /// An empty store.
+    /// An empty in-memory store (nothing survives the process).
     pub fn new() -> KbStore {
         KbStore::default()
     }
 
-    /// The entry for `name`, if present. Callers lock the returned entry
-    /// for the duration of one action; the store lock is already released.
+    /// Open a durable store: recover `opts.dir` (snapshot + WAL replay,
+    /// torn-tail repair), then position the log for appending. The
+    /// returned report says what recovery found.
+    pub fn open_durable(
+        opts: DurabilityOptions,
+    ) -> Result<(KbStore, RecoveryReport), RecoveryError> {
+        let (state, report) = recovery::recover(&opts.dir, opts.recover)?;
+        let fault = match opts.fault {
+            Some(plan) => Budget::unlimited().with_fault(plan),
+            None => Budget::unlimited(),
+        };
+        let wal = Wal::open(&opts.dir.join(WAL_FILE), fault.clone())?;
+        let map = state
+            .iter()
+            .map(|(name, kb)| (name.clone(), Arc::new(Mutex::new(kb.clone()))))
+            .collect::<HashMap<_, _>>();
+        let store = KbStore {
+            count: AtomicUsize::new(map.len()),
+            map: RwLock::new(map),
+            durability: Durability::Durable(Box::new(Mutex::new(DurableState {
+                wal,
+                shadow: state,
+                dir: opts.dir,
+                snapshot_every: opts.snapshot_every,
+                since_snapshot: 0,
+                fault,
+            }))),
+        };
+        Ok((store, report))
+    }
+
+    /// The entry for `name`, if present and committed. Callers lock the
+    /// returned entry for the duration of one action; the store lock is
+    /// already released. An entry whose `seq` is 0 under the lock was
+    /// deleted (or never created) concurrently — treat it as absent.
     pub fn entry(&self, name: &str) -> Option<Arc<Mutex<StoredKb>>> {
         self.map.read().unwrap().get(name).cloned()
     }
 
-    /// Create or replace `name` with a fresh theory. Returns the new
-    /// sequence number (1 for a new KB, previous + 1 for a replacement).
-    pub fn put(&self, name: &str, sig: Sig, formula: Formula) -> u64 {
-        let mut map = self.map.write().unwrap();
-        match map.get(name) {
-            Some(entry) => {
-                let mut kb = entry.lock().unwrap();
-                kb.sig = sig;
-                kb.formula = formula;
-                kb.seq += 1;
-                kb.seq
-            }
-            None => {
-                map.insert(
-                    name.to_string(),
-                    Arc::new(Mutex::new(StoredKb {
-                        sig,
-                        formula,
-                        seq: 1,
-                    })),
-                );
-                1
+    /// Append `rec` to the log (fsync'd) and fold it into the shadow.
+    /// In-memory stores trivially succeed. Returns whether a periodic
+    /// snapshot is now due (callers trigger it *after* releasing their
+    /// entry lock, via [`KbStore::maybe_snapshot`]).
+    fn log(&self, rec: WalRecord) -> io::Result<bool> {
+        match &self.durability {
+            Durability::Memory => Ok(false),
+            Durability::Durable(state) => {
+                let mut s = state.lock().unwrap();
+                s.wal.append(&rec)?;
+                match rec {
+                    WalRecord::Commit { name, kb } => {
+                        s.shadow.insert(name, kb);
+                    }
+                    WalRecord::Delete { name } => {
+                        s.shadow.remove(&name);
+                    }
+                }
+                s.since_snapshot += 1;
+                Ok(s.snapshot_every > 0 && s.since_snapshot >= s.snapshot_every)
             }
         }
     }
 
-    /// Remove `name`; `true` if it existed.
-    pub fn delete(&self, name: &str) -> bool {
-        self.map.write().unwrap().remove(name).is_some()
+    /// Durably commit `next` for `name`. The caller must hold the
+    /// entry's lock (so the state it computed is still current) and must
+    /// only publish `next` in memory after this returns `Ok`.
+    pub fn commit(&self, name: &str, next: &StoredKb) -> io::Result<bool> {
+        self.log(WalRecord::Commit {
+            name: name.to_string(),
+            kb: next.clone(),
+        })
     }
 
-    /// Number of stored KBs.
+    /// Create or replace `name` with a fresh theory, optionally guarded
+    /// by `if_seq`. Returns the new sequence number (1 for a new KB,
+    /// previous + 1 for a replacement) and whether a snapshot is due.
+    pub fn put(
+        &self,
+        name: &str,
+        sig: Sig,
+        formula: Formula,
+        if_seq: Option<u64>,
+    ) -> Result<(u64, bool), CommitError> {
+        loop {
+            let entry = self.entry_or_placeholder(name);
+            let mut kb = entry.lock().unwrap();
+            // A concurrent delete may have detached this entry between
+            // the map lookup and our lock; its seq is 0 then. A fresh
+            // placeholder also has seq 0 but is still in the map.
+            if kb.seq == 0 && !self.is_current(name, &entry) {
+                continue;
+            }
+            if let Some(expected) = if_seq {
+                if expected != kb.seq {
+                    let current = kb.seq;
+                    drop(kb);
+                    self.cleanup_placeholder(name, &entry);
+                    return Err(CommitError::Conflict { current });
+                }
+            }
+            let next = StoredKb {
+                sig,
+                formula,
+                seq: kb.seq + 1,
+            };
+            match self.commit(name, &next) {
+                Ok(snapshot_due) => {
+                    if kb.seq == 0 {
+                        self.count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *kb = next;
+                    return Ok((kb.seq, snapshot_due));
+                }
+                Err(e) => {
+                    drop(kb);
+                    self.cleanup_placeholder(name, &entry);
+                    return Err(CommitError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Remove `name`, optionally guarded by `if_seq`. `Ok(None)` when no
+    /// such KB exists; otherwise the snapshot-due flag.
+    pub fn delete(&self, name: &str, if_seq: Option<u64>) -> Result<Option<bool>, CommitError> {
+        let entry = match self.entry(name) {
+            Some(e) => e,
+            None => return Ok(None),
+        };
+        let mut kb = entry.lock().unwrap();
+        if kb.seq == 0 {
+            // Placeholder or concurrently deleted: not a committed KB.
+            return Ok(None);
+        }
+        if let Some(expected) = if_seq {
+            if expected != kb.seq {
+                return Err(CommitError::Conflict { current: kb.seq });
+            }
+        }
+        let snapshot_due = self.log(WalRecord::Delete {
+            name: name.to_string(),
+        })?;
+        // Tombstone, then detach — all under the entry lock, so no
+        // concurrent mutation can observe the in-between state.
+        kb.seq = 0;
+        let mut map = self.map.write().unwrap();
+        if map.get(name).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
+            map.remove(name);
+        }
+        drop(map);
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        Ok(Some(snapshot_due))
+    }
+
+    /// Get the entry for `name`, inserting a placeholder (seq 0) if
+    /// absent. Placeholders reserve the per-name lock for a creating
+    /// commit; they read as absent until the commit lands.
+    fn entry_or_placeholder(&self, name: &str) -> Arc<Mutex<StoredKb>> {
+        let mut map = self.map.write().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(Mutex::new(StoredKb {
+                    sig: Sig::new(),
+                    formula: Formula::False,
+                    seq: 0,
+                }))
+            })
+            .clone()
+    }
+
+    /// Does the map still point at exactly this entry?
+    fn is_current(&self, name: &str, entry: &Arc<Mutex<StoredKb>>) -> bool {
+        self.map
+            .read()
+            .unwrap()
+            .get(name)
+            .is_some_and(|e| Arc::ptr_eq(e, entry))
+    }
+
+    /// Remove `entry` from the map if it is an uncommitted placeholder
+    /// this caller abandoned (failed or refused creating commit).
+    /// `try_lock` keeps the lock order acyclic (the map lock is never
+    /// held while *waiting* on an entry): if another thread holds the
+    /// entry, it is mid-mutation and owns the cleanup decision — worst
+    /// case a benign placeholder lingers until the next put reuses it.
+    fn cleanup_placeholder(&self, name: &str, entry: &Arc<Mutex<StoredKb>>) {
+        let mut map = self.map.write().unwrap();
+        let abandoned = match map.get(name) {
+            Some(current) if Arc::ptr_eq(current, entry) => {
+                matches!(current.try_lock(), Ok(kb) if kb.seq == 0)
+            }
+            _ => false,
+        };
+        if abandoned {
+            map.remove(name);
+        }
+    }
+
+    /// Number of stored KBs. Lock-free: a relaxed gauge mirrored from
+    /// the map, so `/metrics` scrapes never contend with mutations.
     pub fn len(&self) -> usize {
-        self.map.read().unwrap().len()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Write a snapshot now if one is due (periodic trigger). Called by
+    /// route handlers after releasing entry locks. Errors are counted
+    /// and swallowed upstream: the commits themselves are already
+    /// durable in the WAL, a failed snapshot only delays truncation.
+    pub fn maybe_snapshot(&self) -> io::Result<bool> {
+        match &self.durability {
+            Durability::Memory => Ok(false),
+            Durability::Durable(state) => {
+                let mut s = state.lock().unwrap();
+                if s.snapshot_every == 0 || s.since_snapshot < s.snapshot_every {
+                    return Ok(false);
+                }
+                Self::snapshot_locked(&mut s)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Write a snapshot unconditionally (shutdown drain). A no-op for
+    /// in-memory stores.
+    pub fn snapshot_now(&self) -> io::Result<()> {
+        match &self.durability {
+            Durability::Memory => Ok(()),
+            Durability::Durable(state) => {
+                let mut s = state.lock().unwrap();
+                Self::snapshot_locked(&mut s)
+            }
+        }
+    }
+
+    /// Snapshot protocol, under the WAL/shadow lock: serialize the
+    /// shadow (the fold of the log), make it durable, then truncate the
+    /// log it materializes. Commits are blocked for the duration, which
+    /// is the price of the truncation being provably safe.
+    fn snapshot_locked(s: &mut DurableState) -> io::Result<()> {
+        snapshot::write_snapshot(&s.dir, &s.shadow, &s.fault)?;
+        s.wal.truncate_to_empty()?;
+        s.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Count a failed periodic snapshot and keep serving: the WAL still
+    /// holds everything, truncation is merely postponed.
+    pub fn note_snapshot_error(&self) {
+        metrics::WAL_SNAPSHOT_ERRORS.incr();
     }
 }
 
@@ -110,19 +422,19 @@ mod tests {
 
         let mut sig = Sig::new();
         let f = parse(&mut sig, "A & B").unwrap();
-        assert_eq!(store.put("fleet", sig.clone(), f), 1);
+        assert_eq!(store.put("fleet", sig.clone(), f, None).unwrap().0, 1);
         assert_eq!(store.len(), 1);
 
         let entry = store.entry("fleet").unwrap();
         assert_eq!(entry.lock().unwrap().seq, 1);
 
         let f2 = parse(&mut sig, "A | B").unwrap();
-        assert_eq!(store.put("fleet", sig, f2), 2);
+        assert_eq!(store.put("fleet", sig, f2, None).unwrap().0, 2);
         // The handle observes the replacement: entries are shared state.
         assert_eq!(entry.lock().unwrap().seq, 2);
 
-        assert!(store.delete("fleet"));
-        assert!(!store.delete("fleet"));
+        assert!(store.delete("fleet", None).unwrap().is_some());
+        assert!(store.delete("fleet", None).unwrap().is_none());
         assert!(store.is_empty());
     }
 
@@ -131,7 +443,7 @@ mod tests {
         let store = KbStore::new();
         let mut sig = Sig::new();
         let f = parse(&mut sig, "A").unwrap();
-        store.put("k", sig.clone(), f);
+        store.put("k", sig.clone(), f, None).unwrap();
         {
             let entry = store.entry("k").unwrap();
             let mut kb = entry.lock().unwrap();
@@ -142,6 +454,60 @@ mod tests {
         let kb = entry.lock().unwrap();
         assert_eq!(kb.seq, 2);
         assert!(kb.sig.get("C").is_some());
+    }
+
+    #[test]
+    fn if_seq_guards_put_and_delete() {
+        let store = KbStore::new();
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A").unwrap();
+
+        // Creating with if_seq 0 means "only if absent".
+        assert_eq!(
+            store.put("k", sig.clone(), f.clone(), Some(0)).unwrap().0,
+            1
+        );
+        match store.put("k", sig.clone(), f.clone(), Some(0)) {
+            Err(CommitError::Conflict { current }) => assert_eq!(current, 1),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        // A failed guarded create of a *new* name leaves no placeholder.
+        match store.put("other", sig.clone(), f.clone(), Some(7)) {
+            Err(CommitError::Conflict { current }) => assert_eq!(current, 0),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert!(store.entry("other").is_none());
+
+        // Matching guard commits; stale guard then conflicts with the
+        // new current seq.
+        assert_eq!(
+            store.put("k", sig.clone(), f.clone(), Some(1)).unwrap().0,
+            2
+        );
+        match store.delete("k", Some(1)) {
+            Err(CommitError::Conflict { current }) => assert_eq!(current, 2),
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        assert!(store.delete("k", Some(2)).unwrap().is_some());
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn len_is_lock_free_and_tracks_mutations() {
+        let store = KbStore::new();
+        let mut sig = Sig::new();
+        let f = parse(&mut sig, "A").unwrap();
+        for i in 0..10 {
+            store
+                .put(&format!("kb-{i}"), sig.clone(), f.clone(), None)
+                .unwrap();
+        }
+        assert_eq!(store.len(), 10);
+        // Replacement does not change the count.
+        store.put("kb-3", sig.clone(), f.clone(), None).unwrap();
+        assert_eq!(store.len(), 10);
+        store.delete("kb-3", None).unwrap();
+        assert_eq!(store.len(), 9);
     }
 
     #[test]

@@ -55,15 +55,21 @@ pub mod http;
 pub mod json;
 pub mod kb;
 pub mod metrics;
+pub mod recovery;
 pub mod routes;
 pub mod server;
+pub mod snapshot;
+pub mod wal;
 
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::thread::JoinHandle;
 
 use arbitrex_core::cache::OpCache;
-use kb::KbStore;
+use arbitrex_core::FaultPlan;
+use kb::{DurabilityOptions, KbStore};
+use recovery::{RecoverMode, RecoveryReport};
 
 pub use server::{install_signal_shutdown, Server, ShutdownHandle};
 
@@ -81,6 +87,20 @@ pub struct ServerConfig {
     /// Default per-request deadline in milliseconds; 0 means none. A
     /// request's own `timeout_ms` field overrides this.
     pub timeout_ms: u64,
+    /// Largest accepted request body; larger `Content-Length`s are
+    /// refused with 413 before buffering.
+    pub max_body_bytes: usize,
+    /// State directory for the durable KB store (`wal.log` +
+    /// `snapshot.bin`). `None` (the default) keeps KBs in memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Snapshot after this many WAL records (0 disables periodic
+    /// snapshots; one is still written on clean shutdown).
+    pub snapshot_every: u64,
+    /// What recovery does on damage beyond a torn tail.
+    pub recover: RecoverMode,
+    /// Deterministic durability fault injection (testing): arm the
+    /// `wal_write`/`wal_fsync`/`snapshot_rename` sites.
+    pub durability_fault: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +111,11 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_entries: 1024,
             timeout_ms: 0,
+            max_body_bytes: http::MAX_BODY_BYTES,
+            state_dir: None,
+            snapshot_every: 256,
+            recover: RecoverMode::Strict,
+            durability_fault: None,
         }
     }
 }
@@ -104,17 +129,35 @@ pub struct ServiceState {
     pub cache: OpCache,
     /// Named knowledge bases.
     pub kbs: KbStore,
+    /// What recovery found, when the store is durable.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl ServiceState {
-    /// Build state for `config`.
-    pub fn new(config: ServerConfig) -> ServiceState {
+    /// Build state for `config`, recovering the state directory if one
+    /// is configured. Recovery refusals (mid-log corruption in strict
+    /// mode) surface here as errors — the server does not start.
+    pub fn new(config: ServerConfig) -> io::Result<ServiceState> {
         let cache = OpCache::new(config.cache_entries);
-        ServiceState {
+        let (kbs, recovery) = match &config.state_dir {
+            None => (KbStore::new(), None),
+            Some(dir) => {
+                let (store, report) = KbStore::open_durable(DurabilityOptions {
+                    dir: dir.clone(),
+                    snapshot_every: config.snapshot_every,
+                    recover: config.recover,
+                    fault: config.durability_fault,
+                })
+                .map_err(|e| io::Error::other(e.to_string()))?;
+                (store, Some(report))
+            }
+        };
+        Ok(ServiceState {
             config,
             cache,
-            kbs: KbStore::new(),
-        }
+            kbs,
+            recovery,
+        })
     }
 }
 
@@ -123,6 +166,7 @@ impl ServiceState {
 pub struct RunningServer {
     /// The bound address (with port 0 resolved).
     pub addr: SocketAddr,
+    state: std::sync::Arc<ServiceState>,
     shutdown: ShutdownHandle,
     join: JoinHandle<io::Result<()>>,
 }
@@ -131,6 +175,11 @@ impl RunningServer {
     /// A handle that stops this server.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         self.shutdown.clone()
+    }
+
+    /// The shared service state (cache, KB store, recovery report).
+    pub fn state(&self) -> std::sync::Arc<ServiceState> {
+        std::sync::Arc::clone(&self.state)
     }
 
     /// Request shutdown and wait for the drain to finish.
@@ -147,12 +196,14 @@ impl RunningServer {
 pub fn spawn(config: ServerConfig) -> io::Result<RunningServer> {
     let server = Server::bind(config)?;
     let addr = server.local_addr()?;
+    let state = server.state();
     let shutdown = server.shutdown_handle();
     let join = std::thread::Builder::new()
         .name("arbitrex-acceptor".to_string())
         .spawn(move || server.run())?;
     Ok(RunningServer {
         addr,
+        state,
         shutdown,
         join,
     })

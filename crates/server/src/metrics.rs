@@ -41,6 +41,45 @@ pub static SERVER_SECTION: Section = Section {
     timers: &[],
 };
 
+/// WAL records appended (each one a durable, acknowledged KB mutation).
+pub static WAL_RECORDS_APPENDED: Counter = Counter::new("records_appended");
+/// Framed bytes appended to the WAL.
+pub static WAL_BYTES_APPENDED: Counter = Counter::new("bytes_appended");
+/// WAL fsyncs issued (one per acknowledged commit).
+pub static WAL_FSYNCS: Counter = Counter::new("fsyncs");
+/// Snapshots made durable (temp write + fsync + rename + dir fsync).
+pub static WAL_SNAPSHOTS_WRITTEN: Counter = Counter::new("snapshots_written");
+/// Periodic snapshots that failed (commits stay safe in the WAL;
+/// truncation is postponed).
+pub static WAL_SNAPSHOT_ERRORS: Counter = Counter::new("snapshot_errors");
+/// Startup recoveries performed (one per durable open).
+pub static WAL_REPLAYS: Counter = Counter::new("replays");
+/// WAL records replayed during recovery.
+pub static WAL_RECORDS_REPLAYED: Counter = Counter::new("records_replayed");
+/// Torn final records truncated away during recovery (unacknowledged by
+/// construction, so nothing durable was lost).
+pub static WAL_TORN_TAIL_TRUNCATIONS: Counter = Counter::new("torn_tail_truncations");
+/// Damaged regions dropped by `--recover=salvage` (corrupt mid-log
+/// spans or a corrupt snapshot).
+pub static WAL_SALVAGE_DROPS: Counter = Counter::new("salvage_drops");
+
+/// The `"wal"` section: durability counters.
+pub static WAL_SECTION: Section = Section {
+    name: "wal",
+    counters: &[
+        &WAL_RECORDS_APPENDED,
+        &WAL_BYTES_APPENDED,
+        &WAL_FSYNCS,
+        &WAL_SNAPSHOTS_WRITTEN,
+        &WAL_SNAPSHOT_ERRORS,
+        &WAL_REPLAYS,
+        &WAL_RECORDS_REPLAYED,
+        &WAL_TORN_TAIL_TRUNCATIONS,
+        &WAL_SALVAGE_DROPS,
+    ],
+    timers: &[],
+};
+
 /// Wall-clock handling latency of `/v1/arbitrate` requests.
 pub static LATENCY_ARBITRATE: Histogram = Histogram::new("arbitrate");
 /// Wall-clock handling latency of `/v1/fit` requests.
@@ -51,15 +90,19 @@ pub static LATENCY_WARBITRATE: Histogram = Histogram::new("warbitrate");
 pub static LATENCY_KB: Histogram = Histogram::new("kb");
 /// Wall-clock handling latency of `/metrics` requests.
 pub static LATENCY_METRICS: Histogram = Histogram::new("metrics");
+/// Latency of each WAL fsync — the per-commit durability price, and the
+/// first place storage trouble shows up.
+pub static LATENCY_WAL_FSYNC: Histogram = Histogram::new("wal_fsync");
 
-/// Every per-endpoint histogram, in protocol-table order.
-pub fn histograms() -> [&'static Histogram; 5] {
+/// Every histogram, in protocol-table order (endpoints, then fsync).
+pub fn histograms() -> [&'static Histogram; 6] {
     [
         &LATENCY_ARBITRATE,
         &LATENCY_FIT,
         &LATENCY_WARBITRATE,
         &LATENCY_KB,
         &LATENCY_METRICS,
+        &LATENCY_WAL_FSYNC,
     ]
 }
 
@@ -78,6 +121,7 @@ pub fn record_response(status: u16) {
 pub fn metrics_json() -> String {
     let mut sections: Vec<&'static Section> = arbitrex_core::telemetry::sections().to_vec();
     sections.push(&SERVER_SECTION);
+    sections.push(&WAL_SECTION);
     let snapshot = arbitrex_telemetry::snapshot_of(&sections);
     let mut out = String::with_capacity(2048);
     out.push_str("{\"telemetry\": ");
@@ -99,6 +143,7 @@ pub fn metrics_json() -> String {
 /// Reset the server counters and histograms (test isolation).
 pub fn reset() {
     SERVER_SECTION.reset();
+    WAL_SECTION.reset();
     for h in histograms() {
         h.reset();
     }
@@ -111,13 +156,22 @@ mod tests {
     #[test]
     fn metrics_json_contains_every_section_and_histogram() {
         let text = metrics_json();
-        for section in ["kernel", "weighted", "budget", "cache", "sat", "server"] {
+        for section in [
+            "kernel", "weighted", "budget", "cache", "sat", "server", "wal",
+        ] {
             assert!(
                 text.contains(&format!("\"{section}\"")),
                 "missing {section}"
             );
         }
-        for h in ["arbitrate", "fit", "warbitrate", "kb", "metrics"] {
+        for h in [
+            "arbitrate",
+            "fit",
+            "warbitrate",
+            "kb",
+            "metrics",
+            "wal_fsync",
+        ] {
             assert!(text.contains(&format!("\"{h}\"")), "missing histogram {h}");
         }
         assert!(text.contains("\"accepted\""));

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
-use crate::kb::{self, StoredKb};
+use crate::kb::{self, CommitError, StoredKb};
 use crate::metrics;
 use crate::ServiceState;
 
@@ -348,7 +348,7 @@ fn handle_kb(state: &ServiceState, req: &Request, name: &str) -> Response {
     }
     match req.method.as_str() {
         "GET" => kb_get(state, name),
-        "DELETE" => kb_delete(state, name),
+        "DELETE" => kb_delete(state, name, None),
         "POST" => {
             let body = match body_json(req) {
                 Ok(b) => b,
@@ -372,41 +372,88 @@ fn kb_view(name: &str, kb: &StoredKb) -> Json {
     ])
 }
 
-fn kb_get(state: &ServiceState, name: &str) -> Response {
-    match state.kbs.entry(name) {
-        Some(entry) => {
-            let kb = entry.lock().unwrap();
-            ok(kb_view(name, &kb))
-        }
-        None => error_response(404, format!("no KB named `{name}`")),
+/// The typed optimistic-concurrency failure: 409 carrying both the
+/// sequence number actually current and the one the caller guarded on,
+/// so the client can re-read and retry.
+fn conflict_response(current: u64, wanted: u64) -> Response {
+    let body = obj([
+        (
+            "error",
+            json::s(format!(
+                "if_seq {wanted} does not match current seq {current}"
+            )),
+        ),
+        ("code", json::n(409)),
+        ("seq", json::n(current)),
+        ("if_seq", json::n(wanted)),
+    ]);
+    Response::json(409, body.to_text())
+}
+
+fn commit_error_response(e: CommitError, wanted: Option<u64>) -> Response {
+    match e {
+        CommitError::Conflict { current } => conflict_response(current, wanted.unwrap_or(0)),
+        CommitError::Io(err) => error_response(
+            500,
+            format!("durable commit failed: {err}; the KB is unchanged"),
+        ),
     }
 }
 
-fn kb_delete(state: &ServiceState, name: &str) -> Response {
-    if state.kbs.delete(name) {
-        ok(obj([
-            ("name", json::s(name)),
-            ("deleted", Json::Bool(true)),
-        ]))
-    } else {
-        error_response(404, format!("no KB named `{name}`"))
+/// Run a due periodic snapshot. Called only after every entry lock is
+/// released; a failure is counted and absorbed — the commits it would
+/// have folded stay safe in the WAL.
+fn run_due_snapshot(state: &ServiceState, due: bool) {
+    if due && state.kbs.maybe_snapshot().is_err() {
+        state.kbs.note_snapshot_error();
+    }
+}
+
+fn kb_get(state: &ServiceState, name: &str) -> Response {
+    if let Some(entry) = state.kbs.entry(name) {
+        let kb = entry.lock().unwrap();
+        // seq 0 is an uncommitted placeholder: not a KB yet.
+        if kb.seq > 0 {
+            return ok(kb_view(name, &kb));
+        }
+    }
+    error_response(404, format!("no KB named `{name}`"))
+}
+
+fn kb_delete(state: &ServiceState, name: &str, if_seq: Option<u64>) -> Response {
+    match state.kbs.delete(name, if_seq) {
+        Ok(Some(snapshot_due)) => {
+            run_due_snapshot(state, snapshot_due);
+            ok(obj([
+                ("name", json::s(name)),
+                ("deleted", Json::Bool(true)),
+            ]))
+        }
+        Ok(None) => error_response(404, format!("no KB named `{name}`")),
+        Err(e) => commit_error_response(e, if_seq),
     }
 }
 
 fn kb_post(state: &ServiceState, name: &str, body: &Json) -> Result<Response, Response> {
     let action = field_str(body, "action")?;
+    let if_seq = field_u64(body, "if_seq")?;
     match action {
         "put" => {
             let mut sig = Sig::new();
             let formula = parse_side(&mut sig, body, "formula")?;
             check_width(sig.width())?;
-            let seq = state.kbs.put(name, sig.clone(), formula.clone());
-            let kb = StoredKb { sig, formula, seq };
-            Ok(ok(kb_view(name, &kb)))
+            match state.kbs.put(name, sig.clone(), formula.clone(), if_seq) {
+                Ok((seq, snapshot_due)) => {
+                    run_due_snapshot(state, snapshot_due);
+                    let kb = StoredKb { sig, formula, seq };
+                    Ok(ok(kb_view(name, &kb)))
+                }
+                Err(e) => Err(commit_error_response(e, if_seq)),
+            }
         }
-        "delete" => Ok(kb_delete(state, name)),
-        "arbitrate" | "fit" => kb_change(state, name, body, action),
-        "iterate" => kb_iterate(state, name, body),
+        "delete" => Ok(kb_delete(state, name, if_seq)),
+        "arbitrate" | "fit" => kb_change(state, name, body, action, if_seq),
+        "iterate" => kb_iterate(state, name, body, if_seq),
         other => Err(error_response(
             400,
             format!("unknown action `{other}`; expected put, arbitrate, fit, iterate, delete"),
@@ -423,6 +470,7 @@ fn kb_change(
     name: &str,
     body: &Json,
     action: &str,
+    if_seq: Option<u64>,
 ) -> Result<Response, Response> {
     let budget = budget_and_hold(body, state)?;
     let entry = state
@@ -430,6 +478,14 @@ fn kb_change(
         .entry(name)
         .ok_or_else(|| error_response(404, format!("no KB named `{name}`")))?;
     let mut kb = entry.lock().unwrap();
+    if kb.seq == 0 {
+        return Err(error_response(404, format!("no KB named `{name}`")));
+    }
+    if let Some(wanted) = if_seq {
+        if wanted != kb.seq {
+            return Err(conflict_response(kb.seq, wanted));
+        }
+    }
 
     let mut sig = kb.sig.clone();
     let mu = parse_side(&mut sig, body, "formula")?;
@@ -454,11 +510,24 @@ fn kb_change(
 
     note_quality(outcome.quality);
     let committed = outcome.quality == Quality::Exact;
+    let mut snapshot_due = false;
     if committed {
-        kb.sig = sig.clone();
-        kb.formula = outcome.models.to_formula();
-        kb.seq += 1;
+        let next = StoredKb {
+            sig: sig.clone(),
+            formula: outcome.models.to_formula(),
+            seq: kb.seq + 1,
+        };
+        // WAL append + fsync first; the in-memory state only advances
+        // once the record is durable, so an acked seq always survives.
+        snapshot_due = state
+            .kbs
+            .commit(name, &next)
+            .map_err(|e| commit_error_response(CommitError::Io(e), if_seq))?;
+        *kb = next;
     }
+    let seq_now = kb.seq;
+    drop(kb);
+    run_due_snapshot(state, snapshot_due);
     let (models, truncated) = models_json(&sig, &outcome.models);
     Ok(ok(obj([
         ("endpoint", json::s("kb")),
@@ -467,7 +536,7 @@ fn kb_change(
         ("quality", json::s(outcome.quality.name())),
         ("cache", json::s(cache.name())),
         ("committed", Json::Bool(committed)),
-        ("seq", json::n(kb.seq)),
+        ("seq", json::n(seq_now)),
         ("n_vars", json::n(n as u64)),
         ("n_models", json::n(outcome.models.len() as u64)),
         ("models", models),
@@ -482,12 +551,25 @@ fn kb_change(
 
 /// Iterate `ψ ← op(ψ, μ)` to a fixpoint or cycle via `core::iterated`,
 /// committing the final state.
-fn kb_iterate(state: &ServiceState, name: &str, body: &Json) -> Result<Response, Response> {
+fn kb_iterate(
+    state: &ServiceState,
+    name: &str,
+    body: &Json,
+    if_seq: Option<u64>,
+) -> Result<Response, Response> {
     let entry = state
         .kbs
         .entry(name)
         .ok_or_else(|| error_response(404, format!("no KB named `{name}`")))?;
     let mut kb = entry.lock().unwrap();
+    if kb.seq == 0 {
+        return Err(error_response(404, format!("no KB named `{name}`")));
+    }
+    if let Some(wanted) = if_seq {
+        if wanted != kb.seq {
+            return Err(conflict_response(kb.seq, wanted));
+        }
+    }
 
     let mut sig = kb.sig.clone();
     let mu = parse_side(&mut sig, body, "formula")?;
@@ -510,9 +592,19 @@ fn kb_iterate(state: &ServiceState, name: &str, body: &Json) -> Result<Response,
     let run = iterate_fixed_input(op.as_ref(), &psi_m, &mu_m, max_steps);
     let final_models = run.trajectory.last().cloned().unwrap_or(psi_m);
 
-    kb.sig = sig.clone();
-    kb.formula = final_models.to_formula();
-    kb.seq += 1;
+    let next = StoredKb {
+        sig: sig.clone(),
+        formula: final_models.to_formula(),
+        seq: kb.seq + 1,
+    };
+    let snapshot_due = state
+        .kbs
+        .commit(name, &next)
+        .map_err(|e| commit_error_response(CommitError::Io(e), if_seq))?;
+    *kb = next;
+    let seq_now = kb.seq;
+    drop(kb);
+    run_due_snapshot(state, snapshot_due);
 
     Ok(ok(obj([
         ("endpoint", json::s("kb")),
@@ -527,7 +619,7 @@ fn kb_iterate(state: &ServiceState, name: &str, body: &Json) -> Result<Response,
                 .unwrap_or(Json::Null),
         ),
         ("fixpoint", Json::Bool(run.is_fixpoint())),
-        ("seq", json::n(kb.seq)),
+        ("seq", json::n(seq_now)),
         ("n_models", json::n(final_models.len() as u64)),
         (
             "formula",

@@ -127,13 +127,17 @@ pub struct Server {
 
 impl Server {
     /// Bind `config.addr` (port 0 picks a free port) and build the shared
-    /// state: the canonicalizing result cache and the KB store.
+    /// state: the canonicalizing result cache and the KB store — running
+    /// crash recovery first when a state directory is configured. A
+    /// recovery refusal (mid-log corruption in strict mode) fails the
+    /// bind: the server never serves a state it cannot prove complete.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
+        let state = ServiceState::new(config)?;
+        let listener = TcpListener::bind(&state.config.addr)?;
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
-            state: Arc::new(ServiceState::new(config)),
+            state: Arc::new(state),
             shutdown: ShutdownHandle {
                 flag: Arc::new(AtomicBool::new(false)),
             },
@@ -215,6 +219,12 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        // Drain complete: no worker can commit anymore. Fold the WAL
+        // into a final snapshot so the next startup replays nothing.
+        // Best-effort — every commit is already durable in the log.
+        if self.state.kbs.snapshot_now().is_err() {
+            self.state.kbs.note_snapshot_error();
+        }
         Ok(())
     }
 }
@@ -225,7 +235,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServiceState, shutdown: &Shu
     let _ = stream.set_nodelay(true);
     let mut idle_polls = 0u32;
     loop {
-        match http::read_request(&mut stream) {
+        match http::read_request_limited(&mut stream, state.config.max_body_bytes) {
             Ok(ReadOutcome::Idle) => {
                 idle_polls += 1;
                 if shutdown.is_set() || idle_polls > MAX_IDLE_POLLS {
@@ -237,6 +247,17 @@ fn handle_connection(mut stream: TcpStream, state: &ServiceState, shutdown: &Shu
                 metrics::REQUESTS.incr();
                 let resp = routes::error_response(400, message);
                 metrics::record_response(resp.status);
+                let _ = http::write_response(&mut stream, &resp, true);
+                return;
+            }
+            Ok(ReadOutcome::TooLarge { declared, cap }) => {
+                metrics::REQUESTS.incr();
+                let resp = routes::error_response(
+                    413,
+                    format!("body of {declared} bytes exceeds the {cap}-byte cap"),
+                );
+                metrics::record_response(resp.status);
+                // The unread body makes the connection unusable: close.
                 let _ = http::write_response(&mut stream, &resp, true);
                 return;
             }

@@ -1,0 +1,568 @@
+//! The write-ahead log: the durable record of every KB commit.
+//!
+//! One append-only file per state directory (`wal.log`), holding an
+//! 8-byte magic followed by length-prefixed records:
+//!
+//! ```text
+//! ┌───────────┬───────────┬──────────────────────────────┐
+//! │ len: u32  │ crc: u32  │ payload (len bytes)          │
+//! │ LE        │ LE, IEEE  │                              │
+//! └───────────┴───────────┴──────────────────────────────┘
+//! ```
+//!
+//! The CRC32 covers the payload, which serializes `{name, seq, sig,
+//! formula}` — the formula in the canonical prefix byte encoding from
+//! `arbitrex_logic::canonical` ([`arbitrex_logic::encode_formula`]), so a
+//! replayed theory is byte-identical to the acknowledged one. Every
+//! append is fsync'd before the commit is acknowledged to the client;
+//! [`crate::recovery`] replays the log on startup and decides, from the
+//! position and shape of the first bad frame, whether the log has a torn
+//! tail (safe to truncate) or mid-log corruption (refuse unless
+//! salvaging).
+//!
+//! Fault injection: a [`Budget`] armed with a `wal_write` or `wal_fsync`
+//! [`arbitrex_core::FaultPlan`] makes the k-th append write a genuinely
+//! torn frame prefix (then fail), or skip the k-th fsync (then fail), so
+//! the recovery matrix in `tests/durability.rs` exercises real on-disk
+//! torn states deterministically.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use arbitrex_core::{Budget, BudgetSite};
+use arbitrex_logic::{decode_formula, encode_formula, Sig};
+
+use crate::kb::StoredKb;
+use crate::metrics;
+
+/// File name of the write-ahead log inside a state directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Magic bytes opening every WAL file (format version 1).
+pub const WAL_MAGIC: &[u8; 8] = b"ARBXWAL1";
+/// Hard cap on one record's payload; a declared length beyond this is
+/// corruption, not a large record (formulas are bounded far below it).
+pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
+
+/// One logged mutation. `Commit` carries the full post-state of the KB —
+/// records are self-contained, never deltas — so replay is a plain fold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed put/arbitrate/fit/iterate: the KB's complete new state.
+    Commit {
+        /// KB name.
+        name: String,
+        /// The committed state (sig, formula, seq).
+        kb: StoredKb,
+    },
+    /// A committed delete.
+    Delete {
+        /// KB name.
+        name: String,
+    },
+}
+
+impl WalRecord {
+    /// The KB name this record is about.
+    pub fn name(&self) -> &str {
+        match self {
+            WalRecord::Commit { name, .. } | WalRecord::Delete { name } => name,
+        }
+    }
+}
+
+// --- CRC32 (IEEE 802.3, reflected) ------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE, as in zlib/Ethernet) over a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- record payload codec ----------------------------------------------------
+
+const TAG_COMMIT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    // invariant: names are validated to MAX_NAME_LEN ≪ u16::MAX before
+    // they reach the log, and sig names are parser identifiers.
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serialize one record's payload (the CRC-covered bytes).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match rec {
+        WalRecord::Commit { name, kb } => {
+            out.push(TAG_COMMIT);
+            push_str(&mut out, name);
+            out.extend_from_slice(&kb.seq.to_le_bytes());
+            out.extend_from_slice(&kb.sig.width().to_le_bytes());
+            for (_, var_name) in kb.sig.iter() {
+                push_str(&mut out, var_name);
+            }
+            let formula = encode_formula(&kb.formula);
+            out.extend_from_slice(&(formula.len() as u32).to_le_bytes());
+            out.extend_from_slice(&formula);
+        }
+        WalRecord::Delete { name } => {
+            out.push(TAG_DELETE);
+            push_str(&mut out, name);
+        }
+    }
+    out
+}
+
+/// Frame a payload for the log: `len || crc32(payload) || payload`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("record payload truncated")?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<&'a str, String> {
+        let len = self.u16()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| "non-UTF-8 string".to_string())
+    }
+}
+
+/// Decode one record payload (CRC already verified by the caller).
+pub fn decode_record(payload: &[u8]) -> Result<WalRecord, String> {
+    let mut r = PayloadReader {
+        bytes: payload,
+        pos: 0,
+    };
+    let tag = r.u8()?;
+    let name = r.str()?.to_string();
+    let rec = match tag {
+        TAG_COMMIT => {
+            let seq = r.u64()?;
+            if seq == 0 {
+                return Err("commit record with seq 0".to_string());
+            }
+            let n_vars = r.u32()?;
+            if n_vars as usize > arbitrex_logic::MAX_VARS {
+                return Err(format!("signature of {n_vars} variables out of range"));
+            }
+            let mut sig = Sig::new();
+            for _ in 0..n_vars {
+                sig.var(r.str()?);
+            }
+            if sig.width() != n_vars {
+                return Err("duplicate signature names".to_string());
+            }
+            let formula_len = r.u32()? as usize;
+            let formula =
+                decode_formula(r.take(formula_len)?).map_err(|e| format!("bad formula: {e}"))?;
+            if let Some(v) = formula.max_var() {
+                if v.0 >= n_vars {
+                    return Err("formula mentions a variable outside its signature".to_string());
+                }
+            }
+            WalRecord::Commit {
+                name,
+                kb: StoredKb { sig, formula, seq },
+            }
+        }
+        TAG_DELETE => WalRecord::Delete { name },
+        other => return Err(format!("unknown record tag {other}")),
+    };
+    if r.pos != payload.len() {
+        return Err("trailing bytes in record payload".to_string());
+    }
+    Ok(rec)
+}
+
+// --- scanning (replay) -------------------------------------------------------
+
+/// How a scan of the log ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScanTail {
+    /// Every frame parsed and verified; the log is clean.
+    Clean,
+    /// The final frame is incomplete or fails its CRC with nothing after
+    /// it — the signature of a write torn by a crash. Recovery truncates
+    /// the file at `offset` and proceeds.
+    Torn {
+        /// Byte offset of the first bad frame (= new file length).
+        offset: u64,
+    },
+    /// A frame fails its CRC (or decodes to garbage) with more log after
+    /// it — not a torn tail but damage inside the committed history.
+    /// Recovery refuses to start unless salvaging.
+    Corrupt {
+        /// Byte offset of the first bad frame.
+        offset: u64,
+        /// What was wrong with it.
+        what: String,
+    },
+}
+
+/// The result of scanning a WAL file: the verified records in append
+/// order, how the scan ended, and the file's byte length.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Verified, decoded records in append order.
+    pub records: Vec<WalRecord>,
+    /// How the scan ended.
+    pub tail: ScanTail,
+    /// Total bytes in the file as scanned.
+    pub file_len: u64,
+}
+
+/// Scan `path`, verifying every frame. Returns `None` if the file does
+/// not exist. Never fails on corrupt *content* — that is reported in the
+/// [`ScanTail`] — only on I/O errors reading the file.
+pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
+    let mut file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let file_len = bytes.len() as u64;
+
+    // The magic itself can be torn by a crash between create and the
+    // first durable write; a *wrong* magic is a different format — corrupt.
+    if bytes.len() < WAL_MAGIC.len() {
+        let tail = if WAL_MAGIC.starts_with(&bytes[..]) {
+            ScanTail::Torn { offset: 0 }
+        } else {
+            ScanTail::Corrupt {
+                offset: 0,
+                what: "bad magic".to_string(),
+            }
+        };
+        return Ok(Some(WalScan {
+            records: Vec::new(),
+            tail,
+            file_len,
+        }));
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Ok(Some(WalScan {
+            records: Vec::new(),
+            tail: ScanTail::Corrupt {
+                offset: 0,
+                what: "bad magic".to_string(),
+            },
+            file_len,
+        }));
+    }
+
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        let remaining = bytes.len() - pos;
+        if remaining == 0 {
+            return Ok(Some(WalScan {
+                records,
+                tail: ScanTail::Clean,
+                file_len,
+            }));
+        }
+        let offset = pos as u64;
+        if remaining < 8 {
+            // Not even a full header: can only be a torn final write.
+            return Ok(Some(WalScan {
+                records,
+                tail: ScanTail::Torn { offset },
+                file_len,
+            }));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            // An absurd length that still "fits" is corruption; one that
+            // runs past EOF is indistinguishable from a torn header.
+            let tail = if (len as u64) > (remaining as u64 - 8) {
+                ScanTail::Torn { offset }
+            } else {
+                ScanTail::Corrupt {
+                    offset,
+                    what: format!("record length {len} exceeds the {MAX_RECORD_BYTES} cap"),
+                }
+            };
+            return Ok(Some(WalScan {
+                records,
+                tail,
+                file_len,
+            }));
+        }
+        let len = len as usize;
+        if remaining - 8 < len {
+            // Frame extends past EOF: torn final write.
+            return Ok(Some(WalScan {
+                records,
+                tail: ScanTail::Torn { offset },
+                file_len,
+            }));
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len];
+        let at_tail = pos + 8 + len == bytes.len();
+        if crc32(payload) != crc {
+            // A bad CRC on the *final* frame is a torn write (the crash
+            // landed mid-payload); anywhere else it is mid-log damage.
+            let tail = if at_tail {
+                ScanTail::Torn { offset }
+            } else {
+                ScanTail::Corrupt {
+                    offset,
+                    what: "CRC mismatch".to_string(),
+                }
+            };
+            return Ok(Some(WalScan {
+                records,
+                tail,
+                file_len,
+            }));
+        }
+        match decode_record(payload) {
+            Ok(rec) => records.push(rec),
+            Err(what) => {
+                // CRC passed but the payload is semantically invalid:
+                // that is never a torn write — refuse (or salvage).
+                return Ok(Some(WalScan {
+                    records,
+                    tail: ScanTail::Corrupt { offset, what },
+                    file_len,
+                }));
+            }
+        }
+        pos += 8 + len;
+    }
+}
+
+// --- the appender ------------------------------------------------------------
+
+/// An open, append-positioned write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    fault: Budget,
+}
+
+impl Wal {
+    /// Open (creating if absent) the log at `path` for appending. A fresh
+    /// file gets the magic written and fsync'd immediately, so an empty
+    /// log is distinguishable from a missing one. Recovery must have run
+    /// first: this seeks to the end of whatever the file holds.
+    pub fn open(path: &Path, fault: Budget) -> io::Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            file.write_all(WAL_MAGIC)?;
+            file.sync_data()?;
+        } else {
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            fault,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and fsync it. On success the record is durable:
+    /// this is the commit point the route handlers acknowledge after.
+    ///
+    /// With a fault plan armed, the k-th `wal_write` writes a torn frame
+    /// prefix to disk (flushed, so it is really there for recovery to
+    /// find) and fails; the k-th `wal_fsync` skips the sync and fails.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        let framed = frame(&encode_record(rec));
+        if self.fault.charge(BudgetSite::WalWrite, 1).is_err() {
+            // Injected torn write: half the frame (always a strict,
+            // nonempty prefix) lands on disk, exactly like a crash
+            // mid-`write`.
+            let torn = (framed.len() / 2).max(1);
+            self.file.write_all(&framed[..torn])?;
+            self.file.sync_data()?;
+            return Err(io::Error::other("injected fault: torn WAL write"));
+        }
+        self.file.write_all(&framed)?;
+        metrics::WAL_RECORDS_APPENDED.incr();
+        metrics::WAL_BYTES_APPENDED.add(framed.len() as u64);
+        if self.fault.charge(BudgetSite::WalFsync, 1).is_err() {
+            return Err(io::Error::other("injected fault: WAL fsync failed"));
+        }
+        let start = Instant::now();
+        self.file.sync_data()?;
+        metrics::WAL_FSYNCS.incr();
+        metrics::LATENCY_WAL_FSYNC
+            .record_nanos(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        Ok(())
+    }
+
+    /// Drop every record: truncate back to the magic and fsync. Called
+    /// after a snapshot has been made durable — the snapshot now carries
+    /// the state the records encoded.
+    pub fn truncate_to_empty(&mut self) -> io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arbitrex_logic::parse;
+
+    fn sample_commit(name: &str, text: &str, seq: u64) -> WalRecord {
+        let mut sig = Sig::new();
+        let formula = parse(&mut sig, text).unwrap();
+        WalRecord::Commit {
+            name: name.to_string(),
+            kb: StoredKb { sig, formula, seq },
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 test vectors (zlib's crc32()).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn record_payloads_round_trip() {
+        for rec in [
+            sample_commit("fleet", "(A & !B) | (C ^ D)", 7),
+            sample_commit("x", "true", 1),
+            WalRecord::Delete {
+                name: "fleet".to_string(),
+            },
+        ] {
+            let payload = encode_record(&rec);
+            assert_eq!(decode_record(&payload).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption_totally() {
+        let payload = encode_record(&sample_commit("kb", "A & B", 3));
+        for cut in 0..payload.len() {
+            assert!(decode_record(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad_tag = payload.clone();
+        bad_tag[0] = 99;
+        assert!(decode_record(&bad_tag).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode_record(&trailing).is_err());
+    }
+
+    #[test]
+    fn append_scan_round_trip_and_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("arbx-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(WAL_FILE);
+        let _ = std::fs::remove_file(&path);
+
+        let recs = [
+            sample_commit("a", "A | B", 1),
+            sample_commit("a", "A & B", 2),
+            WalRecord::Delete {
+                name: "a".to_string(),
+            },
+        ];
+        {
+            let mut wal = Wal::open(&path, Budget::unlimited()).unwrap();
+            for rec in &recs {
+                wal.append(rec).unwrap();
+            }
+        }
+        let scanned = scan(&path).unwrap().unwrap();
+        assert_eq!(scanned.tail, ScanTail::Clean);
+        assert_eq!(scanned.records, recs);
+
+        // Tear the final record: drop its last 3 bytes.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let scanned = scan(&path).unwrap().unwrap();
+        assert_eq!(scanned.records, recs[..2]);
+        assert!(matches!(scanned.tail, ScanTail::Torn { .. }));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

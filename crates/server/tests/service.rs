@@ -24,6 +24,7 @@ fn server_with(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
         queue_depth: 16,
         cache_entries: 256,
         timeout_ms: 0,
+        ..ServerConfig::default()
     };
     configure(&mut config);
     spawn(config).expect("spawn server")

@@ -26,12 +26,16 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Number of distinct charge sites (length of [`BudgetSite::ALL`]).
-pub const SITE_COUNT: usize = 5;
+pub const SITE_COUNT: usize = 8;
 
 /// Where in the engine a unit of work is charged.
 ///
 /// Sites deliberately mirror the telemetry counter sites so a fault plan
 /// can trip "at the k-th B&B node" or "at the j-th conflict" exactly.
+/// The `Wal*`/`Snapshot*` sites are durability events in the server's
+/// write-ahead log: no limit ever applies to them (durable commits are
+/// never rationed), but a [`FaultPlan`] can trip them to inject a torn
+/// write, a lost fsync, or a failed snapshot rename deterministically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BudgetSite {
     /// One candidate ranked by a kernel scan (pool or universe).
@@ -44,6 +48,12 @@ pub enum BudgetSite {
     Model,
     /// One cardinality-ladder / radius binary-search step.
     LadderStep,
+    /// One write-ahead-log record appended (fault: torn write).
+    WalWrite,
+    /// One write-ahead-log fsync (fault: fsync skipped and reported failed).
+    WalFsync,
+    /// One snapshot temp-file rename (fault: rename fails, temp left behind).
+    SnapshotRename,
 }
 
 impl BudgetSite {
@@ -54,6 +64,9 @@ impl BudgetSite {
         BudgetSite::Conflict,
         BudgetSite::Model,
         BudgetSite::LadderStep,
+        BudgetSite::WalWrite,
+        BudgetSite::WalFsync,
+        BudgetSite::SnapshotRename,
     ];
 
     /// Stable snake_case name (used in JSON and CLI messages).
@@ -64,6 +77,9 @@ impl BudgetSite {
             BudgetSite::Conflict => "conflict",
             BudgetSite::Model => "model",
             BudgetSite::LadderStep => "ladder_step",
+            BudgetSite::WalWrite => "wal_write",
+            BudgetSite::WalFsync => "wal_fsync",
+            BudgetSite::SnapshotRename => "snapshot_rename",
         }
     }
 }
@@ -201,6 +217,12 @@ pub struct BudgetSpent {
     pub models: u64,
     /// Cardinality-ladder / radius search steps.
     pub ladder_steps: u64,
+    /// Write-ahead-log records appended.
+    pub wal_writes: u64,
+    /// Write-ahead-log fsyncs issued.
+    pub wal_fsyncs: u64,
+    /// Snapshot temp-file renames attempted.
+    pub snapshot_renames: u64,
     /// The trip record, if the budget gave out.
     pub trip: Option<Exhausted>,
 }
@@ -214,12 +236,22 @@ impl BudgetSpent {
             BudgetSite::Conflict => self.conflicts,
             BudgetSite::Model => self.models,
             BudgetSite::LadderStep => self.ladder_steps,
+            BudgetSite::WalWrite => self.wal_writes,
+            BudgetSite::WalFsync => self.wal_fsyncs,
+            BudgetSite::SnapshotRename => self.snapshot_renames,
         }
     }
 
     /// Total work units across every site.
     pub fn total(&self) -> u64 {
-        self.scans + self.nodes + self.conflicts + self.models + self.ladder_steps
+        self.scans
+            + self.nodes
+            + self.conflicts
+            + self.models
+            + self.ladder_steps
+            + self.wal_writes
+            + self.wal_fsyncs
+            + self.snapshot_renames
     }
 }
 
@@ -365,6 +397,9 @@ impl Budget {
             conflicts: s[BudgetSite::Conflict as usize].load(Ordering::Relaxed),
             models: s[BudgetSite::Model as usize].load(Ordering::Relaxed),
             ladder_steps: s[BudgetSite::LadderStep as usize].load(Ordering::Relaxed),
+            wal_writes: s[BudgetSite::WalWrite as usize].load(Ordering::Relaxed),
+            wal_fsyncs: s[BudgetSite::WalFsync as usize].load(Ordering::Relaxed),
+            snapshot_renames: s[BudgetSite::SnapshotRename as usize].load(Ordering::Relaxed),
             trip: self.tripped(),
         }
     }
@@ -423,6 +458,9 @@ impl Budget {
                     }
                 }
             }
+            // Durability sites: never rationed; only a fault plan (checked
+            // above), cancellation, or a deadline can trip them.
+            BudgetSite::WalWrite | BudgetSite::WalFsync | BudgetSite::SnapshotRename => {}
         }
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
@@ -653,6 +691,31 @@ mod tests {
             format!("{e}"),
             "budget exhausted (deadline at site ladder_step)"
         );
+    }
+
+    #[test]
+    fn wal_sites_are_unrationed_but_faultable() {
+        // Step/conflict/candidate limits never apply to durability sites…
+        let b = Budget::unlimited()
+            .with_step_limit(1)
+            .with_conflict_limit(1)
+            .with_candidate_limit(1);
+        for _ in 0..100 {
+            assert!(b.charge(BudgetSite::WalWrite, 1).is_ok());
+            assert!(b.charge(BudgetSite::WalFsync, 1).is_ok());
+            assert!(b.charge(BudgetSite::SnapshotRename, 1).is_ok());
+        }
+        let s = b.spent();
+        assert_eq!(s.get(BudgetSite::WalWrite), 100);
+        assert_eq!(s.get(BudgetSite::WalFsync), 100);
+        assert_eq!(s.get(BudgetSite::SnapshotRename), 100);
+        // …but a fault plan trips them exactly at k.
+        let b = Budget::unlimited().with_fault(FaultPlan::new(BudgetSite::WalFsync, 2));
+        assert!(b.charge(BudgetSite::WalWrite, 1).is_ok());
+        assert!(b.charge(BudgetSite::WalFsync, 1).is_ok());
+        let trip = b.charge(BudgetSite::WalFsync, 1).unwrap_err();
+        assert_eq!(trip.reason, TripReason::Fault);
+        assert_eq!(trip.site, BudgetSite::WalFsync);
     }
 
     #[test]
