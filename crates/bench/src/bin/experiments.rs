@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E16) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E17) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
@@ -83,6 +83,9 @@ fn main() {
     }
     if want("e16") {
         e16_durability();
+    }
+    if want("e17") {
+        e17_event_loop();
     }
 }
 
@@ -1051,6 +1054,48 @@ fn e11_dynamics() {
     println!("the camps and their midpoints forever.\n");
 }
 
+/// The serving-bench query pool shared by E15 and E17: 64 structurally
+/// distinct queries — widths 6..=9, with three fixed-shape queries plus
+/// a polarity ladder (cubes with k positive literals, 1 <= k < n) per
+/// width. Distinct widths, connective structure, or positive-literal
+/// counts guarantee distinct canonical keys — alpha-renaming can permute
+/// variables but never flip a polarity or change a width — so a disjoint
+/// partition of the pool across clients makes pass 1 all misses and pass
+/// 2 all hits by construction. Widths stay below 10: a wide disjunction
+/// side has ~2^n models and the scan is O(candidates x models), so width
+/// 13 queries run for seconds and a closed loop would measure one query,
+/// not the service.
+fn serving_query_pool() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for n in 6..=9usize {
+        let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
+        let disj = vars.join(" | ");
+        let conj = vars.join(" & ");
+        let neg: Vec<String> = vars.iter().map(|v| format!("!{v}")).collect();
+        let negconj = neg.join(" & ");
+        let negdisj = neg.join(" | ");
+        let pairs = vars
+            .chunks(2)
+            .map(|c| c.join(" & "))
+            .collect::<Vec<_>>()
+            .join(" | ");
+        out.push((disj.clone(), negconj));
+        out.push((conj, negdisj.clone()));
+        out.push((pairs, disj.clone()));
+        for k in 1..n {
+            let cube = vars
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i < k { v.clone() } else { format!("!{v}") })
+                .collect::<Vec<_>>()
+                .join(" & ");
+            out.push((cube.clone(), disj.clone()));
+            out.push((cube, negdisj.clone()));
+        }
+    }
+    out
+}
+
 /// E15 — closed-loop serving load: worker scaling × canonicalizing cache
 /// (engineering, PR 4).
 ///
@@ -1072,48 +1117,6 @@ fn e15_serving() {
     );
 
     const CLIENTS: usize = 8;
-
-    // 64 structurally distinct queries: widths 6..=9, with three
-    // fixed-shape queries plus a polarity ladder (cubes with k positive
-    // literals, 1 <= k < n) per width. Distinct widths, connective
-    // structure, or positive-literal counts guarantee distinct canonical
-    // keys — alpha-renaming can permute variables but never flip a
-    // polarity or change a width — so a disjoint partition of the pool
-    // across clients makes pass 1 all misses and pass 2 all hits by
-    // construction. Widths stay below 10: a wide disjunction side has
-    // ~2^n models and the scan is O(candidates x models), so width 13
-    // queries run for seconds and the closed loop would measure one
-    // query, not the service.
-    fn pool() -> Vec<(String, String)> {
-        let mut out = Vec::new();
-        for n in 6..=9usize {
-            let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
-            let disj = vars.join(" | ");
-            let conj = vars.join(" & ");
-            let neg: Vec<String> = vars.iter().map(|v| format!("!{v}")).collect();
-            let negconj = neg.join(" & ");
-            let negdisj = neg.join(" | ");
-            let pairs = vars
-                .chunks(2)
-                .map(|c| c.join(" & "))
-                .collect::<Vec<_>>()
-                .join(" | ");
-            out.push((disj.clone(), negconj));
-            out.push((conj, negdisj.clone()));
-            out.push((pairs, disj.clone()));
-            for k in 1..n {
-                let cube = vars
-                    .iter()
-                    .enumerate()
-                    .map(|(i, v)| if i < k { v.clone() } else { format!("!{v}") })
-                    .collect::<Vec<_>>()
-                    .join(" & ");
-                out.push((cube.clone(), disj.clone()));
-                out.push((cube, negdisj.clone()));
-            }
-        }
-        out
-    }
 
     /// One request on a keep-alive connection; returns latency in ns.
     fn one_request(stream: &mut TcpStream, body: &str) -> u64 {
@@ -1203,7 +1206,7 @@ fn e15_serving() {
         sorted[idx] as f64 / 1_000.0
     }
 
-    let queries = pool();
+    let queries = serving_query_pool();
     assert_eq!(queries.len() % CLIENTS, 0, "pool must split evenly");
     let per_pass = queries.len();
     println!(
@@ -1387,6 +1390,10 @@ fn e16_durability() {
             cache_entries: 0,
             state_dir: state_dir.clone(),
             snapshot_every: snapshot_every.unwrap_or(0),
+            // One sequential client: group commit could only add flusher
+            // handoff, and this experiment prices the fsync *per commit*.
+            // E17 measures the batched path.
+            group_commit: false,
             ..ServerConfig::default()
         })
         .expect("spawn server");
@@ -1454,5 +1461,412 @@ fn e16_durability() {
     match std::fs::write("BENCH_PR5.json", &json) {
         Ok(()) => println!("\nwrote BENCH_PR5.json ({} rows)\n", json_rows.len()),
         Err(e) => println!("\ncould not write BENCH_PR5.json: {e}\n"),
+    }
+}
+
+/// E17 — event-loop serving: HTTP/1.1 pipelining × WAL group commit
+/// (engineering, PR 6).
+///
+/// Two halves, both against the epoll event-loop server:
+///
+/// **Serving**: 8 keep-alive clients at worker counts {1, 4, 8}, cache
+/// on and warmed, measured two ways at equal request count — `serial`
+/// (one request in flight per client, the E15 closed-loop shape) and
+/// `pipelined` (batches of 16 requests per write) — on two workloads:
+///
+/// * `light` — small-result arbitration queries (opposite cubes, widths
+///   3..=6; responses are a few hundred bytes). The RPC shape: per
+///   request round-trip and syscall overhead dominate, which is exactly
+///   what pipelining amortizes. This is the >= 5x-vs-E15 claim.
+/// * `heavy` — the E15 query pool (widths 6..=9; cache-hit responses up
+///   to ~31 KB of enumerated models). The bulk shape: the service is
+///   bound on response *bytes*, not requests, so pipelining buys little
+///   by construction — kept as the honest negative control.
+///
+/// **Durability**: 8 concurrent clients each storming sequential `put`
+/// commits to their own KB, at workers = 4. Legs: in-memory store,
+/// durable with group commit (one shared fsync acks a batch), durable
+/// with `--group-commit=off` (fsync per commit, the E16/PR-5 path).
+/// Group commit must land durable throughput within 2x of memory.
+///
+/// Writes the machine-readable record to BENCH_PR6.json. With
+/// `ARBX_E17_QUICK=1` runs a single reduced serving leg (light pool,
+/// workers = 4), prints one greppable `e17-quick ...` line for the CI
+/// gate, and does not touch BENCH_PR6.json.
+fn e17_event_loop() {
+    use arbitrex_server::metrics::{GC_FSYNCS, WAL_FSYNCS};
+    use arbitrex_server::{spawn, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    header(
+        "E17",
+        "event-loop serving: HTTP pipelining x WAL group commit",
+        "engineering (PR 6); no paper artifact",
+    );
+
+    const CLIENTS: usize = 8;
+    const DEPTH: usize = 16;
+    let quick = std::env::var("ARBX_E17_QUICK").is_ok();
+    let rounds: usize = if quick { 8 } else { 32 };
+
+    /// Read one full HTTP response off a buffered stream; panic on
+    /// non-200. Buffered so the client costs ~1 syscall per response
+    /// instead of one per byte — on a small machine unbuffered client
+    /// reads steal enough CPU to become the thing being measured.
+    fn read_one_response(stream: &mut std::io::BufReader<TcpStream>) {
+        let mut reply = Vec::with_capacity(512);
+        let mut byte = [0u8; 1];
+        loop {
+            match stream.read(&mut byte) {
+                Ok(0) => panic!("server closed connection mid-response"),
+                Ok(_) => {
+                    reply.push(byte[0]);
+                    if reply.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                Err(e) => panic!("read error: {e}"),
+            }
+        }
+        let head_text = String::from_utf8_lossy(&reply);
+        assert!(
+            head_text.starts_with("HTTP/1.1 200"),
+            "non-200 under load: {head_text}"
+        );
+        let length: usize = head_text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("content-length")
+            .trim()
+            .parse()
+            .expect("numeric length");
+        let mut body_buf = vec![0u8; length];
+        stream.read_exact(&mut body_buf).expect("read body");
+    }
+
+    fn raw_arbitrate(psi: &str, phi: &str) -> Vec<u8> {
+        let body = format!(r#"{{"psi": "{psi}", "phi": "{phi}"}}"#);
+        let mut wire = format!(
+            "POST /v1/arbitrate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        wire
+    }
+
+    /// Small-result queries: ψ is a cube with k positive literals, φ its
+    /// bitwise complement. Two single-model theories arbitrate to the
+    /// balanced compromises between the two corners — C(n, n/2)-ish
+    /// models, a few hundred bytes of response at widths 3..=6. Distinct
+    /// (width, k) pairs are distinct canonical keys.
+    fn light_pool() -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for n in 3..=6usize {
+            let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
+            for k in 0..n {
+                let cube = |flip: bool| {
+                    vars.iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            if (i < k) != flip {
+                                v.clone()
+                            } else {
+                                format!("!{v}")
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" & ")
+                };
+                out.push((cube(false), cube(true)));
+            }
+        }
+        out
+    }
+
+    /// Closed loop at a fixed pipeline depth: every client walks the
+    /// whole pool (rotated by its index, so clients stay out of phase)
+    /// `rounds` times, writing `depth` requests per `write(2)` and
+    /// reading the `depth` responses back before the next batch.
+    /// `depth == 1` is the E15 closed-loop shape. Returns
+    /// (total requests, wall ns).
+    fn run_leg(
+        addr: SocketAddr,
+        queries: &[(String, String)],
+        depth: usize,
+        rounds: usize,
+    ) -> (usize, u64) {
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let offset = (client * queries.len()) / CLIENTS;
+                let slice: Vec<Vec<u8>> = (0..queries.len())
+                    .map(|i| {
+                        let (psi, phi) = &queries[(offset + i) % queries.len()];
+                        raw_arbitrate(psi, phi)
+                    })
+                    .collect();
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                        .unwrap();
+                    let _ = stream.set_nodelay(true);
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    let mut reader = std::io::BufReader::with_capacity(64 * 1024, stream);
+                    let mut sent = 0usize;
+                    let mut batch: Vec<u8> = Vec::with_capacity(4096);
+                    let mut in_batch = 0usize;
+                    for _ in 0..rounds {
+                        for wire in &slice {
+                            batch.extend_from_slice(wire);
+                            in_batch += 1;
+                            if in_batch == depth {
+                                writer.write_all(&batch).expect("write batch");
+                                for _ in 0..in_batch {
+                                    read_one_response(&mut reader);
+                                }
+                                sent += in_batch;
+                                batch.clear();
+                                in_batch = 0;
+                            }
+                        }
+                    }
+                    if in_batch > 0 {
+                        writer.write_all(&batch).expect("write batch");
+                        for _ in 0..in_batch {
+                            read_one_response(&mut reader);
+                        }
+                        sent += in_batch;
+                    }
+                    sent
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+        (total, wall.elapsed().as_nanos() as u64)
+    }
+
+    // --- serving half --------------------------------------------------------
+
+    let worker_counts: &[usize] = if quick { &[4] } else { &[1, 4, 8] };
+    let workloads: Vec<(&str, Vec<(String, String)>, usize)> = if quick {
+        vec![("light", light_pool(), rounds)]
+    } else {
+        // Rounds chosen so both workloads send a few thousand requests
+        // per leg; the heavy pool moves ~30 KB per hit, so fewer rounds
+        // keep its legs at comparable wall time.
+        vec![
+            ("light", light_pool(), rounds),
+            ("heavy", serving_query_pool(), 4),
+        ]
+    };
+    println!(
+        "serving: {CLIENTS} keep-alive clients, warmed cache; serial (depth 1) vs \
+         pipelined (depth {DEPTH}); light = small-result cube arbitrations \
+         (widths 3-6), heavy = the E15 pool (widths 6-9, ~KB-scale responses)\n"
+    );
+    println!("workload  threads  mode       req/s     wall ms   speedup");
+
+    let mut serving_rows: Vec<String> = Vec::new();
+    let mut quick_line: Option<String> = None;
+    for (workload, queries, rounds) in &workloads {
+        for &threads in worker_counts {
+            let server = spawn(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                threads,
+                queue_depth: 256,
+                cache_entries: 4096,
+                timeout_ms: 0,
+                ..ServerConfig::default()
+            })
+            .expect("spawn server");
+            let addr = server.addr;
+
+            // Warm the canonicalizing cache so both legs measure the
+            // event loop and not first-touch arbitration compute.
+            let _ = run_leg(addr, queries, 1, 1);
+
+            let mut leg_rps = [0.0f64; 2];
+            for (i, &depth) in [1usize, DEPTH].iter().enumerate() {
+                let (requests, wall_ns) = run_leg(addr, queries, depth, *rounds);
+                let rps = requests as f64 / (wall_ns as f64 / 1e9);
+                leg_rps[i] = rps;
+                let mode = if depth == 1 { "serial" } else { "pipelined" };
+                let speedup = if i == 1 {
+                    format!("{:.1}x", leg_rps[1] / leg_rps[0])
+                } else {
+                    "-".to_string()
+                };
+                println!(
+                    "{workload:<9} {threads:<8} {mode:<10} {rps:<9.0} {:<9.1} {speedup}",
+                    wall_ns as f64 / 1e6
+                );
+                serving_rows.push(format!(
+                    "    {{\"workload\": \"{workload}\", \"threads\": {threads}, \
+                     \"mode\": \"{mode}\", \"depth\": {depth}, \"requests\": {requests}, \
+                     \"wall_ms\": {:.1}, \"rps\": {rps:.0}}}",
+                    wall_ns as f64 / 1e6,
+                ));
+            }
+            if quick {
+                quick_line = Some(format!(
+                    "e17-quick threads={threads} serial_rps={:.0} pipelined_rps={:.0} ratio={:.2}",
+                    leg_rps[0],
+                    leg_rps[1],
+                    leg_rps[1] / leg_rps[0]
+                ));
+            }
+            server.stop().expect("clean shutdown");
+        }
+    }
+    println!();
+
+    if let Some(line) = quick_line {
+        // The greppable CI-gate line; quick mode stops here and leaves
+        // BENCH_PR6.json alone.
+        println!("{line}");
+        return;
+    }
+
+    // --- durability half -----------------------------------------------------
+
+    // More clients than the serving half: group commit's whole point is
+    // amortizing the fsync across concurrent commits, so the storm needs
+    // enough in-flight writers for one flush to cover a real batch.
+    const STORM_CLIENTS: usize = 32;
+    const COMMITS_PER_CLIENT: usize = 64;
+
+    /// Concurrent clients, each sequentially committing to its own KB.
+    /// Returns (total commits, wall ns).
+    fn run_commit_storm(addr: SocketAddr) -> (usize, u64) {
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..STORM_CLIENTS)
+            .map(|client| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                        .unwrap();
+                    let _ = stream.set_nodelay(true);
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    let mut reader = std::io::BufReader::with_capacity(16 * 1024, stream);
+                    for i in 0..COMMITS_PER_CLIENT {
+                        let formula = if i % 2 == 0 { "A & B" } else { "A | B" };
+                        let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+                        let mut wire = format!(
+                            "POST /v1/kb/e17-{client} HTTP/1.1\r\nHost: bench\r\n\
+                             Content-Length: {}\r\n\r\n",
+                            body.len()
+                        )
+                        .into_bytes();
+                        wire.extend_from_slice(body.as_bytes());
+                        writer.write_all(&wire).expect("write commit");
+                        read_one_response(&mut reader);
+                    }
+                    COMMITS_PER_CLIENT
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+        (total, wall.elapsed().as_nanos() as u64)
+    }
+
+    println!(
+        "durability: {STORM_CLIENTS} concurrent clients x {COMMITS_PER_CLIENT} sequential \
+         `put` commits to distinct KBs, workers = 16 (a committing worker parks in \
+         wait-durable, so workers bound the flush batch), fresh server + state dir per leg\n"
+    );
+    println!("mode             commits/s  wall ms   fsyncs  commits/fsync  vs memory");
+
+    // (label, durable?, group commit?)
+    let legs: [(&str, bool, bool); 3] = [
+        ("memory", false, false),
+        ("group-commit", true, true),
+        ("fsync-per-commit", true, false),
+    ];
+    let mut durability_rows: Vec<String> = Vec::new();
+    let mut memory_cps = 0.0f64;
+    for &(label, durable, group_commit) in &legs {
+        let state_dir = durable.then(|| {
+            let dir = std::env::temp_dir().join(format!("arbx-e17-{}-{label}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create state dir");
+            dir
+        });
+        let server = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 16,
+            queue_depth: 256,
+            cache_entries: 0,
+            state_dir: state_dir.clone(),
+            snapshot_every: 0,
+            group_commit,
+            ..ServerConfig::default()
+        })
+        .expect("spawn server");
+
+        let (wal_fsyncs0, gc_fsyncs0) = (WAL_FSYNCS.get(), GC_FSYNCS.get());
+        let (commits, wall_ns) = run_commit_storm(server.addr);
+        let fsyncs = WAL_FSYNCS.get() - wal_fsyncs0;
+        let gc_fsyncs = GC_FSYNCS.get() - gc_fsyncs0;
+        server.stop().expect("clean shutdown");
+        if let Some(dir) = &state_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+
+        let cps = commits as f64 / (wall_ns as f64 / 1e9);
+        if !durable {
+            memory_cps = cps;
+        }
+        let per_fsync = if group_commit && gc_fsyncs > 0 {
+            format!("{:.1}", commits as f64 / gc_fsyncs as f64)
+        } else if durable && fsyncs > 0 {
+            format!("{:.1}", commits as f64 / fsyncs as f64)
+        } else {
+            "-".to_string()
+        };
+        let vs_memory = if durable && memory_cps > 0.0 {
+            format!("{:.2}x", cps / memory_cps)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{label:<16} {cps:<10.0} {:<9.1} {fsyncs:<7} {per_fsync:<14} {vs_memory}",
+            wall_ns as f64 / 1e6
+        );
+        durability_rows.push(format!(
+            "    {{\"mode\": \"{label}\", \"clients\": {STORM_CLIENTS}, \"commits\": {commits}, \
+             \"wall_ms\": {:.1}, \"commits_per_s\": {cps:.0}, \"fsyncs\": {fsyncs}, \
+             \"vs_memory\": {}}}",
+            wall_ns as f64 / 1e6,
+            if durable && memory_cps > 0.0 {
+                format!("{:.3}", cps / memory_cps)
+            } else {
+                "null".to_string()
+            },
+        ));
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"e17-event-loop\",\n");
+    json.push_str(
+        "  \"workload\": \"serving: light (small-result cube arbitrations, widths 3-6) and \
+         heavy (E15 pool, widths 6-9) over 8 keep-alive clients, warmed cache, serial (depth 1) \
+         vs pipelined (depth 16) at workers 1/4/8; durability: 32 concurrent clients x 64 put \
+         commits to distinct KBs at workers 16, memory vs group-commit vs fsync-per-commit\",\n",
+    );
+    json.push_str("  \"serving_rows\": [\n");
+    json.push_str(&serving_rows.join(",\n"));
+    json.push_str("\n  ],\n  \"durability_rows\": [\n");
+    json.push_str(&durability_rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    match std::fs::write("BENCH_PR6.json", &json) {
+        Ok(()) => println!(
+            "\nwrote BENCH_PR6.json ({} serving rows, {} durability rows)\n",
+            serving_rows.len(),
+            durability_rows.len()
+        ),
+        Err(e) => println!("\ncould not write BENCH_PR6.json: {e}\n"),
     }
 }

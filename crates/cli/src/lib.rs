@@ -588,11 +588,30 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
             "--fault" => {
                 config.durability_fault = Some(parse_fault(flag_value(&mut it, "--fault")?)?);
             }
+            "--keep-alive-timeout-ms" => {
+                config.keep_alive_timeout_ms = flag_u64(&mut it, "--keep-alive-timeout-ms")?;
+            }
+            "--group-commit" => {
+                let mode = flag_value(&mut it, "--group-commit")?;
+                config.group_commit = match mode.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    _ => {
+                        return err(format!(
+                            "--group-commit expects `on` or `off`, got `{mode}`"
+                        ))
+                    }
+                };
+            }
+            "--flush-interval-us" => {
+                config.flush_interval_us = flag_u64(&mut it, "--flush-interval-us")?;
+            }
             other => {
                 return err(format!(
                     "unknown serve flag `{other}` (expected --addr, --threads, \
                      --queue-depth, --cache-entries, --timeout-ms, --max-body-bytes, \
-                     --state-dir, --snapshot-every, --recover, --fault)"
+                     --keep-alive-timeout-ms, --state-dir, --snapshot-every, \
+                     --recover, --fault, --group-commit, --flush-interval-us)"
                 ))
             }
         }
@@ -664,10 +683,12 @@ pub fn help() -> String {
          \x20 arbitrex iterate <operator> \"<psi>\" \"<mu>\"  long-run dynamics\n\
          \x20 arbitrex serve [--addr a] [--threads n] [--queue-depth n]\n\
          \x20\x20\x20\x20 [--cache-entries n] [--timeout-ms n] [--max-body-bytes n]\n\
-         \x20\x20\x20\x20 [--state-dir d] [--snapshot-every n] [--recover strict|salvage]\n\
+         \x20\x20\x20\x20 [--keep-alive-timeout-ms n] [--state-dir d] [--snapshot-every n]\n\
+         \x20\x20\x20\x20 [--recover strict|salvage] [--group-commit on|off]\n\
+         \x20\x20\x20\x20 [--flush-interval-us n]\n\
          \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\");\n\
          \x20\x20\x20\x20 --state-dir makes KBs durable (WAL + snapshots, README\n\
-         \x20\x20\x20\x20 \"Durability\")\n\
+         \x20\x20\x20\x20 \"Durability\"); commits batch fsyncs unless --group-commit off\n\
          \n\
          flags:\n\
          \x20 --stats        append operator telemetry counters (text)\n\
@@ -946,16 +967,42 @@ mod tests {
     }
 
     #[test]
+    fn serve_event_loop_and_group_commit_flags_parse_into_config() {
+        let cfg = parse_serve_config(&sv(&[
+            "--keep-alive-timeout-ms",
+            "1500",
+            "--group-commit",
+            "off",
+            "--flush-interval-us",
+            "200",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.keep_alive_timeout_ms, 1500);
+        assert!(!cfg.group_commit);
+        assert_eq!(cfg.flush_interval_us, 200);
+        // Defaults: group commit on, no linger, 5s keep-alive reaping.
+        let d = parse_serve_config(&[]).unwrap();
+        assert!(d.group_commit);
+        assert_eq!(d.flush_interval_us, 0);
+        assert_eq!(d.keep_alive_timeout_ms, 5_000);
+        // `--keep-alive-timeout-ms 0` disables reaping rather than erroring.
+        let z = parse_serve_config(&sv(&["--keep-alive-timeout-ms", "0"])).unwrap();
+        assert_eq!(z.keep_alive_timeout_ms, 0);
+    }
+
+    #[test]
     fn serve_usage_errors_exit_2() {
         for bad in [
-            sv(&["--threads"]),             // missing value
-            sv(&["--threads", "zero"]),     // non-integer
-            sv(&["--threads", "0"]),        // out of range
-            sv(&["--queue-depth", "0"]),    // out of range
-            sv(&["--port", "80"]),          // unknown flag
-            sv(&["--recover", "ignore"]),   // unknown recovery mode
-            sv(&["--max-body-bytes", "0"]), // out of range
-            sv(&["--fault", "wal_write"]),  // missing count
+            sv(&["--threads"]),              // missing value
+            sv(&["--threads", "zero"]),      // non-integer
+            sv(&["--threads", "0"]),         // out of range
+            sv(&["--queue-depth", "0"]),     // out of range
+            sv(&["--port", "80"]),           // unknown flag
+            sv(&["--recover", "ignore"]),    // unknown recovery mode
+            sv(&["--max-body-bytes", "0"]),  // out of range
+            sv(&["--fault", "wal_write"]),   // missing count
+            sv(&["--group-commit", "auto"]), // unknown mode
+            sv(&["--flush-interval-us"]),    // missing value
         ] {
             let e = cmd_serve(&bad).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Usage, "{bad:?}: {e}");

@@ -1,10 +1,17 @@
-//! A minimal HTTP/1.1 framing layer over blocking streams.
+//! A minimal HTTP/1.1 framing layer.
 //!
 //! Supports exactly what the service protocol needs: request-line +
 //! headers + `Content-Length` bodies, keep-alive connections, and
 //! fixed-length JSON responses. No chunked encoding, no TLS, no
 //! continuation lines. Limits are hard: oversized headers or bodies fail
 //! the parse rather than allocating unboundedly.
+//!
+//! Two entry points share one head parser: [`parse_request_buffer`]
+//! parses the front of an in-memory byte buffer (the event loop's
+//! per-connection read buffer, where pipelined requests queue up), and
+//! [`read_request_limited`] drives a blocking stream byte-by-byte
+//! (tests and any caller without an event loop). Both agree on what is
+//! malformed, what is too large, and where a request ends.
 
 use std::io::{self, Read, Write};
 
@@ -14,7 +21,7 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// instance ([`read_request_limited`], `--max-body-bytes`).
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Consecutive read-timeout polls tolerated mid-request (head or body)
-/// before the request is declared malformed. Workers read with short
+/// before the request is declared malformed. Blocking readers use short
 /// timeouts to observe shutdown, so one poll expiring only means the
 /// next packet has not landed yet — a request is abandoned only after
 /// this many polls pass with no new bytes at all.
@@ -49,6 +56,133 @@ impl Request {
     }
 }
 
+/// Parse a complete head (request line + headers + terminator) into a
+/// body-less [`Request`] and the declared `Content-Length`, if any.
+fn parse_head(head: &[u8]) -> Result<(Request, Option<usize>), String> {
+    let head_text = match std::str::from_utf8(head) {
+        Ok(t) => t,
+        Err(_) => return Err("non-UTF-8 request head".to_string()),
+    };
+    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
+        _ => return Err(format!("bad request line `{request_line}`")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("bad version `{version}`"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+            }
+            None => return Err(format!("bad header `{line}`")),
+        }
+    }
+
+    let content_length = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+    {
+        None => None,
+        Some(Err(_)) => return Err("bad content-length".to_string()),
+        Some(Ok(len)) => Some(len),
+    };
+
+    Ok((
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: Vec::new(),
+        },
+        content_length,
+    ))
+}
+
+/// Progress of parsing one request from the front of a byte buffer.
+#[derive(Debug)]
+pub enum BufferParse {
+    /// A complete request occupying the first `consumed` bytes; the
+    /// caller drains them and may parse again (pipelining).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Total bytes (head + body) the request occupied.
+        consumed: usize,
+    },
+    /// The buffer holds a valid prefix of a request; read more bytes.
+    Incomplete,
+    /// The bytes are not a parseable request; the caller should answer
+    /// 400 and close.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the body cap. Rejected
+    /// before the body is buffered; the caller should answer 413 and
+    /// close (the unread body makes the connection unusable).
+    TooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The cap it exceeded.
+        cap: usize,
+    },
+}
+
+/// Parse one request from the front of `buf` without consuming it. The
+/// head terminator search mirrors the blocking reader exactly: the head
+/// ends at the first CRLFCRLF or LFLF, and a head that exceeds
+/// [`MAX_HEAD_BYTES`] before terminating is malformed.
+pub fn parse_request_buffer(buf: &[u8], max_body: usize) -> BufferParse {
+    let mut head_len = None;
+    for i in 0..buf.len() {
+        if i >= MAX_HEAD_BYTES {
+            return BufferParse::Malformed("request head too large".to_string());
+        }
+        let h = &buf[..=i];
+        if h.ends_with(b"\r\n\r\n") || h.ends_with(b"\n\n") {
+            head_len = Some(i + 1);
+            break;
+        }
+    }
+    let head_len = match head_len {
+        Some(n) => n,
+        None => return BufferParse::Incomplete,
+    };
+
+    let (mut request, content_length) = match parse_head(&buf[..head_len]) {
+        Ok(parsed) => parsed,
+        Err(msg) => return BufferParse::Malformed(msg),
+    };
+
+    let body_len = match content_length {
+        None => 0,
+        Some(len) if len > max_body => {
+            return BufferParse::TooLarge {
+                declared: len,
+                cap: max_body,
+            }
+        }
+        Some(len) => len,
+    };
+
+    let total = head_len + body_len;
+    if buf.len() < total {
+        return BufferParse::Incomplete;
+    }
+    request.body = buf[head_len..total].to_vec();
+    BufferParse::Complete {
+        request,
+        consumed: total,
+    }
+}
+
 /// Why a read did not produce a request.
 #[derive(Debug)]
 pub enum ReadOutcome {
@@ -78,14 +212,13 @@ pub fn read_request(stream: &mut impl Read) -> io::Result<ReadOutcome> {
     read_request_limited(stream, MAX_BODY_BYTES)
 }
 
-/// Read one request from `stream`, rejecting bodies declared larger
-/// than `max_body` before buffering. A read timeout before the first
-/// byte maps to [`ReadOutcome::Idle`]; a timeout mid-request is
-/// malformed.
+/// Read one request from a blocking `stream`, rejecting bodies declared
+/// larger than `max_body` before buffering. A read timeout before the
+/// first byte maps to [`ReadOutcome::Idle`]; a timeout mid-request is
+/// malformed. Reads byte-by-byte through the head and exactly
+/// `Content-Length` bytes of body, so it never consumes bytes of a
+/// pipelined follow-up request.
 pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> io::Result<ReadOutcome> {
-    // Read the head byte-by-byte until CRLFCRLF (or LFLF). The per-byte
-    // reads are cheap relative to operator work, and keep the framing
-    // logic trivially correct for pipelined keep-alive requests.
     let mut head: Vec<u8> = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     let mut stalls = 0u32;
@@ -127,49 +260,14 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> io::Resu
         }
     }
 
-    let head_text = match std::str::from_utf8(&head) {
-        Ok(t) => t,
-        Err(_) => return Ok(ReadOutcome::Malformed("non-UTF-8 request head".to_string())),
+    let (mut request, content_length) = match parse_head(&head) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Ok(ReadOutcome::Malformed(msg)),
     };
-    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_ascii_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) if parts.next().is_none() => (m, p, v),
-        _ => {
-            return Ok(ReadOutcome::Malformed(format!(
-                "bad request line `{request_line}`"
-            )))
-        }
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Ok(ReadOutcome::Malformed(format!("bad version `{version}`")));
-    }
 
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        match line.split_once(':') {
-            Some((name, value)) => {
-                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()))
-            }
-            None => return Ok(ReadOutcome::Malformed(format!("bad header `{line}`"))),
-        }
-    }
-
-    let mut body = Vec::new();
-    let content_length = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| v.parse::<usize>());
     match content_length {
         None => {}
-        Some(Err(_)) => {
-            return Ok(ReadOutcome::Malformed("bad content-length".to_string()));
-        }
-        Some(Ok(len)) if len > max_body => {
+        Some(len) if len > max_body => {
             // Nothing of the body has been read (or allocated): the
             // rejection costs the head bytes only.
             return Ok(ReadOutcome::TooLarge {
@@ -177,12 +275,12 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> io::Resu
                 cap: max_body,
             });
         }
-        Some(Ok(len)) => {
-            body.resize(len, 0);
+        Some(len) => {
+            request.body.resize(len, 0);
             let mut filled = 0usize;
             let mut stalls = 0u32;
             while filled < len {
-                match stream.read(&mut body[filled..]) {
+                match stream.read(&mut request.body[filled..]) {
                     Ok(0) => {
                         return Ok(ReadOutcome::Malformed("truncated body".to_string()));
                     }
@@ -210,12 +308,7 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> io::Resu
         }
     }
 
-    Ok(ReadOutcome::Request(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        headers,
-        body,
-    }))
+    Ok(ReadOutcome::Request(request))
 }
 
 /// A response ready to serialize.
@@ -225,12 +318,24 @@ pub struct Response {
     pub status: u16,
     /// JSON body text.
     pub body: String,
+    /// Extra headers beyond the fixed set (e.g. `Retry-After` on 503s).
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// A response with a JSON body.
     pub fn json(status: u16, body: String) -> Response {
-        Response { status, body }
+        Response {
+            status,
+            body,
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
     }
 }
 
@@ -248,18 +353,30 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Serialize and send `response`; `close` controls the `Connection`
-/// header.
-pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+/// Serialize `response` to wire bytes; `close` controls the
+/// `Connection` header.
+pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
         response.body.len(),
         if close { "close" } else { "keep-alive" },
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    for (name, value) in &response.extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(response.body.as_bytes());
+    bytes
+}
+
+/// Serialize and send `response`; `close` controls the `Connection`
+/// header.
+pub fn write_response(stream: &mut impl Write, response: &Response, close: bool) -> io::Result<()> {
+    stream.write_all(&encode_response(response, close))?;
     stream.flush()
 }
 
@@ -356,6 +473,79 @@ mod tests {
     }
 
     #[test]
+    fn buffer_parse_handles_partial_and_complete() {
+        let wire = b"POST /v1/arbitrate HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"psi\":\"A\"}";
+        // Every strict prefix is Incomplete; the full message parses.
+        for cut in [0, 1, 10, wire.len() - 12, wire.len() - 1] {
+            assert!(
+                matches!(
+                    parse_request_buffer(&wire[..cut], MAX_BODY_BYTES),
+                    BufferParse::Incomplete
+                ),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        match parse_request_buffer(wire, MAX_BODY_BYTES) {
+            BufferParse::Complete { request, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(request.path, "/v1/arbitrate");
+                assert_eq!(request.body, b"{\"psi\":\"A\"}");
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_parse_leaves_pipelined_tail_alone() {
+        let first = b"GET /metrics HTTP/1.1\r\n\r\n".to_vec();
+        let mut wire = first.clone();
+        wire.extend_from_slice(b"POST /v1/arbitrate HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}");
+        let consumed = match parse_request_buffer(&wire, MAX_BODY_BYTES) {
+            BufferParse::Complete { request, consumed } => {
+                assert_eq!(request.method, "GET");
+                assert_eq!(request.path, "/metrics");
+                consumed
+            }
+            other => panic!("expected complete, got {other:?}"),
+        };
+        assert_eq!(consumed, first.len());
+        match parse_request_buffer(&wire[consumed..], MAX_BODY_BYTES) {
+            BufferParse::Complete { request, consumed } => {
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.body, b"{}");
+                assert_eq!(consumed, wire.len() - first.len());
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_parse_flags_malformed_and_oversized() {
+        assert!(matches!(
+            parse_request_buffer(b"GARBAGE\r\n\r\n", MAX_BODY_BYTES),
+            BufferParse::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request_buffer(b"GET /x HTTP/2.0\r\n\r\n", MAX_BODY_BYTES),
+            BufferParse::Malformed(_)
+        ));
+        assert!(matches!(
+            parse_request_buffer(b"POST /x HTTP/1.1\r\nContent-Length: 11\r\n\r\n", 10),
+            BufferParse::TooLarge {
+                declared: 11,
+                cap: 10
+            }
+        ));
+        // A head that never terminates within the cap is malformed, not
+        // buffered forever.
+        let endless = vec![b'A'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(
+            parse_request_buffer(&endless, MAX_BODY_BYTES),
+            BufferParse::Malformed(_)
+        ));
+    }
+
+    #[test]
     fn response_has_content_length_and_connection() {
         let mut out = Vec::new();
         write_response(&mut out, &Response::json(200, "{}".to_string()), false).unwrap();
@@ -364,5 +554,15 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_blank_line() {
+        let resp = Response::json(503, "{}".to_string()).with_header("Retry-After", "1");
+        let text = String::from_utf8(encode_response(&resp, true)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("Retry-After").unwrap() < head_end);
     }
 }

@@ -25,22 +25,44 @@
 //! torn tail that recovery truncates (also harmless: nobody was told).
 //! What can never happen is an acknowledged commit that recovery loses.
 //!
+//! With **group commit** (the default; `--group-commit=off` restores
+//! fsync-per-commit) step 2 splits: the record is appended — not
+//! synced — under the WAL lock and receives a monotonically increasing
+//! *ticket*; the committer then releases the WAL lock and blocks until
+//! a dedicated flusher thread's shared fsync covers its ticket. One
+//! fsync acknowledges every commit appended while the previous one ran,
+//! so N concurrent commit streams pay ~1/N of an fsync each. A failed
+//! shared flush refuses (500s) exactly the commits it covered; their
+//! records may still reach disk, which is the always-allowed "durable
+//! record of a commit nobody was told about". The ack point is
+//! unchanged: no commit is acknowledged before an fsync (or a durable
+//! snapshot — see below) covering its append has succeeded.
+//!
 //! The durable backend also maintains a *shadow* copy of the committed
 //! state under the WAL lock — the materialized fold of the log — so
 //! snapshots serialize a provably log-consistent state without touching
 //! the per-entry locks (which a committing request may hold while
-//! waiting on the WAL).
+//! waiting on the WAL). Because the shadow folds *appended* records,
+//! a snapshot durably carries even not-yet-fsynced appends; writing one
+//! therefore advances the group-commit durable watermark and acks any
+//! commits still waiting on the flusher.
 //!
-//! Lock order: entry lock → WAL/shadow lock → map lock. The map lock is
-//! never held while acquiring an entry lock, so a mutation holding its
-//! entry across a (slow, fsyncing) commit cannot deadlock with lookups,
-//! deletes, or placeholder cleanup.
+//! Lock order: entry lock → WAL/shadow lock → flush-progress lock →
+//! map lock. The map lock is never held while acquiring an entry lock,
+//! so a mutation holding its entry across a (slow, fsyncing) commit
+//! cannot deadlock with lookups, deletes, or placeholder cleanup. The
+//! flusher thread only ever takes the flush-progress lock, and fsyncs
+//! with no lock held at all — that is what lets appends continue while
+//! a flush is in flight.
 
 use std::collections::HashMap;
+use std::fs::File;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
 
 use arbitrex_core::{Budget, FaultPlan};
 use arbitrex_logic::{Formula, Sig};
@@ -48,7 +70,7 @@ use arbitrex_logic::{Formula, Sig};
 use crate::metrics;
 use crate::recovery::{self, RecoverMode, RecoveryError, RecoveryReport};
 use crate::snapshot;
-use crate::wal::{Wal, WalRecord, WAL_FILE};
+use crate::wal::{self, Wal, WalRecord, WAL_FILE};
 
 /// Longest accepted KB name.
 pub const MAX_NAME_LEN: usize = 64;
@@ -99,6 +121,13 @@ pub struct DurabilityOptions {
     pub recover: RecoverMode,
     /// Deterministic durability fault injection (testing).
     pub fault: Option<FaultPlan>,
+    /// Batch WAL fsyncs behind a flusher thread (one fsync acks N
+    /// commits); `false` restores the fsync-per-commit path.
+    pub group_commit: bool,
+    /// With group commit, how long the flusher may linger past the
+    /// oldest pending append waiting for batch-mates. Zero flushes as
+    /// soon as the flusher is free (natural batching only).
+    pub flush_interval: Duration,
 }
 
 struct DurableState {
@@ -112,11 +141,217 @@ struct DurableState {
     fault: Budget,
 }
 
+/// Group-commit progress, shared between committers and the flusher.
+struct FlushState {
+    /// Records appended to the log so far; an append's ticket is the
+    /// value after its increment.
+    appended: u64,
+    /// Highest ticket covered by a successful fsync or durable snapshot.
+    durable: u64,
+    /// Highest ticket covered by a failed flush attempt; waiters at or
+    /// below it are refused.
+    failed_through: u64,
+    /// The most recent flush error, for refused waiters.
+    error: String,
+    /// When the oldest not-yet-flushed append landed (the
+    /// `flush_interval` deadline is measured from here).
+    oldest_pending: Option<Instant>,
+    /// The store is closing: flush what is pending, then exit.
+    shutdown: bool,
+}
+
+struct FlushShared {
+    state: Mutex<FlushState>,
+    /// Wakes the flusher (new appends, shutdown).
+    work: Condvar,
+    /// Wakes committers (a watermark advanced).
+    done: Condvar,
+}
+
+/// The group-commit half of a durable backend: ticket issuing, the
+/// flusher thread, and the ack rendezvous.
+struct GroupCommit {
+    shared: Arc<FlushShared>,
+    flusher: Option<thread::JoinHandle<()>>,
+}
+
+impl GroupCommit {
+    fn start(file: Arc<File>, fault: Budget, interval: Duration) -> GroupCommit {
+        let shared = Arc::new(FlushShared {
+            state: Mutex::new(FlushState {
+                appended: 0,
+                durable: 0,
+                failed_through: 0,
+                error: String::new(),
+                oldest_pending: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let flusher = thread::Builder::new()
+            .name("arbitrex-wal-flusher".to_string())
+            .spawn(move || flusher_loop(&thread_shared, &file, &fault, interval))
+            .expect("spawn wal flusher");
+        GroupCommit {
+            shared,
+            flusher: Some(flusher),
+        }
+    }
+
+    /// Issue the ticket for an append. Called under the WAL/shadow lock,
+    /// which is what keeps ticket order consistent with file contents:
+    /// a flusher that observes ticket T (under the flush-progress lock)
+    /// is ordered after the `write(2)` that produced T's bytes.
+    fn note_append(&self) -> u64 {
+        let mut st = self.shared.state.lock().unwrap();
+        st.appended += 1;
+        let ticket = st.appended;
+        if st.oldest_pending.is_none() {
+            st.oldest_pending = Some(Instant::now());
+        }
+        drop(st);
+        self.shared.work.notify_one();
+        ticket
+    }
+
+    /// Block until `ticket` is durable (ack) or its flush failed
+    /// (refuse). Called *after* the WAL/shadow lock is released; the
+    /// caller's entry lock may stay held — that is per-KB serialization,
+    /// and commits to other KBs keep flowing while we wait.
+    fn wait_durable(&self, ticket: u64) -> io::Result<()> {
+        let start = Instant::now();
+        let mut st = self.shared.state.lock().unwrap();
+        while st.durable < ticket && st.failed_through < ticket {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        let ok = st.durable >= ticket;
+        let error = if ok { String::new() } else { st.error.clone() };
+        drop(st);
+        metrics::LATENCY_FLUSH_WAIT
+            .record_nanos(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        if ok {
+            metrics::GC_COMMITS.incr();
+            Ok(())
+        } else {
+            Err(io::Error::other(format!(
+                "group commit flush failed: {error}"
+            )))
+        }
+    }
+
+    /// A snapshot just became durable and the WAL was truncated: every
+    /// append so far is carried by it (the snapshot serializes the
+    /// shadow, the fold of all appends), so pending waiters are acked.
+    /// Called under the WAL/shadow lock, which excludes new appends.
+    fn ack_snapshot(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        let floor = st.durable.max(st.failed_through);
+        if st.appended > floor {
+            metrics::GC_SNAPSHOT_ACKS.add(st.appended - floor);
+        }
+        if st.appended > st.durable {
+            st.durable = st.appended;
+        }
+        st.oldest_pending = None;
+        drop(st);
+        self.shared.done.notify_all();
+    }
+
+    /// Flush whatever is pending, then stop and join the flusher.
+    fn stop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+        // Defensive: nothing should be waiting once the server has
+        // drained, but a straggler must be refused, never left hanging.
+        let mut st = self.shared.state.lock().unwrap();
+        if st.durable < st.appended && st.failed_through < st.appended {
+            st.failed_through = st.appended;
+            st.error = "store closed before flush".to_string();
+        }
+        drop(st);
+        self.shared.done.notify_all();
+    }
+}
+
+/// The flusher: wait for appends, optionally linger up to the flush
+/// interval past the oldest pending append so batch-mates join, fsync
+/// once with **no lock held**, then advance the durable (or failed)
+/// watermark and wake every covered waiter. Commits that append during
+/// the fsync form the next batch — that overlap is the natural batching
+/// that makes one fsync pay for N commits under load.
+fn flusher_loop(shared: &FlushShared, file: &File, fault: &Budget, interval: Duration) {
+    loop {
+        let target = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.appended > st.durable.max(st.failed_through) {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+            if !interval.is_zero() && !st.shutdown {
+                // Deadline accumulation: the fsync is issued at most
+                // `interval` after the oldest unflushed append, however
+                // many batch-mates have arrived by then.
+                while let Some(oldest) = st.oldest_pending {
+                    let elapsed = oldest.elapsed();
+                    if elapsed >= interval || st.shutdown {
+                        break;
+                    }
+                    let (guard, timeout) =
+                        shared.work.wait_timeout(st, interval - elapsed).unwrap();
+                    st = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            st.oldest_pending = None;
+            st.appended
+        };
+        let result = wal::sync_file(file, fault);
+        let mut st = shared.state.lock().unwrap();
+        match result {
+            Ok(()) => {
+                metrics::GC_FSYNCS.incr();
+                if target > st.durable {
+                    st.durable = target;
+                }
+            }
+            Err(e) => {
+                metrics::GC_FLUSH_FAILURES.incr();
+                st.error = e.to_string();
+                if target > st.failed_through {
+                    st.failed_through = target;
+                }
+            }
+        }
+        drop(st);
+        shared.done.notify_all();
+    }
+}
+
+struct DurableBackend {
+    state: Mutex<DurableState>,
+    group: Option<GroupCommit>,
+}
+
 enum Durability {
     Memory,
-    // Boxed: `DurableState` is ~370 bytes and there is one per store,
-    // so keep the in-memory variant from paying for it.
-    Durable(Box<Mutex<DurableState>>),
+    // Boxed: the backend is ~400 bytes and there is one per store, so
+    // keep the in-memory variant from paying for it.
+    Durable(Box<DurableBackend>),
 }
 
 /// A concurrent map from KB name to independently locked state.
@@ -165,6 +400,15 @@ impl KbStore {
             None => Budget::unlimited(),
         };
         let wal = Wal::open(&opts.dir.join(WAL_FILE), fault.clone())?;
+        let group = if opts.group_commit {
+            Some(GroupCommit::start(
+                wal.shared_file(),
+                wal.fault(),
+                opts.flush_interval,
+            ))
+        } else {
+            None
+        };
         let map = state
             .iter()
             .map(|(name, kb)| (name.clone(), Arc::new(Mutex::new(kb.clone()))))
@@ -172,14 +416,17 @@ impl KbStore {
         let store = KbStore {
             count: AtomicUsize::new(map.len()),
             map: RwLock::new(map),
-            durability: Durability::Durable(Box::new(Mutex::new(DurableState {
-                wal,
-                shadow: state,
-                dir: opts.dir,
-                snapshot_every: opts.snapshot_every,
-                since_snapshot: 0,
-                fault,
-            }))),
+            durability: Durability::Durable(Box::new(DurableBackend {
+                state: Mutex::new(DurableState {
+                    wal,
+                    shadow: state,
+                    dir: opts.dir,
+                    snapshot_every: opts.snapshot_every,
+                    since_snapshot: 0,
+                    fault,
+                }),
+                group,
+            })),
         };
         Ok((store, report))
     }
@@ -192,26 +439,52 @@ impl KbStore {
         self.map.read().unwrap().get(name).cloned()
     }
 
-    /// Append `rec` to the log (fsync'd) and fold it into the shadow.
-    /// In-memory stores trivially succeed. Returns whether a periodic
-    /// snapshot is now due (callers trigger it *after* releasing their
-    /// entry lock, via [`KbStore::maybe_snapshot`]).
+    /// Append `rec` to the log, make it durable, and fold it into the
+    /// shadow. In-memory stores trivially succeed. Returns whether a
+    /// periodic snapshot is now due (callers trigger it *after*
+    /// releasing their entry lock, via [`KbStore::maybe_snapshot`]).
+    ///
+    /// With group commit, the append + shadow fold happen under the
+    /// WAL lock but the durability wait happens after releasing it, so
+    /// commits to other KBs can append (and join the same fsync batch)
+    /// while this one waits. If the shared flush fails the shadow is
+    /// left ahead of the durable log — safe, because a later snapshot
+    /// of the shadow is itself durable and replay keeps the last record
+    /// per name; the commit is still refused and never published.
     fn log(&self, rec: WalRecord) -> io::Result<bool> {
         match &self.durability {
             Durability::Memory => Ok(false),
-            Durability::Durable(state) => {
-                let mut s = state.lock().unwrap();
-                s.wal.append(&rec)?;
-                match rec {
-                    WalRecord::Commit { name, kb } => {
-                        s.shadow.insert(name, kb);
+            Durability::Durable(backend) => {
+                let (ticket, snapshot_due) = {
+                    let mut s = backend.state.lock().unwrap();
+                    let ticket = match &backend.group {
+                        None => {
+                            s.wal.append(&rec)?;
+                            None
+                        }
+                        Some(group) => {
+                            s.wal.append_unsynced(&rec)?;
+                            Some(group.note_append())
+                        }
+                    };
+                    match rec {
+                        WalRecord::Commit { name, kb } => {
+                            s.shadow.insert(name, kb);
+                        }
+                        WalRecord::Delete { name } => {
+                            s.shadow.remove(&name);
+                        }
                     }
-                    WalRecord::Delete { name } => {
-                        s.shadow.remove(&name);
-                    }
+                    s.since_snapshot += 1;
+                    (
+                        ticket,
+                        s.snapshot_every > 0 && s.since_snapshot >= s.snapshot_every,
+                    )
+                };
+                if let (Some(ticket), Some(group)) = (ticket, &backend.group) {
+                    group.wait_durable(ticket)?;
                 }
-                s.since_snapshot += 1;
-                Ok(s.snapshot_every > 0 && s.since_snapshot >= s.snapshot_every)
+                Ok(snapshot_due)
             }
         }
     }
@@ -369,12 +642,12 @@ impl KbStore {
     pub fn maybe_snapshot(&self) -> io::Result<bool> {
         match &self.durability {
             Durability::Memory => Ok(false),
-            Durability::Durable(state) => {
-                let mut s = state.lock().unwrap();
+            Durability::Durable(backend) => {
+                let mut s = backend.state.lock().unwrap();
                 if s.snapshot_every == 0 || s.since_snapshot < s.snapshot_every {
                     return Ok(false);
                 }
-                Self::snapshot_locked(&mut s)?;
+                Self::snapshot_locked(&mut s, backend.group.as_ref())?;
                 Ok(true)
             }
         }
@@ -385,9 +658,9 @@ impl KbStore {
     pub fn snapshot_now(&self) -> io::Result<()> {
         match &self.durability {
             Durability::Memory => Ok(()),
-            Durability::Durable(state) => {
-                let mut s = state.lock().unwrap();
-                Self::snapshot_locked(&mut s)
+            Durability::Durable(backend) => {
+                let mut s = backend.state.lock().unwrap();
+                Self::snapshot_locked(&mut s, backend.group.as_ref())
             }
         }
     }
@@ -395,11 +668,16 @@ impl KbStore {
     /// Snapshot protocol, under the WAL/shadow lock: serialize the
     /// shadow (the fold of the log), make it durable, then truncate the
     /// log it materializes. Commits are blocked for the duration, which
-    /// is the price of the truncation being provably safe.
-    fn snapshot_locked(s: &mut DurableState) -> io::Result<()> {
+    /// is the price of the truncation being provably safe. The durable
+    /// snapshot covers every append the shadow folded, so it also acks
+    /// any commits still waiting on the group-commit flusher.
+    fn snapshot_locked(s: &mut DurableState, group: Option<&GroupCommit>) -> io::Result<()> {
         snapshot::write_snapshot(&s.dir, &s.shadow, &s.fault)?;
         s.wal.truncate_to_empty()?;
         s.since_snapshot = 0;
+        if let Some(group) = group {
+            group.ack_snapshot();
+        }
         Ok(())
     }
 
@@ -407,6 +685,16 @@ impl KbStore {
     /// holds everything, truncation is merely postponed.
     pub fn note_snapshot_error(&self) {
         metrics::WAL_SNAPSHOT_ERRORS.incr();
+    }
+}
+
+impl Drop for KbStore {
+    fn drop(&mut self) {
+        if let Durability::Durable(backend) = &mut self.durability {
+            if let Some(group) = backend.group.as_mut() {
+                group.stop();
+            }
+        }
     }
 }
 

@@ -5,9 +5,12 @@
 //! dependency TCP server speaking minimal HTTP/1.1 + JSON, built from
 //! four pieces:
 //!
-//! * **worker pool + bounded queue** ([`server`]) — `threads` workers
-//!   behind a `queue_depth`-bounded handoff; overflow answers `503`
-//!   immediately from the acceptor (backpressure, not buffering);
+//! * **event loop + CPU worker pool** ([`server`], [`poller`]) — one
+//!   readiness-driven I/O thread (raw `epoll` on Linux) multiplexes
+//!   every connection, parses pipelined HTTP/1.1 requests, and hands
+//!   them to `threads` CPU workers over a `queue_depth`-bounded queue;
+//!   overflow answers `503` (with `Retry-After`) immediately from the
+//!   I/O thread (backpressure, not buffering);
 //! * **per-request deadlines** ([`routes`]) — each request builds a
 //!   [`arbitrex_core::Budget`]; a slow query degrades to a typed
 //!   `upper_bound`/`interrupted` response instead of stalling a worker;
@@ -55,6 +58,7 @@ pub mod http;
 pub mod json;
 pub mod kb;
 pub mod metrics;
+pub mod poller;
 pub mod recovery;
 pub mod routes;
 pub mod server;
@@ -101,6 +105,19 @@ pub struct ServerConfig {
     /// Deterministic durability fault injection (testing): arm the
     /// `wal_write`/`wal_fsync`/`snapshot_rename` sites.
     pub durability_fault: Option<FaultPlan>,
+    /// Idle keep-alive connections are closed after this long with no
+    /// traffic and nothing in flight; `0` keeps them forever.
+    pub keep_alive_timeout_ms: u64,
+    /// Batch WAL fsyncs: commits append immediately but ack only after
+    /// a shared flush, so one fsync acknowledges every commit that
+    /// arrived while the previous one ran. `false` restores the
+    /// fsync-per-commit path.
+    pub group_commit: bool,
+    /// With group commit, how long the flusher may wait for more
+    /// commits to join a batch before issuing the fsync. `0` flushes as
+    /// soon as the flusher is free (natural batching only). This bounds
+    /// the *extra* ack latency a commit can pay for batching.
+    pub flush_interval_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -116,6 +133,9 @@ impl Default for ServerConfig {
             snapshot_every: 256,
             recover: RecoverMode::Strict,
             durability_fault: None,
+            keep_alive_timeout_ms: 5_000,
+            group_commit: true,
+            flush_interval_us: 0,
         }
     }
 }
@@ -147,6 +167,8 @@ impl ServiceState {
                     snapshot_every: config.snapshot_every,
                     recover: config.recover,
                     fault: config.durability_fault,
+                    group_commit: config.group_commit,
+                    flush_interval: std::time::Duration::from_micros(config.flush_interval_us),
                 })
                 .map_err(|e| io::Error::other(e.to_string()))?;
                 (store, Some(report))

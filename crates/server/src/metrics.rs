@@ -41,11 +41,60 @@ pub static SERVER_SECTION: Section = Section {
     timers: &[],
 };
 
+/// Readiness events delivered to connection tokens by the poller.
+pub static EL_READY_EVENTS: Counter = Counter::new("ready_events");
+/// Completion-waker wakeups received by the event loop.
+pub static EL_WAKEUPS: Counter = Counter::new("wakeups");
+/// Requests parsed while the connection already had one in flight —
+/// divide by `accepted` for pipelined requests per connection.
+pub static EL_PIPELINED: Counter = Counter::new("pipelined_requests");
+/// Times a connection hit [`crate::server::MAX_PIPELINE_DEPTH`] and its
+/// socket reads were paused (TCP backpressure engaged).
+pub static EL_READ_PAUSES: Counter = Counter::new("read_pauses");
+/// Idle keep-alive connections closed by `keep_alive_timeout_ms`.
+pub static EL_KEEPALIVE_REAPED: Counter = Counter::new("keep_alive_reaped");
+
+/// The `"event_loop"` section.
+pub static EVENT_LOOP_SECTION: Section = Section {
+    name: "event_loop",
+    counters: &[
+        &EL_READY_EVENTS,
+        &EL_WAKEUPS,
+        &EL_PIPELINED,
+        &EL_READ_PAUSES,
+        &EL_KEEPALIVE_REAPED,
+    ],
+    timers: &[],
+};
+
+/// Commits acknowledged through the group-commit flusher.
+pub static GC_COMMITS: Counter = Counter::new("commits");
+/// Shared fsyncs issued by the flusher — `commits / fsyncs` is the
+/// achieved batch size (commits per fsync).
+pub static GC_FSYNCS: Counter = Counter::new("fsyncs");
+/// Shared flushes that failed; every commit waiting on one is refused.
+pub static GC_FLUSH_FAILURES: Counter = Counter::new("flush_failures");
+/// Commits made durable by a snapshot landing before their fsync did.
+pub static GC_SNAPSHOT_ACKS: Counter = Counter::new("snapshot_acks");
+
+/// The `"group_commit"` section.
+pub static GROUP_COMMIT_SECTION: Section = Section {
+    name: "group_commit",
+    counters: &[
+        &GC_COMMITS,
+        &GC_FSYNCS,
+        &GC_FLUSH_FAILURES,
+        &GC_SNAPSHOT_ACKS,
+    ],
+    timers: &[],
+};
+
 /// WAL records appended (each one a durable, acknowledged KB mutation).
 pub static WAL_RECORDS_APPENDED: Counter = Counter::new("records_appended");
 /// Framed bytes appended to the WAL.
 pub static WAL_BYTES_APPENDED: Counter = Counter::new("bytes_appended");
-/// WAL fsyncs issued (one per acknowledged commit).
+/// WAL fsyncs issued (one per commit with group commit off; shared
+/// across a batch with it on).
 pub static WAL_FSYNCS: Counter = Counter::new("fsyncs");
 /// Snapshots made durable (temp write + fsync + rename + dir fsync).
 pub static WAL_SNAPSHOTS_WRITTEN: Counter = Counter::new("snapshots_written");
@@ -93,9 +142,12 @@ pub static LATENCY_METRICS: Histogram = Histogram::new("metrics");
 /// Latency of each WAL fsync — the per-commit durability price, and the
 /// first place storage trouble shows up.
 pub static LATENCY_WAL_FSYNC: Histogram = Histogram::new("wal_fsync");
+/// Time a commit spends waiting on the shared group-commit flush
+/// (append → ack). Bounded by one fsync plus `flush_interval_us`.
+pub static LATENCY_FLUSH_WAIT: Histogram = Histogram::new("flush_wait");
 
-/// Every histogram, in protocol-table order (endpoints, then fsync).
-pub fn histograms() -> [&'static Histogram; 6] {
+/// Every histogram, in protocol-table order (endpoints, then durability).
+pub fn histograms() -> [&'static Histogram; 7] {
     [
         &LATENCY_ARBITRATE,
         &LATENCY_FIT,
@@ -103,6 +155,7 @@ pub fn histograms() -> [&'static Histogram; 6] {
         &LATENCY_KB,
         &LATENCY_METRICS,
         &LATENCY_WAL_FSYNC,
+        &LATENCY_FLUSH_WAIT,
     ]
 }
 
@@ -121,7 +174,9 @@ pub fn record_response(status: u16) {
 pub fn metrics_json() -> String {
     let mut sections: Vec<&'static Section> = arbitrex_core::telemetry::sections().to_vec();
     sections.push(&SERVER_SECTION);
+    sections.push(&EVENT_LOOP_SECTION);
     sections.push(&WAL_SECTION);
+    sections.push(&GROUP_COMMIT_SECTION);
     let snapshot = arbitrex_telemetry::snapshot_of(&sections);
     let mut out = String::with_capacity(2048);
     out.push_str("{\"telemetry\": ");
@@ -143,7 +198,9 @@ pub fn metrics_json() -> String {
 /// Reset the server counters and histograms (test isolation).
 pub fn reset() {
     SERVER_SECTION.reset();
+    EVENT_LOOP_SECTION.reset();
     WAL_SECTION.reset();
+    GROUP_COMMIT_SECTION.reset();
     for h in histograms() {
         h.reset();
     }
@@ -157,7 +214,15 @@ mod tests {
     fn metrics_json_contains_every_section_and_histogram() {
         let text = metrics_json();
         for section in [
-            "kernel", "weighted", "budget", "cache", "sat", "server", "wal",
+            "kernel",
+            "weighted",
+            "budget",
+            "cache",
+            "sat",
+            "server",
+            "event_loop",
+            "wal",
+            "group_commit",
         ] {
             assert!(
                 text.contains(&format!("\"{section}\"")),
@@ -171,6 +236,7 @@ mod tests {
             "kb",
             "metrics",
             "wal_fsync",
+            "flush_wait",
         ] {
             assert!(text.contains(&format!("\"{h}\"")), "missing histogram {h}");
         }

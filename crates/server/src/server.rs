@@ -1,31 +1,62 @@
-//! The connection engine: accept loop, bounded queue, worker pool.
+//! The connection engine: a readiness-driven event loop with a CPU
+//! worker pool.
 //!
-//! One acceptor thread polls a nonblocking listener and pushes accepted
-//! connections onto a bounded queue; `threads` workers pop connections and
-//! run keep-alive request loops against [`crate::routes::dispatch`]. When
-//! the queue is full the *acceptor* writes the 503 — backpressure costs
-//! one small write, never a worker slot. Shutdown is cooperative: a flag
-//! checked by the acceptor poll, by idle workers, and between keep-alive
-//! requests, so SIGTERM (or [`ShutdownHandle::shutdown`]) drains cleanly
-//! with no request torn mid-response.
+//! One I/O thread multiplexes every connection through a [`Poller`]
+//! (raw `epoll` on Linux, `poll(2)` elsewhere): nonblocking accept,
+//! per-connection state machines that parse pipelined HTTP/1.1 requests
+//! out of a read buffer, and in-order response flushing. Parsed
+//! requests are handed to `threads` CPU workers over a bounded queue;
+//! workers run [`crate::routes::dispatch`] (operator work, budgets,
+//! commits) and complete responses back to the I/O thread through a
+//! completion list plus a [`Waker`]. When the queue is full the I/O
+//! thread writes the `503` itself (with `Retry-After`) — backpressure
+//! costs one buffered write, never a worker slot, and the connection
+//! stays usable.
+//!
+//! Pipelining: a connection may have up to [`MAX_PIPELINE_DEPTH`]
+//! requests in flight. Each parsed request claims the next response
+//! slot; completions fill slots out of order but flush strictly in
+//! request order, so concurrent workers never reorder a connection's
+//! responses. At the cap the loop stops reading that socket — TCP
+//! backpressure, not buffering — and resumes when a slot frees.
+//!
+//! Shutdown is cooperative: a flag checked by the loop's 25 ms poll
+//! timeout and by idle workers. On shutdown the loop stops accepting,
+//! stops parsing new requests, lets in-flight requests complete and
+//! flush, then joins the workers — no request is torn mid-response.
 
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::http::{self, ReadOutcome, Response};
+use crate::http::{self, BufferParse, Request};
 use crate::metrics;
+use crate::poller::{Event, Interest, Poller, Waker};
 use crate::routes;
 use crate::{ServerConfig, ServiceState};
 
 /// How often blocked loops wake to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
-/// Consecutive idle polls before a worker drops a keep-alive connection.
-const MAX_IDLE_POLLS: u32 = 200; // 200 × 25 ms = 5 s
+/// Most requests one connection may have in flight (parsed but not yet
+/// flushed). Beyond this the loop stops reading the socket until a
+/// response flushes, so a pipelining client cannot force unbounded
+/// response buffering.
+pub const MAX_PIPELINE_DEPTH: usize = 128;
+/// Socket read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+/// How often idle keep-alive connections are swept against
+/// `keep_alive_timeout_ms`.
+const REAP_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Token of the listening socket in the poll set.
+const LISTENER_TOKEN: usize = usize::MAX;
+/// Token of the completion waker in the poll set.
+const WAKER_TOKEN: usize = usize::MAX - 1;
 
 /// Process-global flag set by the installed signal handler. Checked by
 /// every running server in the process alongside its own handle.
@@ -72,42 +103,59 @@ impl ShutdownHandle {
     }
 }
 
-/// The bounded handoff between the acceptor and the workers.
-struct ConnQueue {
-    inner: Mutex<VecDeque<TcpStream>>,
+/// One parsed request on its way to a CPU worker.
+struct Job {
+    token: usize,
+    generation: u64,
+    slot: u64,
+    request: Request,
+    close: bool,
+}
+
+/// A finished response on its way back to the I/O thread.
+struct Completion {
+    token: usize,
+    generation: u64,
+    slot: u64,
+    bytes: Vec<u8>,
+}
+
+/// The bounded handoff between the I/O thread and the CPU workers.
+struct WorkQueue {
+    inner: Mutex<VecDeque<Job>>,
     ready: Condvar,
     depth: usize,
 }
 
-impl ConnQueue {
-    fn new(depth: usize) -> ConnQueue {
-        ConnQueue {
+impl WorkQueue {
+    fn new(depth: usize) -> WorkQueue {
+        WorkQueue {
             inner: Mutex::new(VecDeque::with_capacity(depth)),
             ready: Condvar::new(),
             depth,
         }
     }
 
-    /// Enqueue unless full; the stream comes back on overflow so the
+    /// Enqueue unless full; the job comes back on overflow so the
     /// caller can refuse it.
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    fn try_push(&self, job: Job) -> Result<(), Job> {
         let mut q = self.inner.lock().unwrap();
         if q.len() >= self.depth {
-            return Err(stream);
+            return Err(job);
         }
-        q.push_back(stream);
+        q.push_back(job);
         drop(q);
         self.ready.notify_one();
         Ok(())
     }
 
-    /// Block for the next connection, waking periodically to observe
-    /// shutdown. `None` means "shutting down and drained".
-    fn pop(&self, shutdown: &ShutdownHandle) -> Option<TcpStream> {
+    /// Block for the next job, waking periodically to observe shutdown.
+    /// `None` means "shutting down and drained".
+    fn pop(&self, shutdown: &ShutdownHandle) -> Option<Job> {
         let mut q = self.inner.lock().unwrap();
         loop {
-            if let Some(stream) = q.pop_front() {
-                return Some(stream);
+            if let Some(job) = q.pop_front() {
+                return Some(job);
             }
             if shutdown.is_set() {
                 return None;
@@ -115,6 +163,147 @@ impl ConnQueue {
             let (guard, _timeout) = self.ready.wait_timeout(q, POLL_INTERVAL).unwrap();
             q = guard;
         }
+    }
+}
+
+/// Finished responses plus the waker that tells the poll loop about
+/// them.
+struct Completions {
+    inner: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn new() -> io::Result<Completions> {
+        Ok(Completions {
+            inner: Mutex::new(Vec::new()),
+            waker: Waker::new()?,
+        })
+    }
+
+    fn push(&self, completion: Completion) {
+        self.inner.lock().unwrap().push(completion);
+        self.waker.wake();
+    }
+
+    fn take(&self, into: &mut Vec<Completion>) {
+        std::mem::swap(&mut *self.inner.lock().unwrap(), into);
+    }
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Guards completions against token reuse: a completion whose
+    /// generation does not match the current occupant is dropped.
+    generation: u64,
+    /// Unparsed request bytes.
+    buf: Vec<u8>,
+    /// Encoded response bytes awaiting the socket; `out[..written]` is
+    /// already sent.
+    out: Vec<u8>,
+    written: usize,
+    /// In-flight responses in request order. `None` = still computing;
+    /// the front flushes as soon as it is `Some`.
+    slots: VecDeque<Option<Vec<u8>>>,
+    /// Slot number of `slots[0]`.
+    base_slot: u64,
+    /// Next slot number to assign.
+    next_slot: u64,
+    /// The interest currently registered with the poller (`None` =
+    /// deregistered).
+    interest: Option<Interest>,
+    last_activity: Instant,
+    /// Read side saw EOF (or hangup).
+    peer_closed: bool,
+    /// No further requests will be parsed (close requested, malformed
+    /// input, or server drain).
+    stop_parsing: bool,
+    /// Close once every slot has flushed.
+    close_after_flush: bool,
+    /// Unrecoverable socket error; close regardless of pending output.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64) -> Conn {
+        Conn {
+            stream,
+            generation,
+            buf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            slots: VecDeque::new(),
+            base_slot: 0,
+            next_slot: 0,
+            interest: None,
+            last_activity: Instant::now(),
+            peer_closed: false,
+            stop_parsing: false,
+            close_after_flush: false,
+            dead: false,
+        }
+    }
+
+    /// At the pipeline cap: stop reading until a slot frees.
+    fn paused(&self) -> bool {
+        self.slots.len() >= MAX_PIPELINE_DEPTH
+    }
+
+    fn flushed(&self) -> bool {
+        self.slots.is_empty() && self.written >= self.out.len()
+    }
+
+    fn should_close(&self) -> bool {
+        self.dead
+            || (self.flushed() && (self.close_after_flush || self.peer_closed || self.stop_parsing))
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.stop_parsing && !self.peer_closed && !self.dead && !self.paused(),
+            writable: self.written < self.out.len(),
+        }
+    }
+
+    /// Record a synchronous (I/O-thread-produced) response in the next
+    /// slot: queue-full 503s, malformed 400s, oversized 413s.
+    fn push_ready_slot(&mut self, bytes: Vec<u8>) {
+        self.next_slot += 1;
+        self.slots.push_back(Some(bytes));
+    }
+
+    /// Move leading completed slots into the output buffer.
+    fn promote_ready_slots(&mut self) {
+        while matches!(self.slots.front(), Some(Some(_))) {
+            let bytes = self.slots.pop_front().flatten().unwrap();
+            self.base_slot += 1;
+            self.out.extend_from_slice(&bytes);
+        }
+    }
+
+    /// Write buffered output until the socket would block.
+    fn write_out(&mut self) {
+        while self.written < self.out.len() {
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.written += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.written = 0;
     }
 }
 
@@ -159,117 +348,472 @@ impl Server {
         Arc::clone(&self.state)
     }
 
-    /// Run until shutdown: spawns the worker pool, accepts connections,
-    /// applies backpressure, then drains and joins the workers.
+    /// Run until shutdown: spawns the CPU workers, runs the event loop,
+    /// then drains and joins the workers.
     pub fn run(self) -> io::Result<()> {
-        let queue = Arc::new(ConnQueue::new(self.state.config.queue_depth.max(1)));
         let threads = self.state.config.threads.max(1);
+        let work = Arc::new(WorkQueue::new(self.state.config.queue_depth.max(1)));
+        let completions = Arc::new(Completions::new()?);
 
         let workers: Vec<_> = (0..threads)
             .map(|i| {
-                let queue = Arc::clone(&queue);
+                let work = Arc::clone(&work);
+                let completions = Arc::clone(&completions);
                 let state = Arc::clone(&self.state);
                 let shutdown = self.shutdown.clone();
                 thread::Builder::new()
                     .name(format!("arbitrex-worker-{i}"))
                     .spawn(move || {
-                        while let Some(stream) = queue.pop(&shutdown) {
-                            handle_connection(stream, &state, &shutdown);
+                        while let Some(job) = work.pop(&shutdown) {
+                            let response = routes::dispatch(&state, &job.request);
+                            let close = job.close || shutdown.is_set();
+                            completions.push(Completion {
+                                token: job.token,
+                                generation: job.generation,
+                                slot: job.slot,
+                                bytes: http::encode_response(&response, close),
+                            });
                         }
                     })
                     .expect("spawn worker")
             })
             .collect();
 
-        while !self.shutdown.is_set() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    metrics::ACCEPTED.incr();
-                    // Accepted sockets must block: workers use timeouts.
-                    let _ = stream.set_nonblocking(false);
-                    match queue.try_push(stream) {
-                        Ok(()) => metrics::QUEUED.incr(),
-                        Err(mut refused) => {
-                            metrics::REJECTED.incr();
-                            let resp = routes::error_response(
-                                503,
-                                "server overloaded: request queue is full",
-                            );
-                            metrics::record_response(resp.status);
-                            let _ = http::write_response(&mut refused, &resp, true);
-                        }
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(POLL_INTERVAL);
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => {
-                    // Unexpected accept failure: stop cleanly rather than
-                    // spin; workers still drain the queue.
-                    self.shutdown.shutdown();
-                    for worker in workers {
-                        let _ = worker.join();
-                    }
-                    return Err(e);
-                }
-            }
-        }
+        let poller = Poller::new()?;
+        poller.add(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        poller.add(completions.waker.fd(), WAKER_TOKEN, Interest::READ)?;
 
+        let state = Arc::clone(&self.state);
+        let mut event_loop = EventLoop {
+            listener: self.listener,
+            state: self.state,
+            shutdown: self.shutdown.clone(),
+            poller,
+            work,
+            completions,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+        };
+        let result = event_loop.run();
+        // The loop exits only with shutdown set (requested or fatal), so
+        // the workers drain the queue and stop.
         for worker in workers {
             let _ = worker.join();
         }
         // Drain complete: no worker can commit anymore. Fold the WAL
         // into a final snapshot so the next startup replays nothing.
         // Best-effort — every commit is already durable in the log.
-        if self.state.kbs.snapshot_now().is_err() {
-            self.state.kbs.note_snapshot_error();
+        if state.kbs.snapshot_now().is_err() {
+            state.kbs.note_snapshot_error();
         }
-        Ok(())
+        result
     }
 }
 
-/// Serve one connection's keep-alive request loop.
-fn handle_connection(mut stream: TcpStream, state: &ServiceState, shutdown: &ShutdownHandle) {
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let _ = stream.set_nodelay(true);
-    let mut idle_polls = 0u32;
-    loop {
-        match http::read_request_limited(&mut stream, state.config.max_body_bytes) {
-            Ok(ReadOutcome::Idle) => {
-                idle_polls += 1;
-                if shutdown.is_set() || idle_polls > MAX_IDLE_POLLS {
-                    return;
+/// The I/O thread's entire mutable world.
+struct EventLoop {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    shutdown: ShutdownHandle,
+    poller: Poller,
+    work: Arc<WorkQueue>,
+    completions: Arc<Completions>,
+    /// Token-indexed connection slab.
+    conns: Vec<Option<Conn>>,
+    /// Recycled tokens.
+    free: Vec<usize>,
+    next_generation: u64,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::with_capacity(1024);
+        let mut scratch: Vec<Completion> = Vec::new();
+        let mut accepting = true;
+        let mut fatal: Option<io::Error> = None;
+        let mut last_reap = Instant::now();
+
+        loop {
+            if self.shutdown.is_set() {
+                if accepting {
+                    accepting = false;
+                    let _ = self.poller.remove(self.listener.as_raw_fd());
+                    self.begin_drain();
+                }
+                if self.conns.iter().all(|c| c.is_none()) {
+                    break;
                 }
             }
-            Ok(ReadOutcome::Closed) => return,
-            Ok(ReadOutcome::Malformed(message)) => {
-                metrics::REQUESTS.incr();
-                let resp = routes::error_response(400, message);
-                metrics::record_response(resp.status);
-                let _ = http::write_response(&mut stream, &resp, true);
-                return;
+
+            events.clear();
+            if let Err(e) = self
+                .poller
+                .wait(&mut events, POLL_INTERVAL.as_millis() as i32)
+            {
+                // The poll set itself is broken: no drain is possible.
+                fatal = Some(e);
+                self.shutdown.shutdown();
+                break;
             }
-            Ok(ReadOutcome::TooLarge { declared, cap }) => {
-                metrics::REQUESTS.incr();
-                let resp = routes::error_response(
-                    413,
-                    format!("body of {declared} bytes exceeds the {cap}-byte cap"),
-                );
-                metrics::record_response(resp.status);
-                // The unread body makes the connection unusable: close.
-                let _ = http::write_response(&mut stream, &resp, true);
-                return;
-            }
-            Ok(ReadOutcome::Request(request)) => {
-                idle_polls = 0;
-                let response: Response = routes::dispatch(state, &request);
-                let close = request.wants_close() || shutdown.is_set();
-                if http::write_response(&mut stream, &response, close).is_err() || close {
-                    return;
+            for i in 0..events.len() {
+                let ev = events[i];
+                match ev.token {
+                    LISTENER_TOKEN => {
+                        if accepting {
+                            if let Err(e) = self.accept_all() {
+                                // Unexpected accept failure: stop cleanly
+                                // rather than spin; in-flight work drains.
+                                fatal = Some(e);
+                                self.shutdown.shutdown();
+                            }
+                        }
+                    }
+                    WAKER_TOKEN => {
+                        metrics::EL_WAKEUPS.incr();
+                        self.completions.waker.drain();
+                    }
+                    token => {
+                        metrics::EL_READY_EVENTS.incr();
+                        self.conn_event(token, ev);
+                    }
                 }
             }
-            Err(_) => return,
+            self.drain_completions(&mut scratch);
+            if last_reap.elapsed() >= REAP_INTERVAL {
+                last_reap = Instant::now();
+                self.reap_idle();
+            }
+        }
+
+        for token in 0..self.conns.len() {
+            self.close_conn(token);
+        }
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Accept until the listener would block.
+    fn accept_all(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    metrics::ACCEPTED.incr();
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = match self.free.pop() {
+                        Some(t) => t,
+                        None => {
+                            self.conns.push(None);
+                            self.conns.len() - 1
+                        }
+                    };
+                    self.next_generation += 1;
+                    let mut conn = Conn::new(stream, self.next_generation);
+                    if self
+                        .poller
+                        .add(conn.stream.as_raw_fd(), token, Interest::READ)
+                        .is_ok()
+                    {
+                        conn.interest = Some(Interest::READ);
+                        self.conns[token] = Some(conn);
+                    } else {
+                        // Registration failed; the connection is dropped
+                        // (closed) and the token recycled.
+                        self.free.push(token);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: usize, ev: Event) {
+        if self.conns.get(token).map_or(true, |c| c.is_none()) {
+            return;
+        }
+        if ev.readable {
+            self.read_and_parse(token);
+        }
+        if ev.hangup {
+            if let Some(conn) = self.conns[token].as_mut() {
+                // Reads above drained any final bytes; whatever is left
+                // on a hung-up socket is gone.
+                conn.peer_closed = true;
+            }
+        }
+        self.finalize(token);
+    }
+
+    /// Read until the socket would block (or the connection pauses at
+    /// the pipeline cap), parsing requests as bytes land.
+    fn read_and_parse(&mut self, token: usize) {
+        let mut scratch = [0u8; READ_CHUNK];
+        loop {
+            let Some(conn) = self.conns.get_mut(token).and_then(|c| c.as_mut()) else {
+                return;
+            };
+            if conn.dead || conn.peer_closed || conn.stop_parsing || conn.paused() {
+                break;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+            self.parse_buffered(token);
+        }
+        self.parse_buffered(token);
+    }
+
+    /// Parse as many complete requests as the buffer holds, dispatching
+    /// each to the worker queue (or answering synchronously: 400, 413,
+    /// and queue-full 503).
+    fn parse_buffered(&mut self, token: usize) {
+        let max_body = self.state.config.max_body_bytes;
+        loop {
+            let parsed = {
+                let Some(conn) = self.conns.get_mut(token).and_then(|c| c.as_mut()) else {
+                    return;
+                };
+                if conn.dead || conn.stop_parsing || conn.paused() || conn.buf.is_empty() {
+                    return;
+                }
+                http::parse_request_buffer(&conn.buf, max_body)
+            };
+            match parsed {
+                BufferParse::Incomplete => return,
+                BufferParse::Malformed(message) => {
+                    metrics::REQUESTS.incr();
+                    let resp = routes::error_response(400, message);
+                    metrics::record_response(resp.status);
+                    let bytes = http::encode_response(&resp, true);
+                    let conn = self.conns[token].as_mut().unwrap();
+                    conn.buf.clear();
+                    conn.stop_parsing = true;
+                    conn.close_after_flush = true;
+                    conn.push_ready_slot(bytes);
+                    return;
+                }
+                BufferParse::TooLarge { declared, cap } => {
+                    metrics::REQUESTS.incr();
+                    let resp = routes::error_response(
+                        413,
+                        format!("body of {declared} bytes exceeds the {cap}-byte cap"),
+                    );
+                    metrics::record_response(resp.status);
+                    // The unread body makes the connection unusable: close.
+                    let bytes = http::encode_response(&resp, true);
+                    let conn = self.conns[token].as_mut().unwrap();
+                    conn.buf.clear();
+                    conn.stop_parsing = true;
+                    conn.close_after_flush = true;
+                    conn.push_ready_slot(bytes);
+                    return;
+                }
+                BufferParse::Complete { request, consumed } => {
+                    let close = request.wants_close();
+                    let (generation, slot) = {
+                        let conn = self.conns[token].as_mut().unwrap();
+                        conn.buf.drain(..consumed);
+                        if !conn.slots.is_empty() {
+                            metrics::EL_PIPELINED.incr();
+                        }
+                        let slot = conn.next_slot;
+                        conn.next_slot += 1;
+                        conn.slots.push_back(None);
+                        if conn.paused() {
+                            metrics::EL_READ_PAUSES.incr();
+                        }
+                        if close {
+                            conn.stop_parsing = true;
+                            conn.close_after_flush = true;
+                        }
+                        (conn.generation, slot)
+                    };
+                    let job = Job {
+                        token,
+                        generation,
+                        slot,
+                        request,
+                        close,
+                    };
+                    match self.work.try_push(job) {
+                        Ok(()) => metrics::QUEUED.incr(),
+                        Err(_refused) => {
+                            metrics::REQUESTS.incr();
+                            metrics::REJECTED.incr();
+                            let resp = routes::error_response(
+                                503,
+                                "server overloaded: request queue is full",
+                            )
+                            .with_header("Retry-After", "1");
+                            metrics::record_response(resp.status);
+                            let bytes = http::encode_response(&resp, close);
+                            let conn = self.conns[token].as_mut().unwrap();
+                            let idx = (slot - conn.base_slot) as usize;
+                            conn.slots[idx] = Some(bytes);
+                        }
+                    }
+                    if close {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush what is flushable, resume parsing if a pause lifted, sync
+    /// poller interest with the connection's needs, and close if done.
+    fn finalize(&mut self, token: usize) {
+        let was_paused = {
+            let Some(conn) = self.conns.get_mut(token).and_then(|c| c.as_mut()) else {
+                return;
+            };
+            let was_paused = conn.paused();
+            conn.promote_ready_slots();
+            conn.write_out();
+            if conn.should_close() {
+                self.close_conn(token);
+                return;
+            }
+            was_paused
+        };
+        // A freed slot may unblock buffered pipelined requests (the
+        // kernel fires no new readiness for bytes we already hold).
+        if was_paused {
+            self.parse_buffered(token);
+        }
+        let Some(conn) = self.conns.get_mut(token).and_then(|c| c.as_mut()) else {
+            return;
+        };
+        // Synchronous responses out of the resumed parse flush now too.
+        conn.promote_ready_slots();
+        conn.write_out();
+        if conn.should_close() {
+            self.close_conn(token);
+            return;
+        }
+        let desired = conn.desired_interest();
+        if conn.interest != Some(desired) {
+            let fd = conn.stream.as_raw_fd();
+            let result = if desired.readable || desired.writable {
+                if conn.interest.is_some() {
+                    self.poller.modify(fd, token, desired)
+                } else {
+                    self.poller.add(fd, token, desired)
+                }
+            } else {
+                // Nothing to wait for (e.g. all slots computing and
+                // output drained): leave the poll set entirely so a
+                // hung-up fd cannot spin the loop.
+                conn.interest = None;
+                self.poller.remove(fd)
+            };
+            match result {
+                Ok(()) => {
+                    if desired.readable || desired.writable {
+                        conn.interest = Some(desired);
+                    }
+                }
+                Err(_) => {
+                    self.close_conn(token);
+                }
+            }
+        }
+    }
+
+    /// Deliver finished responses to their connections and flush.
+    fn drain_completions(&mut self, scratch: &mut Vec<Completion>) {
+        self.completions.take(scratch);
+        if scratch.is_empty() {
+            return;
+        }
+        let mut touched: Vec<usize> = Vec::with_capacity(scratch.len());
+        for completion in scratch.drain(..) {
+            let Some(conn) = self
+                .conns
+                .get_mut(completion.token)
+                .and_then(|c| c.as_mut())
+            else {
+                continue;
+            };
+            if conn.generation != completion.generation {
+                continue; // token was recycled; the response has no home
+            }
+            let idx = (completion.slot - conn.base_slot) as usize;
+            if let Some(slot) = conn.slots.get_mut(idx) {
+                *slot = Some(completion.bytes);
+            }
+            conn.last_activity = Instant::now();
+            touched.push(completion.token);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched {
+            self.finalize(token);
+        }
+    }
+
+    /// Server drain: stop parsing everywhere, discard unparsed input,
+    /// and close every connection with nothing in flight.
+    fn begin_drain(&mut self) {
+        for token in 0..self.conns.len() {
+            if let Some(conn) = self.conns[token].as_mut() {
+                conn.stop_parsing = true;
+                conn.buf.clear();
+            } else {
+                continue;
+            }
+            self.finalize(token);
+        }
+    }
+
+    /// Close idle keep-alive connections past the configured timeout.
+    fn reap_idle(&mut self) {
+        let timeout_ms = self.state.config.keep_alive_timeout_ms;
+        if timeout_ms == 0 {
+            return;
+        }
+        let timeout = Duration::from_millis(timeout_ms);
+        for token in 0..self.conns.len() {
+            let stale = match self.conns[token].as_ref() {
+                Some(conn) => {
+                    conn.flushed() && conn.buf.is_empty() && conn.last_activity.elapsed() >= timeout
+                }
+                None => false,
+            };
+            if stale {
+                metrics::EL_KEEPALIVE_REAPED.incr();
+                self.close_conn(token);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: usize) {
+        if let Some(conn) = self.conns.get_mut(token).and_then(|c| c.take()) {
+            if conn.interest.is_some() {
+                let _ = self.poller.remove(conn.stream.as_raw_fd());
+            }
+            self.free.push(token);
+            // conn drops here, closing the socket.
         }
     }
 }

@@ -13,8 +13,11 @@
 //! The CRC32 covers the payload, which serializes `{name, seq, sig,
 //! formula}` — the formula in the canonical prefix byte encoding from
 //! `arbitrex_logic::canonical` ([`arbitrex_logic::encode_formula`]), so a
-//! replayed theory is byte-identical to the acknowledged one. Every
-//! append is fsync'd before the commit is acknowledged to the client;
+//! replayed theory is byte-identical to the acknowledged one. No commit
+//! is acknowledged before an fsync covering its append has succeeded —
+//! either its own ([`Wal::append`], the fsync-per-commit path) or a
+//! shared group-commit flush ([`Wal::append_unsynced`] + [`sync_file`],
+//! where one fsync acknowledges every append that preceded it).
 //! [`crate::recovery`] replays the log on startup and decides, from the
 //! position and shape of the first bad frame, whether the log has a torn
 //! tail (safe to truncate) or mid-log corruption (refuse unless
@@ -29,6 +32,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use arbitrex_core::{Budget, BudgetSite};
@@ -397,10 +401,26 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
 
 // --- the appender ------------------------------------------------------------
 
+/// Fsync `file`, charging the `wal_fsync` fault site and recording the
+/// fsync metrics. Free-standing so the group-commit flusher can sync a
+/// shared handle to the log without holding the WAL mutex (the appender
+/// and the flusher share the [`File`] via [`Wal::shared_file`]).
+pub fn sync_file(file: &File, fault: &Budget) -> io::Result<()> {
+    if fault.charge(BudgetSite::WalFsync, 1).is_err() {
+        return Err(io::Error::other("injected fault: WAL fsync failed"));
+    }
+    let start = Instant::now();
+    file.sync_data()?;
+    metrics::WAL_FSYNCS.incr();
+    metrics::LATENCY_WAL_FSYNC
+        .record_nanos(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    Ok(())
+}
+
 /// An open, append-positioned write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Arc<File>,
     path: PathBuf,
     fault: Budget,
 }
@@ -425,7 +445,7 @@ impl Wal {
             file.seek(SeekFrom::End(0))?;
         }
         Ok(Wal {
-            file,
+            file: Arc::new(file),
             path: path.to_path_buf(),
             fault,
         })
@@ -436,35 +456,58 @@ impl Wal {
         &self.path
     }
 
-    /// Append one record and fsync it. On success the record is durable:
-    /// this is the commit point the route handlers acknowledge after.
+    /// A shared handle to the underlying file, for a flusher thread that
+    /// fsyncs outside the WAL mutex (see [`sync_file`]).
+    pub fn shared_file(&self) -> Arc<File> {
+        Arc::clone(&self.file)
+    }
+
+    /// The fault budget this log was opened with (shared counters, so a
+    /// flusher charging through a clone trips the same plan).
+    pub fn fault(&self) -> Budget {
+        self.fault.clone()
+    }
+
+    /// Append one record *without* syncing it. The record is on its way
+    /// to the kernel but not durable; callers must not acknowledge the
+    /// commit until a [`Wal::sync`] (or a shared [`sync_file`]) covering
+    /// this append succeeds. This is the group-commit append half.
     ///
     /// With a fault plan armed, the k-th `wal_write` writes a torn frame
     /// prefix to disk (flushed, so it is really there for recovery to
-    /// find) and fails; the k-th `wal_fsync` skips the sync and fails.
-    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+    /// find) and fails.
+    pub fn append_unsynced(&mut self, rec: &WalRecord) -> io::Result<()> {
         let framed = frame(&encode_record(rec));
         if self.fault.charge(BudgetSite::WalWrite, 1).is_err() {
             // Injected torn write: half the frame (always a strict,
             // nonempty prefix) lands on disk, exactly like a crash
             // mid-`write`.
             let torn = (framed.len() / 2).max(1);
-            self.file.write_all(&framed[..torn])?;
+            (&*self.file).write_all(&framed[..torn])?;
             self.file.sync_data()?;
             return Err(io::Error::other("injected fault: torn WAL write"));
         }
-        self.file.write_all(&framed)?;
+        (&*self.file).write_all(&framed)?;
         metrics::WAL_RECORDS_APPENDED.incr();
         metrics::WAL_BYTES_APPENDED.add(framed.len() as u64);
-        if self.fault.charge(BudgetSite::WalFsync, 1).is_err() {
-            return Err(io::Error::other("injected fault: WAL fsync failed"));
-        }
-        let start = Instant::now();
-        self.file.sync_data()?;
-        metrics::WAL_FSYNCS.incr();
-        metrics::LATENCY_WAL_FSYNC
-            .record_nanos(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         Ok(())
+    }
+
+    /// Fsync everything appended so far.
+    pub fn sync(&self) -> io::Result<()> {
+        sync_file(&self.file, &self.fault)
+    }
+
+    /// Append one record and fsync it. On success the record is durable:
+    /// this is the commit point the route handlers acknowledge after
+    /// (the fsync-per-commit path; group commit splits the two halves).
+    ///
+    /// With a fault plan armed, the k-th `wal_write` writes a torn frame
+    /// prefix to disk (flushed, so it is really there for recovery to
+    /// find) and fails; the k-th `wal_fsync` skips the sync and fails.
+    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
+        self.append_unsynced(rec)?;
+        self.sync()
     }
 
     /// Drop every record: truncate back to the magic and fsync. Called
@@ -472,7 +515,7 @@ impl Wal {
     /// the state the records encoded.
     pub fn truncate_to_empty(&mut self) -> io::Result<()> {
         self.file.set_len(WAL_MAGIC.len() as u64)?;
-        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        (&*self.file).seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
         self.file.sync_data()
     }
 }

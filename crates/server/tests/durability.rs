@@ -575,6 +575,126 @@ fn oversized_bodies_are_refused_413_before_buffering() {
     server.stop().unwrap();
 }
 
+// --- group commit ------------------------------------------------------------
+
+fn durable_store(dir: &Path, group_commit: bool, flush_interval: Duration) -> KbStore {
+    let (store, _report) = KbStore::open_durable(DurabilityOptions {
+        dir: dir.to_path_buf(),
+        snapshot_every: 0,
+        recover: RecoverMode::Strict,
+        fault: None,
+        group_commit,
+        flush_interval,
+    })
+    .expect("open durable store");
+    store
+}
+
+/// N committer threads, each driving its own KB through `commits`
+/// sequential puts. Every put must be acknowledged.
+fn commit_storm(store: &KbStore, threads: u64, commits: u64) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let store = &store;
+            scope.spawn(move || {
+                let name = format!("kb-{t}");
+                for i in 1..=commits {
+                    let mut sig = Sig::new();
+                    let formula = parse(&mut sig, &oracle(i)).unwrap();
+                    let (seq, _) = store
+                        .put(&name, sig, formula, None)
+                        .unwrap_or_else(|e| panic!("commit {i} on {name}: {e:?}"));
+                    assert_eq!(seq, i);
+                }
+            });
+        }
+    });
+}
+
+/// Every KB from [`commit_storm`] recovered at its final seq with the
+/// oracle's exact canonical bytes.
+fn assert_storm_recovered(dir: &Path, threads: u64, commits: u64) {
+    let recovered = recover_map(dir, RecoverMode::Strict);
+    assert_eq!(recovered.len(), threads as usize);
+    for t in 0..threads {
+        let kb = &recovered[&format!("kb-{t}")];
+        assert_eq!(kb.seq, commits);
+        assert_eq!(encode_formula(&kb.formula), canonical_of(&oracle(commits)));
+    }
+}
+
+#[test]
+fn group_commit_acks_every_concurrent_commit_durably() {
+    let dir = temp_state_dir();
+    {
+        let store = durable_store(&dir, true, Duration::ZERO);
+        commit_storm(&store, 8, 32);
+        // The store drops here: the flusher drains and joins.
+    }
+    assert_storm_recovered(&dir, 8, 32);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn group_commit_off_restores_fsync_per_commit() {
+    let dir = temp_state_dir();
+    {
+        let store = durable_store(&dir, false, Duration::ZERO);
+        commit_storm(&store, 4, 16);
+    }
+    assert_storm_recovered(&dir, 4, 16);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn flush_interval_lingers_without_losing_acks() {
+    let dir = temp_state_dir();
+    {
+        // A 2ms linger forces the deadline-accumulation path: the
+        // flusher waits for batch-mates, then must still ack everyone.
+        let store = durable_store(&dir, true, Duration::from_millis(2));
+        commit_storm(&store, 4, 16);
+    }
+    assert_storm_recovered(&dir, 4, 16);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn group_commit_snapshot_acks_pending_commits() {
+    let dir = temp_state_dir();
+    {
+        let (store, _report) = KbStore::open_durable(DurabilityOptions {
+            dir: dir.clone(),
+            snapshot_every: 4, // snapshots race the flusher mid-storm
+            recover: RecoverMode::Strict,
+            fault: None,
+            group_commit: true,
+            flush_interval: Duration::from_millis(1),
+        })
+        .expect("open durable store");
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    let name = format!("kb-{t}");
+                    for i in 1..=16u64 {
+                        let mut sig = Sig::new();
+                        let formula = parse(&mut sig, &oracle(i)).unwrap();
+                        let (_, snapshot_due) = store.put(&name, sig, formula, None).unwrap();
+                        if snapshot_due {
+                            // Route handlers do exactly this after
+                            // releasing their entry lock.
+                            let _ = store.maybe_snapshot();
+                        }
+                    }
+                });
+            }
+        });
+    }
+    assert_storm_recovered(&dir, 4, 16);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 // --- the kill-9 harness -------------------------------------------------------
 
 /// Deterministic oracle: the formula the i-th put writes. Always the
@@ -692,6 +812,8 @@ fn kill9_mid_commit_storm_loses_no_acknowledged_commit() {
         snapshot_every: 0,
         recover: RecoverMode::Strict,
         fault: None,
+        group_commit: false,
+        flush_interval: Duration::ZERO,
     })
     .expect("strict recovery after SIGKILL");
     let entry = store.entry("storm").expect("storm KB survived");
@@ -709,5 +831,142 @@ fn kill9_mid_commit_storm_loses_no_acknowledged_commit() {
     );
     assert_eq!(report.max_seq, kb.seq);
     drop(kb);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Child mode for the group-commit kill-9 harness: a durable server with
+/// group commit on and a nonzero flush interval, so the SIGKILL lands
+/// while batched, not-yet-fsynced appends are in flight. A no-op under a
+/// normal test run (the env var is absent).
+#[test]
+fn child_group_commit_server_main() {
+    let Ok(dir) = std::env::var("ARBX_GC_CHILD_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let server = durable_server(&dir, |c| {
+        c.threads = 4;
+        c.snapshot_every = 16;
+        c.group_commit = true;
+        c.flush_interval_us = 200; // widen the append→fsync window
+    });
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, server.addr.to_string()).unwrap();
+    std::fs::rename(&tmp, dir.join("addr.txt")).unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[test]
+fn kill9_group_commit_storm_loses_no_acknowledged_commit() {
+    const CLIENTS: u64 = 4;
+    let dir = temp_state_dir();
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(&exe)
+        .args([
+            "child_group_commit_server_main",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("ARBX_GC_CHILD_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child server");
+
+    let addr_file = dir.join("addr.txt");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let addr: std::net::SocketAddr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child never published an address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let killer = {
+        let pid = child.id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            #[cfg(unix)]
+            {
+                extern "C" {
+                    fn kill(pid: i32, sig: i32) -> i32;
+                }
+                unsafe { kill(pid as i32, 9) };
+            }
+            #[cfg(not(unix))]
+            let _ = pid;
+        })
+    };
+
+    // Concurrent commit storms: one sequential client per KB, so the
+    // per-KB in-flight window is exactly one put, while across KBs the
+    // flusher sees genuinely concurrent appends to batch.
+    let clients: Vec<std::thread::JoinHandle<u64>> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let path = format!("/v1/kb/storm-{t}");
+                let mut last_acked = 0u64;
+                for i in 1..=100_000u64 {
+                    match client.try_request("POST", &path, &put_body(&oracle(i))) {
+                        Ok((200, v)) => {
+                            assert_eq!(num_of(&v, "seq"), i, "acks must be sequential");
+                            last_acked = i;
+                        }
+                        Ok((status, v)) => panic!("unexpected status {status}: {v:?}"),
+                        Err(_) => break, // the kill landed
+                    }
+                }
+                last_acked
+            })
+        })
+        .collect();
+    let acked: Vec<u64> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    killer.join().unwrap();
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // The crash-consistency contract, per KB: every acknowledged commit
+    // survives; at most the one in-flight (possibly batched-but-unacked)
+    // put may additionally have reached the log.
+    let (store, _report) = KbStore::open_durable(DurabilityOptions {
+        dir: dir.clone(),
+        snapshot_every: 0,
+        recover: RecoverMode::Strict,
+        fault: None,
+        group_commit: false,
+        flush_interval: Duration::ZERO,
+    })
+    .expect("strict recovery after SIGKILL");
+    for (t, last_acked) in acked.iter().enumerate() {
+        assert!(
+            *last_acked > 0,
+            "client {t} never got a single acknowledgement"
+        );
+        let entry = store
+            .entry(&format!("storm-{t}"))
+            .unwrap_or_else(|| panic!("storm-{t} KB survived"));
+        let kb = entry.lock().unwrap();
+        assert!(
+            kb.seq == *last_acked || kb.seq == *last_acked + 1,
+            "storm-{t}: recovered seq {} vs last acked {last_acked}",
+            kb.seq
+        );
+        assert_eq!(
+            encode_formula(&kb.formula),
+            canonical_of(&oracle(kb.seq)),
+            "storm-{t}: recovered formula must match the oracle for seq {}",
+            kb.seq
+        );
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,0 +1,340 @@
+//! HTTP/1.1 pipelining suite for the event-loop server.
+//!
+//! Drives the readiness-driven acceptor over real sockets with traffic
+//! shapes the blocking reader never saw: several requests in one
+//! `write(2)`, one request split across TCP segments, malformed bytes
+//! in the middle of a pipeline, deep bursts against the per-connection
+//! depth cap, overload 503s answered mid-pipeline with `Retry-After`,
+//! and idle keep-alive connections reaped by `--keep-alive-timeout-ms`.
+//! Responses must always come back complete, in request order.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use arbitrex_server::{spawn, RunningServer, ServerConfig};
+
+fn server_with(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        queue_depth: 256,
+        cache_entries: 256,
+        timeout_ms: 0,
+        ..ServerConfig::default()
+    };
+    configure(&mut config);
+    spawn(config).expect("spawn server")
+}
+
+fn connect(server: &RunningServer) -> TcpStream {
+    let stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+/// Raw request bytes, keep-alive unless `close`.
+fn raw_request(method: &str, path: &str, body: &str, close: bool) -> String {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\n{connection}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// One full response off the stream: status, the raw head, the body.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => panic!(
+                "connection closed before response head (got {:?})",
+                String::from_utf8_lossy(&head)
+            ),
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) => panic!("read error: {e}"),
+        }
+    }
+    let head = String::from_utf8(head).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("content-length")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).unwrap();
+    (status, head, String::from_utf8(body).unwrap())
+}
+
+/// Has the peer closed? Distinguishes clean EOF from a timeout.
+fn reaches_eof(stream: &mut TcpStream, within: Duration) -> bool {
+    stream.set_read_timeout(Some(within)).unwrap();
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => panic!("unexpected byte {byte:?} instead of EOF"),
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => false,
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => true,
+        Err(e) => panic!("read error waiting for EOF: {e}"),
+    }
+}
+
+fn seq_of(body: &str) -> u64 {
+    // Responses are flat JSON objects; the seq field is an integer.
+    let tail = body.split("\"seq\":").nth(1).unwrap_or_else(|| {
+        panic!("no seq in {body}");
+    });
+    tail.trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("numeric seq")
+}
+
+// --- pipelining --------------------------------------------------------------
+
+#[test]
+fn pipelined_requests_in_one_write_answer_in_order() {
+    let server = server_with(|_| {});
+    let mut stream = connect(&server);
+
+    // Three puts to the same KB in a single write(2): the responses must
+    // come back complete and strictly in request order — the seqs they
+    // report (1, 2, 3) are the order the server really applied them in.
+    let mut batch = String::new();
+    for formula in ["A", "A & B", "A & B & C"] {
+        batch.push_str(&raw_request(
+            "POST",
+            "/v1/kb/pipelined",
+            &format!(r#"{{"action": "put", "formula": "{formula}"}}"#),
+            false,
+        ));
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    for expected_seq in 1..=3u64 {
+        let (status, _head, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(seq_of(&body), expected_seq, "{body}");
+    }
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn request_split_across_tcp_segments_is_reassembled() {
+    let server = server_with(|_| {});
+    let mut stream = connect(&server);
+
+    let request = raw_request(
+        "POST",
+        "/v1/arbitrate",
+        r#"{"psi": "A & B", "phi": "!A & !B"}"#,
+        false,
+    );
+    let bytes = request.as_bytes();
+    // Dribble the request out in three segments with pauses between, so
+    // the head and the body each arrive incomplete at least once.
+    let cuts = [bytes.len() / 3, 2 * bytes.len() / 3, bytes.len()];
+    let mut sent = 0;
+    for cut in cuts {
+        stream.write_all(&bytes[sent..cut]).unwrap();
+        stream.flush().unwrap();
+        sent = cut;
+        std::thread::sleep(Duration::from_millis(60));
+    }
+
+    let (status, _head, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"n_models\""), "{body}");
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn malformed_request_mid_pipeline_gets_400_without_corrupting_earlier_responses() {
+    let server = server_with(|_| {});
+    let mut stream = connect(&server);
+
+    // A valid request, then garbage, then another valid request — all in
+    // one write. The first must succeed untouched, the garbage draws a
+    // 400, and the connection closes without answering the third (its
+    // bytes are indistinguishable from more garbage).
+    let mut batch = raw_request("GET", "/metrics", "", false);
+    batch.push_str("THIS IS NOT HTTP\r\n\r\n");
+    batch.push_str(&raw_request("GET", "/metrics", "", false));
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    let (status, _head, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"telemetry\""), "{body}");
+
+    let (status, head, _body) = read_response(&mut stream);
+    assert_eq!(status, 400);
+    assert!(head.contains("Connection: close"), "{head}");
+
+    assert!(
+        reaches_eof(&mut stream, Duration::from_secs(5)),
+        "connection must close after the 400"
+    );
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn deep_pipeline_burst_completes_in_order() {
+    let server = server_with(|c| c.threads = 4);
+    let mut stream = connect(&server);
+
+    // 32 pipelined puts in one write — deep enough to exercise slot
+    // bookkeeping and out-of-order completion reordering across several
+    // workers, while staying under MAX_PIPELINE_DEPTH.
+    let mut batch = String::new();
+    for i in 0..32 {
+        let formula = if i % 2 == 0 { "A | B" } else { "A & B" };
+        batch.push_str(&raw_request(
+            "POST",
+            "/v1/kb/burst",
+            &format!(r#"{{"action": "put", "formula": "{formula}"}}"#),
+            false,
+        ));
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    for expected_seq in 1..=32u64 {
+        let (status, _head, body) = read_response(&mut stream);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(seq_of(&body), expected_seq, "{body}");
+    }
+
+    server.stop().unwrap();
+}
+
+// --- connection lifecycle ----------------------------------------------------
+
+#[test]
+fn connection_close_is_honored_after_the_response() {
+    let server = server_with(|_| {});
+    let mut stream = connect(&server);
+
+    stream
+        .write_all(raw_request("GET", "/metrics", "", true).as_bytes())
+        .unwrap();
+    let (status, head, _body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    assert!(
+        reaches_eof(&mut stream, Duration::from_secs(5)),
+        "server must close after Connection: close"
+    );
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let server = server_with(|c| c.keep_alive_timeout_ms = 200);
+    let mut stream = connect(&server);
+
+    // The connection works while active...
+    stream
+        .write_all(raw_request("GET", "/metrics", "", false).as_bytes())
+        .unwrap();
+    let (status, _head, _body) = read_response(&mut stream);
+    assert_eq!(status, 200);
+
+    // ...then, left idle past the timeout, the server closes it.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut reaped = false;
+    while Instant::now() < deadline {
+        if reaches_eof(&mut stream, Duration::from_millis(250)) {
+            reaped = true;
+            break;
+        }
+    }
+    assert!(reaped, "idle connection was never reaped");
+
+    // A fresh connection still serves: reaping is per-connection.
+    let mut fresh = connect(&server);
+    fresh
+        .write_all(raw_request("GET", "/metrics", "", false).as_bytes())
+        .unwrap();
+    let (status, _head, _body) = read_response(&mut fresh);
+    assert_eq!(status, 200);
+
+    server.stop().unwrap();
+}
+
+// --- backpressure ------------------------------------------------------------
+
+#[test]
+fn overload_503_carries_retry_after() {
+    // One worker, queue depth one: a held request pins the worker, a
+    // second fills the queue, and the third is refused straight from the
+    // I/O thread — with a Retry-After hint.
+    let server = server_with(|c| {
+        c.threads = 1;
+        c.queue_depth = 1;
+    });
+
+    let mut held = connect(&server);
+    held.write_all(
+        raw_request(
+            "POST",
+            "/v1/arbitrate",
+            r#"{"psi": "A", "phi": "!A", "hold_ms": 1500}"#,
+            false,
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(400)); // worker now sleeping in hold_ms
+
+    let mut queued = connect(&server);
+    queued
+        .write_all(
+            raw_request(
+                "POST",
+                "/v1/arbitrate",
+                r#"{"psi": "B", "phi": "!B"}"#,
+                false,
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200)); // event loop has queued it
+
+    let mut refused = connect(&server);
+    refused
+        .write_all(raw_request("GET", "/metrics", "", false).as_bytes())
+        .unwrap();
+    let (status, head, body) = read_response(&mut refused);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("overloaded"), "{body}");
+    assert!(head.contains("Retry-After: 1"), "{head}");
+
+    // Refusal never corrupts accepted work.
+    let (status, _head, _body) = read_response(&mut held);
+    assert_eq!(status, 200);
+    let (status, _head, _body) = read_response(&mut queued);
+    assert_eq!(status, 200);
+
+    server.stop().unwrap();
+}

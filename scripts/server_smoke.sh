@@ -70,6 +70,20 @@ expect "kb delete" '"deleted":true' "$OUT"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -d 'not json at all' "http://$ADDR/v1/arbitrate")
 [ "$CODE" = "400" ] || fail "malformed body should be 400" "$CODE"
 
+# Pipelining: two requests in a single write on one connection; both
+# responses come back, in order, on that same connection. Driven with
+# bash's /dev/tcp so the smoke needs no client beyond the shell.
+HOST="${ADDR%:*}"; PORT="${ADDR##*:}"
+BODY='{"psi": "A", "phi": "!A"}'
+REQ1=$(printf 'POST /v1/arbitrate HTTP/1.1\r\nHost: smoke\r\nContent-Length: %s\r\n\r\n%s' "${#BODY}" "$BODY")
+REQ2=$(printf 'POST /v1/arbitrate HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\nContent-Length: %s\r\n\r\n%s' "${#BODY}" "$BODY")
+exec 3<>"/dev/tcp/$HOST/$PORT"
+printf '%s%s' "$REQ1" "$REQ2" >&3
+PIPELINED=$(timeout 10 cat <&3 || true)
+exec 3<&- 3>&-
+OKS=$(printf '%s' "$PIPELINED" | grep -c 'HTTP/1.1 200' || true)
+[ "$OKS" = "2" ] || fail "pipelined write should yield two 200s" "$PIPELINED"
+
 OUT=$(curl -sf "http://$ADDR/metrics")
 expect "metrics sections" '"server"' "$OUT"
 expect "metrics histograms" '"latency_ns"' "$OUT"
