@@ -87,6 +87,8 @@ pub struct BddManager {
     unique: HashMap<Node, Bdd>,
     apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
     not_cache: HashMap<Bdd, Bdd>,
+    flip_cache: HashMap<(Bdd, u32), Bdd>,
+    flip_all_cache: HashMap<Bdd, Bdd>,
 }
 
 impl BddManager {
@@ -97,6 +99,8 @@ impl BddManager {
             unique: HashMap::new(),
             apply_cache: HashMap::new(),
             not_cache: HashMap::new(),
+            flip_cache: HashMap::new(),
+            flip_all_cache: HashMap::new(),
         };
         // Slots 0 and 1 are the terminals; var = u32::MAX sorts them below
         // every decision node in the ordering checks.
@@ -266,6 +270,52 @@ impl BddManager {
         let lo = self.restrict(lo0, v, value);
         let hi = self.restrict(hi0, v, value);
         self.mk(bv, lo, hi)
+    }
+
+    /// Substitute `¬v` for variable `v`: the image of `b` under flipping
+    /// bit `v` of every interpretation. `I ⊨ flip(b, v)` iff `I⊕{v} ⊨ b`.
+    pub fn flip(&mut self, b: Bdd, v: u32) -> Bdd {
+        if b.0 <= 1 {
+            return b;
+        }
+        let bv = self.var_of(b);
+        if bv > v {
+            return b; // v does not occur below here
+        }
+        if let Some(&r) = self.flip_cache.get(&(b, v)) {
+            return r;
+        }
+        let lo0 = self.lo(b);
+        let hi0 = self.hi(b);
+        let r = if bv == v {
+            self.mk(bv, hi0, lo0)
+        } else {
+            let lo = self.flip(lo0, v);
+            let hi = self.flip(hi0, v);
+            self.mk(bv, lo, hi)
+        };
+        self.flip_cache.insert((b, v), r);
+        r
+    }
+
+    /// Substitute `¬v` for **every** variable simultaneously — the
+    /// antipodal map. `I ⊨ flip_all(b)` iff `¬I ⊨ b`, so for any two
+    /// interpretations `dist(I, J) = n − dist(I, ¬J)`; this is the identity
+    /// the layered odist computation in [`crate::distance`] rests on.
+    pub fn flip_all(&mut self, b: Bdd) -> Bdd {
+        if b.0 <= 1 {
+            return b;
+        }
+        if let Some(&r) = self.flip_all_cache.get(&b) {
+            return r;
+        }
+        let (v, lo0, hi0) = (self.var_of(b), self.lo(b), self.hi(b));
+        let lo = self.flip_all(lo0);
+        let hi = self.flip_all(hi0);
+        // The branch taken for v = 0 is what the hi branch used to be.
+        let r = self.mk(v, hi, lo);
+        self.flip_all_cache.insert(b, r);
+        r
     }
 
     /// Existential quantification `∃v. b`.
@@ -506,6 +556,47 @@ mod tests {
         let g = m.or(x, y);
         assert_eq!(m.forall(g, 0), y);
         assert_eq!(m.exists(g, 0), Bdd::TRUE);
+    }
+
+    #[test]
+    fn flip_matches_bit_toggled_eval() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let xy = m.and(x, y);
+        let f = m.or(xy, z);
+        for v in 0..3 {
+            let g = m.flip(f, v);
+            for bits in 0..8u64 {
+                assert_eq!(
+                    m.eval(g, bits),
+                    m.eval(f, bits ^ (1 << v)),
+                    "v={v} bits={bits}"
+                );
+            }
+            // Flipping twice is the identity.
+            assert_eq!(m.flip(g, v), f);
+        }
+        assert_eq!(m.flip(Bdd::TRUE, 0), Bdd::TRUE);
+        assert_eq!(m.flip(Bdd::FALSE, 2), Bdd::FALSE);
+    }
+
+    #[test]
+    fn flip_all_is_the_antipodal_map() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let xy = m.xor(x, y);
+        let f = m.and(xy, z);
+        let g = m.flip_all(f);
+        for bits in 0..8u64 {
+            assert_eq!(m.eval(g, bits), m.eval(f, bits ^ 0b111));
+        }
+        assert_eq!(m.flip_all(g), f); // involution
+        assert_eq!(m.flip_all(Bdd::TRUE), Bdd::TRUE);
+        assert_eq!(m.flip_all(Bdd::FALSE), Bdd::FALSE);
     }
 
     #[test]

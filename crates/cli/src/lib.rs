@@ -606,12 +606,26 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
             "--flush-interval-us" => {
                 config.flush_interval_us = flag_u64(&mut it, "--flush-interval-us")?;
             }
+            "--bdd-hotness" => {
+                let v = flag_u64(&mut it, "--bdd-hotness")?;
+                if v > u32::MAX as u64 {
+                    return err("--bdd-hotness must fit in 32 bits");
+                }
+                config.bdd_hotness = v as u32;
+            }
+            "--bdd-node-budget" => {
+                config.bdd_node_budget = flag_u64(&mut it, "--bdd-node-budget")? as usize;
+                if config.bdd_node_budget == 0 {
+                    return err("--bdd-node-budget must be at least 1 (use --bdd-hotness 0 to disable the tier)");
+                }
+            }
             other => {
                 return err(format!(
                     "unknown serve flag `{other}` (expected --addr, --threads, \
                      --queue-depth, --cache-entries, --timeout-ms, --max-body-bytes, \
                      --keep-alive-timeout-ms, --state-dir, --snapshot-every, \
-                     --recover, --fault, --group-commit, --flush-interval-us)"
+                     --recover, --fault, --group-commit, --flush-interval-us, \
+                     --bdd-hotness, --bdd-node-budget)"
                 ))
             }
         }
@@ -685,7 +699,7 @@ pub fn help() -> String {
          \x20\x20\x20\x20 [--cache-entries n] [--timeout-ms n] [--max-body-bytes n]\n\
          \x20\x20\x20\x20 [--keep-alive-timeout-ms n] [--state-dir d] [--snapshot-every n]\n\
          \x20\x20\x20\x20 [--recover strict|salvage] [--group-commit on|off]\n\
-         \x20\x20\x20\x20 [--flush-interval-us n]\n\
+         \x20\x20\x20\x20 [--flush-interval-us n] [--bdd-hotness n] [--bdd-node-budget n]\n\
          \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\");\n\
          \x20\x20\x20\x20 --state-dir makes KBs durable (WAL + snapshots, README\n\
          \x20\x20\x20\x20 \"Durability\"); commits batch fsyncs unless --group-commit off\n\
@@ -991,6 +1005,24 @@ mod tests {
     }
 
     #[test]
+    fn serve_bdd_flags_parse_into_config() {
+        let cfg =
+            parse_serve_config(&sv(&["--bdd-hotness", "7", "--bdd-node-budget", "65536"])).unwrap();
+        assert_eq!(cfg.bdd_hotness, 7);
+        assert_eq!(cfg.bdd_node_budget, 65536);
+        // Defaults match the tier's published constants.
+        let d = parse_serve_config(&[]).unwrap();
+        assert_eq!(d.bdd_hotness, arbitrex_core::CompiledTier::DEFAULT_HOTNESS);
+        assert_eq!(
+            d.bdd_node_budget,
+            arbitrex_core::CompiledTier::DEFAULT_NODE_BUDGET
+        );
+        // `--bdd-hotness 0` disables the tier rather than erroring.
+        let off = parse_serve_config(&sv(&["--bdd-hotness", "0"])).unwrap();
+        assert_eq!(off.bdd_hotness, 0);
+    }
+
+    #[test]
     fn serve_usage_errors_exit_2() {
         for bad in [
             sv(&["--threads"]),              // missing value
@@ -1003,6 +1035,8 @@ mod tests {
             sv(&["--fault", "wal_write"]),   // missing count
             sv(&["--group-commit", "auto"]), // unknown mode
             sv(&["--flush-interval-us"]),    // missing value
+            sv(&["--bdd-hotness", "many"]),  // non-integer
+            sv(&["--bdd-node-budget", "0"]), // out of range
         ] {
             let e = cmd_serve(&bad).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Usage, "{bad:?}: {e}");

@@ -389,7 +389,7 @@ impl OpCache {
     }
 }
 
-fn check_query_width(n_vars: u32) -> Result<(), CoreError> {
+pub(crate) fn check_query_width(n_vars: u32) -> Result<(), CoreError> {
     CoreError::check_enum_limit(n_vars)?;
     debug_assert!(n_vars as usize <= MAX_VARS);
     Ok(())
@@ -482,7 +482,7 @@ pub fn weighted_side(f: &Formula, weight: u64, n_vars: u32) -> WeightedKb {
     WeightedKb::from_weights(n_vars, models.iter().map(|i| (i, weight)))
 }
 
-fn store_outcome(cache: &OpCache, key: &QueryKey, out: &Outcome) -> CacheStatus {
+pub(crate) fn store_outcome(cache: &OpCache, key: &QueryKey, out: &Outcome) -> CacheStatus {
     if out.quality != Quality::Exact {
         telemetry::CACHE_BYPASSES.incr();
         CacheStatus::Bypass

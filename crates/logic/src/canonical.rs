@@ -501,6 +501,28 @@ fn first_occurrence_renaming(fs: &[Formula], width: u32) -> Vec<u32> {
     map
 }
 
+/// Apply a variable renaming to a formula: every `Var(v)` becomes
+/// `Var(map[v])`. The structural shape is preserved exactly.
+///
+/// This is the bridge consumers of [`CanonicalQuery`] use to move *other*
+/// formulas into an already-computed canonical variable space — e.g. the
+/// compiled-KB tier renames each incoming `μ` through the `forward`
+/// permutation of its compiled `ψ` before BDD evaluation.
+///
+/// # Panics
+/// Panics if `f` mentions a variable `v` with `v as usize >= map.len()`.
+///
+/// ```
+/// use arbitrex_logic::{parse, rename_formula, Sig};
+/// let mut sig = Sig::new();
+/// let f = parse(&mut sig, "A & !B").unwrap();
+/// let g = parse(&mut sig, "B & !A").unwrap();
+/// assert_eq!(rename_formula(&f, &[1, 0]), g);
+/// ```
+pub fn rename_formula(f: &Formula, map: &[u32]) -> Formula {
+    rename(f, map)
+}
+
 /// Apply a variable renaming to a formula.
 fn rename(f: &Formula, map: &[u32]) -> Formula {
     match f {

@@ -71,7 +71,7 @@ use std::path::PathBuf;
 use std::thread::JoinHandle;
 
 use arbitrex_core::cache::OpCache;
-use arbitrex_core::FaultPlan;
+use arbitrex_core::{CompiledTier, FaultPlan};
 use kb::{DurabilityOptions, KbStore};
 use recovery::{RecoverMode, RecoveryReport};
 
@@ -118,6 +118,13 @@ pub struct ServerConfig {
     /// soon as the flusher is free (natural batching only). This bounds
     /// the *extra* ack latency a commit can pay for batching.
     pub flush_interval_us: u64,
+    /// Compile a KB's `ψ` to an ROBDD after this many queries against the
+    /// same canonical form; later queries are answered by BDD traversal.
+    /// `0` disables the compiled tier entirely.
+    pub bdd_hotness: u32,
+    /// Per-`ψ` BDD node budget: a compilation (or per-query `μ`
+    /// traversal) exceeding it degrades to the kernel path instead.
+    pub bdd_node_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +143,8 @@ impl Default for ServerConfig {
             keep_alive_timeout_ms: 5_000,
             group_commit: true,
             flush_interval_us: 0,
+            bdd_hotness: CompiledTier::DEFAULT_HOTNESS,
+            bdd_node_budget: CompiledTier::DEFAULT_NODE_BUDGET,
         }
     }
 }
@@ -149,6 +158,8 @@ pub struct ServiceState {
     pub cache: OpCache,
     /// Named knowledge bases.
     pub kbs: KbStore,
+    /// The compiled-KB tier: hot `ψ` theories as ROBDDs.
+    pub compiled: CompiledTier,
     /// What recovery found, when the store is durable.
     pub recovery: Option<RecoveryReport>,
 }
@@ -174,10 +185,16 @@ impl ServiceState {
                 (store, Some(report))
             }
         };
+        let compiled = CompiledTier::new(
+            config.bdd_hotness,
+            config.bdd_node_budget,
+            CompiledTier::DEFAULT_CAPACITY,
+        );
         Ok(ServiceState {
             config,
             cache,
             kbs,
+            compiled,
             recovery,
         })
     }

@@ -145,9 +145,14 @@ pub static LATENCY_WAL_FSYNC: Histogram = Histogram::new("wal_fsync");
 /// Time a commit spends waiting on the shared group-commit flush
 /// (append → ack). Bounded by one fsync plus `flush_interval_us`.
 pub static LATENCY_FLUSH_WAIT: Histogram = Histogram::new("flush_wait");
+/// Latency of each ψ → ROBDD compilation in the compiled-KB tier
+/// (hotness promotions and commit-time recompiles alike) — the
+/// amortized cost a KB pays to move onto the BDD fast path.
+pub static LATENCY_BDD_COMPILE: Histogram = Histogram::new("bdd_compile");
 
-/// Every histogram, in protocol-table order (endpoints, then durability).
-pub fn histograms() -> [&'static Histogram; 7] {
+/// Every histogram, in protocol-table order (endpoints, then durability,
+/// then the compiled tier).
+pub fn histograms() -> [&'static Histogram; 8] {
     [
         &LATENCY_ARBITRATE,
         &LATENCY_FIT,
@@ -156,6 +161,7 @@ pub fn histograms() -> [&'static Histogram; 7] {
         &LATENCY_METRICS,
         &LATENCY_WAL_FSYNC,
         &LATENCY_FLUSH_WAIT,
+        &LATENCY_BDD_COMPILE,
     ]
 }
 
@@ -218,6 +224,7 @@ mod tests {
             "weighted",
             "budget",
             "cache",
+            "bdd",
             "sat",
             "server",
             "event_loop",
@@ -237,6 +244,7 @@ mod tests {
             "metrics",
             "wal_fsync",
             "flush_wait",
+            "bdd_compile",
         ] {
             assert!(text.contains(&format!("\"{h}\"")), "missing histogram {h}");
         }

@@ -13,9 +13,12 @@ use crate::kb::{self, CommitError, StoredKb};
 use crate::metrics;
 use crate::ServiceState;
 
-use arbitrex_core::cache::{cached_apply, cached_arbitrate, cached_warbitrate, CacheStatus};
+use arbitrex_core::cache::{cached_warbitrate, CacheStatus};
 use arbitrex_core::iterated::iterate_fixed_input;
-use arbitrex_core::{budgeted_operator, Budget, BudgetSpent, Outcome, Quality};
+use arbitrex_core::{
+    budgeted_operator, tiered_apply, tiered_arbitrate, Budget, BudgetSpent, Outcome, Quality,
+    TierReport,
+};
 use arbitrex_logic::{parse as parse_formula, Formula, Interp, ModelSet, Sig, ENUM_LIMIT};
 
 /// Longest artificial `hold_ms` accepted (a load-testing knob; see
@@ -184,13 +187,29 @@ fn note_quality(quality: Quality) {
     }
 }
 
-fn outcome_json(endpoint: &str, sig: &Sig, outcome: &Outcome, cache: CacheStatus) -> Json {
+/// Feed a tier report's compile time (if this request paid one) into the
+/// `bdd_compile` latency histogram.
+fn note_compile(report: &TierReport) {
+    if let Some(ns) = report.compile_ns {
+        metrics::LATENCY_BDD_COMPILE.record_nanos(ns);
+    }
+}
+
+fn outcome_json(
+    endpoint: &str,
+    sig: &Sig,
+    outcome: &Outcome,
+    cache: CacheStatus,
+    report: &TierReport,
+) -> Json {
     note_quality(outcome.quality);
+    note_compile(report);
     let (models, truncated) = models_json(sig, &outcome.models);
     obj([
         ("endpoint", json::s(endpoint)),
         ("quality", json::s(outcome.quality.name())),
         ("cache", json::s(cache.name())),
+        ("backend", json::s(report.backend.name())),
         ("n_vars", json::n(outcome.models.n_vars() as u64)),
         ("n_models", json::n(outcome.models.len() as u64)),
         ("models", models),
@@ -209,10 +228,11 @@ fn handle_metrics(state: &ServiceState) -> Response {
     let mut text = metrics::metrics_json();
     // Splice live gauge values (cache fill, KB count) into the document.
     let gauges = format!(
-        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}}}}}",
+        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}}}}}",
         state.cache.len(),
         state.cache.capacity(),
-        state.kbs.len()
+        state.kbs.len(),
+        state.compiled.compiled_count()
     );
     text.truncate(text.len() - 1);
     text.push_str(&gauges);
@@ -236,9 +256,22 @@ fn arbitrate_inner(state: &ServiceState, body: &Json) -> Result<Response, Respon
     let psi = parse_side(&mut sig, body, "psi")?;
     let phi = parse_side(&mut sig, body, "phi")?;
     check_width(sig.width())?;
-    let (outcome, cache) = cached_arbitrate(&state.cache, &psi, &phi, sig.width(), &budget)
-        .map_err(|e| error_response(400, e.to_string()))?;
-    Ok(ok(outcome_json("arbitrate", &sig, &outcome, cache)))
+    let (outcome, cache, report) = tiered_arbitrate(
+        &state.cache,
+        &state.compiled,
+        &psi,
+        &phi,
+        sig.width(),
+        &budget,
+    )
+    .map_err(|e| error_response(400, e.to_string()))?;
+    Ok(ok(outcome_json(
+        "arbitrate",
+        &sig,
+        &outcome,
+        cache,
+        &report,
+    )))
 }
 
 fn handle_fit(state: &ServiceState, req: &Request) -> Response {
@@ -273,9 +306,17 @@ fn fit_inner(state: &ServiceState, body: &Json) -> Result<Response, Response> {
     let psi = parse_side(&mut sig, body, "psi")?;
     let mu = parse_side(&mut sig, body, "mu")?;
     check_width(sig.width())?;
-    let (outcome, cache) = cached_apply(&state.cache, op.as_ref(), &psi, &mu, sig.width(), &budget)
-        .map_err(|e| error_response(400, e.to_string()))?;
-    let mut response = outcome_json("fit", &sig, &outcome, cache);
+    let (outcome, cache, report) = tiered_apply(
+        &state.cache,
+        &state.compiled,
+        op.as_ref(),
+        &psi,
+        &mu,
+        sig.width(),
+        &budget,
+    )
+    .map_err(|e| error_response(400, e.to_string()))?;
+    let mut response = outcome_json("fit", &sig, &outcome, cache, &report);
     if let Json::Obj(members) = &mut response {
         members.insert(1, ("op".to_string(), json::s(op_name)));
     }
@@ -493,8 +534,8 @@ fn kb_change(
     let n = sig.width();
     let psi = kb.formula.clone();
 
-    let (outcome, cache) = if action == "arbitrate" {
-        cached_arbitrate(&state.cache, &psi, &mu, n, &budget)
+    let (outcome, cache, report) = if action == "arbitrate" {
+        tiered_arbitrate(&state.cache, &state.compiled, &psi, &mu, n, &budget)
     } else {
         let op_name = match body.get("op") {
             None => "odist",
@@ -504,11 +545,20 @@ fn kb_change(
         };
         let op = budgeted_operator(op_name)
             .ok_or_else(|| error_response(400, format!("unknown operator `{op_name}`")))?;
-        cached_apply(&state.cache, op.as_ref(), &psi, &mu, n, &budget)
+        tiered_apply(
+            &state.cache,
+            &state.compiled,
+            op.as_ref(),
+            &psi,
+            &mu,
+            n,
+            &budget,
+        )
     }
     .map_err(|e| error_response(400, e.to_string()))?;
 
     note_quality(outcome.quality);
+    note_compile(&report);
     let committed = outcome.quality == Quality::Exact;
     let mut snapshot_due = false;
     if committed {
@@ -525,9 +575,19 @@ fn kb_change(
             .map_err(|e| commit_error_response(CommitError::Io(e), if_seq))?;
         *kb = next;
     }
+    let committed_formula = committed.then(|| outcome.models.to_formula());
     let seq_now = kb.seq;
     drop(kb);
     run_due_snapshot(state, snapshot_due);
+    // Compiled-tier invalidation runs strictly after the entry lock is
+    // released: the tier mutex is a leaf lock (DESIGN.md §11). Keys are
+    // content-addressed, so correctness never depends on this hook — it
+    // frees the dead entry and transfers hotness to the new ψ.
+    if let Some(next_psi) = committed_formula {
+        if let Some(ns) = state.compiled.note_commit(Some(&psi), &next_psi, n) {
+            metrics::LATENCY_BDD_COMPILE.record_nanos(ns);
+        }
+    }
     let (models, truncated) = models_json(&sig, &outcome.models);
     Ok(ok(obj([
         ("endpoint", json::s("kb")),
@@ -535,6 +595,7 @@ fn kb_change(
         ("action", json::s(action)),
         ("quality", json::s(outcome.quality.name())),
         ("cache", json::s(cache.name())),
+        ("backend", json::s(report.backend.name())),
         ("committed", Json::Bool(committed)),
         ("seq", json::n(seq_now)),
         ("n_vars", json::n(n as u64)),

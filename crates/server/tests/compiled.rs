@@ -1,0 +1,462 @@
+//! Loopback tests for the compiled-KB (ROBDD) serving tier.
+//!
+//! The invariant under test: a KB that has been compiled hot can be
+//! committed over (guarded by `if_seq`), and the **stale BDD is never
+//! served** — every response after the commit reflects the new `ψ`. The
+//! tier keys compiled entries by the canonical bytes of `ψ`, so this holds
+//! structurally; these tests drive it end-to-end over real sockets,
+//! including a kill-9 crash landing between a compile and the commit that
+//! publishes the new theory (reusing the harness from `durability.rs`).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use arbitrex_logic::{parse, Interp, ModelSet, Sig};
+use arbitrex_server::json::{self, Json};
+use arbitrex_server::recovery::{self, RecoverMode};
+use arbitrex_server::{spawn, RunningServer, ServerConfig};
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn temp_state_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "arbx-compiled-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A server with the compiled tier fully eager (hotness 1) and the result
+/// cache off, so every query's `backend` field shows the real path.
+fn bdd_server(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        queue_depth: 16,
+        cache_entries: 0,
+        bdd_hotness: 1,
+        ..ServerConfig::default()
+    };
+    configure(&mut config);
+    spawn(config).expect("spawn server")
+}
+
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Client { stream }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Json)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.stream.read(&mut byte)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "closed before response head",
+                    ))
+                }
+                _ => {
+                    head.push(byte[0]);
+                    if head.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let head = String::from_utf8_lossy(&head).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other("bad status line"))?;
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| std::io::Error::other("missing content-length"))?;
+        let mut body = vec![0u8; length];
+        self.stream.read_exact(&mut body)?;
+        let text = String::from_utf8_lossy(&body).to_string();
+        let value = json::parse(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
+        Ok((status, value))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        self.try_request(method, path, body).expect("request")
+    }
+}
+
+fn request(server: &RunningServer, method: &str, path: &str, body: &str) -> (u16, Json) {
+    Client::connect(server.addr).request(method, path, body)
+}
+
+fn num_of(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+        .as_u64()
+        .unwrap_or_else(|| panic!("`{key}` not an integer in {v:?}"))
+}
+
+fn str_of<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+        .as_str()
+        .unwrap_or_else(|| panic!("`{key}` not a string in {v:?}"))
+}
+
+/// The models the server reported, as interpretations over `sig_names`
+/// (order fixes bit positions).
+fn reported_models(v: &Json, sig_names: &[&str]) -> Vec<u64> {
+    let Some(Json::Arr(models)) = v.get("models") else {
+        panic!("missing `models` in {v:?}");
+    };
+    let mut out: Vec<u64> = models
+        .iter()
+        .map(|m| {
+            let Json::Arr(names) = m else {
+                panic!("model not an array in {v:?}")
+            };
+            names
+                .iter()
+                .map(|n| {
+                    let name = n.as_str().expect("model entry");
+                    1u64 << sig_names
+                        .iter()
+                        .position(|s| *s == name)
+                        .expect("known var")
+                })
+                .sum()
+        })
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Models of `text` parsed over the fixed variable order `sig_names`.
+fn expect_models(text: &str, sig_names: &[&str]) -> Vec<u64> {
+    let mut sig = Sig::new();
+    for name in sig_names {
+        parse(&mut sig, name).unwrap();
+    }
+    let f = parse(&mut sig, text).unwrap();
+    let mut out: Vec<u64> = ModelSet::of_formula(&f, sig.width())
+        .iter()
+        .map(|i| i.0)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn compiled_kbs(server: &RunningServer) -> u64 {
+    let (status, m) = request(server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    num_of(m.get("gauges").expect("gauges"), "compiled_kbs")
+}
+
+#[test]
+fn hot_kb_committed_under_if_seq_never_serves_the_stale_bdd() {
+    let server = bdd_server(|_| {});
+    let vars = ["A", "B"];
+
+    // Seed ψ₀ = A & B and make it hot: with hotness 1 the first fit
+    // compiles it, and μ = A leaves the theory canonically unchanged
+    // (the fit's minimum is ψ₀'s own model), so it stays hot over commits.
+    let (status, v) = request(
+        &server,
+        "POST",
+        "/v1/kb/wx",
+        r#"{"action": "put", "formula": "A & B"}"#,
+    );
+    assert_eq!(status, 200, "{v:?}");
+    let (status, v) = request(
+        &server,
+        "POST",
+        "/v1/kb/wx",
+        r#"{"action": "fit", "formula": "A"}"#,
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(str_of(&v, "backend"), "bdd");
+    assert_eq!(reported_models(&v, &vars), expect_models("A & B", &vars));
+    assert!(compiled_kbs(&server) >= 1, "ψ₀ should be compiled");
+    let seq = num_of(&v, "seq");
+
+    // Commit over the hot theory, guarded by if_seq: ψ ← ψ Δ (!A & !B).
+    // The arbitration of opposite corners keeps the fair compromises
+    // {A}, {B} — a theory *disjoint in models* from ψ₀, so any stale
+    // answer is detectable.
+    let body = format!(r#"{{"action": "arbitrate", "formula": "!A & !B", "if_seq": {seq}}}"#);
+    let (status, v) = request(&server, "POST", "/v1/kb/wx", &body);
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(
+        str_of(&v, "backend"),
+        "bdd",
+        "hot ψ₀ answers its last query compiled"
+    );
+    assert!(matches!(v.get("committed"), Some(Json::Bool(true))));
+    let expect_psi1 = expect_models("(A & !B) | (!A & B)", &vars);
+    assert_eq!(reported_models(&v, &vars), expect_psi1);
+    let seq2 = num_of(&v, "seq");
+    assert_eq!(seq2, seq + 1);
+
+    // Every query after the commit must see ψ₁, never ψ₀. The invalidation
+    // hook eagerly recompiled ψ₁ (hotness transfer), so these are served
+    // from the BDD — the exact path a stale entry would poison.
+    for _ in 0..3 {
+        let (status, v) = request(
+            &server,
+            "POST",
+            "/v1/kb/wx",
+            r#"{"action": "fit", "formula": "A | B", "op": "dalal"}"#,
+        );
+        assert_eq!(status, 200, "{v:?}");
+        assert_eq!(str_of(&v, "backend"), "bdd");
+        // dalal(ψ₁, A|B): ψ₁ ⊆ Mod(A|B), so the fit returns ψ₁ itself —
+        // and recommits it. ψ₀'s answer would be {A&B} alone.
+        assert_eq!(reported_models(&v, &vars), expect_psi1);
+    }
+
+    // A stale if_seq is refused with 409 and commits nothing.
+    let body = format!(r#"{{"action": "arbitrate", "formula": "A", "if_seq": {seq}}}"#);
+    let (status, v) = request(&server, "POST", "/v1/kb/wx", &body);
+    assert_eq!(status, 409, "{v:?}");
+
+    server.stop().unwrap();
+}
+
+#[test]
+fn stateless_endpoints_promote_and_report_the_bdd_backend() {
+    let server = bdd_server(|c| c.bdd_hotness = 3);
+    let vars = ["S", "D", "Q"];
+    let body = r#"{"psi": "(S & !D & !Q) | (!S & D & !Q) | (S & D & Q)", "mu": "D & !Q"}"#;
+    // Below the threshold the kernel serves; at it, the tier compiles.
+    let expect = expect_models("S & D & !Q", &vars); // Example 3.1's fit: {S, D}
+    for want in ["kernel", "kernel", "bdd", "bdd"] {
+        let (status, v) = request(&server, "POST", "/v1/fit", body);
+        assert_eq!(status, 200, "{v:?}");
+        assert_eq!(str_of(&v, "backend"), want);
+        assert_eq!(reported_models(&v, &vars), expect);
+    }
+    assert_eq!(compiled_kbs(&server), 1);
+    server.stop().unwrap();
+}
+
+#[test]
+fn disabled_tier_always_reports_the_kernel_backend() {
+    let server = bdd_server(|c| c.bdd_hotness = 0);
+    for _ in 0..3 {
+        let (status, v) = request(
+            &server,
+            "POST",
+            "/v1/arbitrate",
+            r#"{"psi": "A & B", "phi": "!A & !B"}"#,
+        );
+        assert_eq!(status, 200, "{v:?}");
+        assert_eq!(str_of(&v, "backend"), "kernel");
+    }
+    assert_eq!(compiled_kbs(&server), 0);
+    server.stop().unwrap();
+}
+
+// --- kill-9: crash between a compile and the commit that publishes ψ' --------
+
+/// The i-th storm theory: a complete conjunction over six variables whose
+/// single model is the bit pattern `i`. Every fit against it compiles
+/// (hotness 1) and every ack commits the next one, so a SIGKILL lands
+/// between some compile and its publishing commit with high probability.
+fn oracle(i: u64) -> String {
+    let mut parts = Vec::with_capacity(6);
+    for (bit, name) in ["VA", "VB", "VC", "VD", "VE", "VF"].iter().enumerate() {
+        if (i >> bit) & 1 == 1 {
+            parts.push(name.to_string());
+        } else {
+            parts.push(format!("!{name}"));
+        }
+    }
+    parts.join(" & ")
+}
+
+/// Child mode: a durable server with the compiled tier fully eager. A
+/// no-op under a normal test run (the env var is absent).
+#[test]
+fn child_compiled_server_main() {
+    let Ok(dir) = std::env::var("ARBX_COMPILED_CHILD_DIR") else {
+        return;
+    };
+    let dir = PathBuf::from(dir);
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_entries: 0,
+        bdd_hotness: 1,
+        state_dir: Some(dir.clone()),
+        snapshot_every: 16,
+        ..ServerConfig::default()
+    })
+    .expect("spawn child server");
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, server.addr.to_string()).unwrap();
+    std::fs::rename(&tmp, dir.join("addr.txt")).unwrap();
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[test]
+fn kill9_between_compile_and_publish_loses_no_acknowledged_theory() {
+    let dir = temp_state_dir();
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(&exe)
+        .args([
+            "child_compiled_server_main",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("ARBX_COMPILED_CHILD_DIR", &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child server");
+
+    let addr_file = dir.join("addr.txt");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let addr: std::net::SocketAddr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child never published an address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    let killer = {
+        let pid = child.id();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(250));
+            #[cfg(unix)]
+            {
+                extern "C" {
+                    fn kill(pid: i32, sig: i32) -> i32;
+                }
+                unsafe { kill(pid as i32, 9) };
+            }
+            #[cfg(not(unix))]
+            let _ = pid;
+        })
+    };
+
+    // Seed ψ = oracle(0), then storm Dalal fits: step i proposes the
+    // complete conjunction oracle(i); its single model is always the
+    // unique minimum, so the acked theory after seq s is exactly
+    // oracle(s - 1). With hotness 1 every new ψ compiles before its
+    // successor commits — the kill lands inside that window somewhere.
+    let mut client = Client::connect(addr);
+    #[allow(unused_assignments)]
+    let mut last_acked_seq = 0u64;
+    match client.try_request(
+        "POST",
+        "/v1/kb/storm",
+        &format!(r#"{{"action": "put", "formula": "{}"}}"#, oracle(0)),
+    ) {
+        Ok((200, v)) => last_acked_seq = num_of(&v, "seq"),
+        Ok((status, v)) => panic!("seed put failed: {status} {v:?}"),
+        Err(e) => panic!("server died before the seed put: {e}"),
+    }
+    for i in 1..=100_000u64 {
+        let body = format!(
+            r#"{{"action": "fit", "op": "dalal", "formula": "{}"}}"#,
+            oracle(i)
+        );
+        match client.try_request("POST", "/v1/kb/storm", &body) {
+            Ok((200, v)) => {
+                assert_eq!(num_of(&v, "seq"), i + 1, "acks must be sequential");
+                assert_eq!(str_of(&v, "backend"), "bdd", "storm must ride the tier");
+                last_acked_seq = i + 1;
+            }
+            Ok((status, v)) => panic!("unexpected status {status}: {v:?}"),
+            Err(_) => break, // the kill landed
+        }
+    }
+    killer.join().unwrap();
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(last_acked_seq > 0, "nothing was ever acknowledged");
+
+    // Crash-consistency: the recovered theory corresponds to its seq —
+    // seq s stores oracle(s-1)'s single model (s may exceed last_acked_seq
+    // by the one in-flight, unacknowledged commit). The compiled tier is
+    // memory-only, so no stale BDD state can survive into recovery.
+    let (map, _report) = recovery::recover(&dir, RecoverMode::Strict).expect("recover");
+    let kb = map.get("storm").expect("storm KB survived");
+    assert!(
+        kb.seq == last_acked_seq || kb.seq == last_acked_seq + 1,
+        "seq {} vs last acked {}",
+        kb.seq,
+        last_acked_seq
+    );
+    let models: Vec<Interp> = ModelSet::of_formula(&kb.formula, kb.sig.width())
+        .iter()
+        .collect();
+    assert_eq!(models, vec![Interp(kb.seq - 1)], "theory matches its seq");
+
+    // A fresh server over the same directory serves the recovered ψ
+    // correctly through a fresh (empty) compiled tier.
+    let server = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        cache_entries: 0,
+        bdd_hotness: 1,
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("respawn");
+    let (status, v) = request(&server, "GET", "/v1/kb/storm", "");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(num_of(&v, "seq"), kb.seq);
+    let vars = ["VA", "VB", "VC", "VD", "VE", "VF"];
+    let (status, v) = request(
+        &server,
+        "POST",
+        "/v1/kb/storm",
+        r#"{"action": "fit", "formula": "VA | !VA"}"#,
+    );
+    assert_eq!(status, 200, "{v:?}");
+    // odist fit against a tautology returns ψ itself.
+    assert_eq!(
+        reported_models(&v, &vars),
+        expect_models(&oracle(kb.seq - 1), &vars)
+    );
+    server.stop().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI gate for the compiled-KB tier: run E18 in quick mode and fail if
+# either claim breaks.
+#
+#   1. Hot-KB speedup — the acceptance criterion: compiled (BDD) serving
+#      throughput must be >= 2x the kernel path at equal workers on the
+#      width-14 pool. Both legs run in the same process on the same
+#      machine, so runner speed cancels out of the ratio.
+#   2. Hot-path non-regression — the tier sits on the cache-miss path,
+#      so warm-cache serving (the E17 heavy pool, cache on) must not
+#      collapse vs the *recorded* BENCH_PR6 pipelined baseline. The
+#      recorded number came from a fast box; the gate allows 2x slack
+#      for slow shared CI runners while still catching a real
+#      regression (a tier check on the hit path would show up as far
+#      more than 2x).
+#
+#   cargo build --release
+#   scripts/e18_gate.sh [path-to-experiments]
+set -euo pipefail
+
+EXPERIMENTS="${1:-target/release/experiments}"
+[ -x "$EXPERIMENTS" ] || { echo "missing binary: $EXPERIMENTS (cargo build --release first)"; exit 1; }
+[ -f BENCH_PR6.json ] || { echo "missing BENCH_PR6.json (run from the repo root)"; exit 1; }
+
+# The recorded event-loop rps: heavy pool, threads=4, pipelined.
+BASELINE=$(grep -o '{"workload": "heavy", "threads": 4, "mode": "pipelined"[^}]*}' BENCH_PR6.json \
+  | grep -o '"rps": [0-9]*' | grep -o '[0-9]*')
+[ -n "$BASELINE" ] || { echo "FAIL: could not parse the heavy/threads=4 pipelined baseline from BENCH_PR6.json"; exit 1; }
+
+OUT=$(ARBX_E18_QUICK=1 "$EXPERIMENTS" e18)
+LINE=$(printf '%s\n' "$OUT" | grep '^e18-quick ' | head -n1) || true
+[ -n "$LINE" ] || { echo "FAIL: no e18-quick line in experiments output"; printf '%s\n' "$OUT"; exit 1; }
+echo "$LINE (recorded hot-serving baseline: $BASELINE rps)"
+
+BDD=$(printf '%s\n' "$LINE" | sed -n 's/.*bdd_rps=\([0-9]*\).*/\1/p')
+KERNEL=$(printf '%s\n' "$LINE" | sed -n 's/.*kernel_rps=\([0-9]*\).*/\1/p')
+HOT=$(printf '%s\n' "$LINE" | sed -n 's/.*hot_rps=\([0-9]*\).*/\1/p')
+[ -n "$BDD" ] && [ -n "$KERNEL" ] && [ -n "$HOT" ] || { echo "FAIL: could not parse rps fields from: $LINE"; exit 1; }
+[ "$KERNEL" -gt 0 ] || { echo "FAIL: kernel leg measured 0 rps"; exit 1; }
+
+if [ "$BDD" -lt $((KERNEL * 2)) ]; then
+  echo "FAIL: compiled hot-KB throughput ($BDD rps) is below 2x the kernel path ($KERNEL rps) at equal workers"
+  exit 1
+fi
+echo "e18 gate: compiled $BDD rps >= 2x kernel $KERNEL rps"
+
+if [ $((HOT * 2)) -lt "$BASELINE" ]; then
+  echo "FAIL: warm-cache serving with the tier enabled ($HOT rps) fell below half the recorded BENCH_PR6 baseline ($BASELINE rps)"
+  exit 1
+fi
+echo "e18 gate: warm-cache control $HOT rps holds the recorded baseline $BASELINE rps (2x slack)"
