@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E18) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E19) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
@@ -89,6 +89,9 @@ fn main() {
     }
     if want("e18") {
         e18_compiled_tier();
+    }
+    if want("e19") {
+        e19_replication();
     }
 }
 
@@ -2308,5 +2311,421 @@ fn e18_compiled_tier() {
             inprocess_rows.len()
         ),
         Err(e) => println!("could not write BENCH_PR7.json: {e}\n"),
+    }
+}
+
+/// E19 — replicated serving: WAL-shipping lag and failover time
+/// (engineering, PR 8).
+///
+/// Two measurements on a loopback primary/replica pair, both phrased as
+/// the client experiences them through the read-your-writes protocol:
+///
+/// **Replication lag**: commit to the primary, take the ack's
+/// `X-Arbitrex-Seq` token, and poll the replica with
+/// `X-Arbitrex-Min-Seq` until the 412s stop — the elapsed time is how
+/// long the commit took to become readable on the follower. Two legs:
+/// an idle pair, and the pair under the E17 load point (8 keep-alive
+/// clients pipelining depth-16 arbitrations at the primary), so the lag
+/// distribution reflects WAL shipping competing with real serving work.
+///
+/// **Failover time**: with the replica caught up to the acked
+/// watermark, stop the primary, then measure from the
+/// `POST /v1/replication/promote` request to the first successful
+/// min-seq read at that watermark on the promoted node — the
+/// write-visibility gap an explicit failover costs a caught-up replica.
+/// A fresh pair per cycle (promotion is one-way).
+///
+/// Writes the machine-readable record to BENCH_PR8.json. With
+/// `ARBX_E19_QUICK=1` runs reduced sample counts, prints one greppable
+/// `e19-quick ...` line for `scripts/e19_gate.sh`, and does not touch
+/// BENCH_PR8.json.
+fn e19_replication() {
+    use arbitrex_server::{spawn, RunningServer, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    header(
+        "E19",
+        "replicated serving: WAL-shipping lag and failover time",
+        "engineering (PR 8); no paper artifact",
+    );
+
+    const LOAD_CLIENTS: usize = 8;
+    const LOAD_DEPTH: usize = 16;
+    let quick = std::env::var("ARBX_E19_QUICK").is_ok();
+    let lag_samples: usize = if quick { 40 } else { 200 };
+    let failover_cycles: usize = if quick { 5 } else { 20 };
+
+    /// One keep-alive connection speaking just enough HTTP/1.1:
+    /// requests are strictly sequential, responses Content-Length
+    /// framed, so byte-at-a-time head reads stay off the measured path
+    /// (bodies here are tens of bytes).
+    struct Conn {
+        stream: TcpStream,
+    }
+    impl Conn {
+        fn open(addr: std::net::SocketAddr) -> Conn {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            let _ = stream.set_nodelay(true);
+            Conn { stream }
+        }
+
+        /// Send one request with an optional extra header; return
+        /// (status, response head).
+        fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            extra: Option<(&str, &str)>,
+            body: &str,
+        ) -> (u16, String) {
+            let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\n");
+            if let Some((name, value)) = extra {
+                head.push_str(&format!("{name}: {value}\r\n"));
+            }
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+            self.stream.write_all(head.as_bytes()).expect("write head");
+            self.stream.write_all(body.as_bytes()).expect("write body");
+            let mut reply = Vec::with_capacity(512);
+            let mut byte = [0u8; 1];
+            loop {
+                match self.stream.read(&mut byte) {
+                    Ok(0) => panic!("server closed connection mid-response"),
+                    Ok(_) => {
+                        reply.push(byte[0]);
+                        if reply.ends_with(b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                    Err(e) => panic!("read error: {e}"),
+                }
+            }
+            let head_text = String::from_utf8_lossy(&reply).to_string();
+            let status: u16 = head_text
+                .split_whitespace()
+                .nth(1)
+                .expect("status code")
+                .parse()
+                .expect("numeric status");
+            let length: usize = head_text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .trim()
+                .parse()
+                .expect("numeric length");
+            let mut body_buf = vec![0u8; length];
+            self.stream.read_exact(&mut body_buf).expect("read body");
+            (status, head_text)
+        }
+    }
+
+    fn header_u64(head: &str, name: &str) -> u64 {
+        head.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no {name} header in: {head}"))
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arbx-e19-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create state dir");
+        dir
+    }
+
+    /// A durable primary/replica pair on fresh state dirs.
+    fn spawn_pair(label: &str) -> (RunningServer, RunningServer, PathBuf, PathBuf) {
+        let p_dir = temp_dir(&format!("{label}-p"));
+        let r_dir = temp_dir(&format!("{label}-r"));
+        let primary = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_depth: 256,
+            cache_entries: 4096,
+            state_dir: Some(p_dir.clone()),
+            snapshot_every: 0,
+            ..ServerConfig::default()
+        })
+        .expect("spawn primary");
+        let replica = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_depth: 256,
+            cache_entries: 4096,
+            state_dir: Some(r_dir.clone()),
+            snapshot_every: 0,
+            replicate_from: Some(primary.addr.to_string()),
+            ..ServerConfig::default()
+        })
+        .expect("spawn replica");
+        (primary, replica, p_dir, r_dir)
+    }
+
+    /// Poll `GET /v1/kb/{kb}` with `X-Arbitrex-Min-Seq: {rseq}` until
+    /// the 412s stop; returns the wait in nanoseconds.
+    fn wait_visible(conn: &mut Conn, kb: &str, rseq: u64) -> u64 {
+        let t0 = Instant::now();
+        loop {
+            let (status, _) = conn.request(
+                "GET",
+                &format!("/v1/kb/{kb}"),
+                Some(("X-Arbitrex-Min-Seq", &rseq.to_string())),
+                "",
+            );
+            match status {
+                200 => return t0.elapsed().as_nanos() as u64,
+                412 => std::thread::sleep(std::time::Duration::from_micros(200)),
+                other => panic!("unexpected status {other} waiting for rseq {rseq}"),
+            }
+        }
+    }
+
+    fn percentile(sorted: &[u64], p: f64) -> u64 {
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+
+    /// One lag leg: `samples` sequential commits to the primary, each
+    /// timed from its ack to its first successful min-seq read on the
+    /// replica. Returns sorted waits in ns.
+    fn lag_leg(primary: &RunningServer, replica: &RunningServer, samples: usize) -> Vec<u64> {
+        let mut writer = Conn::open(primary.addr);
+        let mut reader = Conn::open(replica.addr);
+        let mut waits = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let formula = if i % 2 == 0 { "A & B" } else { "A | B" };
+            let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+            let (status, head) = writer.request("POST", "/v1/kb/lag", None, &body);
+            assert_eq!(status, 200, "commit failed: {head}");
+            let rseq = header_u64(&head, "X-Arbitrex-Seq");
+            waits.push(wait_visible(&mut reader, "lag", rseq));
+        }
+        waits.sort_unstable();
+        waits
+    }
+
+    /// Background load at the E17 light load point: `LOAD_CLIENTS`
+    /// keep-alive clients pipelining depth-`LOAD_DEPTH` batches of
+    /// small cube arbitrations at the primary until stopped.
+    fn spawn_load(
+        addr: std::net::SocketAddr,
+        stop: Arc<AtomicBool>,
+    ) -> Vec<std::thread::JoinHandle<()>> {
+        let wires: Vec<Vec<u8>> = (3..=6usize)
+            .flat_map(|n| {
+                let vars: Vec<String> = (0..n).map(|i| format!("V{i}")).collect();
+                (0..n).map(move |k| {
+                    let cube = |flip: bool| {
+                        vars.iter()
+                            .enumerate()
+                            .map(|(i, v)| {
+                                if (i < k) != flip {
+                                    v.clone()
+                                } else {
+                                    format!("!{v}")
+                                }
+                            })
+                            .collect::<Vec<_>>()
+                            .join(" & ")
+                    };
+                    let body = format!(r#"{{"psi": "{}", "phi": "{}"}}"#, cube(false), cube(true));
+                    let mut wire = format!(
+                        "POST /v1/arbitrate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+                        body.len()
+                    )
+                    .into_bytes();
+                    wire.extend_from_slice(body.as_bytes());
+                    wire
+                })
+            })
+            .collect();
+        (0..LOAD_CLIENTS)
+            .map(|client| {
+                let stop = Arc::clone(&stop);
+                let wires = wires.clone();
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect load");
+                    stream
+                        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                        .unwrap();
+                    let _ = stream.set_nodelay(true);
+                    let mut writer = stream.try_clone().expect("clone stream");
+                    let mut reader = std::io::BufReader::with_capacity(64 * 1024, stream);
+                    let offset = (client * wires.len()) / LOAD_CLIENTS;
+                    let mut cursor = offset;
+                    while !stop.load(Ordering::Relaxed) {
+                        let mut batch: Vec<u8> = Vec::with_capacity(4096);
+                        for _ in 0..LOAD_DEPTH {
+                            batch.extend_from_slice(&wires[cursor % wires.len()]);
+                            cursor += 1;
+                        }
+                        writer.write_all(&batch).expect("write load batch");
+                        for _ in 0..LOAD_DEPTH {
+                            let mut reply = Vec::with_capacity(512);
+                            let mut byte = [0u8; 1];
+                            loop {
+                                match reader.read(&mut byte) {
+                                    Ok(0) => panic!("server closed load connection"),
+                                    Ok(_) => {
+                                        reply.push(byte[0]);
+                                        if reply.ends_with(b"\r\n\r\n") {
+                                            break;
+                                        }
+                                    }
+                                    Err(e) => panic!("load read error: {e}"),
+                                }
+                            }
+                            let head_text = String::from_utf8_lossy(&reply);
+                            let length: usize = head_text
+                                .lines()
+                                .find_map(|l| l.strip_prefix("Content-Length: "))
+                                .expect("content-length")
+                                .trim()
+                                .parse()
+                                .expect("numeric length");
+                            let mut body_buf = vec![0u8; length];
+                            reader.read_exact(&mut body_buf).expect("read load body");
+                        }
+                    }
+                })
+            })
+            .collect()
+    }
+
+    // --- replication lag -----------------------------------------------------
+
+    println!(
+        "lag: {lag_samples} sequential commits, each timed from its ack to the first\n\
+         successful X-Arbitrex-Min-Seq read on the replica; loaded leg adds the E17\n\
+         light load point ({LOAD_CLIENTS} clients x depth {LOAD_DEPTH} pipelined arbitrations)\n"
+    );
+    println!("leg     p50 us    p99 us    max us");
+
+    let mut lag_rows: Vec<String> = Vec::new();
+    let mut quick_stats = [0u64; 4]; // idle p50/p99, failover p50/p99 (us/ms)
+    for leg in ["idle", "loaded"] {
+        let (primary, replica, p_dir, r_dir) = spawn_pair(&format!("lag-{leg}"));
+        let stop = Arc::new(AtomicBool::new(false));
+        let load = if leg == "loaded" {
+            // Let the load reach steady state before sampling.
+            let handles = spawn_load(primary.addr, Arc::clone(&stop));
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            handles
+        } else {
+            Vec::new()
+        };
+        let waits = lag_leg(&primary, &replica, lag_samples);
+        stop.store(true, Ordering::Relaxed);
+        for handle in load {
+            handle.join().expect("load client");
+        }
+        let (p50, p99, max) = (
+            percentile(&waits, 50.0) / 1_000,
+            percentile(&waits, 99.0) / 1_000,
+            waits[waits.len() - 1] / 1_000,
+        );
+        if leg == "idle" {
+            quick_stats[0] = p50;
+            quick_stats[1] = p99;
+        }
+        println!("{leg:<7} {p50:<9} {p99:<9} {max}");
+        lag_rows.push(format!(
+            "    {{\"leg\": \"{leg}\", \"samples\": {lag_samples}, \"p50_us\": {p50}, \
+             \"p99_us\": {p99}, \"max_us\": {max}}}"
+        ));
+        replica.stop().expect("stop replica");
+        primary.stop().expect("stop primary");
+        let _ = std::fs::remove_dir_all(p_dir);
+        let _ = std::fs::remove_dir_all(r_dir);
+    }
+    println!();
+
+    // --- failover time -------------------------------------------------------
+
+    println!(
+        "failover: {failover_cycles} cycles of commit, catch the replica up, stop the\n\
+         primary, then time promote -> first successful min-seq read at the acked\n\
+         watermark on the promoted node (fresh pair per cycle)\n"
+    );
+    let mut failover_ns: Vec<u64> = Vec::with_capacity(failover_cycles);
+    for cycle in 0..failover_cycles {
+        let (primary, replica, p_dir, r_dir) = spawn_pair(&format!("failover-{cycle}"));
+        let mut writer = Conn::open(primary.addr);
+        let mut last_rseq = 0;
+        for i in 0..8usize {
+            let formula = if i % 2 == 0 { "A & B" } else { "A | B" };
+            let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+            let (status, head) = writer.request("POST", "/v1/kb/failover", None, &body);
+            assert_eq!(status, 200, "commit failed: {head}");
+            last_rseq = header_u64(&head, "X-Arbitrex-Seq");
+        }
+        // The replica must hold the acked watermark before the primary
+        // dies — this measures failover, not anti-entropy.
+        let mut reader = Conn::open(replica.addr);
+        wait_visible(&mut reader, "failover", last_rseq);
+        primary.stop().expect("stop primary");
+
+        let t0 = Instant::now();
+        let (status, _) = reader.request("POST", "/v1/replication/promote", None, "");
+        assert_eq!(status, 200, "promote failed");
+        wait_visible(&mut reader, "failover", last_rseq);
+        failover_ns.push(t0.elapsed().as_nanos() as u64);
+
+        // The promoted node accepts writes (sanity, untimed).
+        let body = r#"{"action": "put", "formula": "A"}"#;
+        let (status, head) = reader.request("POST", "/v1/kb/failover", None, body);
+        assert_eq!(status, 200, "post-failover write refused");
+        assert!(
+            header_u64(&head, "X-Arbitrex-Seq") > last_rseq,
+            "rseq reused across failover"
+        );
+        replica.stop().expect("stop promoted node");
+        let _ = std::fs::remove_dir_all(p_dir);
+        let _ = std::fs::remove_dir_all(r_dir);
+    }
+    failover_ns.sort_unstable();
+    let (fo_p50, fo_p99, fo_max) = (
+        percentile(&failover_ns, 50.0) / 1_000,
+        percentile(&failover_ns, 99.0) / 1_000,
+        failover_ns[failover_ns.len() - 1] / 1_000,
+    );
+    quick_stats[2] = fo_p50;
+    quick_stats[3] = fo_p99;
+    println!("failover us: p50 {fo_p50}, p99 {fo_p99}, max {fo_max}\n");
+
+    if quick {
+        // The greppable CI-gate line; quick mode stops here and leaves
+        // BENCH_PR8.json alone.
+        println!(
+            "e19-quick lag_p50_us={} lag_p99_us={} failover_p50_us={} failover_p99_us={}",
+            quick_stats[0], quick_stats[1], quick_stats[2], quick_stats[3]
+        );
+        return;
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"e19-replication\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"lag: {lag_samples} sequential commits timed ack -> first \
+         successful X-Arbitrex-Min-Seq read on the replica, idle and under the E17 light \
+         load point ({LOAD_CLIENTS} clients x depth {LOAD_DEPTH}); failover: \
+         {failover_cycles} cycles timing promote -> first min-seq read at the acked \
+         watermark on a caught-up replica\",\n",
+    ));
+    json.push_str("  \"lag_rows\": [\n");
+    json.push_str(&lag_rows.join(",\n"));
+    json.push_str(&format!(
+        "\n  ],\n  \"failover\": {{\"cycles\": {failover_cycles}, \"p50_us\": {fo_p50}, \
+         \"p99_us\": {fo_p99}, \"max_us\": {fo_max}}}\n}}\n"
+    ));
+    match std::fs::write("BENCH_PR8.json", &json) {
+        Ok(()) => println!("wrote BENCH_PR8.json ({} lag rows)\n", lag_rows.len()),
+        Err(e) => println!("could not write BENCH_PR8.json: {e}\n"),
     }
 }

@@ -585,9 +585,10 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                         ))
                     })?;
             }
-            "--fault" => {
-                config.durability_fault = Some(parse_fault(flag_value(&mut it, "--fault")?)?);
-            }
+            "--fault" => match parse_serve_fault(flag_value(&mut it, "--fault")?)? {
+                ServeFault::Durability(plan) => config.durability_fault = Some(plan),
+                ServeFault::Net(plan) => config.net_fault = Some(plan),
+            },
             "--keep-alive-timeout-ms" => {
                 config.keep_alive_timeout_ms = flag_u64(&mut it, "--keep-alive-timeout-ms")?;
             }
@@ -619,13 +620,24 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                     return err("--bdd-node-budget must be at least 1 (use --bdd-hotness 0 to disable the tier)");
                 }
             }
+            "--replicate-from" => {
+                config.replicate_from = Some(flag_value(&mut it, "--replicate-from")?.clone());
+            }
+            "--replication-epoch" => {
+                let epoch = flag_u64(&mut it, "--replication-epoch")?;
+                if epoch == 0 {
+                    return err("--replication-epoch must be at least 1");
+                }
+                config.replication_epoch = Some(epoch);
+            }
             other => {
                 return err(format!(
                     "unknown serve flag `{other}` (expected --addr, --threads, \
                      --queue-depth, --cache-entries, --timeout-ms, --max-body-bytes, \
                      --keep-alive-timeout-ms, --state-dir, --snapshot-every, \
                      --recover, --fault, --group-commit, --flush-interval-us, \
-                     --bdd-hotness, --bdd-node-budget)"
+                     --bdd-hotness, --bdd-node-budget, --replicate-from, \
+                     --replication-epoch)"
                 ))
             }
         }
@@ -658,13 +670,31 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
             let _ = writeln!(
                 out,
                 "arbitrex-server recovered {} KBs (snapshot={}, wal-records={}, \
-                 torn-tail-truncated={}, salvaged-bytes-dropped={}, max-seq={})",
+                 torn-tail-truncated={}, salvaged-bytes-dropped={}, max-seq={}, \
+                 epoch={}, rseq={})",
                 report.kbs,
                 report.snapshot_loaded,
                 report.wal_records_replayed,
                 report.torn_tail_truncated,
                 report.salvaged_bytes_dropped,
-                report.max_seq
+                report.max_seq,
+                report.max_epoch,
+                report.max_rseq
+            );
+            if let (Some(offset), Some(frame)) =
+                (report.truncated_offset, report.truncated_frame_index)
+            {
+                let _ = writeln!(
+                    out,
+                    "arbitrex-server truncated WAL tail at byte offset {offset} \
+                     (frame index {frame}; {frame} verified frames precede the cut)"
+                );
+            }
+        }
+        if let Some(primary) = &config.replicate_from {
+            let _ = writeln!(
+                out,
+                "arbitrex-server replicating from {primary} (read-only until promoted)"
             );
         }
         let _ = writeln!(
@@ -700,9 +730,13 @@ pub fn help() -> String {
          \x20\x20\x20\x20 [--keep-alive-timeout-ms n] [--state-dir d] [--snapshot-every n]\n\
          \x20\x20\x20\x20 [--recover strict|salvage] [--group-commit on|off]\n\
          \x20\x20\x20\x20 [--flush-interval-us n] [--bdd-hotness n] [--bdd-node-budget n]\n\
+         \x20\x20\x20\x20 [--replicate-from host:port] [--replication-epoch n]\n\
          \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\");\n\
          \x20\x20\x20\x20 --state-dir makes KBs durable (WAL + snapshots, README\n\
-         \x20\x20\x20\x20 \"Durability\"); commits batch fsyncs unless --group-commit off\n\
+         \x20\x20\x20\x20 \"Durability\"); commits batch fsyncs unless --group-commit off;\n\
+         \x20\x20\x20\x20 --replicate-from streams a primary's WAL (read-only until\n\
+         \x20\x20\x20\x20 POST /v1/replication/promote); serve --fault also takes the\n\
+         \x20\x20\x20\x20 net_drop/net_torn/net_dup/net_delay/net_partition:k sites\n\
          \n\
          flags:\n\
          \x20 --stats        append operator telemetry counters (text)\n\
@@ -748,6 +782,43 @@ pub fn parse_fault(spec: &str) -> Result<FaultPlan, CliError> {
         ))
     })?;
     Ok(FaultPlan::new(site, at))
+}
+
+/// A `serve --fault` plan: either a durability site (WAL/snapshot) or a
+/// replication-transport site (`net_*`).
+#[derive(Debug)]
+pub enum ServeFault {
+    /// Trips a `wal_write`/`wal_fsync`/`snapshot_rename` (or operator)
+    /// budget site.
+    Durability(FaultPlan),
+    /// Misfires the replication transport at a `net_*` site.
+    Net(arbitrex_server::replication::NetFaultPlan),
+}
+
+/// Parse a `serve --fault site:k` specification. Accepts every budget /
+/// durability site plus the `net_*` replication-transport sites; any
+/// other site name is a usage error (exit code 2).
+pub fn parse_serve_fault(spec: &str) -> Result<ServeFault, CliError> {
+    use arbitrex_server::replication::{NetFaultPlan, NetFaultSite};
+    let (site, at) = spec
+        .split_once(':')
+        .ok_or_else(|| CliError::usage(format!("--fault expects `site:k`, got `{spec}`")))?;
+    if let Some(net) = NetFaultSite::parse(site) {
+        let at = at.parse::<u64>().ok().filter(|&k| k >= 1).ok_or_else(|| {
+            CliError::usage(format!(
+                "invalid fault count `{at}` (need a positive integer)"
+            ))
+        })?;
+        return Ok(ServeFault::Net(NetFaultPlan::new(net, at)));
+    }
+    if BudgetSite::ALL.into_iter().any(|s| s.name() == site) {
+        return Ok(ServeFault::Durability(parse_fault(spec)?));
+    }
+    err(format!(
+        "unknown fault site `{site}` (expected one of: {}, {})",
+        BudgetSite::ALL.map(BudgetSite::name).join(", "),
+        NetFaultSite::ALL.map(NetFaultSite::name).join(", ")
+    ))
 }
 
 /// Global flags extracted by [`run`] before command dispatch.
@@ -1278,6 +1349,61 @@ mod tests {
         assert_eq!(parse_fault("warp:1").unwrap_err().kind, ErrorKind::Usage);
         assert_eq!(parse_fault("scan:0").unwrap_err().kind, ErrorKind::Usage);
         assert_eq!(parse_fault("scan:x").unwrap_err().kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn serve_fault_specs_cover_durability_and_net_sites() {
+        use arbitrex_server::replication::NetFaultSite;
+        match parse_serve_fault("wal_fsync:2").unwrap() {
+            ServeFault::Durability(plan) => {
+                assert_eq!(plan.site, BudgetSite::WalFsync);
+                assert_eq!(plan.at, 2);
+            }
+            ServeFault::Net(_) => panic!("wal_fsync is a durability site"),
+        }
+        match parse_serve_fault("net_partition:3").unwrap() {
+            ServeFault::Net(plan) => {
+                assert_eq!(plan.site, NetFaultSite::Partition);
+                assert_eq!(plan.at, 3);
+            }
+            ServeFault::Durability(_) => panic!("net_partition is a transport site"),
+        }
+        // An unknown site is a usage error — exit code 2 — and the
+        // message names both site families.
+        let e = parse_serve_fault("net_warp:1").unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert_eq!(e.kind.exit_code(), 2);
+        assert!(e.message.contains("net_drop"), "{}", e.message);
+        assert!(e.message.contains("wal_write"), "{}", e.message);
+        // Malformed counts stay usage errors on the net path too.
+        assert_eq!(
+            parse_serve_fault("net_drop:0").unwrap_err().kind,
+            ErrorKind::Usage
+        );
+        assert_eq!(
+            parse_serve_fault("net_drop").unwrap_err().kind,
+            ErrorKind::Usage
+        );
+    }
+
+    #[test]
+    fn serve_config_parses_replication_flags() {
+        let config = parse_serve_config(&sv(&[
+            "--replicate-from",
+            "127.0.0.1:7313",
+            "--replication-epoch",
+            "4",
+            "--fault",
+            "net_drop:2",
+        ]))
+        .unwrap();
+        assert_eq!(config.replicate_from.as_deref(), Some("127.0.0.1:7313"));
+        assert_eq!(config.replication_epoch, Some(4));
+        let plan = config.net_fault.unwrap();
+        assert_eq!(plan.at, 2);
+        assert!(config.durability_fault.is_none());
+        let e = parse_serve_config(&sv(&["--replication-epoch", "0"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! A minimal HTTP/1.1 framing layer.
 //!
 //! Supports exactly what the service protocol needs: request-line +
-//! headers + `Content-Length` bodies, keep-alive connections, and
-//! fixed-length JSON responses. No chunked encoding, no TLS, no
-//! continuation lines. Limits are hard: oversized headers or bodies fail
-//! the parse rather than allocating unboundedly.
+//! headers + `Content-Length` bodies, keep-alive connections,
+//! fixed-length JSON responses, and — for the replication WAL stream —
+//! chunked binary responses where each chunk is one WAL frame. No
+//! request-side chunked encoding, no TLS, no continuation lines. Limits
+//! are hard: oversized headers or bodies fail the parse rather than
+//! allocating unboundedly.
 //!
 //! Two entry points share one head parser: [`parse_request_buffer`]
 //! parses the front of an in-memory byte buffer (the event loop's
@@ -316,10 +318,20 @@ pub fn read_request_limited(stream: &mut impl Read, max_body: usize) -> io::Resu
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body text.
+    /// JSON body text (ignored when `chunks` is set).
     pub body: String,
     /// Extra headers beyond the fixed set (e.g. `Retry-After` on 503s).
     pub extra_headers: Vec<(&'static str, String)>,
+    /// Binary chunked body: each element becomes one HTTP chunk. Used by
+    /// the replication WAL stream (one chunk = one framed record) so the
+    /// replica can decode frame-by-frame without buffering the batch.
+    pub chunks: Option<Vec<Vec<u8>>>,
+    /// Omit the terminating `0\r\n\r\n` chunk (injected connection-drop
+    /// fault: the peer sees a mid-stream EOF). Implies `force_close`.
+    pub chunk_abort: bool,
+    /// Close the connection after this response regardless of what the
+    /// client asked for.
+    pub force_close: bool,
 }
 
 impl Response {
@@ -329,6 +341,22 @@ impl Response {
             status,
             body,
             extra_headers: Vec::new(),
+            chunks: None,
+            chunk_abort: false,
+            force_close: false,
+        }
+    }
+
+    /// A chunked binary response; each element of `chunks` is emitted as
+    /// one HTTP chunk.
+    pub fn binary_chunked(status: u16, chunks: Vec<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: String::new(),
+            extra_headers: Vec::new(),
+            chunks: Some(chunks),
+            chunk_abort: false,
+            force_close: false,
         }
     }
 
@@ -346,8 +374,10 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        412 => "Precondition Failed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -357,6 +387,29 @@ fn status_text(status: u16) -> &'static str {
 /// `Connection` header.
 pub fn encode_response(response: &Response, close: bool) -> Vec<u8> {
     use std::fmt::Write as _;
+    let close = close || response.force_close || response.chunk_abort;
+    if let Some(chunks) = &response.chunks {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/octet-stream\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+            response.status,
+            status_text(response.status),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &response.extra_headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
+        let mut bytes = head.into_bytes();
+        for chunk in chunks {
+            bytes.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+            bytes.extend_from_slice(chunk);
+            bytes.extend_from_slice(b"\r\n");
+        }
+        if !response.chunk_abort {
+            bytes.extend_from_slice(b"0\r\n\r\n");
+        }
+        return bytes;
+    }
     let mut head = format!(
         "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
@@ -554,6 +607,26 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn chunked_responses_frame_each_chunk_and_terminate() {
+        let resp = Response::binary_chunked(200, vec![vec![1, 2, 3], vec![0xAB; 16]]);
+        let bytes = encode_response(&resp, false);
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(bytes.windows(6).any(|w| w == b"3\r\n\x01\x02\x03".as_ref()));
+        assert!(bytes.ends_with(b"0\r\n\r\n"));
+
+        // An aborted stream omits the terminator and forces close.
+        let mut aborted = Response::binary_chunked(200, vec![vec![1, 2, 3]]);
+        aborted.chunk_abort = true;
+        let bytes = encode_response(&aborted, false);
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(!bytes.ends_with(b"0\r\n\r\n"));
     }
 
     #[test]

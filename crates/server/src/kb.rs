@@ -47,13 +47,26 @@
 //! therefore advances the group-commit durable watermark and acks any
 //! commits still waiting on the flusher.
 //!
+//! # Replication
+//!
+//! Every append is stamped with the store's fencing *epoch* and a
+//! global *replication sequence number* (`rseq`, one per logged record
+//! across all KBs) and retained in a [`crate::replication::ReplLog`]
+//! ring for streaming to replicas. A replica applies the primary's
+//! frames byte-for-byte through [`KbStore::apply_replicated`], which
+//! enforces epoch fencing (a deposed primary's frames are refused) and
+//! rseq contiguity (a gap forces a snapshot resync). Promotion bumps
+//! the epoch and clears the replica's read-only flag.
+//!
 //! Lock order: entry lock → WAL/shadow lock → flush-progress lock →
 //! map lock. The map lock is never held while acquiring an entry lock,
 //! so a mutation holding its entry across a (slow, fsyncing) commit
 //! cannot deadlock with lookups, deletes, or placeholder cleanup. The
 //! flusher thread only ever takes the flush-progress lock, and fsyncs
 //! with no lock held at all — that is what lets appends continue while
-//! a flush is in flight.
+//! a flush is in flight. The replication log's ring lock is a leaf
+//! acquired under the WAL/shadow lock (push) or with no other lock held
+//! (fetch); it never acquires any other lock itself.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -65,12 +78,13 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use arbitrex_core::{Budget, FaultPlan};
-use arbitrex_logic::{Formula, Sig};
+use arbitrex_logic::{canonical_key, Formula, Sig};
 
 use crate::metrics;
 use crate::recovery::{self, RecoverMode, RecoveryError, RecoveryReport};
-use crate::snapshot;
-use crate::wal::{self, Wal, WalRecord, WAL_FILE};
+use crate::replication::ReplLog;
+use crate::snapshot::{self, SnapshotContents};
+use crate::wal::{self, StampedRecord, Wal, WalRecord, WAL_FILE};
 
 /// Longest accepted KB name.
 pub const MAX_NAME_LEN: usize = 64;
@@ -128,6 +142,12 @@ pub struct DurabilityOptions {
     /// oldest pending append waiting for batch-mates. Zero flushes as
     /// soon as the flusher is free (natural batching only).
     pub flush_interval: Duration,
+    /// Start the fencing epoch here instead of continuing from what
+    /// recovery found (never below it — a lower epoch would be a stamp
+    /// regression on the next recovery).
+    pub initial_epoch: Option<u64>,
+    /// Open as a replica: writes are refused until promotion.
+    pub replica: bool,
 }
 
 struct DurableState {
@@ -139,6 +159,10 @@ struct DurableState {
     snapshot_every: u64,
     since_snapshot: u64,
     fault: Budget,
+    /// Current fencing epoch, stamped into every appended frame.
+    epoch: u64,
+    /// The `rseq` the next appended frame will carry.
+    next_rseq: u64,
 }
 
 /// Group-commit progress, shared between committers and the flusher.
@@ -345,6 +369,9 @@ fn flusher_loop(shared: &FlushShared, file: &File, fault: &Budget, interval: Dur
 struct DurableBackend {
     state: Mutex<DurableState>,
     group: Option<GroupCommit>,
+    /// Retained frames + watermarks + role flags, shared with the
+    /// replication endpoints and (on a replica) the puller thread.
+    repl: Arc<ReplLog>,
 }
 
 enum Durability {
@@ -409,6 +436,12 @@ impl KbStore {
         } else {
             None
         };
+        // The epoch continues from (never drops below) what recovery
+        // found — a lower stamp would read as corruption next time; the
+        // rseq space always continues, promotion does not reset it.
+        let epoch = opts.initial_epoch.unwrap_or(1).max(report.max_epoch).max(1);
+        let next_rseq = report.max_rseq + 1;
+        let repl = Arc::new(ReplLog::new(epoch, next_rseq, opts.replica));
         let map = state
             .iter()
             .map(|(name, kb)| (name.clone(), Arc::new(Mutex::new(kb.clone()))))
@@ -424,8 +457,11 @@ impl KbStore {
                     snapshot_every: opts.snapshot_every,
                     since_snapshot: 0,
                     fault,
+                    epoch,
+                    next_rseq,
                 }),
                 group,
+                repl,
             })),
         };
         Ok((store, report))
@@ -440,7 +476,8 @@ impl KbStore {
     }
 
     /// Append `rec` to the log, make it durable, and fold it into the
-    /// shadow. In-memory stores trivially succeed. Returns whether a
+    /// shadow. In-memory stores trivially succeed (with `rseq` 0).
+    /// Returns the record's replication sequence number and whether a
     /// periodic snapshot is now due (callers trigger it *after*
     /// releasing their entry lock, via [`KbStore::maybe_snapshot`]).
     ///
@@ -451,22 +488,32 @@ impl KbStore {
     /// left ahead of the durable log — safe, because a later snapshot
     /// of the shadow is itself durable and replay keeps the last record
     /// per name; the commit is still refused and never published.
-    fn log(&self, rec: WalRecord) -> io::Result<bool> {
+    ///
+    /// The frame is retained for replication at append time, but the
+    /// shippable watermark only advances after the durability wait
+    /// succeeds — a replica is never served a frame the primary has not
+    /// acknowledged to its own client.
+    fn log(&self, rec: WalRecord) -> io::Result<(u64, bool)> {
         match &self.durability {
-            Durability::Memory => Ok(false),
+            Durability::Memory => Ok((0, false)),
             Durability::Durable(backend) => {
-                let (ticket, snapshot_due) = {
+                let (rseq, ticket, snapshot_due) = {
                     let mut s = backend.state.lock().unwrap();
+                    let rseq = s.next_rseq;
+                    let framed = wal::frame(s.epoch, rseq, &wal::encode_record(&rec));
                     let ticket = match &backend.group {
                         None => {
-                            s.wal.append(&rec)?;
+                            s.wal.append_frame_unsynced(&framed)?;
+                            s.wal.sync()?;
                             None
                         }
                         Some(group) => {
-                            s.wal.append_unsynced(&rec)?;
+                            s.wal.append_frame_unsynced(&framed)?;
                             Some(group.note_append())
                         }
                     };
+                    s.next_rseq += 1;
+                    backend.repl.push(s.epoch, rseq, framed);
                     match rec {
                         WalRecord::Commit { name, kb } => {
                             s.shadow.insert(name, kb);
@@ -477,6 +524,7 @@ impl KbStore {
                     }
                     s.since_snapshot += 1;
                     (
+                        rseq,
                         ticket,
                         s.snapshot_every > 0 && s.since_snapshot >= s.snapshot_every,
                     )
@@ -484,15 +532,21 @@ impl KbStore {
                 if let (Some(ticket), Some(group)) = (ticket, &backend.group) {
                     group.wait_durable(ticket)?;
                 }
-                Ok(snapshot_due)
+                // This record's fsync (inline or shared) covered every
+                // earlier append too, so the watermark jump is safe.
+                backend.repl.advance_durable(rseq);
+                backend.repl.set_visible(rseq);
+                Ok((rseq, snapshot_due))
             }
         }
     }
 
     /// Durably commit `next` for `name`. The caller must hold the
     /// entry's lock (so the state it computed is still current) and must
-    /// only publish `next` in memory after this returns `Ok`.
-    pub fn commit(&self, name: &str, next: &StoredKb) -> io::Result<bool> {
+    /// only publish `next` in memory after this returns `Ok`. Returns
+    /// the commit's replication sequence number and the snapshot-due
+    /// flag.
+    pub fn commit(&self, name: &str, next: &StoredKb) -> io::Result<(u64, bool)> {
         self.log(WalRecord::Commit {
             name: name.to_string(),
             kb: next.clone(),
@@ -501,14 +555,15 @@ impl KbStore {
 
     /// Create or replace `name` with a fresh theory, optionally guarded
     /// by `if_seq`. Returns the new sequence number (1 for a new KB,
-    /// previous + 1 for a replacement) and whether a snapshot is due.
+    /// previous + 1 for a replacement), the commit's replication
+    /// sequence number (0 in memory), and whether a snapshot is due.
     pub fn put(
         &self,
         name: &str,
         sig: Sig,
         formula: Formula,
         if_seq: Option<u64>,
-    ) -> Result<(u64, bool), CommitError> {
+    ) -> Result<(u64, u64, bool), CommitError> {
         loop {
             let entry = self.entry_or_placeholder(name);
             let mut kb = entry.lock().unwrap();
@@ -532,12 +587,12 @@ impl KbStore {
                 seq: kb.seq + 1,
             };
             match self.commit(name, &next) {
-                Ok(snapshot_due) => {
+                Ok((rseq, snapshot_due)) => {
                     if kb.seq == 0 {
                         self.count.fetch_add(1, Ordering::Relaxed);
                     }
                     *kb = next;
-                    return Ok((kb.seq, snapshot_due));
+                    return Ok((kb.seq, rseq, snapshot_due));
                 }
                 Err(e) => {
                     drop(kb);
@@ -549,8 +604,13 @@ impl KbStore {
     }
 
     /// Remove `name`, optionally guarded by `if_seq`. `Ok(None)` when no
-    /// such KB exists; otherwise the snapshot-due flag.
-    pub fn delete(&self, name: &str, if_seq: Option<u64>) -> Result<Option<bool>, CommitError> {
+    /// such KB exists; otherwise the delete's replication sequence
+    /// number and the snapshot-due flag.
+    pub fn delete(
+        &self,
+        name: &str,
+        if_seq: Option<u64>,
+    ) -> Result<Option<(u64, bool)>, CommitError> {
         let entry = match self.entry(name) {
             Some(e) => e,
             None => return Ok(None),
@@ -565,7 +625,7 @@ impl KbStore {
                 return Err(CommitError::Conflict { current: kb.seq });
             }
         }
-        let snapshot_due = self.log(WalRecord::Delete {
+        let (rseq, snapshot_due) = self.log(WalRecord::Delete {
             name: name.to_string(),
         })?;
         // Tombstone, then detach — all under the entry lock, so no
@@ -577,7 +637,7 @@ impl KbStore {
         }
         drop(map);
         self.count.fetch_sub(1, Ordering::Relaxed);
-        Ok(Some(snapshot_due))
+        Ok(Some((rseq, snapshot_due)))
     }
 
     /// Get the entry for `name`, inserting a placeholder (seq 0) if
@@ -647,7 +707,7 @@ impl KbStore {
                 if s.snapshot_every == 0 || s.since_snapshot < s.snapshot_every {
                     return Ok(false);
                 }
-                Self::snapshot_locked(&mut s, backend.group.as_ref())?;
+                Self::snapshot_locked(&mut s, backend.group.as_ref(), &backend.repl)?;
                 Ok(true)
             }
         }
@@ -660,7 +720,7 @@ impl KbStore {
             Durability::Memory => Ok(()),
             Durability::Durable(backend) => {
                 let mut s = backend.state.lock().unwrap();
-                Self::snapshot_locked(&mut s, backend.group.as_ref())
+                Self::snapshot_locked(&mut s, backend.group.as_ref(), &backend.repl)
             }
         }
     }
@@ -671,13 +731,21 @@ impl KbStore {
     /// is the price of the truncation being provably safe. The durable
     /// snapshot covers every append the shadow folded, so it also acks
     /// any commits still waiting on the group-commit flusher.
-    fn snapshot_locked(s: &mut DurableState, group: Option<&GroupCommit>) -> io::Result<()> {
-        snapshot::write_snapshot(&s.dir, &s.shadow, &s.fault)?;
+    fn snapshot_locked(
+        s: &mut DurableState,
+        group: Option<&GroupCommit>,
+        repl: &ReplLog,
+    ) -> io::Result<()> {
+        let watermark = s.next_rseq - 1;
+        snapshot::write_snapshot(&s.dir, &s.shadow, s.epoch, watermark, &s.fault)?;
         s.wal.truncate_to_empty()?;
         s.since_snapshot = 0;
         if let Some(group) = group {
             group.ack_snapshot();
         }
+        // The durable snapshot carries every append the shadow folded,
+        // so those frames are shippable even if their fsync never ran.
+        repl.advance_durable(watermark);
         Ok(())
     }
 
@@ -686,6 +754,307 @@ impl KbStore {
     pub fn note_snapshot_error(&self) {
         metrics::WAL_SNAPSHOT_ERRORS.incr();
     }
+
+    /// The replication log of a durable store (`None` in memory).
+    pub fn replication(&self) -> Option<&Arc<ReplLog>> {
+        match &self.durability {
+            Durability::Memory => None,
+            Durability::Durable(backend) => Some(&backend.repl),
+        }
+    }
+
+    /// Apply one frame streamed from the primary, byte-for-byte.
+    /// `framed` must be the exact wire bytes `stamped` was decoded from:
+    /// they are appended to the local WAL verbatim, which is what makes
+    /// primary and replica logs bit-identical over the shared history.
+    ///
+    /// Fencing and ordering are enforced here: a frame from an older
+    /// epoch is refused ([`ApplyOutcome::StaleEpoch`] — a deposed
+    /// primary is talking), an already-applied `rseq` is skipped
+    /// ([`ApplyOutcome::Duplicate`]), and an `rseq` beyond the next
+    /// expected one means frames were missed ([`ApplyOutcome::Gap`] —
+    /// the caller resyncs from a snapshot). A *newer* epoch is adopted:
+    /// the primary was promoted and this replica follows it.
+    ///
+    /// The apply does not wait for local durability — the primary's
+    /// fsync was the commit's ack point, and the replica's group-commit
+    /// flusher (or the next snapshot) makes the frame locally durable in
+    /// the background. Visibility advances immediately so follower reads
+    /// with `X-Arbitrex-Min-Seq` see the commit as soon as it applies.
+    pub fn apply_replicated(
+        &self,
+        framed: &[u8],
+        stamped: &StampedRecord,
+    ) -> io::Result<ApplyOutcome> {
+        let backend = match &self.durability {
+            Durability::Memory => {
+                return Err(io::Error::other("replication requires a durable store"))
+            }
+            Durability::Durable(b) => b,
+        };
+        let snapshot_due = {
+            let mut s = backend.state.lock().unwrap();
+            if stamped.epoch < s.epoch {
+                return Ok(ApplyOutcome::StaleEpoch {
+                    frame_epoch: stamped.epoch,
+                    current_epoch: s.epoch,
+                });
+            }
+            if stamped.rseq < s.next_rseq {
+                return Ok(ApplyOutcome::Duplicate { rseq: stamped.rseq });
+            }
+            if stamped.rseq > s.next_rseq {
+                return Ok(ApplyOutcome::Gap {
+                    expected: s.next_rseq,
+                    got: stamped.rseq,
+                });
+            }
+            if stamped.epoch > s.epoch {
+                s.epoch = stamped.epoch;
+                backend.repl.set_epoch(stamped.epoch);
+            }
+            s.wal.append_frame_unsynced(framed)?;
+            match &backend.group {
+                Some(group) => {
+                    // The background flusher will cover this ticket;
+                    // nobody waits on it.
+                    let _ = group.note_append();
+                }
+                None => s.wal.sync()?,
+            }
+            s.next_rseq += 1;
+            backend
+                .repl
+                .push(stamped.epoch, stamped.rseq, framed.to_vec());
+            match &stamped.record {
+                WalRecord::Commit { name, kb } => {
+                    s.shadow.insert(name.clone(), kb.clone());
+                }
+                WalRecord::Delete { name } => {
+                    s.shadow.remove(name);
+                }
+            }
+            s.since_snapshot += 1;
+            s.snapshot_every > 0 && s.since_snapshot >= s.snapshot_every
+        };
+        backend.repl.advance_durable(stamped.rseq);
+        // Publish to the live map with the WAL lock released (entry
+        // locks are taken above WAL in the lock order). Single-writer:
+        // the puller is the only mutator of a read-only replica.
+        match &stamped.record {
+            WalRecord::Commit { name, kb } => self.publish_replicated(name, kb.clone()),
+            WalRecord::Delete { name } => self.unpublish_replicated(name),
+        }
+        backend.repl.set_visible(stamped.rseq);
+        Ok(ApplyOutcome::Applied {
+            rseq: stamped.rseq,
+            snapshot_due,
+        })
+    }
+
+    /// Install `next` for `name` in the live map (replica apply path).
+    fn publish_replicated(&self, name: &str, next: StoredKb) {
+        let mut next = Some(next);
+        loop {
+            let entry = self.entry_or_placeholder(name);
+            let mut kb = entry.lock().unwrap();
+            if kb.seq == 0 && !self.is_current(name, &entry) {
+                continue;
+            }
+            if kb.seq == 0 {
+                self.count.fetch_add(1, Ordering::Relaxed);
+            }
+            *kb = next.take().unwrap();
+            return;
+        }
+    }
+
+    /// Remove `name` from the live map (replica apply path).
+    fn unpublish_replicated(&self, name: &str) {
+        let entry = match self.entry(name) {
+            Some(e) => e,
+            None => return,
+        };
+        let mut kb = entry.lock().unwrap();
+        if kb.seq == 0 {
+            return;
+        }
+        kb.seq = 0;
+        let mut map = self.map.write().unwrap();
+        if map.get(name).is_some_and(|e| Arc::ptr_eq(e, &entry)) {
+            map.remove(name);
+        }
+        drop(map);
+        self.count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Promote this store to primary: bump the fencing epoch and accept
+    /// writes. Frames the deposed primary stamped with the old epoch are
+    /// refused from here on. The rseq space continues — promotion never
+    /// reuses a sequence number. Returns `(new_epoch, last_rseq)`.
+    pub fn promote(&self) -> io::Result<(u64, u64)> {
+        let backend = match &self.durability {
+            Durability::Memory => {
+                return Err(io::Error::other("promotion requires a durable store"))
+            }
+            Durability::Durable(b) => b,
+        };
+        let mut s = backend.state.lock().unwrap();
+        s.epoch += 1;
+        backend.repl.set_epoch(s.epoch);
+        backend.repl.set_read_only(false);
+        backend.repl.stop_puller();
+        metrics::REPL_PROMOTIONS.incr();
+        Ok((s.epoch, s.next_rseq - 1))
+    }
+
+    /// Per-KB digest for anti-entropy: `(name, seq, canonical content
+    /// hash)`, sorted by name. Two stores with equal digests hold
+    /// logically identical state.
+    pub fn digest(&self) -> Vec<(String, u64, u64)> {
+        let entries: Vec<(String, Arc<Mutex<StoredKb>>)> = self
+            .map
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, entry)| (name.clone(), Arc::clone(entry)))
+            .collect();
+        let mut out = Vec::with_capacity(entries.len());
+        for (name, entry) in entries {
+            let kb = entry.lock().unwrap();
+            if kb.seq > 0 {
+                out.push((name, kb.seq, canonical_key(&kb.formula)));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The in-memory snapshot image of the current state — what `GET
+    /// /v1/replication/snapshot` serves a resyncing replica. Built from
+    /// the shadow under the WAL lock, so it is log-consistent.
+    pub fn snapshot_image(&self) -> io::Result<Vec<u8>> {
+        let backend = match &self.durability {
+            Durability::Memory => {
+                return Err(io::Error::other("snapshots require a durable store"))
+            }
+            Durability::Durable(b) => b,
+        };
+        let s = backend.state.lock().unwrap();
+        Ok(snapshot::encode_snapshot(
+            &s.shadow,
+            s.epoch,
+            s.next_rseq - 1,
+        ))
+    }
+
+    /// Replace this store's entire state with a snapshot shipped from
+    /// the primary (replica resync after falling behind frame retention
+    /// or observing a promotion). The image is made locally durable
+    /// first — crash-during-resync recovers to either the old state or
+    /// the new one, never a mix.
+    pub fn install_state(&self, contents: SnapshotContents) -> io::Result<()> {
+        let backend = match &self.durability {
+            Durability::Memory => {
+                return Err(io::Error::other("replication requires a durable store"))
+            }
+            Durability::Durable(b) => b,
+        };
+        let mut s = backend.state.lock().unwrap();
+        snapshot::write_snapshot(
+            &s.dir,
+            &contents.entries,
+            contents.epoch,
+            contents.rseq,
+            &s.fault,
+        )?;
+        s.wal.truncate_to_empty()?;
+        s.shadow = contents.entries.clone();
+        s.epoch = contents.epoch;
+        s.next_rseq = contents.rseq + 1;
+        s.since_snapshot = 0;
+        if let Some(group) = &backend.group {
+            group.ack_snapshot();
+        }
+        backend.repl.reset(contents.epoch, contents.rseq);
+        // Swap the live map under the WAL lock (WAL → map is the
+        // documented order). The replica's single puller thread is the
+        // only mutator, so no entry lock is held across this.
+        let new_map: HashMap<String, Arc<Mutex<StoredKb>>> = contents
+            .entries
+            .into_iter()
+            .map(|(name, kb)| (name, Arc::new(Mutex::new(kb))))
+            .collect();
+        let n = new_map.len();
+        let mut map = self.map.write().unwrap();
+        *map = new_map;
+        drop(map);
+        self.count.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Commit `next` for `name` with a caller-chosen sequence number
+    /// (reconciliation: adopting a peer's KB verbatim, or landing a
+    /// `Δ`-merged theory at a seq both sides agree on). Goes through the
+    /// normal durable commit path; only the seq choice differs from
+    /// [`KbStore::put`].
+    pub fn force_put(&self, name: &str, next: StoredKb) -> io::Result<(u64, bool)> {
+        let mut next = Some(next);
+        loop {
+            let entry = self.entry_or_placeholder(name);
+            let mut kb = entry.lock().unwrap();
+            if kb.seq == 0 && !self.is_current(name, &entry) {
+                continue;
+            }
+            let next_kb = next.take().unwrap();
+            match self.commit(name, &next_kb) {
+                Ok((rseq, snapshot_due)) => {
+                    if kb.seq == 0 {
+                        self.count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *kb = next_kb;
+                    return Ok((rseq, snapshot_due));
+                }
+                Err(e) => {
+                    drop(kb);
+                    self.cleanup_placeholder(name, &entry);
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// What [`KbStore::apply_replicated`] did with a streamed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// Applied and visible; `snapshot_due` asks the caller to trigger a
+    /// periodic snapshot (after releasing any entry locks).
+    Applied {
+        /// The frame's replication sequence number.
+        rseq: u64,
+        /// A periodic snapshot is now due.
+        snapshot_due: bool,
+    },
+    /// Already applied (duplicate delivery); skipped.
+    Duplicate {
+        /// The duplicate frame's replication sequence number.
+        rseq: u64,
+    },
+    /// Stamped by a deposed epoch; refused.
+    StaleEpoch {
+        /// The refused frame's epoch.
+        frame_epoch: u64,
+        /// This store's current epoch.
+        current_epoch: u64,
+    },
+    /// Beyond the next expected `rseq`: frames were missed, resync.
+    Gap {
+        /// The `rseq` this store expected next.
+        expected: u64,
+        /// The `rseq` the frame actually carried.
+        got: u64,
+    },
 }
 
 impl Drop for KbStore {

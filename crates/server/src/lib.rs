@@ -60,6 +60,7 @@ pub mod kb;
 pub mod metrics;
 pub mod poller;
 pub mod recovery;
+pub mod replication;
 pub mod routes;
 pub mod server;
 pub mod snapshot;
@@ -125,6 +126,18 @@ pub struct ServerConfig {
     /// Per-`ψ` BDD node budget: a compilation (or per-query `μ`
     /// traversal) exceeding it degrades to the kernel path instead.
     pub bdd_node_budget: usize,
+    /// Replicate from this primary (`host:port`): the store opens
+    /// read-only, a puller thread streams the primary's WAL, and writes
+    /// are refused until `POST /v1/replication/promote`. Requires
+    /// `state_dir`.
+    pub replicate_from: Option<String>,
+    /// Start the fencing epoch here instead of continuing from recovery
+    /// (never below what recovery found). Mostly for tests and storm
+    /// scripts.
+    pub replication_epoch: Option<u64>,
+    /// Deterministic network fault injection at the replication
+    /// transport (testing): arm one `net_*` site.
+    pub net_fault: Option<replication::NetFaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +158,9 @@ impl Default for ServerConfig {
             flush_interval_us: 0,
             bdd_hotness: CompiledTier::DEFAULT_HOTNESS,
             bdd_node_budget: CompiledTier::DEFAULT_NODE_BUDGET,
+            replicate_from: None,
+            replication_epoch: None,
+            net_fault: None,
         }
     }
 }
@@ -180,11 +196,18 @@ impl ServiceState {
                     fault: config.durability_fault,
                     group_commit: config.group_commit,
                     flush_interval: std::time::Duration::from_micros(config.flush_interval_us),
+                    initial_epoch: config.replication_epoch,
+                    replica: config.replicate_from.is_some(),
                 })
                 .map_err(|e| io::Error::other(e.to_string()))?;
                 (store, Some(report))
             }
         };
+        if config.replicate_from.is_some() && config.state_dir.is_none() {
+            return Err(io::Error::other(
+                "--replicate-from requires --state-dir (a replica's store must be durable)",
+            ));
+        }
         let compiled = CompiledTier::new(
             config.bdd_hotness,
             config.bdd_node_budget,

@@ -129,6 +129,51 @@ pub static WAL_SECTION: Section = Section {
     timers: &[],
 };
 
+/// WAL frames shipped to replicas over `/v1/replication/wal`.
+pub static REPL_FRAMES_SHIPPED: Counter = Counter::new("frames_shipped");
+/// Batch responses served to replicas (including empty long-poll ones).
+pub static REPL_BATCHES_SERVED: Counter = Counter::new("batches_served");
+/// Streamed frames applied by this replica.
+pub static REPL_FRAMES_APPLIED: Counter = Counter::new("frames_applied");
+/// Duplicate frame deliveries skipped by the apply path.
+pub static REPL_DUP_FRAMES_SKIPPED: Counter = Counter::new("dup_frames_skipped");
+/// Frames or peers refused for carrying a deposed fencing epoch.
+pub static REPL_EPOCH_REJECTIONS: Counter = Counter::new("epoch_rejections");
+/// Streamed frames that failed CRC/decode verification on the replica.
+pub static REPL_BAD_FRAMES: Counter = Counter::new("bad_frames");
+/// Connections (re)established by the puller to its primary.
+pub static REPL_RECONNECTS: Counter = Counter::new("reconnects");
+/// Backoff sleeps taken by the puller between connection attempts.
+pub static REPL_BACKOFF_SLEEPS: Counter = Counter::new("backoff_sleeps");
+/// Full snapshot resyncs performed by this replica.
+pub static REPL_RESYNCS: Counter = Counter::new("resyncs");
+/// Promotions of this store to primary.
+pub static REPL_PROMOTIONS: Counter = Counter::new("promotions");
+/// Divergent KBs merged by `Δ` arbitration during anti-entropy.
+pub static REPL_RECONCILIATIONS: Counter = Counter::new("reconciliations");
+/// Injected `net_*` faults that fired at the replication transport.
+pub static REPL_NET_FAULTS: Counter = Counter::new("net_faults");
+
+/// The `"replication"` section.
+pub static REPLICATION_SECTION: Section = Section {
+    name: "replication",
+    counters: &[
+        &REPL_FRAMES_SHIPPED,
+        &REPL_BATCHES_SERVED,
+        &REPL_FRAMES_APPLIED,
+        &REPL_DUP_FRAMES_SKIPPED,
+        &REPL_EPOCH_REJECTIONS,
+        &REPL_BAD_FRAMES,
+        &REPL_RECONNECTS,
+        &REPL_BACKOFF_SLEEPS,
+        &REPL_RESYNCS,
+        &REPL_PROMOTIONS,
+        &REPL_RECONCILIATIONS,
+        &REPL_NET_FAULTS,
+    ],
+    timers: &[],
+};
+
 /// Wall-clock handling latency of `/v1/arbitrate` requests.
 pub static LATENCY_ARBITRATE: Histogram = Histogram::new("arbitrate");
 /// Wall-clock handling latency of `/v1/fit` requests.
@@ -149,10 +194,15 @@ pub static LATENCY_FLUSH_WAIT: Histogram = Histogram::new("flush_wait");
 /// (hotness promotions and commit-time recompiles alike) — the
 /// amortized cost a KB pays to move onto the BDD fast path.
 pub static LATENCY_BDD_COMPILE: Histogram = Histogram::new("bdd_compile");
+/// Wall-clock handling latency of `/v1/replication/*` requests on the
+/// serving (primary) side.
+pub static LATENCY_REPL: Histogram = Histogram::new("repl");
+/// Per-frame apply latency on the replica (decode + append + publish).
+pub static LATENCY_REPL_APPLY: Histogram = Histogram::new("repl_apply");
 
 /// Every histogram, in protocol-table order (endpoints, then durability,
-/// then the compiled tier).
-pub fn histograms() -> [&'static Histogram; 8] {
+/// then the compiled tier, then replication).
+pub fn histograms() -> [&'static Histogram; 10] {
     [
         &LATENCY_ARBITRATE,
         &LATENCY_FIT,
@@ -162,6 +212,8 @@ pub fn histograms() -> [&'static Histogram; 8] {
         &LATENCY_WAL_FSYNC,
         &LATENCY_FLUSH_WAIT,
         &LATENCY_BDD_COMPILE,
+        &LATENCY_REPL,
+        &LATENCY_REPL_APPLY,
     ]
 }
 
@@ -183,6 +235,7 @@ pub fn metrics_json() -> String {
     sections.push(&EVENT_LOOP_SECTION);
     sections.push(&WAL_SECTION);
     sections.push(&GROUP_COMMIT_SECTION);
+    sections.push(&REPLICATION_SECTION);
     let snapshot = arbitrex_telemetry::snapshot_of(&sections);
     let mut out = String::with_capacity(2048);
     out.push_str("{\"telemetry\": ");
@@ -207,6 +260,7 @@ pub fn reset() {
     EVENT_LOOP_SECTION.reset();
     WAL_SECTION.reset();
     GROUP_COMMIT_SECTION.reset();
+    REPLICATION_SECTION.reset();
     for h in histograms() {
         h.reset();
     }
@@ -230,6 +284,7 @@ mod tests {
             "event_loop",
             "wal",
             "group_commit",
+            "replication",
         ] {
             assert!(
                 text.contains(&format!("\"{section}\"")),
@@ -245,6 +300,8 @@ mod tests {
             "wal_fsync",
             "flush_wait",
             "bdd_compile",
+            "repl",
+            "repl_apply",
         ] {
             assert!(text.contains(&format!("\"{h}\"")), "missing histogram {h}");
         }

@@ -158,14 +158,14 @@ mod linux {
         pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
             const CAPACITY: usize = 1024;
             let mut raw = [EpollEvent { events: 0, data: 0 }; CAPACITY];
-            let n = loop {
-                match cvt(unsafe {
-                    epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as i32, timeout_ms)
-                }) {
-                    Ok(n) => break n as usize,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => break 0,
-                    Err(e) => return Err(e),
-                }
+            // EINTR yields an empty batch so the caller re-checks
+            // shutdown before waiting again.
+            let n = match cvt(unsafe {
+                epoll_wait(self.epfd, raw.as_mut_ptr(), CAPACITY as i32, timeout_ms)
+            }) {
+                Ok(n) => n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                Err(e) => return Err(e),
             };
             for ev in &raw[..n] {
                 // Copy out of the (possibly packed) struct first.

@@ -121,6 +121,19 @@ pub struct RecoveryReport {
     pub snapshot_dropped: bool,
     /// The largest sequence number in the recovered state.
     pub max_seq: u64,
+    /// When a torn or corrupt tail was truncated: the byte offset the
+    /// file was cut back to (= the offset of the first bad frame).
+    /// Post-crash forensics starts here, not at a guess.
+    pub truncated_offset: Option<u64>,
+    /// When a tail was truncated: the 0-based index of the first bad
+    /// frame — equivalently, how many verified frames precede the cut.
+    pub truncated_frame_index: Option<u64>,
+    /// Highest fencing epoch in the recovered state (snapshot watermark
+    /// or replayed frames; 0 for a fresh directory).
+    pub max_epoch: u64,
+    /// Highest global replication sequence number recovered. Appends
+    /// resume stamping at `max_rseq + 1`.
+    pub max_rseq: u64,
 }
 
 /// Apply one verified record to the recovered state.
@@ -151,9 +164,11 @@ pub fn recover(
     snapshot::remove_stale_tmp(dir)?;
 
     let mut state = match snapshot::read_snapshot(dir)? {
-        Ok(Some(entries)) => {
+        Ok(Some(contents)) => {
             report.snapshot_loaded = true;
-            entries
+            report.max_epoch = contents.epoch;
+            report.max_rseq = contents.rseq;
+            contents.entries
         }
         Ok(None) => HashMap::new(),
         Err(corrupt) => match mode {
@@ -184,10 +199,18 @@ pub fn recover(
                 }
             },
         };
+        if let Some(offset) = truncate_at {
+            report.truncated_offset = Some(offset);
+            report.truncated_frame_index = Some(scan.records.len() as u64);
+        }
         report.wal_records_replayed = scan.records.len() as u64;
         metrics::WAL_RECORDS_REPLAYED.add(scan.records.len() as u64);
-        for rec in scan.records {
-            apply(&mut state, rec);
+        for stamped in scan.records {
+            // Stamps are monotone within a scan (enforced by the scan),
+            // so the last frame carries the maxima.
+            report.max_epoch = report.max_epoch.max(stamped.epoch);
+            report.max_rseq = report.max_rseq.max(stamped.rseq);
+            apply(&mut state, stamped.record);
         }
         if let Some(offset) = truncate_at {
             // Physically repair the file so appends resume after the last
@@ -246,14 +269,18 @@ mod tests {
                 seq: 5,
             },
         );
-        snapshot::write_snapshot(&dir, &snap, &Budget::unlimited()).unwrap();
+        snapshot::write_snapshot(&dir, &snap, 1, 40, &Budget::unlimited()).unwrap();
         {
             let mut wal = wal::Wal::open(&dir.join(WAL_FILE), Budget::unlimited()).unwrap();
-            wal.append(&commit("old", "A & B", 6)).unwrap();
-            wal.append(&commit("new", "C", 1)).unwrap();
-            wal.append(&WalRecord::Delete {
-                name: "old".to_string(),
-            })
+            wal.append(1, 41, &commit("old", "A & B", 6)).unwrap();
+            wal.append(1, 42, &commit("new", "C", 1)).unwrap();
+            wal.append(
+                2,
+                43,
+                &WalRecord::Delete {
+                    name: "old".to_string(),
+                },
+            )
             .unwrap();
         }
         let (state, report) = recover(&dir, RecoverMode::Strict).unwrap();
@@ -263,6 +290,9 @@ mod tests {
         assert_eq!(report.wal_records_replayed, 3);
         assert!(!report.torn_tail_truncated);
         assert_eq!(report.max_seq, 1);
+        assert_eq!(report.max_epoch, 2);
+        assert_eq!(report.max_rseq, 43);
+        assert_eq!(report.truncated_offset, None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -272,11 +302,11 @@ mod tests {
         let wal_path = dir.join(WAL_FILE);
         {
             let mut wal = wal::Wal::open(&wal_path, Budget::unlimited()).unwrap();
-            wal.append(&commit("a", "A", 1)).unwrap();
-            wal.append(&commit("b", "B", 1)).unwrap();
-            wal.append(&commit("c", "C", 1)).unwrap();
+            wal.append(1, 1, &commit("a", "A", 1)).unwrap();
+            wal.append(1, 2, &commit("b", "B", 1)).unwrap();
+            wal.append(1, 3, &commit("c", "C", 1)).unwrap();
         }
-        // Flip a byte inside the *first* record's payload.
+        // Flip a byte inside the *first* record's stamp (CRC-covered).
         let mut bytes = std::fs::read(&wal_path).unwrap();
         bytes[wal::WAL_MAGIC.len() + 9] ^= 0xFF;
         std::fs::write(&wal_path, &bytes).unwrap();
@@ -285,10 +315,13 @@ mod tests {
             recover(&dir, RecoverMode::Strict),
             Err(RecoveryError::CorruptWal { .. })
         ));
-        // Salvage keeps the (empty) verified prefix and truncates.
+        // Salvage keeps the (empty) verified prefix and truncates,
+        // reporting where the cut landed for forensics.
         let (state, report) = recover(&dir, RecoverMode::Salvage).unwrap();
         assert!(state.is_empty());
         assert!(report.salvaged_bytes_dropped > 0);
+        assert_eq!(report.truncated_offset, Some(wal::WAL_MAGIC.len() as u64));
+        assert_eq!(report.truncated_frame_index, Some(0));
         // The file is repaired: a strict re-open now succeeds.
         let (state, _) = recover(&dir, RecoverMode::Strict).unwrap();
         assert!(state.is_empty());

@@ -1,0 +1,1150 @@
+//! Primary/replica replication over the WAL, with failover and
+//! arbitration-based anti-entropy.
+//!
+//! The primary retains recent stamped WAL frames in a [`ReplLog`] ring;
+//! a replica streams them over the same zero-dependency HTTP/1.1 stack
+//! (`GET /v1/replication/wal?from_seq=N`, chunked, one frame per chunk)
+//! and applies them through [`crate::kb::KbStore::apply_replicated`],
+//! which lands the primary's bytes verbatim so the two logs are
+//! byte-identical over the shared history. A replica that falls behind
+//! the ring's retention — or that observes a higher fencing epoch on the
+//! primary (a promotion happened while it was away) — resyncs by
+//! installing the primary's snapshot image and resumes streaming from
+//! its watermark.
+//!
+//! Failover is explicit: `POST /v1/replication/promote` bumps the
+//! replica's epoch, clears read-only, and stops its puller. Frames from
+//! the deposed epoch are fenced at every layer: the apply path rejects
+//! them, the WAL scan refuses a stamp regression, and the puller
+//! disconnects from any peer reporting a lower epoch than its own.
+//!
+//! Divergence after a partition (two primaries acked disjoint commits)
+//! is not resolved by last-writer-wins: `POST /v1/replication/reconcile`
+//! fetches the peer's per-KB digest (name, seq, canonical content hash)
+//! and merges each divergent theory with the paper's arbitration
+//! operator `Δ` — the fair merge of two equally trusted sources — with
+//! the two sides ordered by canonical key so both nodes would compute
+//! the identical result. See DESIGN.md §12.
+//!
+//! # Network fault injection
+//!
+//! [`NetFaultPlan`] arms exactly one deterministic, fire-once fault at
+//! the primary's replication transport: `net_drop` (connection cut
+//! mid-stream before the k-th frame), `net_torn` (k-th frame corrupted
+//! in transit), `net_dup` (k-th frame delivered twice), `net_delay`
+//! (k-th batch request delayed), `net_partition` (the k-th and the next
+//! [`PARTITION_REFUSALS`]−1 batch requests refused, then healed).
+//! Faults are one-shot — unlike the sticky durability `Budget` trips —
+//! because a network fault heals; the replica's reconnect/backoff/CRC
+//! machinery is what is under test.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use arbitrex_core::{tiered_arbitrate, Budget, Quality};
+use arbitrex_logic::{canonical_key, parse as parse_formula, ENUM_LIMIT};
+
+use crate::json::{self, Json};
+use crate::kb::{ApplyOutcome, StoredKb};
+use crate::metrics;
+use crate::snapshot;
+use crate::wal;
+use crate::ServiceState;
+
+/// Stamped WAL frames the primary retains for streaming; a replica whose
+/// cursor is older than the oldest retained frame must resync from a
+/// snapshot instead.
+pub const RETAIN_FRAMES: usize = 8192;
+/// Most frames served in one batch response.
+pub const MAX_BATCH_FRAMES: usize = 512;
+/// How long a batch request with nothing to ship long-polls before
+/// returning an empty batch (the replica re-requests immediately, so
+/// this is the idle polling cadence, not added replication lag).
+pub const POLL_WAIT: Duration = Duration::from_millis(50);
+/// Consecutive batch requests a `net_partition` fault refuses.
+pub const PARTITION_REFUSALS: u64 = 3;
+/// Reconnect backoff bounds: exponential from `BACKOFF_MIN`, capped at
+/// `BACKOFF_MAX`, with deterministic jitter.
+pub const BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Upper bound of the reconnect backoff.
+pub const BACKOFF_MAX: Duration = Duration::from_millis(1000);
+
+// --- the replication log ----------------------------------------------------
+
+/// One retained frame: the stamp plus the exact on-disk bytes.
+#[derive(Debug, Clone)]
+pub struct ReplFrame {
+    /// Fencing epoch stamped into the frame.
+    pub epoch: u64,
+    /// Global replication sequence number.
+    pub rseq: u64,
+    /// The full framed bytes (`len||crc||epoch||rseq||payload`).
+    pub bytes: Vec<u8>,
+}
+
+struct LogInner {
+    /// Retained frames, contiguous by `rseq`.
+    frames: VecDeque<ReplFrame>,
+    /// `rseq` of the oldest retained frame; when empty, the next `rseq`
+    /// a push will carry. A cursor below the floor needs a resync.
+    floor: u64,
+}
+
+/// Shared replication state of one store: the frame ring, the watermarks
+/// (durable = shippable head, visible = served by reads), the fencing
+/// epoch, and the role flags.
+pub struct ReplLog {
+    inner: Mutex<LogInner>,
+    /// Signals long-polling fetchers that the durable head advanced.
+    shipped: Condvar,
+    /// Highest `rseq` covered by an fsync or durable snapshot — the
+    /// head a replica may be served up to.
+    durable: AtomicU64,
+    /// Highest `rseq` visible to reads (on a primary this trails
+    /// `durable` by nothing observable; on a replica it advances as
+    /// frames apply — the `X-Arbitrex-Min-Seq` gate reads this).
+    visible: AtomicU64,
+    /// Current fencing epoch.
+    epoch: AtomicU64,
+    /// Replica role: writes are refused until promotion.
+    read_only: AtomicBool,
+    /// Tells the puller thread to exit (promotion, shutdown).
+    puller_stop: AtomicBool,
+    /// The primary's head as last reported to this replica (lag gauge).
+    last_seen_head: AtomicU64,
+}
+
+/// What a batch fetch produced.
+#[derive(Debug)]
+pub enum FetchOutcome {
+    /// Frames from the cursor (possibly empty after the long-poll), plus
+    /// the durable head at serve time.
+    Frames {
+        /// The batch, contiguous from the requested cursor.
+        frames: Vec<ReplFrame>,
+        /// Durable head at serve time.
+        head: u64,
+    },
+    /// The cursor is older than the retention floor: the replica must
+    /// install a snapshot and re-stream from its watermark.
+    ResyncRequired {
+        /// Oldest retained `rseq`.
+        floor: u64,
+    },
+}
+
+impl ReplLog {
+    /// A log for a store whose next append will carry `next_rseq` under
+    /// `epoch`. `read_only` marks a replica (cleared by promotion).
+    pub fn new(epoch: u64, next_rseq: u64, read_only: bool) -> ReplLog {
+        ReplLog {
+            inner: Mutex::new(LogInner {
+                frames: VecDeque::new(),
+                floor: next_rseq,
+            }),
+            shipped: Condvar::new(),
+            durable: AtomicU64::new(next_rseq.saturating_sub(1)),
+            visible: AtomicU64::new(next_rseq.saturating_sub(1)),
+            epoch: AtomicU64::new(epoch),
+            read_only: AtomicBool::new(read_only),
+            puller_stop: AtomicBool::new(false),
+            last_seen_head: AtomicU64::new(0),
+        }
+    }
+
+    /// Retain a just-appended frame. Called under the WAL lock, which is
+    /// what keeps `rseq` contiguous in the ring.
+    pub fn push(&self, epoch: u64, rseq: u64, bytes: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        debug_assert_eq!(rseq, inner.floor + inner.frames.len() as u64);
+        inner.frames.push_back(ReplFrame { epoch, rseq, bytes });
+        while inner.frames.len() > RETAIN_FRAMES {
+            inner.frames.pop_front();
+            inner.floor += 1;
+        }
+    }
+
+    /// Advance the durable head (monotone) and wake long-pollers.
+    pub fn advance_durable(&self, rseq: u64) {
+        self.durable.fetch_max(rseq, Ordering::SeqCst);
+        // Lock-then-notify so a fetcher between its head check and its
+        // wait cannot miss the advance.
+        drop(self.inner.lock().unwrap());
+        self.shipped.notify_all();
+    }
+
+    /// The durable head: the highest `rseq` a replica may be served.
+    pub fn head(&self) -> u64 {
+        self.durable.load(Ordering::SeqCst)
+    }
+
+    /// Advance the read-visible watermark (monotone).
+    pub fn set_visible(&self, rseq: u64) {
+        self.visible.fetch_max(rseq, Ordering::SeqCst);
+    }
+
+    /// The read-visible watermark (the `X-Arbitrex-Min-Seq` gate).
+    pub fn visible(&self) -> u64 {
+        self.visible.load(Ordering::SeqCst)
+    }
+
+    /// Current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Adopt `epoch` (promotion, or a replica following its primary).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// Is this store refusing writes (replica role)?
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::SeqCst)
+    }
+
+    /// Set or clear the replica role.
+    pub fn set_read_only(&self, value: bool) {
+        self.read_only.store(value, Ordering::SeqCst);
+    }
+
+    /// Ask the puller thread to exit.
+    pub fn stop_puller(&self) {
+        self.puller_stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the puller been asked to exit?
+    pub fn puller_stopped(&self) -> bool {
+        self.puller_stop.load(Ordering::SeqCst)
+    }
+
+    /// Record the primary's head as reported in a batch response.
+    pub fn note_seen_head(&self, head: u64) {
+        self.last_seen_head.fetch_max(head, Ordering::SeqCst);
+    }
+
+    /// The primary's head as last seen (0 before the first batch).
+    pub fn last_seen_head(&self) -> u64 {
+        self.last_seen_head.load(Ordering::SeqCst)
+    }
+
+    /// Oldest retained `rseq` (cursor floor).
+    pub fn floor(&self) -> u64 {
+        self.inner.lock().unwrap().floor
+    }
+
+    /// Serve a batch from cursor `from`, long-polling up to `wait` when
+    /// nothing is shippable yet.
+    pub fn fetch(&self, from: u64, wait: Duration) -> FetchOutcome {
+        let deadline = Instant::now() + wait;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if from < inner.floor {
+                return FetchOutcome::ResyncRequired { floor: inner.floor };
+            }
+            let head = self.durable.load(Ordering::SeqCst);
+            if from <= head {
+                let frames: Vec<ReplFrame> = inner
+                    .frames
+                    .iter()
+                    .skip_while(|f| f.rseq < from)
+                    .take_while(|f| f.rseq <= head)
+                    .take(MAX_BATCH_FRAMES)
+                    .cloned()
+                    .collect();
+                if !frames.is_empty() {
+                    return FetchOutcome::Frames { frames, head };
+                }
+                // Cursor ≤ head but nothing retained at it (can only
+                // happen right at the floor after a reset): resync.
+                if head >= inner.floor {
+                    return FetchOutcome::ResyncRequired { floor: inner.floor };
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return FetchOutcome::Frames {
+                    frames: Vec::new(),
+                    head,
+                };
+            }
+            let (guard, _) = self.shipped.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Reset after a snapshot install: the ring empties, the floor moves
+    /// past the snapshot watermark, and every watermark snaps to it.
+    pub fn reset(&self, epoch: u64, rseq: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.frames.clear();
+        inner.floor = rseq + 1;
+        drop(inner);
+        self.epoch.fetch_max(epoch, Ordering::SeqCst);
+        self.durable.fetch_max(rseq, Ordering::SeqCst);
+        self.visible.fetch_max(rseq, Ordering::SeqCst);
+        self.shipped.notify_all();
+    }
+}
+
+// --- deterministic network faults -------------------------------------------
+
+/// Where a network fault plan fires, at the primary's replication
+/// transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultSite {
+    /// Cut the stream (no chunk terminator, connection closed) before
+    /// the k-th frame ships.
+    Drop,
+    /// Corrupt one byte of the k-th frame in transit; the stream
+    /// continues — the replica's CRC check is what must catch it.
+    Torn,
+    /// Deliver the k-th frame twice.
+    Dup,
+    /// Delay the k-th batch request by [`NET_DELAY`].
+    Delay,
+    /// Refuse the k-th batch request and the next
+    /// [`PARTITION_REFUSALS`]−1 with 503, then heal.
+    Partition,
+}
+
+/// Artificial latency the `net_delay` fault injects.
+pub const NET_DELAY: Duration = Duration::from_millis(100);
+
+impl NetFaultSite {
+    /// Every site, for help text and validation.
+    pub const ALL: [NetFaultSite; 5] = [
+        NetFaultSite::Drop,
+        NetFaultSite::Torn,
+        NetFaultSite::Dup,
+        NetFaultSite::Delay,
+        NetFaultSite::Partition,
+    ];
+
+    /// The `--fault` spelling of this site.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultSite::Drop => "net_drop",
+            NetFaultSite::Torn => "net_torn",
+            NetFaultSite::Dup => "net_dup",
+            NetFaultSite::Delay => "net_delay",
+            NetFaultSite::Partition => "net_partition",
+        }
+    }
+
+    /// Parse a `--fault` site name.
+    pub fn parse(name: &str) -> Option<NetFaultSite> {
+        NetFaultSite::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+#[derive(Debug, Default)]
+struct NetFaultState {
+    /// Charges against this plan's site (frames shipped for frame-level
+    /// sites, batch requests for request-level ones).
+    counter: AtomicU64,
+    /// Outstanding partition refusals.
+    partition_refusals: AtomicU64,
+}
+
+/// A deterministic, fire-once network fault: the k-th charge at `site`
+/// trips it. Shared (`Arc`) so the plan travels inside a cloned
+/// `ServerConfig` while all clones count against the same trigger —
+/// and, unlike the sticky durability `Budget`, it disarms after firing,
+/// because a network fault heals.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    /// Which transport behavior misfires.
+    pub site: NetFaultSite,
+    /// Fire on the `at`-th charge (1-based).
+    pub at: u64,
+    state: Arc<NetFaultState>,
+}
+
+impl NetFaultPlan {
+    /// A plan firing on the `at`-th charge at `site`.
+    pub fn new(site: NetFaultSite, at: u64) -> NetFaultPlan {
+        NetFaultPlan {
+            site,
+            at,
+            state: Arc::new(NetFaultState::default()),
+        }
+    }
+
+    /// Charge one unit at `site`; `true` exactly once, on the `at`-th
+    /// charge of the plan's own site.
+    pub fn fire(&self, site: NetFaultSite) -> bool {
+        if site != self.site {
+            return false;
+        }
+        let n = self.state.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.at {
+            metrics::REPL_NET_FAULTS.incr();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should this batch request be refused by the partition fault?
+    /// Consumes one refusal if the partition is active; fires the
+    /// partition (arming the remaining refusals) on the k-th request.
+    pub fn partition_refuses(&self) -> bool {
+        if self
+            .state
+            .partition_refusals
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            return true;
+        }
+        if self.fire(NetFaultSite::Partition) {
+            self.state
+                .partition_refusals
+                .store(PARTITION_REFUSALS - 1, Ordering::SeqCst);
+            return true;
+        }
+        false
+    }
+}
+
+// --- a blocking peer client --------------------------------------------------
+
+/// What a peer answered: status, lowercased headers, the body, and — for
+/// chunked responses — the individual chunks (one WAL frame each).
+#[derive(Debug)]
+pub struct PeerResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lowercased header names with values.
+    pub headers: Vec<(String, String)>,
+    /// The whole body (chunks concatenated when chunked).
+    pub body: Vec<u8>,
+    /// The individual chunks of a chunked response.
+    pub chunks: Option<Vec<Vec<u8>>>,
+}
+
+impl PeerResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A blocking HTTP/1.1 client for one keep-alive connection to a peer
+/// node. Requests are strictly sequential (no pipelining), so the
+/// buffered reader never holds bytes of an unconsumed response.
+pub struct PeerClient {
+    reader: BufReader<TcpStream>,
+}
+
+/// Read timeout on peer sockets; a peer silent this long is treated as
+/// gone and the connection is rebuilt.
+const PEER_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+impl PeerClient {
+    /// Connect to `addr` (host:port).
+    pub fn connect(addr: &str) -> io::Result<PeerClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(PEER_READ_TIMEOUT))?;
+        let _ = stream.set_nodelay(true);
+        Ok(PeerClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send `method path` with an optional JSON body and read the full
+    /// response (buffering all chunks of a chunked one).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<PeerResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: peer\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        {
+            let stream = self.reader.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+        }
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed mid-response",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn read_response(&mut self) -> io::Result<PeerResponse> {
+        let status_line = self.read_line()?;
+        let mut parts = status_line.split_ascii_whitespace();
+        let status = match (parts.next(), parts.next()) {
+            (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+                .parse::<u16>()
+                .map_err(|_| io::Error::other(format!("bad status line `{status_line}`")))?,
+            _ => return Err(io::Error::other(format!("bad status line `{status_line}`"))),
+        };
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        if chunked {
+            let mut chunks = Vec::new();
+            let mut body = Vec::new();
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| io::Error::other(format!("bad chunk size `{size_line}`")))?;
+                if size == 0 {
+                    let _ = self.read_line(); // trailing CRLF after the last chunk
+                    break;
+                }
+                let mut chunk = vec![0u8; size];
+                self.reader.read_exact(&mut chunk)?;
+                let mut crlf = [0u8; 2];
+                self.reader.read_exact(&mut crlf)?;
+                body.extend_from_slice(&chunk);
+                chunks.push(chunk);
+            }
+            return Ok(PeerResponse {
+                status,
+                headers,
+                body,
+                chunks: Some(chunks),
+            });
+        }
+        let length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        Ok(PeerResponse {
+            status,
+            headers,
+            body,
+            chunks: None,
+        })
+    }
+}
+
+// --- the replica's puller thread ---------------------------------------------
+
+/// Capped exponential backoff with deterministic xorshift jitter.
+struct Backoff {
+    delay: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(seed: u64) -> Backoff {
+        Backoff {
+            delay: BACKOFF_MIN,
+            rng: seed | 1,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.delay = BACKOFF_MIN;
+    }
+
+    /// Sleep the current delay ± 25% jitter (in short slices so a stop
+    /// request is observed promptly), then double toward the cap.
+    fn sleep(&mut self, log: &ReplLog) {
+        metrics::REPL_BACKOFF_SLEEPS.incr();
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        let base = self.delay.as_millis() as u64;
+        let jitter = self.rng % (base / 2 + 1); // 0 ..= base/2
+        let total = Duration::from_millis(base - base / 4 + jitter);
+        let slice = Duration::from_millis(10);
+        let deadline = Instant::now() + total;
+        while Instant::now() < deadline && !log.puller_stopped() {
+            thread::sleep(slice.min(deadline - Instant::now()));
+        }
+        self.delay = (self.delay * 2).min(BACKOFF_MAX);
+    }
+}
+
+/// Spawn the replica's puller thread: connect to `primary`, stream WAL
+/// frames, apply them, resync via snapshot when required, and reconnect
+/// with capped backoff on every failure. Exits when the store's
+/// [`ReplLog::stop_puller`] fires (promotion or shutdown).
+pub fn spawn_puller(state: Arc<ServiceState>, primary: String) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("arbitrex-repl-puller".to_string())
+        .spawn(move || run_puller(&state, &primary))
+        .expect("spawn replication puller")
+}
+
+fn run_puller(state: &ServiceState, primary: &str) {
+    let log = match state.kbs.replication() {
+        Some(log) => Arc::clone(log),
+        None => return, // replication requires a durable store
+    };
+    let seed = primary.bytes().fold(0xDEAD_BEEF_u64, |h, b| {
+        h.wrapping_mul(31).wrapping_add(b as u64)
+    });
+    let mut backoff = Backoff::new(seed);
+    while !log.puller_stopped() {
+        let mut client = match PeerClient::connect(primary) {
+            Ok(c) => {
+                backoff.reset();
+                c
+            }
+            Err(_) => {
+                backoff.sleep(&log);
+                continue;
+            }
+        };
+        metrics::REPL_RECONNECTS.incr();
+        // Stream batches on this connection until it breaks.
+        loop {
+            if log.puller_stopped() {
+                return;
+            }
+            let from = log.head() + 1;
+            let response = match client.request(
+                "GET",
+                &format!("/v1/replication/wal?from_seq={from}"),
+                None,
+            ) {
+                Ok(r) => r,
+                Err(_) => break, // dropped/cut connection: rebuild it
+            };
+            match response.status {
+                200 => {}
+                409 => {
+                    // Cursor below the primary's retention floor.
+                    if !resync(state, &log, &mut client) {
+                        break;
+                    }
+                    continue;
+                }
+                _ => break, // partition 503s and surprises: back off
+            }
+            let peer_epoch = response
+                .header("x-arbitrex-epoch")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            if peer_epoch < log.epoch() {
+                // A deposed primary is answering: refuse its frames.
+                metrics::REPL_EPOCH_REJECTIONS.incr();
+                break;
+            }
+            if peer_epoch > log.epoch() {
+                // A promotion happened while we were away; our history
+                // may have diverged past the shared prefix — resync.
+                if !resync(state, &log, &mut client) {
+                    break;
+                }
+                continue;
+            }
+            if let Some(head) = response
+                .header("x-arbitrex-head")
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                log.note_seen_head(head);
+            }
+            let chunks = response.chunks.unwrap_or_default();
+            let mut stream_ok = true;
+            for chunk in &chunks {
+                let start = Instant::now();
+                let stamped = match wal::decode_frame(chunk) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Torn in transit: drop the rest, re-request
+                        // from the same cursor on this connection.
+                        metrics::REPL_BAD_FRAMES.incr();
+                        break;
+                    }
+                };
+                match state.kbs.apply_replicated(chunk, &stamped) {
+                    Ok(ApplyOutcome::Applied { snapshot_due, .. }) => {
+                        metrics::REPL_FRAMES_APPLIED.incr();
+                        metrics::LATENCY_REPL_APPLY
+                            .record_nanos(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        if snapshot_due && state.kbs.maybe_snapshot().is_err() {
+                            state.kbs.note_snapshot_error();
+                        }
+                    }
+                    Ok(ApplyOutcome::Duplicate { .. }) => {
+                        metrics::REPL_DUP_FRAMES_SKIPPED.incr();
+                    }
+                    Ok(ApplyOutcome::StaleEpoch { .. }) => {
+                        metrics::REPL_EPOCH_REJECTIONS.incr();
+                        stream_ok = false;
+                        break;
+                    }
+                    Ok(ApplyOutcome::Gap { .. }) => {
+                        stream_ok = resync(state, &log, &mut client);
+                        break;
+                    }
+                    Err(_) => {
+                        // Local append failed (disk trouble): back off
+                        // rather than spin against a broken store.
+                        stream_ok = false;
+                        break;
+                    }
+                }
+            }
+            if !stream_ok {
+                break;
+            }
+        }
+        backoff.sleep(&log);
+    }
+}
+
+/// Install the primary's snapshot image: fetch, verify, swap the whole
+/// store, and resume the cursor from the snapshot watermark. `false`
+/// breaks the connection loop (caller backs off).
+fn resync(state: &ServiceState, log: &ReplLog, client: &mut PeerClient) -> bool {
+    metrics::REPL_RESYNCS.incr();
+    let response = match client.request("GET", "/v1/replication/snapshot", None) {
+        Ok(r) => r,
+        Err(_) => return false,
+    };
+    if response.status != 200 {
+        return false;
+    }
+    let contents = match snapshot::parse_snapshot(&response.body) {
+        Ok(c) => c,
+        Err(_) => {
+            metrics::REPL_BAD_FRAMES.incr();
+            return false;
+        }
+    };
+    // Fencing covers state transfer too: a node fenced at epoch E must
+    // not install a deposed primary's snapshot, or a kill-9'd old
+    // primary could undo a promotion by answering a resync.
+    if contents.epoch < log.epoch() {
+        metrics::REPL_EPOCH_REJECTIONS.incr();
+        return false;
+    }
+    if state.kbs.install_state(contents).is_err() {
+        return false;
+    }
+    // Watermarks were reset by install_state through the same log.
+    true
+}
+
+// --- Δ-based anti-entropy ----------------------------------------------------
+
+/// What one reconciliation pass did.
+#[derive(Debug, Default)]
+pub struct ReconcileSummary {
+    /// KBs present on both sides with identical seq and content.
+    pub identical: u64,
+    /// KBs absent locally, adopted verbatim from the peer.
+    pub adopted: u64,
+    /// KBs with identical content but different seq; seq aligned to max.
+    pub aligned: u64,
+    /// Divergent KBs merged with `Δ` arbitration.
+    pub merged: u64,
+    /// Divergent KBs skipped (peer formula unreadable or arbitration
+    /// not exact — should not happen with an unlimited budget).
+    pub skipped: u64,
+}
+
+/// One entry of a peer's digest.
+struct DigestEntry {
+    name: String,
+    seq: u64,
+    hash: u64,
+}
+
+fn parse_digest(body: &[u8]) -> Result<Vec<DigestEntry>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "digest is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("digest does not parse: {e}"))?;
+    let kbs = doc
+        .get("kbs")
+        .and_then(|v| v.as_array())
+        .ok_or("digest has no `kbs` array")?;
+    let mut out = Vec::with_capacity(kbs.len());
+    for entry in kbs {
+        let name = entry
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("digest entry has no name")?
+            .to_string();
+        let seq = entry
+            .get("seq")
+            .and_then(|v| v.as_u64())
+            .ok_or("digest entry has no seq")?;
+        let hash = entry
+            .get("hash")
+            .and_then(|v| v.as_str())
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or("digest entry has no hash")?;
+        out.push(DigestEntry { name, seq, hash });
+    }
+    Ok(out)
+}
+
+/// Fetch one KB's formula text and seq from the peer.
+fn fetch_peer_kb(client: &mut PeerClient, name: &str) -> Result<(String, u64), String> {
+    let response = client
+        .request("GET", &format!("/v1/kb/{name}"), None)
+        .map_err(|e| format!("peer unreachable: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("peer answered {} for `{name}`", response.status));
+    }
+    let text = std::str::from_utf8(&response.body).map_err(|_| "KB body not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("KB body does not parse: {e}"))?;
+    let formula = doc
+        .get("formula")
+        .and_then(|v| v.as_str())
+        .ok_or("KB body has no formula")?
+        .to_string();
+    let seq = doc
+        .get("seq")
+        .and_then(|v| v.as_u64())
+        .ok_or("KB body has no seq")?;
+    Ok((formula, seq))
+}
+
+/// One anti-entropy pass against `peer`: adopt KBs we lack, align seqs
+/// on identical content, and merge genuinely divergent theories with
+/// `Δ` arbitration — both sides ordered by canonical key, so the peer
+/// running the same pass against us would commit the identical result.
+pub fn reconcile_with_peer(state: &ServiceState, peer: &str) -> Result<ReconcileSummary, String> {
+    if state.kbs.replication().is_none() {
+        return Err("reconciliation requires a durable store".to_string());
+    }
+    let mut client = PeerClient::connect(peer).map_err(|e| format!("cannot reach {peer}: {e}"))?;
+    let digest_response = client
+        .request("GET", "/v1/replication/digest", None)
+        .map_err(|e| format!("digest fetch failed: {e}"))?;
+    if digest_response.status != 200 {
+        return Err(format!(
+            "peer answered {} for digest",
+            digest_response.status
+        ));
+    }
+    let peer_digest = parse_digest(&digest_response.body)?;
+    let local: std::collections::HashMap<String, (u64, u64)> = state
+        .kbs
+        .digest()
+        .into_iter()
+        .map(|(name, seq, hash)| (name, (seq, hash)))
+        .collect();
+
+    let mut summary = ReconcileSummary::default();
+    for entry in peer_digest {
+        match local.get(&entry.name) {
+            None => {
+                // Absent here: adopt the peer's theory verbatim, seq
+                // included, so the digests agree afterwards.
+                let (text, seq) = match fetch_peer_kb(&mut client, &entry.name) {
+                    Ok(v) => v,
+                    Err(_) => {
+                        summary.skipped += 1;
+                        continue;
+                    }
+                };
+                let mut sig = arbitrex_logic::Sig::new();
+                let formula = match parse_formula(&mut sig, &text) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        summary.skipped += 1;
+                        continue;
+                    }
+                };
+                if state
+                    .kbs
+                    .force_put(&entry.name, StoredKb { sig, formula, seq })
+                    .is_err()
+                {
+                    summary.skipped += 1;
+                    continue;
+                }
+                summary.adopted += 1;
+            }
+            Some(&(local_seq, local_hash)) if local_hash == entry.hash => {
+                if local_seq == entry.seq {
+                    summary.identical += 1;
+                    continue;
+                }
+                // Same theory, different seq (e.g. one side redundantly
+                // re-committed): align on the max so digests converge.
+                let target = local_seq.max(entry.seq);
+                if align_seq(state, &entry.name, target) {
+                    summary.aligned += 1;
+                } else {
+                    summary.skipped += 1;
+                }
+            }
+            Some(&(local_seq, _)) => {
+                // Genuine divergence: merge with Δ, not last-writer-wins.
+                match merge_divergent(state, &mut client, &entry.name, local_seq, entry.seq) {
+                    Ok(()) => {
+                        metrics::REPL_RECONCILIATIONS.incr();
+                        summary.merged += 1;
+                    }
+                    Err(_) => summary.skipped += 1,
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Re-commit the local theory under `target` seq (content unchanged).
+fn align_seq(state: &ServiceState, name: &str, target: u64) -> bool {
+    let Some(entry) = state.kbs.entry(name) else {
+        return false;
+    };
+    let next = {
+        let kb = entry.lock().unwrap();
+        if kb.seq == 0 || kb.seq == target {
+            return kb.seq == target;
+        }
+        StoredKb {
+            sig: kb.sig.clone(),
+            formula: kb.formula.clone(),
+            seq: target,
+        }
+    };
+    state.kbs.force_put(name, next).is_ok()
+}
+
+/// Merge one divergent KB: `Δ(side_a, side_b)` with the sides ordered by
+/// canonical key (arbitration is a fair merge; the ordering only pins a
+/// deterministic evaluation order so both nodes compute identical
+/// results). Commits at `max(seq_local, seq_peer) + 1`.
+fn merge_divergent(
+    state: &ServiceState,
+    client: &mut PeerClient,
+    name: &str,
+    local_seq: u64,
+    peer_seq: u64,
+) -> Result<(), String> {
+    let (peer_text, _) = fetch_peer_kb(client, name)?;
+    let entry = state
+        .kbs
+        .entry(name)
+        .ok_or("KB vanished during reconciliation")?;
+    let (mut sig, local_formula) = {
+        let kb = entry.lock().unwrap();
+        if kb.seq == 0 {
+            return Err("KB vanished during reconciliation".to_string());
+        }
+        (kb.sig.clone(), kb.formula.clone())
+    };
+    let peer_formula = parse_formula(&mut sig, &peer_text)
+        .map_err(|e| format!("peer formula does not parse: {e}"))?;
+    let n = sig.width();
+    if n > ENUM_LIMIT {
+        return Err(format!("merged signature of {n} variables too wide"));
+    }
+    // Order the sides canonically: Δ treats both as equally trusted, so
+    // the pair — not its order — determines the fair merge; pinning the
+    // order makes the two nodes' computations bitwise identical.
+    let (psi, phi) = if canonical_key(&local_formula) <= canonical_key(&peer_formula) {
+        (local_formula, peer_formula)
+    } else {
+        (peer_formula, local_formula)
+    };
+    let (outcome, _cache, _report) = tiered_arbitrate(
+        &state.cache,
+        &state.compiled,
+        &psi,
+        &phi,
+        n,
+        &Budget::unlimited(),
+    )
+    .map_err(|e| e.to_string())?;
+    if outcome.quality != Quality::Exact {
+        return Err("arbitration degraded under an unlimited budget".to_string());
+    }
+    let merged = StoredKb {
+        sig,
+        formula: outcome.models.to_formula(),
+        seq: local_seq.max(peer_seq) + 1,
+    };
+    state
+        .kbs
+        .force_put(name, merged)
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Render a reconcile summary as the endpoint's response body.
+pub fn summary_json(peer: &str, s: &ReconcileSummary) -> Json {
+    json::obj([
+        ("peer", json::s(peer)),
+        ("identical", json::n(s.identical)),
+        ("adopted", json::n(s.adopted)),
+        ("aligned", json::n(s.aligned)),
+        ("merged", json::n(s.merged)),
+        ("skipped", json::n(s.skipped)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(epoch: u64, rseq: u64) -> Vec<u8> {
+        wal::frame(epoch, rseq, &[rseq as u8])
+    }
+
+    #[test]
+    fn repl_log_serves_contiguous_batches_up_to_the_durable_head() {
+        let log = ReplLog::new(1, 1, false);
+        for rseq in 1..=5 {
+            log.push(1, rseq, frame_bytes(1, rseq));
+        }
+        // Nothing durable yet: an immediate fetch long-polls then
+        // returns empty.
+        match log.fetch(1, Duration::from_millis(1)) {
+            FetchOutcome::Frames { frames, head } => {
+                assert!(frames.is_empty());
+                assert_eq!(head, 0);
+            }
+            other => panic!("expected empty frames, got {other:?}"),
+        }
+        log.advance_durable(3);
+        match log.fetch(1, Duration::from_millis(1)) {
+            FetchOutcome::Frames { frames, head } => {
+                assert_eq!(head, 3);
+                assert_eq!(
+                    frames.iter().map(|f| f.rseq).collect::<Vec<_>>(),
+                    vec![1, 2, 3]
+                );
+            }
+            other => panic!("expected frames 1..=3, got {other:?}"),
+        }
+        // A cursor mid-ring serves the suffix.
+        match log.fetch(3, Duration::from_millis(1)) {
+            FetchOutcome::Frames { frames, .. } => {
+                assert_eq!(frames.iter().map(|f| f.rseq).collect::<Vec<_>>(), vec![3]);
+            }
+            other => panic!("expected frame 3, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repl_log_requires_resync_below_the_retention_floor() {
+        let log = ReplLog::new(1, 1, false);
+        for rseq in 1..=(RETAIN_FRAMES as u64 + 10) {
+            log.push(1, rseq, frame_bytes(1, rseq));
+        }
+        log.advance_durable(RETAIN_FRAMES as u64 + 10);
+        assert_eq!(log.floor(), 11);
+        match log.fetch(5, Duration::from_millis(1)) {
+            FetchOutcome::ResyncRequired { floor } => assert_eq!(floor, 11),
+            other => panic!("expected resync, got {other:?}"),
+        }
+        match log.fetch(11, Duration::from_millis(1)) {
+            FetchOutcome::Frames { frames, .. } => {
+                assert_eq!(frames.len(), MAX_BATCH_FRAMES);
+                assert_eq!(frames[0].rseq, 11);
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repl_log_reset_moves_every_watermark_past_the_snapshot() {
+        let log = ReplLog::new(1, 1, true);
+        for rseq in 1..=4 {
+            log.push(1, rseq, frame_bytes(1, rseq));
+        }
+        log.advance_durable(4);
+        log.reset(3, 40);
+        assert_eq!(log.epoch(), 3);
+        assert_eq!(log.head(), 40);
+        assert_eq!(log.visible(), 40);
+        assert_eq!(log.floor(), 41);
+        match log.fetch(41, Duration::from_millis(1)) {
+            FetchOutcome::Frames { frames, .. } => assert!(frames.is_empty()),
+            other => panic!("expected empty frames, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn net_fault_plans_fire_once_at_their_site_only() {
+        let plan = NetFaultPlan::new(NetFaultSite::Torn, 3);
+        // Other sites never charge this plan's counter.
+        assert!(!plan.fire(NetFaultSite::Drop));
+        assert!(!plan.fire(NetFaultSite::Dup));
+        assert!(!plan.fire(NetFaultSite::Torn)); // 1st
+        assert!(!plan.fire(NetFaultSite::Torn)); // 2nd
+        assert!(plan.fire(NetFaultSite::Torn)); // 3rd: fires
+        assert!(!plan.fire(NetFaultSite::Torn)); // fired once, disarmed
+    }
+
+    #[test]
+    fn partition_fault_refuses_a_window_then_heals() {
+        let plan = NetFaultPlan::new(NetFaultSite::Partition, 2);
+        assert!(!plan.partition_refuses()); // request 1: healthy
+        assert!(plan.partition_refuses()); // request 2: fires
+        for _ in 1..PARTITION_REFUSALS {
+            assert!(plan.partition_refuses());
+        }
+        assert!(!plan.partition_refuses()); // healed
+        assert!(!plan.partition_refuses());
+    }
+
+    #[test]
+    fn net_fault_site_names_round_trip() {
+        for site in NetFaultSite::ALL {
+            assert_eq!(NetFaultSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(NetFaultSite::parse("net_gremlins"), None);
+        assert_eq!(NetFaultSite::parse("wal_write"), None);
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap_and_resets() {
+        let log = ReplLog::new(1, 1, true);
+        log.stop_puller(); // sleeps return immediately
+        let mut backoff = Backoff::new(7);
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            seen.push(backoff.delay);
+            backoff.sleep(&log);
+        }
+        assert_eq!(seen[0], BACKOFF_MIN);
+        assert!(seen.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*seen.last().unwrap(), BACKOFF_MAX);
+        backoff.reset();
+        assert_eq!(backoff.delay, BACKOFF_MIN);
+    }
+}

@@ -11,6 +11,7 @@ use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
 use crate::kb::{self, CommitError, StoredKb};
 use crate::metrics;
+use crate::replication::{self, FetchOutcome, NetFaultSite, ReplLog, NET_DELAY, POLL_WAIT};
 use crate::ServiceState;
 
 use arbitrex_core::cache::{cached_warbitrate, CacheStatus};
@@ -46,10 +47,22 @@ pub fn dispatch(state: &ServiceState, req: &Request) -> Response {
 type Routed = (Option<&'static arbitrex_telemetry::Histogram>, Response);
 
 fn route(state: &ServiceState, req: &Request) -> Routed {
-    if let Some(name) = req.path.strip_prefix("/v1/kb/") {
+    // Split the query string off the target; only the replication WAL
+    // endpoint uses one, but a stray `?` must not break path matching.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (req.path.as_str(), None),
+    };
+    if let Some(name) = path.strip_prefix("/v1/kb/") {
         return (Some(&metrics::LATENCY_KB), handle_kb(state, req, name));
     }
-    match (req.method.as_str(), req.path.as_str()) {
+    if let Some(action) = path.strip_prefix("/v1/replication/") {
+        return (
+            Some(&metrics::LATENCY_REPL),
+            handle_replication(state, req, action, query),
+        );
+    }
+    match (req.method.as_str(), path) {
         ("GET", "/metrics") => (Some(&metrics::LATENCY_METRICS), handle_metrics(state)),
         ("POST", "/v1/arbitrate") => (
             Some(&metrics::LATENCY_ARBITRATE),
@@ -226,9 +239,20 @@ fn outcome_json(
 
 fn handle_metrics(state: &ServiceState) -> Response {
     let mut text = metrics::metrics_json();
-    // Splice live gauge values (cache fill, KB count) into the document.
+    let (role, epoch, head, visible, lag) = match state.kbs.replication() {
+        Some(log) => (
+            if log.read_only() { 0 } else { 1 },
+            log.epoch(),
+            log.head(),
+            log.visible(),
+            log.last_seen_head().saturating_sub(log.visible()),
+        ),
+        None => (1, 0, 0, 0, 0),
+    };
+    // Splice live gauge values (cache fill, KB count, replication
+    // watermarks) into the document.
     let gauges = format!(
-        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}}}}}",
+        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}, \"replication_role\": {role}, \"replication_epoch\": {epoch}, \"replication_head\": {head}, \"replication_visible\": {visible}, \"replication_lag\": {lag}}}}}",
         state.cache.len(),
         state.cache.capacity(),
         state.kbs.len(),
@@ -381,14 +405,230 @@ fn warbitrate_inner(state: &ServiceState, body: &Json) -> Result<Response, Respo
     ])))
 }
 
+// --- the replication endpoints ----------------------------------------------
+
+fn handle_replication(
+    state: &ServiceState,
+    req: &Request,
+    action: &str,
+    query: Option<&str>,
+) -> Response {
+    let log = match state.kbs.replication() {
+        Some(log) => log,
+        None => {
+            return error_response(
+                503,
+                "replication requires a durable store (start with --state-dir)",
+            )
+        }
+    };
+    match (req.method.as_str(), action) {
+        ("GET", "wal") => repl_wal(state, log, query),
+        ("GET", "snapshot") => repl_snapshot(state),
+        ("GET", "digest") => repl_digest(state, log),
+        ("GET", "status") => repl_status(log),
+        ("POST", "promote") => repl_promote(state),
+        ("POST", "reconcile") => repl_reconcile(state, req),
+        (_, "wal" | "snapshot" | "digest" | "status" | "promote" | "reconcile") => {
+            error_response(405, "method not allowed")
+        }
+        _ => error_response(404, "no such endpoint"),
+    }
+}
+
+/// `GET /v1/replication/wal?from_seq=N`: a chunked batch of stamped WAL
+/// frames from cursor `N` (one frame per HTTP chunk), long-polling
+/// briefly when the replica is caught up. `409` with `resync: true`
+/// when the cursor is older than frame retention. The configured
+/// `net_*` fault plan is injected here — this endpoint *is* the
+/// replication transport.
+fn repl_wal(state: &ServiceState, log: &ReplLog, query: Option<&str>) -> Response {
+    let from = query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|kv| kv.strip_prefix("from_seq="))
+        .and_then(|v| v.parse::<u64>().ok());
+    let from = match from {
+        Some(v) => v,
+        None => return error_response(400, "query `from_seq=N` is required"),
+    };
+    let fault = state.config.net_fault.as_ref();
+    if let Some(plan) = fault {
+        if plan.partition_refuses() {
+            let mut refused = error_response(503, "injected fault: network partition");
+            refused.force_close = true;
+            return refused;
+        }
+        if plan.fire(NetFaultSite::Delay) {
+            std::thread::sleep(NET_DELAY);
+        }
+    }
+    match log.fetch(from, POLL_WAIT) {
+        FetchOutcome::ResyncRequired { floor } => {
+            let body = obj([
+                (
+                    "error",
+                    json::s(format!(
+                        "cursor {from} is below the retention floor {floor}; resync from a snapshot"
+                    )),
+                ),
+                ("code", json::n(409)),
+                ("resync", Json::Bool(true)),
+                ("floor", json::n(floor)),
+            ]);
+            Response::json(409, body.to_text())
+        }
+        FetchOutcome::Frames { frames, head } => {
+            metrics::REPL_BATCHES_SERVED.incr();
+            let mut chunks = Vec::with_capacity(frames.len());
+            let mut abort = false;
+            for frame in &frames {
+                if let Some(plan) = fault {
+                    if plan.fire(NetFaultSite::Drop) {
+                        // Cut the stream: no terminator, socket closed.
+                        abort = true;
+                        break;
+                    }
+                    if plan.fire(NetFaultSite::Torn) {
+                        // Corrupt in transit; the replica's CRC check
+                        // must refuse this frame.
+                        let mut torn = frame.bytes.clone();
+                        let last = torn.len() - 1;
+                        torn[last] ^= 0x01;
+                        chunks.push(torn);
+                        metrics::REPL_FRAMES_SHIPPED.incr();
+                        continue;
+                    }
+                    if plan.fire(NetFaultSite::Dup) {
+                        chunks.push(frame.bytes.clone());
+                    }
+                }
+                chunks.push(frame.bytes.clone());
+                metrics::REPL_FRAMES_SHIPPED.incr();
+            }
+            let mut response = Response::binary_chunked(200, chunks);
+            response.chunk_abort = abort;
+            response
+                .extra_headers
+                .push(("X-Arbitrex-Epoch", log.epoch().to_string()));
+            response
+                .extra_headers
+                .push(("X-Arbitrex-Head", head.to_string()));
+            response
+        }
+    }
+}
+
+/// `GET /v1/replication/snapshot`: the deterministic in-memory snapshot
+/// image of the current state, for replica resync.
+fn repl_snapshot(state: &ServiceState) -> Response {
+    match state.kbs.snapshot_image() {
+        Ok(bytes) => Response::binary_chunked(200, vec![bytes]),
+        Err(e) => error_response(500, e.to_string()),
+    }
+}
+
+/// `GET /v1/replication/digest`: per-KB `(name, seq, canonical content
+/// hash)` for anti-entropy comparison.
+fn repl_digest(state: &ServiceState, log: &ReplLog) -> Response {
+    let kbs: Vec<Json> = state
+        .kbs
+        .digest()
+        .into_iter()
+        .map(|(name, seq, hash)| {
+            obj([
+                ("name", json::s(name)),
+                ("seq", json::n(seq)),
+                ("hash", json::s(format!("{hash:016x}"))),
+            ])
+        })
+        .collect();
+    ok(obj([
+        ("epoch", json::n(log.epoch())),
+        ("kbs", Json::Arr(kbs)),
+    ]))
+}
+
+/// `GET /v1/replication/status`: role, epoch, and watermarks.
+fn repl_status(log: &ReplLog) -> Response {
+    ok(obj([
+        (
+            "role",
+            json::s(if log.read_only() {
+                "replica"
+            } else {
+                "primary"
+            }),
+        ),
+        ("epoch", json::n(log.epoch())),
+        ("head", json::n(log.head())),
+        ("visible", json::n(log.visible())),
+        ("floor", json::n(log.floor())),
+        ("last_seen_head", json::n(log.last_seen_head())),
+    ]))
+}
+
+/// `POST /v1/replication/promote`: explicit failover — bump the fencing
+/// epoch, stop following, accept writes.
+fn repl_promote(state: &ServiceState) -> Response {
+    match state.kbs.promote() {
+        Ok((epoch, last_rseq)) => ok(obj([
+            ("promoted", Json::Bool(true)),
+            ("epoch", json::n(epoch)),
+            ("last_rseq", json::n(last_rseq)),
+        ])),
+        Err(e) => error_response(503, e.to_string()),
+    }
+}
+
+/// `POST /v1/replication/reconcile {"peer": "host:port"}`: one
+/// anti-entropy pass merging divergent KBs with `Δ` arbitration.
+fn repl_reconcile(state: &ServiceState, req: &Request) -> Response {
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let peer = match field_str(&body, "peer") {
+        Ok(p) => p,
+        Err(resp) => return resp,
+    };
+    match replication::reconcile_with_peer(state, peer) {
+        Ok(summary) => ok(replication::summary_json(peer, &summary)),
+        Err(message) => error_response(502, message),
+    }
+}
+
 // --- the KB endpoint --------------------------------------------------------
+
+/// Stamp a mutation response with the commit's replication sequence
+/// number, the token follower reads pass back via `X-Arbitrex-Min-Seq`.
+fn with_commit_seq(mut response: Response, rseq: u64) -> Response {
+    if rseq > 0 {
+        response
+            .extra_headers
+            .push(("X-Arbitrex-Seq", rseq.to_string()));
+    }
+    response
+}
 
 fn handle_kb(state: &ServiceState, req: &Request, name: &str) -> Response {
     if !kb::valid_name(name) {
         return error_response(400, "KB names are [A-Za-z0-9_-], at most 64 chars");
     }
+    // A replica serves reads only; mutations must go to the primary (or
+    // wait for promotion).
+    if req.method.as_str() != "GET" {
+        if let Some(log) = state.kbs.replication() {
+            if log.read_only() {
+                return error_response(
+                    503,
+                    "this node is a read-only replica; write to the primary",
+                );
+            }
+        }
+    }
     match req.method.as_str() {
-        "GET" => kb_get(state, name),
+        "GET" => kb_get(state, req, name),
         "DELETE" => kb_delete(state, name, None),
         "POST" => {
             let body = match body_json(req) {
@@ -450,7 +690,36 @@ fn run_due_snapshot(state: &ServiceState, due: bool) {
     }
 }
 
-fn kb_get(state: &ServiceState, name: &str) -> Response {
+fn kb_get(state: &ServiceState, req: &Request, name: &str) -> Response {
+    // Read-your-writes across failover: a client holding the
+    // `X-Arbitrex-Seq` of its commit asks any node to only answer once
+    // that seq is visible; a lagging replica answers 412 + Retry-After
+    // instead of serving a stale read. Ignored on in-memory stores,
+    // which have no replication watermark.
+    if let Some(min_seq) = req
+        .header("x-arbitrex-min-seq")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        if let Some(log) = state.kbs.replication() {
+            let visible = log.visible();
+            if visible < min_seq {
+                let body = obj([
+                    (
+                        "error",
+                        json::s(format!(
+                            "read requires seq {min_seq}; only {visible} is visible here"
+                        )),
+                    ),
+                    ("code", json::n(412)),
+                    ("min_seq", json::n(min_seq)),
+                    ("visible", json::n(visible)),
+                ]);
+                let mut stale = Response::json(412, body.to_text());
+                stale.extra_headers.push(("Retry-After", "0".to_string()));
+                return stale;
+            }
+        }
+    }
     if let Some(entry) = state.kbs.entry(name) {
         let kb = entry.lock().unwrap();
         // seq 0 is an uncommitted placeholder: not a KB yet.
@@ -463,12 +732,15 @@ fn kb_get(state: &ServiceState, name: &str) -> Response {
 
 fn kb_delete(state: &ServiceState, name: &str, if_seq: Option<u64>) -> Response {
     match state.kbs.delete(name, if_seq) {
-        Ok(Some(snapshot_due)) => {
+        Ok(Some((rseq, snapshot_due))) => {
             run_due_snapshot(state, snapshot_due);
-            ok(obj([
-                ("name", json::s(name)),
-                ("deleted", Json::Bool(true)),
-            ]))
+            with_commit_seq(
+                ok(obj([
+                    ("name", json::s(name)),
+                    ("deleted", Json::Bool(true)),
+                ])),
+                rseq,
+            )
         }
         Ok(None) => error_response(404, format!("no KB named `{name}`")),
         Err(e) => commit_error_response(e, if_seq),
@@ -484,10 +756,10 @@ fn kb_post(state: &ServiceState, name: &str, body: &Json) -> Result<Response, Re
             let formula = parse_side(&mut sig, body, "formula")?;
             check_width(sig.width())?;
             match state.kbs.put(name, sig.clone(), formula.clone(), if_seq) {
-                Ok((seq, snapshot_due)) => {
+                Ok((seq, rseq, snapshot_due)) => {
                     run_due_snapshot(state, snapshot_due);
                     let kb = StoredKb { sig, formula, seq };
-                    Ok(ok(kb_view(name, &kb)))
+                    Ok(with_commit_seq(ok(kb_view(name, &kb)), rseq))
                 }
                 Err(e) => Err(commit_error_response(e, if_seq)),
             }
@@ -561,6 +833,7 @@ fn kb_change(
     note_compile(&report);
     let committed = outcome.quality == Quality::Exact;
     let mut snapshot_due = false;
+    let mut rseq = 0;
     if committed {
         let next = StoredKb {
             sig: sig.clone(),
@@ -569,7 +842,7 @@ fn kb_change(
         };
         // WAL append + fsync first; the in-memory state only advances
         // once the record is durable, so an acked seq always survives.
-        snapshot_due = state
+        (rseq, snapshot_due) = state
             .kbs
             .commit(name, &next)
             .map_err(|e| commit_error_response(CommitError::Io(e), if_seq))?;
@@ -589,25 +862,28 @@ fn kb_change(
         }
     }
     let (models, truncated) = models_json(&sig, &outcome.models);
-    Ok(ok(obj([
-        ("endpoint", json::s("kb")),
-        ("name", json::s(name)),
-        ("action", json::s(action)),
-        ("quality", json::s(outcome.quality.name())),
-        ("cache", json::s(cache.name())),
-        ("backend", json::s(report.backend.name())),
-        ("committed", Json::Bool(committed)),
-        ("seq", json::n(seq_now)),
-        ("n_vars", json::n(n as u64)),
-        ("n_models", json::n(outcome.models.len() as u64)),
-        ("models", models),
-        ("models_truncated", Json::Bool(truncated)),
-        (
-            "formula",
-            json::s(outcome.models.to_formula().display(&sig).to_string()),
-        ),
-        ("spent", spent_json(&outcome.spent)),
-    ])))
+    Ok(with_commit_seq(
+        ok(obj([
+            ("endpoint", json::s("kb")),
+            ("name", json::s(name)),
+            ("action", json::s(action)),
+            ("quality", json::s(outcome.quality.name())),
+            ("cache", json::s(cache.name())),
+            ("backend", json::s(report.backend.name())),
+            ("committed", Json::Bool(committed)),
+            ("seq", json::n(seq_now)),
+            ("n_vars", json::n(n as u64)),
+            ("n_models", json::n(outcome.models.len() as u64)),
+            ("models", models),
+            ("models_truncated", Json::Bool(truncated)),
+            (
+                "formula",
+                json::s(outcome.models.to_formula().display(&sig).to_string()),
+            ),
+            ("spent", spent_json(&outcome.spent)),
+        ])),
+        rseq,
+    ))
 }
 
 /// Iterate `ψ ← op(ψ, μ)` to a fixpoint or cycle via `core::iterated`,
@@ -658,7 +934,7 @@ fn kb_iterate(
         formula: final_models.to_formula(),
         seq: kb.seq + 1,
     };
-    let snapshot_due = state
+    let (rseq, snapshot_due) = state
         .kbs
         .commit(name, &next)
         .map_err(|e| commit_error_response(CommitError::Io(e), if_seq))?;
@@ -667,24 +943,27 @@ fn kb_iterate(
     drop(kb);
     run_due_snapshot(state, snapshot_due);
 
-    Ok(ok(obj([
-        ("endpoint", json::s("kb")),
-        ("name", json::s(name)),
-        ("action", json::s("iterate")),
-        ("op", json::s(op_name)),
-        ("steps", json::n(run.trajectory.len() as u64 - 1)),
-        (
-            "period",
-            run.period()
-                .map(|p| json::n(p as u64))
-                .unwrap_or(Json::Null),
-        ),
-        ("fixpoint", Json::Bool(run.is_fixpoint())),
-        ("seq", json::n(seq_now)),
-        ("n_models", json::n(final_models.len() as u64)),
-        (
-            "formula",
-            json::s(final_models.to_formula().display(&sig).to_string()),
-        ),
-    ])))
+    Ok(with_commit_seq(
+        ok(obj([
+            ("endpoint", json::s("kb")),
+            ("name", json::s(name)),
+            ("action", json::s("iterate")),
+            ("op", json::s(op_name)),
+            ("steps", json::n(run.trajectory.len() as u64 - 1)),
+            (
+                "period",
+                run.period()
+                    .map(|p| json::n(p as u64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("fixpoint", Json::Bool(run.is_fixpoint())),
+            ("seq", json::n(seq_now)),
+            ("n_models", json::n(final_models.len() as u64)),
+            (
+                "formula",
+                json::s(final_models.to_formula().display(&sig).to_string()),
+            ),
+        ])),
+        rseq,
+    ))
 }

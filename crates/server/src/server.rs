@@ -118,6 +118,9 @@ struct Completion {
     generation: u64,
     slot: u64,
     bytes: Vec<u8>,
+    /// The response demands the connection close after this flush
+    /// (handler-forced close or an aborted chunked stream).
+    close: bool,
 }
 
 /// The bounded handoff between the I/O thread and the CPU workers.
@@ -355,6 +358,15 @@ impl Server {
         let work = Arc::new(WorkQueue::new(self.state.config.queue_depth.max(1)));
         let completions = Arc::new(Completions::new()?);
 
+        // A replica streams the primary's WAL on a dedicated thread; the
+        // event loop only ever serves reads (and, later, the promote).
+        let puller = self
+            .state
+            .config
+            .replicate_from
+            .clone()
+            .map(|primary| crate::replication::spawn_puller(Arc::clone(&self.state), primary));
+
         let workers: Vec<_> = (0..threads)
             .map(|i| {
                 let work = Arc::clone(&work);
@@ -366,12 +378,16 @@ impl Server {
                     .spawn(move || {
                         while let Some(job) = work.pop(&shutdown) {
                             let response = routes::dispatch(&state, &job.request);
-                            let close = job.close || shutdown.is_set();
+                            let close = job.close
+                                || shutdown.is_set()
+                                || response.force_close
+                                || response.chunk_abort;
                             completions.push(Completion {
                                 token: job.token,
                                 generation: job.generation,
                                 slot: job.slot,
                                 bytes: http::encode_response(&response, close),
+                                close,
                             });
                         }
                     })
@@ -400,6 +416,12 @@ impl Server {
         // the workers drain the queue and stop.
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(handle) = puller {
+            if let Some(log) = state.kbs.replication() {
+                log.stop_puller();
+            }
+            let _ = handle.join();
         }
         // Drain complete: no worker can commit anymore. Fold the WAL
         // into a final snapshot so the next startup replays nothing.
@@ -761,6 +783,10 @@ impl EventLoop {
             let idx = (completion.slot - conn.base_slot) as usize;
             if let Some(slot) = conn.slots.get_mut(idx) {
                 *slot = Some(completion.bytes);
+            }
+            if completion.close {
+                conn.stop_parsing = true;
+                conn.close_after_flush = true;
             }
             conn.last_activity = Instant::now();
             touched.push(completion.token);

@@ -1,8 +1,12 @@
 //! Atomic snapshots of the whole KB store.
 //!
 //! A snapshot is the materialized fold of the write-ahead log: every
-//! stored KB serialized as a framed commit record (the same `len || crc
-//! || payload` framing as [`crate::wal`]) behind a magic and a count.
+//! stored KB serialized as a plain framed commit record (`len || crc ||
+//! payload`, [`crate::wal::frame_plain`]) behind a magic, a replication
+//! watermark, and a count. The watermark `(epoch, rseq)` records the
+//! fencing epoch and the highest global replication sequence number the
+//! snapshot covers — recovery resumes stamping from there, and a replica
+//! installing a shipped snapshot resumes pulling from there.
 //! Snapshots are written with the classic atomic-replace protocol —
 //! write `snapshot.tmp`, fsync it, rename over `snapshot.bin`, fsync the
 //! directory — so a crash at any point leaves either the old snapshot or
@@ -28,8 +32,9 @@ use crate::wal::{self, WalRecord};
 pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// File name snapshots are staged under before the atomic rename.
 pub const SNAPSHOT_TMP: &str = "snapshot.tmp";
-/// Magic bytes opening every snapshot file (format version 1).
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ARBXSNP1";
+/// Magic bytes opening every snapshot file (format version 2: an
+/// `(epoch, rseq)` replication watermark follows the magic).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"ARBXSNP2";
 
 /// A snapshot file whose content failed verification (bad magic, bad
 /// CRC, truncation, or an undecodable entry).
@@ -42,16 +47,27 @@ impl std::fmt::Display for SnapshotCorrupt {
     }
 }
 
-/// Write `entries` as a new durable snapshot of `dir`, atomically
-/// replacing any previous one. On success the snapshot alone carries the
-/// full state and the caller may truncate the WAL.
-pub fn write_snapshot(
-    dir: &Path,
-    entries: &HashMap<String, StoredKb>,
-    fault: &Budget,
-) -> io::Result<()> {
+/// The verified content of a snapshot: the stored KBs and the
+/// replication watermark they are current through.
+#[derive(Debug)]
+pub struct SnapshotContents {
+    /// The stored KBs.
+    pub entries: HashMap<String, StoredKb>,
+    /// Fencing epoch at snapshot time.
+    pub epoch: u64,
+    /// Highest global replication sequence number the snapshot covers.
+    pub rseq: u64,
+}
+
+/// Serialize `entries` with their replication watermark into snapshot
+/// bytes. Deterministic: a snapshot of the same state is the same bytes,
+/// which is also what lets `GET /v1/replication/snapshot` build a
+/// resync image in memory without touching the disk file.
+pub fn encode_snapshot(entries: &HashMap<String, StoredKb>, epoch: u64, rseq: u64) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(1024);
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&epoch.to_le_bytes());
+    bytes.extend_from_slice(&rseq.to_le_bytes());
     bytes.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     // Deterministic order: a snapshot of the same state is the same file.
     let mut names: Vec<&String> = entries.keys().collect();
@@ -61,9 +77,22 @@ pub fn write_snapshot(
             name: name.clone(),
             kb: entries[name].clone(),
         };
-        bytes.extend_from_slice(&wal::frame(&wal::encode_record(&rec)));
+        bytes.extend_from_slice(&wal::frame_plain(&wal::encode_record(&rec)));
     }
+    bytes
+}
 
+/// Write `entries` as a new durable snapshot of `dir`, atomically
+/// replacing any previous one. On success the snapshot alone carries the
+/// full state and the caller may truncate the WAL.
+pub fn write_snapshot(
+    dir: &Path,
+    entries: &HashMap<String, StoredKb>,
+    epoch: u64,
+    rseq: u64,
+    fault: &Budget,
+) -> io::Result<()> {
+    let bytes = encode_snapshot(entries, epoch, rseq);
     let tmp = dir.join(SNAPSHOT_TMP);
     let live = dir.join(SNAPSHOT_FILE);
     {
@@ -96,9 +125,7 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
 /// exists (a fresh state directory); `Err(SnapshotCorrupt)` when one
 /// exists but fails verification — the recovery layer decides whether
 /// that refuses startup or is salvaged by starting from the WAL alone.
-pub fn read_snapshot(
-    dir: &Path,
-) -> io::Result<Result<Option<HashMap<String, StoredKb>>, SnapshotCorrupt>> {
+pub fn read_snapshot(dir: &Path) -> io::Result<Result<Option<SnapshotContents>, SnapshotCorrupt>> {
     let mut file = match File::open(dir.join(SNAPSHOT_FILE)) {
         Ok(f) => f,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Ok(None)),
@@ -109,17 +136,23 @@ pub fn read_snapshot(
     Ok(parse_snapshot(&bytes).map(Some))
 }
 
-fn parse_snapshot(bytes: &[u8]) -> Result<HashMap<String, StoredKb>, SnapshotCorrupt> {
+/// Verify and decode snapshot `bytes`. Public because a replica falling
+/// behind the primary's frame retention installs a shipped snapshot
+/// through exactly this verifier.
+pub fn parse_snapshot(bytes: &[u8]) -> Result<SnapshotContents, SnapshotCorrupt> {
     let corrupt = |what: &str| SnapshotCorrupt(what.to_string());
-    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+    const HEADER: usize = 8 + 8 + 8 + 4; // magic, epoch, rseq, count
+    if bytes.len() < HEADER {
         return Err(corrupt("truncated header"));
     }
     if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
         return Err(corrupt("bad magic"));
     }
-    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let rseq = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let count = u32::from_le_bytes(bytes[24..28].try_into().unwrap()) as usize;
     let mut entries = HashMap::with_capacity(count.min(1024));
-    let mut pos = 12usize;
+    let mut pos = HEADER;
     for i in 0..count {
         let remaining = bytes.len() - pos;
         if remaining < 8 {
@@ -150,7 +183,11 @@ fn parse_snapshot(bytes: &[u8]) -> Result<HashMap<String, StoredKb>, SnapshotCor
     if pos != bytes.len() {
         return Err(corrupt("trailing bytes"));
     }
-    Ok(entries)
+    Ok(SnapshotContents {
+        entries,
+        epoch,
+        rseq,
+    })
 }
 
 /// Remove a stray `snapshot.tmp` (debris of a crash or injected rename
@@ -186,9 +223,11 @@ mod tests {
 
         assert!(read_snapshot(&dir).unwrap().unwrap().is_none());
         let state = entries();
-        write_snapshot(&dir, &state, &Budget::unlimited()).unwrap();
+        write_snapshot(&dir, &state, 4, 97, &Budget::unlimited()).unwrap();
         let loaded = read_snapshot(&dir).unwrap().unwrap().unwrap();
-        assert_eq!(loaded, state);
+        assert_eq!(loaded.entries, state);
+        assert_eq!(loaded.epoch, 4);
+        assert_eq!(loaded.rseq, 97);
         assert!(!dir.join(SNAPSHOT_TMP).exists());
 
         // Flip a byte mid-file: verification must fail, not mis-load.
@@ -203,6 +242,17 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
         assert!(read_snapshot(&dir).unwrap().is_err());
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_encode_matches_disk_write() {
+        let dir = std::env::temp_dir().join(format!("arbx-snap-mem-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = entries();
+        write_snapshot(&dir, &state, 2, 31, &Budget::unlimited()).unwrap();
+        let on_disk = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        assert_eq!(on_disk, encode_snapshot(&state, 2, 31));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

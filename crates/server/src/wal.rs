@@ -1,16 +1,25 @@
 //! The write-ahead log: the durable record of every KB commit.
 //!
 //! One append-only file per state directory (`wal.log`), holding an
-//! 8-byte magic followed by length-prefixed records:
+//! 8-byte magic followed by length-prefixed, replication-stamped
+//! records:
 //!
 //! ```text
-//! ┌───────────┬───────────┬──────────────────────────────┐
-//! │ len: u32  │ crc: u32  │ payload (len bytes)          │
-//! │ LE        │ LE, IEEE  │                              │
-//! └───────────┴───────────┴──────────────────────────────┘
+//! ┌───────────┬───────────┬────────────┬───────────┬─────────────────┐
+//! │ len: u32  │ crc: u32  │ epoch: u64 │ rseq: u64 │ payload (len b) │
+//! │ LE        │ LE, IEEE  │ LE         │ LE        │                 │
+//! └───────────┴───────────┴────────────┴───────────┴─────────────────┘
 //! ```
 //!
-//! The CRC32 covers the payload, which serializes `{name, seq, sig,
+//! The CRC32 covers `epoch || rseq || payload`, so a frame shipped to a
+//! replica is end-to-end verifiable — stamp included — from the exact
+//! bytes on the primary's disk. `epoch` is the fencing term (bumped by
+//! replica promotion; a deposed primary's frames carry a stale epoch and
+//! are rejected on apply) and `rseq` is the global replication sequence
+//! number, one per logged record across all KBs, the cursor replicas
+//! pull from (`GET /v1/replication/wal?from_seq=N`).
+//!
+//! The payload serializes `{name, seq, sig,
 //! formula}` — the formula in the canonical prefix byte encoding from
 //! `arbitrex_logic::canonical` ([`arbitrex_logic::encode_formula`]), so a
 //! replayed theory is byte-identical to the acknowledged one. No commit
@@ -43,8 +52,11 @@ use crate::metrics;
 
 /// File name of the write-ahead log inside a state directory.
 pub const WAL_FILE: &str = "wal.log";
-/// Magic bytes opening every WAL file (format version 1).
-pub const WAL_MAGIC: &[u8; 8] = b"ARBXWAL1";
+/// Magic bytes opening every WAL file (format version 2: frames carry a
+/// replication stamp — epoch + rseq — between the CRC and the payload).
+pub const WAL_MAGIC: &[u8; 8] = b"ARBXWAL2";
+/// Bytes of frame header before the payload: `len || crc || epoch || rseq`.
+pub const FRAME_HEADER_BYTES: usize = 24;
 /// Hard cap on one record's payload; a declared length beyond this is
 /// corruption, not a large record (formulas are bounded far below it).
 pub const MAX_RECORD_BYTES: u32 = 16 * 1024 * 1024;
@@ -98,13 +110,23 @@ const CRC_TABLE: [u32; 256] = {
     table
 };
 
-/// CRC32 (IEEE, as in zlib/Ethernet) over a byte string.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
+fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
-    !crc
+    crc
+}
+
+/// CRC32 (IEEE, as in zlib/Ethernet) over a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(0xFFFF_FFFF, bytes)
+}
+
+/// The CRC a stamped frame carries: over `epoch || rseq || payload`.
+fn frame_crc(epoch: u64, rseq: u64, payload: &[u8]) -> u32 {
+    let mut crc = crc32_update(0xFFFF_FFFF, &epoch.to_le_bytes());
+    crc = crc32_update(crc, &rseq.to_le_bytes());
+    !crc32_update(crc, payload)
 }
 
 // --- record payload codec ----------------------------------------------------
@@ -143,13 +165,74 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
     out
 }
 
-/// Frame a payload for the log: `len || crc32(payload) || payload`.
-pub fn frame(payload: &[u8]) -> Vec<u8> {
+/// Frame a payload for the log with its replication stamp:
+/// `len || crc || epoch || rseq || payload`, CRC over the stamp and the
+/// payload. These exact bytes are what replication ships: a replica
+/// appends the frame verbatim, so primary and replica logs are
+/// byte-identical over the shared history.
+pub fn frame(epoch: u64, rseq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_HEADER_BYTES);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_crc(epoch, rseq, payload).to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&rseq.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Frame a payload *without* a stamp: `len || crc32(payload) || payload`.
+/// The snapshot format uses this for its entries (snapshots carry one
+/// watermark stamp in their header instead of one per record).
+pub fn frame_plain(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 8);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
     out
+}
+
+/// One verified WAL frame: the record plus its replication stamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StampedRecord {
+    /// The fencing epoch the frame was written under.
+    pub epoch: u64,
+    /// The global replication sequence number of this record.
+    pub rseq: u64,
+    /// The decoded record.
+    pub record: WalRecord,
+}
+
+/// Decode one complete stamped frame (exactly `bytes`, no trailing
+/// data), verifying length and CRC. This is the replica-side check on a
+/// shipped frame: any torn or corrupted delivery fails here before
+/// anything touches the local log.
+pub fn decode_frame(bytes: &[u8]) -> Result<StampedRecord, String> {
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err("frame shorter than its header".to_string());
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let epoch = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let rseq = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    if len > MAX_RECORD_BYTES {
+        return Err(format!("frame length {len} exceeds the record cap"));
+    }
+    if bytes.len() != FRAME_HEADER_BYTES + len as usize {
+        return Err(format!(
+            "frame length {len} does not match {} delivered payload bytes",
+            bytes.len() - FRAME_HEADER_BYTES
+        ));
+    }
+    let payload = &bytes[FRAME_HEADER_BYTES..];
+    if frame_crc(epoch, rseq, payload) != crc {
+        return Err("frame CRC mismatch".to_string());
+    }
+    let record = decode_record(payload)?;
+    Ok(StampedRecord {
+        epoch,
+        rseq,
+        record,
+    })
 }
 
 struct PayloadReader<'a> {
@@ -267,8 +350,8 @@ pub enum ScanTail {
 /// order, how the scan ended, and the file's byte length.
 #[derive(Debug)]
 pub struct WalScan {
-    /// Verified, decoded records in append order.
-    pub records: Vec<WalRecord>,
+    /// Verified, decoded records in append order, with their stamps.
+    pub records: Vec<StampedRecord>,
     /// How the scan ended.
     pub tail: ScanTail,
     /// Total bytes in the file as scanned.
@@ -316,7 +399,7 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
         }));
     }
 
-    let mut records = Vec::new();
+    let mut records: Vec<StampedRecord> = Vec::new();
     let mut pos = WAL_MAGIC.len();
     loop {
         let remaining = bytes.len() - pos;
@@ -328,7 +411,7 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
             }));
         }
         let offset = pos as u64;
-        if remaining < 8 {
+        if remaining < FRAME_HEADER_BYTES {
             // Not even a full header: can only be a torn final write.
             return Ok(Some(WalScan {
                 records,
@@ -338,10 +421,12 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
         }
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
         let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let epoch = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+        let rseq = u64::from_le_bytes(bytes[pos + 16..pos + 24].try_into().unwrap());
         if len > MAX_RECORD_BYTES {
             // An absurd length that still "fits" is corruption; one that
             // runs past EOF is indistinguishable from a torn header.
-            let tail = if (len as u64) > (remaining as u64 - 8) {
+            let tail = if (len as u64) > (remaining - FRAME_HEADER_BYTES) as u64 {
                 ScanTail::Torn { offset }
             } else {
                 ScanTail::Corrupt {
@@ -356,7 +441,7 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
             }));
         }
         let len = len as usize;
-        if remaining - 8 < len {
+        if remaining - FRAME_HEADER_BYTES < len {
             // Frame extends past EOF: torn final write.
             return Ok(Some(WalScan {
                 records,
@@ -364,9 +449,9 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
                 file_len,
             }));
         }
-        let payload = &bytes[pos + 8..pos + 8 + len];
-        let at_tail = pos + 8 + len == bytes.len();
-        if crc32(payload) != crc {
+        let payload = &bytes[pos + FRAME_HEADER_BYTES..pos + FRAME_HEADER_BYTES + len];
+        let at_tail = pos + FRAME_HEADER_BYTES + len == bytes.len();
+        if frame_crc(epoch, rseq, payload) != crc {
             // A bad CRC on the *final* frame is a torn write (the crash
             // landed mid-payload); anywhere else it is mid-log damage.
             let tail = if at_tail {
@@ -383,8 +468,30 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
                 file_len,
             }));
         }
+        // Stamps are monotone by construction (appends assign them in
+        // order under the WAL lock); a regression that passes its CRC is
+        // damage to acknowledged history, never a torn write.
+        let regression = records.last().and_then(|prev| {
+            (epoch < prev.epoch || rseq <= prev.rseq).then(|| {
+                format!(
+                    "replication stamp regressed (epoch {} rseq {} after epoch {} rseq {})",
+                    epoch, rseq, prev.epoch, prev.rseq
+                )
+            })
+        });
+        if let Some(what) = regression {
+            return Ok(Some(WalScan {
+                records,
+                tail: ScanTail::Corrupt { offset, what },
+                file_len,
+            }));
+        }
         match decode_record(payload) {
-            Ok(rec) => records.push(rec),
+            Ok(record) => records.push(StampedRecord {
+                epoch,
+                rseq,
+                record,
+            }),
             Err(what) => {
                 // CRC passed but the payload is semantically invalid:
                 // that is never a torn write — refuse (or salvage).
@@ -395,7 +502,7 @@ pub fn scan(path: &Path) -> io::Result<Option<WalScan>> {
                 }));
             }
         }
-        pos += 8 + len;
+        pos += FRAME_HEADER_BYTES + len;
     }
 }
 
@@ -472,12 +579,20 @@ impl Wal {
     /// to the kernel but not durable; callers must not acknowledge the
     /// commit until a [`Wal::sync`] (or a shared [`sync_file`]) covering
     /// this append succeeds. This is the group-commit append half.
+    pub fn append_unsynced(&mut self, epoch: u64, rseq: u64, rec: &WalRecord) -> io::Result<()> {
+        let framed = frame(epoch, rseq, &encode_record(rec));
+        self.append_frame_unsynced(&framed)
+    }
+
+    /// Append an already-framed record *without* syncing it. This is the
+    /// replica's apply half: the frame arrives verified from the primary
+    /// and lands on disk byte-for-byte, so the two logs stay identical
+    /// over the shared history.
     ///
     /// With a fault plan armed, the k-th `wal_write` writes a torn frame
     /// prefix to disk (flushed, so it is really there for recovery to
     /// find) and fails.
-    pub fn append_unsynced(&mut self, rec: &WalRecord) -> io::Result<()> {
-        let framed = frame(&encode_record(rec));
+    pub fn append_frame_unsynced(&mut self, framed: &[u8]) -> io::Result<()> {
         if self.fault.charge(BudgetSite::WalWrite, 1).is_err() {
             // Injected torn write: half the frame (always a strict,
             // nonempty prefix) lands on disk, exactly like a crash
@@ -487,7 +602,7 @@ impl Wal {
             self.file.sync_data()?;
             return Err(io::Error::other("injected fault: torn WAL write"));
         }
-        (&*self.file).write_all(&framed)?;
+        (&*self.file).write_all(framed)?;
         metrics::WAL_RECORDS_APPENDED.incr();
         metrics::WAL_BYTES_APPENDED.add(framed.len() as u64);
         Ok(())
@@ -505,8 +620,8 @@ impl Wal {
     /// With a fault plan armed, the k-th `wal_write` writes a torn frame
     /// prefix to disk (flushed, so it is really there for recovery to
     /// find) and fails; the k-th `wal_fsync` skips the sync and fails.
-    pub fn append(&mut self, rec: &WalRecord) -> io::Result<()> {
-        self.append_unsynced(rec)?;
+    pub fn append(&mut self, epoch: u64, rseq: u64, rec: &WalRecord) -> io::Result<()> {
+        self.append_unsynced(epoch, rseq, rec)?;
         self.sync()
     }
 
@@ -589,13 +704,18 @@ mod tests {
         ];
         {
             let mut wal = Wal::open(&path, Budget::unlimited()).unwrap();
-            for rec in &recs {
-                wal.append(rec).unwrap();
+            for (i, rec) in recs.iter().enumerate() {
+                wal.append(3, 10 + i as u64, rec).unwrap();
             }
         }
         let scanned = scan(&path).unwrap().unwrap();
         assert_eq!(scanned.tail, ScanTail::Clean);
-        assert_eq!(scanned.records, recs);
+        assert_eq!(scanned.records.len(), recs.len());
+        for (i, stamped) in scanned.records.iter().enumerate() {
+            assert_eq!(stamped.epoch, 3);
+            assert_eq!(stamped.rseq, 10 + i as u64);
+            assert_eq!(stamped.record, recs[i]);
+        }
 
         // Tear the final record: drop its last 3 bytes.
         let len = std::fs::metadata(&path).unwrap().len();
@@ -603,9 +723,56 @@ mod tests {
         f.set_len(len - 3).unwrap();
         drop(f);
         let scanned = scan(&path).unwrap().unwrap();
-        assert_eq!(scanned.records, recs[..2]);
+        assert_eq!(scanned.records.len(), 2);
         assert!(matches!(scanned.tail, ScanTail::Torn { .. }));
 
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decode_frame_round_trips_and_rejects_tampering() {
+        let rec = sample_commit("ship", "(A & B) | C", 9);
+        let framed = frame(7, 42, &encode_record(&rec));
+        let stamped = decode_frame(&framed).unwrap();
+        assert_eq!(stamped.epoch, 7);
+        assert_eq!(stamped.rseq, 42);
+        assert_eq!(stamped.record, rec);
+
+        // Any single-byte flip anywhere in the frame must be caught:
+        // in the stamp it breaks the CRC, in the header it breaks the
+        // length or the CRC itself.
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0xFF;
+            assert!(decode_frame(&bad).is_err(), "flip at byte {i} accepted");
+        }
+        // Truncated and extended deliveries are rejected too.
+        assert!(decode_frame(&framed[..framed.len() - 1]).is_err());
+        let mut long = framed.clone();
+        long.push(0);
+        assert!(decode_frame(&long).is_err());
+    }
+
+    #[test]
+    fn scan_rejects_stamp_regressions_as_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "arbx-wal-stamp-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(WAL_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path, Budget::unlimited()).unwrap();
+            wal.append(2, 5, &sample_commit("a", "A", 1)).unwrap();
+            // A frame from a *lower* epoch after a higher one can only
+            // mean a deposed primary's bytes were spliced in.
+            wal.append(1, 6, &sample_commit("a", "B", 2)).unwrap();
+        }
+        let scanned = scan(&path).unwrap().unwrap();
+        assert_eq!(scanned.records.len(), 1);
+        assert!(matches!(scanned.tail, ScanTail::Corrupt { .. }));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,222 @@
+//! Shared loopback HTTP client for the integration suites.
+//!
+//! One minimal keep-alive HTTP/1.1 client over a real socket, used by
+//! every test binary in this directory instead of four hand-rolled
+//! copies. Connects with a bounded retry window (child-process servers
+//! in the kill-9 and replication harnesses print their address before
+//! the listener is reliably accepting under load), surfaces transport
+//! errors as `Err` for harnesses that expect the server to die
+//! mid-exchange, and parses `Content-Length`-framed JSON responses.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use arbitrex_server::json::{self, Json};
+use arbitrex_server::RunningServer;
+
+/// How long [`Client::connect`] keeps retrying a refused connection.
+pub const CONNECT_RETRY: Duration = Duration::from_secs(5);
+/// Per-response read timeout on the client socket.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A keep-alive client connection.
+pub struct Client {
+    pub stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`, retrying refused attempts for up to
+    /// [`CONNECT_RETRY`] — bounded, so a server that never comes up
+    /// still fails the test promptly.
+    pub fn connect(addr: SocketAddr) -> Client {
+        Client {
+            stream: raw_connect(addr),
+        }
+    }
+
+    /// Connect to an in-process [`RunningServer`].
+    pub fn connect_server(server: &RunningServer) -> Client {
+        Client::connect(server.addr)
+    }
+
+    /// Send one request and read one response; transport errors surface
+    /// as `Err` (the kill-9 harnesses need to survive the server dying
+    /// mid-exchange).
+    pub fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, Json)> {
+        self.try_request_with_headers(method, path, &[], body)
+    }
+
+    /// [`Client::try_request`] with extra request headers (e.g. the
+    /// read-your-writes `X-Arbitrex-Min-Seq`).
+    pub fn try_request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<(u16, Json)> {
+        self.try_send_with_headers(method, path, headers, body)?;
+        let (status, _headers, text) = self.read_response()?;
+        let value = json::parse(&text)
+            .map_err(|e| std::io::Error::other(format!("bad JSON `{text}`: {e}")))?;
+        Ok((status, value))
+    }
+
+    /// Write one request without reading the response (pipelining and
+    /// queue-overflow tests park requests in flight).
+    pub fn send(&mut self, method: &str, path: &str, body: &str) {
+        self.try_send_with_headers(method, path, &[], body)
+            .expect("send")
+    }
+
+    fn try_send_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<()> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: loopback\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())
+    }
+
+    /// Read one parked response as raw text (status, body).
+    pub fn read_response_text(&mut self) -> (u16, String) {
+        let (status, _headers, text) = self.read_response().expect("read response");
+        (status, text)
+    }
+
+    /// Read one parked response as JSON.
+    pub fn read_response_parsed(&mut self) -> (u16, Json) {
+        let (status, text) = self.read_response_text();
+        let value = json::parse(&text).unwrap_or_else(|e| panic!("bad JSON `{text}`: {e}"));
+        (status, value)
+    }
+
+    /// Send one request and panic on any transport or framing error.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
+        self.try_request(method, path, body).expect("request")
+    }
+
+    /// [`Client::request`], also returning the raw response head (for
+    /// asserting headers like `X-Arbitrex-Seq` and `Retry-After`).
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> (u16, String, Json) {
+        self.try_send_with_headers(method, path, headers, body)
+            .expect("send");
+        let (status, head, text) = self.read_response().expect("read response");
+        let value = json::parse(&text).unwrap_or_else(|e| panic!("bad JSON `{text}`: {e}"));
+        (status, head, value)
+    }
+
+    /// [`Client::request`] with extra request headers.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> (u16, Json) {
+        self.try_request_with_headers(method, path, headers, body)
+            .expect("request")
+    }
+
+    /// Read one `Content-Length`-framed response: status, raw head,
+    /// body text.
+    fn read_response(&mut self) -> std::io::Result<(u16, String, String)> {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match self.stream.read(&mut byte)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "closed before response head",
+                    ))
+                }
+                _ => {
+                    head.push(byte[0]);
+                    if head.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        let head = String::from_utf8_lossy(&head).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other("bad status line"))?;
+        let length: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| std::io::Error::other("missing content-length"))?;
+        let mut body = vec![0u8; length];
+        self.stream.read_exact(&mut body)?;
+        Ok((status, head, String::from_utf8_lossy(&body).to_string()))
+    }
+}
+
+/// Connect a raw socket with the same bounded retry as [`Client`];
+/// the pipelining suite writes its own wire bytes.
+pub fn raw_connect(addr: SocketAddr) -> TcpStream {
+    let deadline = Instant::now() + CONNECT_RETRY;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(READ_TIMEOUT)).unwrap();
+                return stream;
+            }
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("connect {addr}: {e}"),
+        }
+    }
+}
+
+/// One-shot request on a fresh connection.
+pub fn request(server: &RunningServer, method: &str, path: &str, body: &str) -> (u16, Json) {
+    Client::connect_server(server).request(method, path, body)
+}
+
+/// One-shot request against a bare address (child-process servers).
+pub fn request_addr(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Json) {
+    Client::connect(addr).request(method, path, body)
+}
+
+/// `v[key]` as a string, with a panic message naming the key.
+pub fn str_of<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+        .as_str()
+        .unwrap_or_else(|| panic!("`{key}` not a string in {v:?}"))
+}
+
+/// `v[key]` as an integer, with a panic message naming the key.
+pub fn num_of(v: &Json, key: &str) -> u64 {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+        .as_u64()
+        .unwrap_or_else(|| panic!("`{key}` not an integer in {v:?}"))
+}

@@ -8,14 +8,12 @@
 //! including a kill-9 crash landing between a compile and the commit that
 //! publishes the new theory (reusing the harness from `durability.rs`).
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use arbitrex_logic::{parse, Interp, ModelSet, Sig};
-use arbitrex_server::json::{self, Json};
+use arbitrex_server::json::Json;
 use arbitrex_server::recovery::{self, RecoverMode};
 use arbitrex_server::{spawn, RunningServer, ServerConfig};
 
@@ -47,89 +45,8 @@ fn bdd_server(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
     spawn(config).expect("spawn server")
 }
 
-struct Client {
-    stream: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: std::net::SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .unwrap();
-        Client { stream }
-    }
-
-    fn try_request(
-        &mut self,
-        method: &str,
-        path: &str,
-        body: &str,
-    ) -> std::io::Result<(u16, Json)> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body.as_bytes())?;
-        let mut head = Vec::new();
-        let mut byte = [0u8; 1];
-        loop {
-            match self.stream.read(&mut byte)? {
-                0 => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "closed before response head",
-                    ))
-                }
-                _ => {
-                    head.push(byte[0]);
-                    if head.ends_with(b"\r\n\r\n") {
-                        break;
-                    }
-                }
-            }
-        }
-        let head = String::from_utf8_lossy(&head).to_string();
-        let status: u16 = head
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| std::io::Error::other("bad status line"))?;
-        let length: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| std::io::Error::other("missing content-length"))?;
-        let mut body = vec![0u8; length];
-        self.stream.read_exact(&mut body)?;
-        let text = String::from_utf8_lossy(&body).to_string();
-        let value = json::parse(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok((status, value))
-    }
-
-    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
-        self.try_request(method, path, body).expect("request")
-    }
-}
-
-fn request(server: &RunningServer, method: &str, path: &str, body: &str) -> (u16, Json) {
-    Client::connect(server.addr).request(method, path, body)
-}
-
-fn num_of(v: &Json, key: &str) -> u64 {
-    v.get(key)
-        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
-        .as_u64()
-        .unwrap_or_else(|| panic!("`{key}` not an integer in {v:?}"))
-}
-
-fn str_of<'a>(v: &'a Json, key: &str) -> &'a str {
-    v.get(key)
-        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
-        .as_str()
-        .unwrap_or_else(|| panic!("`{key}` not a string in {v:?}"))
-}
+mod common;
+use common::{num_of, request, str_of, Client};
 
 /// The models the server reported, as interpretations over `sig_names`
 /// (order fixes bit positions).

@@ -19,15 +19,12 @@
 //!   most one unacknowledged trailing commit.
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use arbitrex_core::{BudgetSite, FaultPlan};
 use arbitrex_logic::{encode_formula, parse, Sig};
-use arbitrex_server::json::{self, Json};
 use arbitrex_server::kb::{DurabilityOptions, KbStore, StoredKb};
 use arbitrex_server::recovery::{self, RecoverMode};
 use arbitrex_server::snapshot;
@@ -64,93 +61,10 @@ fn durable_config(dir: &Path, configure: impl FnOnce(&mut ServerConfig)) -> Serv
     config
 }
 
-// --- minimal HTTP client ------------------------------------------------------
+// --- shared HTTP client -------------------------------------------------------
 
-struct Client {
-    stream: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: std::net::SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .unwrap();
-        Client { stream }
-    }
-
-    /// Send one request; errors surface as `Err` (the kill-9 harness
-    /// needs to survive the server dying mid-exchange).
-    fn try_request(
-        &mut self,
-        method: &str,
-        path: &str,
-        body: &str,
-    ) -> std::io::Result<(u16, Json)> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
-        self.stream.write_all(head.as_bytes())?;
-        self.stream.write_all(body.as_bytes())?;
-        let mut head = Vec::new();
-        let mut byte = [0u8; 1];
-        loop {
-            match self.stream.read(&mut byte)? {
-                0 => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "closed before response head",
-                    ))
-                }
-                _ => {
-                    head.push(byte[0]);
-                    if head.ends_with(b"\r\n\r\n") {
-                        break;
-                    }
-                }
-            }
-        }
-        let head = String::from_utf8_lossy(&head).to_string();
-        let status: u16 = head
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| std::io::Error::other("bad status line"))?;
-        let length: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| std::io::Error::other("missing content-length"))?;
-        let mut body = vec![0u8; length];
-        self.stream.read_exact(&mut body)?;
-        let text = String::from_utf8_lossy(&body).to_string();
-        let value = json::parse(&text).map_err(|e| std::io::Error::other(e.to_string()))?;
-        Ok((status, value))
-    }
-
-    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, Json) {
-        self.try_request(method, path, body).expect("request")
-    }
-}
-
-fn request(server: &RunningServer, method: &str, path: &str, body: &str) -> (u16, Json) {
-    Client::connect(server.addr).request(method, path, body)
-}
-
-fn num_of(v: &Json, key: &str) -> u64 {
-    v.get(key)
-        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
-        .as_u64()
-        .unwrap_or_else(|| panic!("`{key}` not an integer in {v:?}"))
-}
-
-fn str_of<'a>(v: &'a Json, key: &str) -> &'a str {
-    v.get(key)
-        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
-        .as_str()
-        .unwrap_or_else(|| panic!("`{key}` not a string in {v:?}"))
-}
+mod common;
+use common::{num_of, request, str_of, Client};
 
 fn put_body(formula: &str) -> String {
     format!(r#"{{"action": "put", "formula": "{formula}"}}"#)
@@ -250,8 +164,8 @@ fn torn_tail_is_truncated_and_the_server_starts() {
     let dir = temp_state_dir();
     {
         let mut wal = Wal::open(&dir.join(WAL_FILE), arbitrex_core::Budget::unlimited()).unwrap();
-        wal.append(&wal_commit("kept", "A | B", 1)).unwrap();
-        wal.append(&wal_commit("kept", "A & B", 2)).unwrap();
+        wal.append(1, 1, &wal_commit("kept", "A | B", 1)).unwrap();
+        wal.append(1, 2, &wal_commit("kept", "A & B", 2)).unwrap();
     }
     // Tear the final record: chop its last 5 bytes, as a crash mid-write
     // would.
@@ -282,18 +196,19 @@ fn mid_log_corruption_refuses_strict_and_salvages_the_prefix() {
     let dir = temp_state_dir();
     {
         let mut wal = Wal::open(&dir.join(WAL_FILE), arbitrex_core::Budget::unlimited()).unwrap();
-        wal.append(&wal_commit("first", "A", 1)).unwrap();
-        wal.append(&wal_commit("second", "B", 1)).unwrap();
-        wal.append(&wal_commit("third", "C", 1)).unwrap();
+        wal.append(1, 1, &wal_commit("first", "A", 1)).unwrap();
+        wal.append(1, 2, &wal_commit("second", "B", 1)).unwrap();
+        wal.append(1, 3, &wal_commit("third", "C", 1)).unwrap();
     }
     // Flip one byte inside the second record's payload: mid-log damage.
     let wal_path = dir.join(WAL_FILE);
     let mut bytes = std::fs::read(&wal_path).unwrap();
     let first_frame_len = {
         let pos = wal::WAL_MAGIC.len();
-        8 + u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize
+        wal::FRAME_HEADER_BYTES
+            + u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize
     };
-    let target = wal::WAL_MAGIC.len() + first_frame_len + 12;
+    let target = wal::WAL_MAGIC.len() + first_frame_len + wal::FRAME_HEADER_BYTES + 2;
     bytes[target] ^= 0xFF;
     std::fs::write(&wal_path, &bytes).unwrap();
 
@@ -336,10 +251,10 @@ fn truncated_snapshot_refuses_strict_and_salvage_replays_the_wal() {
             seq: 4,
         },
     );
-    snapshot::write_snapshot(&dir, &entries, &arbitrex_core::Budget::unlimited()).unwrap();
+    snapshot::write_snapshot(&dir, &entries, 1, 4, &arbitrex_core::Budget::unlimited()).unwrap();
     {
         let mut wal = Wal::open(&dir.join(WAL_FILE), arbitrex_core::Budget::unlimited()).unwrap();
-        wal.append(&wal_commit("walkb", "W", 1)).unwrap();
+        wal.append(1, 5, &wal_commit("walkb", "W", 1)).unwrap();
     }
     // Truncate the snapshot mid-file.
     let snap_path = dir.join(snapshot::SNAPSHOT_FILE);
@@ -378,7 +293,7 @@ fn missing_wal_with_stale_snapshot_recovers_the_snapshot() {
             seq: 9,
         },
     );
-    snapshot::write_snapshot(&dir, &entries, &arbitrex_core::Budget::unlimited()).unwrap();
+    snapshot::write_snapshot(&dir, &entries, 1, 9, &arbitrex_core::Budget::unlimited()).unwrap();
     // A stray snapshot.tmp (crash debris) must be ignored and removed.
     std::fs::write(dir.join(snapshot::SNAPSHOT_TMP), b"garbage").unwrap();
     assert!(!dir.join(WAL_FILE).exists());
@@ -585,6 +500,8 @@ fn durable_store(dir: &Path, group_commit: bool, flush_interval: Duration) -> Kb
         fault: None,
         group_commit,
         flush_interval,
+        initial_epoch: None,
+        replica: false,
     })
     .expect("open durable store");
     store
@@ -601,7 +518,7 @@ fn commit_storm(store: &KbStore, threads: u64, commits: u64) {
                 for i in 1..=commits {
                     let mut sig = Sig::new();
                     let formula = parse(&mut sig, &oracle(i)).unwrap();
-                    let (seq, _) = store
+                    let (seq, _, _) = store
                         .put(&name, sig, formula, None)
                         .unwrap_or_else(|e| panic!("commit {i} on {name}: {e:?}"));
                     assert_eq!(seq, i);
@@ -670,6 +587,8 @@ fn group_commit_snapshot_acks_pending_commits() {
             fault: None,
             group_commit: true,
             flush_interval: Duration::from_millis(1),
+            initial_epoch: None,
+            replica: false,
         })
         .expect("open durable store");
         std::thread::scope(|scope| {
@@ -680,7 +599,7 @@ fn group_commit_snapshot_acks_pending_commits() {
                     for i in 1..=16u64 {
                         let mut sig = Sig::new();
                         let formula = parse(&mut sig, &oracle(i)).unwrap();
-                        let (_, snapshot_due) = store.put(&name, sig, formula, None).unwrap();
+                        let (_, _, snapshot_due) = store.put(&name, sig, formula, None).unwrap();
                         if snapshot_due {
                             // Route handlers do exactly this after
                             // releasing their entry lock.
@@ -814,6 +733,8 @@ fn kill9_mid_commit_storm_loses_no_acknowledged_commit() {
         fault: None,
         group_commit: false,
         flush_interval: Duration::ZERO,
+        initial_epoch: None,
+        replica: false,
     })
     .expect("strict recovery after SIGKILL");
     let entry = store.entry("storm").expect("storm KB survived");
@@ -945,6 +866,8 @@ fn kill9_group_commit_storm_loses_no_acknowledged_commit() {
         fault: None,
         group_commit: false,
         flush_interval: Duration::ZERO,
+        initial_epoch: None,
+        replica: false,
     })
     .expect("strict recovery after SIGKILL");
     for (t, last_acked) in acked.iter().enumerate() {

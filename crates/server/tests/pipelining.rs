@@ -14,6 +14,8 @@ use std::time::{Duration, Instant};
 
 use arbitrex_server::{spawn, RunningServer, ServerConfig};
 
+mod common;
+
 fn server_with(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
     let mut config = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -28,11 +30,7 @@ fn server_with(configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
 }
 
 fn connect(server: &RunningServer) -> TcpStream {
-    let stream = TcpStream::connect(server.addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    stream
+    common::raw_connect(server.addr)
 }
 
 /// Raw request bytes, keep-alive unless `close`.

@@ -34,90 +34,8 @@ fn server() -> RunningServer {
     server_with(|_| {})
 }
 
-/// A keep-alive client connection.
-struct Client {
-    stream: TcpStream,
-}
-
-impl Client {
-    fn connect(server: &RunningServer) -> Client {
-        let stream = TcpStream::connect(server.addr).expect("connect");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .unwrap();
-        Client { stream }
-    }
-
-    fn send(&mut self, method: &str, path: &str, body: Option<&str>) {
-        let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
-        self.stream.write_all(head.as_bytes()).unwrap();
-        self.stream.write_all(body.as_bytes()).unwrap();
-    }
-
-    fn read_response(&mut self) -> (u16, String) {
-        let mut head = Vec::new();
-        let mut byte = [0u8; 1];
-        loop {
-            match self.stream.read(&mut byte) {
-                Ok(0) => panic!("connection closed before response head"),
-                Ok(_) => {
-                    head.push(byte[0]);
-                    if head.ends_with(b"\r\n\r\n") {
-                        break;
-                    }
-                }
-                Err(e) => panic!("read error: {e}"),
-            }
-        }
-        let head = String::from_utf8(head).unwrap();
-        let status: u16 = head
-            .split_whitespace()
-            .nth(1)
-            .expect("status code")
-            .parse()
-            .expect("numeric status");
-        let length: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .expect("content-length")
-            .trim()
-            .parse()
-            .unwrap();
-        let mut body = vec![0u8; length];
-        self.stream.read_exact(&mut body).unwrap();
-        (status, String::from_utf8(body).unwrap())
-    }
-
-    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
-        self.send(method, path, body);
-        let (status, text) = self.read_response();
-        let value = json::parse(&text).unwrap_or_else(|e| panic!("bad JSON `{text}`: {e}"));
-        (status, value)
-    }
-}
-
-/// One-shot request on a fresh connection.
-fn request(server: &RunningServer, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
-    Client::connect(server).request(method, path, body)
-}
-
-fn str_of<'a>(v: &'a Json, key: &str) -> &'a str {
-    v.get(key)
-        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
-        .as_str()
-        .unwrap_or_else(|| panic!("`{key}` not a string in {v:?}"))
-}
-
-fn num_of(v: &Json, key: &str) -> u64 {
-    v.get(key)
-        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
-        .as_u64()
-        .unwrap_or_else(|| panic!("`{key}` not an integer in {v:?}"))
-}
+mod common;
+use common::{num_of, request, str_of, Client};
 
 // --- happy paths -------------------------------------------------------------
 
@@ -126,7 +44,7 @@ fn arbitrate_happy_path_with_cache_determinism() {
     let server = server();
     let body = r#"{"psi": "A & B", "phi": "!A & !B"}"#;
 
-    let (status, first) = request(&server, "POST", "/v1/arbitrate", Some(body));
+    let (status, first) = request(&server, "POST", "/v1/arbitrate", body);
     assert_eq!(status, 200, "{first:?}");
     assert_eq!(str_of(&first, "endpoint"), "arbitrate");
     assert_eq!(str_of(&first, "quality"), "exact");
@@ -135,7 +53,7 @@ fn arbitrate_happy_path_with_cache_determinism() {
     assert_eq!(num_of(&first, "n_models"), 2);
 
     // Identical resubmission: hit, identical models.
-    let (status, second) = request(&server, "POST", "/v1/arbitrate", Some(body));
+    let (status, second) = request(&server, "POST", "/v1/arbitrate", body);
     assert_eq!(status, 200);
     assert_eq!(str_of(&second, "cache"), "hit");
     assert_eq!(second.get("models"), first.get("models"));
@@ -144,7 +62,7 @@ fn arbitrate_happy_path_with_cache_determinism() {
     // Alpha-variant (renamed variables, shuffled conjuncts): still a hit,
     // models expressed in the variant's own names.
     let variant = r#"{"psi": "Y & X", "phi": "!X & !Y"}"#;
-    let (status, third) = request(&server, "POST", "/v1/arbitrate", Some(variant));
+    let (status, third) = request(&server, "POST", "/v1/arbitrate", variant);
     assert_eq!(status, 200);
     assert_eq!(str_of(&third, "cache"), "hit", "{third:?}");
     assert_eq!(num_of(&third, "n_models"), 2);
@@ -160,7 +78,7 @@ fn fit_happy_path_and_operator_selection() {
         &server,
         "POST",
         "/v1/fit",
-        Some(r#"{"psi": "A & B", "mu": "!A | !B"}"#),
+        r#"{"psi": "A & B", "mu": "!A | !B"}"#,
     );
     assert_eq!(status, 200, "{fit:?}");
     assert_eq!(str_of(&fit, "endpoint"), "fit");
@@ -171,7 +89,7 @@ fn fit_happy_path_and_operator_selection() {
         &server,
         "POST",
         "/v1/fit",
-        Some(r#"{"psi": "A & B", "mu": "!A | !B", "op": "dalal"}"#),
+        r#"{"psi": "A & B", "mu": "!A | !B", "op": "dalal"}"#,
     );
     assert_eq!(status, 200);
     assert_eq!(str_of(&dalal, "op"), "dalal");
@@ -182,7 +100,7 @@ fn fit_happy_path_and_operator_selection() {
         &server,
         "POST",
         "/v1/fit",
-        Some(r#"{"psi": "A", "mu": "B", "op": "nonsense"}"#),
+        r#"{"psi": "A", "mu": "B", "op": "nonsense"}"#,
     );
     assert_eq!(status, 400);
     assert!(str_of(&bad, "error").contains("unknown operator"));
@@ -195,20 +113,20 @@ fn warbitrate_happy_path_weights_distinguish_queries() {
     let server = server();
     let body = r#"{"psi": "A & B", "phi": "!A & !B", "psi_weight": 3, "phi_weight": 1}"#;
 
-    let (status, first) = request(&server, "POST", "/v1/warbitrate", Some(body));
+    let (status, first) = request(&server, "POST", "/v1/warbitrate", body);
     assert_eq!(status, 200, "{first:?}");
     assert_eq!(str_of(&first, "endpoint"), "warbitrate");
     assert_eq!(str_of(&first, "quality"), "exact");
     assert_eq!(str_of(&first, "cache"), "miss");
     assert!(num_of(&first, "support_size") > 0);
 
-    let (_, second) = request(&server, "POST", "/v1/warbitrate", Some(body));
+    let (_, second) = request(&server, "POST", "/v1/warbitrate", body);
     assert_eq!(str_of(&second, "cache"), "hit");
     assert_eq!(second.get("support"), first.get("support"));
 
     // Same formulas under different weights are a different query.
     let reweighted = r#"{"psi": "A & B", "phi": "!A & !B", "psi_weight": 1, "phi_weight": 3}"#;
-    let (status, third) = request(&server, "POST", "/v1/warbitrate", Some(reweighted));
+    let (status, third) = request(&server, "POST", "/v1/warbitrate", reweighted);
     assert_eq!(status, 200);
     assert_eq!(str_of(&third, "cache"), "miss");
 
@@ -217,7 +135,7 @@ fn warbitrate_happy_path_weights_distinguish_queries() {
         &server,
         "POST",
         "/v1/warbitrate",
-        Some(r#"{"psi": "A & !A", "phi": "B"}"#),
+        r#"{"psi": "A & !A", "phi": "B"}"#,
     );
     assert_eq!(status, 400);
     assert!(str_of(&unsat, "error").contains("unsatisfiable"));
@@ -228,19 +146,19 @@ fn warbitrate_happy_path_weights_distinguish_queries() {
 #[test]
 fn kb_lifecycle_put_arbitrate_iterate_delete() {
     let server = server();
-    let mut client = Client::connect(&server);
+    let mut client = Client::connect_server(&server);
 
     // put
     let (status, put) = client.request(
         "POST",
         "/v1/kb/fleet",
-        Some(r#"{"action": "put", "formula": "A & B & C"}"#),
+        r#"{"action": "put", "formula": "A & B & C"}"#,
     );
     assert_eq!(status, 200, "{put:?}");
     assert_eq!(num_of(&put, "seq"), 1);
 
     // get
-    let (status, got) = client.request("GET", "/v1/kb/fleet", None);
+    let (status, got) = client.request("GET", "/v1/kb/fleet", "");
     assert_eq!(status, 200);
     assert_eq!(str_of(&got, "name"), "fleet");
     assert_eq!(num_of(&got, "n_vars"), 3);
@@ -249,7 +167,7 @@ fn kb_lifecycle_put_arbitrate_iterate_delete() {
     let (status, arb) = client.request(
         "POST",
         "/v1/kb/fleet",
-        Some(r#"{"action": "arbitrate", "formula": "!A & !B & !C"}"#),
+        r#"{"action": "arbitrate", "formula": "!A & !B & !C"}"#,
     );
     assert_eq!(status, 200, "{arb:?}");
     assert_eq!(str_of(&arb, "quality"), "exact");
@@ -262,7 +180,7 @@ fn kb_lifecycle_put_arbitrate_iterate_delete() {
     let (status, fit) = client.request(
         "POST",
         "/v1/kb/fleet",
-        Some(r#"{"action": "fit", "op": "dalal", "formula": "D"}"#),
+        r#"{"action": "fit", "op": "dalal", "formula": "D"}"#,
     );
     assert_eq!(status, 200, "{fit:?}");
     assert_eq!(num_of(&fit, "seq"), 3);
@@ -272,23 +190,23 @@ fn kb_lifecycle_put_arbitrate_iterate_delete() {
     let (status, iter) = client.request(
         "POST",
         "/v1/kb/fleet",
-        Some(r#"{"action": "iterate", "formula": "A & D", "max_steps": 16}"#),
+        r#"{"action": "iterate", "formula": "A & D", "max_steps": 16}"#,
     );
     assert_eq!(status, 200, "{iter:?}");
     assert_eq!(num_of(&iter, "seq"), 4);
     assert!(iter.get("period").is_some());
 
     // delete, then the KB is gone.
-    let (status, del) = client.request("DELETE", "/v1/kb/fleet", None);
+    let (status, del) = client.request("DELETE", "/v1/kb/fleet", "");
     assert_eq!(status, 200);
     assert_eq!(del.get("deleted"), Some(&Json::Bool(true)));
-    let (status, _) = client.request("GET", "/v1/kb/fleet", None);
+    let (status, _) = client.request("GET", "/v1/kb/fleet", "");
     assert_eq!(status, 404);
 
     // Bad names and bad actions are 400s.
-    let (status, _) = client.request("GET", "/v1/kb/has%20space", None);
+    let (status, _) = client.request("GET", "/v1/kb/has%20space", "");
     assert_eq!(status, 400);
-    let (status, _) = client.request("POST", "/v1/kb/fleet", Some(r#"{"action": "explode"}"#));
+    let (status, _) = client.request("POST", "/v1/kb/fleet", r#"{"action": "explode"}"#);
     assert_eq!(status, 400);
 
     server.stop().unwrap();
@@ -299,13 +217,13 @@ fn metrics_reports_sections_histograms_and_gauges() {
     let server = server();
     // Generate one cached pair so cache counters move.
     let body = r#"{"psi": "P & Q", "phi": "!P & !Q"}"#;
-    let _ = request(&server, "POST", "/v1/arbitrate", Some(body));
-    let _ = request(&server, "POST", "/v1/arbitrate", Some(body));
+    let _ = request(&server, "POST", "/v1/arbitrate", body);
+    let _ = request(&server, "POST", "/v1/arbitrate", body);
 
     let (status, text) = {
-        let mut c = Client::connect(&server);
-        c.send("GET", "/metrics", None);
-        c.read_response()
+        let mut c = Client::connect_server(&server);
+        c.send("GET", "/metrics", "");
+        c.read_response_text()
     };
     assert_eq!(status, 200);
     for needle in [
@@ -342,24 +260,20 @@ fn queue_overflow_answers_503() {
         c.queue_depth = 1;
     });
 
-    let mut held = Client::connect(&server);
+    let mut held = Client::connect_server(&server);
     held.send(
         "POST",
         "/v1/arbitrate",
-        Some(r#"{"psi": "A", "phi": "!A", "hold_ms": 1500}"#),
+        r#"{"psi": "A", "phi": "!A", "hold_ms": 1500}"#,
     );
     std::thread::sleep(Duration::from_millis(400)); // worker is now sleeping in hold_ms
 
-    let mut queued = Client::connect(&server);
-    queued.send(
-        "POST",
-        "/v1/arbitrate",
-        Some(r#"{"psi": "B", "phi": "!B"}"#),
-    );
+    let mut queued = Client::connect_server(&server);
+    queued.send("POST", "/v1/arbitrate", r#"{"psi": "B", "phi": "!B"}"#);
     std::thread::sleep(Duration::from_millis(200)); // acceptor has queued it
 
-    let mut refused = Client::connect(&server);
-    let (status, body) = refused.request("GET", "/metrics", None);
+    let mut refused = Client::connect_server(&server);
+    let (status, body) = refused.request("GET", "/metrics", "");
     assert_eq!(status, 503, "{body:?}");
     assert!(str_of(&body, "error").contains("overloaded"));
 
@@ -373,13 +287,6 @@ fn queue_overflow_answers_503() {
     server.stop().unwrap();
 }
 
-impl Client {
-    fn read_response_parsed(&mut self) -> (u16, Json) {
-        let (status, text) = self.read_response();
-        (status, json::parse(&text).unwrap())
-    }
-}
-
 // --- deadlines ---------------------------------------------------------------
 
 #[test]
@@ -391,7 +298,7 @@ fn deadline_degrades_typed_and_server_keeps_serving() {
     let disj = wide.join(" | ");
     let body = format!(r#"{{"psi": "{disj}", "phi": "{disj}", "timeout_ms": 0}}"#);
 
-    let (status, degraded) = request(&server, "POST", "/v1/arbitrate", Some(&body));
+    let (status, degraded) = request(&server, "POST", "/v1/arbitrate", &body);
     assert_eq!(status, 200, "{degraded:?}");
     let quality = str_of(&degraded, "quality");
     assert!(
@@ -410,7 +317,7 @@ fn deadline_degrades_typed_and_server_keeps_serving() {
         &server,
         "POST",
         "/v1/arbitrate",
-        Some(r#"{"psi": "A", "phi": "!A"}"#),
+        r#"{"psi": "A", "phi": "!A"}"#,
     );
     assert_eq!(status, 200);
     assert_eq!(str_of(&after, "quality"), "exact");
@@ -421,23 +328,21 @@ fn deadline_degrades_typed_and_server_keeps_serving() {
 #[test]
 fn kb_never_commits_a_degraded_result() {
     let server = server();
-    let mut client = Client::connect(&server);
+    let mut client = Client::connect_server(&server);
     let wide: Vec<String> = (0..11).map(|i| format!("V{i}")).collect();
     let disj = wide.join(" | ");
 
     let (_, put) = client.request(
         "POST",
         "/v1/kb/wide",
-        Some(&format!(r#"{{"action": "put", "formula": "{disj}"}}"#)),
+        &format!(r#"{{"action": "put", "formula": "{disj}"}}"#),
     );
     assert_eq!(num_of(&put, "seq"), 1);
 
     let (status, arb) = client.request(
         "POST",
         "/v1/kb/wide",
-        Some(&format!(
-            r#"{{"action": "arbitrate", "formula": "{disj}", "timeout_ms": 0}}"#
-        )),
+        &format!(r#"{{"action": "arbitrate", "formula": "{disj}", "timeout_ms": 0}}"#),
     );
     assert_eq!(status, 200, "{arb:?}");
     assert_eq!(arb.get("committed"), Some(&Json::Bool(false)));
@@ -462,7 +367,7 @@ fn malformed_bodies_are_400_and_never_kill_the_server() {
         r#"{"psi": "A", "phi": "(("}"#,
         r#"{"psi": "A", "phi": "B", "timeout_ms": "soon"}"#,
     ] {
-        let (status, body) = request(&server, "POST", "/v1/arbitrate", Some(bad));
+        let (status, body) = request(&server, "POST", "/v1/arbitrate", bad);
         assert_eq!(status, 400, "input {bad:?} gave {body:?}");
         assert!(body.get("error").is_some());
     }
@@ -476,7 +381,7 @@ fn malformed_bodies_are_400_and_never_kill_the_server() {
         '}', '"', ';', ':', '?', 'λ', 'ø', '∧', '∨', '¬', '→', '↔',
     ];
     let mut rng = StdRng::seed_from_u64(0xb17e_5009);
-    let mut client = Client::connect(&server);
+    let mut client = Client::connect_server(&server);
     for _ in 0..200 {
         let len = rng.random_range(0..64usize);
         let soup: String = (0..len)
@@ -487,7 +392,7 @@ fn malformed_bodies_are_400_and_never_kill_the_server() {
             ("phi", arbitrex_server::json::s("A")),
         ])
         .to_text();
-        let (status, _) = client.request("POST", "/v1/arbitrate", Some(&body));
+        let (status, _) = client.request("POST", "/v1/arbitrate", &body);
         assert!(
             status == 200 || status == 400,
             "soup {soup:?} gave status {status}"
@@ -500,7 +405,7 @@ fn malformed_bodies_are_400_and_never_kill_the_server() {
         let soup: String = (0..len)
             .map(|_| CHARSET[rng.random_range(0..CHARSET.len())])
             .collect();
-        let (status, _) = request(&server, "POST", "/v1/fit", Some(&soup));
+        let (status, _) = request(&server, "POST", "/v1/fit", &soup);
         assert!(status == 200 || status == 400, "status {status}");
     }
 
@@ -509,7 +414,7 @@ fn malformed_bodies_are_400_and_never_kill_the_server() {
         &server,
         "POST",
         "/v1/arbitrate",
-        Some(r#"{"psi": "A", "phi": "!A"}"#),
+        r#"{"psi": "A", "phi": "!A"}"#,
     );
     assert_eq!(status, 200);
     assert_eq!(str_of(&after, "quality"), "exact");
@@ -520,11 +425,11 @@ fn malformed_bodies_are_400_and_never_kill_the_server() {
 #[test]
 fn unknown_routes_and_methods() {
     let server = server();
-    let (status, _) = request(&server, "GET", "/nope", None);
+    let (status, _) = request(&server, "GET", "/nope", "");
     assert_eq!(status, 404);
-    let (status, _) = request(&server, "GET", "/v1/arbitrate", None);
+    let (status, _) = request(&server, "GET", "/v1/arbitrate", "");
     assert_eq!(status, 405);
-    let (status, _) = request(&server, "DELETE", "/metrics", None);
+    let (status, _) = request(&server, "DELETE", "/metrics", "");
     assert_eq!(status, 405);
 
     // A malformed request *line* gets a 400 before routing.
@@ -571,7 +476,7 @@ fn concurrent_mixed_workload_zero_failures() {
                             r#"{"psi": "A | B", "phi": "!A", "psi_weight": 2}"#.to_string(),
                         ),
                     };
-                    let (status, reply) = client.request("POST", path, Some(&body));
+                    let (status, reply) = client.request("POST", path, &body);
                     assert_eq!(status, 200, "{reply:?}");
                     assert_eq!(str_of(&reply, "quality"), "exact");
                 }
