@@ -93,6 +93,9 @@ fn main() {
     if want("e19") {
         e19_replication();
     }
+    if want("e20") {
+        e20_sharding();
+    }
 }
 
 fn header(id: &str, title: &str, paper: &str) {
@@ -2727,5 +2730,402 @@ fn e19_replication() {
     match std::fs::write("BENCH_PR8.json", &json) {
         Ok(()) => println!("wrote BENCH_PR8.json ({} lag rows)\n", lag_rows.len()),
         Err(e) => println!("could not write BENCH_PR8.json: {e}\n"),
+    }
+}
+
+/// Two measurements on loopback shard clusters, both phrased as the
+/// client experiences them through the consistent-hash routing layer:
+///
+/// **Multi-primary scaling**: aggregate commit throughput at 1, 2, and
+/// 3 primaries on a disjoint-KB workload, with the per-node load held
+/// fixed (4 sequential writers per node, each owning one KB pre-routed
+/// to its shard owner). Every node runs durable with a 2 ms
+/// group-commit flush interval, so a single writer's commit latency is
+/// pinned to the flush cadence and per-node throughput is
+/// latency-bound, not CPU-bound — the question the experiment answers
+/// is whether adding primaries adds proportional capacity or whether
+/// ring routing, epoch stamping, and shared-host contention eat it.
+///
+/// **Handoff blackout**: one writer streams sequential commits to a KB
+/// while the node that owns it admits a newcomer whose ring slice
+/// captures that KB. The writer follows `307` redirects to the new
+/// owner and retries the typed `503` handoff fence; the blackout is
+/// the longest gap between consecutive acks across the migration. The
+/// KB's `seq` must climb monotonically through the handoff — an acked
+/// commit that vanished would show up as a seq regression.
+///
+/// Writes the machine-readable record to BENCH_PR9.json. With
+/// `ARBX_E20_QUICK=1` runs shortened windows, prints one greppable
+/// `e20-quick ...` line for `scripts/e20_gate.sh`, and does not touch
+/// BENCH_PR9.json.
+fn e20_sharding() {
+    use arbitrex_server::shard::{ShardRing, DEFAULT_VNODES};
+    use arbitrex_server::{spawn, RunningServer, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    header(
+        "E20",
+        "sharded serving: multi-primary scaling and handoff blackout",
+        "engineering (PR 9); no paper artifact",
+    );
+
+    const WRITERS_PER_NODE: usize = 4;
+    const FLUSH_US: u64 = 2_000;
+    let quick = std::env::var("ARBX_E20_QUICK").is_ok();
+    let window_ms: u64 = if quick { 1_200 } else { 4_000 };
+
+    /// One keep-alive connection speaking just enough HTTP/1.1 (same
+    /// shape as E19's client, plus the body — shard routing answers
+    /// live in headers *and* bodies: `Location` on 307, `seq` on 200).
+    struct Conn {
+        stream: TcpStream,
+    }
+    impl Conn {
+        fn open(addr: &str) -> Conn {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                .unwrap();
+            let _ = stream.set_nodelay(true);
+            Conn { stream }
+        }
+
+        fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String, String) {
+            let head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            self.stream.write_all(head.as_bytes()).expect("write head");
+            self.stream.write_all(body.as_bytes()).expect("write body");
+            let mut reply = Vec::with_capacity(512);
+            let mut byte = [0u8; 1];
+            loop {
+                match self.stream.read(&mut byte) {
+                    Ok(0) => panic!("server closed connection mid-response"),
+                    Ok(_) => {
+                        reply.push(byte[0]);
+                        if reply.ends_with(b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                    Err(e) => panic!("read error: {e}"),
+                }
+            }
+            let head_text = String::from_utf8_lossy(&reply).to_string();
+            let status: u16 = head_text
+                .split_whitespace()
+                .nth(1)
+                .expect("status code")
+                .parse()
+                .expect("numeric status");
+            let length: usize = head_text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .trim()
+                .parse()
+                .expect("numeric length");
+            let mut body_buf = vec![0u8; length];
+            self.stream.read_exact(&mut body_buf).expect("read body");
+            (
+                status,
+                head_text,
+                String::from_utf8_lossy(&body_buf).to_string(),
+            )
+        }
+    }
+
+    fn header_str(head: &str, name: &str) -> String {
+        head.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+            .map(|v| v.trim().to_string())
+            .unwrap_or_else(|| panic!("no {name} header in: {head}"))
+    }
+
+    fn seq_of(body: &str) -> u64 {
+        body.split("\"seq\":")
+            .nth(1)
+            .and_then(|tail| {
+                tail.trim_start()
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse()
+                    .ok()
+            })
+            .unwrap_or_else(|| panic!("no seq in {body}"))
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arbx-e20-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create state dir");
+        dir
+    }
+
+    /// A durable shard member on a fresh state dir, advertising its
+    /// bound address as its ring identity (solo ring until joined).
+    fn spawn_node(label: &str) -> (RunningServer, PathBuf) {
+        let dir = temp_dir(label);
+        let node = spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_depth: 256,
+            cache_entries: 4096,
+            state_dir: Some(dir.clone()),
+            snapshot_every: 0,
+            flush_interval_us: FLUSH_US,
+            shard_ring: Some(arbitrex_server::shard::SELF_AUTO.to_string()),
+            ..ServerConfig::default()
+        })
+        .expect("spawn shard node");
+        (node, dir)
+    }
+
+    /// Spawn `n` solo members and join them into one cluster through
+    /// the real membership path (node 0 is the join coordinator).
+    fn spawn_cluster(label: &str, n: usize) -> (Vec<RunningServer>, Vec<PathBuf>, Vec<String>) {
+        let mut nodes = Vec::with_capacity(n);
+        let mut dirs = Vec::with_capacity(n);
+        for i in 0..n {
+            let (node, dir) = spawn_node(&format!("{label}-{i}"));
+            nodes.push(node);
+            dirs.push(dir);
+        }
+        let addrs: Vec<String> = nodes.iter().map(|node| node.addr.to_string()).collect();
+        let mut coordinator = Conn::open(&addrs[0]);
+        for addr in &addrs[1..] {
+            let (status, _, body) = coordinator.request(
+                "POST",
+                "/v1/cluster/join",
+                &format!(r#"{{"addr": "{addr}"}}"#),
+            );
+            assert_eq!(status, 200, "join failed: {body}");
+        }
+        (nodes, dirs, addrs)
+    }
+
+    /// For each member, `per_node` KB names the ring places on it.
+    fn disjoint_kbs(addrs: &[String], per_node: usize) -> Vec<(usize, String)> {
+        let ring = ShardRing::new(addrs.iter().cloned(), DEFAULT_VNODES, addrs.len() as u64);
+        let mut counts = vec![0usize; addrs.len()];
+        let mut kbs = Vec::with_capacity(addrs.len() * per_node);
+        let mut i = 0;
+        while kbs.len() < addrs.len() * per_node {
+            let name = format!("e20-kb-{i}");
+            i += 1;
+            let owner = ring.owner_of(&name).expect("nonempty ring");
+            let node = addrs.iter().position(|a| a == owner).expect("member");
+            if counts[node] < per_node {
+                counts[node] += 1;
+                kbs.push((node, name));
+            }
+        }
+        kbs
+    }
+
+    /// One scaling leg: `WRITERS_PER_NODE` sequential writers per node,
+    /// each committing to its own pre-routed KB; aggregate acks/s over
+    /// the measured window (after a short warmup).
+    fn throughput_leg(label: &str, n: usize, window_ms: u64) -> u64 {
+        let (nodes, dirs, addrs) = spawn_cluster(label, n);
+        let stop = Arc::new(AtomicBool::new(false));
+        let counting = Arc::new(AtomicBool::new(false));
+        let acks = Arc::new(AtomicU64::new(0));
+        let writers: Vec<_> = disjoint_kbs(&addrs, WRITERS_PER_NODE)
+            .into_iter()
+            .map(|(node, kb)| {
+                let addr = addrs[node].clone();
+                let stop = Arc::clone(&stop);
+                let counting = Arc::clone(&counting);
+                let acks = Arc::clone(&acks);
+                std::thread::spawn(move || {
+                    let mut conn = Conn::open(&addr);
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let formula = if i.is_multiple_of(2) {
+                            "A & B"
+                        } else {
+                            "A | B"
+                        };
+                        i += 1;
+                        let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+                        let (status, _, reply) =
+                            conn.request("POST", &format!("/v1/kb/{kb}"), &body);
+                        assert_eq!(status, 200, "pre-routed commit failed: {reply}");
+                        if counting.load(Ordering::Relaxed) {
+                            acks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(300)); // warmup
+        counting.store(true, Ordering::Relaxed);
+        let t0 = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(window_ms));
+        counting.store(false, Ordering::Relaxed);
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for writer in writers {
+            writer.join().expect("writer");
+        }
+        let rate = (acks.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64()) as u64;
+        for node in nodes {
+            node.stop().expect("stop node");
+        }
+        for dir in dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        rate
+    }
+
+    // --- multi-primary scaling -----------------------------------------------
+
+    println!(
+        "scaling: {WRITERS_PER_NODE} sequential writers per node, each owning one KB\n\
+         pre-routed to its shard owner; durable, group-commit flush {FLUSH_US} us, so\n\
+         per-node throughput is flush-cadence-bound ({window_ms} ms windows)\n"
+    );
+    println!("primaries   aggregate commits/s   scale");
+    let mut aggregate = [0u64; 3];
+    for (slot, n) in [1usize, 2, 3].into_iter().enumerate() {
+        aggregate[slot] = throughput_leg(&format!("scale-{n}"), n, window_ms);
+        let scale = aggregate[slot] as f64 / aggregate[0].max(1) as f64;
+        println!("{n:<11} {:<21} {scale:.2}x", aggregate[slot]);
+    }
+    let scale_x100 = aggregate[2] * 100 / aggregate[0].max(1);
+    println!();
+
+    // --- handoff blackout ----------------------------------------------------
+
+    println!(
+        "blackout: one writer streams commits to a KB whose slice a joining member\n\
+         captures; the writer follows 307s and retries the 503 handoff fence; the\n\
+         blackout is the longest ack-to-ack gap across the migration\n"
+    );
+    let (node_a, dir_a) = spawn_node("blackout-a");
+    let (node_b, dir_b) = spawn_node("blackout-b");
+    let addr_a = node_a.addr.to_string();
+    let addr_b = node_b.addr.to_string();
+    // A name the two-member ring will hand to the newcomer.
+    let grown = ShardRing::new([addr_a.clone(), addr_b.clone()], DEFAULT_VNODES, 2);
+    let moving = (0..)
+        .map(|i| format!("e20-move-{i}"))
+        .find(|name| grown.owner_of(name) == Some(addr_b.as_str()))
+        .expect("some name lands on the newcomer");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let addrs = [addr_a.clone(), addr_b.clone()];
+        let stop = Arc::clone(&stop);
+        let moving = moving.clone();
+        std::thread::spawn(move || {
+            let mut conns: Vec<Option<Conn>> = vec![None, None];
+            let mut target = 0usize;
+            let mut last_seq = 0u64;
+            let mut acks: Vec<Instant> = Vec::with_capacity(4096);
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let formula = if i.is_multiple_of(2) {
+                    "A & B"
+                } else {
+                    "A | B"
+                };
+                i += 1;
+                let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+                let conn = conns[target].get_or_insert_with(|| Conn::open(&addrs[target]));
+                let (status, head, reply) =
+                    conn.request("POST", &format!("/v1/kb/{moving}"), &body);
+                match status {
+                    200 => {
+                        let seq = seq_of(&reply);
+                        assert!(seq > last_seq, "seq regressed {last_seq} -> {seq}: an acked commit vanished in the handoff");
+                        last_seq = seq;
+                        acks.push(Instant::now());
+                    }
+                    307 => {
+                        let owner = header_str(&head, "X-Arbitrex-Shard-Owner");
+                        target = addrs
+                            .iter()
+                            .position(|a| *a == owner)
+                            .expect("redirect inside the cluster");
+                    }
+                    503 => std::thread::sleep(std::time::Duration::from_millis(1)),
+                    other => panic!("unexpected status {other}: {reply}"),
+                }
+            }
+            (acks, last_seq)
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(300)); // baseline cadence
+    let mut coordinator = Conn::open(&addr_a);
+    let (status, _, body) = coordinator.request(
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{addr_b}"}}"#),
+    );
+    assert_eq!(status, 200, "join failed: {body}");
+    std::thread::sleep(std::time::Duration::from_millis(500)); // post-handoff cadence
+    stop.store(true, Ordering::Relaxed);
+    let (acks, final_seq) = writer.join().expect("blackout writer");
+    assert!(acks.len() > 50, "writer starved: {} acks", acks.len());
+    let blackout_ms = acks
+        .windows(2)
+        .map(|pair| pair[1].duration_since(pair[0]).as_millis() as u64)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "blackout ms: {blackout_ms} (longest ack gap; {} acks, final seq {final_seq})\n",
+        acks.len()
+    );
+    node_b.stop().expect("stop newcomer");
+    node_a.stop().expect("stop old owner");
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+
+    if quick {
+        // The greppable CI-gate line; quick mode stops here and leaves
+        // BENCH_PR9.json alone.
+        println!(
+            "e20-quick agg1={} agg2={} agg3={} scale_x100={scale_x100} blackout_ms={blackout_ms}",
+            aggregate[0], aggregate[1], aggregate[2]
+        );
+        return;
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"e20-sharding\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"scaling: {WRITERS_PER_NODE} sequential writers per node on \
+         disjoint pre-routed KBs, durable with {FLUSH_US} us group-commit flush, \
+         {window_ms} ms windows; blackout: one writer across a join-triggered handoff, \
+         following 307 redirects and retrying the 503 fence\",\n",
+    ));
+    json.push_str("  \"scaling_rows\": [\n");
+    let rows: Vec<String> = [1usize, 2, 3]
+        .into_iter()
+        .enumerate()
+        .map(|(slot, n)| {
+            format!(
+                "    {{\"primaries\": {n}, \"writers\": {}, \"aggregate_commits_per_s\": {}}}",
+                n * WRITERS_PER_NODE,
+                aggregate[slot]
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str(&format!(
+        "\n  ],\n  \"scale_3_over_1_x100\": {scale_x100},\n  \
+         \"handoff\": {{\"blackout_ms\": {blackout_ms}, \"acks\": {}, \
+         \"final_seq\": {final_seq}}}\n}}\n",
+        acks.len()
+    ));
+    match std::fs::write("BENCH_PR9.json", &json) {
+        Ok(()) => println!("wrote BENCH_PR9.json\n"),
+        Err(e) => println!("could not write BENCH_PR9.json: {e}\n"),
     }
 }

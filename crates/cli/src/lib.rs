@@ -588,6 +588,7 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
             "--fault" => match parse_serve_fault(flag_value(&mut it, "--fault")?)? {
                 ServeFault::Durability(plan) => config.durability_fault = Some(plan),
                 ServeFault::Net(plan) => config.net_fault = Some(plan),
+                ServeFault::Shard(plan) => config.shard_fault = Some(plan),
             },
             "--keep-alive-timeout-ms" => {
                 config.keep_alive_timeout_ms = flag_u64(&mut it, "--keep-alive-timeout-ms")?;
@@ -630,6 +631,24 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                 }
                 config.replication_epoch = Some(epoch);
             }
+            "--shard-ring" => {
+                config.shard_ring = Some(flag_value(&mut it, "--shard-ring")?.clone());
+            }
+            "--shard-vnodes" => {
+                let v = flag_u64(&mut it, "--shard-vnodes")?;
+                if v == 0 || v > u32::MAX as u64 {
+                    return err("--shard-vnodes must be between 1 and 2^32-1");
+                }
+                config.shard_vnodes = v as u32;
+            }
+            "--cluster-peers" => {
+                config.cluster_peers = flag_value(&mut it, "--cluster-peers")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
             other => {
                 return err(format!(
                     "unknown serve flag `{other}` (expected --addr, --threads, \
@@ -637,7 +656,8 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                      --keep-alive-timeout-ms, --state-dir, --snapshot-every, \
                      --recover, --fault, --group-commit, --flush-interval-us, \
                      --bdd-hotness, --bdd-node-budget, --replicate-from, \
-                     --replication-epoch)"
+                     --replication-epoch, --shard-ring, --shard-vnodes, \
+                     --cluster-peers)"
                 ))
             }
         }
@@ -697,6 +717,14 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 "arbitrex-server replicating from {primary} (read-only until promoted)"
             );
         }
+        if let Some(ring) = &config.shard_ring {
+            let _ = writeln!(
+                out,
+                "arbitrex-server sharding as {ring} (vnodes={}, peers={})",
+                config.shard_vnodes,
+                config.cluster_peers.len()
+            );
+        }
         let _ = writeln!(
             out,
             "arbitrex-server listening on {addr} \
@@ -731,12 +759,16 @@ pub fn help() -> String {
          \x20\x20\x20\x20 [--recover strict|salvage] [--group-commit on|off]\n\
          \x20\x20\x20\x20 [--flush-interval-us n] [--bdd-hotness n] [--bdd-node-budget n]\n\
          \x20\x20\x20\x20 [--replicate-from host:port] [--replication-epoch n]\n\
+         \x20\x20\x20\x20 [--shard-ring addr|auto] [--shard-vnodes n] [--cluster-peers a,b]\n\
          \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\");\n\
          \x20\x20\x20\x20 --state-dir makes KBs durable (WAL + snapshots, README\n\
          \x20\x20\x20\x20 \"Durability\"); commits batch fsyncs unless --group-commit off;\n\
          \x20\x20\x20\x20 --replicate-from streams a primary's WAL (read-only until\n\
-         \x20\x20\x20\x20 POST /v1/replication/promote); serve --fault also takes the\n\
-         \x20\x20\x20\x20 net_drop/net_torn/net_dup/net_delay/net_partition:k sites\n\
+         \x20\x20\x20\x20 POST /v1/replication/promote); --shard-ring joins a\n\
+         \x20\x20\x20\x20 consistent-hash KB cluster (README \"Sharding\"); serve --fault\n\
+         \x20\x20\x20\x20 also takes the net_drop/net_torn/net_dup/net_delay/\n\
+         \x20\x20\x20\x20 net_partition:k and shard_handoff_torn/shard_ring_stale/\n\
+         \x20\x20\x20\x20 shard_proxy_drop:k sites\n\
          \n\
          flags:\n\
          \x20 --stats        append operator telemetry counters (text)\n\
@@ -784,8 +816,8 @@ pub fn parse_fault(spec: &str) -> Result<FaultPlan, CliError> {
     Ok(FaultPlan::new(site, at))
 }
 
-/// A `serve --fault` plan: either a durability site (WAL/snapshot) or a
-/// replication-transport site (`net_*`).
+/// A `serve --fault` plan: a durability site (WAL/snapshot), a
+/// replication-transport site (`net_*`), or a sharding site (`shard_*`).
 #[derive(Debug)]
 pub enum ServeFault {
     /// Trips a `wal_write`/`wal_fsync`/`snapshot_rename` (or operator)
@@ -793,31 +825,40 @@ pub enum ServeFault {
     Durability(FaultPlan),
     /// Misfires the replication transport at a `net_*` site.
     Net(arbitrex_server::replication::NetFaultPlan),
+    /// Misfires the shard router at a `shard_*` site.
+    Shard(arbitrex_server::shard::ShardFaultPlan),
 }
 
 /// Parse a `serve --fault site:k` specification. Accepts every budget /
-/// durability site plus the `net_*` replication-transport sites; any
-/// other site name is a usage error (exit code 2).
+/// durability site plus the `net_*` replication-transport and `shard_*`
+/// sharding sites; any other site name is a usage error (exit code 2).
 pub fn parse_serve_fault(spec: &str) -> Result<ServeFault, CliError> {
     use arbitrex_server::replication::{NetFaultPlan, NetFaultSite};
+    use arbitrex_server::shard::{ShardFaultPlan, ShardFaultSite};
     let (site, at) = spec
         .split_once(':')
         .ok_or_else(|| CliError::usage(format!("--fault expects `site:k`, got `{spec}`")))?;
-    if let Some(net) = NetFaultSite::parse(site) {
-        let at = at.parse::<u64>().ok().filter(|&k| k >= 1).ok_or_else(|| {
+    let count = |at: &str| {
+        at.parse::<u64>().ok().filter(|&k| k >= 1).ok_or_else(|| {
             CliError::usage(format!(
                 "invalid fault count `{at}` (need a positive integer)"
             ))
-        })?;
-        return Ok(ServeFault::Net(NetFaultPlan::new(net, at)));
+        })
+    };
+    if let Some(net) = NetFaultSite::parse(site) {
+        return Ok(ServeFault::Net(NetFaultPlan::new(net, count(at)?)));
+    }
+    if let Some(shard) = ShardFaultSite::parse(site) {
+        return Ok(ServeFault::Shard(ShardFaultPlan::new(shard, count(at)?)));
     }
     if BudgetSite::ALL.into_iter().any(|s| s.name() == site) {
         return Ok(ServeFault::Durability(parse_fault(spec)?));
     }
     err(format!(
-        "unknown fault site `{site}` (expected one of: {}, {})",
+        "unknown fault site `{site}` (expected one of: {}, {}, {})",
         BudgetSite::ALL.map(BudgetSite::name).join(", "),
-        NetFaultSite::ALL.map(NetFaultSite::name).join(", ")
+        NetFaultSite::ALL.map(NetFaultSite::name).join(", "),
+        ShardFaultSite::ALL.map(ShardFaultSite::name).join(", ")
     ))
 }
 
@@ -1354,27 +1395,36 @@ mod tests {
     #[test]
     fn serve_fault_specs_cover_durability_and_net_sites() {
         use arbitrex_server::replication::NetFaultSite;
+        use arbitrex_server::shard::ShardFaultSite;
         match parse_serve_fault("wal_fsync:2").unwrap() {
             ServeFault::Durability(plan) => {
                 assert_eq!(plan.site, BudgetSite::WalFsync);
                 assert_eq!(plan.at, 2);
             }
-            ServeFault::Net(_) => panic!("wal_fsync is a durability site"),
+            _ => panic!("wal_fsync is a durability site"),
         }
         match parse_serve_fault("net_partition:3").unwrap() {
             ServeFault::Net(plan) => {
                 assert_eq!(plan.site, NetFaultSite::Partition);
                 assert_eq!(plan.at, 3);
             }
-            ServeFault::Durability(_) => panic!("net_partition is a transport site"),
+            _ => panic!("net_partition is a transport site"),
+        }
+        match parse_serve_fault("shard_handoff_torn:1").unwrap() {
+            ServeFault::Shard(plan) => {
+                assert_eq!(plan.site, ShardFaultSite::HandoffTorn);
+                assert_eq!(plan.at, 1);
+            }
+            _ => panic!("shard_handoff_torn is a sharding site"),
         }
         // An unknown site is a usage error — exit code 2 — and the
-        // message names both site families.
+        // message names every site family.
         let e = parse_serve_fault("net_warp:1").unwrap_err();
         assert_eq!(e.kind, ErrorKind::Usage);
         assert_eq!(e.kind.exit_code(), 2);
         assert!(e.message.contains("net_drop"), "{}", e.message);
         assert!(e.message.contains("wal_write"), "{}", e.message);
+        assert!(e.message.contains("shard_proxy_drop"), "{}", e.message);
         // Malformed counts stay usage errors on the net path too.
         assert_eq!(
             parse_serve_fault("net_drop:0").unwrap_err().kind,

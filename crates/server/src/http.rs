@@ -370,12 +370,14 @@ impl Response {
 fn status_text(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        307 => "Temporary Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
         412 => "Precondition Failed",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",

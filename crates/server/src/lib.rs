@@ -63,6 +63,7 @@ pub mod recovery;
 pub mod replication;
 pub mod routes;
 pub mod server;
+pub mod shard;
 pub mod snapshot;
 pub mod wal;
 
@@ -138,6 +139,19 @@ pub struct ServerConfig {
     /// Deterministic network fault injection at the replication
     /// transport (testing): arm one `net_*` site.
     pub net_fault: Option<replication::NetFaultPlan>,
+    /// Join a sharded cluster advertising this address as this node's
+    /// ring identity (`host:port`, or [`shard::SELF_AUTO`] to advertise
+    /// the actually bound address). `None` disables sharding.
+    pub shard_ring: Option<String>,
+    /// Virtual nodes per ring member.
+    pub shard_vnodes: u32,
+    /// Other members seeding the initial ring (all nodes started with
+    /// the same set agree; later membership goes through
+    /// `POST /v1/cluster/{join,leave}`).
+    pub cluster_peers: Vec<String>,
+    /// Deterministic fault injection at the sharding layer (testing):
+    /// arm one `shard_*` site.
+    pub shard_fault: Option<shard::ShardFaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -161,6 +175,10 @@ impl Default for ServerConfig {
             replicate_from: None,
             replication_epoch: None,
             net_fault: None,
+            shard_ring: None,
+            shard_vnodes: shard::DEFAULT_VNODES,
+            cluster_peers: Vec::new(),
+            shard_fault: None,
         }
     }
 }
@@ -178,6 +196,8 @@ pub struct ServiceState {
     pub compiled: CompiledTier,
     /// What recovery found, when the store is durable.
     pub recovery: Option<RecoveryReport>,
+    /// The shard router (ring + self identity), when sharding is on.
+    pub shards: Option<shard::ShardRouter>,
 }
 
 impl ServiceState {
@@ -208,6 +228,19 @@ impl ServiceState {
                 "--replicate-from requires --state-dir (a replica's store must be durable)",
             ));
         }
+        if config.shard_ring.is_none() && !config.cluster_peers.is_empty() {
+            return Err(io::Error::other(
+                "--cluster-peers requires --shard-ring (this node needs a ring identity)",
+            ));
+        }
+        if config.shard_ring.is_some() && config.replicate_from.is_some() {
+            return Err(io::Error::other(
+                "--shard-ring and --replicate-from are exclusive (a shard member is a primary)",
+            ));
+        }
+        let shards = config.shard_ring.clone().map(|self_spec| {
+            shard::ShardRouter::new(self_spec, &config.cluster_peers, config.shard_vnodes)
+        });
         let compiled = CompiledTier::new(
             config.bdd_hotness,
             config.bdd_node_budget,
@@ -219,6 +252,7 @@ impl ServiceState {
             kbs,
             compiled,
             recovery,
+            shards,
         })
     }
 }

@@ -174,6 +174,51 @@ pub static REPLICATION_SECTION: Section = Section {
     timers: &[],
 };
 
+/// Mutations answered `307 + X-Arbitrex-Shard-Owner` because another
+/// member owns the KB.
+pub static SHARD_REDIRECTS: Counter = Counter::new("redirects");
+/// Reads proxied to the owning member on the caller's behalf.
+pub static SHARD_PROXIED_READS: Counter = Counter::new("proxied_reads");
+/// Proxied reads that failed (owner unreachable or an injected
+/// `shard_proxy_drop`), answered 502.
+pub static SHARD_PROXY_FAILURES: Counter = Counter::new("proxy_failures");
+/// Requests refused 421 for routing against a stale ring epoch
+/// (including injected `shard_ring_stale` charges).
+pub static SHARD_STALE_RING_REFUSALS: Counter = Counter::new("stale_ring_refusals");
+/// Ring versions installed here (local join/leave or an adopted sync).
+pub static SHARD_RING_CHANGES: Counter = Counter::new("ring_changes");
+/// KBs pulled to this node by the rebalancer (it became their owner).
+pub static SHARD_KBS_MIGRATED: Counter = Counter::new("kbs_migrated");
+/// Old-owner copies released after a verified handoff (counted by the
+/// releasing side).
+pub static SHARD_RELEASES: Counter = Counter::new("releases");
+/// Writes refused 503 because their KB was mid-handoff (owner differs
+/// between the current ring and an in-flight transition ring).
+pub static SHARD_WRITES_FENCED: Counter = Counter::new("writes_fenced");
+/// Handoffs torn between transfer and release — both copies survive
+/// until a later pass or a `Δ` reconcile converges them.
+pub static SHARD_HANDOFFS_TORN: Counter = Counter::new("handoffs_torn");
+/// Injected `shard_*` faults that fired.
+pub static SHARD_FAULTS: Counter = Counter::new("shard_faults");
+
+/// The `"sharding"` section.
+pub static SHARDING_SECTION: Section = Section {
+    name: "sharding",
+    counters: &[
+        &SHARD_REDIRECTS,
+        &SHARD_PROXIED_READS,
+        &SHARD_PROXY_FAILURES,
+        &SHARD_STALE_RING_REFUSALS,
+        &SHARD_RING_CHANGES,
+        &SHARD_KBS_MIGRATED,
+        &SHARD_RELEASES,
+        &SHARD_WRITES_FENCED,
+        &SHARD_HANDOFFS_TORN,
+        &SHARD_FAULTS,
+    ],
+    timers: &[],
+};
+
 /// Wall-clock handling latency of `/v1/arbitrate` requests.
 pub static LATENCY_ARBITRATE: Histogram = Histogram::new("arbitrate");
 /// Wall-clock handling latency of `/v1/fit` requests.
@@ -199,10 +244,14 @@ pub static LATENCY_BDD_COMPILE: Histogram = Histogram::new("bdd_compile");
 pub static LATENCY_REPL: Histogram = Histogram::new("repl");
 /// Per-frame apply latency on the replica (decode + append + publish).
 pub static LATENCY_REPL_APPLY: Histogram = Histogram::new("repl_apply");
+/// Wall-clock handling latency of `/v1/cluster/*` and `/v1/kbs`
+/// requests (membership, handoff, and listing — join/sync include the
+/// synchronous rebalance they trigger).
+pub static LATENCY_CLUSTER: Histogram = Histogram::new("cluster");
 
 /// Every histogram, in protocol-table order (endpoints, then durability,
-/// then the compiled tier, then replication).
-pub fn histograms() -> [&'static Histogram; 10] {
+/// then the compiled tier, then replication, then sharding).
+pub fn histograms() -> [&'static Histogram; 11] {
     [
         &LATENCY_ARBITRATE,
         &LATENCY_FIT,
@@ -214,6 +263,7 @@ pub fn histograms() -> [&'static Histogram; 10] {
         &LATENCY_BDD_COMPILE,
         &LATENCY_REPL,
         &LATENCY_REPL_APPLY,
+        &LATENCY_CLUSTER,
     ]
 }
 
@@ -236,6 +286,7 @@ pub fn metrics_json() -> String {
     sections.push(&WAL_SECTION);
     sections.push(&GROUP_COMMIT_SECTION);
     sections.push(&REPLICATION_SECTION);
+    sections.push(&SHARDING_SECTION);
     let snapshot = arbitrex_telemetry::snapshot_of(&sections);
     let mut out = String::with_capacity(2048);
     out.push_str("{\"telemetry\": ");
@@ -261,6 +312,7 @@ pub fn reset() {
     WAL_SECTION.reset();
     GROUP_COMMIT_SECTION.reset();
     REPLICATION_SECTION.reset();
+    SHARDING_SECTION.reset();
     for h in histograms() {
         h.reset();
     }
@@ -285,6 +337,7 @@ mod tests {
             "wal",
             "group_commit",
             "replication",
+            "sharding",
         ] {
             assert!(
                 text.contains(&format!("\"{section}\"")),
@@ -302,6 +355,7 @@ mod tests {
             "bdd_compile",
             "repl",
             "repl_apply",
+            "cluster",
         ] {
             assert!(text.contains(&format!("\"{h}\"")), "missing histogram {h}");
         }

@@ -469,11 +469,26 @@ impl PeerClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<PeerResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// [`PeerClient::request`] with extra request headers — the shard
+    /// handoff marks its pulls cluster-internal this way, so an old
+    /// owner serves its local copy instead of routing by the new ring.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<PeerResponse> {
+        use std::fmt::Write as _;
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: peer\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: peer\r\n");
+        for (name, value) in headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        let _ = write!(head, "Content-Length: {}\r\n\r\n", body.len());
         {
             let stream = self.reader.get_mut();
             stream.write_all(head.as_bytes())?;
@@ -1146,5 +1161,37 @@ mod tests {
         assert_eq!(*seen.last().unwrap(), BACKOFF_MAX);
         backoff.reset();
         assert_eq!(backoff.delay, BACKOFF_MIN);
+    }
+
+    #[test]
+    fn backoff_sleeps_stay_inside_the_jitter_band() {
+        // With the log live (no stop request), each sleep must run for
+        // its full jittered duration: at least `base - base/4` (jitter
+        // floor) and not wildly past `base + base/4` (jitter ceiling;
+        // generous slack for scheduler noise on loaded CI).
+        let log = ReplLog::new(1, 1, true);
+        let mut backoff = Backoff::new(42);
+        for _ in 0..3 {
+            let base = backoff.delay.as_millis() as u64;
+            let start = Instant::now();
+            backoff.sleep(&log);
+            let elapsed = start.elapsed().as_millis() as u64;
+            assert!(
+                elapsed + 1 >= base - base / 4,
+                "slept {elapsed}ms, below the jitter floor of base {base}ms"
+            );
+            assert!(
+                elapsed <= base + base / 4 + 100,
+                "slept {elapsed}ms, far past the jitter ceiling of base {base}ms"
+            );
+        }
+        // After the doubling ladder, one successful connect resets the
+        // next sleep to the floor — measured, not just stored.
+        backoff.reset();
+        let start = Instant::now();
+        backoff.sleep(&log);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= BACKOFF_MIN - BACKOFF_MIN / 4);
+        assert!(elapsed < BACKOFF_MAX / 2, "reset did not take: {elapsed:?}");
     }
 }

@@ -11,7 +11,10 @@ use crate::http::{Request, Response};
 use crate::json::{self, obj, Json};
 use crate::kb::{self, CommitError, StoredKb};
 use crate::metrics;
-use crate::replication::{self, FetchOutcome, NetFaultSite, ReplLog, NET_DELAY, POLL_WAIT};
+use crate::replication::{
+    self, FetchOutcome, NetFaultSite, PeerClient, PeerResponse, ReplLog, NET_DELAY, POLL_WAIT,
+};
+use crate::shard::{self, Placement, ShardFaultSite, ShardRouter};
 use crate::ServiceState;
 
 use arbitrex_core::cache::{cached_warbitrate, CacheStatus};
@@ -62,7 +65,14 @@ fn route(state: &ServiceState, req: &Request) -> Routed {
             handle_replication(state, req, action, query),
         );
     }
+    if let Some(action) = path.strip_prefix("/v1/cluster/") {
+        return (
+            Some(&metrics::LATENCY_CLUSTER),
+            handle_cluster(state, req, action),
+        );
+    }
     match (req.method.as_str(), path) {
+        ("GET", "/v1/kbs") => (Some(&metrics::LATENCY_CLUSTER), handle_kbs(state)),
         ("GET", "/metrics") => (Some(&metrics::LATENCY_METRICS), handle_metrics(state)),
         ("POST", "/v1/arbitrate") => (
             Some(&metrics::LATENCY_ARBITRATE),
@@ -73,7 +83,7 @@ fn route(state: &ServiceState, req: &Request) -> Routed {
             Some(&metrics::LATENCY_WARBITRATE),
             handle_warbitrate(state, req),
         ),
-        (_, "/metrics" | "/v1/arbitrate" | "/v1/fit" | "/v1/warbitrate") => {
+        (_, "/metrics" | "/v1/arbitrate" | "/v1/fit" | "/v1/warbitrate" | "/v1/kbs") => {
             (None, error_response(405, "method not allowed"))
         }
         _ => (None, error_response(404, "no such endpoint")),
@@ -249,10 +259,17 @@ fn handle_metrics(state: &ServiceState) -> Response {
         ),
         None => (1, 0, 0, 0, 0),
     };
+    let (ring_epoch, ring_members) = match &state.shards {
+        Some(router) => {
+            let ring = router.ring();
+            (ring.epoch(), ring.members().len())
+        }
+        None => (0, 0),
+    };
     // Splice live gauge values (cache fill, KB count, replication
-    // watermarks) into the document.
+    // watermarks, ring state) into the document.
     let gauges = format!(
-        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}, \"replication_role\": {role}, \"replication_epoch\": {epoch}, \"replication_head\": {head}, \"replication_visible\": {visible}, \"replication_lag\": {lag}}}}}",
+        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}, \"replication_role\": {role}, \"replication_epoch\": {epoch}, \"replication_head\": {head}, \"replication_visible\": {visible}, \"replication_lag\": {lag}, \"shard_ring_epoch\": {ring_epoch}, \"shard_members\": {ring_members}}}}}",
         state.cache.len(),
         state.cache.capacity(),
         state.kbs.len(),
@@ -598,6 +615,303 @@ fn repl_reconcile(state: &ServiceState, req: &Request) -> Response {
     }
 }
 
+// --- sharding: listing and cluster membership -------------------------------
+
+/// `GET /v1/kbs`: every KB on this node with its sequence number and
+/// canonical content hash — the listing shard handoff (and operators)
+/// walk. The hash rendering matches `/v1/replication/digest` so either
+/// endpoint can feed a digest comparison.
+fn handle_kbs(state: &ServiceState) -> Response {
+    let kbs: Vec<Json> = state
+        .kbs
+        .digest()
+        .into_iter()
+        .map(|(name, seq, hash)| {
+            obj([
+                ("name", json::s(name)),
+                ("seq", json::n(seq)),
+                ("hash", json::s(format!("{hash:016x}"))),
+            ])
+        })
+        .collect();
+    let epoch = state.kbs.replication().map(|log| log.epoch()).unwrap_or(0);
+    let ring_epoch = state.shards.as_ref().map(|r| r.epoch()).unwrap_or(0);
+    ok(obj([
+        ("count", json::n(kbs.len() as u64)),
+        ("epoch", json::n(epoch)),
+        ("ring_epoch", json::n(ring_epoch)),
+        ("kbs", Json::Arr(kbs)),
+    ]))
+}
+
+/// Reject cluster calls on a node that was not started as a ring member.
+fn shard_router(state: &ServiceState) -> Result<&ShardRouter, Response> {
+    state
+        .shards
+        .as_ref()
+        .ok_or_else(|| error_response(503, "sharding is not enabled (start with --shard-ring)"))
+}
+
+fn handle_cluster(state: &ServiceState, req: &Request, action: &str) -> Response {
+    match (req.method.as_str(), action) {
+        ("GET", "ring") => cluster_ring(state),
+        ("POST", "join") => cluster_membership(state, req, true),
+        ("POST", "leave") => cluster_membership(state, req, false),
+        ("POST", "sync") => cluster_sync(state, req),
+        ("POST", "release") => cluster_release(state, req),
+        (_, "ring" | "join" | "leave" | "sync" | "release") => {
+            error_response(405, "method not allowed")
+        }
+        _ => error_response(404, "unknown cluster action"),
+    }
+}
+
+/// `GET /v1/cluster/ring`: the membership view this node routes by.
+fn cluster_ring(state: &ServiceState) -> Response {
+    let router = match shard_router(state) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let ring = router.ring();
+    let members: Vec<Json> = ring.members().iter().map(|m| json::s(m.clone())).collect();
+    let owned_here = state
+        .kbs
+        .digest()
+        .iter()
+        .filter(|(name, _, _)| matches!(router.place(name), Placement::Local))
+        .count();
+    ok(obj([
+        ("epoch", json::n(ring.epoch())),
+        ("self", json::s(router.self_addr())),
+        ("vnodes", json::n(ring.vnodes() as u64)),
+        ("members", Json::Arr(members)),
+        ("kbs_here", json::n(state.kbs.len() as u64)),
+        ("owned_here", json::n(owned_here as u64)),
+    ]))
+}
+
+/// The ring-sync broadcast body: the full membership list plus the new
+/// epoch, and on a leave the departed node as an extra handoff source.
+fn ring_sync_body(ring: &shard::ShardRing, source: Option<&str>) -> String {
+    let members: Vec<Json> = ring.members().iter().map(|m| json::s(m.clone())).collect();
+    let mut fields = vec![
+        ("epoch".to_string(), json::n(ring.epoch())),
+        ("members".to_string(), Json::Arr(members)),
+    ];
+    if let Some(src) = source {
+        fields.push(("source".to_string(), json::s(src)));
+    }
+    Json::Obj(fields).to_text()
+}
+
+/// Rebalance sources for a node holding `ring`: every other member, plus
+/// (on a leave) the departed node whose shards must drain somewhere.
+fn rebalance_sources(ring: &shard::ShardRing, self_addr: &str, extra: Option<&str>) -> Vec<String> {
+    let mut sources: Vec<String> = ring
+        .members()
+        .iter()
+        .filter(|m| m.as_str() != self_addr)
+        .cloned()
+        .collect();
+    if let Some(addr) = extra {
+        if addr != self_addr && !sources.iter().any(|s| s == addr) {
+            sources.push(addr.to_string());
+        }
+    }
+    sources
+}
+
+/// `POST /v1/cluster/{join,leave}`: mutate membership on this node, push
+/// the new ring to every affected peer (each rebalances inside its sync
+/// handler), then run the local rebalance pass. Synchronous by design:
+/// when the request returns, every reachable member routes by the new
+/// epoch and has pulled the shards it gained.
+fn cluster_membership(state: &ServiceState, req: &Request, join: bool) -> Response {
+    let router = match shard_router(state) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let addr = match field_str(&body, "addr") {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    if addr.is_empty() {
+        return error_response(400, "field `addr` must be a host:port");
+    }
+    let before = router.ring();
+    let changed = if join {
+        router.add_member(addr)
+    } else {
+        router.remove_member(addr)
+    };
+    let verb = if join { "joined" } else { "left" };
+    let Some(ring) = changed else {
+        // Already in the requested state: idempotent no-op.
+        return ok(obj([
+            ("addr", json::s(addr)),
+            (verb, Json::Bool(false)),
+            ("epoch", json::n(router.epoch())),
+        ]));
+    };
+    let self_addr = router.self_addr();
+    let source = if join { None } else { Some(addr) };
+    // Fence writes for every KB changing owner until the local
+    // rebalance pass lands (peers fence themselves inside their sync
+    // handlers).
+    router.begin_transition(before);
+    let sync_body = ring_sync_body(&ring, source);
+    // The departed node also gets the sync so it stops answering for
+    // shards it no longer owns.
+    let mut targets: Vec<String> = ring
+        .members()
+        .iter()
+        .filter(|m| m.as_str() != self_addr)
+        .cloned()
+        .collect();
+    if !join && addr != self_addr {
+        targets.push(addr.to_string());
+    }
+    let mut synced = 0u64;
+    for target in &targets {
+        let acked = PeerClient::connect(target)
+            .and_then(|mut client| client.request("POST", "/v1/cluster/sync", Some(&sync_body)))
+            .map(|resp| resp.status == 200)
+            .unwrap_or(false);
+        if acked {
+            synced += 1;
+        }
+    }
+    let summary = shard::rebalance(state, &rebalance_sources(&ring, &self_addr, source));
+    router.end_transition();
+    let members: Vec<Json> = ring.members().iter().map(|m| json::s(m.clone())).collect();
+    ok(obj([
+        ("addr", json::s(addr)),
+        (verb, Json::Bool(true)),
+        ("epoch", json::n(ring.epoch())),
+        ("members", Json::Arr(members)),
+        ("synced", json::n(synced)),
+        ("rebalance", summary.to_json()),
+    ]))
+}
+
+/// `POST /v1/cluster/sync`: adopt a strictly newer ring and immediately
+/// pull the shards the new placement assigns here. An equal or older
+/// epoch is acknowledged without action, which makes redelivery safe.
+fn cluster_sync(state: &ServiceState, req: &Request) -> Response {
+    let router = match shard_router(state) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let epoch = match field_u64(&body, "epoch") {
+        Ok(Some(e)) => e,
+        Ok(None) => return error_response(400, "missing field `epoch`"),
+        Err(resp) => return resp,
+    };
+    let members: Vec<String> = match body.get("members").and_then(|v| v.as_array()) {
+        Some(arr) => {
+            let mut out = Vec::with_capacity(arr.len());
+            for v in arr {
+                match v.as_str() {
+                    Some(s) => out.push(s.to_string()),
+                    None => return error_response(400, "field `members` must be strings"),
+                }
+            }
+            out
+        }
+        None => return error_response(400, "missing field `members`"),
+    };
+    let source = body.get("source").and_then(|v| v.as_str());
+    // Rebalance against the *candidate* ring first, adopt second: until
+    // the pull completes this node routes by its old ring, so writes for
+    // the migrating KBs bounce 307 between owners (brief unavailability)
+    // instead of committing onto a copy the pull would overwrite.
+    let mut fields = Vec::new();
+    let adopted = match router.preview(&members, epoch) {
+        Some(ring) => {
+            router.begin_transition(ring.clone());
+            let sources = rebalance_sources(&ring, &router.self_addr(), source);
+            let summary = shard::rebalance_onto(state, &sources, &ring);
+            let adopted = router.adopt(&members, epoch);
+            router.end_transition();
+            fields.push(("rebalance".to_string(), summary.to_json()));
+            adopted
+        }
+        None => false,
+    };
+    fields.insert(0, ("adopted".to_string(), Json::Bool(adopted)));
+    fields.insert(1, ("epoch".to_string(), json::n(router.epoch())));
+    ok(Json::Obj(fields))
+}
+
+/// `POST /v1/cluster/release`: the handoff's final step. The new owner
+/// proves it pulled seq `seq`; the source deletes its copy only if that
+/// is still the latest — a racing commit turns the release into a typed
+/// 409 and the puller re-pulls. The injected `shard_handoff_torn` fault
+/// fails here, leaving both copies alive for anti-entropy to reconcile.
+fn cluster_release(state: &ServiceState, req: &Request) -> Response {
+    if let Err(resp) = shard_router(state) {
+        return resp;
+    }
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let name = match field_str(&body, "name") {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    if !kb::valid_name(name) {
+        return error_response(400, "KB names are [A-Za-z0-9_-], at most 64 chars");
+    }
+    let seq = match field_u64(&body, "seq") {
+        Ok(Some(s)) => s,
+        Ok(None) => return error_response(400, "missing field `seq`"),
+        Err(resp) => return resp,
+    };
+    if let Some(plan) = &state.config.shard_fault {
+        if plan.fire(ShardFaultSite::HandoffTorn) {
+            return error_response(503, "injected fault: shard handoff torn");
+        }
+    }
+    match state.kbs.delete(name, Some(seq)) {
+        Ok(Some(_)) => {
+            metrics::SHARD_RELEASES.incr();
+            ok(obj([
+                ("name", json::s(name)),
+                ("released", Json::Bool(true)),
+            ]))
+        }
+        // Already gone: the handoff converged some other way.
+        Ok(None) => ok(obj([
+            ("name", json::s(name)),
+            ("released", Json::Bool(false)),
+        ])),
+        Err(CommitError::Conflict { current }) => {
+            let body = obj([
+                (
+                    "error",
+                    json::s(format!(
+                        "release of `{name}` at seq {seq} conflicts with local seq {current}"
+                    )),
+                ),
+                ("code", json::n(409)),
+                ("released", Json::Bool(false)),
+                ("seq", json::n(current)),
+            ]);
+            Response::json(409, body.to_text())
+        }
+        Err(CommitError::Io(e)) => error_response(500, e.to_string()),
+    }
+}
+
 // --- the KB endpoint --------------------------------------------------------
 
 /// Stamp a mutation response with the commit's replication sequence
@@ -615,6 +929,18 @@ fn handle_kb(state: &ServiceState, req: &Request, name: &str) -> Response {
     if !kb::valid_name(name) {
         return error_response(400, "KB names are [A-Za-z0-9_-], at most 64 chars");
     }
+    // Shard routing: on a ring member, a KB owned elsewhere is proxied
+    // (reads) or redirected (writes) instead of being served from a copy
+    // that would fork history. Handoff pulls and proxy legs carry the
+    // internal bypass header so the source keeps serving its local copy
+    // mid-migration.
+    if let Some(router) = &state.shards {
+        if req.header(shard::INTERNAL_HEADER).is_none() {
+            if let Some(routed) = shard_route(state, router, req, name) {
+                return routed;
+            }
+        }
+    }
     // A replica serves reads only; mutations must go to the primary (or
     // wait for promotion).
     if req.method.as_str() != "GET" {
@@ -627,7 +953,7 @@ fn handle_kb(state: &ServiceState, req: &Request, name: &str) -> Response {
             }
         }
     }
-    match req.method.as_str() {
+    let response = match req.method.as_str() {
         "GET" => kb_get(state, req, name),
         "DELETE" => kb_delete(state, name, None),
         "POST" => {
@@ -641,7 +967,190 @@ fn handle_kb(state: &ServiceState, req: &Request, name: &str) -> Response {
             }
         }
         _ => error_response(405, "method not allowed"),
+    };
+    stamp_ring_epoch(state, response)
+}
+
+/// Every KB response from a ring member carries the serving node's ring
+/// epoch so clients (and the storm harness) can detect membership drift
+/// without a separate poll.
+fn stamp_ring_epoch(state: &ServiceState, mut response: Response) -> Response {
+    if let Some(router) = &state.shards {
+        response
+            .extra_headers
+            .push(("X-Arbitrex-Ring-Epoch", router.epoch().to_string()));
     }
+    response
+}
+
+/// The typed stale-ring refusal: a client that pinned a ring epoch via
+/// `X-Arbitrex-Ring-Epoch` gets 421 instead of a commit the current ring
+/// would route elsewhere — the split-brain write becomes a visible retry.
+fn stale_ring_response(current: u64, claimed: u64) -> Response {
+    metrics::SHARD_STALE_RING_REFUSALS.incr();
+    let body = obj([
+        (
+            "error",
+            json::s(format!(
+                "ring epoch {claimed} is stale; this node is at epoch {current}"
+            )),
+        ),
+        ("code", json::n(421)),
+        ("ring_epoch", json::n(current)),
+        ("claimed", json::n(claimed)),
+    ]);
+    let mut resp = Response::json(421, body.to_text());
+    resp.extra_headers
+        .push(("X-Arbitrex-Ring-Epoch", current.to_string()));
+    resp
+}
+
+/// Decide whether this node answers for `name` or routes away. `None`
+/// means "ours: fall through to the local handlers".
+fn shard_route(
+    state: &ServiceState,
+    router: &ShardRouter,
+    req: &Request,
+    name: &str,
+) -> Option<Response> {
+    let epoch = router.epoch();
+    if let Some(claimed) = req
+        .header("x-arbitrex-ring-epoch")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        if claimed != epoch {
+            return Some(stale_ring_response(epoch, claimed));
+        }
+    }
+    if let Some(plan) = &state.config.shard_fault {
+        if plan.fire(ShardFaultSite::RingStale) {
+            // Injected: pretend the caller pinned a ring one epoch behind.
+            return Some(stale_ring_response(epoch, epoch.saturating_sub(1)));
+        }
+    }
+    // The handoff write fence: while a membership transition is pulling
+    // this KB between owners, no node accepts external writes for it —
+    // a commit landing mid-pull would be overwritten by the migration.
+    if req.method.as_str() != "GET" && router.in_transition(name) {
+        metrics::SHARD_WRITES_FENCED.incr();
+        let body = obj([
+            (
+                "error",
+                json::s(format!(
+                    "KB `{name}` is mid-handoff (ring transition in progress); retry"
+                )),
+            ),
+            ("code", json::n(503)),
+            ("ring_epoch", json::n(epoch)),
+        ]);
+        let mut resp = Response::json(503, body.to_text());
+        resp.extra_headers.push(("Retry-After", "0".to_string()));
+        resp.extra_headers
+            .push(("X-Arbitrex-Ring-Epoch", epoch.to_string()));
+        return Some(resp);
+    }
+    match router.place(name) {
+        Placement::Local => None,
+        Placement::Remote(owner) => {
+            if req.method.as_str() == "GET" {
+                Some(shard_proxy_get(state, req, name, &owner, epoch))
+            } else {
+                metrics::SHARD_REDIRECTS.incr();
+                let body = obj([
+                    (
+                        "error",
+                        json::s(format!("KB `{name}` is owned by shard {owner}")),
+                    ),
+                    ("code", json::n(307)),
+                    ("owner", json::s(owner.as_str())),
+                ]);
+                let mut resp = Response::json(307, body.to_text());
+                resp.extra_headers
+                    .push(("Location", format!("http://{owner}/v1/kb/{name}")));
+                resp.extra_headers
+                    .push(("X-Arbitrex-Shard-Owner", owner.clone()));
+                resp.extra_headers
+                    .push(("X-Arbitrex-Ring-Epoch", epoch.to_string()));
+                Some(resp)
+            }
+        }
+    }
+}
+
+/// Proxy a read to the owning shard. The forwarded request carries the
+/// internal bypass header (so the owner serves even mid-handoff) and the
+/// caller's read-your-writes watermark, if any.
+fn shard_proxy_get(
+    state: &ServiceState,
+    req: &Request,
+    name: &str,
+    owner: &str,
+    epoch: u64,
+) -> Response {
+    let dropped = state
+        .config
+        .shard_fault
+        .as_ref()
+        .is_some_and(|plan| plan.fire(ShardFaultSite::ProxyDrop));
+    let proxied: Result<PeerResponse, String> = if dropped {
+        Err("injected fault: shard proxy dropped".to_string())
+    } else {
+        let min_seq = req.header("x-arbitrex-min-seq").map(str::to_string);
+        PeerClient::connect(owner)
+            .map_err(|e| format!("connect {owner}: {e}"))
+            .and_then(|mut client| {
+                let mut headers = vec![(shard::INTERNAL_HEADER, "1")];
+                if let Some(min) = min_seq.as_deref() {
+                    headers.push(("x-arbitrex-min-seq", min));
+                }
+                client
+                    .request_with_headers("GET", &format!("/v1/kb/{name}"), None, &headers)
+                    .map_err(|e| format!("proxy to {owner}: {e}"))
+            })
+    };
+    let mut resp = match proxied {
+        Ok(peer) if peer.status == 404 => {
+            // Mid-handoff read race: the ring already points at the new
+            // owner but the pull has not landed there yet. The local
+            // copy (not yet released) is still the truth — serve it.
+            if let Some(local) = local_kb_view(state, name) {
+                metrics::SHARD_PROXIED_READS.incr();
+                ok(local)
+            } else {
+                metrics::SHARD_PROXIED_READS.incr();
+                match String::from_utf8(peer.body) {
+                    Ok(text) => Response::json(peer.status, text),
+                    Err(_) => {
+                        error_response(502, format!("shard {owner} returned a non-JSON body"))
+                    }
+                }
+            }
+        }
+        Ok(peer) => {
+            metrics::SHARD_PROXIED_READS.incr();
+            match String::from_utf8(peer.body) {
+                Ok(text) => Response::json(peer.status, text),
+                Err(_) => error_response(502, format!("shard {owner} returned a non-JSON body")),
+            }
+        }
+        Err(message) => {
+            metrics::SHARD_PROXY_FAILURES.incr();
+            error_response(502, message)
+        }
+    };
+    resp.extra_headers
+        .push(("X-Arbitrex-Shard-Owner", owner.to_string()));
+    resp.extra_headers
+        .push(("X-Arbitrex-Ring-Epoch", epoch.to_string()));
+    resp
+}
+
+/// The local copy of `name` as a response body, if this node holds a
+/// committed copy (seq > 0).
+fn local_kb_view(state: &ServiceState, name: &str) -> Option<Json> {
+    let entry = state.kbs.entry(name)?;
+    let kb = entry.lock().unwrap();
+    (kb.seq > 0).then(|| kb_view(name, &kb))
 }
 
 fn kb_view(name: &str, kb: &StoredKb) -> Json {

@@ -327,6 +327,12 @@ impl Server {
         let state = ServiceState::new(config)?;
         let listener = TcpListener::bind(&state.config.addr)?;
         listener.set_nonblocking(true)?;
+        // A sharded node advertising `auto` learns its ring identity
+        // from the bound address (resolving port 0), before any request
+        // can ask for a placement.
+        if let Some(router) = &state.shards {
+            router.resolve_self(&listener.local_addr()?.to_string());
+        }
         Ok(Server {
             listener,
             state: Arc::new(state),

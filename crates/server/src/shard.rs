@@ -1,0 +1,906 @@
+//! Consistent-hash sharding of named KBs across a cluster of primaries.
+//!
+//! PR 8 gave one KB namespace a single primary with epoch-fenced
+//! replicas; this module spreads the namespace over *several* primaries.
+//! A [`ShardRing`] — consistent hashing with virtual nodes and a
+//! rendezvous tie-break — maps each KB name to exactly one owner. Every
+//! node serves the KBs it owns locally, **proxies** reads for the rest
+//! to the owner, and answers mutations for the rest with
+//! `307 Temporary Redirect` plus `X-Arbitrex-Shard-Owner`, so a commit
+//! always lands at (and is fenced by) its owner.
+//!
+//! The ring is versioned by a **ring epoch**. Every routed KB response
+//! carries `X-Arbitrex-Ring-Epoch`; a client may pin the epoch it
+//! routed against by sending the same header, and a mismatch is refused
+//! with a typed `421 Misdirected Request` instead of a split-brain
+//! commit against a stale ring. This is the membership-layer analogue
+//! of the replication fencing epoch (DESIGN.md §12): the replication
+//! epoch fences *who may write a store*, the ring epoch fences *which
+//! store a name maps to*.
+//!
+//! Membership changes (`POST /v1/cluster/{join,leave}`) bump the epoch,
+//! broadcast the new ring to every member (`POST /v1/cluster/sync`,
+//! adopt-if-newer), and trigger **live rebalancing**: each node that
+//! adopted the ring pulls the digest of every migration source
+//! (`GET /v1/kbs`: name, seq, canonical content hash — the same digest
+//! the PR 8 anti-entropy pass compares), fetches each KB it now owns
+//! over the replication transport ([`PeerClient`]), lands it verbatim
+//! with [`crate::kb::KbStore::force_put`], and then asks the old owner
+//! to release its copy (`POST /v1/cluster/release`, guarded by the
+//! pulled seq so a commit racing the handoff is never dropped).
+//! Divergence discovered during the pull — both sides committed to the
+//! same name under a partition — is handed to the PR 8 `Δ`-arbitration
+//! reconciliation path ([`crate::replication::reconcile_with_peer`]),
+//! not to last-writer-wins.
+//!
+//! # Deterministic fault plan
+//!
+//! [`ShardFaultPlan`] arms exactly one fire-once fault (`serve
+//! --fault`): `shard_handoff_torn` (the k-th release request is refused
+//! after the data transfer, as if the handoff connection tore — both
+//! copies survive and a later pass converges them), `shard_ring_stale`
+//! (the k-th routed KB request is answered 421 as if the client's ring
+//! were stale), `shard_proxy_drop` (the k-th proxied read is dropped
+//! with 502). Like the `net_*` plans they disarm after firing: what is
+//! under test is the retry/convergence machinery, not a sticky outage.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use arbitrex_logic::parse as parse_formula;
+
+use crate::json::{self, Json};
+use crate::kb::StoredKb;
+use crate::metrics;
+use crate::replication::{PeerClient, PeerResponse};
+use crate::ServiceState;
+
+/// Virtual nodes per member unless `--shard-vnodes` says otherwise.
+pub const DEFAULT_VNODES: u32 = 64;
+/// Placeholder for "my own bound address" in `--shard-ring`: resolved
+/// to the actual listen address once the listener is bound (so tests
+/// and scripts can shard a server bound to port 0).
+pub const SELF_AUTO: &str = "auto";
+/// Request header marking cluster-internal traffic (handoff pulls and
+/// owner-side proxy legs); it bypasses ownership routing so a node can
+/// always read a peer's local copy during a migration.
+pub const INTERNAL_HEADER: &str = "x-arbitrex-shard-internal";
+/// Attempts the rebalancer makes to pull-and-release one KB when the
+/// old owner reports a seq conflict (a commit raced the handoff).
+pub const HANDOFF_RETRIES: u32 = 3;
+
+/// FNV-1a, the ring's stable 64-bit hash (no dependency, stable across
+/// builds — ring placement must agree between separately started
+/// processes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix(h)
+}
+
+/// SplitMix64 finalizer. Raw FNV-1a diffuses too little on the short,
+/// near-identical strings rings are made of (`host:port#3` vs
+/// `host:port#4`), which skews vnode arcs badly; the finalizer restores
+/// avalanche while staying a pure, dependency-free function.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Rendezvous score of `(name, member)`, the tie-break when two virtual
+/// nodes land on the same ring point.
+fn rendezvous(name: &str, member: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(name.len() + member.len() + 1);
+    bytes.extend_from_slice(name.as_bytes());
+    bytes.push(0xFF); // unambiguous separator: 0xFF never appears in a KB name
+    bytes.extend_from_slice(member.as_bytes());
+    fnv1a(&bytes)
+}
+
+// --- the ring ----------------------------------------------------------------
+
+/// A consistent-hash ring over the cluster members: each member owns
+/// `vnodes` points; a KB name belongs to the member owning the first
+/// point clockwise of the name's hash, with a rendezvous tie-break when
+/// several points collide on one hash value. Placement is a pure
+/// function of `(members, vnodes)` — two nodes holding equal rings
+/// route identically, which is what the ring epoch certifies.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    epoch: u64,
+    vnodes: u32,
+    /// Sorted, deduplicated member addresses.
+    members: Vec<String>,
+    /// `(point hash, member index)`, sorted by hash.
+    points: Vec<(u64, u32)>,
+}
+
+impl ShardRing {
+    /// A ring over `members` at `epoch`. Members are sorted and
+    /// deduplicated so the ring is a function of the *set*.
+    pub fn new(members: impl IntoIterator<Item = String>, vnodes: u32, epoch: u64) -> ShardRing {
+        let mut members: Vec<String> = members.into_iter().filter(|m| !m.is_empty()).collect();
+        members.sort();
+        members.dedup();
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(members.len() * vnodes as usize);
+        for (i, member) in members.iter().enumerate() {
+            for v in 0..vnodes {
+                points.push((fnv1a(format!("{member}#{v}").as_bytes()), i as u32));
+            }
+        }
+        points.sort();
+        ShardRing {
+            epoch,
+            vnodes,
+            members,
+            points,
+        }
+    }
+
+    /// The ring's version: bumped by every membership change, stamped on
+    /// every routed request.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Virtual nodes per member.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The member set, sorted.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// Is `addr` a member?
+    pub fn contains(&self, addr: &str) -> bool {
+        self.members.iter().any(|m| m == addr)
+    }
+
+    /// The owner of KB `name`: successor point on the ring, rendezvous
+    /// tie-break among points sharing that hash value. Empty rings own
+    /// nothing (`None`).
+    pub fn owner_of(&self, name: &str) -> Option<&str> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = fnv1a(name.as_bytes());
+        let start = self
+            .points
+            .partition_point(|&(point, _)| point < h)
+            .checked_rem(self.points.len())
+            .unwrap_or(0);
+        let successor = self.points[start].0;
+        // Collect every point colliding on the successor hash (sorted,
+        // so they are adjacent) and break the tie by rendezvous score.
+        let mut best: Option<(&str, u64)> = None;
+        for &(point, member) in self.points[start..]
+            .iter()
+            .take_while(|&&(point, _)| point == successor)
+        {
+            debug_assert_eq!(point, successor);
+            let candidate = self.members[member as usize].as_str();
+            let score = rendezvous(name, candidate);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((candidate, score));
+            }
+        }
+        best.map(|(m, _)| m)
+    }
+}
+
+// --- the router --------------------------------------------------------------
+
+/// Where a KB request should be handled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// This node owns the KB: serve it.
+    Local,
+    /// The named peer owns it: proxy (reads) or redirect (writes).
+    Remote(String),
+}
+
+/// One node's view of the cluster: the current ring plus its own
+/// advertised address. Shared by the route handlers (placement checks)
+/// and the membership endpoints (ring changes); the ring swaps whole
+/// under a `RwLock` so placement reads never block each other.
+pub struct ShardRouter {
+    ring: RwLock<ShardRing>,
+    self_addr: RwLock<String>,
+    /// The *other* side of an in-flight membership transition (the
+    /// candidate ring on a pulling node, the superseded ring on the
+    /// originator). While set, writes for any KB whose owner differs
+    /// between this ring and the current one are refused with a typed
+    /// 503 — the fence that keeps a mid-handoff commit from landing on
+    /// a copy the migration is about to overwrite.
+    pending: RwLock<Option<ShardRing>>,
+}
+
+impl ShardRouter {
+    /// A router for a node advertising `self_spec` (or [`SELF_AUTO`]),
+    /// seeded with `peers` at ring epoch 1.
+    pub fn new(self_spec: String, peers: &[String], vnodes: u32) -> ShardRouter {
+        let members = std::iter::once(self_spec.clone()).chain(peers.iter().cloned());
+        ShardRouter {
+            ring: RwLock::new(ShardRing::new(members, vnodes, 1)),
+            self_addr: RwLock::new(self_spec),
+            pending: RwLock::new(None),
+        }
+    }
+
+    /// Arm the handoff write fence: until [`ShardRouter::end_transition`],
+    /// [`ShardRouter::in_transition`] reports `true` for every KB whose
+    /// owner differs between `other` and the current ring.
+    pub fn begin_transition(&self, other: ShardRing) {
+        *self.pending.write().unwrap() = Some(other);
+    }
+
+    /// Disarm the handoff write fence.
+    pub fn end_transition(&self) {
+        *self.pending.write().unwrap() = None;
+    }
+
+    /// Is KB `name` mid-handoff — owned by different nodes under the
+    /// current ring and the pending transition ring? Writes for such
+    /// KBs are fenced (503 + Retry-After) until the transition ends.
+    pub fn in_transition(&self, name: &str) -> bool {
+        // Lock order: pending, then ring (matches `place`'s ring-first
+        // read path; `pending` is only ever taken first).
+        let pending = self.pending.read().unwrap();
+        let Some(other) = pending.as_ref() else {
+            return false;
+        };
+        let ring = self.ring.read().unwrap();
+        other.owner_of(name) != ring.owner_of(name)
+    }
+
+    /// Replace the [`SELF_AUTO`] placeholder with the actually bound
+    /// address. Called once, between bind and serve.
+    pub fn resolve_self(&self, actual: &str) {
+        let mut self_addr = self.self_addr.write().unwrap();
+        if self_addr.as_str() != SELF_AUTO {
+            return;
+        }
+        let mut ring = self.ring.write().unwrap();
+        let members: Vec<String> = ring
+            .members
+            .iter()
+            .map(|m| {
+                if m == SELF_AUTO {
+                    actual.to_string()
+                } else {
+                    m.clone()
+                }
+            })
+            .collect();
+        *ring = ShardRing::new(members, ring.vnodes, ring.epoch);
+        *self_addr = actual.to_string();
+    }
+
+    /// This node's advertised address (its identity on the ring).
+    pub fn self_addr(&self) -> String {
+        self.self_addr.read().unwrap().clone()
+    }
+
+    /// Current ring epoch.
+    pub fn epoch(&self) -> u64 {
+        self.ring.read().unwrap().epoch
+    }
+
+    /// A clone of the current ring (membership endpoints render it).
+    pub fn ring(&self) -> ShardRing {
+        self.ring.read().unwrap().clone()
+    }
+
+    /// Where a request for KB `name` belongs under the current ring. A
+    /// node that has been removed from the ring (it processed its own
+    /// `leave`) places everything remotely — it degrades to a pure
+    /// redirector until re-joined.
+    pub fn place(&self, name: &str) -> Placement {
+        let ring = self.ring.read().unwrap();
+        let self_addr = self.self_addr.read().unwrap();
+        match ring.owner_of(name) {
+            Some(owner) if owner == self_addr.as_str() => Placement::Local,
+            Some(owner) => Placement::Remote(owner.to_string()),
+            None => Placement::Local, // empty ring: serve locally
+        }
+    }
+
+    /// Add `addr` to the ring, bumping the epoch. `None` when it is
+    /// already a member (the ring is unchanged).
+    pub fn add_member(&self, addr: &str) -> Option<ShardRing> {
+        let mut ring = self.ring.write().unwrap();
+        if ring.contains(addr) {
+            return None;
+        }
+        let members = ring
+            .members
+            .iter()
+            .cloned()
+            .chain(std::iter::once(addr.to_string()));
+        *ring = ShardRing::new(members, ring.vnodes, ring.epoch + 1);
+        metrics::SHARD_RING_CHANGES.incr();
+        Some(ring.clone())
+    }
+
+    /// Remove `addr` from the ring, bumping the epoch. `None` when it
+    /// was not a member.
+    pub fn remove_member(&self, addr: &str) -> Option<ShardRing> {
+        let mut ring = self.ring.write().unwrap();
+        if !ring.contains(addr) {
+            return None;
+        }
+        let members = ring.members.iter().filter(|m| m.as_str() != addr).cloned();
+        *ring = ShardRing::new(members, ring.vnodes, ring.epoch + 1);
+        metrics::SHARD_RING_CHANGES.incr();
+        Some(ring.clone())
+    }
+
+    /// The ring this node *would* hold after adopting a broadcast
+    /// (`sync` endpoint), or `None` if the broadcast is not strictly
+    /// newer. The sync handler rebalances against this candidate ring
+    /// *before* calling [`ShardRouter::adopt`]: until the pull
+    /// completes, the node keeps routing by its old ring, so a write
+    /// redirected here bounces back to the old owner instead of landing
+    /// on a copy the migration would overwrite.
+    pub fn preview(&self, members: &[String], epoch: u64) -> Option<ShardRing> {
+        let ring = self.ring.read().unwrap();
+        if epoch <= ring.epoch {
+            return None;
+        }
+        Some(ShardRing::new(members.iter().cloned(), ring.vnodes, epoch))
+    }
+
+    /// Adopt a broadcast ring if it is newer than ours (`sync`
+    /// endpoint). Equal or older epochs are ignored — membership
+    /// changes are totally ordered per origin and the highest epoch
+    /// wins, the same rule the replication epoch uses.
+    pub fn adopt(&self, members: &[String], epoch: u64) -> bool {
+        let mut ring = self.ring.write().unwrap();
+        if epoch <= ring.epoch {
+            return false;
+        }
+        *ring = ShardRing::new(members.iter().cloned(), ring.vnodes, epoch);
+        metrics::SHARD_RING_CHANGES.incr();
+        true
+    }
+}
+
+// --- deterministic shard faults ----------------------------------------------
+
+/// Where a shard fault plan fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultSite {
+    /// Refuse the k-th `release` request (after the new owner already
+    /// pulled the KB): a handoff torn between transfer and release.
+    HandoffTorn,
+    /// Answer the k-th routed KB request with 421 as if the client's
+    /// ring were stale.
+    RingStale,
+    /// Drop the k-th proxied read with 502.
+    ProxyDrop,
+}
+
+impl ShardFaultSite {
+    /// Every site, for help text and validation.
+    pub const ALL: [ShardFaultSite; 3] = [
+        ShardFaultSite::HandoffTorn,
+        ShardFaultSite::RingStale,
+        ShardFaultSite::ProxyDrop,
+    ];
+
+    /// The `--fault` spelling of this site.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardFaultSite::HandoffTorn => "shard_handoff_torn",
+            ShardFaultSite::RingStale => "shard_ring_stale",
+            ShardFaultSite::ProxyDrop => "shard_proxy_drop",
+        }
+    }
+
+    /// Parse a `--fault` site name.
+    pub fn parse(name: &str) -> Option<ShardFaultSite> {
+        ShardFaultSite::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// A deterministic, fire-once shard fault: the k-th charge at `site`
+/// trips it, then the plan disarms. Shared (`Arc`) so the plan travels
+/// inside a cloned `ServerConfig` while all clones count against the
+/// same trigger — the same shape as [`crate::replication::NetFaultPlan`].
+#[derive(Debug, Clone)]
+pub struct ShardFaultPlan {
+    /// Which sharding behavior misfires.
+    pub site: ShardFaultSite,
+    /// Fire on the `at`-th charge (1-based).
+    pub at: u64,
+    counter: Arc<AtomicU64>,
+}
+
+impl ShardFaultPlan {
+    /// A plan firing on the `at`-th charge at `site`.
+    pub fn new(site: ShardFaultSite, at: u64) -> ShardFaultPlan {
+        ShardFaultPlan {
+            site,
+            at,
+            counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Charge one unit at `site`; `true` exactly once, on the `at`-th
+    /// charge of the plan's own site.
+    pub fn fire(&self, site: ShardFaultSite) -> bool {
+        if site != self.site {
+            return false;
+        }
+        let n = self.counter.fetch_add(1, Ordering::SeqCst) + 1;
+        if n == self.at {
+            metrics::SHARD_FAULTS.incr();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// --- live rebalancing --------------------------------------------------------
+
+/// What one rebalance pass did.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RebalanceSummary {
+    /// Peer KB listings scanned.
+    pub scanned: u64,
+    /// KBs pulled to this node (now their owner).
+    pub migrated: u64,
+    /// Old-owner copies released after a verified pull.
+    pub released: u64,
+    /// Releases refused by an injected torn handoff (both copies
+    /// survive; a later pass or reconcile converges them).
+    pub torn: u64,
+    /// Divergent KBs merged through the `Δ` reconciliation path.
+    pub merged: u64,
+    /// KBs or sources skipped on errors (unreachable peer, unparsable
+    /// formula, exhausted handoff retries).
+    pub skipped: u64,
+}
+
+impl RebalanceSummary {
+    /// Render for a membership endpoint's response body.
+    pub fn to_json(self) -> Json {
+        json::obj([
+            ("scanned", json::n(self.scanned)),
+            ("migrated", json::n(self.migrated)),
+            ("released", json::n(self.released)),
+            ("torn", json::n(self.torn)),
+            ("merged", json::n(self.merged)),
+            ("skipped", json::n(self.skipped)),
+        ])
+    }
+}
+
+/// One listed KB of a migration source.
+struct SourceKb {
+    name: String,
+    seq: u64,
+    hash: u64,
+}
+
+fn parse_listing(response: &PeerResponse) -> Result<Vec<SourceKb>, String> {
+    let text =
+        std::str::from_utf8(&response.body).map_err(|_| "listing is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("listing does not parse: {e}"))?;
+    let kbs = doc
+        .get("kbs")
+        .and_then(|v| v.as_array())
+        .ok_or("listing has no `kbs` array")?;
+    let mut out = Vec::with_capacity(kbs.len());
+    for entry in kbs {
+        let name = entry
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("listing entry has no name")?
+            .to_string();
+        let seq = entry
+            .get("seq")
+            .and_then(|v| v.as_u64())
+            .ok_or("listing entry has no seq")?;
+        let hash = entry
+            .get("hash")
+            .and_then(|v| v.as_str())
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or("listing entry has no hash")?;
+        out.push(SourceKb { name, seq, hash });
+    }
+    Ok(out)
+}
+
+/// Fetch one KB (formula text + seq) from a source, on the internal
+/// bypass so the old owner serves its local copy even though the ring
+/// no longer points at it.
+fn fetch_source_kb(client: &mut PeerClient, name: &str) -> Result<(String, u64), String> {
+    let response = client
+        .request_with_headers(
+            "GET",
+            &format!("/v1/kb/{name}"),
+            None,
+            &[(INTERNAL_HEADER, "1")],
+        )
+        .map_err(|e| format!("source unreachable: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("source answered {} for `{name}`", response.status));
+    }
+    let text = std::str::from_utf8(&response.body).map_err(|_| "KB body not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("KB body does not parse: {e}"))?;
+    let formula = doc
+        .get("formula")
+        .and_then(|v| v.as_str())
+        .ok_or("KB body has no formula")?
+        .to_string();
+    let seq = doc
+        .get("seq")
+        .and_then(|v| v.as_u64())
+        .ok_or("KB body has no seq")?;
+    Ok((formula, seq))
+}
+
+/// Ask `client`'s peer to drop its copy of `name`, guarded by the seq
+/// this node pulled. `Ok(true)` released, `Ok(false)` seq conflict (a
+/// commit raced the handoff — re-pull), `Err` transport trouble or an
+/// injected torn handoff.
+fn release_at_source(client: &mut PeerClient, name: &str, seq: u64) -> Result<bool, String> {
+    let body = json::obj([("name", json::s(name)), ("seq", json::n(seq))]).to_text();
+    let response = client
+        .request("POST", "/v1/cluster/release", Some(&body))
+        .map_err(|e| format!("release failed: {e}"))?;
+    match response.status {
+        200 => Ok(true),
+        409 => Ok(false),
+        other => Err(format!("source answered {other} for release")),
+    }
+}
+
+/// Pull every KB this node now owns from `sources` (peers that may hold
+/// copies under the previous ring), release their copies, and hand
+/// genuine divergence to the `Δ` reconciliation path. Runs on the node
+/// that *gained* ownership, synchronously inside the membership request
+/// that changed the ring — when `join`/`sync` answers, the migration it
+/// implies is complete (or accounted for in the summary).
+pub fn rebalance(state: &ServiceState, sources: &[String]) -> RebalanceSummary {
+    match &state.shards {
+        Some(router) => rebalance_onto(state, sources, &router.ring()),
+        None => RebalanceSummary::default(),
+    }
+}
+
+/// [`rebalance`] against an explicit target ring — the sync handler
+/// passes the *candidate* ring from [`ShardRouter::preview`] so the pull
+/// happens while this node still routes by its old ring (writes for the
+/// migrating KBs bounce between owners as 307s instead of committing
+/// onto a copy the pull would overwrite).
+pub fn rebalance_onto(
+    state: &ServiceState,
+    sources: &[String],
+    ring: &ShardRing,
+) -> RebalanceSummary {
+    let mut summary = RebalanceSummary::default();
+    let router = match &state.shards {
+        Some(router) => router,
+        None => return summary,
+    };
+    let self_addr = router.self_addr();
+    for source in sources {
+        if *source == self_addr {
+            continue;
+        }
+        let mut client = match PeerClient::connect(source) {
+            Ok(c) => c,
+            Err(_) => {
+                summary.skipped += 1;
+                continue;
+            }
+        };
+        let listing =
+            match client.request_with_headers("GET", "/v1/kbs", None, &[(INTERNAL_HEADER, "1")]) {
+                Ok(r) if r.status == 200 => match parse_listing(&r) {
+                    Ok(l) => l,
+                    Err(_) => {
+                        summary.skipped += 1;
+                        continue;
+                    }
+                },
+                _ => {
+                    summary.skipped += 1;
+                    continue;
+                }
+            };
+        let local: HashMap<String, (u64, u64)> = state
+            .kbs
+            .digest()
+            .into_iter()
+            .map(|(name, seq, hash)| (name, (seq, hash)))
+            .collect();
+        let mut reconciled_source = false;
+        for kb in listing {
+            summary.scanned += 1;
+            if ring.owner_of(&kb.name) != Some(self_addr.as_str()) {
+                continue;
+            }
+            if let Some(&(local_seq, local_hash)) = local.get(&kb.name) {
+                if local_hash != kb.hash && local_seq != kb.seq {
+                    // Both sides committed under a partition: merge with
+                    // the paper's Δ, once per source (the pass covers
+                    // every divergent name), never last-writer-wins.
+                    if !reconciled_source {
+                        reconciled_source = true;
+                        match crate::replication::reconcile_with_peer(state, source) {
+                            Ok(s) => summary.merged += s.merged,
+                            Err(_) => summary.skipped += 1,
+                        }
+                    }
+                    continue;
+                }
+            }
+            match migrate_one(state, &mut client, &kb, &local) {
+                Ok(outcome) => {
+                    if outcome.pulled {
+                        summary.migrated += 1;
+                        metrics::SHARD_KBS_MIGRATED.incr();
+                    }
+                    if outcome.released {
+                        summary.released += 1;
+                    } else {
+                        summary.torn += 1;
+                        metrics::SHARD_HANDOFFS_TORN.incr();
+                    }
+                }
+                Err(_) => summary.skipped += 1,
+            }
+        }
+    }
+    summary
+}
+
+struct MigrateOutcome {
+    pulled: bool,
+    released: bool,
+}
+
+/// Pull one KB from the source (unless the local copy already matches)
+/// and release the source's copy, retrying through seq conflicts when a
+/// commit races the handoff. The pull lands *before* the release, so an
+/// acked commit exists on the new owner before the old owner forgets it
+/// — the zero-loss edge `shard_storm.sh` hammers.
+fn migrate_one(
+    state: &ServiceState,
+    client: &mut PeerClient,
+    kb: &SourceKb,
+    local: &HashMap<String, (u64, u64)>,
+) -> Result<MigrateOutcome, String> {
+    let mut pulled = false;
+    let mut seq = kb.seq;
+    let already_current = local
+        .get(&kb.name)
+        .is_some_and(|&(local_seq, local_hash)| local_hash == kb.hash && local_seq >= kb.seq);
+    if !already_current {
+        seq = pull_one(state, client, &kb.name)?;
+        pulled = true;
+    }
+    for _ in 0..HANDOFF_RETRIES {
+        match release_at_source(client, &kb.name, seq) {
+            Ok(true) => {
+                return Ok(MigrateOutcome {
+                    pulled,
+                    released: true,
+                });
+            }
+            Ok(false) => {
+                // The source committed again mid-handoff: adopt the
+                // newer state and retry the release against it.
+                seq = pull_one(state, client, &kb.name)?;
+                pulled = true;
+            }
+            Err(_) => {
+                // Torn handoff (injected or real): both copies survive;
+                // the caller counts it and a later pass converges.
+                return Ok(MigrateOutcome {
+                    pulled,
+                    released: false,
+                });
+            }
+        }
+    }
+    Err(format!(
+        "handoff of `{}` lost {HANDOFF_RETRIES} races",
+        kb.name
+    ))
+}
+
+/// Fetch `name` from the source and land it verbatim (seq included) so
+/// the digests agree afterwards. Returns the adopted seq.
+fn pull_one(state: &ServiceState, client: &mut PeerClient, name: &str) -> Result<u64, String> {
+    let (text, seq) = fetch_source_kb(client, name)?;
+    let mut sig = arbitrex_logic::Sig::new();
+    let formula =
+        parse_formula(&mut sig, &text).map_err(|e| format!("source formula unparsable: {e}"))?;
+    state
+        .kbs
+        .force_put(name, StoredKb { sig, formula, seq })
+        .map_err(|e| e.to_string())?;
+    Ok(seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7313")).collect()
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("kb-{i}")).collect()
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let ring = ShardRing::new(addrs(3), 64, 1);
+        let again = ShardRing::new(addrs(3).into_iter().rev(), 64, 1);
+        for name in names(500) {
+            let owner = ring.owner_of(&name).unwrap();
+            assert!(ring.contains(owner));
+            // Member order must not matter: the ring is a set function.
+            assert_eq!(again.owner_of(&name).unwrap(), owner);
+        }
+    }
+
+    #[test]
+    fn virtual_nodes_spread_the_namespace() {
+        let ring = ShardRing::new(addrs(3), 64, 1);
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        let names = names(3000);
+        for name in &names {
+            *counts.entry(ring.owner_of(name).unwrap()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 3, "every member owns a slice");
+        for (&member, &count) in &counts {
+            // With 64 vnodes the split stays well inside 2x of fair.
+            assert!(
+                count > names.len() / 6 && count < names.len() / 2 + names.len() / 10,
+                "member {member} owns {count} of {}",
+                names.len()
+            );
+        }
+    }
+
+    #[test]
+    fn membership_change_moves_only_the_new_members_slice() {
+        let before = ShardRing::new(addrs(2), 64, 1);
+        let after = ShardRing::new(addrs(3), 64, 2);
+        let newcomer = &addrs(3)[2];
+        let mut moved = 0usize;
+        let names = names(1000);
+        for name in &names {
+            let old = before.owner_of(name).unwrap();
+            let new = after.owner_of(name).unwrap();
+            if old != new {
+                // Consistency: growth only reassigns names *to* the
+                // newcomer, never shuffles names between old members.
+                assert_eq!(new, newcomer, "`{name}` moved {old} -> {new}");
+                moved += 1;
+            }
+        }
+        // ~1/3 of the namespace moves; anywhere inside a generous band
+        // proves the ring is consistent, not rehash-everything.
+        assert!(moved > names.len() / 6 && moved < names.len() / 2);
+    }
+
+    #[test]
+    fn leave_is_the_inverse_of_join() {
+        let ring = ShardRing::new(addrs(3), 64, 5);
+        let shrunk = ShardRing::new(addrs(2), 64, 6);
+        let gone = &addrs(3)[2];
+        for name in names(500) {
+            let owner = ring.owner_of(&name).unwrap();
+            if owner != gone {
+                assert_eq!(shrunk.owner_of(&name).unwrap(), owner);
+            } else {
+                assert_ne!(shrunk.owner_of(&name).unwrap(), gone);
+            }
+        }
+    }
+
+    #[test]
+    fn router_resolves_auto_and_versions_membership() {
+        let router = ShardRouter::new(SELF_AUTO.to_string(), &addrs(1), 8);
+        router.resolve_self("127.0.0.1:9999");
+        assert_eq!(router.self_addr(), "127.0.0.1:9999");
+        assert_eq!(router.epoch(), 1);
+        assert!(router.ring().contains("127.0.0.1:9999"));
+        assert!(!router.ring().contains(SELF_AUTO));
+
+        let ring = router.add_member("10.0.0.9:7313").unwrap();
+        assert_eq!(ring.epoch(), 2);
+        assert!(router.add_member("10.0.0.9:7313").is_none(), "idempotent");
+        let ring = router.remove_member("10.0.0.9:7313").unwrap();
+        assert_eq!(ring.epoch(), 3);
+        assert!(router.remove_member("10.0.0.9:7313").is_none());
+
+        // Adoption: only strictly newer rings land.
+        assert!(!router.adopt(&addrs(3), 3), "equal epoch ignored");
+        assert!(router.adopt(&addrs(3), 7));
+        assert_eq!(router.epoch(), 7);
+        assert_eq!(router.ring().members(), &addrs(3)[..]);
+    }
+
+    #[test]
+    fn transition_fence_covers_exactly_the_moving_names() {
+        let router = ShardRouter::new(addrs(1)[0].clone(), &addrs(1), 64);
+        assert!(!router.in_transition("anything"), "no pending ring");
+
+        let candidate = router.preview(&addrs(2), 2).expect("newer epoch previews");
+        assert!(
+            router.preview(&addrs(2), 1).is_none(),
+            "equal epoch must not preview"
+        );
+        router.begin_transition(candidate.clone());
+
+        let mut moving = 0;
+        for name in names(300) {
+            let moves = candidate.owner_of(&name) != router.ring().owner_of(&name);
+            assert_eq!(router.in_transition(&name), moves, "{name}");
+            moving += usize::from(moves);
+        }
+        assert!(moving > 0, "a grown ring must move some names");
+
+        router.end_transition();
+        assert!(!router.in_transition("anything"), "fence lowered");
+    }
+
+    #[test]
+    fn removed_node_places_everything_remotely() {
+        let router = ShardRouter::new("10.0.0.0:7313".to_string(), &addrs(2)[1..], 16);
+        let mut members = addrs(2);
+        members.remove(0);
+        assert!(router.adopt(&members, 2));
+        for name in names(50) {
+            match router.place(&name) {
+                Placement::Remote(owner) => assert_ne!(owner, "10.0.0.0:7313"),
+                Placement::Local => panic!("removed node still owns `{name}`"),
+            }
+        }
+    }
+
+    #[test]
+    fn shard_fault_plans_fire_once_at_their_site_only() {
+        let plan = ShardFaultPlan::new(ShardFaultSite::HandoffTorn, 2);
+        assert!(!plan.fire(ShardFaultSite::RingStale));
+        assert!(!plan.fire(ShardFaultSite::ProxyDrop));
+        assert!(!plan.fire(ShardFaultSite::HandoffTorn)); // 1st
+        assert!(plan.fire(ShardFaultSite::HandoffTorn)); // 2nd: fires
+        assert!(!plan.fire(ShardFaultSite::HandoffTorn)); // disarmed
+                                                          // A clone counts against the same trigger (the plan travels
+                                                          // inside a cloned ServerConfig).
+        let original = ShardFaultPlan::new(ShardFaultSite::ProxyDrop, 2);
+        let clone = original.clone();
+        assert!(!clone.fire(ShardFaultSite::ProxyDrop));
+        assert!(original.fire(ShardFaultSite::ProxyDrop));
+    }
+
+    #[test]
+    fn shard_fault_site_names_round_trip() {
+        for site in ShardFaultSite::ALL {
+            assert_eq!(ShardFaultSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(ShardFaultSite::parse("shard_gremlins"), None);
+        assert_eq!(ShardFaultSite::parse("net_drop"), None);
+    }
+}

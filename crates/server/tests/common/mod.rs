@@ -141,39 +141,49 @@ impl Client {
     /// Read one `Content-Length`-framed response: status, raw head,
     /// body text.
     fn read_response(&mut self) -> std::io::Result<(u16, String, String)> {
-        let mut head = Vec::new();
-        let mut byte = [0u8; 1];
-        loop {
-            match self.stream.read(&mut byte)? {
-                0 => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "closed before response head",
-                    ))
-                }
-                _ => {
-                    head.push(byte[0]);
-                    if head.ends_with(b"\r\n\r\n") {
-                        break;
-                    }
+        read_stream_response(&mut self.stream)
+    }
+}
+
+/// Read one `Content-Length`-framed response off a raw stream: status,
+/// raw head, body text. The frame reader behind [`Client`], exported
+/// for suites (pipelining) that write their own wire bytes.
+pub fn read_stream_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, String)> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte)? {
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "closed before response head (got {:?})",
+                        String::from_utf8_lossy(&head)
+                    ),
+                ))
+            }
+            _ => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
                 }
             }
         }
-        let head = String::from_utf8_lossy(&head).to_string();
-        let status: u16 = head
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| std::io::Error::other("bad status line"))?;
-        let length: usize = head
-            .lines()
-            .find_map(|l| l.strip_prefix("Content-Length: "))
-            .and_then(|v| v.trim().parse().ok())
-            .ok_or_else(|| std::io::Error::other("missing content-length"))?;
-        let mut body = vec![0u8; length];
-        self.stream.read_exact(&mut body)?;
-        Ok((status, head, String::from_utf8_lossy(&body).to_string()))
     }
+    let head = String::from_utf8_lossy(&head).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("bad status line"))?;
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| std::io::Error::other("missing content-length"))?;
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body)?;
+    Ok((status, head, String::from_utf8_lossy(&body).to_string()))
 }
 
 /// Connect a raw socket with the same bounded retry as [`Client`];

@@ -43,41 +43,10 @@ fn raw_request(method: &str, path: &str, body: &str, close: bool) -> String {
 }
 
 /// One full response off the stream: status, the raw head, the body.
+/// Framing lives in the shared client (`common::read_stream_response`);
+/// this suite only keeps the panic-on-error calling convention.
 fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match stream.read(&mut byte) {
-            Ok(0) => panic!(
-                "connection closed before response head (got {:?})",
-                String::from_utf8_lossy(&head)
-            ),
-            Ok(_) => {
-                head.push(byte[0]);
-                if head.ends_with(b"\r\n\r\n") {
-                    break;
-                }
-            }
-            Err(e) => panic!("read error: {e}"),
-        }
-    }
-    let head = String::from_utf8(head).unwrap();
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    let length: usize = head
-        .lines()
-        .find_map(|l| l.strip_prefix("Content-Length: "))
-        .expect("content-length")
-        .trim()
-        .parse()
-        .unwrap();
-    let mut body = vec![0u8; length];
-    stream.read_exact(&mut body).unwrap();
-    (status, head, String::from_utf8(body).unwrap())
+    common::read_stream_response(stream).unwrap_or_else(|e| panic!("read response: {e}"))
 }
 
 /// Has the peer closed? Distinguishes clean EOF from a timeout.

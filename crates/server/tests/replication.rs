@@ -225,6 +225,39 @@ fn request_level_faults_still_converge() {
     }
 }
 
+/// The puller's reconnect backoff, observed end-to-end. A `net_drop`
+/// cuts the established stream *after* a successfully applied frame, so
+/// the ladder was reset to `BACKOFF_MIN` by the successful connect; the
+/// puller must come back at the jittered floor delay and converge
+/// promptly. A puller that failed to reset (or jittered past its
+/// documented band) would need ladder-of-seconds time here.
+#[test]
+fn reconnect_backoff_recovers_from_a_drop_at_the_floor_delay() {
+    let p_dir = temp_state_dir("backoff");
+    let r_dir = temp_state_dir("backoff-r");
+    let primary = durable_server(&p_dir, |c| {
+        // Second shipped frame trips the drop: one good frame first.
+        c.net_fault = Some(NetFaultPlan::new(NetFaultSite::Drop, 2));
+    });
+    let replica = replica_of(&primary, &r_dir, |_| {});
+    put(&primary, "warm", "A");
+    assert_converged(&primary, &replica, 1, "backoff-warm");
+
+    // The next frame is cut mid-stream; the one after must arrive over
+    // the reconnected stream.
+    let start = Instant::now();
+    put(&primary, "cut", "A & B");
+    put(&primary, "after", "A | B");
+    assert_converged(&primary, &replica, 3, "backoff-cut");
+    let recovery = start.elapsed();
+    assert!(
+        recovery < Duration::from_secs(5),
+        "post-drop catch-up took {recovery:?}; the backoff ladder did not reset to its floor"
+    );
+    replica.stop().unwrap();
+    primary.stop().unwrap();
+}
+
 // --- read-your-writes --------------------------------------------------------
 
 #[test]

@@ -1,0 +1,467 @@
+//! Sharding integration suite: consistent-hash routing across live
+//! nodes, membership change with digest-driven handoff, ring-epoch
+//! fencing, and the deterministic `shard_*` fault matrix.
+//!
+//! Covers the acceptance criteria of the sharded cluster: a ring member
+//! proxies reads and redirects writes for KBs it does not own; a stale
+//! ring pin is refused with a typed 421 instead of a split-brain
+//! commit; joining a node migrates exactly the newcomer's slice (pull
+//! before release, so no acked commit is ever lost); leaving drains the
+//! departing node completely; and every injected fault (torn handoff,
+//! stale ring, dropped proxy) degrades into a typed error while both
+//! copies of any in-flight KB survive.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use arbitrex_server::shard::{ShardFaultPlan, ShardFaultSite, ShardRing, DEFAULT_VNODES};
+use arbitrex_server::{spawn, RunningServer, ServerConfig};
+
+mod common;
+use common::{num_of, request, str_of, Client};
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "arbx-shard-{tag}-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    dir
+}
+
+/// A durable ring member bound to an ephemeral port; `--shard-ring auto`
+/// resolves the member identity to the bound address.
+fn shard_server(dir: &Path, configure: impl FnOnce(&mut ServerConfig)) -> RunningServer {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 3,
+        queue_depth: 64,
+        cache_entries: 64,
+        timeout_ms: 0,
+        state_dir: Some(dir.to_path_buf()),
+        shard_ring: Some("auto".to_string()),
+        ..ServerConfig::default()
+    };
+    configure(&mut config);
+    spawn(config).expect("spawn shard server")
+}
+
+fn put(server: &RunningServer, name: &str, formula: &str) -> u64 {
+    let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+    let (status, v) = request(server, "POST", &format!("/v1/kb/{name}"), &body);
+    assert_eq!(status, 200, "{v:?}");
+    num_of(&v, "seq")
+}
+
+/// The two-member ring the servers will converge to after a join —
+/// placement is a pure function of the member set, so the test can
+/// predict ownership without asking either node.
+fn two_ring(a: SocketAddr, b: SocketAddr) -> ShardRing {
+    ShardRing::new([a.to_string(), b.to_string()], DEFAULT_VNODES, 0)
+}
+
+/// A KB name `owner` will own under `ring`, searched deterministically.
+fn name_owned_by(ring: &ShardRing, owner: SocketAddr) -> String {
+    let owner = owner.to_string();
+    (0..10_000)
+        .map(|i| format!("kb-{i}"))
+        .find(|name| ring.owner_of(name) == Some(owner.as_str()))
+        .expect("some name in 10k lands on every member")
+}
+
+/// Per-node `/v1/kbs` listing as `(name, seq, hash)` triples.
+fn listing(server: &RunningServer) -> Vec<(String, u64, String)> {
+    let (status, v) = request(server, "GET", "/v1/kbs", "");
+    assert_eq!(status, 200, "{v:?}");
+    v.get("kbs")
+        .and_then(|k| k.as_array())
+        .expect("kbs array")
+        .iter()
+        .map(|kb| {
+            (
+                str_of(kb, "name").to_string(),
+                num_of(kb, "seq"),
+                str_of(kb, "hash").to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn solo_ring_serves_everything_and_lists_kbs() {
+    let dir = temp_state_dir("solo");
+    let node = shard_server(&dir, |_| {});
+    let addr = node.addr;
+
+    let (status, ring) = request(&node, "GET", "/v1/cluster/ring", "");
+    assert_eq!(status, 200, "{ring:?}");
+    assert_eq!(num_of(&ring, "epoch"), 1);
+    assert_eq!(str_of(&ring, "self"), addr.to_string());
+    assert_eq!(num_of(&ring, "vnodes"), DEFAULT_VNODES as u64);
+    assert_eq!(
+        ring.get("members")
+            .and_then(|m| m.as_array())
+            .unwrap()
+            .len(),
+        1
+    );
+
+    // A solo member owns the whole namespace: every request is local.
+    let seq = put(&node, "alpha", "A & B");
+    put(&node, "beta", "A | C");
+    let mut listed = listing(&node);
+    listed.sort();
+    assert_eq!(listed.len(), 2);
+    assert_eq!(listed[0].0, "alpha");
+    assert_eq!(listed[0].1, seq);
+    // The hash renders like `/v1/replication/digest`: 16 lowercase hex.
+    assert_eq!(listed[0].2.len(), 16, "hash `{}`", listed[0].2);
+    assert!(listed[0].2.chars().all(|c| c.is_ascii_hexdigit()));
+
+    // KB responses on a ring member carry the ring epoch.
+    let (status, head, _) =
+        Client::connect_server(&node).request_full("GET", "/v1/kb/alpha", &[], "");
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("X-Arbitrex-Ring-Epoch: 1"),
+        "missing ring epoch stamp in {head}"
+    );
+}
+
+#[test]
+fn reads_proxy_and_writes_redirect_to_the_owner() {
+    let (dir1, dir2) = (temp_state_dir("route1"), temp_state_dir("route2"));
+    let n1 = shard_server(&dir1, |_| {});
+    let n2 = shard_server(&dir2, |_| {});
+
+    let (status, joined) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200, "{joined:?}");
+    assert_eq!(joined.get("joined").and_then(|j| j.as_bool()), Some(true));
+    assert_eq!(num_of(&joined, "synced"), 1, "peer did not ack the sync");
+
+    let ring = two_ring(n1.addr, n2.addr);
+    let theirs = name_owned_by(&ring, n2.addr);
+
+    // A write for the peer's KB is redirected, not committed here.
+    let body = r#"{"action": "put", "formula": "A & B"}"#;
+    let (status, head, v) =
+        Client::connect_server(&n1).request_full("POST", &format!("/v1/kb/{theirs}"), &[], body);
+    assert_eq!(status, 307, "{v:?}");
+    assert_eq!(str_of(&v, "owner"), n2.addr.to_string());
+    assert!(head.contains(&format!("X-Arbitrex-Shard-Owner: {}", n2.addr)));
+    assert!(head.contains(&format!("Location: http://{}/v1/kb/{theirs}", n2.addr)));
+
+    // Following the redirect commits on the owner...
+    let (status, v) = request(&n2, "POST", &format!("/v1/kb/{theirs}"), body);
+    assert_eq!(status, 200, "{v:?}");
+
+    // ...and the non-owner proxies the read back transparently.
+    let (status, head, v) =
+        Client::connect_server(&n1).request_full("GET", &format!("/v1/kb/{theirs}"), &[], "");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(str_of(&v, "name"), theirs);
+    assert!(head.contains(&format!("X-Arbitrex-Shard-Owner: {}", n2.addr)));
+
+    // A KB this node owns is served locally, no owner header.
+    let mine = name_owned_by(&ring, n1.addr);
+    put(&n1, &mine, "C | D");
+    let (status, head, _) =
+        Client::connect_server(&n1).request_full("GET", &format!("/v1/kb/{mine}"), &[], "");
+    assert_eq!(status, 200);
+    assert!(!head.contains("X-Arbitrex-Shard-Owner"));
+}
+
+#[test]
+fn stale_ring_pin_is_refused_with_421() {
+    let dir = temp_state_dir("stale");
+    let node = shard_server(&dir, |_| {});
+    put(&node, "pinned", "A");
+
+    // The current epoch passes through.
+    let (status, _) = Client::connect_server(&node).request_with_headers(
+        "GET",
+        "/v1/kb/pinned",
+        &[("X-Arbitrex-Ring-Epoch", "1")],
+        "",
+    );
+    assert_eq!(status, 200);
+
+    // A stale pin gets the typed refusal, carrying the live epoch.
+    let (status, v) = Client::connect_server(&node).request_with_headers(
+        "POST",
+        "/v1/kb/pinned",
+        &[("X-Arbitrex-Ring-Epoch", "7")],
+        r#"{"action": "put", "formula": "B"}"#,
+    );
+    assert_eq!(status, 421, "{v:?}");
+    assert_eq!(num_of(&v, "ring_epoch"), 1);
+    assert_eq!(num_of(&v, "claimed"), 7);
+    // The refused write really was refused.
+    let (_, v) = request(&node, "GET", "/v1/kb/pinned", "");
+    assert_eq!(num_of(&v, "seq"), 1, "stale-ring write leaked through");
+}
+
+#[test]
+fn join_migrates_the_newcomers_slice_without_losing_a_commit() {
+    let (dir1, dir2) = (temp_state_dir("join1"), temp_state_dir("join2"));
+    let n1 = shard_server(&dir1, |_| {});
+
+    // Seed the solo node with a spread of KBs and remember every ack.
+    let mut acked: Vec<(String, u64)> = Vec::new();
+    for i in 0..24 {
+        let name = format!("kb-{i}");
+        let seq = put(&n1, &name, if i % 2 == 0 { "A & B" } else { "A | !C" });
+        acked.push((name, seq));
+    }
+
+    let n2 = shard_server(&dir2, |_| {});
+    let (status, joined) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200, "{joined:?}");
+    assert_eq!(num_of(&joined, "epoch"), 2);
+
+    let ring = two_ring(n1.addr, n2.addr);
+    let on_n1 = listing(&n1);
+    let on_n2 = listing(&n2);
+
+    // The newcomer pulled its slice and the old owner released it:
+    // ownership on disk matches ring placement exactly.
+    for (name, _, _) in &on_n1 {
+        assert_eq!(
+            ring.owner_of(name),
+            Some(n1.addr.to_string().as_str()),
+            "`{name}` still on n1 but the ring says otherwise"
+        );
+    }
+    for (name, _, _) in &on_n2 {
+        assert_eq!(
+            ring.owner_of(name),
+            Some(n2.addr.to_string().as_str()),
+            "`{name}` on n2 but the ring says otherwise"
+        );
+    }
+    assert!(!on_n2.is_empty(), "no KB moved to the newcomer");
+
+    // Zero acked commits lost: every seed KB is on exactly one node, at
+    // (at least) its acked seq.
+    assert_eq!(on_n1.len() + on_n2.len(), acked.len());
+    for (name, seq) in &acked {
+        let found = on_n1
+            .iter()
+            .chain(&on_n2)
+            .find(|(n, _, _)| n == name)
+            .unwrap_or_else(|| panic!("acked KB `{name}` lost in the handoff"));
+        assert!(found.1 >= *seq, "`{name}` regressed below its acked seq");
+    }
+
+    // Migrated KBs answer through either node (proxy or local).
+    for (name, _) in acked.iter().take(6) {
+        let (status, _) = request(&n1, "GET", &format!("/v1/kb/{name}"), "");
+        assert_eq!(status, 200, "`{name}` unreadable via n1 after handoff");
+    }
+}
+
+#[test]
+fn leave_drains_the_departing_member() {
+    let (dir1, dir2) = (temp_state_dir("leave1"), temp_state_dir("leave2"));
+    let n1 = shard_server(&dir1, |_| {});
+    let n2 = shard_server(&dir2, |_| {});
+    let (status, _) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200);
+
+    // Commit onto both shards, following redirects to the owner.
+    let ring = two_ring(n1.addr, n2.addr);
+    let mut names = Vec::new();
+    for i in 0..16 {
+        let name = format!("kb-{i}");
+        let owner = if ring.owner_of(&name) == Some(n1.addr.to_string().as_str()) {
+            &n1
+        } else {
+            &n2
+        };
+        put(owner, &name, "A -> B");
+        names.push(name);
+    }
+
+    let (status, left) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/leave",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200, "{left:?}");
+    assert_eq!(left.get("left").and_then(|l| l.as_bool()), Some(true));
+
+    // The survivor owns everything; the departed node drained to empty.
+    let on_n1 = listing(&n1);
+    let on_n2 = listing(&n2);
+    assert_eq!(on_n1.len(), names.len(), "survivor is missing KBs");
+    assert!(
+        on_n2.is_empty(),
+        "departed node still holds {:?}",
+        on_n2.iter().map(|(n, _, _)| n).collect::<Vec<_>>()
+    );
+    // The departed node adopted the ring it is no longer part of.
+    let (_, ring_view) = request(&n2, "GET", "/v1/cluster/ring", "");
+    assert_eq!(
+        ring_view
+            .get("members")
+            .and_then(|m| m.as_array())
+            .unwrap()
+            .len(),
+        1
+    );
+}
+
+#[test]
+fn torn_handoff_leaves_both_copies_alive() {
+    let (dir1, dir2) = (temp_state_dir("torn1"), temp_state_dir("torn2"));
+    // The source refuses its first release: the pull lands, the release
+    // fails, and both copies must survive for a later pass to converge.
+    let n1 = shard_server(&dir1, |c| {
+        c.shard_fault = Some(ShardFaultPlan::new(ShardFaultSite::HandoffTorn, 1));
+    });
+    for i in 0..12 {
+        put(&n1, &format!("kb-{i}"), "A & !B");
+    }
+    let n2 = shard_server(&dir2, |_| {});
+    let (status, joined) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200, "{joined:?}");
+    let torn = joined
+        .get("rebalance")
+        .map(|r| num_of(r, "torn"))
+        .unwrap_or_else(|| {
+            // The newcomer's sync-side rebalance hit the fault instead;
+            // either way exactly one release was refused.
+            0
+        });
+
+    let on_n1 = listing(&n1);
+    let on_n2 = listing(&n2);
+    // One release was refused somewhere: the namespace now has exactly
+    // one duplicated KB (both copies alive, identical content).
+    let dup: Vec<&(String, u64, String)> = on_n1
+        .iter()
+        .filter(|(n, _, _)| on_n2.iter().any(|(m, _, _)| m == n))
+        .collect();
+    assert_eq!(
+        dup.len(),
+        1,
+        "expected exactly one torn KB, got {dup:?} (torn counter {torn})"
+    );
+    let (name, seq, hash) = dup[0];
+    let twin = on_n2.iter().find(|(m, _, _)| m == name).unwrap();
+    assert_eq!((seq, hash), (&twin.1, &twin.2), "torn copies diverged");
+    // No KB vanished: union covers all 12 seeds.
+    assert_eq!(on_n1.len() + on_n2.len(), 12 + 1);
+}
+
+#[test]
+fn proxy_drop_fault_degrades_to_typed_502_then_recovers() {
+    let (dir1, dir2) = (temp_state_dir("drop1"), temp_state_dir("drop2"));
+    let n1 = shard_server(&dir1, |c| {
+        c.shard_fault = Some(ShardFaultPlan::new(ShardFaultSite::ProxyDrop, 1));
+    });
+    let n2 = shard_server(&dir2, |_| {});
+    let (status, _) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200);
+
+    let ring = two_ring(n1.addr, n2.addr);
+    let theirs = name_owned_by(&ring, n2.addr);
+    put(&n2, &theirs, "A <-> B");
+
+    // First proxied read hits the injected drop...
+    let (status, v) = request(&n1, "GET", &format!("/v1/kb/{theirs}"), "");
+    assert_eq!(status, 502, "{v:?}");
+    assert!(
+        str_of(&v, "error").contains("injected fault"),
+        "unexpected error: {v:?}"
+    );
+    // ...the plan disarms, and the next read proxies through.
+    let (status, v) = request(&n1, "GET", &format!("/v1/kb/{theirs}"), "");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(str_of(&v, "name"), theirs);
+}
+
+#[test]
+fn ring_stale_fault_injects_one_421() {
+    let dir = temp_state_dir("ringstale");
+    let node = shard_server(&dir, |c| {
+        c.shard_fault = Some(ShardFaultPlan::new(ShardFaultSite::RingStale, 1));
+    });
+    let body = r#"{"action": "put", "formula": "A"}"#;
+    let (status, v) = request(&node, "POST", "/v1/kb/alpha", body);
+    assert_eq!(status, 421, "{v:?}");
+    let (status, v) = request(&node, "POST", "/v1/kb/alpha", body);
+    assert_eq!(status, 200, "{v:?}");
+}
+
+#[test]
+fn cluster_endpoints_require_sharding_and_validate_input() {
+    // An unsharded node refuses cluster calls with a pointer to the flag.
+    let plain = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        queue_depth: 16,
+        cache_entries: 16,
+        timeout_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("spawn plain server");
+    let (status, v) = request(&plain, "GET", "/v1/cluster/ring", "");
+    assert_eq!(status, 503, "{v:?}");
+    assert!(str_of(&v, "error").contains("--shard-ring"));
+    // `/v1/kbs` works unsharded (ring_epoch reads 0).
+    let (status, v) = request(&plain, "GET", "/v1/kbs", "");
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(num_of(&v, "ring_epoch"), 0);
+
+    let dir = temp_state_dir("validate");
+    let node = shard_server(&dir, |_| {});
+    let (status, v) = request(&node, "POST", "/v1/cluster/join", r#"{"addr": ""}"#);
+    assert_eq!(status, 400, "{v:?}");
+    let (status, v) = request(&node, "POST", "/v1/cluster/join", "{}");
+    assert_eq!(status, 400, "{v:?}");
+    let (status, v) = request(&node, "GET", "/v1/cluster/join", "");
+    assert_eq!(status, 405, "{v:?}");
+    let (status, v) = request(&node, "POST", "/v1/cluster/unknown", "{}");
+    assert_eq!(status, 404, "{v:?}");
+    // A release for a KB this node never held is a clean no-op.
+    let (status, v) = request(
+        &node,
+        "POST",
+        "/v1/cluster/release",
+        r#"{"name": "ghost", "seq": 3}"#,
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("released").and_then(|r| r.as_bool()), Some(false));
+}

@@ -1,0 +1,204 @@
+#!/usr/bin/env bash
+# Membership-churn storm for the sharded cluster: N cycles of "storm
+# commits through the routing layer, SIGKILL a shard owner mid-storm,
+# drop it from the ring, restart it from its surviving state dir on a
+# fresh port, join it back, verify". Every cycle asserts:
+#
+#   * every acknowledged commit is still readable through the router
+#     with its exact formula after the churn — kill-9, the leave-
+#     triggered rebalance (which must tolerate the dead source), and
+#     the join-triggered handoff may not lose an acked write;
+#   * every copy of an acked KB left anywhere in the cluster carries
+#     byte-identical state: the `/v1/kbs` digests (seq, canonical hash)
+#     agree across every member that still holds the name;
+#   * the ring converges: after the churn every member reports the same
+#     ring epoch and the same membership.
+#
+# The storm writer runs through the whole cycle, following 307
+# redirects to shard owners (curl -L re-POSTs on 307) and shrugging off
+# the typed 503 handoff fence — only `"seq":1` acks enter the oracle.
+#
+#   cargo build --release
+#   scripts/shard_storm.sh [path-to-arbx] [cycles]
+set -euo pipefail
+
+ARBX="${1:-target/release/arbx}"
+CYCLES="${2:-3}"
+[ -x "$ARBX" ] || { echo "missing binary: $ARBX (cargo build --release first)"; exit 1; }
+
+WORK="$(mktemp -d)"
+ACKED="$WORK/acked.txt"
+: >"$ACKED"
+PIDS=()
+cleanup() {
+  for PID in "${PIDS[@]:-}"; do kill -9 "$PID" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1"; shift; for EXTRA in "$@"; do echo "--- $EXTRA"; done; exit 1; }
+
+# start_server <logfile> <args...>: launches a shard member, waits for
+# the listening line, sets SERVER_PID and ADDR.
+start_server() {
+  local LOG="$1"; shift
+  : >"$LOG"
+  "$ARBX" serve --addr 127.0.0.1:0 --threads 3 --snapshot-every 32 \
+    --shard-ring auto "$@" >"$LOG" &
+  SERVER_PID=$!
+  PIDS+=("$SERVER_PID")
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^arbitrex-server listening on \([0-9.:]*\) .*$/\1/p' "$LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before listening" "$(cat "$LOG")"
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || fail "never saw the listening line" "$(cat "$LOG")"
+}
+
+# The per-commit oracle: commit j of any cycle stores the 3-variable
+# cube of j mod 8, so each KB's formula is derivable from its name.
+oracle_formula() { # oracle_formula <j>
+  local J=$(( $1 % 8 )) OUT=""
+  [ $(( J & 1 )) -ne 0 ] && OUT="A" || OUT="!A"
+  [ $(( J & 2 )) -ne 0 ] && OUT="$OUT & B" || OUT="$OUT & !B"
+  [ $(( J & 4 )) -ne 0 ] && OUT="$OUT & C" || OUT="$OUT & !C"
+  echo "$OUT"
+}
+
+json_num() { # json_num <key> <json>
+  printf '%s' "$2" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -n1
+}
+
+# listing <addr>: the member's /v1/kbs digests as "name seq hash" lines.
+listing() {
+  curl -sf --max-time 5 "http://$1/v1/kbs" | tr '{' '\n' \
+    | sed -n 's/.*"name": *"\([^"]*\)", *"seq": *\([0-9]*\), *"hash": *"\([0-9a-f]*\)".*/\1 \2 \3/p'
+}
+
+# cluster_post <addr> <action> <member-addr>
+cluster_post() {
+  curl -sf --max-time 30 -d "{\"addr\": \"$3\"}" "http://$1/v1/cluster/$2"
+}
+
+verify_kb() { # verify_kb <addr> <name> <formula> <label>
+  local OUT
+  OUT=$(curl -sfL --max-time 5 "http://$1/v1/kb/$2") \
+    || fail "$4: acked KB \`$2\` is gone" "$OUT"
+  case "$OUT" in
+    *"$3"*) ;;
+    *) fail "$4: acked KB \`$2\` lost its formula (want \`$3\`)" "$OUT" ;;
+  esac
+}
+
+# Three members: node0 is the coordinator (never killed, the client
+# entry point); the victims rotate over the other two slots.
+start_server "$WORK/node0.log" --state-dir "$WORK/node0"
+COORD_ADDR="$ADDR"
+start_server "$WORK/slot1.log" --state-dir "$WORK/slot1"
+SLOT_PID[1]="$SERVER_PID"; SLOT_ADDR[1]="$ADDR"; SLOT_DIR[1]="$WORK/slot1"
+start_server "$WORK/slot2.log" --state-dir "$WORK/slot2"
+SLOT_PID[2]="$SERVER_PID"; SLOT_ADDR[2]="$ADDR"; SLOT_DIR[2]="$WORK/slot2"
+for SLOT in 1 2; do
+  OUT=$(cluster_post "$COORD_ADDR" join "${SLOT_ADDR[$SLOT]}") \
+    || fail "seed join of slot $SLOT failed"
+done
+
+for CYCLE in $(seq 1 "$CYCLES"); do
+  SLOT=$(( (CYCLE - 1) % 2 + 1 ))
+  VICTIM_PID="${SLOT_PID[$SLOT]}"
+  VICTIM_ADDR="${SLOT_ADDR[$SLOT]}"
+  VICTIM_DIR="${SLOT_DIR[$SLOT]}"
+
+  # Storm writer: routed puts at the coordinator for the whole cycle.
+  # -L follows the 307 to the shard owner; fenced 503s and the dead
+  # window simply do not ack (holes in the name space are fine).
+  rm -f "$WORK/stop"
+  (
+    J=0
+    while [ ! -f "$WORK/stop" ]; do
+      NAME="c${CYCLE}_${J}"
+      FORMULA="$(oracle_formula "$J")"
+      BODY="{\"action\": \"put\", \"formula\": \"$FORMULA\"}"
+      OUT=$(curl -sL --max-time 2 -d "$BODY" "http://$COORD_ADDR/v1/kb/$NAME" 2>/dev/null) || OUT=""
+      case "$OUT" in
+        *'"seq":1'*|*'"seq": 1'*) echo "$NAME $FORMULA" >>"$ACKED" ;;
+      esac
+      J=$(( J + 1 ))
+      sleep 0.01
+    done
+  ) &
+  WRITER_PID=$!
+  PIDS+=("$WRITER_PID")
+  sleep 0.8
+
+  # Kill-9 a shard owner mid-storm: no drain, no shutdown snapshot;
+  # its state dir is the only survivor.
+  kill -9 "$VICTIM_PID" 2>/dev/null || true
+  wait "$VICTIM_PID" 2>/dev/null || true
+  sleep 0.3
+
+  # Drop it from the ring. The leave-triggered rebalance must tolerate
+  # the unreachable source (its slice stays dark until the rejoin).
+  OUT=$(cluster_post "$COORD_ADDR" leave "$VICTIM_ADDR") \
+    || fail "cycle $CYCLE: leave of dead member failed"
+  LEFT=$(json_num epoch "$OUT")
+
+  # Restart it from the surviving state dir on a fresh port and join it
+  # back: the join-triggered handoff pulls every acked KB to its
+  # post-rebalance owner, wherever the new ring places it.
+  start_server "$WORK/slot${SLOT}-c${CYCLE}.log" --state-dir "$VICTIM_DIR"
+  SLOT_PID[$SLOT]="$SERVER_PID"; SLOT_ADDR[$SLOT]="$ADDR"
+  OUT=$(cluster_post "$COORD_ADDR" join "${SLOT_ADDR[$SLOT]}") \
+    || fail "cycle $CYCLE: rejoin failed"
+  JOINED=$(json_num epoch "$OUT")
+  [ "$JOINED" = "$(( LEFT + 1 ))" ] \
+    || fail "cycle $CYCLE: join epoch $JOINED, want $(( LEFT + 1 ))" "$OUT"
+
+  sleep 0.5
+  touch "$WORK/stop"
+  wait "$WRITER_PID" 2>/dev/null || true
+
+  # Ring convergence: every member reports the same epoch + membership.
+  WANT_RING=""
+  for MEMBER in "$COORD_ADDR" "${SLOT_ADDR[1]}" "${SLOT_ADDR[2]}"; do
+    OUT=$(curl -sf --max-time 5 "http://$MEMBER/v1/cluster/ring") \
+      || fail "cycle $CYCLE: no ring from $MEMBER"
+    RING="epoch $(json_num epoch "$OUT") members $(printf '%s' "$OUT" \
+      | tr ',' '\n' | grep -c '"127\.0\.0\.1:')"
+    if [ -z "$WANT_RING" ]; then WANT_RING="$RING"; fi
+    [ "$RING" = "$WANT_RING" ] \
+      || fail "cycle $CYCLE: $MEMBER sees \`$RING\`, coordinator sees \`$WANT_RING\`" "$OUT"
+  done
+
+  # Digest convergence: every copy of an acked KB still present anywhere
+  # carries identical (seq, hash) — a torn or replayed handoff that left
+  # divergent bytes would disagree here.
+  listing "$COORD_ADDR" >"$WORK/digest0" || fail "cycle $CYCLE: no listing from coordinator"
+  listing "${SLOT_ADDR[1]}" >"$WORK/digest1" || fail "cycle $CYCLE: no listing from slot 1"
+  listing "${SLOT_ADDR[2]}" >"$WORK/digest2" || fail "cycle $CYCLE: no listing from slot 2"
+  CYCLE_ACKS=0
+  while read -r NAME FORMULA; do
+    case "$NAME" in "c${CYCLE}_"*) ;; *) continue ;; esac
+    CYCLE_ACKS=$(( CYCLE_ACKS + 1 ))
+    COPIES=$(grep -h "^$NAME " "$WORK"/digest[0-2] | sort -u | wc -l)
+    HOLDERS=$(grep -h "^$NAME " "$WORK"/digest[0-2] | wc -l)
+    [ "$HOLDERS" -ge 1 ] || fail "cycle $CYCLE: acked KB \`$NAME\` is on no member"
+    [ "$COPIES" = "1" ] \
+      || fail "cycle $CYCLE: \`$NAME\` has $COPIES divergent digests across its copies" \
+        "$(grep -h "^$NAME " "$WORK"/digest[0-2])"
+    verify_kb "$COORD_ADDR" "$NAME" "$FORMULA" "cycle $CYCLE"
+  done <"$ACKED"
+  [ "$CYCLE_ACKS" -gt 0 ] || fail "cycle $CYCLE: no commit was ever acknowledged"
+  echo "cycle $CYCLE: $CYCLE_ACKS acks survived kill-9 churn of $VICTIM_ADDR, ring epoch $JOINED"
+done
+
+# Belt and braces: the full acked history is still served through the
+# router, content intact.
+TOTAL=0
+while read -r NAME FORMULA; do
+  TOTAL=$(( TOTAL + 1 ))
+  verify_kb "$COORD_ADDR" "$NAME" "$FORMULA" "final sweep"
+done <"$ACKED"
+echo "shard storm: $CYCLES kill-9 churn cycles survived, $TOTAL acked commits intact"
