@@ -238,6 +238,12 @@ impl ServiceState {
                 "--shard-ring and --replicate-from are exclusive (a shard member is a primary)",
             ));
         }
+        if config.shard_ring.is_some() && config.threads < 2 {
+            return Err(io::Error::other(
+                "--shard-ring requires at least 2 worker threads (a member answers peer \
+                 pulls while its own membership handler blocks); raise --threads",
+            ));
+        }
         let shards = config.shard_ring.clone().map(|self_spec| {
             shard::ShardRouter::new(self_spec, &config.cluster_peers, config.shard_vnodes)
         });

@@ -833,8 +833,17 @@ fn parse_digest(body: &[u8]) -> Result<Vec<DigestEntry>, String> {
 
 /// Fetch one KB's formula text and seq from the peer.
 fn fetch_peer_kb(client: &mut PeerClient, name: &str) -> Result<(String, u64), String> {
+    // Anti-entropy addresses a *node*, not the namespace: the shard
+    // bypass header makes a sharded peer serve its own local copy
+    // instead of proxying the read back through the ring (which would
+    // hand this node its own theory and turn the Δ-merge into a no-op).
     let response = client
-        .request("GET", &format!("/v1/kb/{name}"), None)
+        .request_with_headers(
+            "GET",
+            &format!("/v1/kb/{name}"),
+            None,
+            &[(crate::shard::INTERNAL_HEADER, "1")],
+        )
         .map_err(|e| format!("peer unreachable: {e}"))?;
     if response.status != 200 {
         return Err(format!("peer answered {} for `{name}`", response.status));

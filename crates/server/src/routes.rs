@@ -721,15 +721,37 @@ fn rebalance_sources(ring: &shard::ShardRing, self_addr: &str, extra: Option<&st
     sources
 }
 
+/// The typed refusal when two membership operations collide on one
+/// node: the router has a single transition slot, and overlapping
+/// operations would clobber each other's write fence — the caller
+/// retries once the in-flight change completes.
+fn membership_busy_response() -> Response {
+    let body = obj([
+        (
+            "error",
+            json::s("a membership change is already in progress on this node; retry"),
+        ),
+        ("code", json::n(503)),
+    ]);
+    let mut resp = Response::json(503, body.to_text());
+    resp.extra_headers.push(("Retry-After", "0".to_string()));
+    resp
+}
+
 /// `POST /v1/cluster/{join,leave}`: mutate membership on this node, push
 /// the new ring to every affected peer (each rebalances inside its sync
 /// handler), then run the local rebalance pass. Synchronous by design:
 /// when the request returns, every reachable member routes by the new
-/// epoch and has pulled the shards it gained.
+/// epoch and has pulled the shards it gained. Membership operations
+/// serialize through the router's single slot; a colliding operation is
+/// refused with a typed 503 instead of clobbering the active fence.
 fn cluster_membership(state: &ServiceState, req: &Request, join: bool) -> Response {
     let router = match shard_router(state) {
         Ok(r) => r,
         Err(resp) => return resp,
+    };
+    let Some(_membership) = router.try_membership() else {
+        return membership_busy_response();
     };
     let body = match body_json(req) {
         Ok(b) => b,
@@ -798,13 +820,18 @@ fn cluster_membership(state: &ServiceState, req: &Request, join: bool) -> Respon
     ]))
 }
 
-/// `POST /v1/cluster/sync`: adopt a strictly newer ring and immediately
-/// pull the shards the new placement assigns here. An equal or older
-/// epoch is acknowledged without action, which makes redelivery safe.
+/// `POST /v1/cluster/sync`: adopt a superseding ring and immediately
+/// pull the shards the new placement assigns here. A ring that does not
+/// supersede under the `(epoch, member set)` total order is
+/// acknowledged without action, which makes redelivery safe. Like
+/// join/leave, syncs serialize through the router's membership slot.
 fn cluster_sync(state: &ServiceState, req: &Request) -> Response {
     let router = match shard_router(state) {
         Ok(r) => r,
         Err(resp) => return resp,
+    };
+    let Some(_membership) = router.try_membership() else {
+        return membership_busy_response();
     };
     let body = match body_json(req) {
         Ok(b) => b,
@@ -1053,7 +1080,7 @@ fn shard_route(
         Placement::Local => None,
         Placement::Remote(owner) => {
             if req.method.as_str() == "GET" {
-                Some(shard_proxy_get(state, req, name, &owner, epoch))
+                Some(shard_proxy_get(state, router, req, name, &owner, epoch))
             } else {
                 metrics::SHARD_REDIRECTS.incr();
                 let body = obj([
@@ -1082,6 +1109,7 @@ fn shard_route(
 /// caller's read-your-writes watermark, if any.
 fn shard_proxy_get(
     state: &ServiceState,
+    router: &ShardRouter,
     req: &Request,
     name: &str,
     owner: &str,
@@ -1109,28 +1137,26 @@ fn shard_proxy_get(
             })
     };
     let mut resp = match proxied {
-        Ok(peer) if peer.status == 404 => {
+        Ok(peer) => {
+            metrics::SHARD_PROXIED_READS.incr();
             // Mid-handoff read race: the ring already points at the new
-            // owner but the pull has not landed there yet. The local
+            // owner but the pull has not landed there yet, so the local
             // copy (not yet released) is still the truth — serve it.
-            if let Some(local) = local_kb_view(state, name) {
-                metrics::SHARD_PROXIED_READS.incr();
-                ok(local)
-            } else {
-                metrics::SHARD_PROXIED_READS.incr();
-                match String::from_utf8(peer.body) {
+            // Scoped strictly to an active transition: outside one, the
+            // owner's 404 is authoritative, and a stale leftover copy
+            // (e.g. after a torn handoff) must not resurrect a KB that
+            // was legitimately deleted at its owner.
+            let fallback = (peer.status == 404 && router.in_transition(name))
+                .then(|| local_kb_view(state, name))
+                .flatten();
+            match fallback {
+                Some(local) => ok(local),
+                None => match String::from_utf8(peer.body) {
                     Ok(text) => Response::json(peer.status, text),
                     Err(_) => {
                         error_response(502, format!("shard {owner} returned a non-JSON body"))
                     }
-                }
-            }
-        }
-        Ok(peer) => {
-            metrics::SHARD_PROXIED_READS.incr();
-            match String::from_utf8(peer.body) {
-                Ok(text) => Response::json(peer.status, text),
-                Err(_) => error_response(502, format!("shard {owner} returned a non-JSON body")),
+                },
             }
         }
         Err(message) => {

@@ -20,7 +20,9 @@
 //!
 //! Membership changes (`POST /v1/cluster/{join,leave}`) bump the epoch,
 //! broadcast the new ring to every member (`POST /v1/cluster/sync`,
-//! adopt-if-newer), and trigger **live rebalancing**: each node that
+//! adopted only if it supersedes under the `(epoch, member set)` total
+//! order — see [`ShardRing::superseded_by`]), and trigger **live
+//! rebalancing**: each node that
 //! adopted the ring pulls the digest of every migration source
 //! (`GET /v1/kbs`: name, seq, canonical content hash — the same digest
 //! the PR 8 anti-entropy pass compares), fetches each KB it now owns
@@ -46,7 +48,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, TryLockError};
 
 use arbitrex_logic::parse as parse_formula;
 
@@ -196,6 +198,32 @@ impl ShardRing {
         }
         best.map(|(m, _)| m)
     }
+
+    /// Would a broadcast ring `(members, epoch)` supersede this one?
+    /// Rings are **totally ordered** by `(epoch, member set)`: a higher
+    /// epoch always wins, and two rings colliding on one epoch — two
+    /// originators mutated membership concurrently, each bumping its
+    /// own ring to the same number — are broken by lexicographic
+    /// comparison of the sorted member lists. Every node applies the
+    /// same rule, so the cluster converges on one winner instead of
+    /// holding divergent rings at a single epoch (split-brain routing
+    /// the epoch-pin 421 could never see). The losing membership change
+    /// is dropped, not merged: its originator observes the winning ring
+    /// and must re-issue the change against it (DESIGN.md §13.3).
+    pub fn superseded_by(&self, members: &[String], epoch: u64) -> bool {
+        if epoch != self.epoch {
+            return epoch > self.epoch;
+        }
+        let mut candidate: Vec<&str> = members
+            .iter()
+            .filter(|m| !m.is_empty())
+            .map(String::as_str)
+            .collect();
+        candidate.sort_unstable();
+        candidate.dedup();
+        let current: Vec<&str> = self.members.iter().map(String::as_str).collect();
+        candidate > current
+    }
 }
 
 // --- the router --------------------------------------------------------------
@@ -216,6 +244,13 @@ pub enum Placement {
 pub struct ShardRouter {
     ring: RwLock<ShardRing>,
     self_addr: RwLock<String>,
+    /// Serializes membership operations (`join`/`leave`/`sync`): held
+    /// for the whole broadcast + rebalance, so at most one transition
+    /// is ever active on this node. Without it, overlapping operations
+    /// would clobber each other's [`ShardRouter::begin_transition`] and
+    /// the first [`ShardRouter::end_transition`] would drop the write
+    /// fence while the other rebalance was still pulling.
+    membership: Mutex<()>,
     /// The *other* side of an in-flight membership transition (the
     /// candidate ring on a pulling node, the superseded ring on the
     /// originator). While set, writes for any KB whose owner differs
@@ -233,7 +268,24 @@ impl ShardRouter {
         ShardRouter {
             ring: RwLock::new(ShardRing::new(members, vnodes, 1)),
             self_addr: RwLock::new(self_spec),
+            membership: Mutex::new(()),
             pending: RwLock::new(None),
+        }
+    }
+
+    /// Claim this node's single membership slot, or `None` when another
+    /// membership operation (join/leave/sync) is mid-flight — callers
+    /// answer a typed 503 and the peer retries, rather than two
+    /// transitions clobbering each other's write fence. The guard is
+    /// held across the whole operation, including the rebalance pull.
+    pub fn try_membership(&self) -> Option<MutexGuard<'_, ()>> {
+        match self.membership.try_lock() {
+            Ok(guard) => Some(guard),
+            // A panicking membership handler must not wedge the slot
+            // forever: the fence state it guards is reset by the next
+            // begin_transition, so the poison carries no information.
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
         }
     }
 
@@ -346,27 +398,32 @@ impl ShardRouter {
     }
 
     /// The ring this node *would* hold after adopting a broadcast
-    /// (`sync` endpoint), or `None` if the broadcast is not strictly
-    /// newer. The sync handler rebalances against this candidate ring
-    /// *before* calling [`ShardRouter::adopt`]: until the pull
-    /// completes, the node keeps routing by its old ring, so a write
-    /// redirected here bounces back to the old owner instead of landing
-    /// on a copy the migration would overwrite.
+    /// (`sync` endpoint), or `None` if the broadcast does not supersede
+    /// the current ring under the `(epoch, member set)` total order
+    /// ([`ShardRing::superseded_by`]). The sync handler rebalances
+    /// against this candidate ring *before* calling
+    /// [`ShardRouter::adopt`]: until the pull completes, the node keeps
+    /// routing by its old ring, so a write redirected here bounces back
+    /// to the old owner instead of landing on a copy the migration
+    /// would overwrite.
     pub fn preview(&self, members: &[String], epoch: u64) -> Option<ShardRing> {
         let ring = self.ring.read().unwrap();
-        if epoch <= ring.epoch {
+        if !ring.superseded_by(members, epoch) {
             return None;
         }
         Some(ShardRing::new(members.iter().cloned(), ring.vnodes, epoch))
     }
 
-    /// Adopt a broadcast ring if it is newer than ours (`sync`
-    /// endpoint). Equal or older epochs are ignored — membership
-    /// changes are totally ordered per origin and the highest epoch
-    /// wins, the same rule the replication epoch uses.
+    /// Adopt a broadcast ring if it supersedes ours (`sync` endpoint)
+    /// under the `(epoch, member set)` total order — higher epoch wins;
+    /// an epoch collision (concurrent membership changes at two
+    /// originators) is broken by the member-set tie-break so every node
+    /// converges on the same ring ([`ShardRing::superseded_by`]).
+    /// A ring that does not supersede is ignored, which makes sync
+    /// redelivery safe.
     pub fn adopt(&self, members: &[String], epoch: u64) -> bool {
         let mut ring = self.ring.write().unwrap();
-        if epoch <= ring.epoch {
+        if !ring.superseded_by(members, epoch) {
             return false;
         }
         *ring = ShardRing::new(members.iter().cloned(), ring.vnodes, epoch);
@@ -634,9 +691,14 @@ pub fn rebalance_onto(
             if ring.owner_of(&kb.name) != Some(self_addr.as_str()) {
                 continue;
             }
-            if let Some(&(local_seq, local_hash)) = local.get(&kb.name) {
-                if local_hash != kb.hash && local_seq != kb.seq {
-                    // Both sides committed under a partition: merge with
+            if let Some(&(_, local_hash)) = local.get(&kb.name) {
+                if local_hash != kb.hash {
+                    // The local committed copy disagrees with the
+                    // source's content. A (seq, hash) pair cannot prove
+                    // either side is a strict descendant of the other —
+                    // two partitioned nodes that each committed once
+                    // hold *equal* seqs with different theories — so a
+                    // hash mismatch is always divergence: merge with
                     // the paper's Δ, once per source (the pass covers
                     // every divergent name), never last-writer-wins.
                     if !reconciled_source {
@@ -834,11 +896,57 @@ mod tests {
         assert_eq!(ring.epoch(), 3);
         assert!(router.remove_member("10.0.0.9:7313").is_none());
 
-        // Adoption: only strictly newer rings land.
-        assert!(!router.adopt(&addrs(3), 3), "equal epoch ignored");
+        // Adoption: only superseding rings land. At an equal epoch the
+        // member-set tie-break decides; addrs(3) sorts below the
+        // current ["127.0.0.1:9999"], so it loses.
+        assert!(!router.adopt(&addrs(3), 3), "equal epoch, losing set");
         assert!(router.adopt(&addrs(3), 7));
         assert_eq!(router.epoch(), 7);
         assert_eq!(router.ring().members(), &addrs(3)[..]);
+    }
+
+    #[test]
+    fn equal_epoch_ring_collisions_converge_on_one_winner() {
+        // Two originators mutate membership concurrently: both bump to
+        // the same epoch with different member sets. The `(epoch,
+        // member set)` total order must pick the same winner on every
+        // node, or the cluster holds divergent rings at one epoch that
+        // no 421 can detect and no anti-entropy pass heals.
+        let set_a = vec!["10.0.0.0:7313".to_string(), "10.0.0.1:7313".to_string()];
+        let set_b = vec!["10.0.0.0:7313".to_string(), "10.0.0.2:7313".to_string()];
+        let ring_a = ShardRing::new(set_a.clone(), 8, 4);
+        let ring_b = ShardRing::new(set_b.clone(), 8, 4);
+        assert!(ring_a.superseded_by(&set_b, 4), "b wins the tie-break");
+        assert!(!ring_b.superseded_by(&set_a, 4), "the winner keeps its ring");
+        assert!(!ring_a.superseded_by(&set_a, 4), "identical ring is not newer");
+        assert!(ring_b.superseded_by(&set_a, 5), "a higher epoch beats any set");
+        // Member order and duplicates in the broadcast must not change
+        // the outcome: the order is over the *set*.
+        let shuffled = vec![set_b[1].clone(), set_b[0].clone(), set_b[1].clone()];
+        assert!(ring_a.superseded_by(&shuffled, 4));
+
+        // Routers holding the two rings converge after cross-delivery:
+        // the loser adopts, the winner ignores, both end identical.
+        let r1 = ShardRouter::new(set_a[0].clone(), &set_a[1..], 8);
+        let r2 = ShardRouter::new(set_b[0].clone(), &set_b[1..], 8);
+        assert!(r1.adopt(&set_a, 4));
+        assert!(r2.adopt(&set_b, 4));
+        assert!(r1.adopt(&set_b, 4), "loser adopts the winning ring");
+        assert!(!r2.adopt(&set_a, 4), "winner ignores the losing ring");
+        assert_eq!(r1.ring().members(), r2.ring().members());
+        assert_eq!(r1.epoch(), r2.epoch());
+    }
+
+    #[test]
+    fn membership_operations_serialize_through_one_slot() {
+        let router = ShardRouter::new(addrs(1)[0].clone(), &[], 8);
+        let guard = router.try_membership().expect("slot initially free");
+        assert!(
+            router.try_membership().is_none(),
+            "a second concurrent membership operation must be refused"
+        );
+        drop(guard);
+        assert!(router.try_membership().is_some(), "slot frees on drop");
     }
 
     #[test]
@@ -848,8 +956,12 @@ mod tests {
 
         let candidate = router.preview(&addrs(2), 2).expect("newer epoch previews");
         assert!(
-            router.preview(&addrs(2), 1).is_none(),
-            "equal epoch must not preview"
+            router.preview(&addrs(1), 1).is_none(),
+            "the current ring must not preview"
+        );
+        assert!(
+            router.preview(&["0.0.0.0:1".to_string()], 1).is_none(),
+            "an equal epoch with a losing member set must not preview"
         );
         router.begin_transition(candidate.clone());
 

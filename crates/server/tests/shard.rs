@@ -426,6 +426,126 @@ fn ring_stale_fault_injects_one_421() {
 }
 
 #[test]
+fn equal_seq_divergence_merges_instead_of_overwriting() {
+    // Two partitioned solo nodes each commit ONCE to the same KB name:
+    // equal seqs, different theories. The post-join rebalance must hand
+    // this to the Δ-arbitration reconcile — a (seq, hash) pair cannot
+    // prove descent, and force_put-overwriting the new owner's acked
+    // commit would be exactly the last-writer-wins loss the design
+    // forbids (DESIGN.md §13.3).
+    let (dir1, dir2) = (temp_state_dir("diverge1"), temp_state_dir("diverge2"));
+    let n1 = shard_server(&dir1, |_| {});
+    let n2 = shard_server(&dir2, |_| {});
+
+    // Pick the name by the ring both nodes will converge to, so the
+    // divergent copies land with the *joiner* (n2) as the new owner.
+    // Disjoint variable sets make the merge visible in `n_vars`: a real
+    // Δ-merge unions the signatures (3 vars), while overwriting — or
+    // merging a proxied-back copy of one's own theory — cannot.
+    let ring = two_ring(n1.addr, n2.addr);
+    let name = name_owned_by(&ring, n2.addr);
+    assert_eq!(put(&n1, &name, "A & B"), 1);
+    assert_eq!(put(&n2, &name, "!C"), 1);
+
+    let (status, joined) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200, "{joined:?}");
+
+    // The merge commits at max(seq, seq) + 1 = 2 on the owner. A plain
+    // pull-overwrite would have left the source's copy verbatim at
+    // seq 1 — n2's acked commit silently gone.
+    let (status, v) = request(&n2, "GET", &format!("/v1/kb/{name}"), "");
+    assert_eq!(status, 200, "{v:?}");
+    assert!(
+        num_of(&v, "seq") >= 2,
+        "owner still at seq {} — divergent copy was overwritten, not Δ-merged: {v:?}",
+        num_of(&v, "seq")
+    );
+    assert_eq!(
+        num_of(&v, "n_vars"),
+        3,
+        "merged signature must span both sides' variables: {v:?}"
+    );
+    // The source keeps its (divergent, unreleased) copy: reconciliation
+    // merges, it never deletes an acked commit.
+    assert!(
+        listing(&n1).iter().any(|(n, _, _)| n == &name),
+        "source copy of `{name}` vanished during reconciliation"
+    );
+}
+
+#[test]
+fn owner_404_is_relayed_not_resurrected() {
+    // A node holding a stale leftover copy of a KB (e.g. after a torn
+    // handoff) must relay the owner's 404 once no transition is active:
+    // serving the leftover would resurrect data that was legitimately
+    // deleted at its owner.
+    let (dir1, dir2) = (temp_state_dir("resurrect1"), temp_state_dir("resurrect2"));
+    let n1 = shard_server(&dir1, |_| {});
+    let n2 = shard_server(&dir2, |_| {});
+    let (status, _) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n2.addr),
+    );
+    assert_eq!(status, 200);
+
+    let ring = two_ring(n1.addr, n2.addr);
+    let name = name_owned_by(&ring, n2.addr);
+    put(&n2, &name, "A | B");
+
+    // Plant a stale copy on the non-owner via the internal bypass (the
+    // same header a torn handoff's unreleased leftover sits behind).
+    let body = r#"{"action": "put", "formula": "A | B"}"#;
+    let (status, v) = Client::connect_server(&n1).request_with_headers(
+        "POST",
+        &format!("/v1/kb/{name}"),
+        &[("x-arbitrex-shard-internal", "1")],
+        body,
+    );
+    assert_eq!(status, 200, "{v:?}");
+
+    // Delete at the owner, then read through the non-owner's proxy: the
+    // 404 must come through, not the leftover copy.
+    let (status, v) = request(&n2, "DELETE", &format!("/v1/kb/{name}"), "");
+    assert_eq!(status, 200, "{v:?}");
+    let (status, v) = request(&n1, "GET", &format!("/v1/kb/{name}"), "");
+    assert_eq!(
+        status, 404,
+        "deleted KB `{name}` resurrected from a stale local copy: {v:?}"
+    );
+}
+
+#[test]
+fn shard_ring_requires_two_worker_threads() {
+    // A one-thread shard member deadlocks membership: the sync handler
+    // blocks its only worker while peers need to pull from this node.
+    // That must be a clear boot-time error, not repeated peer timeouts.
+    let result = spawn(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        state_dir: Some(temp_state_dir("onethread")),
+        shard_ring: Some("auto".to_string()),
+        ..ServerConfig::default()
+    });
+    match result {
+        Ok(server) => {
+            let _ = server.stop();
+            panic!("--shard-ring with one worker thread must be refused");
+        }
+        Err(err) => assert!(
+            err.to_string().contains("--shard-ring requires at least 2"),
+            "unexpected error: {err}"
+        ),
+    }
+}
+
+#[test]
 fn cluster_endpoints_require_sharding_and_validate_input() {
     // An unsharded node refuses cluster calls with a pointer to the flag.
     let plain = spawn(ServerConfig {
