@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series in
-//! EXPERIMENTS.md (E1–E19) and prints paper-value vs measured-value rows.
+//! EXPERIMENTS.md (E1–E21) and prints paper-value vs measured-value rows.
 //!
 //! Run with: `cargo run --release -p arbitrex-bench --bin experiments`
 //! (optionally pass a subset of experiment ids, e.g. `e1 e3 e9`).
@@ -95,6 +95,9 @@ fn main() {
     }
     if want("e20") {
         e20_sharding();
+    }
+    if want("e21") {
+        e21_failover();
     }
 }
 
@@ -3127,5 +3130,353 @@ fn e20_sharding() {
     match std::fs::write("BENCH_PR9.json", &json) {
         Ok(()) => println!("wrote BENCH_PR9.json\n"),
         Err(e) => println!("could not write BENCH_PR9.json: {e}\n"),
+    }
+}
+
+/// E21 — chain failover: the detection + promotion write blackout.
+///
+/// A three-node chained cluster (head with an enlisted replica, plus
+/// one chain-external voter) serves a writer streaming sequential
+/// commits to a chain-owned KB. The writer follows `307` redirects,
+/// retries typed `503`s, and survives transport errors by rotating to
+/// the next live member — exactly what a well-behaved routed client
+/// does. Mid-stream the chain head is stopped; the failure detector
+/// suspects it, the voter confirms, the replica self-promotes, and the
+/// writer's acks resume against the new head. The **blackout** is the
+/// longest ack-to-ack gap across the failover: detection
+/// (`probe interval × suspect_after`) dominates, promotion and ring
+/// broadcast are the tail. Repeated over independent trials for
+/// p50/p99.
+///
+/// Acked commits the dead head never shipped are *not* lost by design
+/// — they come back through the revival Δ-reconcile (DESIGN.md §14.4)
+/// — but this experiment kills heads for good, so any ack the replica
+/// had not yet applied shows up as a per-trial `regressed` count
+/// (reported, not failed: it measures the shipping window, not a bug).
+///
+/// Writes the machine-readable record to BENCH_PR10.json. With
+/// `ARBX_E21_QUICK=1` runs fewer trials, prints one greppable
+/// `e21-quick ...` line for `scripts/e21_gate.sh`, and does not touch
+/// BENCH_PR10.json.
+fn e21_failover() {
+    use arbitrex_server::shard::{ShardRing, DEFAULT_VNODES, SELF_AUTO};
+    use arbitrex_server::{spawn, RunningServer, ServerConfig};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    header(
+        "E21",
+        "chain failover: detection + promotion write blackout",
+        "engineering (PR 10); no paper artifact",
+    );
+
+    const PROBE_MS: u64 = 100;
+    const SUSPECT_AFTER: u32 = 2;
+    const FLUSH_US: u64 = 2_000;
+    let quick = std::env::var("ARBX_E21_QUICK").is_ok();
+    let trials: usize = if quick { 2 } else { 9 };
+
+    /// E20's keep-alive client, with transport errors surfaced as
+    /// `Err` instead of panics — this writer must outlive the server
+    /// it is talking to.
+    struct Conn {
+        stream: TcpStream,
+    }
+    impl Conn {
+        fn open(addr: &str) -> std::io::Result<Conn> {
+            let stream = TcpStream::connect(addr)?;
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            let _ = stream.set_nodelay(true);
+            Ok(Conn { stream })
+        }
+
+        fn request(
+            &mut self,
+            method: &str,
+            path: &str,
+            body: &str,
+        ) -> std::io::Result<(u16, String, String)> {
+            let head = format!(
+                "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            self.stream.write_all(head.as_bytes())?;
+            self.stream.write_all(body.as_bytes())?;
+            let mut reply = Vec::with_capacity(512);
+            let mut byte = [0u8; 1];
+            loop {
+                match self.stream.read(&mut byte)? {
+                    0 => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "closed mid-response",
+                        ))
+                    }
+                    _ => {
+                        reply.push(byte[0]);
+                        if reply.ends_with(b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                }
+            }
+            let head_text = String::from_utf8_lossy(&reply).to_string();
+            let status: u16 = head_text
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| std::io::Error::other("bad status line"))?;
+            let length: usize = head_text
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.trim().parse().ok())
+                .ok_or_else(|| std::io::Error::other("missing content-length"))?;
+            let mut body_buf = vec![0u8; length];
+            self.stream.read_exact(&mut body_buf)?;
+            Ok((
+                status,
+                head_text,
+                String::from_utf8_lossy(&body_buf).to_string(),
+            ))
+        }
+    }
+
+    fn seq_of(body: &str) -> Option<u64> {
+        body.split("\"seq\":").nth(1).and_then(|tail| {
+            tail.trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .ok()
+        })
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("arbx-e21-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create state dir");
+        dir
+    }
+
+    fn spawn_node(
+        label: &str,
+        configure: impl FnOnce(&mut ServerConfig),
+    ) -> (RunningServer, PathBuf) {
+        let dir = temp_dir(label);
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_depth: 256,
+            cache_entries: 1024,
+            state_dir: Some(dir.clone()),
+            snapshot_every: 0,
+            flush_interval_us: FLUSH_US,
+            shard_ring: Some(SELF_AUTO.to_string()),
+            probe_interval_ms: PROBE_MS,
+            suspect_after: SUSPECT_AFTER,
+            ..ServerConfig::default()
+        };
+        configure(&mut config);
+        (spawn(config).expect("spawn chain node"), dir)
+    }
+
+    /// One failover trial: returns (blackout_ms, acks, regressed).
+    fn trial(i: usize) -> (u64, usize, u64) {
+        // Head, voter, join; then a streaming replica enlisted as the
+        // head's chain tail.
+        let (head, dir_h) = spawn_node(&format!("{i}-head"), |_| {});
+        let (voter, dir_v) = spawn_node(&format!("{i}-voter"), |_| {});
+        let head_addr = head.addr.to_string();
+        let voter_addr = voter.addr.to_string();
+        let mut c = Conn::open(&head_addr).expect("connect head");
+        let (status, _, body) = c
+            .request(
+                "POST",
+                "/v1/cluster/join",
+                &format!(r#"{{"addr": "{voter_addr}"}}"#),
+            )
+            .expect("join");
+        assert_eq!(status, 200, "join failed: {body}");
+        let (replica, dir_r) = spawn_node(&format!("{i}-replica"), |cfg| {
+            cfg.replicate_from = Some(head_addr.clone());
+        });
+        let replica_addr = replica.addr.to_string();
+        let (status, _, body) = c
+            .request(
+                "POST",
+                "/v1/cluster/enlist",
+                &format!(r#"{{"host": "{head_addr}", "addr": "{replica_addr}"}}"#),
+            )
+            .expect("enlist");
+        assert_eq!(status, 200, "enlist failed: {body}");
+
+        // A name the chain (anchored at the head) owns.
+        let ring = ShardRing::new([head_addr.clone(), voter_addr.clone()], DEFAULT_VNODES, 0);
+        let kb = (0..)
+            .map(|n| format!("e21-kb-{n}"))
+            .find(|name| ring.owner_of(name) == Some(head_addr.as_str()))
+            .expect("some name lands on the chain");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let addrs = [head_addr.clone(), replica_addr.clone(), voter_addr.clone()];
+            let stop = Arc::clone(&stop);
+            let kb = kb.clone();
+            std::thread::spawn(move || {
+                let mut conn: Option<Conn> = None;
+                let mut target = 0usize;
+                let mut last_seq = 0u64;
+                let mut regressed = 0u64;
+                let mut acks: Vec<Instant> = Vec::with_capacity(4096);
+                let mut n = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let formula = if n.is_multiple_of(2) {
+                        "A & B"
+                    } else {
+                        "A | B"
+                    };
+                    n += 1;
+                    let body = format!(r#"{{"action": "put", "formula": "{formula}"}}"#);
+                    let live = match conn.as_mut() {
+                        Some(live) => live,
+                        None => match Conn::open(&addrs[target]) {
+                            Ok(fresh) => conn.insert(fresh),
+                            Err(_) => {
+                                target = (target + 1) % addrs.len();
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                                continue;
+                            }
+                        },
+                    };
+                    match live.request("POST", &format!("/v1/kb/{kb}"), &body) {
+                        Ok((200, _, reply)) => {
+                            let seq = seq_of(&reply).expect("seq in commit ack");
+                            if seq <= last_seq {
+                                // The promoted replica had not applied
+                                // every acked frame — the shipping
+                                // window, recovered later by the
+                                // revival reconcile this trial skips.
+                                regressed += last_seq - seq + 1;
+                            }
+                            last_seq = seq;
+                            acks.push(Instant::now());
+                        }
+                        Ok((307, head_text, _)) => {
+                            if let Some(owner) = head_text
+                                .lines()
+                                .find_map(|l| l.strip_prefix("X-Arbitrex-Shard-Owner: "))
+                            {
+                                let owner = owner.trim();
+                                if let Some(slot) = addrs.iter().position(|a| a == owner) {
+                                    target = slot;
+                                    conn = None;
+                                }
+                            }
+                        }
+                        Ok((503, _, _)) | Ok((421, _, _)) => {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Ok((other, _, reply)) => panic!("unexpected status {other}: {reply}"),
+                        Err(_) => {
+                            conn = None;
+                            target = (target + 1) % addrs.len();
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                    }
+                }
+                (acks, regressed)
+            })
+        };
+
+        // Baseline cadence, then kill the head and wait for the
+        // successor to take over and absorb writes again.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        head.stop().expect("stop head");
+        let killed = Instant::now();
+        let mut status_conn: Option<Conn> = None;
+        loop {
+            assert!(
+                killed.elapsed() < std::time::Duration::from_secs(30),
+                "successor never promoted"
+            );
+            let promoted = status_conn
+                .get_or_insert_with(|| Conn::open(&replica_addr).expect("connect replica"))
+                .request("GET", "/v1/replication/status", "")
+                .ok()
+                .map(|(_, _, body)| body.contains("\"role\":\"primary\""))
+                .unwrap_or(false);
+            if promoted {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400)); // post-failover cadence
+        stop.store(true, Ordering::Relaxed);
+        let (acks, regressed) = writer.join().expect("writer");
+        assert!(acks.len() > 20, "writer starved: {} acks", acks.len());
+        let blackout_ms = acks
+            .windows(2)
+            .map(|pair| pair[1].duration_since(pair[0]).as_millis() as u64)
+            .max()
+            .unwrap_or(0);
+        replica.stop().expect("stop replica");
+        voter.stop().expect("stop voter");
+        for dir in [dir_h, dir_v, dir_r] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        (blackout_ms, acks.len(), regressed)
+    }
+
+    println!(
+        "one writer streams durable commits to a chain-owned KB (307-following,\n\
+         retrying, reconnecting); the chain head dies mid-stream; the blackout is\n\
+         the longest ack gap across detection (probe {PROBE_MS} ms x {SUSPECT_AFTER}),\n\
+         quorum confirm, self-promotion, and ring broadcast ({trials} trials)\n"
+    );
+    println!("trial   blackout ms   acks   regressed");
+    let mut blackouts = Vec::with_capacity(trials);
+    let mut total_regressed = 0u64;
+    for i in 0..trials {
+        let (blackout_ms, acks, regressed) = trial(i);
+        println!("{i:<7} {blackout_ms:<13} {acks:<6} {regressed}");
+        blackouts.push(blackout_ms);
+        total_regressed += regressed;
+    }
+    blackouts.sort_unstable();
+    let pct = |p: usize| blackouts[(p * blackouts.len()).div_ceil(100).max(1) - 1];
+    let (p50, p99) = (pct(50), pct(99));
+    println!(
+        "\nblackout p50 {p50} ms, p99 {p99} ms; detection floor {} ms\n",
+        PROBE_MS * SUSPECT_AFTER as u64
+    );
+
+    if quick {
+        println!(
+            "e21-quick blackout_p50_ms={p50} blackout_p99_ms={p99} trials={trials} regressed={total_regressed}"
+        );
+        return;
+    }
+
+    let rows: Vec<String> = blackouts.iter().map(|b| b.to_string()).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"e21-failover\",\n  \"workload\": \"one 307-following \
+         writer on a chain-owned durable KB ({FLUSH_US} us group-commit flush); chain \
+         head stopped mid-stream; blackout = longest ack-to-ack gap across detection \
+         (probe {PROBE_MS} ms x suspect_after {SUSPECT_AFTER}), quorum confirm, \
+         self-promotion, ring broadcast; {trials} independent trials\",\n  \
+         \"probe_interval_ms\": {PROBE_MS},\n  \"suspect_after\": {SUSPECT_AFTER},\n  \
+         \"blackout_ms_sorted\": [{}],\n  \"blackout_p50_ms\": {p50},\n  \
+         \"blackout_p99_ms\": {p99},\n  \"acks_regressed_total\": {total_regressed}\n}}\n",
+        rows.join(", ")
+    );
+    match std::fs::write("BENCH_PR10.json", &json) {
+        Ok(()) => println!("wrote BENCH_PR10.json\n"),
+        Err(e) => println!("could not write BENCH_PR10.json: {e}\n"),
     }
 }

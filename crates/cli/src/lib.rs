@@ -649,6 +649,16 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                     .map(str::to_string)
                     .collect();
             }
+            "--probe-interval-ms" => {
+                config.probe_interval_ms = flag_u64(&mut it, "--probe-interval-ms")?;
+            }
+            "--suspect-after" => {
+                let v = flag_u64(&mut it, "--suspect-after")?;
+                if v == 0 || v > u32::MAX as u64 {
+                    return err("--suspect-after must be between 1 and 2^32-1");
+                }
+                config.suspect_after = v as u32;
+            }
             other => {
                 return err(format!(
                     "unknown serve flag `{other}` (expected --addr, --threads, \
@@ -657,8 +667,31 @@ pub fn parse_serve_config(args: &[String]) -> Result<arbitrex_server::ServerConf
                      --recover, --fault, --group-commit, --flush-interval-us, \
                      --bdd-hotness, --bdd-node-budget, --replicate-from, \
                      --replication-epoch, --shard-ring, --shard-vnodes, \
-                     --cluster-peers)"
+                     --cluster-peers, --probe-interval-ms, --suspect-after)"
                 ))
+            }
+        }
+    }
+    // Combining `--replicate-from` with a fully-specified ring is how a
+    // chain replica boots — but only when the primary it names actually
+    // serves in that ring. (Without `--cluster-peers` the ring cannot
+    // know its peers yet, so an outside primary is the legitimate
+    // bootstrap posture and is accepted.)
+    if let Some(primary) = &config.replicate_from {
+        if !config.cluster_peers.is_empty() {
+            let serves = config
+                .shard_ring
+                .iter()
+                .chain(config.cluster_peers.iter())
+                .filter_map(|spec| arbitrex_server::shard::ChainEntry::parse(spec))
+                .any(|chain| chain.contains(primary));
+            if !serves {
+                return err(format!(
+                    "--replicate-from {primary} names a node outside the ring; a chain \
+                     replica must pull from a serving chain member (list it in a \
+                     --cluster-peers chain spec, or drop --cluster-peers while \
+                     bootstrapping)"
+                ));
             }
         }
     }
@@ -724,6 +757,14 @@ pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
                 config.shard_vnodes,
                 config.cluster_peers.len()
             );
+            if config.probe_interval_ms > 0 {
+                let _ = writeln!(
+                    out,
+                    "arbitrex-server failover detector probing every {}ms \
+                     (suspect after {} failures)",
+                    config.probe_interval_ms, config.suspect_after
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -760,12 +801,16 @@ pub fn help() -> String {
          \x20\x20\x20\x20 [--flush-interval-us n] [--bdd-hotness n] [--bdd-node-budget n]\n\
          \x20\x20\x20\x20 [--replicate-from host:port] [--replication-epoch n]\n\
          \x20\x20\x20\x20 [--shard-ring addr|auto] [--shard-vnodes n] [--cluster-peers a,b]\n\
+         \x20\x20\x20\x20 [--probe-interval-ms n] [--suspect-after k]\n\
          \x20\x20\x20\x20 run the HTTP arbitration service (see README \"Serving\");\n\
          \x20\x20\x20\x20 --state-dir makes KBs durable (WAL + snapshots, README\n\
          \x20\x20\x20\x20 \"Durability\"); commits batch fsyncs unless --group-commit off;\n\
          \x20\x20\x20\x20 --replicate-from streams a primary's WAL (read-only until\n\
          \x20\x20\x20\x20 POST /v1/replication/promote); --shard-ring joins a\n\
-         \x20\x20\x20\x20 consistent-hash KB cluster (README \"Sharding\"); serve --fault\n\
+         \x20\x20\x20\x20 consistent-hash KB cluster (README \"Sharding\"); peers are\n\
+         \x20\x20\x20\x20 chain specs `head~replica@epoch` (README \"Failover\"): a\n\
+         \x20\x20\x20\x20 replica probes its head every --probe-interval-ms and after\n\
+         \x20\x20\x20\x20 --suspect-after failed probes promotes via quorum; serve --fault\n\
          \x20\x20\x20\x20 also takes the net_drop/net_torn/net_dup/net_delay/\n\
          \x20\x20\x20\x20 net_partition:k and shard_handoff_torn/shard_ring_stale/\n\
          \x20\x20\x20\x20 shard_proxy_drop:k sites\n\
@@ -1454,6 +1499,58 @@ mod tests {
         assert!(config.durability_fault.is_none());
         let e = parse_serve_config(&sv(&["--replication-epoch", "0"])).unwrap_err();
         assert_eq!(e.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn serve_config_parses_failover_flags_and_chain_combos() {
+        let config = parse_serve_config(&sv(&[
+            "--shard-ring",
+            "auto",
+            "--replicate-from",
+            "127.0.0.1:7001",
+            "--cluster-peers",
+            "127.0.0.1:7001~127.0.0.1:7002,127.0.0.1:7003",
+            "--probe-interval-ms",
+            "100",
+            "--suspect-after",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(config.probe_interval_ms, 100);
+        assert_eq!(config.suspect_after, 2);
+        assert_eq!(config.replicate_from.as_deref(), Some("127.0.0.1:7001"));
+        assert_eq!(config.cluster_peers.len(), 2);
+
+        let defaults = parse_serve_config(&[]).unwrap();
+        assert_eq!(defaults.probe_interval_ms, 500);
+        assert_eq!(defaults.suspect_after, 3);
+
+        let e = parse_serve_config(&sv(&["--suspect-after", "0"])).unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+
+        // A replica may both serve in the ring and replicate — but only
+        // from a node the ring actually lists as a serving member.
+        let e = parse_serve_config(&sv(&[
+            "--shard-ring",
+            "auto",
+            "--replicate-from",
+            "10.9.9.9:7999",
+            "--cluster-peers",
+            "127.0.0.1:7001~127.0.0.1:7002",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.kind, ErrorKind::Usage);
+        assert!(e.message.contains("outside the ring"), "{}", e.message);
+
+        // Without --cluster-peers the ring cannot know its peers yet, so
+        // an outside primary is the legitimate bootstrap posture.
+        parse_serve_config(&sv(&[
+            "--shard-ring",
+            "auto",
+            "--replicate-from",
+            "10.9.9.9:7999",
+        ]))
+        .expect("peer-less bootstrap combo is legal");
     }
 
     #[test]

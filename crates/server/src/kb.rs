@@ -908,6 +908,22 @@ impl KbStore {
         Ok((s.epoch, s.next_rseq - 1))
     }
 
+    /// Demote this store to replica: refuse writes until the next
+    /// promotion. The epoch is untouched — the follow/resync path adopts
+    /// the new head's higher epoch when frames arrive. Used when a
+    /// deposed chain head rejoins its shard's chain as a tail.
+    pub fn demote(&self) -> io::Result<()> {
+        let backend = match &self.durability {
+            Durability::Memory => {
+                return Err(io::Error::other("demotion requires a durable store"))
+            }
+            Durability::Durable(b) => b,
+        };
+        backend.repl.set_read_only(true);
+        metrics::FAILOVER_DEMOTIONS.incr();
+        Ok(())
+    }
+
     /// Per-KB digest for anti-entropy: `(name, seq, canonical content
     /// hash)`, sorted by name. Two stores with equal digests hold
     /// logically identical state.

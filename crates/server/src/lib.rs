@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub mod failover;
 pub mod http;
 pub mod json;
 pub mod kb;
@@ -152,6 +153,13 @@ pub struct ServerConfig {
     /// Deterministic fault injection at the sharding layer (testing):
     /// arm one `shard_*` site.
     pub shard_fault: Option<shard::ShardFaultPlan>,
+    /// How often the failure detector probes its chain head, in
+    /// milliseconds. `0` disables the detector (no probes, no automatic
+    /// promotion) even when this node is a chain replica.
+    pub probe_interval_ms: u64,
+    /// Consecutive failed probes before a chain head is suspected dead
+    /// and the quorum check runs.
+    pub suspect_after: u32,
 }
 
 impl Default for ServerConfig {
@@ -179,6 +187,8 @@ impl Default for ServerConfig {
             shard_vnodes: shard::DEFAULT_VNODES,
             cluster_peers: Vec::new(),
             shard_fault: None,
+            probe_interval_ms: 500,
+            suspect_after: 3,
         }
     }
 }
@@ -198,6 +208,9 @@ pub struct ServiceState {
     pub recovery: Option<RecoveryReport>,
     /// The shard router (ring + self identity), when sharding is on.
     pub shards: Option<shard::ShardRouter>,
+    /// Failover bookkeeping: the supervised puller slot, deposed heads
+    /// awaiting revival, and the detector stop flag.
+    pub failover: failover::FailoverState,
 }
 
 impl ServiceState {
@@ -233,11 +246,6 @@ impl ServiceState {
                 "--cluster-peers requires --shard-ring (this node needs a ring identity)",
             ));
         }
-        if config.shard_ring.is_some() && config.replicate_from.is_some() {
-            return Err(io::Error::other(
-                "--shard-ring and --replicate-from are exclusive (a shard member is a primary)",
-            ));
-        }
         if config.shard_ring.is_some() && config.threads < 2 {
             return Err(io::Error::other(
                 "--shard-ring requires at least 2 worker threads (a member answers peer \
@@ -247,6 +255,20 @@ impl ServiceState {
         let shards = config.shard_ring.clone().map(|self_spec| {
             shard::ShardRouter::new(self_spec, &config.cluster_peers, config.shard_vnodes)
         });
+        // Combining `--replicate-from` with a fully-specified ring is
+        // how a chain replica boots — but only when the primary it
+        // names is actually a serving chain member. (With no
+        // `--cluster-peers` the solo ring can't know its peers yet, so
+        // an outside primary is the legitimate bootstrap posture.)
+        if let (Some(router), Some(primary)) = (&shards, &config.replicate_from) {
+            if !config.cluster_peers.is_empty() && !router.ring().contains(primary) {
+                return Err(io::Error::other(format!(
+                    "--replicate-from {primary} names a node outside the ring; a chain \
+                     replica must pull from a serving chain member (list it in a chain \
+                     spec, or drop --cluster-peers while bootstrapping)"
+                )));
+            }
+        }
         let compiled = CompiledTier::new(
             config.bdd_hotness,
             config.bdd_node_budget,
@@ -259,6 +281,7 @@ impl ServiceState {
             compiled,
             recovery,
             shards,
+            failover: failover::FailoverState::new(),
         })
     }
 }

@@ -219,6 +219,56 @@ pub static SHARDING_SECTION: Section = Section {
     timers: &[],
 };
 
+/// Failure-detector probes sent at chain heads.
+pub static FAILOVER_PROBES: Counter = Counter::new("probes");
+/// Probes that failed (unreachable head or a refused status request).
+pub static FAILOVER_PROBE_FAILURES: Counter = Counter::new("probe_failures");
+/// Heads this node suspected dead (consecutive probe failures reached
+/// the `--suspect-after` threshold).
+pub static FAILOVER_SUSPICIONS: Counter = Counter::new("suspicions");
+/// Suspicions vetoed by quorum — some peer could still reach the head,
+/// so a partitioned successor stayed fenced instead of splitting the
+/// brain.
+pub static FAILOVER_QUORUM_VETOES: Counter = Counter::new("quorum_vetoes");
+/// Automatic self-promotions performed by a chain successor after a
+/// quorum-confirmed head death (manual `/v1/replication/promote` calls
+/// count under `replication.promotions` only).
+pub static FAILOVER_AUTO_PROMOTIONS: Counter = Counter::new("auto_promotions");
+/// Chain rotations recorded in the ring (head dropped, successor
+/// promoted, chain epoch bumped).
+pub static FAILOVER_CHAIN_ROTATIONS: Counter = Counter::new("chain_rotations");
+/// Nodes that stepped down to replica because an adopted ring listed
+/// them behind a newer chain head (a deposed head fenced at routing).
+pub static FAILOVER_DEMOTIONS: Counter = Counter::new("demotions");
+/// Writes refused with a typed 503 because this node's WAL epoch trails
+/// its chain's recorded epoch — a deposed head that has not yet caught
+/// up with its own deposition.
+pub static FAILOVER_FENCED_WRITES: Counter = Counter::new("fenced_writes");
+/// Δ-arbitration reconciles run against a revived deposed head to
+/// absorb commits it acked but never shipped.
+pub static FAILOVER_RECONCILES: Counter = Counter::new("failover_reconciles");
+/// Proxied-read retry attempts taken by the backoff loop (each retry
+/// after the first attempt counts once).
+pub static FAILOVER_PROXY_RETRIES: Counter = Counter::new("proxy_retries");
+
+/// The `"failover"` section: per-shard replica chains.
+pub static FAILOVER_SECTION: Section = Section {
+    name: "failover",
+    counters: &[
+        &FAILOVER_PROBES,
+        &FAILOVER_PROBE_FAILURES,
+        &FAILOVER_SUSPICIONS,
+        &FAILOVER_QUORUM_VETOES,
+        &FAILOVER_AUTO_PROMOTIONS,
+        &FAILOVER_CHAIN_ROTATIONS,
+        &FAILOVER_DEMOTIONS,
+        &FAILOVER_FENCED_WRITES,
+        &FAILOVER_RECONCILES,
+        &FAILOVER_PROXY_RETRIES,
+    ],
+    timers: &[],
+};
+
 /// Wall-clock handling latency of `/v1/arbitrate` requests.
 pub static LATENCY_ARBITRATE: Histogram = Histogram::new("arbitrate");
 /// Wall-clock handling latency of `/v1/fit` requests.
@@ -287,6 +337,7 @@ pub fn metrics_json() -> String {
     sections.push(&GROUP_COMMIT_SECTION);
     sections.push(&REPLICATION_SECTION);
     sections.push(&SHARDING_SECTION);
+    sections.push(&FAILOVER_SECTION);
     let snapshot = arbitrex_telemetry::snapshot_of(&sections);
     let mut out = String::with_capacity(2048);
     out.push_str("{\"telemetry\": ");
@@ -313,6 +364,7 @@ pub fn reset() {
     GROUP_COMMIT_SECTION.reset();
     REPLICATION_SECTION.reset();
     SHARDING_SECTION.reset();
+    FAILOVER_SECTION.reset();
     for h in histograms() {
         h.reset();
     }
@@ -338,6 +390,7 @@ mod tests {
             "group_commit",
             "replication",
             "sharding",
+            "failover",
         ] {
             assert!(
                 text.contains(&format!("\"{section}\"")),

@@ -113,8 +113,12 @@ pub struct ReplLog {
     epoch: AtomicU64,
     /// Replica role: writes are refused until promotion.
     read_only: AtomicBool,
-    /// Tells the puller thread to exit (promotion, shutdown).
-    puller_stop: AtomicBool,
+    /// Puller generation: bumped to invalidate the running puller
+    /// (promotion, retarget, shutdown). A puller captures the value at
+    /// spawn and exits once it changes, so stop-then-respawn can never
+    /// leave a stale puller streaming from the old target alongside the
+    /// new one.
+    puller_gen: AtomicU64,
     /// The primary's head as last reported to this replica (lag gauge).
     last_seen_head: AtomicU64,
 }
@@ -152,7 +156,7 @@ impl ReplLog {
             visible: AtomicU64::new(next_rseq.saturating_sub(1)),
             epoch: AtomicU64::new(epoch),
             read_only: AtomicBool::new(read_only),
-            puller_stop: AtomicBool::new(false),
+            puller_gen: AtomicU64::new(0),
             last_seen_head: AtomicU64::new(0),
         }
     }
@@ -213,14 +217,23 @@ impl ReplLog {
         self.read_only.store(value, Ordering::SeqCst);
     }
 
-    /// Ask the puller thread to exit.
+    /// Ask the running puller thread (if any) to exit by bumping the
+    /// puller generation. A puller spawned *after* this call captures
+    /// the new generation and is unaffected — which is what lets the
+    /// failover supervisor retarget a replica at a newly promoted chain
+    /// head with a plain stop-then-spawn.
     pub fn stop_puller(&self) {
-        self.puller_stop.store(true, Ordering::SeqCst);
+        self.puller_gen.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Has the puller been asked to exit?
-    pub fn puller_stopped(&self) -> bool {
-        self.puller_stop.load(Ordering::SeqCst)
+    /// The current puller generation.
+    pub fn puller_gen(&self) -> u64 {
+        self.puller_gen.load(Ordering::SeqCst)
+    }
+
+    /// Has the puller of generation `gen` been asked to exit?
+    pub fn puller_stopped(&self, gen: u64) -> bool {
+        self.puller_gen.load(Ordering::SeqCst) != gen
     }
 
     /// Record the primary's head as reported in a batch response.
@@ -578,40 +591,49 @@ impl PeerClient {
 
 // --- the replica's puller thread ---------------------------------------------
 
-/// Capped exponential backoff with deterministic xorshift jitter.
-struct Backoff {
+/// Capped exponential backoff with deterministic xorshift jitter. The
+/// same policy backs the replication puller's reconnects and the shard
+/// proxy's read retries (`routes::shard_proxy_get`).
+pub(crate) struct Backoff {
     delay: Duration,
     rng: u64,
 }
 
 impl Backoff {
-    fn new(seed: u64) -> Backoff {
+    pub(crate) fn new(seed: u64) -> Backoff {
         Backoff {
             delay: BACKOFF_MIN,
             rng: seed | 1,
         }
     }
 
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.delay = BACKOFF_MIN;
     }
 
-    /// Sleep the current delay ± 25% jitter (in short slices so a stop
-    /// request is observed promptly), then double toward the cap.
-    fn sleep(&mut self, log: &ReplLog) {
-        metrics::REPL_BACKOFF_SLEEPS.incr();
+    /// The next sleep: current delay ± 25% jitter (the draw is uniform
+    /// over `[base - base/4, base + base/4]`); the base then doubles
+    /// toward the cap for the draw after this one.
+    pub(crate) fn next_delay(&mut self) -> Duration {
         self.rng ^= self.rng << 13;
         self.rng ^= self.rng >> 7;
         self.rng ^= self.rng << 17;
         let base = self.delay.as_millis() as u64;
         let jitter = self.rng % (base / 2 + 1); // 0 ..= base/2
-        let total = Duration::from_millis(base - base / 4 + jitter);
+        self.delay = (self.delay * 2).min(BACKOFF_MAX);
+        Duration::from_millis(base - base / 4 + jitter)
+    }
+
+    /// Sleep the next delay (in short slices so a stop request is
+    /// observed promptly).
+    fn sleep(&mut self, log: &ReplLog, gen: u64) {
+        metrics::REPL_BACKOFF_SLEEPS.incr();
+        let total = self.next_delay();
         let slice = Duration::from_millis(10);
         let deadline = Instant::now() + total;
-        while Instant::now() < deadline && !log.puller_stopped() {
+        while Instant::now() < deadline && !log.puller_stopped(gen) {
             thread::sleep(slice.min(deadline - Instant::now()));
         }
-        self.delay = (self.delay * 2).min(BACKOFF_MAX);
     }
 }
 
@@ -635,21 +657,22 @@ fn run_puller(state: &ServiceState, primary: &str) {
         h.wrapping_mul(31).wrapping_add(b as u64)
     });
     let mut backoff = Backoff::new(seed);
-    while !log.puller_stopped() {
+    let gen = log.puller_gen();
+    while !log.puller_stopped(gen) {
         let mut client = match PeerClient::connect(primary) {
             Ok(c) => {
                 backoff.reset();
                 c
             }
             Err(_) => {
-                backoff.sleep(&log);
+                backoff.sleep(&log, gen);
                 continue;
             }
         };
         metrics::REPL_RECONNECTS.incr();
         // Stream batches on this connection until it breaks.
         loop {
-            if log.puller_stopped() {
+            if log.puller_stopped(gen) {
                 return;
             }
             let from = log.head() + 1;
@@ -741,7 +764,7 @@ fn run_puller(state: &ServiceState, primary: &str) {
                 break;
             }
         }
-        backoff.sleep(&log);
+        backoff.sleep(&log, gen);
     }
 }
 
@@ -1158,12 +1181,13 @@ mod tests {
     #[test]
     fn backoff_doubles_to_the_cap_and_resets() {
         let log = ReplLog::new(1, 1, true);
+        let gen = log.puller_gen();
         log.stop_puller(); // sleeps return immediately
         let mut backoff = Backoff::new(7);
         let mut seen = Vec::new();
         for _ in 0..10 {
             seen.push(backoff.delay);
-            backoff.sleep(&log);
+            backoff.sleep(&log, gen);
         }
         assert_eq!(seen[0], BACKOFF_MIN);
         assert!(seen.windows(2).all(|w| w[1] >= w[0]));
@@ -1179,11 +1203,12 @@ mod tests {
         // floor) and not wildly past `base + base/4` (jitter ceiling;
         // generous slack for scheduler noise on loaded CI).
         let log = ReplLog::new(1, 1, true);
+        let gen = log.puller_gen();
         let mut backoff = Backoff::new(42);
         for _ in 0..3 {
             let base = backoff.delay.as_millis() as u64;
             let start = Instant::now();
-            backoff.sleep(&log);
+            backoff.sleep(&log, gen);
             let elapsed = start.elapsed().as_millis() as u64;
             assert!(
                 elapsed + 1 >= base - base / 4,
@@ -1198,9 +1223,46 @@ mod tests {
         // next sleep to the floor — measured, not just stored.
         backoff.reset();
         let start = Instant::now();
-        backoff.sleep(&log);
+        backoff.sleep(&log, gen);
         let elapsed = start.elapsed();
         assert!(elapsed >= BACKOFF_MIN - BACKOFF_MIN / 4);
         assert!(elapsed < BACKOFF_MAX / 2, "reset did not take: {elapsed:?}");
+    }
+
+    #[test]
+    fn next_delay_draws_stay_inside_the_jitter_band_at_every_tier() {
+        // The shard proxy's retry sleeps come straight from
+        // `next_delay`, so the band must hold as a pure function of the
+        // ladder, not just as measured sleep time: every draw lands in
+        // `[base - base/4, base + base/4]` while the base doubles from
+        // `BACKOFF_MIN` to `BACKOFF_MAX`, and keeps holding at the cap.
+        for seed in [1_u64, 42, 0xA5A5, u64::MAX] {
+            let mut backoff = Backoff::new(seed);
+            for _ in 0..64 {
+                let base = backoff.delay.as_millis() as u64;
+                let drawn = backoff.next_delay().as_millis() as u64;
+                assert!(
+                    drawn >= base - base / 4 && drawn <= base + base / 4,
+                    "seed {seed}: drew {drawn}ms outside the band of base {base}ms"
+                );
+            }
+            assert_eq!(backoff.delay, BACKOFF_MAX);
+        }
+    }
+
+    #[test]
+    fn puller_generations_invalidate_only_older_pullers() {
+        let log = ReplLog::new(1, 1, true);
+        let gen = log.puller_gen();
+        assert!(!log.puller_stopped(gen));
+        log.stop_puller();
+        assert!(log.puller_stopped(gen), "the old generation is invalidated");
+        let newer = log.puller_gen();
+        assert!(
+            !log.puller_stopped(newer),
+            "a puller spawned at the new generation keeps running"
+        );
+        log.stop_puller();
+        assert!(log.puller_stopped(newer));
     }
 }

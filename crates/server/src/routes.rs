@@ -259,17 +259,29 @@ fn handle_metrics(state: &ServiceState) -> Response {
         ),
         None => (1, 0, 0, 0, 0),
     };
-    let (ring_epoch, ring_members) = match &state.shards {
+    let (ring_epoch, ring_members, chain_length, chain_position) = match &state.shards {
         Some(router) => {
             let ring = router.ring();
-            (ring.epoch(), ring.members().len())
+            let (len, pos) = match router.self_chain() {
+                Some(chain) => {
+                    let pos = chain
+                        .members()
+                        .iter()
+                        .position(|m| *m == router.self_addr())
+                        .unwrap_or(0);
+                    (chain.members().len(), pos)
+                }
+                None => (0, 0),
+            };
+            (ring.epoch(), ring.members().len(), len, pos)
         }
-        None => (0, 0),
+        None => (0, 0, 0, 0),
     };
+    let deposed_heads = state.failover.deposed_count();
     // Splice live gauge values (cache fill, KB count, replication
-    // watermarks, ring state) into the document.
+    // watermarks, ring and chain state) into the document.
     let gauges = format!(
-        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}, \"replication_role\": {role}, \"replication_epoch\": {epoch}, \"replication_head\": {head}, \"replication_visible\": {visible}, \"replication_lag\": {lag}, \"shard_ring_epoch\": {ring_epoch}, \"shard_members\": {ring_members}}}}}",
+        ", \"gauges\": {{\"cache_entries\": {}, \"cache_capacity\": {}, \"kb_count\": {}, \"compiled_kbs\": {}, \"replication_role\": {role}, \"replication_epoch\": {epoch}, \"replication_head\": {head}, \"replication_visible\": {visible}, \"replication_lag\": {lag}, \"shard_ring_epoch\": {ring_epoch}, \"shard_members\": {ring_members}, \"chain_length\": {chain_length}, \"chain_position\": {chain_position}, \"deposed_heads\": {deposed_heads}}}}}",
         state.cache.len(),
         state.cache.capacity(),
         state.kbs.len(),
@@ -443,7 +455,7 @@ fn handle_replication(
         ("GET", "wal") => repl_wal(state, log, query),
         ("GET", "snapshot") => repl_snapshot(state),
         ("GET", "digest") => repl_digest(state, log),
-        ("GET", "status") => repl_status(log),
+        ("GET", "status") => repl_status(state, log),
         ("POST", "promote") => repl_promote(state),
         ("POST", "reconcile") => repl_reconcile(state, req),
         (_, "wal" | "snapshot" | "digest" | "status" | "promote" | "reconcile") => {
@@ -566,9 +578,22 @@ fn repl_digest(state: &ServiceState, log: &ReplLog) -> Response {
     ]))
 }
 
-/// `GET /v1/replication/status`: role, epoch, and watermarks.
-fn repl_status(log: &ReplLog) -> Response {
+/// `GET /v1/replication/status`: role, epoch, watermarks, and the ring
+/// epoch this node routes by. This endpoint doubles as the failure
+/// detector's probe, so the configured `net_partition` fault is
+/// injected here too — chaos runs can make a healthy head *look* dead
+/// to its probers and exercise the quorum veto.
+fn repl_status(state: &ServiceState, log: &ReplLog) -> Response {
+    if let Some(plan) = &state.config.net_fault {
+        if plan.partition_refuses() {
+            let mut refused = error_response(503, "injected fault: network partition");
+            refused.force_close = true;
+            return refused;
+        }
+    }
+    let ring_epoch = state.shards.as_ref().map(|r| r.epoch()).unwrap_or(0);
     ok(obj([
+        ("ring_epoch", json::n(ring_epoch)),
         (
             "role",
             json::s(if log.read_only() {
@@ -659,7 +684,9 @@ fn handle_cluster(state: &ServiceState, req: &Request, action: &str) -> Response
         ("POST", "leave") => cluster_membership(state, req, false),
         ("POST", "sync") => cluster_sync(state, req),
         ("POST", "release") => cluster_release(state, req),
-        (_, "ring" | "join" | "leave" | "sync" | "release") => {
+        ("POST", "probe") => cluster_probe(state, req),
+        ("POST", "enlist") => cluster_enlist(state, req),
+        (_, "ring" | "join" | "leave" | "sync" | "release" | "probe" | "enlist") => {
             error_response(405, "method not allowed")
         }
         _ => error_response(404, "unknown cluster action"),
@@ -690,6 +717,79 @@ fn cluster_ring(state: &ServiceState) -> Response {
     ]))
 }
 
+/// `POST /v1/cluster/probe {"addr": "host:port"}`: a quorum-check
+/// vote. This node probes `addr` itself and reports whether it could
+/// reach it — a suspecting replica asks its peers before promoting, so
+/// one partitioned prober cannot depose a healthy head alone.
+fn cluster_probe(state: &ServiceState, req: &Request) -> Response {
+    if let Err(resp) = shard_router(state) {
+        return resp;
+    }
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let addr = match field_str(&body, "addr") {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    if addr.is_empty() {
+        return error_response(400, "field `addr` must be a host:port");
+    }
+    let reachable = crate::failover::probe_status(addr).is_some();
+    ok(obj([
+        ("addr", json::s(addr)),
+        ("reachable", Json::Bool(reachable)),
+    ]))
+}
+
+/// `POST /v1/cluster/enlist {"host": "a", "addr": "b"}`: append `b` to
+/// the chain serving `a` as its new replica tail. Chains hash by their
+/// stable anchor, so enlistment moves no data and needs no write fence
+/// — the grown ring just broadcasts, and the new tail demotes itself
+/// and retargets its puller when it adopts it.
+fn cluster_enlist(state: &ServiceState, req: &Request) -> Response {
+    let router = match shard_router(state) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let Some(_membership) = router.try_membership() else {
+        return membership_busy_response();
+    };
+    let body = match body_json(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let host = match field_str(&body, "host") {
+        Ok(h) => h,
+        Err(resp) => return resp,
+    };
+    let addr = match field_str(&body, "addr") {
+        Ok(a) => a,
+        Err(resp) => return resp,
+    };
+    if host.is_empty() || addr.is_empty() {
+        return error_response(400, "fields `host` and `addr` must be host:port");
+    }
+    match router.enlist_member(host, addr) {
+        Some(ring) => {
+            let synced = crate::failover::broadcast_ring(state, &ring, &[]);
+            ok(obj([
+                ("addr", json::s(addr)),
+                ("enlisted", Json::Bool(true)),
+                ("epoch", json::n(ring.epoch())),
+                ("synced", json::n(synced)),
+            ]))
+        }
+        // `host` serves nowhere, or `addr` already serves: no-op.
+        None => ok(obj([
+            ("addr", json::s(addr)),
+            ("enlisted", Json::Bool(false)),
+            ("epoch", json::n(router.epoch())),
+        ])),
+    }
+}
+
 /// The ring-sync broadcast body: the full membership list plus the new
 /// epoch, and on a leave the departed node as an extra handoff source.
 fn ring_sync_body(ring: &shard::ShardRing, source: Option<&str>) -> String {
@@ -704,14 +804,16 @@ fn ring_sync_body(ring: &shard::ShardRing, source: Option<&str>) -> String {
     Json::Obj(fields).to_text()
 }
 
-/// Rebalance sources for a node holding `ring`: every other member, plus
-/// (on a leave) the departed node whose shards must drain somewhere.
+/// Rebalance sources for a node holding `ring`: every other chain
+/// *head* (heads are authoritative; a replica's copy may lag its
+/// chain), plus (on a leave) the departed node whose shards must drain
+/// somewhere.
 fn rebalance_sources(ring: &shard::ShardRing, self_addr: &str, extra: Option<&str>) -> Vec<String> {
     let mut sources: Vec<String> = ring
-        .members()
+        .chains()
         .iter()
+        .map(|c| c.head().to_string())
         .filter(|m| m.as_str() != self_addr)
-        .cloned()
         .collect();
     if let Some(addr) = extra {
         if addr != self_addr && !sources.iter().any(|s| s == addr) {
@@ -786,13 +888,13 @@ fn cluster_membership(state: &ServiceState, req: &Request, join: bool) -> Respon
     // handlers).
     router.begin_transition(before);
     let sync_body = ring_sync_body(&ring, source);
-    // The departed node also gets the sync so it stops answering for
-    // shards it no longer owns.
+    // Broadcast to every serving *address* (replicas included — they
+    // route by the ring too); the departed node also gets the sync so
+    // it stops answering for shards it no longer owns.
     let mut targets: Vec<String> = ring
-        .members()
-        .iter()
+        .serving_addrs()
+        .into_iter()
         .filter(|m| m.as_str() != self_addr)
-        .cloned()
         .collect();
     if !join && addr != self_addr {
         targets.push(addr.to_string());
@@ -862,6 +964,12 @@ fn cluster_sync(state: &ServiceState, req: &Request) -> Response {
     // instead of committing onto a copy the pull would overwrite.
     let mut fields = Vec::new();
     let adopted = match router.preview(&members, epoch) {
+        Some(ring) if router.ring().same_placement(&ring) => {
+            // Pure chain-topology change (a head rotation or a replica
+            // enlistment): every name stays on its chain, so no write
+            // fence and no rebalance — adopt in place.
+            router.adopt(&members, epoch)
+        }
         Some(ring) => {
             router.begin_transition(ring.clone());
             let sources = rebalance_sources(&ring, &router.self_addr(), source);
@@ -873,6 +981,13 @@ fn cluster_sync(state: &ServiceState, req: &Request) -> Response {
         }
         None => false,
     };
+    if adopted {
+        // The adopted ring may change this node's chain role — a
+        // deposed head re-listed as a tail, or a standalone primary
+        // enlisted behind a head — so align the store's write side now.
+        // The puller retargets on the failure detector's next tick.
+        crate::failover::reconcile_role(state);
+    }
     fields.insert(0, ("adopted".to_string(), Json::Bool(adopted)));
     fields.insert(1, ("epoch".to_string(), json::n(router.epoch())));
     ok(Json::Obj(fields))
@@ -1076,8 +1191,47 @@ fn shard_route(
             .push(("X-Arbitrex-Ring-Epoch", epoch.to_string()));
         return Some(resp);
     }
+    // Reads are served by *any* member of the owning chain — replicas
+    // hold the head's KBs through WAL replication, and the
+    // `X-Arbitrex-Min-Seq` gate turns replica lag into a typed 412
+    // instead of a stale answer. That keeps reads available through a
+    // failover blackout.
+    if req.method.as_str() == "GET" && router.read_serves_locally(name) {
+        return None;
+    }
     match router.place(name) {
-        Placement::Local => None,
+        Placement::Local => {
+            // The deposed-head routing fence: the ring records each
+            // chain's WAL epoch at its last rotation. A listed head
+            // whose own store is *behind* that epoch is serving a
+            // superseded history (a deposed head that restarted, or a
+            // store rolled back under a live ring) — accepting the
+            // write would fork from the chain's true timeline.
+            if let (Some(log), Some(chain)) = (state.kbs.replication(), router.self_chain()) {
+                if chain.repl_epoch() > log.epoch() {
+                    metrics::FAILOVER_FENCED_WRITES.incr();
+                    let body = obj([
+                        (
+                            "error",
+                            json::s(format!(
+                                "this node's store (epoch {}) is behind its chain's \
+                                 recorded epoch {}; refusing the write until it resyncs",
+                                log.epoch(),
+                                chain.repl_epoch()
+                            )),
+                        ),
+                        ("code", json::n(503)),
+                        ("ring_epoch", json::n(epoch)),
+                    ]);
+                    let mut resp = Response::json(503, body.to_text());
+                    resp.extra_headers.push(("Retry-After", "1".to_string()));
+                    resp.extra_headers
+                        .push(("X-Arbitrex-Ring-Epoch", epoch.to_string()));
+                    return Some(resp);
+                }
+            }
+            None
+        }
         Placement::Remote(owner) => {
             if req.method.as_str() == "GET" {
                 Some(shard_proxy_get(state, router, req, name, &owner, epoch))
@@ -1104,9 +1258,56 @@ fn shard_route(
     }
 }
 
-/// Proxy a read to the owning shard. The forwarded request carries the
-/// internal bypass header (so the owner serves even mid-handoff) and the
-/// caller's read-your-writes watermark, if any.
+/// How many times a proxied read is attempted before the typed 502.
+const PROXY_ATTEMPTS: u32 = 3;
+
+/// Longest slice of a peer's `Retry-After` a proxy leg will honor — a
+/// read held longer than this is better answered by the next chain
+/// member than by waiting out the peer's estimate.
+const PROXY_RETRY_CAP: Duration = Duration::from_millis(250);
+
+/// One proxy leg to `target`; `Err` is a transport failure.
+fn proxy_leg(
+    state: &ServiceState,
+    target: &str,
+    name: &str,
+    min_seq: Option<&str>,
+) -> Result<PeerResponse, String> {
+    if let Some(plan) = &state.config.shard_fault {
+        if plan.fire(ShardFaultSite::ProxyDrop) {
+            return Err("injected fault: shard proxy dropped".to_string());
+        }
+    }
+    let mut headers = vec![(shard::INTERNAL_HEADER, "1")];
+    if let Some(min) = min_seq {
+        headers.push(("x-arbitrex-min-seq", min));
+    }
+    PeerClient::connect(target)
+        .map_err(|e| format!("connect {target}: {e}"))
+        .and_then(|mut client| {
+            client
+                .request_with_headers("GET", &format!("/v1/kb/{name}"), None, &headers)
+                .map_err(|e| format!("proxy to {target}: {e}"))
+        })
+}
+
+/// A peer's `Retry-After` header in seconds, if it sent one.
+fn retry_after_of(peer: &PeerResponse) -> Option<Duration> {
+    peer.headers
+        .iter()
+        .find(|(k, _)| k == "retry-after")
+        .and_then(|(_, v)| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+/// Proxy a read to the owning chain. The forwarded request carries the
+/// internal bypass header (so the target serves even mid-handoff) and
+/// the caller's read-your-writes watermark, if any. Transient failures
+/// — transport errors, 503 (fenced or mid-transition), 421 (stale
+/// ring) — are retried with the replication puller's jittered
+/// capped-exponential backoff, walking down the owning chain (head
+/// first, then replicas) so a read stays answerable through a failover
+/// blackout; a peer's `Retry-After` is honored up to a cap.
 fn shard_proxy_get(
     state: &ServiceState,
     router: &ShardRouter,
@@ -1115,55 +1316,70 @@ fn shard_proxy_get(
     owner: &str,
     epoch: u64,
 ) -> Response {
-    let dropped = state
-        .config
-        .shard_fault
-        .as_ref()
-        .is_some_and(|plan| plan.fire(ShardFaultSite::ProxyDrop));
-    let proxied: Result<PeerResponse, String> = if dropped {
-        Err("injected fault: shard proxy dropped".to_string())
-    } else {
-        let min_seq = req.header("x-arbitrex-min-seq").map(str::to_string);
-        PeerClient::connect(owner)
-            .map_err(|e| format!("connect {owner}: {e}"))
-            .and_then(|mut client| {
-                let mut headers = vec![(shard::INTERNAL_HEADER, "1")];
-                if let Some(min) = min_seq.as_deref() {
-                    headers.push(("x-arbitrex-min-seq", min));
-                }
-                client
-                    .request_with_headers("GET", &format!("/v1/kb/{name}"), None, &headers)
-                    .map_err(|e| format!("proxy to {owner}: {e}"))
-            })
-    };
-    let mut resp = match proxied {
-        Ok(peer) => {
-            metrics::SHARD_PROXIED_READS.incr();
-            // Mid-handoff read race: the ring already points at the new
-            // owner but the pull has not landed there yet, so the local
-            // copy (not yet released) is still the truth — serve it.
-            // Scoped strictly to an active transition: outside one, the
-            // owner's 404 is authoritative, and a stale leftover copy
-            // (e.g. after a torn handoff) must not resurrect a KB that
-            // was legitimately deleted at its owner.
-            let fallback = (peer.status == 404 && router.in_transition(name))
-                .then(|| local_kb_view(state, name))
-                .flatten();
-            match fallback {
-                Some(local) => ok(local),
-                None => match String::from_utf8(peer.body) {
-                    Ok(text) => Response::json(peer.status, text),
-                    Err(_) => {
-                        error_response(502, format!("shard {owner} returned a non-JSON body"))
-                    }
-                },
+    let mut targets = router.read_targets(name);
+    if targets.is_empty() {
+        targets.push(owner.to_string());
+    }
+    let min_seq = req.header("x-arbitrex-min-seq").map(str::to_string);
+    // Deterministic per-name seed: tests can assert the jitter band.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut backoff = replication::Backoff::new(seed);
+    let mut last_failure = String::new();
+    for attempt in 0..PROXY_ATTEMPTS {
+        let target = &targets[attempt as usize % targets.len()];
+        let retry_after = match proxy_leg(state, target, name, min_seq.as_deref()) {
+            Ok(peer) if peer.status != 503 && peer.status != 421 => {
+                metrics::SHARD_PROXIED_READS.incr();
+                // Mid-handoff read race: the ring already points at the
+                // new owner but the pull has not landed there yet, so
+                // the local copy (not yet released) is still the truth —
+                // serve it. Scoped strictly to an active transition:
+                // outside one, the owner's 404 is authoritative, and a
+                // stale leftover copy (e.g. after a torn handoff) must
+                // not resurrect a KB that was legitimately deleted.
+                let fallback = (peer.status == 404 && router.in_transition(name))
+                    .then(|| local_kb_view(state, name))
+                    .flatten();
+                let mut resp = match fallback {
+                    Some(local) => ok(local),
+                    None => match String::from_utf8(peer.body) {
+                        Ok(text) => Response::json(peer.status, text),
+                        Err(_) => {
+                            error_response(502, format!("shard {target} returned a non-JSON body"))
+                        }
+                    },
+                };
+                resp.extra_headers
+                    .push(("X-Arbitrex-Shard-Owner", target.to_string()));
+                resp.extra_headers
+                    .push(("X-Arbitrex-Ring-Epoch", epoch.to_string()));
+                return resp;
             }
+            Ok(peer) => {
+                last_failure = format!("shard {target} refused with {}", peer.status);
+                retry_after_of(&peer)
+            }
+            Err(message) => {
+                last_failure = message;
+                None
+            }
+        };
+        if attempt + 1 < PROXY_ATTEMPTS {
+            metrics::FAILOVER_PROXY_RETRIES.incr();
+            let mut delay = backoff.next_delay();
+            if let Some(hint) = retry_after {
+                delay = delay.max(hint.min(PROXY_RETRY_CAP));
+            }
+            std::thread::sleep(delay);
         }
-        Err(message) => {
-            metrics::SHARD_PROXY_FAILURES.incr();
-            error_response(502, message)
-        }
-    };
+    }
+    metrics::SHARD_PROXY_FAILURES.incr();
+    let mut resp = error_response(
+        502,
+        format!("{last_failure} (after {PROXY_ATTEMPTS} attempts)"),
+    );
     resp.extra_headers
         .push(("X-Arbitrex-Shard-Owner", owner.to_string()));
     resp.extra_headers

@@ -364,14 +364,12 @@ impl Server {
         let work = Arc::new(WorkQueue::new(self.state.config.queue_depth.max(1)));
         let completions = Arc::new(Completions::new()?);
 
-        // A replica streams the primary's WAL on a dedicated thread; the
-        // event loop only ever serves reads (and, later, the promote).
-        let puller = self
-            .state
-            .config
-            .replicate_from
-            .clone()
-            .map(|primary| crate::replication::spawn_puller(Arc::clone(&self.state), primary));
+        // A replica streams its primary's WAL on a dedicated thread.
+        // The failover supervisor owns the puller slot so a chain
+        // rotation can retarget it later; the detector thread probes
+        // this node's chain head and promotes through it.
+        crate::failover::ensure_puller(&self.state);
+        let detector = crate::failover::spawn_detector(Arc::clone(&self.state));
 
         let workers: Vec<_> = (0..threads)
             .map(|i| {
@@ -423,12 +421,11 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
-        if let Some(handle) = puller {
-            if let Some(log) = state.kbs.replication() {
-                log.stop_puller();
-            }
+        state.failover.request_stop();
+        if let Some(handle) = detector {
             let _ = handle.join();
         }
+        crate::failover::join_puller(&state);
         // Drain complete: no worker can commit anymore. Fold the WAL
         // into a final snapshot so the next startup replays nothing.
         // Best-effort — every commit is already durable in the log.

@@ -106,36 +106,180 @@ fn rendezvous(name: &str, member: &str) -> u64 {
     fnv1a(&bytes)
 }
 
+// --- replica chains ----------------------------------------------------------
+
+/// Separator between the members of a chain spec (`head~r1~r2`).
+pub const CHAIN_SEP: char = '~';
+
+/// One ring entry: a replica **chain** — a head that accepts writes plus
+/// ordered replicas pulling its WAL (PR 8's replication). The ring hashes
+/// by the chain's `anchor`, a stable identity that survives head
+/// rotation: when the head dies and the first replica self-promotes, the
+/// chain's vnode points do not move, so failover reassigns *roles inside
+/// the chain* without migrating a single KB.
+///
+/// Spec grammar (what `--cluster-peers`, join bodies and sync broadcasts
+/// carry): `[anchor=]head[~replica...][@repl_epoch]`. A bare `host:port`
+/// is a chain of one anchored at itself — exactly PR 9's member format,
+/// so old rings parse unchanged. The `@repl_epoch` suffix records the
+/// chain's replication fencing epoch; a rotation bumps it in lockstep
+/// with the promotion's WAL epoch, which is how the ring *composes* the
+/// two epoch spaces (a member listed behind a chain epoch above its own
+/// WAL epoch knows it was deposed while away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainEntry {
+    anchor: String,
+    /// Head first, then replicas in promotion order.
+    members: Vec<String>,
+    repl_epoch: u64,
+}
+
+impl ChainEntry {
+    /// Parse a chain spec. `None` for a spec with no members (empty
+    /// string, bare `@3`, ...).
+    pub fn parse(spec: &str) -> Option<ChainEntry> {
+        let spec = spec.trim();
+        let (spec, repl_epoch) = match spec.rsplit_once('@') {
+            Some((rest, tail)) => match tail.parse::<u64>() {
+                Ok(epoch) => (rest, epoch),
+                Err(_) => (spec, 0),
+            },
+            None => (spec, 0),
+        };
+        let (anchor, roster) = match spec.split_once('=') {
+            Some((anchor, rest)) if !anchor.is_empty() => (Some(anchor.to_string()), rest),
+            _ => (None, spec),
+        };
+        let mut members: Vec<String> = Vec::new();
+        for member in roster.split(CHAIN_SEP) {
+            let member = member.trim();
+            if !member.is_empty() && !members.iter().any(|m| m == member) {
+                members.push(member.to_string());
+            }
+        }
+        let head = members.first()?.clone();
+        Some(ChainEntry {
+            anchor: anchor.unwrap_or(head),
+            members,
+            repl_epoch,
+        })
+    }
+
+    /// The canonical spec string (`parse` of it round-trips).
+    pub fn spec(&self) -> String {
+        let mut out = String::new();
+        if self.anchor != self.members[0] {
+            out.push_str(&self.anchor);
+            out.push('=');
+        }
+        out.push_str(&self.members.join(&CHAIN_SEP.to_string()));
+        if self.repl_epoch > 0 {
+            out.push('@');
+            out.push_str(&self.repl_epoch.to_string());
+        }
+        out
+    }
+
+    /// The stable hash identity the ring places this chain by.
+    pub fn anchor(&self) -> &str {
+        &self.anchor
+    }
+
+    /// The chain head — the only member that accepts writes.
+    pub fn head(&self) -> &str {
+        &self.members[0]
+    }
+
+    /// Head first, then replicas in promotion order.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// The chain's replication fencing epoch (0 until a rotation
+    /// records one).
+    pub fn repl_epoch(&self) -> u64 {
+        self.repl_epoch
+    }
+
+    /// Is `addr` a serving member of this chain?
+    pub fn contains(&self, addr: &str) -> bool {
+        self.members.iter().any(|m| m == addr)
+    }
+
+    /// The designated successor: the first replica behind the head.
+    pub fn successor(&self) -> Option<&str> {
+        self.members.get(1).map(String::as_str)
+    }
+}
+
 // --- the ring ----------------------------------------------------------------
 
-/// A consistent-hash ring over the cluster members: each member owns
-/// `vnodes` points; a KB name belongs to the member owning the first
-/// point clockwise of the name's hash, with a rendezvous tie-break when
-/// several points collide on one hash value. Placement is a pure
-/// function of `(members, vnodes)` — two nodes holding equal rings
-/// route identically, which is what the ring epoch certifies.
+/// A consistent-hash ring over the cluster's replica chains: each chain
+/// owns `vnodes` points keyed by its stable anchor; a KB name belongs to
+/// the chain owning the first point clockwise of the name's hash, with a
+/// rendezvous tie-break when several points collide on one hash value.
+/// Placement is a pure function of `(members, vnodes)` — two nodes
+/// holding equal rings route identically, which is what the ring epoch
+/// certifies. Because points derive from anchors, rotating a chain's
+/// head (failover) or growing its replica tail never moves a name.
 #[derive(Debug, Clone)]
 pub struct ShardRing {
     epoch: u64,
     vnodes: u32,
-    /// Sorted, deduplicated member addresses.
+    /// Sorted, deduplicated canonical chain specs.
     members: Vec<String>,
-    /// `(point hash, member index)`, sorted by hash.
+    /// Parsed entries, index-aligned with `members`.
+    chains: Vec<ChainEntry>,
+    /// `(point hash, chain index)`, sorted by hash.
     points: Vec<(u64, u32)>,
 }
 
 impl ShardRing {
-    /// A ring over `members` at `epoch`. Members are sorted and
-    /// deduplicated so the ring is a function of the *set*.
+    /// A ring over `members` (chain specs or bare addresses) at `epoch`.
+    /// Specs are canonicalized, sorted and deduplicated so the ring is a
+    /// function of the *set*; a second chain colliding on an anchor is
+    /// dropped (two chains must not claim one set of points).
     pub fn new(members: impl IntoIterator<Item = String>, vnodes: u32, epoch: u64) -> ShardRing {
-        let mut members: Vec<String> = members.into_iter().filter(|m| !m.is_empty()).collect();
-        members.sort();
-        members.dedup();
+        let mut chains: Vec<ChainEntry> = members
+            .into_iter()
+            .filter_map(|spec| ChainEntry::parse(&spec))
+            .collect();
+        chains.sort_by_key(|a| a.spec());
+        chains.dedup();
+        // Absorb bare singletons into the chains that list them: a node
+        // advertising just itself (`--shard-ring auto` on a replica that
+        // has not parsed peers yet) while another spec lists it inside a
+        // multi-member chain is the same node wearing its chain role —
+        // not a second ring member claiming its own points.
+        let absorbed: Vec<bool> = chains
+            .iter()
+            .map(|c| {
+                c.members().len() == 1
+                    && chains
+                        .iter()
+                        .any(|other| other.members().len() > 1 && other.contains(&c.members()[0]))
+            })
+            .collect();
+        let mut keep = absorbed.iter();
+        chains.retain(|_| !*keep.next().unwrap());
+        let mut seen_anchors: Vec<&str> = Vec::with_capacity(chains.len());
+        let mut kept: Vec<ChainEntry> = Vec::with_capacity(chains.len());
+        for chain in &chains {
+            if !seen_anchors.contains(&chain.anchor()) {
+                seen_anchors.push(chain.anchor());
+                kept.push(chain.clone());
+            }
+        }
+        let chains = kept;
+        let members: Vec<String> = chains.iter().map(ChainEntry::spec).collect();
         let vnodes = vnodes.max(1);
-        let mut points = Vec::with_capacity(members.len() * vnodes as usize);
-        for (i, member) in members.iter().enumerate() {
+        let mut points = Vec::with_capacity(chains.len() * vnodes as usize);
+        for (i, chain) in chains.iter().enumerate() {
             for v in 0..vnodes {
-                points.push((fnv1a(format!("{member}#{v}").as_bytes()), i as u32));
+                points.push((
+                    fnv1a(format!("{}#{v}", chain.anchor()).as_bytes()),
+                    i as u32,
+                ));
             }
         }
         points.sort();
@@ -143,6 +287,7 @@ impl ShardRing {
             epoch,
             vnodes,
             members,
+            chains,
             points,
         }
     }
@@ -158,20 +303,41 @@ impl ShardRing {
         self.vnodes
     }
 
-    /// The member set, sorted.
+    /// The member set — canonical chain specs, sorted.
     pub fn members(&self) -> &[String] {
         &self.members
     }
 
-    /// Is `addr` a member?
-    pub fn contains(&self, addr: &str) -> bool {
-        self.members.iter().any(|m| m == addr)
+    /// The parsed chains, index-aligned with [`ShardRing::members`].
+    pub fn chains(&self) -> &[ChainEntry] {
+        &self.chains
     }
 
-    /// The owner of KB `name`: successor point on the ring, rendezvous
-    /// tie-break among points sharing that hash value. Empty rings own
-    /// nothing (`None`).
-    pub fn owner_of(&self, name: &str) -> Option<&str> {
+    /// Every serving **address** across all chains (heads and
+    /// replicas), in chain order. This — not [`ShardRing::members`],
+    /// which holds chain *specs* — is what membership broadcasts and
+    /// rebalance pulls must connect to.
+    pub fn serving_addrs(&self) -> Vec<String> {
+        self.chains
+            .iter()
+            .flat_map(|c| c.members().iter().cloned())
+            .collect()
+    }
+
+    /// Is `addr` a serving member of any chain (head or replica)?
+    pub fn contains(&self, addr: &str) -> bool {
+        self.chains.iter().any(|c| c.contains(addr))
+    }
+
+    /// The chain serving `addr`, if any.
+    pub fn chain_containing(&self, addr: &str) -> Option<&ChainEntry> {
+        self.chains.iter().find(|c| c.contains(addr))
+    }
+
+    /// The chain owning KB `name`: successor point on the ring,
+    /// rendezvous tie-break among points sharing that hash value. Empty
+    /// rings own nothing (`None`).
+    pub fn chain_of(&self, name: &str) -> Option<&ChainEntry> {
         if self.points.is_empty() {
             return None;
         }
@@ -184,19 +350,31 @@ impl ShardRing {
         let successor = self.points[start].0;
         // Collect every point colliding on the successor hash (sorted,
         // so they are adjacent) and break the tie by rendezvous score.
-        let mut best: Option<(&str, u64)> = None;
-        for &(point, member) in self.points[start..]
+        let mut best: Option<(u32, u64)> = None;
+        for &(point, chain) in self.points[start..]
             .iter()
             .take_while(|&&(point, _)| point == successor)
         {
             debug_assert_eq!(point, successor);
-            let candidate = self.members[member as usize].as_str();
-            let score = rendezvous(name, candidate);
+            let score = rendezvous(name, self.chains[chain as usize].anchor());
             if best.is_none_or(|(_, s)| score > s) {
-                best = Some((candidate, score));
+                best = Some((chain, score));
             }
         }
-        best.map(|(m, _)| m)
+        best.map(|(chain, _)| &self.chains[chain as usize])
+    }
+
+    /// The head of the chain owning KB `name` — the address a write for
+    /// `name` must land on.
+    pub fn owner_of(&self, name: &str) -> Option<&str> {
+        self.chain_of(name).map(ChainEntry::head)
+    }
+
+    /// The stable anchor of the chain owning `name` — the identity the
+    /// handoff fence compares: a name is "moving" only when its *chain*
+    /// changes, not when roles rotate inside one chain.
+    pub fn anchor_of(&self, name: &str) -> Option<&str> {
+        self.chain_of(name).map(ChainEntry::anchor)
     }
 
     /// Would a broadcast ring `(members, epoch)` supersede this one?
@@ -214,15 +392,29 @@ impl ShardRing {
         if epoch != self.epoch {
             return epoch > self.epoch;
         }
-        let mut candidate: Vec<&str> = members
+        // Canonicalize through the chain parser so a broadcast spelling
+        // a chain differently (`a~a` dups, whitespace) compares equal.
+        let mut candidate: Vec<String> = members
             .iter()
-            .filter(|m| !m.is_empty())
-            .map(String::as_str)
+            .filter_map(|m| ChainEntry::parse(m))
+            .map(|c| c.spec())
             .collect();
         candidate.sort_unstable();
         candidate.dedup();
-        let current: Vec<&str> = self.members.iter().map(String::as_str).collect();
-        candidate > current
+        candidate > self.members
+    }
+
+    /// Do two rings place every name identically — same anchors, same
+    /// vnodes? True across pure chain-topology changes (rotation,
+    /// replica enlist/drop), which is what lets the sync path adopt them
+    /// without a handoff fence or a rebalance pull.
+    pub fn same_placement(&self, other: &ShardRing) -> bool {
+        // Chains sort by spec, not anchor, so compare anchor *sets*.
+        let mut ours: Vec<&str> = self.chains.iter().map(ChainEntry::anchor).collect();
+        let mut theirs: Vec<&str> = other.chains.iter().map(ChainEntry::anchor).collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        self.vnodes == other.vnodes && ours == theirs
     }
 }
 
@@ -261,13 +453,18 @@ pub struct ShardRouter {
 }
 
 impl ShardRouter {
-    /// A router for a node advertising `self_spec` (or [`SELF_AUTO`]),
-    /// seeded with `peers` at ring epoch 1.
+    /// A router for a node advertising `self_spec` — a bare address,
+    /// [`SELF_AUTO`], or a chain spec whose head is this node (e.g.
+    /// `auto~10.0.0.2:7313` declares a replica behind us) — seeded with
+    /// `peers` (addresses or chain specs) at ring epoch 1.
     pub fn new(self_spec: String, peers: &[String], vnodes: u32) -> ShardRouter {
-        let members = std::iter::once(self_spec.clone()).chain(peers.iter().cloned());
+        let self_addr = ChainEntry::parse(&self_spec)
+            .map(|c| c.head().to_string())
+            .unwrap_or(self_spec.clone());
+        let members = std::iter::once(self_spec).chain(peers.iter().cloned());
         ShardRouter {
             ring: RwLock::new(ShardRing::new(members, vnodes, 1)),
-            self_addr: RwLock::new(self_spec),
+            self_addr: RwLock::new(self_addr),
             membership: Mutex::new(()),
             pending: RwLock::new(None),
         }
@@ -312,26 +509,38 @@ impl ShardRouter {
             return false;
         };
         let ring = self.ring.read().unwrap();
-        other.owner_of(name) != ring.owner_of(name)
+        // Compare anchors, not heads: a rotation inside one chain moves
+        // no data, so it must not fence anything.
+        other.anchor_of(name) != ring.anchor_of(name)
     }
 
     /// Replace the [`SELF_AUTO`] placeholder with the actually bound
-    /// address. Called once, between bind and serve.
+    /// address — inside chain specs too (a self chain declared as
+    /// `auto~replica` becomes `addr~replica`). Called once, between
+    /// bind and serve.
     pub fn resolve_self(&self, actual: &str) {
         let mut self_addr = self.self_addr.write().unwrap();
         if self_addr.as_str() != SELF_AUTO {
             return;
         }
         let mut ring = self.ring.write().unwrap();
+        let resolve = |m: &str| {
+            if m == SELF_AUTO {
+                actual.to_string()
+            } else {
+                m.to_string()
+            }
+        };
         let members: Vec<String> = ring
-            .members
+            .chains
             .iter()
-            .map(|m| {
-                if m == SELF_AUTO {
-                    actual.to_string()
-                } else {
-                    m.clone()
-                }
+            .map(|chain| {
+                let entry = ChainEntry {
+                    anchor: resolve(chain.anchor()),
+                    members: chain.members().iter().map(|m| resolve(m)).collect(),
+                    repl_epoch: chain.repl_epoch(),
+                };
+                entry.spec()
             })
             .collect();
         *ring = ShardRing::new(members, ring.vnodes, ring.epoch);
@@ -353,8 +562,9 @@ impl ShardRouter {
         self.ring.read().unwrap().clone()
     }
 
-    /// Where a request for KB `name` belongs under the current ring. A
-    /// node that has been removed from the ring (it processed its own
+    /// Where a *write* for KB `name` belongs under the current ring:
+    /// local only when this node is the owning chain's head. A node
+    /// that has been removed from the ring (it processed its own
     /// `leave`) places everything remotely — it degrades to a pure
     /// redirector until re-joined.
     pub fn place(&self, name: &str) -> Placement {
@@ -367,11 +577,51 @@ impl ShardRouter {
         }
     }
 
-    /// Add `addr` to the ring, bumping the epoch. `None` when it is
-    /// already a member (the ring is unchanged).
+    /// May this node serve a *read* of KB `name` from its own store?
+    /// True for every member of the owning chain — replicas hold the
+    /// head's KBs through WAL replication, and the `X-Arbitrex-Min-Seq`
+    /// gate turns any lag into a typed 412 instead of a stale answer.
+    pub fn read_serves_locally(&self, name: &str) -> bool {
+        let ring = self.ring.read().unwrap();
+        let self_addr = self.self_addr.read().unwrap();
+        match ring.chain_of(name) {
+            Some(chain) => chain.contains(&self_addr),
+            None => true, // empty ring: serve locally
+        }
+    }
+
+    /// Proxy targets for a read of `name`: the owning chain's members in
+    /// order (head freshest first), excluding this node. A proxied read
+    /// that cannot reach the head falls down the chain — that is what
+    /// keeps reads available through a failover blackout.
+    pub fn read_targets(&self, name: &str) -> Vec<String> {
+        let ring = self.ring.read().unwrap();
+        let self_addr = self.self_addr.read().unwrap();
+        match ring.chain_of(name) {
+            Some(chain) => chain
+                .members()
+                .iter()
+                .filter(|m| *m != self_addr.as_str())
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The chain this node serves in, if any.
+    pub fn self_chain(&self) -> Option<ChainEntry> {
+        let ring = self.ring.read().unwrap();
+        let self_addr = self.self_addr.read().unwrap();
+        ring.chain_containing(&self_addr).cloned()
+    }
+
+    /// Add the chain spec `addr` to the ring, bumping the epoch. `None`
+    /// when any of its members already serves in the ring (the ring is
+    /// unchanged).
     pub fn add_member(&self, addr: &str) -> Option<ShardRing> {
         let mut ring = self.ring.write().unwrap();
-        if ring.contains(addr) {
+        let entry = ChainEntry::parse(addr)?;
+        if entry.members().iter().any(|m| ring.contains(m)) {
             return None;
         }
         let members = ring
@@ -384,16 +634,104 @@ impl ShardRouter {
         Some(ring.clone())
     }
 
-    /// Remove `addr` from the ring, bumping the epoch. `None` when it
-    /// was not a member.
+    /// Remove the node `addr` from the ring, bumping the epoch: dropped
+    /// from its chain's roster, and the chain itself dissolves when it
+    /// was the last member. `None` when `addr` serves nowhere.
     pub fn remove_member(&self, addr: &str) -> Option<ShardRing> {
         let mut ring = self.ring.write().unwrap();
         if !ring.contains(addr) {
             return None;
         }
-        let members = ring.members.iter().filter(|m| m.as_str() != addr).cloned();
+        let members: Vec<String> = ring
+            .chains
+            .iter()
+            .filter_map(|chain| {
+                let roster: Vec<String> = chain
+                    .members()
+                    .iter()
+                    .filter(|m| m.as_str() != addr)
+                    .cloned()
+                    .collect();
+                let entry = ChainEntry {
+                    anchor: chain.anchor().to_string(),
+                    members: roster,
+                    repl_epoch: chain.repl_epoch(),
+                };
+                if entry.members.is_empty() {
+                    None
+                } else {
+                    Some(entry.spec())
+                }
+            })
+            .collect();
         *ring = ShardRing::new(members, ring.vnodes, ring.epoch + 1);
         metrics::SHARD_RING_CHANGES.incr();
+        Some(ring.clone())
+    }
+
+    /// Enlist `addr` at the tail of the chain serving `host` (an
+    /// existing member, usually the head), bumping the epoch. Placement
+    /// is untouched — the anchor does not change — so no rebalance
+    /// follows, only the new replica's WAL pull. `None` when `host`
+    /// serves nowhere or `addr` already serves somewhere.
+    pub fn enlist_member(&self, host: &str, addr: &str) -> Option<ShardRing> {
+        let mut ring = self.ring.write().unwrap();
+        if ring.contains(addr) || addr.is_empty() {
+            return None;
+        }
+        ring.chain_containing(host)?;
+        let members: Vec<String> = ring
+            .chains
+            .iter()
+            .map(|chain| {
+                if chain.contains(host) {
+                    let mut roster = chain.members().to_vec();
+                    roster.push(addr.to_string());
+                    ChainEntry {
+                        anchor: chain.anchor().to_string(),
+                        members: roster,
+                        repl_epoch: chain.repl_epoch(),
+                    }
+                    .spec()
+                } else {
+                    chain.spec()
+                }
+            })
+            .collect();
+        *ring = ShardRing::new(members, ring.vnodes, ring.epoch + 1);
+        metrics::SHARD_RING_CHANGES.incr();
+        Some(ring.clone())
+    }
+
+    /// Rotate the chain headed by `dead_head`: drop the head, promote
+    /// the first replica, and record `new_repl_epoch` (the promotion's
+    /// WAL epoch) on the chain — the ring-level half of the epoch
+    /// composition that fences the deposed head. Bumps the ring epoch.
+    /// `None` when no chain is headed by `dead_head` or the chain has
+    /// no replica to promote.
+    pub fn rotate_chain(&self, dead_head: &str, new_repl_epoch: u64) -> Option<ShardRing> {
+        let mut ring = self.ring.write().unwrap();
+        let chain = ring.chains.iter().find(|c| c.head() == dead_head)?;
+        chain.successor()?;
+        let members: Vec<String> = ring
+            .chains
+            .iter()
+            .map(|chain| {
+                if chain.head() == dead_head {
+                    ChainEntry {
+                        anchor: chain.anchor().to_string(),
+                        members: chain.members()[1..].to_vec(),
+                        repl_epoch: new_repl_epoch.max(chain.repl_epoch()),
+                    }
+                    .spec()
+                } else {
+                    chain.spec()
+                }
+            })
+            .collect();
+        *ring = ShardRing::new(members, ring.vnodes, ring.epoch + 1);
+        metrics::SHARD_RING_CHANGES.incr();
+        metrics::FAILOVER_CHAIN_ROTATIONS.incr();
         Some(ring.clone())
     }
 
@@ -917,9 +1255,18 @@ mod tests {
         let ring_a = ShardRing::new(set_a.clone(), 8, 4);
         let ring_b = ShardRing::new(set_b.clone(), 8, 4);
         assert!(ring_a.superseded_by(&set_b, 4), "b wins the tie-break");
-        assert!(!ring_b.superseded_by(&set_a, 4), "the winner keeps its ring");
-        assert!(!ring_a.superseded_by(&set_a, 4), "identical ring is not newer");
-        assert!(ring_b.superseded_by(&set_a, 5), "a higher epoch beats any set");
+        assert!(
+            !ring_b.superseded_by(&set_a, 4),
+            "the winner keeps its ring"
+        );
+        assert!(
+            !ring_a.superseded_by(&set_a, 4),
+            "identical ring is not newer"
+        );
+        assert!(
+            ring_b.superseded_by(&set_a, 5),
+            "a higher epoch beats any set"
+        );
         // Member order and duplicates in the broadcast must not change
         // the outcome: the order is over the *set*.
         let shuffled = vec![set_b[1].clone(), set_b[0].clone(), set_b[1].clone()];
@@ -1014,5 +1361,165 @@ mod tests {
         }
         assert_eq!(ShardFaultSite::parse("shard_gremlins"), None);
         assert_eq!(ShardFaultSite::parse("net_drop"), None);
+    }
+
+    #[test]
+    fn chain_specs_parse_and_round_trip() {
+        // A bare address is a chain of one anchored at itself — PR 9's
+        // member format, unchanged.
+        let bare = ChainEntry::parse("10.0.0.1:7313").unwrap();
+        assert_eq!(bare.anchor(), "10.0.0.1:7313");
+        assert_eq!(bare.head(), "10.0.0.1:7313");
+        assert_eq!(bare.successor(), None);
+        assert_eq!(bare.repl_epoch(), 0);
+        assert_eq!(bare.spec(), "10.0.0.1:7313");
+
+        let chain = ChainEntry::parse("a:1~b:1~c:1@3").unwrap();
+        assert_eq!(chain.anchor(), "a:1", "anchor defaults to the head");
+        assert_eq!(chain.head(), "a:1");
+        assert_eq!(chain.successor(), Some("b:1"));
+        assert_eq!(chain.members(), ["a:1", "b:1", "c:1"]);
+        assert_eq!(chain.repl_epoch(), 3);
+        assert_eq!(chain.spec(), "a:1~b:1~c:1@3");
+
+        // A rotated chain keeps its original anchor, rendered only when
+        // it no longer equals the head.
+        let rotated = ChainEntry::parse("a:1=b:1~c:1@4").unwrap();
+        assert_eq!(rotated.anchor(), "a:1");
+        assert_eq!(rotated.head(), "b:1");
+        assert_eq!(rotated.spec(), "a:1=b:1~c:1@4");
+        assert_eq!(
+            ChainEntry::parse(&rotated.spec()).unwrap(),
+            rotated,
+            "canonical specs round-trip"
+        );
+
+        assert!(ChainEntry::parse("").is_none());
+        assert!(ChainEntry::parse("@3").is_none());
+    }
+
+    #[test]
+    fn singleton_specs_absorb_into_the_chain_that_lists_them() {
+        // A replica advertising just itself while a peer's spec lists it
+        // inside a chain is one node, not two ring members.
+        let ring = ShardRing::new(
+            ["b:1".to_string(), "a:1~b:1".to_string(), "c:1".to_string()],
+            16,
+            1,
+        );
+        assert_eq!(ring.chains().len(), 2);
+        assert_eq!(ring.chain_containing("b:1").unwrap().head(), "a:1");
+        assert!(ring.contains("c:1"), "unrelated singletons survive");
+        assert_eq!(
+            ring.serving_addrs(),
+            ["a:1".to_string(), "b:1".to_string(), "c:1".to_string()],
+            "serving addresses flatten every chain"
+        );
+    }
+
+    #[test]
+    fn rotation_and_enlistment_never_move_placement() {
+        let before = ShardRing::new(
+            ["a:1~b:1".to_string(), "c:1".to_string(), "d:1".to_string()],
+            64,
+            1,
+        );
+        // Head a:1 dies: b:1 promotes at WAL epoch 2.
+        let rotated = ShardRing::new(
+            [
+                "a:1=b:1@2".to_string(),
+                "c:1".to_string(),
+                "d:1".to_string(),
+            ],
+            64,
+            2,
+        );
+        // c:1 grows a replica tail.
+        let enlisted = ShardRing::new(
+            [
+                "a:1~b:1".to_string(),
+                "c:1~e:1".to_string(),
+                "d:1".to_string(),
+            ],
+            64,
+            2,
+        );
+        assert!(before.same_placement(&rotated));
+        assert!(before.same_placement(&enlisted));
+        for name in names(300) {
+            // Every name stays on its chain; only the head role moved.
+            assert_eq!(
+                before.anchor_of(&name).unwrap(),
+                rotated.anchor_of(&name).unwrap(),
+                "{name}"
+            );
+            let owner_before = before.owner_of(&name).unwrap();
+            let owner_after = rotated.owner_of(&name).unwrap();
+            if owner_before == "a:1" {
+                assert_eq!(owner_after, "b:1", "{name} follows the promotion");
+            } else {
+                assert_eq!(owner_before, owner_after, "{name}");
+            }
+            assert_eq!(owner_before, enlisted.owner_of(&name).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn router_enlists_and_rotates_chains_in_place() {
+        let router = ShardRouter::new(
+            "a:1".to_string(),
+            &["a:1".to_string(), "c:1".to_string()],
+            64,
+        );
+        let grown = router.enlist_member("a:1", "b:1").expect("enlists");
+        assert_eq!(grown.epoch(), 2);
+        assert_eq!(
+            grown.chain_containing("a:1").unwrap().members(),
+            ["a:1", "b:1"]
+        );
+        assert!(
+            router.enlist_member("a:1", "b:1").is_none(),
+            "an already-serving member cannot enlist again"
+        );
+        assert!(
+            router.enlist_member("nobody:1", "d:1").is_none(),
+            "the host must serve somewhere"
+        );
+
+        let rotated = router.rotate_chain("a:1", 2).expect("rotates");
+        assert_eq!(rotated.epoch(), 3);
+        let chain = rotated.chain_containing("b:1").unwrap().clone();
+        assert_eq!(chain.head(), "b:1");
+        assert_eq!(chain.anchor(), "a:1", "the anchor survives the rotation");
+        assert_eq!(chain.repl_epoch(), 2);
+        assert!(!rotated.contains("a:1"), "the deposed head serves nowhere");
+        assert!(
+            router.rotate_chain("c:1", 2).is_none(),
+            "a chain of one has no successor to promote"
+        );
+    }
+
+    #[test]
+    fn replicas_serve_reads_locally_but_route_writes_to_their_head() {
+        let router = ShardRouter::new(
+            "b:1".to_string(),
+            &["a:1~b:1".to_string(), "c:1".to_string()],
+            64,
+        );
+        let ring = router.ring();
+        let mut chained = 0;
+        for name in names(200) {
+            let owner = ring.owner_of(&name).unwrap().to_string();
+            if owner == "a:1" {
+                chained += 1;
+                assert!(router.read_serves_locally(&name), "{name}");
+                assert_eq!(router.place(&name), Placement::Remote("a:1".to_string()));
+                assert_eq!(router.read_targets(&name), ["a:1".to_string()], "{name}");
+            } else {
+                assert!(!router.read_serves_locally(&name), "{name}");
+                assert_eq!(router.place(&name), Placement::Remote(owner));
+            }
+        }
+        assert!(chained > 0, "the chain must own some names");
     }
 }

@@ -1,20 +1,27 @@
 //! Sharding integration suite: consistent-hash routing across live
 //! nodes, membership change with digest-driven handoff, ring-epoch
-//! fencing, and the deterministic `shard_*` fault matrix.
+//! fencing, replica chains with automatic head failover, and the
+//! deterministic `shard_*`/`net_*` fault matrix.
 //!
 //! Covers the acceptance criteria of the sharded cluster: a ring member
 //! proxies reads and redirects writes for KBs it does not own; a stale
 //! ring pin is refused with a typed 421 instead of a split-brain
 //! commit; joining a node migrates exactly the newcomer's slice (pull
 //! before release, so no acked commit is ever lost); leaving drains the
-//! departing node completely; and every injected fault (torn handoff,
-//! stale ring, dropped proxy) degrades into a typed error while both
-//! copies of any in-flight KB survive.
+//! departing node completely; an enlisted chain replica serves reads
+//! and takes over its head's writes on quorum-confirmed death with
+//! zero acked-commit loss; a suspected-but-alive head behind a
+//! transient partition is fenced, not split-brained; and every injected
+//! fault (torn handoff, stale ring, dropped proxy) degrades into a
+//! typed error or a transparent retry while both copies of any
+//! in-flight KB survive.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
+use arbitrex_server::replication::{NetFaultPlan, NetFaultSite};
 use arbitrex_server::shard::{ShardFaultPlan, ShardFaultSite, ShardRing, DEFAULT_VNODES};
 use arbitrex_server::{spawn, RunningServer, ServerConfig};
 
@@ -72,6 +79,57 @@ fn name_owned_by(ring: &ShardRing, owner: SocketAddr) -> String {
         .map(|i| format!("kb-{i}"))
         .find(|name| ring.owner_of(name) == Some(owner.as_str()))
         .expect("some name in 10k lands on every member")
+}
+
+/// KB names `owner` will own under `ring`, searched deterministically.
+fn names_owned_by(ring: &ShardRing, owner: SocketAddr, want: usize) -> Vec<String> {
+    let owner = owner.to_string();
+    let found: Vec<String> = (0..10_000)
+        .map(|i| format!("kb-{i}"))
+        .filter(|name| ring.owner_of(name) == Some(owner.as_str()))
+        .take(want)
+        .collect();
+    assert_eq!(found.len(), want, "not enough names land on {owner}");
+    found
+}
+
+/// Poll `check` every 25ms until it returns true, up to `timeout_ms`.
+fn wait_until(timeout_ms: u64, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    loop {
+        if check() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Failover-speed detector settings: probe every 50ms, suspect after 2.
+fn fast_detector(config: &mut ServerConfig) {
+    config.probe_interval_ms = 50;
+    config.suspect_after = 2;
+}
+
+/// The `/v1/replication/status` role of a node, or "" on any failure.
+fn role_of(server: &RunningServer) -> String {
+    let (status, v) = request(server, "GET", "/v1/replication/status", "");
+    if status != 200 {
+        return String::new();
+    }
+    str_of(&v, "role").to_string()
+}
+
+/// Are two nodes' `/v1/kbs` listings byte-identical (names, seqs,
+/// content hashes) and non-empty?
+fn digests_match(a: &RunningServer, b: &RunningServer) -> bool {
+    let mut on_a = listing(a);
+    let mut on_b = listing(b);
+    on_a.sort();
+    on_b.sort();
+    !on_a.is_empty() && on_a == on_b
 }
 
 /// Per-node `/v1/kbs` listing as `(name, seq, hash)` triples.
@@ -381,7 +439,7 @@ fn torn_handoff_leaves_both_copies_alive() {
 }
 
 #[test]
-fn proxy_drop_fault_degrades_to_typed_502_then_recovers() {
+fn proxy_drop_fault_is_retried_to_success() {
     let (dir1, dir2) = (temp_state_dir("drop1"), temp_state_dir("drop2"));
     let n1 = shard_server(&dir1, |c| {
         c.shard_fault = Some(ShardFaultPlan::new(ShardFaultSite::ProxyDrop, 1));
@@ -399,17 +457,15 @@ fn proxy_drop_fault_degrades_to_typed_502_then_recovers() {
     let theirs = name_owned_by(&ring, n2.addr);
     put(&n2, &theirs, "A <-> B");
 
-    // First proxied read hits the injected drop...
-    let (status, v) = request(&n1, "GET", &format!("/v1/kb/{theirs}"), "");
-    assert_eq!(status, 502, "{v:?}");
-    assert!(
-        str_of(&v, "error").contains("injected fault"),
-        "unexpected error: {v:?}"
-    );
-    // ...the plan disarms, and the next read proxies through.
+    // The first proxied read eats the injected drop, retries with
+    // jittered backoff against the owning chain, and succeeds — the
+    // client never sees the transient.
     let (status, v) = request(&n1, "GET", &format!("/v1/kb/{theirs}"), "");
     assert_eq!(status, 200, "{v:?}");
     assert_eq!(str_of(&v, "name"), theirs);
+    // The single-shot plan disarmed on the dropped leg: still clean.
+    let (status, v) = request(&n1, "GET", &format!("/v1/kb/{theirs}"), "");
+    assert_eq!(status, 200, "{v:?}");
 }
 
 #[test]
@@ -518,6 +574,292 @@ fn owner_404_is_relayed_not_resurrected() {
     assert_eq!(
         status, 404,
         "deleted KB `{name}` resurrected from a stale local copy: {v:?}"
+    );
+}
+
+#[test]
+fn enlisted_replica_serves_chain_reads_and_routes_writes_to_the_head() {
+    let (dir1, dir2) = (temp_state_dir("chain1"), temp_state_dir("chain2"));
+    let n1 = shard_server(&dir1, |_| {});
+    let seq = put(&n1, "chained", "A & B");
+
+    // The replica boots in the combined posture: a ring member of its
+    // own solo ring, streaming the head's WAL from outside it.
+    let n2 = shard_server(&dir2, |c| {
+        c.replicate_from = Some(n1.addr.to_string());
+    });
+    assert!(
+        wait_until(5_000, || {
+            let (status, v) = request(&n2, "GET", "/v1/replication/status", "");
+            status == 200 && num_of(&v, "visible") >= seq
+        }),
+        "replica never caught up with the head"
+    );
+
+    // The operator enlists it into the head's chain.
+    let (status, v) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/enlist",
+        &format!(r#"{{"host": "{}", "addr": "{}"}}"#, n1.addr, n2.addr),
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(v.get("enlisted").and_then(|b| b.as_bool()), Some(true));
+    assert_eq!(num_of(&v, "epoch"), 2);
+    assert_eq!(num_of(&v, "synced"), 1, "the new tail did not ack the ring");
+
+    // The tail adopted the chain ring (no rebalance: placement is
+    // anchored, growing a tail moves nothing)...
+    let (_, ring) = request(&n2, "GET", "/v1/cluster/ring", "");
+    assert_eq!(num_of(&ring, "epoch"), 2);
+    let members = ring.get("members").and_then(|m| m.as_array()).unwrap();
+    assert_eq!(members.len(), 1, "{ring:?}");
+    assert_eq!(
+        members[0].as_str().unwrap(),
+        format!("{}~{}", n1.addr, n2.addr)
+    );
+
+    // ...serves chain reads locally, honoring the caller's
+    // read-your-writes watermark...
+    let (status, head, v) = Client::connect_server(&n2).request_full(
+        "GET",
+        "/v1/kb/chained",
+        &[("X-Arbitrex-Min-Seq", &seq.to_string())],
+        "",
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(str_of(&v, "name"), "chained");
+    assert!(
+        !head.contains("X-Arbitrex-Shard-Owner"),
+        "a chain member must serve reads from its own store, got {head}"
+    );
+    // ...turns lag beyond its watermark into a typed 412, never a
+    // stale answer...
+    let (status, _, v) = Client::connect_server(&n2).request_full(
+        "GET",
+        "/v1/kb/chained",
+        &[("X-Arbitrex-Min-Seq", &(seq + 5).to_string())],
+        "",
+    );
+    assert_eq!(status, 412, "{v:?}");
+    // ...and routes writes to the chain head.
+    let (status, head, v) = Client::connect_server(&n2).request_full(
+        "POST",
+        "/v1/kb/chained",
+        &[],
+        r#"{"action": "put", "formula": "A & B & C"}"#,
+    );
+    assert_eq!(status, 307, "{v:?}");
+    assert!(
+        head.contains(&format!("Location: http://{}/v1/kb/chained", n1.addr)),
+        "write must redirect to the head, got {head}"
+    );
+}
+
+#[test]
+fn head_death_promotes_the_successor_and_reconciles_its_return() {
+    let (dir1, dir2, dir3) = (
+        temp_state_dir("fo1"),
+        temp_state_dir("fo2"),
+        temp_state_dir("fo3"),
+    );
+    let n1 = shard_server(&dir1, fast_detector);
+    let n1_addr = n1.addr;
+    let n3 = shard_server(&dir3, fast_detector);
+    let (status, _) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n3.addr),
+    );
+    assert_eq!(status, 200);
+
+    let n2 = shard_server(&dir2, |c| {
+        fast_detector(c);
+        c.replicate_from = Some(n1_addr.to_string());
+    });
+    let (status, v) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/enlist",
+        &format!(r#"{{"host": "{}", "addr": "{}"}}"#, n1_addr, n2.addr),
+    );
+    assert_eq!(status, 200, "{v:?}");
+    assert_eq!(num_of(&v, "synced"), 2, "tail and voter must ack the ring");
+
+    // Seed the chain's slice through its head and let the tail catch up.
+    let ring = ShardRing::new(
+        [format!("{n1_addr}~{}", n2.addr), n3.addr.to_string()],
+        DEFAULT_VNODES,
+        0,
+    );
+    let mut acked = Vec::new();
+    for name in names_owned_by(&ring, n1_addr, 6) {
+        let seq = put(&n1, &name, "A -> B");
+        acked.push((name, seq));
+    }
+    assert!(
+        wait_until(5_000, || {
+            let (status, v) = request(&n2, "GET", "/v1/replication/status", "");
+            status == 200 && num_of(&v, "visible") >= acked.len() as u64
+        }),
+        "tail never caught up before the failover"
+    );
+
+    // Kill the chain head outright.
+    n1.stop().expect("stop head");
+
+    // Reads stay available through the blackout: a routed read from the
+    // voter walks down the chain past the dead head to the replica.
+    let (name0, seq0) = acked[0].clone();
+    let (status, v) = request(&n3, "GET", &format!("/v1/kb/{name0}"), "");
+    assert_eq!(status, 200, "read died with the head: {v:?}");
+    assert!(num_of(&v, "seq") >= seq0);
+
+    // The successor suspects, confirms with the voter, and promotes.
+    assert!(
+        wait_until(10_000, || role_of(&n2) == "primary"),
+        "successor never promoted"
+    );
+    let (_, ring_view) = request(&n2, "GET", "/v1/cluster/ring", "");
+    let members = ring_view.get("members").and_then(|m| m.as_array()).unwrap();
+    let chain_spec = members
+        .iter()
+        .filter_map(|m| m.as_str())
+        .find(|m| m.contains(&n2.addr.to_string()))
+        .expect("rotated chain in ring");
+    assert_eq!(
+        chain_spec,
+        format!("{n1_addr}={}@2", n2.addr),
+        "rotation must keep the anchor and record the promotion epoch"
+    );
+
+    // Zero acked-commit loss across the failover.
+    for (name, seq) in &acked {
+        let (status, v) = request(&n2, "GET", &format!("/v1/kb/{name}"), "");
+        assert_eq!(status, 200, "acked `{name}` lost in failover: {v:?}");
+        assert!(num_of(&v, "seq") >= *seq, "`{name}` regressed: {v:?}");
+    }
+
+    // The voter converges on the rotated ring and routes writes to the
+    // new head.
+    assert!(
+        wait_until(5_000, || {
+            let (_, v) = request(&n3, "GET", "/v1/cluster/ring", "");
+            num_of(&v, "epoch") == 4
+        }),
+        "voter never adopted the rotated ring"
+    );
+    let (status, head, v) = Client::connect_server(&n3).request_full(
+        "POST",
+        &format!("/v1/kb/{name0}"),
+        &[],
+        r#"{"action": "put", "formula": "A -> B & C"}"#,
+    );
+    assert_eq!(status, 307, "{v:?}");
+    assert!(
+        head.contains(&format!("X-Arbitrex-Shard-Owner: {}", n2.addr)),
+        "write must route to the promoted head, got {head}"
+    );
+    let (status, _) = request(
+        &n2,
+        "POST",
+        &format!("/v1/kb/{name0}"),
+        r#"{"action": "put", "formula": "A -> B & C"}"#,
+    );
+    assert_eq!(status, 200);
+
+    // The deposed head restarts on its old address: the new head
+    // probes it back to life, Δ-reconciles what it held, re-enlists it
+    // as the chain's tail, and the rejoiner demotes and resyncs.
+    let n1b = shard_server(&dir1, |c| {
+        fast_detector(c);
+        c.addr = n1_addr.to_string();
+    });
+    assert!(
+        wait_until(15_000, || {
+            let (status, v) = request(&n1b, "GET", "/v1/replication/status", "");
+            status == 200 && str_of(&v, "role") == "replica" && num_of(&v, "epoch") == 2
+        }),
+        "deposed head never rejoined as a demoted replica"
+    );
+    assert!(
+        wait_until(10_000, || digests_match(&n1b, &n2)),
+        "digests diverged after the revival reconcile"
+    );
+}
+
+#[test]
+fn transient_partition_is_fenced_not_split_brained() {
+    let (dir1, dir2, dir3) = (
+        temp_state_dir("veto1"),
+        temp_state_dir("veto2"),
+        temp_state_dir("veto3"),
+    );
+    // The head refuses a burst of requests mid-steady-state (the 25th
+    // replication-transport charge arms the partition), then heals. By
+    // the time the tail accumulates `suspect_after` failed probes, the
+    // partition has spent its refusals — the voter's quorum probe
+    // reaches the head and vetoes the promotion. A suspected-but-alive
+    // head must end the test exactly where it started: primary.
+    let n1 = shard_server(&dir1, |c| {
+        c.probe_interval_ms = 50;
+        c.suspect_after = 3;
+        c.net_fault = Some(NetFaultPlan::new(NetFaultSite::Partition, 25));
+    });
+    let n1_addr = n1.addr;
+    let n3 = shard_server(&dir3, |c| {
+        c.probe_interval_ms = 50;
+        c.suspect_after = 3;
+    });
+    let (status, _) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/join",
+        &format!(r#"{{"addr": "{}"}}"#, n3.addr),
+    );
+    assert_eq!(status, 200);
+    let n2 = shard_server(&dir2, |c| {
+        c.probe_interval_ms = 50;
+        c.suspect_after = 3;
+        c.replicate_from = Some(n1_addr.to_string());
+    });
+    let (status, v) = request(
+        &n1,
+        "POST",
+        "/v1/cluster/enlist",
+        &format!(r#"{{"host": "{}", "addr": "{}"}}"#, n1_addr, n2.addr),
+    );
+    assert_eq!(status, 200, "{v:?}");
+
+    let ring = ShardRing::new(
+        [format!("{n1_addr}~{}", n2.addr), n3.addr.to_string()],
+        DEFAULT_VNODES,
+        0,
+    );
+    let mine = names_owned_by(&ring, n1_addr, 1).remove(0);
+    let seq = put(&n1, &mine, "A & !B");
+
+    // Ride out the partition: it fires, refuses its burst, heals.
+    std::thread::sleep(Duration::from_millis(1_500));
+
+    // Nobody deposed the live head.
+    assert_eq!(role_of(&n1), "primary", "live head was deposed");
+    assert_eq!(role_of(&n2), "replica", "tail split-brained to primary");
+    for node in [&n1, &n2, &n3] {
+        let (_, v) = request(node, "GET", "/v1/cluster/ring", "");
+        assert_eq!(num_of(&v, "epoch"), 3, "ring rotated under a live head");
+    }
+
+    // The head still commits, and replication resumed after the heal.
+    let seq2 = put(&n1, &mine, "A & !B & C");
+    assert!(seq2 > seq);
+    assert!(
+        wait_until(5_000, || {
+            let (status, v) = request(&n2, "GET", "/v1/replication/status", "");
+            status == 200 && num_of(&v, "visible") >= seq2
+        }),
+        "replication never resumed after the partition healed"
     );
 }
 

@@ -14,55 +14,43 @@ ARBX="${1:-target/release/arbx}"
 CYCLES="${2:-5}"
 [ -x "$ARBX" ] || { echo "missing binary: $ARBX (cargo build --release first)"; exit 1; }
 
+. "$(dirname "$0")/storm_lib.sh"
+
 STATE="$(mktemp -d)"
 LOG="$(mktemp)"
-cleanup() {
-  [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
-  rm -rf "$STATE" "$LOG"
-}
-trap cleanup EXIT
+STORM_RM=("$STATE" "$LOG")
+trap storm_cleanup EXIT
 
-fail() { echo "FAIL: $1"; echo "--- got:"; echo "$2"; echo "--- log:"; cat "$LOG"; exit 1; }
 expect() { # expect <label> <needle> <haystack>
-  case "$3" in *"$2"*) ;; *) fail "$1 (wanted \`$2\`)" "$3" ;; esac
+  case "$3" in *"$2"*) ;; *) fail "$1 (wanted \`$2\`)" "got: $3" "log: $(cat "$LOG")" ;; esac
 }
 
-start_server() {
-  : >"$LOG"
-  "$ARBX" serve --addr 127.0.0.1:0 --threads 2 --state-dir "$STATE" --snapshot-every 16 >"$LOG" &
-  SERVER_PID=$!
-  ADDR=""
-  for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's/^arbitrex-server listening on \([0-9.:]*\) .*$/\1/p' "$LOG" | head -n1)"
-    [ -n "$ADDR" ] && break
-    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
-      fail "server exited before listening" "$(cat "$LOG")"
-    fi
-    sleep 0.1
-  done
-  [ -n "$ADDR" ] || fail "never saw the listening line" "$(cat "$LOG")"
+boot() {
+  start_server "$LOG" --addr 127.0.0.1:0 --threads 2 \
+    --state-dir "$STATE" --snapshot-every 16
 }
 
 # The sequential oracle: the i-th acknowledged commit stores formula
 # "A & B" when i is even, "A | B" when i is odd, so the recovered state
-# is fully determined by its seq.
-oracle_formula() { # oracle_formula <seq>
+# is fully determined by its seq. (Unlike the storms' per-name cube
+# oracle, this one keys on the single KB's seq.)
+seq_formula() { # seq_formula <seq>
   if [ $(( $1 % 2 )) -eq 0 ]; then echo "A & B"; else echo "A | B"; fi
 }
 
 LAST_ACKED=0
 for CYCLE in $(seq 1 "$CYCLES"); do
-  start_server
+  boot
 
   # Verify recovery against the oracle before storming more commits.
   if [ "$LAST_ACKED" -gt 0 ]; then
     OUT=$(curl -sf "http://$ADDR/v1/kb/loop")
-    SEQ=$(printf '%s' "$OUT" | sed -n 's/.*"seq": *\([0-9]*\).*/\1/p')
+    SEQ=$(json_num seq "$OUT")
     [ -n "$SEQ" ] || fail "cycle $CYCLE: no seq in recovered KB" "$OUT"
     if [ "$SEQ" -lt "$LAST_ACKED" ] || [ "$SEQ" -gt $(( LAST_ACKED + 1 )) ]; then
       fail "cycle $CYCLE: recovered seq $SEQ vs last acked $LAST_ACKED" "$OUT"
     fi
-    expect "cycle $CYCLE: oracle formula for seq $SEQ" "$(oracle_formula "$SEQ")" "$OUT"
+    expect "cycle $CYCLE: oracle formula for seq $SEQ" "$(seq_formula "$SEQ")" "$OUT"
     LAST_ACKED="$SEQ"
   fi
 
@@ -73,7 +61,7 @@ for CYCLE in $(seq 1 "$CYCLES"); do
   I="$LAST_ACKED"
   while :; do
     NEXT=$(( I + 1 ))
-    BODY="{\"action\": \"put\", \"formula\": \"$(oracle_formula "$NEXT")\", \"if_seq\": $I}"
+    BODY="{\"action\": \"put\", \"formula\": \"$(seq_formula "$NEXT")\", \"if_seq\": $I}"
     OUT=$(curl -s --max-time 5 -d "$BODY" "http://$ADDR/v1/kb/loop" 2>/dev/null) || break
     case "$OUT" in
       *'"seq": '"$NEXT"*|*'"seq":'"$NEXT"*) I="$NEXT" ;;
@@ -90,13 +78,13 @@ for CYCLE in $(seq 1 "$CYCLES"); do
 done
 
 # Final verification pass: recover once more and check the oracle.
-start_server
+boot
 OUT=$(curl -sf "http://$ADDR/v1/kb/loop")
-SEQ=$(printf '%s' "$OUT" | sed -n 's/.*"seq": *\([0-9]*\).*/\1/p')
+SEQ=$(json_num seq "$OUT")
 if [ "$SEQ" -lt "$LAST_ACKED" ] || [ "$SEQ" -gt $(( LAST_ACKED + 1 )) ]; then
   fail "final: recovered seq $SEQ vs last acked $LAST_ACKED" "$OUT"
 fi
-expect "final oracle formula for seq $SEQ" "$(oracle_formula "$SEQ")" "$OUT"
+expect "final oracle formula for seq $SEQ" "$(seq_formula "$SEQ")" "$OUT"
 expect "recovery line printed" "arbitrex-server recovered" "$(cat "$LOG")"
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || fail "final SIGTERM should exit 0" "exit status $?"

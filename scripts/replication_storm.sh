@@ -26,70 +26,30 @@ ARBX="${1:-target/release/arbx}"
 CYCLES="${2:-20}"
 [ -x "$ARBX" ] || { echo "missing binary: $ARBX (cargo build --release first)"; exit 1; }
 
+. "$(dirname "$0")/storm_lib.sh"
+
 WORK="$(mktemp -d)"
 ACKED="$WORK/acked.txt"
 : >"$ACKED"
-PIDS=()
-cleanup() {
-  for PID in "${PIDS[@]:-}"; do kill -9 "$PID" 2>/dev/null || true; done
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+STORM_RM=("$WORK")
+trap storm_cleanup EXIT
 
-fail() { echo "FAIL: $1"; shift; for EXTRA in "$@"; do echo "--- $EXTRA"; done; exit 1; }
-
-# start_server <logfile> <args...>: launches arbx serve, waits for the
-# listening line, sets SERVER_PID and ADDR.
-start_server() {
+# A replication-tier node: 2 workers, no sharding.
+repl_server() { # repl_server <logfile> <extra-args...>
   local LOG="$1"; shift
-  : >"$LOG"
-  "$ARBX" serve --addr 127.0.0.1:0 --threads 2 --snapshot-every 32 "$@" >"$LOG" &
-  SERVER_PID=$!
-  PIDS+=("$SERVER_PID")
-  ADDR=""
-  for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's/^arbitrex-server listening on \([0-9.:]*\) .*$/\1/p' "$LOG" | head -n1)"
-    [ -n "$ADDR" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before listening" "$(cat "$LOG")"
-    sleep 0.1
-  done
-  [ -n "$ADDR" ] || fail "never saw the listening line" "$(cat "$LOG")"
-}
-
-# The per-commit oracle: commit j of any cycle stores the 3-variable
-# cube of j mod 8, so each KB's formula is derivable from its name.
-oracle_formula() { # oracle_formula <j>
-  local J=$(( $1 % 8 )) OUT=""
-  [ $(( J & 1 )) -ne 0 ] && OUT="A" || OUT="!A"
-  [ $(( J & 2 )) -ne 0 ] && OUT="$OUT & B" || OUT="$OUT & !B"
-  [ $(( J & 4 )) -ne 0 ] && OUT="$OUT & C" || OUT="$OUT & !C"
-  echo "$OUT"
-}
-
-json_num() { # json_num <key> <json>
-  printf '%s' "$2" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -n1
-}
-
-verify_kb() { # verify_kb <addr> <name> <formula> <label>
-  local OUT
-  OUT=$(curl -sf --max-time 5 "http://$1/v1/kb/$2") \
-    || fail "$4: acked KB \`$2\` is gone" "$OUT"
-  case "$OUT" in
-    *"$3"*) ;;
-    *) fail "$4: acked KB \`$2\` lost its formula (want \`$3\`)" "$OUT" ;;
-  esac
+  start_server "$LOG" --addr 127.0.0.1:0 --threads 2 --snapshot-every 32 "$@"
 }
 
 # Seed the chain: the first primary starts at epoch 1 on a fresh dir.
 EPOCH=1
 P_DIR="$WORK/node0"
-start_server "$WORK/node0.log" --state-dir "$P_DIR" --replication-epoch "$EPOCH"
+repl_server "$WORK/node0.log" --state-dir "$P_DIR" --replication-epoch "$EPOCH"
 P_PID="$SERVER_PID"; P_ADDR="$ADDR"
 
 for CYCLE in $(seq 1 "$CYCLES"); do
   R_DIR="$WORK/node$CYCLE"
   R_LOG="$WORK/node$CYCLE.log"
-  start_server "$R_LOG" --state-dir "$R_DIR" \
+  repl_server "$R_LOG" --state-dir "$R_DIR" \
     --replicate-from "$P_ADDR" --replication-epoch "$EPOCH"
   R_PID="$SERVER_PID"; R_ADDR="$ADDR"
 
@@ -126,13 +86,13 @@ for CYCLE in $(seq 1 "$CYCLES"); do
   # Recover the deposed primary on its surviving state dir (standalone,
   # fresh port): its WAL still holds any acked-but-unshipped tail.
   OLD_DIR="$P_DIR"
-  start_server "$WORK/deposed$CYCLE.log" --state-dir "$OLD_DIR"
+  repl_server "$WORK/deposed$CYCLE.log" --state-dir "$OLD_DIR"
   OLD_PID="$SERVER_PID"; OLD_ADDR="$ADDR"
 
   # Every 5th cycle: a fresh node fenced at the new epoch pulls from the
   # deposed primary — it must refuse the stale-epoch stream wholesale.
   if [ $(( CYCLE % 5 )) -eq 1 ]; then
-    start_server "$WORK/probe$CYCLE.log" --state-dir "$WORK/probe$CYCLE" \
+    repl_server "$WORK/probe$CYCLE.log" --state-dir "$WORK/probe$CYCLE" \
       --replicate-from "$OLD_ADDR" --replication-epoch "$EPOCH"
     PROBE_PID="$SERVER_PID"; PROBE_ADDR="$ADDR"
     sleep 0.5

@@ -26,79 +26,29 @@ ARBX="${1:-target/release/arbx}"
 CYCLES="${2:-3}"
 [ -x "$ARBX" ] || { echo "missing binary: $ARBX (cargo build --release first)"; exit 1; }
 
+. "$(dirname "$0")/storm_lib.sh"
+
 WORK="$(mktemp -d)"
 ACKED="$WORK/acked.txt"
 : >"$ACKED"
-PIDS=()
-cleanup() {
-  for PID in "${PIDS[@]:-}"; do kill -9 "$PID" 2>/dev/null || true; done
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+STORM_RM=("$WORK")
+trap storm_cleanup EXIT
 
-fail() { echo "FAIL: $1"; shift; for EXTRA in "$@"; do echo "--- $EXTRA"; done; exit 1; }
-
-# start_server <logfile> <args...>: launches a shard member, waits for
-# the listening line, sets SERVER_PID and ADDR.
-start_server() {
+# A shard member: 3 workers, advertising its bound address as ring
+# identity.
+shard_server() { # shard_server <logfile> <extra-args...>
   local LOG="$1"; shift
-  : >"$LOG"
-  "$ARBX" serve --addr 127.0.0.1:0 --threads 3 --snapshot-every 32 \
-    --shard-ring auto "$@" >"$LOG" &
-  SERVER_PID=$!
-  PIDS+=("$SERVER_PID")
-  ADDR=""
-  for _ in $(seq 1 100); do
-    ADDR="$(sed -n 's/^arbitrex-server listening on \([0-9.:]*\) .*$/\1/p' "$LOG" | head -n1)"
-    [ -n "$ADDR" ] && break
-    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before listening" "$(cat "$LOG")"
-    sleep 0.1
-  done
-  [ -n "$ADDR" ] || fail "never saw the listening line" "$(cat "$LOG")"
-}
-
-# The per-commit oracle: commit j of any cycle stores the 3-variable
-# cube of j mod 8, so each KB's formula is derivable from its name.
-oracle_formula() { # oracle_formula <j>
-  local J=$(( $1 % 8 )) OUT=""
-  [ $(( J & 1 )) -ne 0 ] && OUT="A" || OUT="!A"
-  [ $(( J & 2 )) -ne 0 ] && OUT="$OUT & B" || OUT="$OUT & !B"
-  [ $(( J & 4 )) -ne 0 ] && OUT="$OUT & C" || OUT="$OUT & !C"
-  echo "$OUT"
-}
-
-json_num() { # json_num <key> <json>
-  printf '%s' "$2" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -n1
-}
-
-# listing <addr>: the member's /v1/kbs digests as "name seq hash" lines.
-listing() {
-  curl -sf --max-time 5 "http://$1/v1/kbs" | tr '{' '\n' \
-    | sed -n 's/.*"name": *"\([^"]*\)", *"seq": *\([0-9]*\), *"hash": *"\([0-9a-f]*\)".*/\1 \2 \3/p'
-}
-
-# cluster_post <addr> <action> <member-addr>
-cluster_post() {
-  curl -sf --max-time 30 -d "{\"addr\": \"$3\"}" "http://$1/v1/cluster/$2"
-}
-
-verify_kb() { # verify_kb <addr> <name> <formula> <label>
-  local OUT
-  OUT=$(curl -sfL --max-time 5 "http://$1/v1/kb/$2") \
-    || fail "$4: acked KB \`$2\` is gone" "$OUT"
-  case "$OUT" in
-    *"$3"*) ;;
-    *) fail "$4: acked KB \`$2\` lost its formula (want \`$3\`)" "$OUT" ;;
-  esac
+  start_server "$LOG" --addr 127.0.0.1:0 --threads 3 --snapshot-every 32 \
+    --shard-ring auto "$@"
 }
 
 # Three members: node0 is the coordinator (never killed, the client
 # entry point); the victims rotate over the other two slots.
-start_server "$WORK/node0.log" --state-dir "$WORK/node0"
+shard_server "$WORK/node0.log" --state-dir "$WORK/node0"
 COORD_ADDR="$ADDR"
-start_server "$WORK/slot1.log" --state-dir "$WORK/slot1"
+shard_server "$WORK/slot1.log" --state-dir "$WORK/slot1"
 SLOT_PID[1]="$SERVER_PID"; SLOT_ADDR[1]="$ADDR"; SLOT_DIR[1]="$WORK/slot1"
-start_server "$WORK/slot2.log" --state-dir "$WORK/slot2"
+shard_server "$WORK/slot2.log" --state-dir "$WORK/slot2"
 SLOT_PID[2]="$SERVER_PID"; SLOT_ADDR[2]="$ADDR"; SLOT_DIR[2]="$WORK/slot2"
 for SLOT in 1 2; do
   OUT=$(cluster_post "$COORD_ADDR" join "${SLOT_ADDR[$SLOT]}") \
@@ -148,7 +98,7 @@ for CYCLE in $(seq 1 "$CYCLES"); do
   # Restart it from the surviving state dir on a fresh port and join it
   # back: the join-triggered handoff pulls every acked KB to its
   # post-rebalance owner, wherever the new ring places it.
-  start_server "$WORK/slot${SLOT}-c${CYCLE}.log" --state-dir "$VICTIM_DIR"
+  shard_server "$WORK/slot${SLOT}-c${CYCLE}.log" --state-dir "$VICTIM_DIR"
   SLOT_PID[$SLOT]="$SERVER_PID"; SLOT_ADDR[$SLOT]="$ADDR"
   OUT=$(cluster_post "$COORD_ADDR" join "${SLOT_ADDR[$SLOT]}") \
     || fail "cycle $CYCLE: rejoin failed"

@@ -1,0 +1,82 @@
+# shellcheck shell=bash
+# Shared plumbing for the chaos harnesses (crash_loop.sh,
+# replication_storm.sh, shard_storm.sh, chained_chaos.sh). Source this
+# after setting ARBX; then:
+#
+#   STORM_RM=("$WORK")        # paths storm_cleanup should remove
+#   trap storm_cleanup EXIT
+#
+# Every server started through start_server lands in PIDS and is
+# kill -9'd by storm_cleanup, so a failing harness never leaks
+# processes into the next CI step.
+
+PIDS=()
+STORM_RM=()
+
+storm_cleanup() {
+  for PID in "${PIDS[@]:-}"; do kill -9 "$PID" 2>/dev/null || true; done
+  for P in "${STORM_RM[@]:-}"; do [ -n "$P" ] && rm -rf "$P"; done
+}
+
+fail() { echo "FAIL: $1"; shift; for EXTRA in "$@"; do echo "--- $EXTRA"; done; exit 1; }
+
+# start_server <logfile> <serve-args...>: launches `arbx serve`, waits
+# for the listening line, sets SERVER_PID and ADDR, registers the pid
+# for cleanup. Callers pass the full flag set, including --addr (use
+# 127.0.0.1:0 unless the scenario needs to revive a dead member on its
+# old port).
+start_server() {
+  local LOG="$1"; shift
+  : >"$LOG"
+  "$ARBX" serve "$@" >"$LOG" &
+  SERVER_PID=$!
+  PIDS+=("$SERVER_PID")
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^arbitrex-server listening on \([0-9.:]*\) .*$/\1/p' "$LOG" | head -n1)"
+    [ -n "$ADDR" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before listening" "$(cat "$LOG")"
+    sleep 0.1
+  done
+  [ -n "$ADDR" ] || fail "never saw the listening line" "$(cat "$LOG")"
+}
+
+# The per-commit oracle shared by the storm writers: commit j of any
+# cycle stores the 3-variable cube of j mod 8, so each KB's formula is
+# derivable from its name.
+oracle_formula() { # oracle_formula <j>
+  local J=$(( $1 % 8 )) OUT=""
+  [ $(( J & 1 )) -ne 0 ] && OUT="A" || OUT="!A"
+  [ $(( J & 2 )) -ne 0 ] && OUT="$OUT & B" || OUT="$OUT & !B"
+  [ $(( J & 4 )) -ne 0 ] && OUT="$OUT & C" || OUT="$OUT & !C"
+  echo "$OUT"
+}
+
+json_num() { # json_num <key> <json>
+  printf '%s' "$2" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p" | head -n1
+}
+
+json_str() { # json_str <key> <json>
+  printf '%s' "$2" | sed -n "s/.*\"$1\": *\"\([^\"]*\)\".*/\1/p" | head -n1
+}
+
+verify_kb() { # verify_kb <addr> <name> <formula> <label>
+  local OUT
+  OUT=$(curl -sfL --max-time 5 "http://$1/v1/kb/$2") \
+    || fail "$4: acked KB \`$2\` is gone" "$OUT"
+  case "$OUT" in
+    *"$3"*) ;;
+    *) fail "$4: acked KB \`$2\` lost its formula (want \`$3\`)" "$OUT" ;;
+  esac
+}
+
+# listing <addr>: the member's /v1/kbs digests as "name seq hash" lines.
+listing() {
+  curl -sf --max-time 5 "http://$1/v1/kbs" | tr '{' '\n' \
+    | sed -n 's/.*"name": *"\([^"]*\)", *"seq": *\([0-9]*\), *"hash": *"\([0-9a-f]*\)".*/\1 \2 \3/p'
+}
+
+# cluster_post <addr> <action> <member-addr>
+cluster_post() {
+  curl -sf --max-time 30 -d "{\"addr\": \"$3\"}" "http://$1/v1/cluster/$2"
+}
